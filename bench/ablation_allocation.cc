@@ -1,0 +1,65 @@
+// Ablation: flow-allocation strategies (DESIGN.md design-choice study).
+//
+// Holds MPDA's loop-free multipath fixed and varies only the traffic
+// distribution over the successor sets:
+//   * SP            — best successor only (no balancing at all)
+//   * IH-only       — initial distribution, never adjusted (Ts = infinity)
+//   * IH+AH d=1.0   — the full proportional shift as Fig. 7 reads
+//   * IH+AH d=0.5   — the library default (half shift)
+//   * IH+AH d=0.25  — extra damping
+// measured on CAIRN under the paper workload, against the OPT lower bound.
+// This quantifies the AH-damping calibration discussed in
+// MpRouterOptions::ah_damping and EXPERIMENTS.md.
+#include <cstdio>
+
+#include "figure_common.h"
+
+int main() {
+  using namespace mdr;
+  const auto setup = bench::cairn_setup();
+  auto base = bench::measurement_config();
+  base.duration = 90;
+
+  const auto opt_ref =
+      sim::compute_opt_reference(setup.topo, setup.flows, base.mean_packet_bits);
+  const auto opt = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
+    auto c = base;
+    c.seed = seed;
+    return bench::run_opt(setup, c, opt_ref);
+  });
+  double opt_avg = 0;
+  for (const double d : opt) opt_avg += d / static_cast<double>(opt.size());
+
+  struct Variant {
+    const char* name;
+    sim::RoutingMode mode;
+    double ts;
+    double damping;
+  };
+  const Variant variants[] = {
+      {"SP (best successor)", sim::RoutingMode::kSinglePath, 10, 0.5},
+      {"IH-only (no AH)", sim::RoutingMode::kMultipath, 1e6, 0.5},
+      {"IH+AH damping 1.0", sim::RoutingMode::kMultipath, 2, 1.0},
+      {"IH+AH damping 0.5", sim::RoutingMode::kMultipath, 2, 0.5},
+      {"IH+AH damping 0.25", sim::RoutingMode::kMultipath, 2, 0.25},
+  };
+
+  std::printf("== Allocation ablation on CAIRN (OPT mean %.3f ms) ==\n",
+              opt_avg * 1e3);
+  std::printf("%-24s %12s %10s\n", "variant", "mean (ms)", "vs OPT");
+  for (const auto& v : variants) {
+    const auto delays = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
+      auto c = base;
+      c.seed = seed;
+      c.mode = v.mode;
+      c.tl = 10;
+      c.ts = v.ts;
+      c.ah_damping = v.damping;
+      return sim::run_simulation(setup.topo, setup.flows, c);
+    });
+    double avg = 0;
+    for (const double d : delays) avg += d / static_cast<double>(delays.size());
+    std::printf("%-24s %12.3f %9.3fx\n", v.name, avg * 1e3, avg / opt_avg);
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Ablation: protocol convergence cost — PDA vs MPDA vs MPATH.
+//
+// Counts the messages exchanged (and per-router LSU sends) until
+// quiescence after (a) cold start and (b) a single link-cost change, across
+// topology sizes. MPDA pays for its instantaneous loop-freedom with ACK
+// traffic; this table quantifies the premium over plain PDA and compares
+// the distance-vector realization (MPATH). Complements the paper's claim
+// that MP's complexity is "similar to the complexity of routing protocols
+// that provide single-path routing in the Internet today".
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/mpda.h"
+#include "mpath/mpath.h"
+#include "proto/pda.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+// The gtest-oriented harness lives in tests/; replicate the tiny message
+// pump here for the two sink types.
+namespace {
+
+using namespace mdr;
+using graph::Cost;
+using graph::NodeId;
+
+template <typename Process, typename Sink, typename Message>
+class Pump {
+ public:
+  using Factory = std::function<std::unique_ptr<Process>(NodeId, std::size_t,
+                                                         Sink&)>;
+
+  Pump(const graph::Topology& topo, const std::vector<Cost>& costs,
+       Factory factory)
+      : topo_(&topo), costs_(costs) {
+    for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+      sinks_.push_back(std::make_unique<SinkImpl>(this));
+      nodes_.push_back(factory(i, topo.num_nodes(), *sinks_.back()));
+    }
+  }
+
+  Process& node(NodeId i) { return *nodes_[i]; }
+
+  // All adjacencies come up before any LSU is delivered: propagation takes
+  // time while link-up detection is local, so no router can receive a
+  // message from a neighbor it has not yet detected (the adjacency-symmetry
+  // assumption DESIGN.md documents; real protocols guarantee it with a
+  // hello handshake).
+  void bring_up_all(Rng&) {
+    for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo_->num_links());
+         ++id) {
+      const auto& l = topo_->link(id);
+      nodes_[l.from]->on_link_up(l.to, costs_[id]);
+    }
+  }
+
+  bool deliver_one(Rng& rng) {
+    std::vector<std::pair<NodeId, NodeId>> ready;
+    for (const auto& [key, q] : queues_) {
+      if (!q.empty()) ready.push_back(key);
+    }
+    if (ready.empty()) return false;
+    const auto key = ready[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(ready.size()) - 1))];
+    auto& q = queues_[key];
+    const Message msg = q.front();
+    q.pop_front();
+    deliver(*nodes_[key.second], msg);
+    ++delivered_;
+    return true;
+  }
+
+  std::size_t run(Rng& rng) {
+    std::size_t before = delivered_;
+    while (deliver_one(rng)) {
+    }
+    return delivered_ - before;
+  }
+
+  std::size_t delivered() const { return delivered_; }
+
+ private:
+  static void deliver(Process& p, const proto::LsuMessage& m) { p.on_lsu(m); }
+  static void deliver(Process& p, const mpath::VectorMessage& m) {
+    p.on_message(m);
+  }
+
+  struct SinkImpl final : Sink {
+    explicit SinkImpl(Pump* p) : pump(p) {}
+    void send(NodeId neighbor, const Message& msg) override {
+      pump->queues_[{msg.sender, neighbor}].push_back(msg);
+    }
+    Pump* pump;
+  };
+
+  const graph::Topology* topo_;
+  std::vector<Cost> costs_;
+  std::vector<std::unique_ptr<SinkImpl>> sinks_;
+  std::vector<std::unique_ptr<Process>> nodes_;
+  std::map<std::pair<NodeId, NodeId>, std::deque<Message>> queues_;
+  std::size_t delivered_ = 0;
+};
+
+template <typename PumpT>
+void report(const char* name, const graph::Topology& topo,
+            const std::vector<Cost>& costs, typename PumpT::Factory factory) {
+  Rng rng(17);
+  PumpT pump(topo, costs, factory);
+  pump.bring_up_all(rng);
+  const std::size_t cold = pump.run(rng) ;
+  const std::size_t cold_total = pump.delivered();
+  // One link-cost change.
+  const auto& l = topo.link(0);
+  pump.node(l.from).on_link_cost_change(l.to, costs[0] * 2.0);
+  const std::size_t incremental = pump.run(rng);
+  std::printf("  %-8s cold-start %6zu msgs   one-change %5zu msgs\n", name,
+              cold_total, incremental);
+  (void)cold;
+}
+
+void run_size(std::size_t n, double p) {
+  Rng trng(n);
+  const auto topo = topo::make_random(n, p, trng);
+  std::vector<Cost> costs;
+  Rng crng(n * 7);
+  for (std::size_t i = 0; i < topo.num_links(); ++i) {
+    costs.push_back(crng.uniform(0.5, 3.0));
+  }
+  std::printf("n=%zu links=%zu\n", n, topo.num_links());
+  report<Pump<proto::PdaProcess, proto::LsuSink, proto::LsuMessage>>(
+      "PDA", topo, costs,
+      [](NodeId s, std::size_t num, proto::LsuSink& sink) {
+        return std::make_unique<proto::PdaProcess>(s, num, sink);
+      });
+  report<Pump<core::MpdaProcess, proto::LsuSink, proto::LsuMessage>>(
+      "MPDA", topo, costs,
+      [](NodeId s, std::size_t num, proto::LsuSink& sink) {
+        return std::make_unique<core::MpdaProcess>(s, num, sink);
+      });
+  report<Pump<mpath::MpathProcess, mpath::VectorSink, mpath::VectorMessage>>(
+      "MPATH", topo, costs,
+      [](NodeId s, std::size_t num, mpath::VectorSink& sink) {
+        return std::make_unique<mpath::MpathProcess>(s, num, sink);
+      });
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Convergence cost: messages to quiescence ==");
+  for (const std::size_t n : {8, 16, 26, 40}) run_size(n, 0.2);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Ablation: marginal-delay estimators (paper Section 4.3; DESIGN.md §5).
+//
+// Part 1 measures raw estimator accuracy against the analytic M/M/1
+// marginal on a synthetic queue sample path across utilizations (the
+// comparison Cassandras-Abidi-Towsley make for PA vs M/M/1 estimation).
+// Part 2 measures the end-to-end consequence: MP's average delay on CAIRN
+// with each estimator feeding the Ts/Tl costs. The estimator's *variance*,
+// not its bias, is what separates them in the loop.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cost/delay_model.h"
+#include "cost/estimators.h"
+#include "figure_common.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace mdr;
+
+namespace {
+
+struct Sample {
+  cost::PacketObservation obs;
+};
+
+// M/M/1 sample path (capacity 1 bit/s units).
+std::vector<cost::PacketObservation> mm1_path(double rho, double horizon,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cost::PacketObservation> path;
+  double t = 0, server_free = 0;
+  while (true) {
+    t += rng.exponential(1.0 / rho);
+    if (t > horizon) break;
+    cost::PacketObservation obs;
+    obs.arrival_time = t;
+    obs.service_time = rng.exponential(1.0);
+    obs.started_busy_period = t >= server_free;
+    const double start = std::max(t, server_free);
+    obs.departure_time = start + obs.service_time;
+    server_free = obs.departure_time;
+    obs.size_bits = obs.service_time;
+    path.push_back(obs);
+  }
+  return path;
+}
+
+void accuracy_table() {
+  std::puts("== Part 1: estimator accuracy vs analytic M/M/1 marginal ==");
+  std::puts("(relative bias and coefficient of variation over 2s windows)");
+  std::printf("%-12s", "rho");
+  for (const char* n : {"mm1", "observable", "ipa", "utilization"}) {
+    std::printf(" %11s-bias %10s-cv", n, n);
+  }
+  std::puts("");
+  const cost::EstimatorKind kinds[] = {
+      cost::EstimatorKind::kAnalyticMm1, cost::EstimatorKind::kObservable,
+      cost::EstimatorKind::kIpa, cost::EstimatorKind::kUtilization};
+  for (double rho : {0.3, 0.6, 0.8, 0.9}) {
+    const cost::LinkDelayModel model{1.0, 0.0, 1.0};
+    const double truth = model.marginal_delay(rho);
+    std::printf("%-12.1f", rho);
+    for (const auto kind : kinds) {
+      OnlineStats window_estimates;
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        auto est = cost::make_estimator(kind, 1.0, 0.0, 1.0);
+        const auto path = mm1_path(rho, 4000.0, seed);
+        // Feed in 200-packet-expected windows (~ Ts at this rate).
+        double window_start = 0;
+        const double window_len = 200.0 / rho;
+        std::size_t i = 0;
+        for (double end = window_len; end <= 4000.0; end += window_len) {
+          while (i < path.size() && path[i].departure_time <= end) {
+            est->observe(path[i]);
+            ++i;
+          }
+          window_estimates.add(est->estimate(window_start, end));
+          est->reset();
+          window_start = end;
+        }
+      }
+      const double bias = window_estimates.mean() / truth - 1.0;
+      const double cv = window_estimates.stddev() / window_estimates.mean();
+      std::printf(" %15.3f %13.3f", bias, cv);
+    }
+    std::puts("");
+  }
+}
+
+void end_to_end_table() {
+  std::puts("\n== Part 2: end-to-end MP delay on CAIRN per estimator ==");
+  const auto setup = bench::cairn_setup();
+  auto base = bench::measurement_config();
+  base.duration = 90;
+  const auto opt_ref =
+      sim::compute_opt_reference(setup.topo, setup.flows, base.mean_packet_bits);
+  const auto opt = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
+    auto c = base;
+    c.seed = seed;
+    return bench::run_opt(setup, c, opt_ref);
+  });
+  double opt_avg = 0;
+  for (const double d : opt) opt_avg += d / static_cast<double>(opt.size());
+
+  struct Named {
+    const char* name;
+    cost::EstimatorKind kind;
+  };
+  for (const auto& [name, kind] :
+       {Named{"analytic M/M/1", cost::EstimatorKind::kAnalyticMm1},
+        Named{"observable (W+lW^2)", cost::EstimatorKind::kObservable},
+        Named{"IPA busy-period", cost::EstimatorKind::kIpa},
+        Named{"utilization (default)", cost::EstimatorKind::kUtilization}}) {
+    const auto delays = bench::averaged_flow_delays(setup, [&, k = kind](std::uint64_t seed) {
+      auto c = base;
+      c.seed = seed;
+      c.mode = sim::RoutingMode::kMultipath;
+      c.tl = 10;
+      c.ts = 2;
+      c.estimator = k;
+      return sim::run_simulation(setup.topo, setup.flows, c);
+    });
+    double avg = 0;
+    for (const double d : delays) avg += d / static_cast<double>(delays.size());
+    std::printf("%-24s %10.3f ms  (%.3fx OPT)\n", name, avg * 1e3,
+                avg / opt_avg);
+  }
+}
+
+}  // namespace
+
+int main() {
+  accuracy_table();
+  end_to_end_table();
+  return 0;
+}

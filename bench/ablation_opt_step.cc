@@ -1,0 +1,73 @@
+// Ablation: OPT step-size sensitivity — Gallager's global constant problem.
+//
+// The paper's central criticism of OPT: "a global step size eta needs to be
+// chosen and every router must use it... it is impossible to determine one
+// in practice that works for all input traffic patterns." This bench makes
+// that concrete: iterations-to-convergence (and whether the fixed-step
+// method converges at all) across eta values, for the plain first-order
+// update and for the second-derivative (Bertsekas-Gallager) scaling, which
+// trades per-iteration cost for robustness to eta.
+#include <cstdio>
+
+#include "gallager/optimizer.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+
+using namespace mdr;
+
+namespace {
+
+void sweep(const char* name, const graph::Topology& topo,
+           const flow::TrafficMatrix& traffic) {
+  const flow::FlowNetwork net(topo, 8e3);
+
+  // Reference optimum from the safeguarded adaptive run.
+  const auto reference = gallager::minimize(net, traffic, {});
+  std::printf("%s: reference D_T %.6f (adaptive, %d iterations)\n", name,
+              reference.total_delay_rate, reference.iterations);
+
+  const auto run_fixed = [&](double eta, bool second) {
+    gallager::Options opts;
+    opts.eta = eta;
+    opts.adaptive_step = false;
+    opts.second_derivative = second;
+    opts.max_iterations = 3000;
+    const auto r = gallager::minimize(net, traffic, opts);
+    const double gap = (r.total_delay_rate - reference.total_delay_rate) /
+                       reference.total_delay_rate;
+    char buf[64];
+    if (!r.feasible || gap > 0.05) {
+      std::snprintf(buf, sizeof buf, "diverged/stuck (+%.0f%%)", gap * 100);
+    } else if (!r.converged) {
+      std::snprintf(buf, sizeof buf, "slow (+%.2f%% @%d)", gap * 100,
+                    r.iterations);
+    } else {
+      std::snprintf(buf, sizeof buf, "ok in %d iters (+%.2f%%)", r.iterations,
+                    gap * 100);
+    }
+    return std::string(buf);
+  };
+
+  // Each variant swept over its natural eta range; the point is how narrow
+  // (and instance-dependent) the workable window is.
+  std::printf("  first-order:       ");
+  for (const double eta : {0.5, 5.0, 50.0, 500.0}) {
+    std::printf(" [eta=%g] %s ", eta, run_fixed(eta, false).c_str());
+  }
+  std::printf("\n  second-derivative: ");
+  for (const double eta : {0.01, 0.05, 0.1, 0.5}) {
+    std::printf(" [eta=%g] %s ", eta, run_fixed(eta, true).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== OPT step-size sensitivity (fixed global eta) ==");
+  const auto cairn = topo::make_cairn();
+  sweep("CAIRN", cairn, topo::to_traffic_matrix(cairn, topo::cairn_flows()));
+  const auto net1 = topo::make_net1();
+  sweep("NET1", net1, topo::to_traffic_matrix(net1, topo::net1_flows()));
+  return 0;
+}

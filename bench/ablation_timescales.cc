@@ -1,0 +1,46 @@
+// Ablation: the two update timescales (paper Section 4.2 / 5.2).
+//
+// Sweeps the short-term interval Ts at fixed Tl and the long-term interval
+// Tl at fixed Ts on CAIRN, printing MP's network-average delay. Expected
+// shape: delay is nearly flat in Tl (local balancing compensates — the
+// paper's headline tuning result) and degrades gracefully as Ts grows,
+// approaching the IH-only level when Ts exceeds the horizon.
+#include <cstdio>
+
+#include "figure_common.h"
+
+int main() {
+  using namespace mdr;
+  const auto setup = bench::cairn_setup();
+  auto base = bench::measurement_config();
+  base.duration = 90;
+
+  const auto run_avg = [&](double tl, double ts) {
+    double sum = 0;
+    const auto seeds = bench::replication_seeds();
+    for (const auto seed : seeds) {
+      auto c = base;
+      c.seed = seed;
+      c.mode = sim::RoutingMode::kMultipath;
+      c.tl = tl;
+      c.ts = ts;
+      sum += sim::run_simulation(setup.topo, setup.flows, c).avg_delay_s /
+             static_cast<double>(seeds.size());
+    }
+    return sum;
+  };
+
+  std::puts("== MP delay vs short-term interval Ts (Tl = 10 s) ==");
+  std::printf("%-10s %14s\n", "Ts (s)", "mean delay (ms)");
+  for (const double ts : {0.5, 1.0, 2.0, 5.0, 10.0, 1e6}) {
+    std::printf("%-10.1f %14.3f%s\n", ts, run_avg(10, ts) * 1e3,
+                ts >= 1e6 ? "   (IH-only: AH never runs)" : "");
+  }
+
+  std::puts("\n== MP delay vs long-term interval Tl (Ts = 2 s) ==");
+  std::printf("%-10s %14s\n", "Tl (s)", "mean delay (ms)");
+  for (const double tl : {5.0, 10.0, 20.0, 40.0}) {
+    std::printf("%-10.0f %14.3f\n", tl, run_avg(tl, 2) * 1e3);
+  }
+  return 0;
+}

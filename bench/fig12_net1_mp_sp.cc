@@ -1,0 +1,48 @@
+// Figure 12: "Delays of MP and SP in NET1."
+//
+// As Figure 11, on NET1. The paper reports the MP advantage grows with
+// connectivity: SP average delays run up to five-six times MP's there.
+// Measured series are 3-replication means.
+#include <iostream>
+
+#include "figure_common.h"
+
+int main() {
+  using namespace mdr;
+  const auto setup = bench::net1_setup();
+  const auto base = bench::measurement_config();
+
+  const auto opt_ref =
+      sim::compute_opt_reference(setup.topo, setup.flows, base.mean_packet_bits);
+  const auto opt = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
+    auto c = base;
+    c.seed = seed;
+    return bench::run_opt(setup, c, opt_ref);
+  });
+  const auto mp_ts10 = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
+    auto c = base;
+    c.seed = seed;
+    return bench::run_mp(setup, c, 10, 10);
+  });
+  const auto mp_ts2 = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
+    auto c = base;
+    c.seed = seed;
+    return bench::run_mp(setup, c, 10, 2);
+  });
+  const auto sp = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
+    auto c = base;
+    c.seed = seed;
+    return bench::run_sp(setup, c, 10);
+  });
+
+  sim::DelayTable table(sim::flow_labels(setup.flows));
+  table.add_series("OPT", opt);
+  table.add_series("MP-TL-10-TS-10", mp_ts10);
+  table.add_series("MP-TL-10-TS-2", mp_ts2);
+  table.add_series("SP-TL-10", sp);
+  table.print(std::cout, "Figure 12: delays of MP and SP in NET1");
+
+  bench::print_ratio_summary("SP vs MP-TS-2", sp, mp_ts2);
+  bench::print_ratio_summary("MP-TS-10 vs OPT", mp_ts10, opt);
+  return 0;
+}

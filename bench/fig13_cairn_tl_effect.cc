@@ -1,0 +1,60 @@
+// Figure 13: "Effect of increasing Tl in CAIRN."
+//
+// With Ts and the input traffic fixed, the paper doubles the long-term
+// update period Tl from 10s to 20s: SP's delays grow substantially (stale
+// routes concentrate traffic for longer), while MP's stay essentially
+// unchanged (the local Ts load-balancing compensates between the rarer path
+// updates).
+//
+// Two variants are measured. With the default low-variance utilization
+// estimator, SP's degradation is directional but attenuated relative to the
+// paper (staggered per-router timers plus smooth cost estimates stabilize
+// SP); with the delay-based "observable" estimator — closer in character to
+// the paper's perturbation-analysis measurements — the effect is larger.
+// EXPERIMENTS.md discusses the gap. Series are 3-replication means, 240s.
+#include <iostream>
+
+#include "figure_common.h"
+
+int main() {
+  using namespace mdr;
+  const auto setup = bench::cairn_setup();
+  auto base = bench::measurement_config();
+  base.warmup = 20;
+  base.duration = 240;
+
+  for (const auto estimator : {cost::EstimatorKind::kUtilization,
+                               cost::EstimatorKind::kObservable}) {
+    base.estimator = estimator;
+    const auto run_avg = [&](sim::RoutingMode mode, double tl, double ts) {
+      return bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
+        auto c = base;
+        c.seed = seed;
+        c.mode = mode;
+        c.tl = tl;
+        c.ts = ts;
+        return sim::run_simulation(setup.topo, setup.flows, c);
+      });
+    };
+
+    const auto mp_tl10 = run_avg(sim::RoutingMode::kMultipath, 10, 2);
+    const auto mp_tl20 = run_avg(sim::RoutingMode::kMultipath, 20, 2);
+    const auto sp_tl10 = run_avg(sim::RoutingMode::kSinglePath, 10, 10);
+    const auto sp_tl20 = run_avg(sim::RoutingMode::kSinglePath, 20, 20);
+
+    sim::DelayTable table(sim::flow_labels(setup.flows));
+    table.add_series("MP-TL-10-TS-2", mp_tl10);
+    table.add_series("MP-TL-20-TS-2", mp_tl20);
+    table.add_series("SP-TL-10", sp_tl10);
+    table.add_series("SP-TL-20", sp_tl20);
+    const std::string which = estimator == cost::EstimatorKind::kUtilization
+                                  ? "utilization estimator"
+                                  : "delay-based estimator";
+    table.print(std::cout, "Figure 13: effect of Tl in CAIRN (" + which + ")");
+
+    bench::print_ratio_summary("MP TL-20 vs TL-10", mp_tl20, mp_tl10);
+    bench::print_ratio_summary("SP TL-20 vs TL-10", sp_tl20, sp_tl10);
+    std::cout << "\n";
+  }
+  return 0;
+}

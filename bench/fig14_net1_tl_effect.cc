@@ -1,0 +1,52 @@
+// Figure 14: "Effect of increasing Tl in NET1."
+//
+// As Figure 13, on NET1: doubling Tl leaves MP's delays essentially
+// unchanged while SP's grow — with the delay-based estimator variant the
+// paper's "more than doubled" magnitude appears. Series are 3-replication
+// means over a 240s horizon.
+#include <iostream>
+
+#include "figure_common.h"
+
+int main() {
+  using namespace mdr;
+  const auto setup = bench::net1_setup();
+  auto base = bench::measurement_config();
+  base.warmup = 20;
+  base.duration = 240;
+
+  for (const auto estimator : {cost::EstimatorKind::kUtilization,
+                               cost::EstimatorKind::kObservable}) {
+    base.estimator = estimator;
+    const auto run_avg = [&](sim::RoutingMode mode, double tl, double ts) {
+      return bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
+        auto c = base;
+        c.seed = seed;
+        c.mode = mode;
+        c.tl = tl;
+        c.ts = ts;
+        return sim::run_simulation(setup.topo, setup.flows, c);
+      });
+    };
+
+    const auto mp_tl10 = run_avg(sim::RoutingMode::kMultipath, 10, 2);
+    const auto mp_tl20 = run_avg(sim::RoutingMode::kMultipath, 20, 2);
+    const auto sp_tl10 = run_avg(sim::RoutingMode::kSinglePath, 10, 10);
+    const auto sp_tl20 = run_avg(sim::RoutingMode::kSinglePath, 20, 20);
+
+    sim::DelayTable table(sim::flow_labels(setup.flows));
+    table.add_series("MP-TL-10-TS-2", mp_tl10);
+    table.add_series("MP-TL-20-TS-2", mp_tl20);
+    table.add_series("SP-TL-10", sp_tl10);
+    table.add_series("SP-TL-20", sp_tl20);
+    const std::string which = estimator == cost::EstimatorKind::kUtilization
+                                  ? "utilization estimator"
+                                  : "delay-based estimator";
+    table.print(std::cout, "Figure 14: effect of Tl in NET1 (" + which + ")");
+
+    bench::print_ratio_summary("MP TL-20 vs TL-10", mp_tl20, mp_tl10);
+    bench::print_ratio_summary("SP TL-20 vs TL-10", sp_tl20, sp_tl10);
+    std::cout << "\n";
+  }
+  return 0;
+}

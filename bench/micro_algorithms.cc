@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the core algorithmic kernels:
+// Dijkstra, the MTU merge, the allocation heuristics, the LSU codec, the
+// flow-plane conservation solve, one Gallager iteration, and the
+// discrete-event queue. These bound the per-event cost of a router and the
+// per-iteration cost of the baselines.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/allocation.h"
+#include "flow/evaluate.h"
+#include "gallager/optimizer.h"
+#include "graph/dijkstra.h"
+#include "proto/lsu.h"
+#include "proto/pda.h"
+#include "sim/event_queue.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mdr;
+using graph::Cost;
+using graph::NodeId;
+
+std::vector<graph::CostedEdge> random_edges(const graph::Topology& topo,
+                                            Rng& rng) {
+  std::vector<graph::CostedEdge> edges;
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    edges.push_back(graph::CostedEdge{topo.link(id).from, topo.link(id).to,
+                                      rng.uniform(0.5, 3.0)});
+  }
+  return edges;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto topo = topo::make_random(n, 0.2, rng);
+  const auto edges = random_edges(topo, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::dijkstra(n, edges, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dijkstra)->Arg(10)->Arg(26)->Arg(64)->Arg(128)->Complexity();
+
+void BM_MtuMerge(benchmark::State& state) {
+  // One MTU call on a CAIRN-degree router with populated neighbor tables.
+  Rng rng(2);
+  const auto topo = topo::make_cairn();
+  const auto edges = random_edges(topo, rng);
+  // Build neighbor trees once: each neighbor's SPT over the full topology.
+  proto::RouterTables tables(0, topo.num_nodes());
+  for (const NodeId k : topo.neighbors(0)) {
+    tables.link_up(k, 1.0);
+    const auto spt = graph::dijkstra(topo.num_nodes(), edges, k);
+    const auto tree = graph::tree_edges(spt, edges);
+    std::vector<proto::LsuEntry> entries;
+    for (const auto& e : tree) {
+      entries.push_back(
+          proto::LsuEntry{e.from, e.to, e.cost, proto::LsuOp::kAddOrChange});
+    }
+    tables.apply_lsu(k, entries);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tables.mtu());
+  }
+}
+BENCHMARK(BM_MtuMerge);
+
+void BM_InitialAllocation(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<core::SuccessorMetric> metrics;
+  for (int i = 0; i < state.range(0); ++i) {
+    metrics.push_back(core::SuccessorMetric{i, rng.uniform(0.5, 3.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::initial_allocation(metrics));
+  }
+}
+BENCHMARK(BM_InitialAllocation)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AdjustAllocation(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<core::SuccessorMetric> metrics;
+  for (int i = 0; i < state.range(0); ++i) {
+    metrics.push_back(core::SuccessorMetric{i, rng.uniform(0.5, 3.0)});
+  }
+  auto phi = core::initial_allocation(metrics);
+  for (auto _ : state) {
+    auto copy = phi;
+    core::adjust_allocation(metrics, copy, 0.5);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_AdjustAllocation)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LsuEncodeDecode(benchmark::State& state) {
+  Rng rng(5);
+  proto::LsuMessage msg;
+  msg.sender = 3;
+  for (int i = 0; i < state.range(0); ++i) {
+    msg.entries.push_back(proto::LsuEntry{
+        rng.uniform_int(0, 25), rng.uniform_int(0, 25), rng.uniform(0.1, 5.0),
+        proto::LsuOp::kAddOrChange});
+  }
+  for (auto _ : state) {
+    const auto wire = proto::encode(msg);
+    benchmark::DoNotOptimize(proto::decode(wire));
+  }
+}
+BENCHMARK(BM_LsuEncodeDecode)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ComputeFlows(benchmark::State& state) {
+  const auto topo = topo::make_cairn();
+  const flow::FlowNetwork net(topo, 8e3);
+  const auto traffic = topo::to_traffic_matrix(topo, topo::cairn_flows());
+  const auto phi = gallager::shortest_path_phi(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::compute_flows(net, traffic, phi));
+  }
+}
+BENCHMARK(BM_ComputeFlows);
+
+void BM_GallagerIteration(benchmark::State& state) {
+  const auto topo = topo::make_cairn();
+  const flow::FlowNetwork net(topo, 8e3);
+  const auto traffic = topo::to_traffic_matrix(topo, topo::cairn_flows());
+  gallager::Options options;
+  options.max_iterations = 1;
+  options.patience = 1000;  // never triggers within one iteration
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gallager::minimize(net, traffic, options));
+  }
+}
+BENCHMARK(BM_GallagerIteration);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    while (q.run_next()) {
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_EventQueue);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Dynamic traffic: bursty on/off sources on NET1.
+//
+// The paper's motivation for the two-timescale split is that "a network
+// cannot be responsive to short-term traffic bursts if only long-term
+// updates are performed". This example drives NET1 with exponential on/off
+// sources (bursts at ~2x the average rate) and shows how MP's Ts-period
+// local load balancing absorbs what SP cannot: the gap between MP and SP
+// widens compared to smooth Poisson traffic at the same average load.
+//
+//   $ ./examples/dynamic_traffic
+#include <cstdio>
+
+#include "sim/network_sim.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+
+using namespace mdr;
+
+namespace {
+
+struct Outcome {
+  double mp_ms;
+  double sp_ms;
+};
+
+Outcome measure(const graph::Topology& topo,
+                const std::vector<topo::FlowSpec>& flows, bool bursty) {
+  sim::SimConfig config;
+  config.duration = 120.0;
+  config.warmup = 15.0;
+  config.bursty = bursty;
+  config.burstiness = {/*mean_on_s=*/5.0, /*mean_off_s=*/5.0};
+
+  config.mode = sim::RoutingMode::kMultipath;
+  config.tl = 10;
+  config.ts = 2;
+  const auto mp = sim::run_simulation(topo, flows, config);
+
+  config.mode = sim::RoutingMode::kSinglePath;
+  config.ts = 10;
+  const auto sp = sim::run_simulation(topo, flows, config);
+  return {mp.avg_delay_s * 1e3, sp.avg_delay_s * 1e3};
+}
+
+}  // namespace
+
+int main() {
+  const auto topo = topo::make_net1();
+  const auto flows = topo::net1_flows(0.7);  // moderate *average* load
+
+  const auto smooth = measure(topo, flows, /*bursty=*/false);
+  const auto bursty = measure(topo, flows, /*bursty=*/true);
+
+  std::puts("NET1, same average load, smooth vs bursty arrivals:");
+  std::printf("  %-22s %10s %10s %8s\n", "traffic", "MP (ms)", "SP (ms)", "SP/MP");
+  std::printf("  %-22s %10.3f %10.3f %7.2fx\n", "Poisson (smooth)",
+              smooth.mp_ms, smooth.sp_ms, smooth.sp_ms / smooth.mp_ms);
+  std::printf("  %-22s %10.3f %10.3f %7.2fx\n", "on/off bursts (2x peak)",
+              bursty.mp_ms, bursty.sp_ms, bursty.sp_ms / bursty.mp_ms);
+
+  std::puts("\nMP rides out bursts with Ts-period local reallocation;");
+  std::puts("SP must wait for the next long-term routing update.");
+  return 0;
+}

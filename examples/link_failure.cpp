@@ -1,0 +1,60 @@
+// Link failure and recovery: instantaneous loop-freedom under churn.
+//
+// The paper argues that "in the presence of link failures, MP can only
+// perform better than SP, because of availability of alternate paths", and
+// MPDA's safety property (Theorem 3) guarantees the multipath successor
+// graph never loops even while routers disagree about the topology.
+//
+// This example kills a CAIRN backbone link mid-run, shows traffic
+// rerouting within a long-term update period, restores the link, and
+// reports packet loss and the TTL-drop counter (which would be nonzero if
+// transient loops had trapped packets).
+//
+//   $ ./examples/link_failure
+#include <cstdio>
+
+#include "sim/network_sim.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+
+using namespace mdr;
+
+int main() {
+  const auto topo = topo::make_cairn();
+  const auto flows = topo::cairn_flows(1.0);
+
+  sim::SimConfig config;
+  config.mode = sim::RoutingMode::kMultipath;
+  config.tl = 10;
+  config.ts = 2;
+  config.duration = 90.0;
+  config.warmup = 10.0;
+  // Cut the sri<->isi backbone trunk a third into the measured period,
+  // restore it two-thirds in.
+  const double t_fail = config.traffic_start + config.warmup + 30.0;
+  const double t_heal = t_fail + 30.0;
+  config.link_toggles.push_back({t_fail, "sri", "isi", /*up=*/false});
+  config.link_toggles.push_back({t_heal, "sri", "isi", /*up=*/true});
+
+  const auto result = sim::run_simulation(topo, flows, config);
+
+  std::printf("CAIRN with sri<->isi failing at t=%.0fs, healing at t=%.0fs\n\n",
+              t_fail, t_heal);
+  std::puts("per-flow delivery and mean delay:");
+  for (const auto& f : result.flows) {
+    std::printf("  %-18s %8llu pkts  %7.3f ms\n",
+                (f.src + "->" + f.dst).c_str(),
+                static_cast<unsigned long long>(f.delivered),
+                f.mean_delay_s * 1e3);
+  }
+  std::printf("\nlost to the failed link/in flight: %llu packets\n",
+              static_cast<unsigned long long>(result.dropped_queue));
+  std::printf("dropped for lack of a route:        %llu packets\n",
+              static_cast<unsigned long long>(result.dropped_no_route));
+  std::printf("dropped by TTL (loops would show here): %llu packets\n",
+              static_cast<unsigned long long>(result.dropped_ttl));
+  std::printf("control traffic: %llu LSUs (%.1f kB)\n",
+              static_cast<unsigned long long>(result.control_messages),
+              result.control_bits / 8e3);
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mdr::core {
+
+std::vector<double> initial_allocation(
+    std::span<const SuccessorMetric> metrics) {
+  std::vector<double> phi(metrics.size(), 0.0);
+  if (metrics.empty()) return phi;
+  if (metrics.size() == 1) {
+    phi[0] = 1.0;
+    return phi;
+  }
+  double sum = 0;
+  for (const auto& m : metrics) {
+    assert(std::isfinite(m.distance) && m.distance > 0);
+    sum += m.distance;
+  }
+  const double denom = static_cast<double>(metrics.size()) - 1.0;
+  for (std::size_t x = 0; x < metrics.size(); ++x) {
+    phi[x] = (1.0 - metrics[x].distance / sum) / denom;
+  }
+  return phi;
+}
+
+void adjust_allocation(std::span<const SuccessorMetric> metrics,
+                       std::span<double> phi, double damping) {
+  assert(metrics.size() == phi.size());
+  assert(damping > 0 && damping <= 1.0);
+  if (metrics.size() < 2) return;
+
+  // Fig. 7 steps 1-2: the best successor k0.
+  std::size_t k0 = 0;
+  for (std::size_t x = 1; x < metrics.size(); ++x) {
+    if (metrics[x].distance < metrics[k0].distance) k0 = x;
+  }
+  const double dmin = metrics[k0].distance;
+
+  // Fig. 7 steps 3-4: a_k and the largest proportional shift that keeps
+  // every phi non-negative (delta is capped by the successor that would hit
+  // zero first; only successors that actually carry traffic constrain it).
+  double delta = std::numeric_limits<double>::infinity();
+  for (std::size_t x = 0; x < metrics.size(); ++x) {
+    const double a = metrics[x].distance - dmin;
+    if (x == k0 || a <= 0 || phi[x] <= 0) continue;
+    delta = std::min(delta, phi[x] / a);
+  }
+  if (!std::isfinite(delta)) return;  // perfectly balanced already
+  delta *= damping;
+
+  // Fig. 7 steps 5-6: drain proportionally, pile onto the best successor.
+  double moved = 0;
+  for (std::size_t x = 0; x < metrics.size(); ++x) {
+    const double a = metrics[x].distance - dmin;
+    if (x == k0 || a <= 0 || phi[x] <= 0) continue;
+    const double take = std::min(phi[x], delta * a);
+    phi[x] -= take;
+    if (phi[x] < 1e-15) {
+      moved += phi[x] + take;
+      phi[x] = 0.0;
+    } else {
+      moved += take;
+    }
+  }
+  phi[k0] += moved;
+}
+
+std::vector<double> best_successor_allocation(
+    std::span<const SuccessorMetric> metrics) {
+  std::vector<double> phi(metrics.size(), 0.0);
+  if (metrics.empty()) return phi;
+  std::size_t best = 0;
+  for (std::size_t x = 1; x < metrics.size(); ++x) {
+    if (metrics[x].distance < metrics[best].distance ||
+        (metrics[x].distance == metrics[best].distance &&
+         metrics[x].neighbor < metrics[best].neighbor)) {
+      best = x;
+    }
+  }
+  phi[best] = 1.0;
+  return phi;
+}
+
+}  // namespace mdr::core

@@ -1,0 +1,55 @@
+// Traffic allocation heuristics over a successor set (paper Section 4.2,
+// Figs. 6-7).
+//
+// IH ("initial heuristic") distributes traffic over a freshly computed
+// successor set purely from the marginal distances through each successor:
+//
+//     phi_k = (1 - d_k / sum_m d_m) / (|S| - 1)          (|S| > 1)
+//
+// so a successor with a larger marginal distance receives a smaller share.
+//
+// AH ("adjustment heuristic") runs every Ts seconds between routing-path
+// updates and incrementally moves traffic from successors with large
+// marginal delay to the best successor, proportionally to how much worse
+// each link is:
+//
+//     a_k   = d_k - min_m d_m
+//     delta = min { phi_k / a_k : k in S, a_k != 0, phi_k > 0 }
+//     phi_k   -= delta * a_k          (k != k0)
+//     phi_k0  += sum of removed mass
+//
+// Both preserve Property 1 (non-negative, sum to one) at every instant.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/topology.h"
+
+namespace mdr::core {
+
+/// One successor with its marginal distance d_k = D_jk + l_k, where D_jk is
+/// the (long-term) distance through neighbor k and l_k the *short-term*
+/// measured cost of the adjacent link.
+struct SuccessorMetric {
+  graph::NodeId neighbor = graph::kInvalidNode;
+  double distance = 0;  ///< must be finite and > 0
+};
+
+/// IH (Fig. 6). Returns phi aligned with `metrics`; empty input yields {}.
+std::vector<double> initial_allocation(std::span<const SuccessorMetric> metrics);
+
+/// AH (Fig. 7). Adjusts `phi` (aligned with `metrics`) in place.
+///
+/// `damping` scales the paper's full shift (1.0 reproduces Fig. 7; smaller
+/// values move proportionally less per invocation — an ablation knob).
+void adjust_allocation(std::span<const SuccessorMetric> metrics,
+                       std::span<double> phi, double damping = 1.0);
+
+/// Single-path allocation: everything on the successor with the least
+/// marginal distance (ties to the lower neighbor id). Used by the SP
+/// baseline, which the paper realizes exactly this way.
+std::vector<double> best_successor_allocation(
+    std::span<const SuccessorMetric> metrics);
+
+}  // namespace mdr::core

@@ -1,0 +1,75 @@
+#include "core/inspect.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mdr::core {
+
+using graph::NodeId;
+
+namespace {
+
+std::string fmt_cost(graph::Cost c) {
+  if (c == graph::kInfCost) return "inf";
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3) << c * 1e3 << "ms";
+  return out.str();
+}
+
+}  // namespace
+
+void dump_router_state(std::ostream& os, const MpRouter& router,
+                       const graph::Topology& topo) {
+  const auto& mpda = router.mpda();
+  const NodeId self = router.self();
+  os << "router " << topo.name(self) << " ("
+     << (mpda.passive() ? "PASSIVE" : "ACTIVE") << ", "
+     << mpda.acks_pending() << " acks pending)\n";
+  os << "  " << std::left << std::setw(12) << "dest" << std::setw(12) << "D"
+     << std::setw(12) << "FD"
+     << "successors (D_jk, phi)\n";
+  for (NodeId j = 0; j < static_cast<NodeId>(topo.num_nodes()); ++j) {
+    if (j == self) continue;
+    os << "  " << std::left << std::setw(12) << topo.name(j) << std::setw(12)
+       << fmt_cost(mpda.distance(j)) << std::setw(12)
+       << fmt_cost(mpda.feasible_distance(j));
+    const auto entry = router.forwarding(j);
+    if (entry.empty()) {
+      os << "(no route)";
+    } else {
+      for (const auto& choice : entry) {
+        os << topo.name(choice.neighbor) << "("
+           << fmt_cost(mpda.distance_via(j, choice.neighbor)) << ", "
+           << std::setprecision(2) << choice.weight << ") ";
+      }
+    }
+    os << "\n";
+  }
+}
+
+void successor_graph_dot(std::ostream& os, const graph::Topology& topo,
+                         std::span<const MpRouter* const> routers,
+                         NodeId dest) {
+  os << "digraph SG_" << topo.name(dest) << " {\n";
+  os << "  rankdir=LR;\n";
+  os << "  label=\"successor graph toward " << topo.name(dest) << "\";\n";
+  for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+    const auto& mpda = routers[i]->mpda();
+    os << "  \"" << topo.name(i) << "\" [label=\"" << topo.name(i) << "\\nFD "
+       << fmt_cost(i == dest ? 0.0 : mpda.feasible_distance(dest)) << "\""
+       << (i == dest ? ", shape=doublecircle" : "") << "];\n";
+  }
+  for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+    if (i == dest) continue;
+    for (const auto& choice : routers[i]->forwarding(dest)) {
+      os << "  \"" << topo.name(i) << "\" -> \"" << topo.name(choice.neighbor)
+         << "\" [label=\"" << std::fixed << std::setprecision(2)
+         << choice.weight << "\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace mdr::core

@@ -1,0 +1,33 @@
+// Diagnostics: human-readable and Graphviz views of routing state.
+//
+// An operator debugging a multipath deployment needs to see, per router,
+// the distances/feasible distances/successor sets MPDA derived, and, per
+// destination, the global successor DAG (the paper's routing graph SG_j).
+// These helpers render both; the DOT output drops straight into graphviz:
+//
+//   ./examples/routing_tables | dot -Tsvg > sg.svg
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/mp_router.h"
+#include "core/mpda.h"
+#include "graph/topology.h"
+
+namespace mdr::core {
+
+/// Per-destination routing table of one router: D, FD, successor set and
+/// the current phi split. Node names taken from `topo`.
+void dump_router_state(std::ostream& os, const MpRouter& router,
+                       const graph::Topology& topo);
+
+/// The global successor graph SG_dest as a Graphviz digraph: solid edges are
+/// successor relations labeled with phi where the router carries weights;
+/// every node is annotated with its feasible distance.
+void successor_graph_dot(std::ostream& os, const graph::Topology& topo,
+                         std::span<const MpRouter* const> routers,
+                         graph::NodeId dest);
+
+}  // namespace mdr::core

@@ -1,0 +1,49 @@
+// The Loop-Free Invariant conditions (paper Section 3).
+//
+//   FD_j(i) <= D_j(i) as recorded at every neighbor k        (Eq. 16)
+//   S_j(i)  = { k : D_j(k)|reported-to-i < FD_j(i) }         (Eq. 17)
+//
+// Theorem 1: any algorithm maintaining these renders the routing graph
+// SG_j loop-free at every instant. This header provides a checker used by
+// tests and by debug assertions: given a snapshot of every router's feasible
+// distances and successor sets, verify the global invariant that the proof
+// actually rests on — FD strictly decreases along successor edges — plus
+// acyclicity of the induced graph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/dag.h"
+#include "graph/topology.h"
+
+namespace mdr::core {
+
+struct LfiSnapshot {
+  /// feasible_distance[i] = FD_i(j) for the destination under test.
+  std::vector<graph::Cost> feasible_distance;
+  /// successors[i] = S_i(j).
+  graph::SuccessorSets successors;
+};
+
+/// True iff FD_k(j) < FD_i(j) for every successor edge i -> k (the ordering
+/// Theorem 1 derives, which immediately implies loop-freedom).
+inline bool feasible_distances_decrease(const LfiSnapshot& snapshot) {
+  for (std::size_t i = 0; i < snapshot.successors.size(); ++i) {
+    for (const graph::NodeId k : snapshot.successors[i]) {
+      if (!(snapshot.feasible_distance[k] < snapshot.feasible_distance[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// True iff the successor graph is acyclic (the loop-freedom property
+/// itself). Checked independently of the FD ordering so tests can detect a
+/// broken implementation that is accidentally loop-free.
+inline bool successor_graph_loop_free(const LfiSnapshot& snapshot) {
+  return graph::is_acyclic(snapshot.successors);
+}
+
+}  // namespace mdr::core

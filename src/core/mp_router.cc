@@ -1,0 +1,146 @@
+#include "core/mp_router.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mdr::core {
+
+using graph::Cost;
+using graph::NodeId;
+
+MpRouter::MpRouter(NodeId self, std::size_t num_nodes, proto::LsuSink& sink,
+                   MpRouterOptions options)
+    : mpda_(self, num_nodes, sink),
+      options_(options),
+      table_(num_nodes),
+      allocated_version_(num_nodes, 0),
+      wrr_credits_(num_nodes) {}
+
+void MpRouter::on_link_up(NodeId k, Cost long_term_cost) {
+  mpda_.on_link_up(k, long_term_cost);
+  refresh_changed_destinations();
+}
+
+void MpRouter::on_link_down(NodeId k) {
+  short_costs_.erase(k);
+  mpda_.on_link_down(k);
+  refresh_changed_destinations();
+}
+
+void MpRouter::on_long_term_cost(NodeId k, Cost cost) {
+  mpda_.on_link_cost_change(k, cost);
+  refresh_changed_destinations();
+}
+
+void MpRouter::on_lsu(const proto::LsuMessage& msg) {
+  mpda_.on_lsu(msg);
+  refresh_changed_destinations();
+}
+
+void MpRouter::update_short_term_costs(
+    const std::map<NodeId, double>& costs) {
+  for (const auto& [k, cost] : costs) {
+    assert(cost > 0 && std::isfinite(cost));
+    short_costs_[k] = cost;
+  }
+  const auto n = static_cast<NodeId>(table_.size());
+  for (NodeId dest = 0; dest < n; ++dest) {
+    if (dest == self()) continue;
+    refresh(dest, /*allow_adjust=*/true);
+  }
+}
+
+double MpRouter::short_cost(NodeId k) const {
+  const auto it = short_costs_.find(k);
+  if (it != short_costs_.end()) return it->second;
+  // No Ts measurement yet: fall back to the advertised long-term cost.
+  return mpda_.tables().link_cost(k);
+}
+
+void MpRouter::refresh(NodeId dest, bool allow_adjust) {
+  const auto& succ = mpda_.successors(dest);
+  const auto version = mpda_.successor_version(dest);
+  auto& entry = table_[dest];
+
+  if (succ.empty()) {
+    entry.clear();
+    allocated_version_[dest] = version;
+    return;
+  }
+
+  std::vector<SuccessorMetric> metrics;
+  metrics.reserve(succ.size());
+  for (const NodeId k : succ) {
+    const double d = mpda_.distance_via(dest, k) + short_cost(k);
+    assert(std::isfinite(d) && d > 0);
+    metrics.push_back(SuccessorMetric{k, d});
+  }
+
+  std::vector<double> phi;
+  if (options_.single_path) {
+    phi = best_successor_allocation(metrics);
+  } else if (version != allocated_version_[dest] ||
+             entry.size() != succ.size()) {
+    // New successor set (long-term route change): fresh distribution (IH).
+    phi = initial_allocation(metrics);
+  } else if (allow_adjust) {
+    // Ts tick with an unchanged successor set: incremental shift (AH).
+    phi.reserve(entry.size());
+    for (const auto& choice : entry) phi.push_back(choice.weight);
+    adjust_allocation(metrics, phi, options_.ah_damping);
+  } else {
+    // Protocol event that did not change S: keep the current phi.
+    allocated_version_[dest] = version;
+    return;
+  }
+
+  entry.resize(succ.size());
+  for (std::size_t x = 0; x < succ.size(); ++x) {
+    entry[x] = ForwardingChoice{succ[x], phi[x]};
+  }
+  allocated_version_[dest] = version;
+}
+
+void MpRouter::refresh_changed_destinations() {
+  const auto n = static_cast<NodeId>(table_.size());
+  for (NodeId dest = 0; dest < n; ++dest) {
+    if (dest == self()) continue;
+    if (mpda_.successor_version(dest) != allocated_version_[dest]) {
+      refresh(dest, /*allow_adjust=*/false);
+    }
+  }
+}
+
+NodeId MpRouter::pick_next_hop_wrr(NodeId dest) {
+  const auto& entry = table_[dest];
+  if (entry.empty()) return graph::kInvalidNode;
+  if (entry.size() == 1) return entry[0].neighbor;
+  auto& credits = wrr_credits_[dest];
+  if (credits.size() != entry.size()) credits.assign(entry.size(), 0.0);
+  // Smooth WRR: everyone accrues its weight, the richest forwards and pays
+  // one unit. Long-run shares converge to the weights with O(1) deviation.
+  std::size_t best = 0;
+  for (std::size_t x = 0; x < entry.size(); ++x) {
+    credits[x] += entry[x].weight;
+    if (credits[x] > credits[best]) best = x;
+  }
+  credits[best] -= 1.0;
+  return entry[best].neighbor;
+}
+
+NodeId MpRouter::pick_next_hop(NodeId dest, Rng& rng) const {
+  const auto& entry = table_[dest];
+  if (entry.empty()) return graph::kInvalidNode;
+  if (entry.size() == 1) return entry[0].neighbor;
+  double total = 0;
+  for (const auto& choice : entry) total += choice.weight;
+  if (total <= 0) return entry[0].neighbor;
+  double x = rng.uniform() * total;
+  for (const auto& choice : entry) {
+    x -= choice.weight;
+    if (x < 0) return choice.neighbor;
+  }
+  return entry.back().neighbor;
+}
+
+}  // namespace mdr::core

@@ -1,0 +1,170 @@
+#include "core/mpda.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mdr::core {
+
+using graph::Cost;
+using graph::NodeId;
+using proto::LsuMessage;
+
+MpdaProcess::MpdaProcess(NodeId self, std::size_t num_nodes,
+                         proto::LsuSink& sink)
+    : tables_(self, num_nodes),
+      sink_(&sink),
+      fd_(num_nodes, graph::kInfCost),
+      successors_(num_nodes),
+      successor_versions_(num_nodes, 0) {
+  fd_[self] = 0;
+}
+
+std::size_t MpdaProcess::acks_pending() const {
+  std::size_t total = 0;
+  for (const auto& [k, msgs] : unacked_) total += msgs.size();
+  return total;
+}
+
+void MpdaProcess::retransmit_unacked() {
+  for (const auto& [k, msgs] : unacked_) {
+    if (!tables_.is_neighbor(k)) continue;
+    for (const auto& [seq, msg] : msgs) {
+      LsuMessage copy = msg;
+      copy.ack = false;  // a stale piggybacked ack must not be replayed
+      copy.ack_seq = 0;
+      send(k, copy);
+    }
+  }
+}
+
+void MpdaProcess::send(NodeId k, const LsuMessage& msg) {
+  sink_->send(k, msg);
+  ++messages_sent_;
+}
+
+void MpdaProcess::on_link_up(NodeId k, Cost cost) {
+  tables_.link_up(k, cost);
+  full_sync_.insert(k);  // Fig. 2 step 2: owe k the full topology table
+  after_ntu({});
+  // If the flood above did not run (no change to T), the new neighbor still
+  // needs the full topology; send it directly. The per-sequence ack window
+  // keeps this safe alongside an outstanding flood.
+  if (full_sync_.contains(k) && !tables_.main_topology().empty()) {
+    full_sync_.erase(k);
+    LsuMessage msg{self(), /*ack=*/false,
+                   tables_.main_topology().as_entries()};
+    msg.seq = next_seq_++;
+    unacked_[k][msg.seq] = msg;
+    send(k, msg);
+    mode_ = Mode::kActive;
+  }
+}
+
+void MpdaProcess::on_link_down(NodeId k) {
+  tables_.link_down(k);
+  // Paper: "When a router detects that an adjacent link failed, any pending
+  // ACKs from the neighbor at the other end of the link are treated as
+  // received."
+  unacked_.erase(k);
+  last_seen_seq_.erase(k);
+  full_sync_.erase(k);
+  after_ntu({});
+}
+
+void MpdaProcess::on_link_cost_change(NodeId k, Cost cost) {
+  tables_.link_cost_change(k, cost);
+  after_ntu({});
+}
+
+void MpdaProcess::on_lsu(const LsuMessage& msg) {
+  if (!tables_.is_neighbor(msg.sender)) return;  // raced with a link_down
+  NtuOutcome outcome;
+  if (msg.ack) {
+    const auto it = unacked_.find(msg.sender);
+    if (it != unacked_.end()) {
+      it->second.erase(msg.ack_seq);
+      if (it->second.empty()) unacked_.erase(it);
+    }
+  }
+  if (!msg.entries.empty()) {
+    auto& last_seen = last_seen_seq_[msg.sender];
+    if (msg.seq == 0 || msg.seq > last_seen) {
+      // Fresh LSU: apply. (A retransmitted duplicate is skipped but still
+      // acknowledged below — its previous ack evidently went missing.)
+      last_seen = std::max(last_seen, msg.seq);
+      tables_.apply_lsu(msg.sender, msg.entries);
+    }
+    outcome.ack_to = msg.sender;  // Fig. 4 steps 7-8: must acknowledge
+    outcome.ack_seq = msg.seq;
+  }
+  after_ntu(outcome);
+}
+
+void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
+  std::vector<proto::LsuEntry> changes;
+  if (mode_ == Mode::kPassive) {
+    // Fig. 4 step 2: update T and lower the feasible distances.
+    changes = tables_.mtu();
+    for (std::size_t j = 0; j < fd_.size(); ++j) {
+      fd_[j] = std::min(fd_[j], tables_.distance(static_cast<NodeId>(j)));
+    }
+  } else if (unacked_.empty()) {
+    // Fig. 4 step 3: the last ACK arrived (or the last blocking neighbor
+    // failed). D before the deferred MTU is what every neighbor has
+    // acknowledged; FD may rise to min(pre, post).
+    std::vector<Cost> temp(fd_.size());
+    for (std::size_t j = 0; j < temp.size(); ++j) {
+      temp[j] = tables_.distance(static_cast<NodeId>(j));
+    }
+    mode_ = Mode::kPassive;
+    changes = tables_.mtu();
+    for (std::size_t j = 0; j < fd_.size(); ++j) {
+      fd_[j] = std::min(temp[j], tables_.distance(static_cast<NodeId>(j)));
+    }
+  }
+  // While ACTIVE with outstanding ACKs: NTU already refreshed T_k and D_jk;
+  // T, D and FD stay frozen (the deferred update).
+
+  recompute_successors();  // Fig. 4 step 4
+
+  if (!changes.empty()) {
+    // Fig. 4 steps 5-6: flood the diff, await everyone's ACK.
+    mode_ = Mode::kActive;
+    for (const NodeId k : tables_.neighbors()) {
+      // A just-attached neighbor gets the whole table, not the diff.
+      LsuMessage msg{self(), k == outcome.ack_to,
+                     full_sync_.erase(k) > 0
+                         ? tables_.main_topology().as_entries()
+                         : changes};
+      msg.ack_seq = msg.ack ? outcome.ack_seq : 0;
+      msg.seq = next_seq_++;
+      unacked_[k][msg.seq] = msg;
+      send(k, msg);
+    }
+  } else if (outcome.ack_to != graph::kInvalidNode &&
+             tables_.is_neighbor(outcome.ack_to)) {
+    // Nothing to report but the received LSU must still be acknowledged.
+    LsuMessage msg{self(), /*ack=*/true, {}};
+    msg.ack_seq = outcome.ack_seq;
+    send(outcome.ack_to, msg);
+  }
+}
+
+void MpdaProcess::recompute_successors() {
+  const auto n = static_cast<NodeId>(fd_.size());
+  std::vector<NodeId> next;
+  for (NodeId j = 0; j < n; ++j) {
+    if (j == self()) continue;
+    next.clear();
+    for (const NodeId k : tables_.neighbors()) {
+      // Eq. 17: neighbors strictly below the feasible distance.
+      if (tables_.distance_via(j, k) < fd_[j]) next.push_back(k);
+    }
+    if (next != successors_[j]) {
+      successors_[j] = next;
+      ++successor_versions_[j];
+    }
+  }
+}
+
+}  // namespace mdr::core

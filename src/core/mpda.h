@@ -1,0 +1,119 @@
+// MPDA — the Multiple-path Partial-topology Dissemination Algorithm
+// (paper Fig. 4), the first link-state routing algorithm that provides
+// multiple paths of unequal cost to each destination that are loop-free at
+// every instant.
+//
+// MPDA runs PDA's NTU/MTU machinery but synchronizes LSU exchanges with
+// single-hop acknowledgments: a router that floods an LSU enters ACTIVE
+// state and defers further main-table updates until every neighbor has
+// acknowledged. Feasible distances FD_j bridge the inconsistency window:
+//
+//   * while PASSIVE, every MTU lowers FD_j to min(FD_j, D_j);
+//   * at an ACTIVE->PASSIVE transition, FD_j := min(D_j before the deferred
+//     MTU, D_j after) — the pre-MTU value is exactly what all neighbors have
+//     acknowledged, so FD_j never exceeds what any neighbor believes.
+//
+// Successor sets S_j = { k : D_jk < FD_j } (the LFI condition, Eq. 17) are
+// refreshed on every event and are loop-free at every instant
+// (paper Theorem 3); distances still converge to shortest paths
+// (paper Theorem 4).
+//
+// Transport model: the paper assumes a reliable, in-order neighbor
+// protocol. MPDA here additionally sequence-numbers every entries-LSU and
+// keeps a per-neighbor retransmission buffer (retransmit_unacked()), so the
+// synchronization also survives transports that can lose messages — LSUs
+// dropped during adjacency races (a neighbor that has not yet detected us
+// ignores our LSU without acking) or silent link failures are simply
+// resent; receivers filter duplicates by sequence number and re-ack.
+// proto/hello.h provides the matching adjacency/failure-detection layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/topology.h"
+#include "proto/lsu.h"
+#include "proto/pda.h"
+
+namespace mdr::core {
+
+class MpdaProcess final : public proto::RoutingProcess {
+ public:
+  enum class Mode { kPassive, kActive };
+
+  MpdaProcess(graph::NodeId self, std::size_t num_nodes, proto::LsuSink& sink);
+
+  // --- protocol events -----------------------------------------------------
+
+  void on_link_up(graph::NodeId k, graph::Cost cost) override;
+  void on_link_down(graph::NodeId k) override;
+  void on_link_cost_change(graph::NodeId k, graph::Cost cost) override;
+  void on_lsu(const proto::LsuMessage& msg) override;
+
+  // --- routing state -------------------------------------------------------
+
+  /// S_j: successor set toward `dest`, ascending neighbor ids.
+  const std::vector<graph::NodeId>& successors(graph::NodeId dest) const {
+    return successors_[dest];
+  }
+
+  /// Bumped whenever S_dest changes; lets the flow-allocation layer detect
+  /// "successor set recomputed" (paper: re-run IH) without diffing.
+  std::uint64_t successor_version(graph::NodeId dest) const {
+    return successor_versions_[dest];
+  }
+
+  graph::Cost feasible_distance(graph::NodeId dest) const { return fd_[dest]; }
+  graph::Cost distance(graph::NodeId dest) const {
+    return tables_.distance(dest);
+  }
+  graph::Cost distance_via(graph::NodeId dest, graph::NodeId k) const {
+    return tables_.distance_via(dest, k);
+  }
+
+  Mode mode() const { return mode_; }
+  bool passive() const { return mode_ == Mode::kPassive; }
+
+  /// Resends every unacknowledged entries-LSU (reliable flooding). Drive
+  /// this from a periodic timer when the transport can lose messages
+  /// (silent link failures, adjacency races); it is a no-op when nothing is
+  /// outstanding. Duplicates are detected by sequence number at the
+  /// receiver and re-acknowledged without reprocessing.
+  void retransmit_unacked();
+
+  const proto::RouterTables& tables() const { return tables_; }
+  graph::NodeId self() const { return tables_.self(); }
+
+  std::size_t messages_sent() const { return messages_sent_; }
+  std::size_t acks_pending() const;
+
+ private:
+  struct NtuOutcome {
+    graph::NodeId ack_to = graph::kInvalidNode;  // entries-LSU to acknowledge
+    std::uint32_t ack_seq = 0;                   // its sequence number
+  };
+
+  // Fig. 4 steps 2-8, shared by every event type.
+  void after_ntu(const NtuOutcome& outcome);
+  void recompute_successors();
+  void send(graph::NodeId k, const proto::LsuMessage& msg);
+
+  proto::RouterTables tables_;
+  proto::LsuSink* sink_;
+  Mode mode_ = Mode::kPassive;
+  std::uint32_t next_seq_ = 1;
+  /// Entries-LSUs sent but not yet acknowledged, per neighbor and sequence
+  /// number; the retransmission buffer of reliable flooding.
+  std::map<graph::NodeId, std::map<std::uint32_t, proto::LsuMessage>> unacked_;
+  /// Highest entries-LSU sequence number seen per neighbor (duplicate filter).
+  std::map<graph::NodeId, std::uint32_t> last_seen_seq_;
+  std::set<graph::NodeId> full_sync_;  // new neighbors owed the full topology
+  std::vector<graph::Cost> fd_;
+  std::vector<std::vector<graph::NodeId>> successors_;
+  std::vector<std::uint64_t> successor_versions_;
+  std::size_t messages_sent_ = 0;
+};
+
+}  // namespace mdr::core

@@ -1,0 +1,57 @@
+#include "cost/delay_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mdr::cost {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double LinkDelayModel::queueing_delay(double flow_bps) const {
+  assert(flow_bps >= 0);
+  if (flow_bps >= capacity_bps) return kInf;
+  return mean_packet_bits / (capacity_bps - flow_bps);
+}
+
+double LinkDelayModel::packet_delay(double flow_bps) const {
+  return queueing_delay(flow_bps) + prop_delay_s;
+}
+
+double LinkDelayModel::total_delay_rate(double flow_bps) const {
+  assert(flow_bps >= 0);
+  if (flow_bps >= capacity_bps) return kInf;
+  const double pkt_rate = flow_bps / mean_packet_bits;
+  return pkt_rate * packet_delay(flow_bps);
+}
+
+double LinkDelayModel::marginal_delay(double flow_bps) const {
+  assert(flow_bps >= 0);
+  if (flow_bps >= capacity_bps) return kInf;
+  const double slack = capacity_bps - flow_bps;
+  return mean_packet_bits * capacity_bps / (slack * slack) + prop_delay_s;
+}
+
+double LinkDelayModel::delay_curvature(double flow_bps) const {
+  assert(flow_bps >= 0);
+  if (flow_bps >= capacity_bps) return kInf;
+  const double slack = capacity_bps - flow_bps;
+  return 2.0 * mean_packet_bits * mean_packet_bits * capacity_bps /
+         (slack * slack * slack);
+}
+
+double LinkDelayModel::delay_curvature_clamped(double flow_bps,
+                                               double rho_max) const {
+  assert(rho_max > 0 && rho_max < 1);
+  return delay_curvature(std::min(flow_bps, rho_max * capacity_bps));
+}
+
+double LinkDelayModel::marginal_delay_clamped(double flow_bps,
+                                              double rho_max) const {
+  assert(rho_max > 0 && rho_max < 1);
+  return marginal_delay(std::min(flow_bps, rho_max * capacity_bps));
+}
+
+}  // namespace mdr::cost

@@ -1,0 +1,63 @@
+// Link delay model (paper Section 4.3, Eq. 24).
+//
+// The paper models each link as an M/M/1 queue: for flow f (bits/s) on a
+// link of capacity C (bits/s) and propagation delay tau,
+//
+//     D(f) = f/(C - f) + tau * f            (total delay rate, Eq. 24)
+//     D'(f) = C/(C - f)^2 + tau             (marginal delay = link cost)
+//
+// We carry the mean packet length L (bits) explicitly so the same model
+// predicts per-packet delays in the packet simulator (exponential packet
+// sizes of mean L => M/M/1 with service rate C/L pkt/s):
+//
+//     per-packet delay  w(f) = L/(C - f) + tau
+//     total delay rate  D(f) = (f/L) * w(f) = f/(C - f) + tau*f/L
+//     marginal cost     D'(f) = d D / d(pkt rate) = L*C/(C - f)^2 + tau
+//
+// With L = 1 these reduce exactly to the paper's expressions. All marginal
+// costs in the library are derivatives with respect to *packet* rate, so at
+// f = 0 the cost of a link is L/C + tau: the latency of one packet, which
+// makes zero-load shortest-marginal paths coincide with min-latency paths.
+#pragma once
+
+namespace mdr::cost {
+
+struct LinkDelayModel {
+  double capacity_bps = 10e6;     ///< C
+  double prop_delay_s = 1e-3;     ///< tau
+  double mean_packet_bits = 8e3;  ///< L
+
+  /// Expected per-packet delay (queueing + transmission + propagation) at
+  /// offered flow f bits/s. Infinite for f >= C.
+  double packet_delay(double flow_bps) const;
+
+  /// Expected queueing + transmission part only (no propagation).
+  double queueing_delay(double flow_bps) const;
+
+  /// Total delay rate D(f): packets/s in flight times mean delay (Eq. 3
+  /// summand). Infinite for f >= C.
+  double total_delay_rate(double flow_bps) const;
+
+  /// Marginal delay D'(f) with respect to packet rate; the link cost.
+  double marginal_delay(double flow_bps) const;
+
+  /// Second derivative of D with respect to packet rate: the curvature
+  /// 2 L^2 C / (C - f)^3, used by second-derivative (Bertsekas-Gallager)
+  /// scaling of the OPT gradient step. Infinite for f >= C.
+  double delay_curvature(double flow_bps) const;
+
+  /// Curvature with utilization clamped to rho_max (live feeds).
+  double delay_curvature_clamped(double flow_bps, double rho_max = 0.98) const;
+
+  /// Marginal delay with utilization clamped to rho_max.
+  ///
+  /// The paper notes Eq. (24) "becomes unstable when f approaches C"; live
+  /// cost feeds clamp so a transiently saturated link reports a very large
+  /// but finite cost instead of breaking comparisons downstream.
+  double marginal_delay_clamped(double flow_bps, double rho_max = 0.98) const;
+
+  /// Utilization f/C.
+  double utilization(double flow_bps) const { return flow_bps / capacity_bps; }
+};
+
+}  // namespace mdr::cost

@@ -1,0 +1,174 @@
+#include "cost/estimators.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cost/delay_model.h"
+
+namespace mdr::cost {
+
+// ---------------------------------------------------------------- analytic
+
+AnalyticMm1Estimator::AnalyticMm1Estimator(double capacity_bps,
+                                           double prop_delay_s,
+                                           double mean_packet_bits)
+    : capacity_bps_(capacity_bps),
+      prop_delay_s_(prop_delay_s),
+      mean_packet_bits_(mean_packet_bits) {
+  assert(capacity_bps > 0);
+  assert(mean_packet_bits > 0);
+}
+
+void AnalyticMm1Estimator::observe(const PacketObservation& obs) {
+  bits_seen_ += obs.size_bits;
+}
+
+double AnalyticMm1Estimator::estimate(double window_start, double window_end) {
+  assert(window_end > window_start);
+  const double flow = bits_seen_ / (window_end - window_start);
+  const LinkDelayModel model{capacity_bps_, prop_delay_s_, mean_packet_bits_};
+  return model.marginal_delay_clamped(flow);
+}
+
+void AnalyticMm1Estimator::reset() { bits_seen_ = 0; }
+
+// -------------------------------------------------------------- observable
+
+ObservableEstimator::ObservableEstimator(double prop_delay_s,
+                                         double fallback_service_s)
+    : prop_delay_s_(prop_delay_s), mean_service_s_(fallback_service_s) {
+  assert(fallback_service_s > 0);
+}
+
+void ObservableEstimator::observe(const PacketObservation& obs) {
+  sum_delay_ += obs.departure_time - obs.arrival_time;
+  ++packets_;
+  // Running mean of service times across windows; replaces the fallback as
+  // the zero-load cost seed once real traffic has been seen.
+  ++service_samples_;
+  mean_service_s_ +=
+      (obs.service_time - mean_service_s_) / static_cast<double>(service_samples_);
+}
+
+double ObservableEstimator::estimate(double window_start, double window_end) {
+  assert(window_end > window_start);
+  if (packets_ == 0) return mean_service_s_ + prop_delay_s_;
+  const double horizon = window_end - window_start;
+  const double wq = sum_delay_ / static_cast<double>(packets_);
+  const double lambda = static_cast<double>(packets_) / horizon;
+  return wq + lambda * wq * wq + prop_delay_s_;
+}
+
+void ObservableEstimator::reset() {
+  sum_delay_ = 0;
+  packets_ = 0;
+}
+
+// ------------------------------------------------------------- utilization
+
+UtilizationEstimator::UtilizationEstimator(double prop_delay_s,
+                                           double fallback_service_s)
+    : prop_delay_s_(prop_delay_s), mean_service_s_(fallback_service_s) {
+  assert(fallback_service_s > 0);
+}
+
+void UtilizationEstimator::observe(const PacketObservation& obs) {
+  sum_service_ += obs.service_time;
+  ++packets_;
+  ++service_samples_;
+  mean_service_s_ += (obs.service_time - mean_service_s_) /
+                     static_cast<double>(service_samples_);
+}
+
+double UtilizationEstimator::estimate(double window_start, double window_end) {
+  assert(window_end > window_start);
+  if (packets_ == 0) return mean_service_s_ + prop_delay_s_;
+  const double horizon = window_end - window_start;
+  const double rho = std::min(sum_service_ / horizon, 0.98);
+  const double slack = 1.0 - rho;
+  return mean_service_s_ / (slack * slack) + prop_delay_s_;
+}
+
+void UtilizationEstimator::reset() {
+  sum_service_ = 0;
+  packets_ = 0;
+}
+
+// --------------------------------------------------------------------- ipa
+
+IpaBusyPeriodEstimator::IpaBusyPeriodEstimator(double prop_delay_s,
+                                               double fallback_service_s)
+    : prop_delay_s_(prop_delay_s), mean_service_s_(fallback_service_s) {
+  assert(fallback_service_s > 0);
+}
+
+void IpaBusyPeriodEstimator::observe(const PacketObservation& obs) {
+  const double wait = obs.departure_time - obs.arrival_time - obs.service_time;
+  assert(wait >= -1e-12);
+  // A packet's contribution to ∫U(t)dt: it sits at full size while waiting,
+  // then drains linearly during its own transmission.
+  workload_integral_ +=
+      obs.service_time * std::max(wait, 0.0) +
+      0.5 * obs.service_time * obs.service_time;
+  if (obs.started_busy_period) {
+    busy_period_start_ = obs.arrival_time;
+    in_busy_period_ = true;
+  } else if (in_busy_period_) {
+    offset_integral_ += obs.arrival_time - busy_period_start_;
+  }
+  sum_service_ += obs.service_time;
+  ++packets_;
+  ++service_samples_;
+  mean_service_s_ +=
+      (obs.service_time - mean_service_s_) / static_cast<double>(service_samples_);
+}
+
+double IpaBusyPeriodEstimator::estimate(double window_start,
+                                        double window_end) {
+  assert(window_end > window_start);
+  if (packets_ == 0) return mean_service_s_ + prop_delay_s_;
+  const double horizon = window_end - window_start;
+  const double avg_workload = workload_integral_ / horizon;
+  const double avg_future_arrivals = offset_integral_ / horizon;  // R̄
+  const double lambda = static_cast<double>(packets_) / horizon;
+  const double rho = std::min(sum_service_ / horizon, 0.98);
+  // Virtual extra packet inserted at a uniform time: it waits out the
+  // current workload plus its own service, and inflicts one mean service
+  // time on every later arrival in the (slightly extended) busy period.
+  const double inflicted =
+      mean_service_s_ *
+      (avg_future_arrivals + lambda * mean_service_s_ / (1.0 - rho));
+  return avg_workload + mean_service_s_ + inflicted + prop_delay_s_;
+}
+
+void IpaBusyPeriodEstimator::reset() {
+  // busy_period_start_/in_busy_period_ deliberately survive the window
+  // boundary: a busy period that straddles two windows keeps contributing
+  // correct arrival offsets in the second window.
+  workload_integral_ = 0;
+  offset_integral_ = 0;
+  sum_service_ = 0;
+  packets_ = 0;
+}
+
+// ----------------------------------------------------------------- factory
+
+std::unique_ptr<MarginalDelayEstimator> make_estimator(
+    EstimatorKind kind, double capacity_bps, double prop_delay_s,
+    double mean_packet_bits) {
+  const double service = mean_packet_bits / capacity_bps;
+  switch (kind) {
+    case EstimatorKind::kAnalyticMm1:
+      return std::make_unique<AnalyticMm1Estimator>(capacity_bps, prop_delay_s,
+                                                    mean_packet_bits);
+    case EstimatorKind::kObservable:
+      return std::make_unique<ObservableEstimator>(prop_delay_s, service);
+    case EstimatorKind::kIpa:
+      return std::make_unique<IpaBusyPeriodEstimator>(prop_delay_s, service);
+    case EstimatorKind::kUtilization:
+      return std::make_unique<UtilizationEstimator>(prop_delay_s, service);
+  }
+  return nullptr;
+}
+
+}  // namespace mdr::cost

@@ -1,0 +1,158 @@
+// Online marginal-delay estimation (paper Section 4.3).
+//
+// The paper measures link costs (marginal delays) over intervals instead of
+// trusting the closed-form M/M/1 expression, "because the M/M/1 assumption
+// does not hold in practice in the presence of very bursty traffic", and
+// borrows an on-line perturbation-analysis (PA) technique from
+// Cassandras-Abidi-Towsley whose key advantage is that it needs no a-priori
+// knowledge of link capacity. We provide three interchangeable estimators
+// behind one interface (see DESIGN.md §5 for the substitution rationale):
+//
+//  * AnalyticMm1Estimator  — measures mean flow over the window and plugs it
+//    into D'(f) with known capacity. Reference / oracle.
+//  * ObservableEstimator   — capacity-free. Uses only observed per-packet
+//    delays W and packet rate lambda:  D' ≈ W_q + lambda * W_q^2 + tau,
+//    which is exact for M/M/1 (d(lambda W)/d lambda with W' = W^2).
+//  * IpaBusyPeriodEstimator — capacity-free, in the PA spirit: derives the
+//    marginal from the sample path (time-averaged workload, mean service
+//    time, and intra-busy-period arrival offsets). For one virtual extra
+//    packet inserted at a uniform time, the induced extra delay is
+//        workload(t) + s̄ + s̄ * R(t)
+//    where R(t) counts later arrivals in the same busy period; averaging the
+//    three terms over the window gives the estimate.
+//
+// Estimators consume per-packet events from the link and produce one cost at
+// the end of each measurement window.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace mdr::cost {
+
+/// Everything an estimator may observe about one transmitted packet.
+struct PacketObservation {
+  double arrival_time = 0;    ///< when the packet joined the link queue
+  double departure_time = 0;  ///< when transmission finished
+  double service_time = 0;    ///< transmission time (size / capacity)
+  double size_bits = 0;
+  bool started_busy_period = false;  ///< queue was empty on arrival
+};
+
+/// Interface for per-link marginal-delay estimators.
+///
+/// Usage per measurement window: observe() every departure, then
+/// estimate(window_start, window_end) and reset().
+class MarginalDelayEstimator {
+ public:
+  virtual ~MarginalDelayEstimator() = default;
+
+  virtual void observe(const PacketObservation& obs) = 0;
+
+  /// Marginal delay estimate for the elapsed window, in seconds per unit
+  /// packet rate. Must return a positive, finite value even for an idle
+  /// window (the zero-load cost).
+  virtual double estimate(double window_start, double window_end) = 0;
+
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Oracle estimator: D'(measured mean flow) from the analytic model.
+/// Requires the true link capacity.
+class AnalyticMm1Estimator final : public MarginalDelayEstimator {
+ public:
+  AnalyticMm1Estimator(double capacity_bps, double prop_delay_s,
+                       double mean_packet_bits);
+
+  void observe(const PacketObservation& obs) override;
+  double estimate(double window_start, double window_end) override;
+  void reset() override;
+  std::string name() const override { return "mm1"; }
+
+ private:
+  double capacity_bps_;
+  double prop_delay_s_;
+  double mean_packet_bits_;
+  double bits_seen_ = 0;
+};
+
+/// Capacity-free estimator from observed delays and rate:
+/// D' = W_q + lambda * W_q^2 + tau.
+///
+/// `fallback_service_s` seeds the zero-load cost for windows with no
+/// traffic; it should be the transmission time of a mean-size packet, which
+/// the estimator refines from observations as soon as any packet passes.
+class ObservableEstimator final : public MarginalDelayEstimator {
+ public:
+  ObservableEstimator(double prop_delay_s, double fallback_service_s);
+
+  void observe(const PacketObservation& obs) override;
+  double estimate(double window_start, double window_end) override;
+  void reset() override;
+  std::string name() const override { return "observable"; }
+
+ private:
+  double prop_delay_s_;
+  double mean_service_s_;  ///< running mean over all windows
+  std::size_t service_samples_ = 0;
+  double sum_delay_ = 0;
+  std::size_t packets_ = 0;
+};
+
+/// Capacity-free estimator from the observed utilization (busy fraction)
+/// and mean service time:
+///     rho_hat = (sum of service times) / window,   s_bar = mean service
+///     D' = s_bar / (1 - rho_hat)^2 + tau
+/// which equals the analytic M/M/1 marginal exactly when rho_hat = f/C.
+/// Because the busy fraction is a time integral it has far lower variance
+/// than delay-based estimators at high load; this is the library's default
+/// online estimator (it shares PA's key property: no a-priori capacity).
+class UtilizationEstimator final : public MarginalDelayEstimator {
+ public:
+  UtilizationEstimator(double prop_delay_s, double fallback_service_s);
+
+  void observe(const PacketObservation& obs) override;
+  double estimate(double window_start, double window_end) override;
+  void reset() override;
+  std::string name() const override { return "utilization"; }
+
+ private:
+  double prop_delay_s_;
+  double mean_service_s_;
+  std::size_t service_samples_ = 0;
+  double sum_service_ = 0;
+  std::size_t packets_ = 0;
+};
+
+/// Busy-period perturbation estimator (see file comment).
+class IpaBusyPeriodEstimator final : public MarginalDelayEstimator {
+ public:
+  IpaBusyPeriodEstimator(double prop_delay_s, double fallback_service_s);
+
+  void observe(const PacketObservation& obs) override;
+  double estimate(double window_start, double window_end) override;
+  void reset() override;
+  std::string name() const override { return "ipa"; }
+
+ private:
+  double prop_delay_s_;
+  double mean_service_s_;
+  std::size_t service_samples_ = 0;
+  double workload_integral_ = 0;  ///< ∫ U(t) dt over the window
+  double offset_integral_ = 0;    ///< Σ (arrival_i - busy period start)
+  double busy_period_start_ = 0;
+  bool in_busy_period_ = false;
+  double sum_service_ = 0;
+  std::size_t packets_ = 0;
+};
+
+enum class EstimatorKind { kAnalyticMm1, kObservable, kIpa, kUtilization };
+
+/// Factory used by the simulator's link cost feeds.
+std::unique_ptr<MarginalDelayEstimator> make_estimator(
+    EstimatorKind kind, double capacity_bps, double prop_delay_s,
+    double mean_packet_bits);
+
+}  // namespace mdr::cost

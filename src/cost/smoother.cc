@@ -1,0 +1,3 @@
+// DualTimescaleCost is header-only; this translation unit anchors the
+// library target.
+#include "cost/smoother.h"

@@ -1,0 +1,77 @@
+// Two-timescale link cost feed (paper Section 4.2).
+//
+// "link costs measured over short intervals of length Ts are used for
+// routing-parameter computation and link costs measured over longer
+// intervals of length Tl are used for routing-path computation."
+//
+// A DualTimescaleCost owns the smoothing of raw window estimates into the
+// short-term cost (consumed locally by the AH heuristic every Ts) and the
+// long-term cost (advertised in LSUs every Tl). Long-term values are only
+// flagged for reporting when they move by more than a relative threshold,
+// since "sending frequent update messages consumes bandwidth and can also
+// cause oscillations under high loads".
+#pragma once
+
+#include <cassert>
+
+#include "util/stats.h"
+
+namespace mdr::cost {
+
+class DualTimescaleCost {
+ public:
+  struct Options {
+    double short_alpha = 0.6;   ///< EWMA weight for Ts-window estimates
+    double long_alpha = 0.4;    ///< EWMA weight for Tl-window estimates
+    double report_threshold = 0.1;  ///< relative change that triggers an LSU
+  };
+
+  explicit DualTimescaleCost(double initial_cost)
+      : DualTimescaleCost(initial_cost, Options{}) {}
+
+  DualTimescaleCost(double initial_cost, Options options)
+      : options_(options),
+        short_ewma_(options.short_alpha),
+        long_ewma_(options.long_alpha),
+        last_reported_(initial_cost) {
+    assert(initial_cost > 0);
+    short_ewma_.add(initial_cost);
+    long_ewma_.add(initial_cost);
+  }
+
+  /// Folds in one Ts-window estimate; returns the new short-term cost.
+  double on_short_window(double estimate) {
+    assert(estimate > 0);
+    short_ewma_.add(estimate);
+    return short_ewma_.value();
+  }
+
+  struct LongUpdate {
+    double cost = 0;      ///< new long-term cost
+    bool report = false;  ///< true if it moved enough to advertise
+  };
+
+  /// Folds in one Tl-window estimate; flags whether to advertise.
+  LongUpdate on_long_window(double estimate) {
+    assert(estimate > 0);
+    long_ewma_.add(estimate);
+    const double cost = long_ewma_.value();
+    const double rel =
+        std::abs(cost - last_reported_) / std::max(last_reported_, 1e-12);
+    LongUpdate update{cost, rel > options_.report_threshold};
+    if (update.report) last_reported_ = cost;
+    return update;
+  }
+
+  double short_cost() const { return short_ewma_.value(); }
+  double long_cost() const { return long_ewma_.value(); }
+  double last_reported() const { return last_reported_; }
+
+ private:
+  Options options_;
+  Ewma short_ewma_;
+  Ewma long_ewma_;
+  double last_reported_;
+};
+
+}  // namespace mdr::cost

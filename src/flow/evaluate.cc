@@ -1,0 +1,199 @@
+#include "flow/evaluate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "graph/dag.h"
+
+namespace mdr::flow {
+
+using graph::NodeId;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Solves Eq. (1) for one destination in topological order; returns false if
+// the successor graph has a cycle. t[] must be pre-seeded with r_ij.
+bool propagate_in_topo_order(const graph::Topology& topo,
+                             const RoutingParameters& phi, NodeId dest,
+                             std::vector<double>& t,
+                             std::vector<double>& link_flows,
+                             double& stranded_bps) {
+  const auto succ = phi.successor_sets(dest);
+  const auto order = graph::topological_order(succ);
+  if (!order.has_value()) return false;
+  for (NodeId i : *order) {
+    if (i == dest || t[i] <= 0.0) continue;
+    const auto phis = phi.at(i, dest);
+    const auto links = topo.out_links(i);
+    double forwarded = 0.0;
+    for (std::size_t x = 0; x < links.size(); ++x) {
+      if (phis[x] <= 0.0) continue;
+      const double share = t[i] * phis[x];
+      link_flows[links[x]] += share;
+      t[topo.link(links[x]).to] += share;
+      forwarded += share;
+    }
+    if (forwarded <= 0.0) stranded_bps += t[i];  // dead end (no route)
+  }
+  return true;
+}
+
+// Damped Gauss-Seidel fallback for cyclic phi. Converges whenever the
+// spectral radius of the routing matrix is < 1 (true unless phi traps
+// traffic in a lossless loop, which we cap with an iteration limit).
+bool propagate_fixed_point(const graph::Topology& topo,
+                           const RoutingParameters& phi, NodeId dest,
+                           const TrafficMatrix& traffic,
+                           std::vector<double>& t,
+                           std::vector<double>& link_flows,
+                           double& stranded_bps) {
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  constexpr int kMaxSweeps = 10'000;
+  constexpr double kTol = 1e-7;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double max_change = 0.0;
+    for (NodeId i = 0; i < n; ++i) {
+      if (i == dest) continue;
+      double incoming = traffic.rate(i, dest);
+      for (NodeId k : topo.neighbors(i)) {
+        const auto kphis = phi.at(k, dest);
+        const auto klinks = topo.out_links(k);
+        for (std::size_t x = 0; x < klinks.size(); ++x) {
+          if (topo.link(klinks[x]).to == i) incoming += t[k] * kphis[x];
+        }
+      }
+      max_change = std::max(max_change, std::abs(incoming - t[i]));
+      t[i] = incoming;
+    }
+    if (max_change < kTol) {
+      for (NodeId i = 0; i < n; ++i) {
+        if (i == dest || t[i] <= 0.0) continue;
+        const auto phis = phi.at(i, dest);
+        const auto links = topo.out_links(i);
+        double forwarded = 0.0;
+        for (std::size_t x = 0; x < links.size(); ++x) {
+          const double share = t[i] * phis[x];
+          link_flows[links[x]] += share;
+          forwarded += share;
+        }
+        if (forwarded <= 0.0) stranded_bps += t[i];
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FlowAssignment compute_flows(const FlowNetwork& net,
+                             const TrafficMatrix& traffic,
+                             const RoutingParameters& phi) {
+  const auto& topo = net.topology();
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  assert(traffic.num_nodes() == topo.num_nodes());
+
+  FlowAssignment out;
+  out.node_traffic.assign(topo.num_nodes(), topo.num_nodes(), 0.0);
+  out.link_flows.assign(topo.num_links(), 0.0);
+
+  for (NodeId j = 0; j < n; ++j) {
+    std::vector<double> t(topo.num_nodes(), 0.0);
+    for (NodeId i = 0; i < n; ++i) t[i] = traffic.rate(i, j);
+    if (!propagate_in_topo_order(topo, phi, j, t, out.link_flows,
+                                 out.stranded_bps)) {
+      // Cyclic successor graph: re-seed and fall back to fixed point.
+      for (NodeId i = 0; i < n; ++i) t[i] = traffic.rate(i, j);
+      if (!propagate_fixed_point(topo, phi, j, traffic, t, out.link_flows,
+                                 out.stranded_bps)) {
+        out.valid = false;
+      }
+    }
+    for (NodeId i = 0; i < n; ++i) out.node_traffic(i, j) = t[i];
+  }
+  return out;
+}
+
+double total_delay_rate(const FlowNetwork& net,
+                        std::span<const double> link_flows) {
+  double total = 0.0;
+  for (std::size_t id = 0; id < link_flows.size(); ++id) {
+    const double d = net.model(static_cast<graph::LinkId>(id))
+                         .total_delay_rate(link_flows[id]);
+    if (!std::isfinite(d)) return kInf;
+    total += d;
+  }
+  return total;
+}
+
+FlatMatrix<double> commodity_delays(const FlowNetwork& net,
+                                    const RoutingParameters& phi,
+                                    std::span<const double> link_flows) {
+  const auto& topo = net.topology();
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  FlatMatrix<double> delays(topo.num_nodes(), topo.num_nodes(), kInf);
+
+  // Per-packet delay of every link at the given flows.
+  std::vector<double> w(topo.num_links());
+  for (std::size_t id = 0; id < w.size(); ++id) {
+    w[id] =
+        net.model(static_cast<graph::LinkId>(id)).packet_delay(link_flows[id]);
+  }
+
+  for (NodeId j = 0; j < n; ++j) {
+    delays(j, j) = 0.0;
+    const auto succ = phi.successor_sets(j);
+    const auto order = graph::topological_order(succ);
+    if (!order.has_value()) continue;  // cyclic: leave +inf
+    // Destination-first: traverse the topological order backwards so every
+    // T_kj is final before T_ij uses it.
+    for (auto it = order->rbegin(); it != order->rend(); ++it) {
+      const NodeId i = *it;
+      if (i == j) continue;
+      const auto phis = phi.at(i, j);
+      const auto links = topo.out_links(i);
+      double total = 0.0;
+      bool routed = false;
+      bool finite = true;
+      for (std::size_t x = 0; x < links.size(); ++x) {
+        if (phis[x] <= 0.0) continue;
+        routed = true;
+        const NodeId k = topo.link(links[x]).to;
+        const double leg = w[links[x]] + delays(k, j);
+        if (!std::isfinite(leg)) {
+          finite = false;
+          break;
+        }
+        total += phis[x] * leg;
+      }
+      if (routed && finite) delays(i, j) = total;
+    }
+  }
+  return delays;
+}
+
+double average_delay(const FlowNetwork& net, const TrafficMatrix& traffic,
+                     const RoutingParameters& phi) {
+  const auto flows = compute_flows(net, traffic, phi);
+  if (!flows.valid || flows.stranded_bps > 0.0) return kInf;
+  const auto delays = commodity_delays(net, phi, flows.link_flows);
+  const auto n = static_cast<NodeId>(net.topology().num_nodes());
+  double weighted = 0.0;
+  double total_rate = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      const double r = traffic.rate(i, j);
+      if (r <= 0.0) continue;
+      if (!std::isfinite(delays(i, j))) return kInf;
+      weighted += r * delays(i, j);
+      total_rate += r;
+    }
+  }
+  return total_rate > 0.0 ? weighted / total_rate : 0.0;
+}
+
+}  // namespace mdr::flow

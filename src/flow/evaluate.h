@@ -1,0 +1,61 @@
+// Flow-level evaluation of a routing-parameter set (paper Eqs. 1-3).
+//
+// Given the input traffic r and routing parameters phi, this module solves
+// the conservation equations
+//
+//     t_ij = r_ij + sum_k t_kj * phi_kji            (Eq. 1)
+//     f_ik = sum_j t_ij * phi_ijk                   (Eq. 2)
+//
+// and evaluates the network-wide delay rate D_T = sum D_ik(f_ik) (Eq. 3)
+// plus the per-commodity expected per-packet delays that the paper's figures
+// plot. Conservation is solved exactly in topological order when the
+// per-destination successor graphs are acyclic (the normal case: both OPT's
+// blocking and the LFI conditions guarantee it); a damped fixed-point
+// fallback covers arbitrary phi so tests can evaluate deliberately broken
+// configurations.
+#pragma once
+
+#include <vector>
+
+#include "flow/network.h"
+#include "flow/phi.h"
+#include "util/matrix.h"
+
+namespace mdr::flow {
+
+struct FlowAssignment {
+  /// t_ij: total traffic (bits/s) at node i destined to j.
+  FlatMatrix<double> node_traffic;
+  /// f per link id (bits/s).
+  std::vector<double> link_flows;
+  /// False if conservation could not be solved (cyclic phi that did not
+  /// converge, or traffic routed into a dead end).
+  bool valid = true;
+  /// Traffic (bits/s) that reached a router with no route to its
+  /// destination; nonzero values mean phi is incomplete for this traffic.
+  double stranded_bps = 0;
+};
+
+/// Solves Eqs. (1)-(2).
+FlowAssignment compute_flows(const FlowNetwork& net,
+                             const TrafficMatrix& traffic,
+                             const RoutingParameters& phi);
+
+/// D_T of Eq. (3) for the given link flows; +inf if any link is overloaded.
+double total_delay_rate(const FlowNetwork& net,
+                        std::span<const double> link_flows);
+
+/// Expected per-packet end-to-end delay of traffic at node i destined to j:
+/// T_ij = sum_k phi_ijk (w_ik(f) + T_kj). Entries are +inf where no route
+/// exists (and 0 on the diagonal).
+FlatMatrix<double> commodity_delays(const FlowNetwork& net,
+                                    const RoutingParameters& phi,
+                                    std::span<const double> link_flows);
+
+/// Convenience: network-average per-packet delay weighted by input rates,
+/// i.e. sum_ij r_ij T_ij / sum_ij r_ij. +inf if any commodity with traffic
+/// has no route or a link is overloaded.
+double average_delay(const FlowNetwork& net, const TrafficMatrix& traffic,
+                     const RoutingParameters& phi);
+
+}  // namespace mdr::flow

@@ -1,0 +1,35 @@
+#include "flow/network.h"
+
+namespace mdr::flow {
+
+FlowNetwork::FlowNetwork(const graph::Topology& topo, double mean_packet_bits)
+    : topo_(&topo), mean_packet_bits_(mean_packet_bits) {
+  assert(mean_packet_bits > 0);
+  models_.reserve(topo.num_links());
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    const auto& attr = topo.link(id).attr;
+    models_.push_back(cost::LinkDelayModel{attr.capacity_bps, attr.prop_delay_s,
+                                           mean_packet_bits});
+  }
+}
+
+std::vector<graph::Cost> FlowNetwork::zero_load_costs() const {
+  std::vector<graph::Cost> costs;
+  costs.reserve(models_.size());
+  for (const auto& m : models_) costs.push_back(m.marginal_delay(0.0));
+  return costs;
+}
+
+std::vector<graph::Cost> FlowNetwork::marginal_costs(
+    std::span<const double> link_flows) const {
+  assert(link_flows.size() == models_.size());
+  std::vector<graph::Cost> costs;
+  costs.reserve(models_.size());
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    costs.push_back(models_[i].marginal_delay_clamped(link_flows[i]));
+  }
+  return costs;
+}
+
+}  // namespace mdr::flow

@@ -1,0 +1,79 @@
+// Flow-level network: a Topology plus a delay model per directed link and an
+// input traffic matrix (the paper's r_ij, bits/s entering at i destined to j).
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "cost/delay_model.h"
+#include "graph/topology.h"
+#include "util/matrix.h"
+
+namespace mdr::flow {
+
+class FlowNetwork {
+ public:
+  /// Builds a flow network whose per-link delay models take capacity and
+  /// propagation delay from the topology's link attributes.
+  FlowNetwork(const graph::Topology& topo, double mean_packet_bits);
+
+  const graph::Topology& topology() const { return *topo_; }
+  double mean_packet_bits() const { return mean_packet_bits_; }
+
+  const cost::LinkDelayModel& model(graph::LinkId link) const {
+    return models_[link];
+  }
+
+  /// Zero-load marginal cost of every link (one-packet latency); the seed
+  /// costs for shortest-path initialization.
+  std::vector<graph::Cost> zero_load_costs() const;
+
+  /// Marginal cost D'(f) per link for the given link flows (bits/s),
+  /// clamped near capacity.
+  std::vector<graph::Cost> marginal_costs(
+      std::span<const double> link_flows) const;
+
+ private:
+  const graph::Topology* topo_;
+  double mean_packet_bits_;
+  std::vector<cost::LinkDelayModel> models_;
+};
+
+/// Input traffic matrix r_ij in bits/s.
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(std::size_t num_nodes)
+      : rates_(num_nodes, num_nodes, 0.0) {}
+
+  void add(graph::NodeId src, graph::NodeId dst, double rate_bps) {
+    assert(src != dst);
+    assert(rate_bps >= 0);
+    rates_(src, dst) += rate_bps;
+  }
+
+  double rate(graph::NodeId src, graph::NodeId dst) const {
+    return rates_(src, dst);
+  }
+
+  std::size_t num_nodes() const { return rates_.rows(); }
+
+  /// Sum of all input rates (bits/s).
+  double total() const {
+    double sum = 0;
+    for (double r : rates_.raw()) sum += r;
+    return sum;
+  }
+
+  /// Scales every entry by `factor` (load sweeps).
+  TrafficMatrix scaled(double factor) const {
+    TrafficMatrix out = *this;
+    for (double& r : out.rates_.raw()) r *= factor;
+    return out;
+  }
+
+ private:
+  mdr::FlatMatrix<double> rates_;
+};
+
+}  // namespace mdr::flow

@@ -1,0 +1,113 @@
+#include "flow/phi.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mdr::flow {
+
+using graph::NodeId;
+
+RoutingParameters::RoutingParameters(const graph::Topology& topo)
+    : topo_(&topo) {
+  values_.resize(topo.num_nodes() * topo.num_nodes());
+  for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+    for (NodeId j = 0; j < static_cast<NodeId>(topo.num_nodes()); ++j) {
+      values_[slot(i, j)].assign(topo.out_links(i).size(), 0.0);
+    }
+  }
+}
+
+std::size_t RoutingParameters::slot(NodeId node, NodeId dest) const {
+  assert(node >= 0 && static_cast<std::size_t>(node) < topo_->num_nodes());
+  assert(dest >= 0 && static_cast<std::size_t>(dest) < topo_->num_nodes());
+  return static_cast<std::size_t>(node) * topo_->num_nodes() +
+         static_cast<std::size_t>(dest);
+}
+
+std::span<const double> RoutingParameters::at(NodeId node, NodeId dest) const {
+  return values_[slot(node, dest)];
+}
+
+std::span<double> RoutingParameters::at_mutable(NodeId node, NodeId dest) {
+  return values_[slot(node, dest)];
+}
+
+double RoutingParameters::get(NodeId node, NodeId dest,
+                              std::size_t out_index) const {
+  return values_[slot(node, dest)][out_index];
+}
+
+void RoutingParameters::set(NodeId node, NodeId dest, std::size_t out_index,
+                            double value) {
+  assert(value >= 0.0);
+  values_[slot(node, dest)][out_index] = value;
+}
+
+void RoutingParameters::clear(NodeId node, NodeId dest) {
+  auto& v = values_[slot(node, dest)];
+  v.assign(v.size(), 0.0);
+}
+
+void RoutingParameters::set_single_path(NodeId node, NodeId dest,
+                                        std::size_t out_index) {
+  clear(node, dest);
+  values_[slot(node, dest)][out_index] = 1.0;
+}
+
+graph::SuccessorSets RoutingParameters::successor_sets(NodeId dest) const {
+  graph::SuccessorSets sets(topo_->num_nodes());
+  for (NodeId i = 0; i < static_cast<NodeId>(topo_->num_nodes()); ++i) {
+    if (i == dest) continue;
+    const auto links = topo_->out_links(i);
+    const auto& phi = values_[slot(i, dest)];
+    for (std::size_t x = 0; x < links.size(); ++x) {
+      if (phi[x] > 0.0) sets[i].push_back(topo_->link(links[x]).to);
+    }
+  }
+  return sets;
+}
+
+bool RoutingParameters::unrouted(NodeId node, NodeId dest) const {
+  for (double v : values_[slot(node, dest)]) {
+    if (v > 0.0) return false;
+  }
+  return true;
+}
+
+bool RoutingParameters::satisfies_property1(double tol,
+                                            std::string* why) const {
+  const auto fail = [&](std::string message) {
+    if (why != nullptr) *why = std::move(message);
+    return false;
+  };
+  const auto n = static_cast<NodeId>(topo_->num_nodes());
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      const auto& phi = values_[slot(i, j)];
+      double sum = 0.0;
+      bool any = false;
+      for (double v : phi) {
+        if (v < -tol || !std::isfinite(v)) {
+          return fail("negative or non-finite phi at node " +
+                      std::to_string(i) + " dest " + std::to_string(j));
+        }
+        sum += v;
+        any = any || v > 0.0;
+      }
+      if (i == j) {
+        if (any) {
+          return fail("phi must be zero at the destination (node " +
+                      std::to_string(i) + ")");
+        }
+        continue;
+      }
+      if (any && std::abs(sum - 1.0) > tol) {
+        return fail("phi sums to " + std::to_string(sum) + " at node " +
+                    std::to_string(i) + " dest " + std::to_string(j));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mdr::flow

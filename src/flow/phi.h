@@ -1,0 +1,63 @@
+// Routing parameters (the paper's phi_ijk).
+//
+// phi_ijk is the fraction of the traffic at router i destined to j that
+// leaves over link (i, k). Property 1 of the paper pins the valid shapes:
+// zero on non-links and at the destination, non-negative, and summing to 1
+// over the out-links. A RoutingParameters object stores phi for every
+// (router, destination) pair, aligned with Topology::out_links(i).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+#include "graph/topology.h"
+
+namespace mdr::flow {
+
+class RoutingParameters {
+ public:
+  explicit RoutingParameters(const graph::Topology& topo);
+
+  const graph::Topology& topology() const { return *topo_; }
+
+  /// phi vector of (node, dest), indexed like topo.out_links(node).
+  std::span<const double> at(graph::NodeId node, graph::NodeId dest) const;
+  std::span<double> at_mutable(graph::NodeId node, graph::NodeId dest);
+
+  double get(graph::NodeId node, graph::NodeId dest,
+             std::size_t out_index) const;
+  void set(graph::NodeId node, graph::NodeId dest, std::size_t out_index,
+           double value);
+
+  /// Zeroes the whole (node, dest) vector.
+  void clear(graph::NodeId node, graph::NodeId dest);
+
+  /// Routes everything over one out-link.
+  void set_single_path(graph::NodeId node, graph::NodeId dest,
+                       std::size_t out_index);
+
+  /// Successor sets S_i(dest) implied by phi (Eq. 9): neighbors with
+  /// positive routing parameter.
+  graph::SuccessorSets successor_sets(graph::NodeId dest) const;
+
+  /// Checks Property 1 within `tol`. Routers with an all-zero vector for a
+  /// destination are treated as "no route" and allowed (the packet plane
+  /// drops; the flow plane requires routes only where traffic exists).
+  /// On failure, returns false and describes the violation in `why` if
+  /// non-null.
+  bool satisfies_property1(double tol = 1e-9, std::string* why = nullptr) const;
+
+  /// True if the (node, dest) vector is all-zero (no route).
+  bool unrouted(graph::NodeId node, graph::NodeId dest) const;
+
+ private:
+  std::size_t slot(graph::NodeId node, graph::NodeId dest) const;
+
+  const graph::Topology* topo_;
+  // Per (node, dest): a dense vector sized to the node's out-degree.
+  std::vector<std::vector<double>> values_;
+};
+
+}  // namespace mdr::flow

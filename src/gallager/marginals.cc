@@ -1,0 +1,82 @@
+#include "gallager/marginals.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "graph/dag.h"
+
+namespace mdr::gallager {
+
+using graph::NodeId;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> marginal_distances(const flow::FlowNetwork& net,
+                                       const flow::RoutingParameters& phi,
+                                       std::span<const double> link_marginals,
+                                       NodeId dest) {
+  const auto& topo = net.topology();
+  assert(link_marginals.size() == topo.num_links());
+  std::vector<double> md(topo.num_nodes(), kInf);
+  md[dest] = 0.0;
+
+  const auto succ = phi.successor_sets(dest);
+  const auto order = graph::topological_order(succ);
+  if (!order.has_value()) return md;  // cyclic phi: everything unreachable
+
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId i = *it;
+    if (i == dest) continue;
+    const auto phis = phi.at(i, dest);
+    const auto links = topo.out_links(i);
+    double total = 0.0;
+    bool routed = false;
+    bool finite = true;
+    for (std::size_t x = 0; x < links.size(); ++x) {
+      if (phis[x] <= 0.0) continue;
+      routed = true;
+      const NodeId k = topo.link(links[x]).to;
+      const double leg = link_marginals[links[x]] + md[k];
+      if (!std::isfinite(leg)) {
+        finite = false;
+        break;
+      }
+      total += phis[x] * leg;
+    }
+    if (routed && finite) md[i] = total;
+  }
+  return md;
+}
+
+double optimality_gap(const flow::FlowNetwork& net,
+                      const flow::RoutingParameters& phi,
+                      std::span<const double> link_marginals, NodeId dest,
+                      std::span<const double> marginal_dist) {
+  const auto& topo = net.topology();
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  double worst = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    if (i == dest || !std::isfinite(marginal_dist[i])) continue;
+    const auto phis = phi.at(i, dest);
+    const auto links = topo.out_links(i);
+    for (std::size_t x = 0; x < links.size(); ++x) {
+      const NodeId k = topo.link(links[x]).to;
+      if (!std::isfinite(marginal_dist[k])) continue;
+      const double through_k = link_marginals[links[x]] + marginal_dist[k];
+      if (phis[x] > 0.0) {
+        // Necessary condition: equality on the successor set.
+        worst = std::max(worst, std::abs(through_k - marginal_dist[i]));
+      } else {
+        // Sufficient condition: no strictly shorter unused neighbor.
+        worst = std::max(worst, marginal_dist[i] - through_k);
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace mdr::gallager

@@ -1,0 +1,39 @@
+// Marginal distances (paper Eqs. 4-5).
+//
+// For destination j, the marginal distance of router i is
+//
+//     dD_T/dr_ij = sum_k phi_ijk [ D'_ik(f_ik) + dD_T/dr_kj ]     (Eq. 4)
+//
+// computed destination-first over the (acyclic) successor graph implied by
+// phi. These derivatives drive both Gallager's necessary/sufficient
+// optimality conditions (Eqs. 5-7) and the gradient step of the OPT
+// algorithm.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "flow/network.h"
+#include "flow/phi.h"
+
+namespace mdr::gallager {
+
+/// Marginal distances to `dest` for every router. +inf for routers with no
+/// route (or on a cyclic successor graph, which a valid OPT state never
+/// has); 0 at the destination itself.
+std::vector<double> marginal_distances(const flow::FlowNetwork& net,
+                                       const flow::RoutingParameters& phi,
+                                       std::span<const double> link_marginals,
+                                       graph::NodeId dest);
+
+/// Checks Gallager's sufficient optimality condition (Eq. 7) within `tol`:
+/// for every router i != j and neighbor k,
+///     D'_ik + dD/dr_kj >= dD/dr_ij, with equality on every k in S_ij.
+/// Returns the largest violation found (0 when optimal).
+double optimality_gap(const flow::FlowNetwork& net,
+                      const flow::RoutingParameters& phi,
+                      std::span<const double> link_marginals,
+                      graph::NodeId dest,
+                      std::span<const double> marginal_dist);
+
+}  // namespace mdr::gallager

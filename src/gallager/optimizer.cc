@@ -1,0 +1,268 @@
+#include "gallager/optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "gallager/marginals.h"
+#include "graph/dag.h"
+#include "graph/dijkstra.h"
+
+namespace mdr::gallager {
+
+using graph::LinkId;
+using graph::NodeId;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Finite, convex surrogate for D_T used to steer the iteration even when a
+// transient iterate overloads a link: the true delay below 95% utilization,
+// extended linearly above it. The reported result always uses the true D_T.
+double penalized_total_delay(const flow::FlowNetwork& net,
+                             std::span<const double> link_flows) {
+  double total = 0.0;
+  for (std::size_t id = 0; id < link_flows.size(); ++id) {
+    const auto& m = net.model(static_cast<LinkId>(id));
+    const double knee = 0.95 * m.capacity_bps;
+    const double f = link_flows[id];
+    if (f <= knee) {
+      total += m.total_delay_rate(f);
+    } else {
+      const double pkt = m.mean_packet_bits;
+      total += m.total_delay_rate(knee) +
+               (f - knee) / pkt * m.marginal_delay(knee);
+    }
+  }
+  return total;
+}
+
+// True if node `from` can reach node `to` following successor edges.
+bool reaches(const graph::SuccessorSets& succ, NodeId from, NodeId to) {
+  if (from == to) return true;
+  std::vector<bool> seen(succ.size(), false);
+  std::vector<NodeId> stack{from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId k : succ[u]) {
+      if (k == to) return true;
+      if (!seen[k]) {
+        seen[k] = true;
+        stack.push_back(k);
+      }
+    }
+  }
+  return false;
+}
+
+// Rebuilds succ[i] from phi after an update to node i.
+void refresh_successors(const flow::RoutingParameters& phi,
+                        const graph::Topology& topo, NodeId i, NodeId dest,
+                        graph::SuccessorSets& succ) {
+  succ[i].clear();
+  const auto phis = phi.at(i, dest);
+  const auto links = topo.out_links(i);
+  for (std::size_t x = 0; x < links.size(); ++x) {
+    if (phis[x] > 0.0) succ[i].push_back(topo.link(links[x]).to);
+  }
+}
+
+}  // namespace
+
+flow::RoutingParameters shortest_path_phi(const flow::FlowNetwork& net) {
+  const auto& topo = net.topology();
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  flow::RoutingParameters phi(topo);
+  const auto costs = net.zero_load_costs();
+
+  // One reverse Dijkstra per destination: the reverse-tree parent of i is
+  // i's next hop toward dest in the original graph.
+  std::vector<graph::CostedEdge> reversed;
+  reversed.reserve(topo.num_links());
+  for (LinkId id = 0; id < static_cast<LinkId>(topo.num_links()); ++id) {
+    const auto& l = topo.link(id);
+    reversed.push_back(graph::CostedEdge{l.to, l.from, costs[id]});
+  }
+  for (NodeId dest = 0; dest < n; ++dest) {
+    const auto spt = graph::dijkstra(topo.num_nodes(), reversed, dest);
+    for (NodeId i = 0; i < n; ++i) {
+      if (i == dest || !spt.reachable(i)) continue;
+      const NodeId next = spt.parent[i];
+      const LinkId link = topo.find_link(i, next);
+      assert(link != graph::kInvalidLink);
+      const auto links = topo.out_links(i);
+      for (std::size_t x = 0; x < links.size(); ++x) {
+        if (links[x] == link) {
+          phi.set_single_path(i, dest, x);
+          break;
+        }
+      }
+    }
+  }
+  return phi;
+}
+
+Result minimize(const flow::FlowNetwork& net,
+                const flow::TrafficMatrix& traffic, const Options& options) {
+  const auto& topo = net.topology();
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+
+  Result result{shortest_path_phi(net),
+                /*total_delay_rate=*/0,
+                /*average_delay_s=*/0,
+                /*iterations=*/0,
+                /*converged=*/false,
+                /*feasible=*/true,
+                /*delay_trace=*/{}};
+
+  // Destinations that actually receive traffic; others keep their SPT phi.
+  std::vector<NodeId> active_dests;
+  for (NodeId j = 0; j < n; ++j) {
+    double incoming = 0;
+    for (NodeId i = 0; i < n; ++i) incoming += traffic.rate(i, j);
+    if (incoming > 0) active_dests.push_back(j);
+  }
+
+  double eta = options.eta;
+  // Gallager's update is dphi = eta * a / t with a in delay units and t in
+  // flow units, so the useful range of the global constant depends on the
+  // network's absolute scales — one of the paper's criticisms of OPT. We
+  // keep the same functional form but normalize by the mean zero-load link
+  // cost and measure t in packets/s, making eta a dimensionless shift
+  // fraction; the adaptive halving then tunes it per instance.
+  double cost_scale = 0;
+  {
+    const auto zero = net.zero_load_costs();
+    for (const double c : zero) cost_scale += c;
+    cost_scale /= static_cast<double>(zero.size());
+  }
+  auto assignment = flow::compute_flows(net, traffic, result.phi);
+  double objective = penalized_total_delay(net, assignment.link_flows);
+  result.delay_trace.push_back(objective);
+
+  int flat_streak = 0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const auto marginals = net.marginal_costs(assignment.link_flows);
+    // Link curvatures for the second-derivative (Bertsekas-Gallager) step.
+    std::vector<double> curvatures;
+    if (options.second_derivative) {
+      curvatures.reserve(topo.num_links());
+      for (std::size_t id = 0; id < topo.num_links(); ++id) {
+        curvatures.push_back(
+            net.model(static_cast<graph::LinkId>(id))
+                .delay_curvature_clamped(assignment.link_flows[id]));
+      }
+    }
+    const flow::RoutingParameters before = result.phi;
+
+    for (NodeId j : active_dests) {
+      const auto md = marginal_distances(net, result.phi, marginals, j);
+      auto succ = result.phi.successor_sets(j);
+
+      for (NodeId i = 0; i < n; ++i) {
+        if (i == j) continue;
+        const auto links = topo.out_links(i);
+        auto phis = result.phi.at_mutable(i, j);
+
+        // Marginal distance through each neighbor; +inf where unusable.
+        std::vector<double> through(links.size(), kInf);
+        for (std::size_t x = 0; x < links.size(); ++x) {
+          const NodeId k = topo.link(links[x]).to;
+          if (std::isfinite(md[k])) through[x] = marginals[links[x]] + md[k];
+        }
+
+        // Best neighbor whose adoption keeps SG_j acyclic (the blocking
+        // technique): a zero-phi neighbor that can reach i is blocked.
+        std::size_t k_min = links.size();
+        for (std::size_t x = 0; x < links.size(); ++x) {
+          if (!std::isfinite(through[x])) continue;
+          if (k_min != links.size() && through[x] >= through[k_min]) continue;
+          const NodeId k = topo.link(links[x]).to;
+          if (phis[x] <= 0.0 && reaches(succ, k, i)) continue;  // blocked
+          k_min = x;
+        }
+        if (k_min == links.size()) continue;  // nowhere usable to shift
+
+        const double t_ij = assignment.node_traffic(i, j);
+        if (t_ij <= 0.0) {
+          // Gallager: idle routers simply adopt the best neighbor.
+          for (double& v : phis) v = 0.0;
+          phis[k_min] = 1.0;
+          refresh_successors(result.phi, topo, i, j, succ);
+          continue;
+        }
+
+        const double t_pkt = std::max(t_ij / net.mean_packet_bits(), 1.0);
+        double moved = 0.0;
+        for (std::size_t x = 0; x < links.size(); ++x) {
+          if (x == k_min || phis[x] <= 0.0) continue;
+          const double a = std::isfinite(through[x])
+                               ? through[x] - through[k_min]
+                               : kInf;
+          // First-derivative step normalized by the mean zero-load cost, or
+          // the curvature-scaled (diagonal Newton) step.
+          const double scale =
+              options.second_derivative
+                  ? curvatures[static_cast<std::size_t>(links[x])] +
+                        curvatures[static_cast<std::size_t>(links[k_min])]
+                  : cost_scale;
+          const double delta = std::min(phis[x], eta * a / (scale * t_pkt));
+          phis[x] -= delta;
+          if (phis[x] < 1e-12) {
+            moved += phis[x] + delta;
+            phis[x] = 0.0;
+          } else {
+            moved += delta;
+          }
+        }
+        phis[k_min] += moved;
+        refresh_successors(result.phi, topo, i, j, succ);
+      }
+    }
+
+    assignment = flow::compute_flows(net, traffic, result.phi);
+    const double new_objective =
+        penalized_total_delay(net, assignment.link_flows);
+
+    if (options.adaptive_step && !(new_objective < objective * (1 - 1e-12))) {
+      // No strict improvement: either an overshoot (possibly one that lands
+      // on a symmetric iterate with the same D_T, an oscillation a fixed
+      // too-large eta never escapes) or a plateau. Revert and retry with a
+      // smaller global step; the eta floor below ends the run.
+      result.phi = before;
+      assignment = flow::compute_flows(net, traffic, result.phi);
+      eta *= 0.5;
+      result.delay_trace.push_back(objective);
+      if (eta < 1e-9) {
+        result.converged = true;
+        result.iterations = iter + 1;
+        break;
+      }
+      continue;
+    }
+
+    const double improvement =
+        (objective - new_objective) / std::max(objective, 1e-300);
+    objective = new_objective;
+    result.delay_trace.push_back(objective);
+    result.iterations = iter + 1;
+
+    flat_streak = improvement < options.tolerance ? flat_streak + 1 : 0;
+    if (flat_streak >= options.patience) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.total_delay_rate =
+      flow::total_delay_rate(net, assignment.link_flows);
+  result.feasible = std::isfinite(result.total_delay_rate);
+  result.average_delay_s = flow::average_delay(net, traffic, result.phi);
+  return result;
+}
+
+}  // namespace mdr::gallager

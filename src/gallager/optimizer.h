@@ -1,0 +1,69 @@
+// Gallager's distributed minimum-delay routing algorithm (OPT), realized as
+// a centralized flow-level iteration (paper Section 2.2).
+//
+// Each iteration mirrors one round of the distributed protocol under
+// stationary traffic:
+//   1. solve flows from the current routing parameters (Eqs. 1-2),
+//   2. compute link marginals D'(f) and per-destination marginal distances
+//      (Eq. 4),
+//   3. shift routing parameters toward the neighbor with the least marginal
+//      distance using the global step size eta:
+//          a_ik   = D'_ik + dD/dr_kj - min_m (D'_im + dD/dr_mj)
+//          dphi_k = min(phi_ijk, eta * a_ik / t_ij)        (k != k_min)
+//      moving the removed mass onto k_min,
+//   4. block any shift that would create a cycle in the successor graph
+//      (Gallager's blocking technique, realized as a direct reachability
+//      check, which enforces exactly the property the original blocking
+//      protocol exists to protect: SG_j stays a DAG).
+//
+// The paper uses OPT as the optimal-delay lower bound ("a method for
+// obtaining lower bounds under stationary traffic, rather than an algorithm
+// to be used in practice"); this implementation serves the same role for the
+// benchmarks. Its convergence depends on the global constant eta exactly as
+// the paper criticizes; Options::adaptive_step enables a safeguarded
+// variant (halve eta when D_T rises) for robust lower-bound computation.
+#pragma once
+
+#include <vector>
+
+#include "flow/evaluate.h"
+#include "flow/network.h"
+#include "flow/phi.h"
+
+namespace mdr::gallager {
+
+struct Options {
+  double eta = 50.0;  ///< Gallager's global step size, in normalized units
+                      ///< (see optimizer.cc); the shift fraction applied to
+                      ///< a one-link-cost marginal-distance gap at ~1 pkt/s
+  int max_iterations = 5000;
+  double tolerance = 1e-10;    ///< relative D_T improvement considered "flat"
+  int patience = 25;           ///< consecutive flat iterations before stopping
+  bool adaptive_step = true;   ///< halve eta whenever D_T increases
+  /// Scale each shift by the inverse local curvature (the diagonal
+  /// second-derivative scaling of Bertsekas & Gallager, the speedup the
+  /// paper's related work cites): dphi ∝ a / (t * (D''_from + D''_to)).
+  /// Makes convergence speed far less sensitive to the choice of eta.
+  bool second_derivative = false;
+};
+
+struct Result {
+  flow::RoutingParameters phi;     ///< converged routing parameters
+  double total_delay_rate = 0;     ///< D_T at the final iterate (Eq. 3)
+  double average_delay_s = 0;      ///< rate-weighted mean per-packet delay
+  int iterations = 0;
+  bool converged = false;
+  bool feasible = true;            ///< false if no loading can avoid overload
+  std::vector<double> delay_trace; ///< D_T after each iteration
+};
+
+/// Runs OPT to (quasi-)convergence for the given stationary traffic.
+Result minimize(const flow::FlowNetwork& net, const flow::TrafficMatrix& traffic,
+                const Options& options = {});
+
+/// Builds the single-shortest-path phi used to initialize OPT: all traffic
+/// on the zero-load marginal-cost SPT. Exposed for tests and for the SP
+/// baseline at flow level.
+flow::RoutingParameters shortest_path_phi(const flow::FlowNetwork& net);
+
+}  // namespace mdr::gallager

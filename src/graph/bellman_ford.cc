@@ -1,0 +1,43 @@
+#include "graph/bellman_ford.h"
+
+#include <cassert>
+
+namespace mdr::graph {
+
+std::vector<Cost> bellman_ford(std::size_t num_nodes,
+                               std::span<const CostedEdge> edges, NodeId root,
+                               std::size_t max_hops) {
+  assert(root >= 0 && static_cast<std::size_t>(root) < num_nodes);
+  std::vector<Cost> dist(num_nodes, kInfCost);
+  dist[root] = 0;
+  std::vector<Cost> next = dist;
+  for (std::size_t round = 0; round < max_hops; ++round) {
+    bool changed = false;
+    // Jacobi-style rounds so dist after round r is exactly the r-hop minimum
+    // distance (a Gauss-Seidel sweep could look further ahead than r hops).
+    for (const CostedEdge& e : edges) {
+      if (e.from < 0 || e.to < 0) continue;
+      if (static_cast<std::size_t>(e.from) >= num_nodes) continue;
+      if (static_cast<std::size_t>(e.to) >= num_nodes) continue;
+      if (!(e.cost >= 0) || e.cost == kInfCost) continue;
+      if (dist[e.from] == kInfCost) continue;
+      const Cost nd = dist[e.from] + e.cost;
+      if (nd < next[e.to]) {
+        next[e.to] = nd;
+        changed = true;
+      }
+    }
+    dist = next;
+    if (!changed) break;
+  }
+  return dist;
+}
+
+std::vector<Cost> bellman_ford(std::size_t num_nodes,
+                               std::span<const CostedEdge> edges,
+                               NodeId root) {
+  return bellman_ford(num_nodes, edges, root,
+                      num_nodes == 0 ? 0 : num_nodes - 1);
+}
+
+}  // namespace mdr::graph

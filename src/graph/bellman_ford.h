@@ -1,0 +1,28 @@
+// Bellman-Ford distance computation.
+//
+// Eq. (13) of the paper is the distributed Bellman-Ford equation; this
+// centralized version exists (a) to cross-check Dijkstra in tests and (b) to
+// compute n-hop minimum distances, the quantity PDA's convergence proof
+// (Lemma 1 / Theorem 2) is stated in terms of.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/topology.h"
+
+namespace mdr::graph {
+
+/// Distances from `root` after at most `max_hops` relaxation rounds, i.e. the
+/// n-hop minimum distances D(n) of the paper's Lemma 1. Pass
+/// max_hops >= num_nodes-1 for exact shortest distances.
+std::vector<Cost> bellman_ford(std::size_t num_nodes,
+                               std::span<const CostedEdge> edges, NodeId root,
+                               std::size_t max_hops);
+
+/// Exact shortest distances (num_nodes-1 rounds).
+std::vector<Cost> bellman_ford(std::size_t num_nodes,
+                               std::span<const CostedEdge> edges, NodeId root);
+
+}  // namespace mdr::graph

@@ -1,0 +1,66 @@
+#include "graph/dag.h"
+
+#include <cassert>
+#include <queue>
+
+namespace mdr::graph {
+
+std::optional<std::vector<NodeId>> topological_order(
+    const SuccessorSets& successor_sets) {
+  const std::size_t n = successor_sets.size();
+  std::vector<int> indegree(n, 0);
+  for (const auto& succs : successor_sets) {
+    for (NodeId k : succs) {
+      assert(k >= 0 && static_cast<std::size_t>(k) < n);
+      ++indegree[k];
+    }
+  }
+  // Min-heap keyed by node id for a deterministic order.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (NodeId k : successor_sets[u]) {
+      if (--indegree[k] == 0) ready.push(k);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // cycle
+  return order;
+}
+
+bool is_acyclic(const SuccessorSets& successor_sets) {
+  return topological_order(successor_sets).has_value();
+}
+
+std::vector<bool> can_reach(const SuccessorSets& successor_sets, NodeId dest) {
+  const std::size_t n = successor_sets.size();
+  assert(dest >= 0 && static_cast<std::size_t>(dest) < n);
+  // Reverse-BFS from dest over successor edges.
+  std::vector<std::vector<NodeId>> preds(n);
+  for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+    for (NodeId k : successor_sets[i]) preds[k].push_back(i);
+  }
+  std::vector<bool> reach(n, false);
+  std::queue<NodeId> frontier;
+  reach[dest] = true;
+  frontier.push(dest);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId p : preds[u]) {
+      if (!reach[p]) {
+        reach[p] = true;
+        frontier.push(p);
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace mdr::graph

@@ -1,0 +1,34 @@
+// Successor-graph utilities.
+//
+// For a destination j, the successor sets S_i(j) of all routers induce the
+// routing graph SG_j (Section 3 of the paper). Loop-freedom at every instant
+// means SG_j is a DAG at every instant; these helpers check that and produce
+// the topological orders the flow plane needs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/topology.h"
+
+namespace mdr::graph {
+
+/// successor_sets[i] = the next hops S_i(j) of node i for one destination.
+using SuccessorSets = std::vector<std::vector<NodeId>>;
+
+/// True if the directed graph {i -> k : k in successor_sets[i]} is acyclic.
+bool is_acyclic(const SuccessorSets& successor_sets);
+
+/// Kahn topological order: every edge i -> successor goes from earlier to
+/// later in the returned order. nullopt if the graph has a cycle.
+///
+/// Traffic conservation (Eq. 1) is evaluated in this order (upstream nodes
+/// first); marginal distances (Eq. 4) in the reverse order (destination
+/// first).
+std::optional<std::vector<NodeId>> topological_order(
+    const SuccessorSets& successor_sets);
+
+/// Nodes from which `dest` is reachable by following successor edges.
+std::vector<bool> can_reach(const SuccessorSets& successor_sets, NodeId dest);
+
+}  // namespace mdr::graph

@@ -1,0 +1,121 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <tuple>
+
+namespace mdr::graph {
+
+NodeId ShortestPathTree::first_hop(NodeId root, NodeId node) const {
+  if (node == root || !reachable(node)) return kInvalidNode;
+  NodeId cur = node;
+  while (parent[cur] != root) {
+    cur = parent[cur];
+    if (cur == kInvalidNode) return kInvalidNode;
+  }
+  return cur;
+}
+
+namespace {
+
+// Builds a compact adjacency structure, keeping only usable edges and the
+// cheapest parallel edge per (from, to) pair. Deterministic given the edge
+// multiset (sorted before dedup).
+struct Adjacency {
+  std::vector<std::vector<std::pair<NodeId, Cost>>> out;  // per from-node
+
+  Adjacency(std::size_t n, std::span<const CostedEdge> edges) : out(n) {
+    std::vector<CostedEdge> usable;
+    usable.reserve(edges.size());
+    for (const CostedEdge& e : edges) {
+      if (e.from < 0 || e.to < 0) continue;
+      if (static_cast<std::size_t>(e.from) >= n) continue;
+      if (static_cast<std::size_t>(e.to) >= n) continue;
+      if (!(e.cost >= 0) || e.cost == kInfCost) continue;  // drops NaN too
+      usable.push_back(e);
+    }
+    std::sort(usable.begin(), usable.end(),
+              [](const CostedEdge& a, const CostedEdge& b) {
+                return std::tie(a.from, a.to, a.cost) <
+                       std::tie(b.from, b.to, b.cost);
+              });
+    for (std::size_t i = 0; i < usable.size(); ++i) {
+      if (i > 0 && usable[i].from == usable[i - 1].from &&
+          usable[i].to == usable[i - 1].to) {
+        continue;  // keep cheapest parallel edge only
+      }
+      out[usable[i].from].emplace_back(usable[i].to, usable[i].cost);
+    }
+  }
+};
+
+}  // namespace
+
+ShortestPathTree dijkstra(std::size_t num_nodes,
+                          std::span<const CostedEdge> edges, NodeId root) {
+  assert(root >= 0 && static_cast<std::size_t>(root) < num_nodes);
+  ShortestPathTree spt;
+  spt.dist.assign(num_nodes, kInfCost);
+  spt.parent.assign(num_nodes, kInvalidNode);
+
+  const Adjacency adj(num_nodes, edges);
+
+  using Entry = std::pair<Cost, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  spt.dist[root] = 0;
+  heap.emplace(0.0, root);
+  std::vector<bool> settled(num_nodes, false);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    for (const auto& [v, w] : adj.out[u]) {
+      if (settled[v]) continue;
+      const Cost nd = d + w;
+      if (nd < spt.dist[v]) {
+        spt.dist[v] = nd;
+        spt.parent[v] = u;
+        heap.emplace(nd, v);
+      } else if (nd == spt.dist[v] && u < spt.parent[v]) {
+        // Consistent tie-break: among equal-cost parents prefer the lowest
+        // id, so every router that sees the same topology derives the same
+        // tree (required by MTU, Fig. 3 of the paper).
+        spt.parent[v] = u;
+      }
+    }
+  }
+  return spt;
+}
+
+ShortestPathTree dijkstra(const Topology& topo,
+                          std::span<const Cost> link_costs, NodeId root) {
+  assert(link_costs.size() == topo.num_links());
+  std::vector<CostedEdge> edges;
+  edges.reserve(topo.num_links());
+  for (LinkId id = 0; id < static_cast<LinkId>(topo.num_links()); ++id) {
+    const DirectedLink& l = topo.link(id);
+    edges.push_back(CostedEdge{l.from, l.to, link_costs[id]});
+  }
+  return dijkstra(topo.num_nodes(), edges, root);
+}
+
+std::vector<CostedEdge> tree_edges(const ShortestPathTree& spt,
+                                   std::span<const CostedEdge> edges) {
+  std::vector<CostedEdge> out;
+  for (NodeId v = 0; v < static_cast<NodeId>(spt.parent.size()); ++v) {
+    const NodeId u = spt.parent[v];
+    if (u == kInvalidNode) continue;
+    // Recover the cheapest (u, v) edge cost; it is the one Dijkstra used.
+    Cost best = kInfCost;
+    for (const CostedEdge& e : edges) {
+      if (e.from == u && e.to == v && e.cost < best) best = e.cost;
+    }
+    out.push_back(CostedEdge{u, v, best});
+  }
+  return out;
+}
+
+}  // namespace mdr::graph

@@ -1,0 +1,118 @@
+#include "graph/topology.h"
+
+#include <cassert>
+#include <queue>
+
+namespace mdr::graph {
+
+NodeId Topology::add_node(std::string name) {
+  assert(!name.empty());
+  assert(find_node(name) == kInvalidNode);
+  names_.push_back(std::move(name));
+  out_links_.emplace_back();
+  neighbors_.emplace_back();
+  return static_cast<NodeId>(names_.size() - 1);
+}
+
+NodeId Topology::add_nodes(std::size_t count) {
+  const NodeId first = static_cast<NodeId>(names_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    add_node("n" + std::to_string(first + static_cast<NodeId>(i)));
+  }
+  return first;
+}
+
+LinkId Topology::add_link(NodeId from, NodeId to, LinkAttr attr) {
+  assert(from >= 0 && static_cast<std::size_t>(from) < num_nodes());
+  assert(to >= 0 && static_cast<std::size_t>(to) < num_nodes());
+  assert(from != to);
+  assert(find_link(from, to) == kInvalidLink);
+  assert(attr.capacity_bps > 0);
+  assert(attr.prop_delay_s >= 0);
+  links_.push_back(DirectedLink{from, to, attr});
+  const LinkId id = static_cast<LinkId>(links_.size() - 1);
+  out_links_[from].push_back(id);
+  neighbors_[from].push_back(to);
+  return id;
+}
+
+void Topology::add_duplex(NodeId a, NodeId b, LinkAttr attr) {
+  add_link(a, b, attr);
+  add_link(b, a, attr);
+}
+
+std::span<const LinkId> Topology::out_links(NodeId node) const {
+  return out_links_[node];
+}
+
+std::span<const NodeId> Topology::neighbors(NodeId node) const {
+  return neighbors_[node];
+}
+
+LinkId Topology::find_link(NodeId from, NodeId to) const {
+  if (from < 0 || static_cast<std::size_t>(from) >= num_nodes()) {
+    return kInvalidLink;
+  }
+  for (LinkId id : out_links_[from]) {
+    if (links_[id].to == to) return id;
+  }
+  return kInvalidLink;
+}
+
+NodeId Topology::find_node(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<NodeId>(i);
+  }
+  return kInvalidNode;
+}
+
+std::size_t Topology::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& links : out_links_) best = std::max(best, links.size());
+  return best;
+}
+
+namespace {
+
+// Hop distances from `root` via BFS; unreachable nodes get SIZE_MAX.
+std::vector<std::size_t> bfs_hops(const Topology& topo, NodeId root) {
+  std::vector<std::size_t> hops(topo.num_nodes(), SIZE_MAX);
+  std::queue<NodeId> frontier;
+  hops[root] = 0;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : topo.neighbors(u)) {
+      if (hops[v] == SIZE_MAX) {
+        hops[v] = hops[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return hops;
+}
+
+}  // namespace
+
+bool Topology::is_strongly_connected() const {
+  if (num_nodes() == 0) return true;
+  for (NodeId root = 0; root < static_cast<NodeId>(num_nodes()); ++root) {
+    for (std::size_t h : bfs_hops(*this, root)) {
+      if (h == SIZE_MAX) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Topology::diameter_hops() const {
+  std::size_t diameter = 0;
+  for (NodeId root = 0; root < static_cast<NodeId>(num_nodes()); ++root) {
+    for (std::size_t h : bfs_hops(*this, root)) {
+      if (h != SIZE_MAX) diameter = std::max(diameter, h);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace mdr::graph

@@ -1,0 +1,95 @@
+// Network topology model.
+//
+// A Topology is a set of named routers and directed links between them, each
+// link carrying the physical attributes the paper's delay model needs
+// (capacity in bits/s, propagation delay in seconds). Links are directed as
+// in the paper ("each link is bidirectional with possibly different costs in
+// each direction"); add_duplex() installs the two directions at once.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdr::graph {
+
+/// Dense router identifier, 0..num_nodes()-1.
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Link or path cost; the routing layer uses marginal delays as costs.
+using Cost = double;
+inline constexpr Cost kInfCost = std::numeric_limits<Cost>::infinity();
+
+/// Dense link identifier, 0..num_links()-1.
+using LinkId = int;
+inline constexpr LinkId kInvalidLink = -1;
+
+/// Physical attributes of a directed link.
+struct LinkAttr {
+  double capacity_bps = 10e6;  ///< transmission rate C in bits per second
+  double prop_delay_s = 1e-3;  ///< propagation delay tau in seconds
+};
+
+/// A directed link (one direction of a physical cable).
+struct DirectedLink {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  LinkAttr attr;
+};
+
+/// Immutable-after-build network graph with O(1) adjacency queries.
+class Topology {
+ public:
+  /// Adds a router; names must be unique and non-empty.
+  NodeId add_node(std::string name);
+
+  /// Adds `count` routers named "n0", "n1", ... returning the first id.
+  NodeId add_nodes(std::size_t count);
+
+  /// Adds one directed link; returns its id. from/to must exist and differ.
+  LinkId add_link(NodeId from, NodeId to, LinkAttr attr = {});
+
+  /// Adds both directions with the same attributes.
+  void add_duplex(NodeId a, NodeId b, LinkAttr attr = {});
+
+  std::size_t num_nodes() const { return names_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+  const DirectedLink& link(LinkId id) const { return links_[id]; }
+  DirectedLink& mutable_link(LinkId id) { return links_[id]; }
+
+  /// Ids of links leaving `node`.
+  std::span<const LinkId> out_links(NodeId node) const;
+
+  /// Neighbor ids reachable over one outgoing link from `node`.
+  std::span<const NodeId> neighbors(NodeId node) const;
+
+  /// Link id of the (from -> to) link or kInvalidLink.
+  LinkId find_link(NodeId from, NodeId to) const;
+
+  std::string_view name(NodeId node) const { return names_[node]; }
+
+  /// Node id by name, or kInvalidNode if absent.
+  NodeId find_node(std::string_view name) const;
+
+  /// Maximum out-degree over all nodes (useful for sizing routing state).
+  std::size_t max_degree() const;
+
+  /// True if every node can reach every other node over directed links.
+  bool is_strongly_connected() const;
+
+  /// Longest shortest-path hop count over all reachable pairs.
+  std::size_t diameter_hops() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<DirectedLink> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+  std::vector<std::vector<NodeId>> neighbors_;
+};
+
+}  // namespace mdr::graph

@@ -1,0 +1,177 @@
+#include "mpath/mpath.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mdr::mpath {
+
+using graph::Cost;
+using graph::NodeId;
+
+MpathProcess::MpathProcess(NodeId self, std::size_t num_nodes,
+                           VectorSink& sink)
+    : self_(self),
+      num_nodes_(num_nodes),
+      sink_(&sink),
+      dist_(num_nodes, graph::kInfCost),
+      hops_(num_nodes, 0),
+      advertised_(num_nodes, graph::kInfCost),
+      fd_(num_nodes, graph::kInfCost),
+      successors_(num_nodes) {
+  dist_[self] = 0;
+  fd_[self] = 0;
+}
+
+Cost MpathProcess::distance_via(NodeId dest, NodeId k) const {
+  const auto it = neighbors_.find(k);
+  if (it == neighbors_.end()) return graph::kInfCost;
+  return it->second.dist[dest];
+}
+
+std::size_t MpathProcess::acks_pending() const {
+  std::size_t total = 0;
+  for (const auto& [k, n] : pending_acks_) total += static_cast<std::size_t>(n);
+  return total;
+}
+
+void MpathProcess::send(NodeId k, const VectorMessage& msg) {
+  sink_->send(k, msg);
+  ++messages_sent_;
+}
+
+void MpathProcess::on_link_up(NodeId k, Cost cost) {
+  assert(cost >= 0 && cost < graph::kInfCost);
+  NeighborState state;
+  state.link_cost = cost;
+  state.dist.assign(num_nodes_, graph::kInfCost);
+  state.hops.assign(num_nodes_, 0);
+  state.dist[k] = 0;
+  neighbors_[k] = std::move(state);
+  full_sync_.insert(k);
+  after_event(graph::kInvalidNode);
+  // A new neighbor that the flood above did not reach still needs the full
+  // vector (cf. MPDA's full-topology sync).
+  if (full_sync_.contains(k)) {
+    full_sync_.erase(k);
+    std::vector<VectorEntry> all;
+    for (NodeId j = 0; j < static_cast<NodeId>(num_nodes_); ++j) {
+      if (dist_[j] < graph::kInfCost) {
+        all.push_back(VectorEntry{j, dist_[j], hops_[j]});
+      }
+    }
+    if (!all.empty()) {
+      send(k, VectorMessage{self_, false, std::move(all)});
+      ++pending_acks_[k];
+      mode_ = Mode::kActive;
+    }
+  }
+}
+
+void MpathProcess::on_link_down(NodeId k) {
+  neighbors_.erase(k);
+  pending_acks_.erase(k);
+  full_sync_.erase(k);
+  after_event(graph::kInvalidNode);
+}
+
+void MpathProcess::on_link_cost_change(NodeId k, Cost cost) {
+  assert(cost >= 0 && cost < graph::kInfCost);
+  const auto it = neighbors_.find(k);
+  if (it == neighbors_.end()) return;
+  it->second.link_cost = cost;
+  after_event(graph::kInvalidNode);
+}
+
+void MpathProcess::on_message(const VectorMessage& msg) {
+  const auto it = neighbors_.find(msg.sender);
+  if (it == neighbors_.end()) return;  // raced with link_down
+  if (msg.ack) {
+    const auto p = pending_acks_.find(msg.sender);
+    if (p != pending_acks_.end() && --p->second == 0) pending_acks_.erase(p);
+  }
+  for (const VectorEntry& e : msg.entries) {
+    assert(e.dest >= 0 && static_cast<std::size_t>(e.dest) < num_nodes_);
+    it->second.dist[e.dest] = e.distance;
+    it->second.hops[e.dest] = e.hops;
+  }
+  after_event(msg.requires_ack() ? msg.sender : graph::kInvalidNode);
+}
+
+std::vector<VectorEntry> MpathProcess::recompute() {
+  std::vector<VectorEntry> changes;
+  for (NodeId j = 0; j < static_cast<NodeId>(num_nodes_); ++j) {
+    if (j == self_) continue;
+    Cost best = graph::kInfCost;
+    int best_hops = 0;
+    for (const auto& [k, state] : neighbors_) {
+      if (state.dist[j] == graph::kInfCost) continue;
+      // Hop bound kills count-to-infinity: a loop-free path visits at most
+      // num_nodes - 1 links.
+      if (state.hops[j] + 1 >= static_cast<int>(num_nodes_)) continue;
+      const Cost d = state.dist[j] + state.link_cost;
+      if (d < best) {
+        best = d;
+        best_hops = state.hops[j] + 1;
+      }
+    }
+    dist_[j] = best;
+    hops_[j] = best_hops;
+    if (dist_[j] != advertised_[j]) {
+      changes.push_back(VectorEntry{j, dist_[j], hops_[j]});
+      advertised_[j] = dist_[j];
+    }
+  }
+  return changes;
+}
+
+void MpathProcess::after_event(NodeId ack_to) {
+  std::vector<VectorEntry> changes;
+  if (mode_ == Mode::kPassive) {
+    changes = recompute();
+    for (std::size_t j = 0; j < fd_.size(); ++j) {
+      fd_[j] = std::min(fd_[j], dist_[j]);
+    }
+  } else if (pending_acks_.empty()) {
+    std::vector<Cost> temp = dist_;
+    mode_ = Mode::kPassive;
+    changes = recompute();
+    for (std::size_t j = 0; j < fd_.size(); ++j) {
+      fd_[j] = std::min(temp[j], dist_[j]);
+    }
+  }
+
+  recompute_successors();
+
+  if (!changes.empty()) {
+    mode_ = Mode::kActive;
+    for (const auto& [k, state] : neighbors_) {
+      ++pending_acks_[k];
+      if (full_sync_.erase(k) > 0) {
+        std::vector<VectorEntry> all;
+        for (NodeId j = 0; j < static_cast<NodeId>(num_nodes_); ++j) {
+          if (dist_[j] < graph::kInfCost) {
+            all.push_back(VectorEntry{j, dist_[j], hops_[j]});
+          }
+        }
+        send(k, VectorMessage{self_, k == ack_to, std::move(all)});
+      } else {
+        send(k, VectorMessage{self_, k == ack_to, changes});
+      }
+    }
+  } else if (ack_to != graph::kInvalidNode && neighbors_.contains(ack_to)) {
+    send(ack_to, VectorMessage{self_, true, {}});
+  }
+}
+
+void MpathProcess::recompute_successors() {
+  for (NodeId j = 0; j < static_cast<NodeId>(num_nodes_); ++j) {
+    if (j == self_) continue;
+    std::vector<NodeId> next;
+    for (const auto& [k, state] : neighbors_) {
+      if (state.dist[j] < fd_[j]) next.push_back(k);
+    }
+    successors_[j] = std::move(next);
+  }
+}
+
+}  // namespace mdr::mpath

@@ -1,0 +1,120 @@
+// MPATH-style loop-free multipath distance-vector routing (extension).
+//
+// The paper's Section 3 presents the Loop-Free Invariant conditions as
+// algorithm-agnostic: "in link-state algorithms the values of D_jk are
+// determined locally from the link-state information supplied by the
+// router's neighbors; in contrast, in distance-vector algorithms the
+// distances are directly communicated among neighbors." The authors'
+// follow-on paper (MPATH, Vutukury & Garcia-Luna-Aceves) builds exactly
+// that distance-vector realization, again with inter-neighbor
+// synchronization spanning a single hop.
+//
+// MpathProcess mirrors MPDA's structure with distance vectors in place of
+// partial topologies:
+//   * neighbors advertise (destination, distance, hop-count) entries;
+//   * a router computes D_j = min_k (D_jk + l_k);
+//   * advertisements are acknowledged; while ACTIVE (awaiting ACKs) the
+//     router defers recomputation, and feasible distances follow the same
+//     PASSIVE-lower / transition-raise discipline as MPDA, so the LFI
+//     conditions — and therefore instantaneous loop-freedom — hold by the
+//     same argument (Theorem 1);
+//   * hop counts bound the classic distance-vector count-to-infinity:
+//     entries whose path would exceed the node count are unreachable.
+//
+// Used by the convergence/overhead ablation bench to compare the link-state
+// and distance-vector realizations of the same framework.
+//
+// Scope note: unlike MpdaProcess, this extension assumes the paper's
+// reliable in-order transport (no sequence numbers / retransmission); drive
+// it over lossless channels, as the harnesses do.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "graph/topology.h"
+
+namespace mdr::mpath {
+
+/// One advertised routing entry.
+struct VectorEntry {
+  graph::NodeId dest = graph::kInvalidNode;
+  graph::Cost distance = graph::kInfCost;  ///< kInfCost = retraction
+  int hops = 0;
+
+  friend bool operator==(const VectorEntry&, const VectorEntry&) = default;
+};
+
+/// A distance-vector update message.
+struct VectorMessage {
+  graph::NodeId sender = graph::kInvalidNode;
+  bool ack = false;
+  std::vector<VectorEntry> entries;
+
+  bool requires_ack() const { return !entries.empty(); }
+};
+
+/// Outbound message interface (mirrors proto::LsuSink).
+class VectorSink {
+ public:
+  virtual ~VectorSink() = default;
+  virtual void send(graph::NodeId neighbor, const VectorMessage& msg) = 0;
+};
+
+class MpathProcess {
+ public:
+  enum class Mode { kPassive, kActive };
+
+  MpathProcess(graph::NodeId self, std::size_t num_nodes, VectorSink& sink);
+
+  // --- protocol events -----------------------------------------------------
+  void on_link_up(graph::NodeId k, graph::Cost cost);
+  void on_link_down(graph::NodeId k);
+  void on_link_cost_change(graph::NodeId k, graph::Cost cost);
+  void on_message(const VectorMessage& msg);
+
+  // --- routing state -------------------------------------------------------
+  graph::Cost distance(graph::NodeId dest) const { return dist_[dest]; }
+  graph::Cost feasible_distance(graph::NodeId dest) const { return fd_[dest]; }
+  graph::Cost distance_via(graph::NodeId dest, graph::NodeId k) const;
+  const std::vector<graph::NodeId>& successors(graph::NodeId dest) const {
+    return successors_[dest];
+  }
+  bool passive() const { return mode_ == Mode::kPassive; }
+  std::size_t acks_pending() const;
+  std::size_t messages_sent() const { return messages_sent_; }
+  graph::NodeId self() const { return self_; }
+
+ private:
+  struct NeighborState {
+    graph::Cost link_cost = graph::kInfCost;
+    std::vector<graph::Cost> dist;  ///< D_jk as advertised by k
+    std::vector<int> hops;
+  };
+
+  void after_event(graph::NodeId ack_to);
+  /// Recomputes D/hops for every destination; returns advertisement entries
+  /// for those that changed since the last advertisement.
+  std::vector<VectorEntry> recompute();
+  void recompute_successors();
+  void send(graph::NodeId k, const VectorMessage& msg);
+
+  graph::NodeId self_;
+  std::size_t num_nodes_;
+  VectorSink* sink_;
+  Mode mode_ = Mode::kPassive;
+  std::map<graph::NodeId, NeighborState> neighbors_;
+  std::map<graph::NodeId, int> pending_acks_;
+  std::set<graph::NodeId> full_sync_;
+  std::vector<graph::Cost> dist_;
+  std::vector<int> hops_;
+  std::vector<graph::Cost> advertised_;  ///< last distances sent
+  std::vector<graph::Cost> fd_;
+  std::vector<std::vector<graph::NodeId>> successors_;
+  std::size_t messages_sent_ = 0;
+};
+
+}  // namespace mdr::mpath

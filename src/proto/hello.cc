@@ -1,0 +1,115 @@
+#include "proto/hello.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mdr::proto {
+
+std::vector<std::uint8_t> encode_hello(const HelloMessage& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(5 + 4 * msg.heard.size());
+  const auto put_u32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put_u32(static_cast<std::uint32_t>(msg.sender));
+  assert(msg.heard.size() <= 255);
+  out.push_back(static_cast<std::uint8_t>(msg.heard.size()));
+  for (const graph::NodeId id : msg.heard) {
+    put_u32(static_cast<std::uint32_t>(id));
+  }
+  return out;
+}
+
+std::optional<HelloMessage> decode_hello(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 5) return std::nullopt;
+  const auto get_u32 = [&wire](std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(wire[at + i]) << (8 * i);
+    }
+    return v;
+  };
+  HelloMessage msg;
+  msg.sender = static_cast<graph::NodeId>(get_u32(0));
+  const std::size_t count = wire[4];
+  if (wire.size() != 5 + 4 * count) return std::nullopt;
+  msg.heard.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    msg.heard.push_back(static_cast<graph::NodeId>(get_u32(5 + 4 * i)));
+  }
+  return msg;
+}
+
+HelloProtocol::HelloProtocol(graph::NodeId self, Options options,
+                             Callbacks callbacks)
+    : self_(self), options_(options), callbacks_(std::move(callbacks)) {
+  assert(options_.interval > 0);
+  assert(options_.dead_interval > options_.interval);
+}
+
+void HelloProtocol::physical_up(graph::NodeId k) {
+  peers_.emplace(k, Peer{});
+}
+
+void HelloProtocol::physical_down(graph::NodeId k) {
+  const auto it = peers_.find(k);
+  if (it == peers_.end()) return;
+  const bool was_adjacent = it->second.two_way;
+  peers_.erase(it);
+  if (was_adjacent && callbacks_.adjacency_down) callbacks_.adjacency_down(k);
+}
+
+void HelloProtocol::on_hello(const HelloMessage& msg, Time now) {
+  const auto it = peers_.find(msg.sender);
+  if (it == peers_.end()) return;  // no physical link: stray datagram
+  Peer& peer = it->second;
+  peer.heard = true;
+  peer.last_heard = now;
+  const bool sees_us =
+      std::find(msg.heard.begin(), msg.heard.end(), self_) != msg.heard.end();
+  if (sees_us && !peer.two_way) {
+    peer.two_way = true;
+    if (callbacks_.adjacency_up) callbacks_.adjacency_up(msg.sender);
+  }
+  // A peer that stops listing us is treated as still adjacent until its
+  // hellos stop entirely (OSPF handles the 2-way downgrade similarly via
+  // the dead interval; an explicit teardown would arrive as physical_down).
+}
+
+void HelloProtocol::drop(graph::NodeId k, Peer& peer) {
+  const bool was_adjacent = peer.two_way;
+  peer.heard = false;
+  peer.two_way = false;
+  if (was_adjacent && callbacks_.adjacency_down) callbacks_.adjacency_down(k);
+}
+
+void HelloProtocol::tick(Time now) {
+  for (auto& [k, peer] : peers_) {
+    if (peer.heard && now - peer.last_heard > options_.dead_interval) {
+      drop(k, peer);
+    }
+  }
+  HelloMessage msg;
+  msg.sender = self_;
+  msg.heard = heard_neighbors();
+  for (const auto& [k, peer] : peers_) {
+    if (callbacks_.send_hello) callbacks_.send_hello(k, msg);
+  }
+}
+
+bool HelloProtocol::adjacent(graph::NodeId k) const {
+  const auto it = peers_.find(k);
+  return it != peers_.end() && it->second.two_way;
+}
+
+std::vector<graph::NodeId> HelloProtocol::heard_neighbors() const {
+  std::vector<graph::NodeId> out;
+  for (const auto& [k, peer] : peers_) {
+    if (peer.heard) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace mdr::proto

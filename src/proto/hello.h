@@ -1,0 +1,93 @@
+// Hello protocol: symmetric adjacency establishment and failure detection.
+//
+// MPDA (and the paper's model) assume a neighbor protocol beneath routing:
+// adjacency is mutual before LSUs flow, and link failures are detected
+// "within a finite time". HelloProtocol supplies both, OSPF-style:
+//
+//   * each router periodically multicasts a Hello listing the neighbors it
+//     currently hears;
+//   * an adjacency comes up only when communication is known bidirectional
+//     (we hear k AND k's Hello lists us — the 2-way check), at which point
+//     the routing process may exchange LSUs with k;
+//   * an adjacency (or a half-open peer) expires after dead_interval
+//     without Hellos — this catches *silent* failures the physical layer
+//     never signals.
+//
+// The protocol is transport-agnostic: the host wires the callbacks to its
+// link layer and calls tick() every `interval` seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/topology.h"
+#include "util/time.h"
+
+namespace mdr::proto {
+
+struct HelloMessage {
+  graph::NodeId sender = graph::kInvalidNode;
+  std::vector<graph::NodeId> heard;  ///< neighbors the sender currently hears
+
+  std::size_t wire_size_bits() const { return 8 * (5 + 4 * heard.size()); }
+  friend bool operator==(const HelloMessage&, const HelloMessage&) = default;
+};
+
+std::vector<std::uint8_t> encode_hello(const HelloMessage& msg);
+std::optional<HelloMessage> decode_hello(std::span<const std::uint8_t> wire);
+
+class HelloProtocol {
+ public:
+  struct Options {
+    Duration interval = 1.0;       ///< hello transmission period
+    Duration dead_interval = 3.5;  ///< silence before declaring a peer dead
+  };
+
+  struct Callbacks {
+    /// 2-way adjacency established: safe to start routing with k.
+    std::function<void(graph::NodeId k)> adjacency_up;
+    /// Adjacency lost (dead interval or physical down).
+    std::function<void(graph::NodeId k)> adjacency_down;
+    /// Transmit a hello toward physical neighbor k.
+    std::function<void(graph::NodeId k, const HelloMessage&)> send_hello;
+  };
+
+  HelloProtocol(graph::NodeId self, Options options, Callbacks callbacks);
+
+  /// The physical link toward k is up; begin soliciting it.
+  void physical_up(graph::NodeId k);
+
+  /// Signaled physical failure: the adjacency drops immediately.
+  void physical_down(graph::NodeId k);
+
+  /// Hello received (host guarantees it arrived over a live link).
+  void on_hello(const HelloMessage& msg, Time now);
+
+  /// Periodic driver: expires dead peers, then transmits hellos. Call every
+  /// `options.interval` seconds (jitter is fine).
+  void tick(Time now);
+
+  bool adjacent(graph::NodeId k) const;
+  std::vector<graph::NodeId> heard_neighbors() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Peer {
+    bool heard = false;    ///< 1-way: their hellos reach us
+    bool two_way = false;  ///< adjacency: they also list us
+    Time last_heard = 0;
+  };
+
+  void drop(graph::NodeId k, Peer& peer);
+
+  graph::NodeId self_;
+  Options options_;
+  Callbacks callbacks_;
+  std::map<graph::NodeId, Peer> peers_;
+};
+
+}  // namespace mdr::proto

@@ -1,0 +1,122 @@
+#include "proto/lsu.h"
+
+#include <bit>
+#include <cstring>
+
+namespace mdr::proto {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 1 + 4 + 4 + 2;  // sender, flags, ack_seq, seq, count
+constexpr std::size_t kEntryBytes = 4 + 4 + 8 + 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> wire) : wire_(wire) {}
+
+  bool u8(std::uint8_t& v) { return take(1) && (v = wire_[pos_ - 1], true); }
+  bool u16(std::uint16_t& v) {
+    if (!take(2)) return false;
+    v = static_cast<std::uint16_t>(wire_[pos_ - 2] | (wire_[pos_ - 1] << 8));
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (!take(4)) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(wire_[pos_ - 4 + i]) << (8 * i);
+    }
+    return true;
+  }
+  bool f64(double& v) {
+    if (!take(8)) return false;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(wire_[pos_ - 8 + i]) << (8 * i);
+    }
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+  bool exhausted() const { return pos_ == wire_.size(); }
+
+ private:
+  bool take(std::size_t n) {
+    if (pos_ + n > wire_.size()) return false;
+    pos_ += n;
+    return true;
+  }
+  std::span<const std::uint8_t> wire_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t LsuMessage::wire_size_bits() const {
+  return 8 * (kHeaderBytes + kEntryBytes * entries.size());
+}
+
+std::vector<std::uint8_t> encode(const LsuMessage& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + kEntryBytes * msg.entries.size());
+  put_u32(out, static_cast<std::uint32_t>(msg.sender));
+  out.push_back(msg.ack ? 1 : 0);
+  put_u32(out, msg.ack_seq);
+  put_u32(out, msg.seq);
+  put_u16(out, static_cast<std::uint16_t>(msg.entries.size()));
+  for (const LsuEntry& e : msg.entries) {
+    put_u32(out, static_cast<std::uint32_t>(e.head));
+    put_u32(out, static_cast<std::uint32_t>(e.tail));
+    put_f64(out, e.cost);
+    out.push_back(static_cast<std::uint8_t>(e.op));
+  }
+  return out;
+}
+
+std::optional<LsuMessage> decode(std::span<const std::uint8_t> wire) {
+  Reader r(wire);
+  LsuMessage msg;
+  std::uint32_t sender = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t count = 0;
+  if (!r.u32(sender) || !r.u8(flags) || !r.u32(msg.ack_seq) ||
+      !r.u32(msg.seq) || !r.u16(count)) {
+    return std::nullopt;
+  }
+  if (flags > 1) return std::nullopt;
+  msg.sender = static_cast<graph::NodeId>(sender);
+  msg.ack = flags == 1;
+  msg.entries.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    LsuEntry e;
+    std::uint32_t head = 0, tail = 0;
+    std::uint8_t op = 0;
+    if (!r.u32(head) || !r.u32(tail) || !r.f64(e.cost) || !r.u8(op)) {
+      return std::nullopt;
+    }
+    if (op > static_cast<std::uint8_t>(LsuOp::kDelete)) return std::nullopt;
+    e.head = static_cast<graph::NodeId>(head);
+    e.tail = static_cast<graph::NodeId>(tail);
+    e.op = static_cast<LsuOp>(op);
+    msg.entries.push_back(e);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace mdr::proto

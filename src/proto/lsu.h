@@ -1,0 +1,66 @@
+// Link-state update (LSU) messages (paper Section 4.1).
+//
+// "The unit of information exchanged between routers is a link-state update
+// message. A router sends an LSU message containing one or more entries,
+// with each entry specifying addition, deletion or change in cost of a link
+// in the router's main topology table. Each entry consists of link
+// information in the form of a triplet [head, tail, cost]. An LSU message
+// contains an acknowledgment flag for acknowledging the receipt of an LSU
+// message from a neighbor (used only by MPDA)."
+//
+// A compact binary wire codec is provided so the packet simulator can carry
+// LSUs in-band and account for their bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/topology.h"
+
+namespace mdr::proto {
+
+enum class LsuOp : std::uint8_t {
+  kAddOrChange = 0,  ///< install the link at the given cost
+  kDelete = 1,       ///< remove the link
+};
+
+struct LsuEntry {
+  graph::NodeId head = graph::kInvalidNode;
+  graph::NodeId tail = graph::kInvalidNode;
+  graph::Cost cost = graph::kInfCost;
+  LsuOp op = LsuOp::kAddOrChange;
+
+  friend bool operator==(const LsuEntry&, const LsuEntry&) = default;
+};
+
+struct LsuMessage {
+  graph::NodeId sender = graph::kInvalidNode;
+  bool ack = false;  ///< acknowledges the receiver's outstanding LSU (MPDA)
+  std::vector<LsuEntry> entries;
+  /// Sequence number of the LSU being acknowledged (valid when ack is set).
+  std::uint32_t ack_seq = 0;
+  /// Sender-assigned sequence number of this entries-LSU; 0 for pure acks.
+  /// Lets MPDA detect duplicates and retransmit unacknowledged LSUs, which
+  /// makes the synchronization robust to message loss (silent link failures,
+  /// adjacency races) — the reliable-flooding discipline of deployed
+  /// link-state protocols.
+  std::uint32_t seq = 0;
+
+  /// MPDA: only LSUs that carry topology entries demand an acknowledgment;
+  /// pure-ACK messages do not (otherwise acks would ack acks forever).
+  bool requires_ack() const { return !entries.empty(); }
+
+  /// Serialized size in bits (what the simulator charges the link).
+  std::size_t wire_size_bits() const;
+
+  friend bool operator==(const LsuMessage&, const LsuMessage&) = default;
+};
+
+/// Binary codec. encode() always succeeds; decode() returns nullopt on
+/// malformed input (truncation, bad op codes, trailing bytes).
+std::vector<std::uint8_t> encode(const LsuMessage& msg);
+std::optional<LsuMessage> decode(std::span<const std::uint8_t> wire);
+
+}  // namespace mdr::proto

@@ -1,0 +1,161 @@
+#include "proto/pda.h"
+
+#include <cassert>
+
+namespace mdr::proto {
+
+using graph::Cost;
+using graph::NodeId;
+
+RouterTables::RouterTables(NodeId self, std::size_t num_nodes)
+    : self_(self),
+      num_nodes_(num_nodes),
+      dist_(num_nodes, graph::kInfCost) {
+  assert(self >= 0 && static_cast<std::size_t>(self) < num_nodes);
+  dist_[self_] = 0;
+}
+
+void RouterTables::apply_lsu(NodeId k, std::span<const LsuEntry> entries) {
+  assert(is_neighbor(k));
+  LinkStateTable& topo = nbr_topo_[k];
+  for (const LsuEntry& e : entries) topo.apply(e);
+  // Fig. 2 step 1b-1c: refresh D_jk by running Dijkstra rooted at k on the
+  // neighbor's (tree) topology.
+  const auto spt = graph::dijkstra(num_nodes_, topo.edges(), k);
+  nbr_dist_[k] = spt.dist;
+}
+
+void RouterTables::link_up(NodeId k, Cost cost) {
+  assert(k != self_);
+  assert(cost >= 0 && cost < graph::kInfCost);
+  neighbors_.insert(k);
+  link_costs_[k] = cost;
+  nbr_topo_[k].clear();
+  auto& dist = nbr_dist_[k];
+  dist.assign(num_nodes_, graph::kInfCost);
+  dist[k] = 0;
+}
+
+void RouterTables::link_cost_change(NodeId k, Cost cost) {
+  assert(cost >= 0 && cost < graph::kInfCost);
+  if (!is_neighbor(k)) return;  // raced with a link_down: nothing to update
+  link_costs_[k] = cost;
+}
+
+void RouterTables::link_down(NodeId k) {
+  neighbors_.erase(k);
+  link_costs_.erase(k);
+  nbr_topo_.erase(k);
+  nbr_dist_.erase(k);
+}
+
+Cost RouterTables::link_cost(NodeId k) const {
+  const auto it = link_costs_.find(k);
+  return it == link_costs_.end() ? graph::kInfCost : it->second;
+}
+
+Cost RouterTables::distance_via(NodeId j, NodeId k) const {
+  const auto it = nbr_dist_.find(k);
+  if (it == nbr_dist_.end()) return graph::kInfCost;
+  return it->second[j];
+}
+
+const LinkStateTable& RouterTables::neighbor_topology(NodeId k) const {
+  static const LinkStateTable kEmpty;
+  const auto it = nbr_topo_.find(k);
+  return it == nbr_topo_.end() ? kEmpty : it->second;
+}
+
+std::vector<LsuEntry> RouterTables::mtu() {
+  const LinkStateTable before = main_;
+
+  // Fig. 3 steps 2-4: for every node j pick the preferred neighbor p
+  // (min D_jp + l_p, ties to the lower address) and copy j's outgoing links
+  // from T_p into the merged topology.
+  LinkStateTable merged;
+  for (NodeId j = 0; j < static_cast<NodeId>(num_nodes_); ++j) {
+    if (j == self_) continue;  // own links are authoritative (step 5)
+    NodeId preferred = graph::kInvalidNode;
+    Cost best = graph::kInfCost;
+    for (const NodeId k : neighbors_) {  // ascending: ties go to lower id
+      const Cost d = distance_via(j, k) + link_cost(k);
+      if (d < best) {
+        best = d;
+        preferred = k;
+      }
+    }
+    if (preferred == graph::kInvalidNode) continue;
+    for (const auto& [tail, cost] : nbr_topo_[preferred].links_from(j)) {
+      merged.set(j, tail, cost);
+    }
+  }
+
+  // Fig. 3 step 5: adjacent links override anything neighbors reported.
+  for (const NodeId k : neighbors_) merged.set(self_, k, link_costs_[k]);
+
+  // Fig. 3 step 6: prune to this router's shortest-path tree.
+  const auto edges = merged.edges();
+  const auto spt = graph::dijkstra(num_nodes_, edges, self_);
+  LinkStateTable pruned;
+  for (NodeId v = 0; v < static_cast<NodeId>(num_nodes_); ++v) {
+    const NodeId parent = spt.parent[v];
+    if (parent == graph::kInvalidNode) continue;
+    const auto cost = merged.cost(parent, v);
+    assert(cost.has_value());
+    pruned.set(parent, v, *cost);
+  }
+
+  // Fig. 3 step 7: refresh D_j.
+  dist_ = spt.dist;
+  dist_[self_] = 0;
+
+  main_ = pruned;
+  // Fig. 3 step 8: report the differences.
+  return LinkStateTable::diff(before, main_);
+}
+
+// ---------------------------------------------------------------------------
+// PdaProcess (Fig. 1)
+
+PdaProcess::PdaProcess(NodeId self, std::size_t num_nodes, LsuSink& sink)
+    : tables_(self, num_nodes), sink_(&sink) {}
+
+void PdaProcess::on_link_up(NodeId k, Cost cost) {
+  tables_.link_up(k, cost);
+  // Fig. 2 step 2: bring the new neighbor up to date with the full main
+  // topology table (nothing to send if we know nothing yet).
+  const auto full = tables_.main_topology().as_entries();
+  if (!full.empty()) {
+    sink_->send(k, LsuMessage{tables_.self(), /*ack=*/false, full});
+    ++messages_sent_;
+  }
+  mtu_and_flood();
+}
+
+void PdaProcess::on_link_down(NodeId k) {
+  tables_.link_down(k);
+  mtu_and_flood();
+}
+
+void PdaProcess::on_link_cost_change(NodeId k, Cost cost) {
+  tables_.link_cost_change(k, cost);
+  mtu_and_flood();
+}
+
+void PdaProcess::on_lsu(const LsuMessage& msg) {
+  assert(tables_.is_neighbor(msg.sender));
+  tables_.apply_lsu(msg.sender, msg.entries);
+  mtu_and_flood();
+}
+
+void PdaProcess::mtu_and_flood() {
+  const auto changes = tables_.mtu();
+  if (changes.empty()) return;
+  const LsuMessage msg{tables_.self(), /*ack=*/false, changes};
+  for (const NodeId k : tables_.neighbors()) {
+    sink_->send(k, msg);
+    ++messages_sent_;
+  }
+}
+
+}  // namespace mdr::proto

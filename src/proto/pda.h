@@ -1,0 +1,131 @@
+// PDA — the Partial-topology Dissemination Algorithm (paper Figs. 1-3).
+//
+// RouterTables holds the per-router protocol state (main topology table T,
+// per-neighbor topology tables T_k, adjacent link costs l_k, distance
+// tables) and implements the NTU (Neighbor Topology table Update) and MTU
+// (Main topology Table Update) procedures. PdaProcess is the event loop of
+// Fig. 1: every event runs NTU then MTU and floods the topology diff to all
+// neighbors.
+//
+// PDA converges to correct shortest paths (paper Theorem 2) but offers no
+// instantaneous loop-freedom; MPDA (core/mpda.h) layers the LFI machinery
+// on top of the same tables.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/topology.h"
+#include "proto/lsu.h"
+#include "proto/tables.h"
+
+namespace mdr::proto {
+
+/// Outbound message interface; the simulator (or a test harness) injects an
+/// implementation. `neighbor` is always a current neighbor of the sender.
+class LsuSink {
+ public:
+  virtual ~LsuSink() = default;
+  virtual void send(graph::NodeId neighbor, const LsuMessage& msg) = 0;
+};
+
+/// Per-router protocol tables plus the NTU/MTU procedures.
+///
+/// Node ids live in a dense universe [0, num_nodes); a production router
+/// would map addresses to dense indices at the edge.
+class RouterTables {
+ public:
+  RouterTables(graph::NodeId self, std::size_t num_nodes);
+
+  graph::NodeId self() const { return self_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  // --- NTU pieces (Fig. 2) -------------------------------------------------
+
+  /// Fig. 2 step 1: fold an LSU from neighbor k into T_k and refresh the
+  /// distances D_jk (from k to every j in T_k).
+  void apply_lsu(graph::NodeId k, std::span<const LsuEntry> entries);
+
+  /// Fig. 2 step 2: adjacent link (self, k) came up at the given cost.
+  void link_up(graph::NodeId k, graph::Cost cost);
+
+  /// Fig. 2 step 3: adjacent link cost change.
+  void link_cost_change(graph::NodeId k, graph::Cost cost);
+
+  /// Fig. 2 step 4: adjacent link failed; clears T_k.
+  void link_down(graph::NodeId k);
+
+  // --- MTU (Fig. 3) --------------------------------------------------------
+
+  /// Rebuilds the main topology table T from the neighbor tables and the
+  /// adjacent links, prunes it to this router's shortest-path tree, updates
+  /// D_j, and returns the LSU entries describing how T changed.
+  std::vector<LsuEntry> mtu();
+
+  // --- accessors -----------------------------------------------------------
+
+  /// Current neighbors (adjacent links that are up), ascending ids.
+  const std::set<graph::NodeId>& neighbors() const { return neighbors_; }
+  bool is_neighbor(graph::NodeId k) const { return neighbors_.contains(k); }
+
+  /// Adjacent link cost l_k; kInfCost if k is not a neighbor.
+  graph::Cost link_cost(graph::NodeId k) const;
+
+  /// D_j: this router's distance to j per the main topology table.
+  graph::Cost distance(graph::NodeId j) const { return dist_[j]; }
+
+  /// D_jk: neighbor k's distance to j per the (time-delayed) topology k
+  /// reported; kInfCost if unknown.
+  graph::Cost distance_via(graph::NodeId j, graph::NodeId k) const;
+
+  const LinkStateTable& main_topology() const { return main_; }
+  const LinkStateTable& neighbor_topology(graph::NodeId k) const;
+
+ private:
+  graph::NodeId self_;
+  std::size_t num_nodes_;
+  LinkStateTable main_;                              // T
+  std::map<graph::NodeId, LinkStateTable> nbr_topo_;  // T_k
+  std::map<graph::NodeId, std::vector<graph::Cost>> nbr_dist_;  // D_jk
+  std::map<graph::NodeId, graph::Cost> link_costs_;  // l_k
+  std::set<graph::NodeId> neighbors_;
+  std::vector<graph::Cost> dist_;  // D_j
+};
+
+/// Events a protocol process consumes; shared by PDA and MPDA.
+class RoutingProcess {
+ public:
+  virtual ~RoutingProcess() = default;
+  virtual void on_link_up(graph::NodeId k, graph::Cost cost) = 0;
+  virtual void on_link_down(graph::NodeId k) = 0;
+  virtual void on_link_cost_change(graph::NodeId k, graph::Cost cost) = 0;
+  virtual void on_lsu(const LsuMessage& msg) = 0;
+};
+
+/// The PDA event loop (Fig. 1).
+class PdaProcess final : public RoutingProcess {
+ public:
+  PdaProcess(graph::NodeId self, std::size_t num_nodes, LsuSink& sink);
+
+  void on_link_up(graph::NodeId k, graph::Cost cost) override;
+  void on_link_down(graph::NodeId k) override;
+  void on_link_cost_change(graph::NodeId k, graph::Cost cost) override;
+  void on_lsu(const LsuMessage& msg) override;
+
+  const RouterTables& tables() const { return tables_; }
+
+  /// Messages sent so far (diagnostics / overhead accounting).
+  std::size_t messages_sent() const { return messages_sent_; }
+
+ private:
+  // Fig. 1 steps 2-4: MTU, then flood the diff.
+  void mtu_and_flood();
+
+  RouterTables tables_;
+  LsuSink* sink_;
+  std::size_t messages_sent_ = 0;
+};
+
+}  // namespace mdr::proto

@@ -1,0 +1,79 @@
+#include "proto/tables.h"
+
+#include <cassert>
+
+namespace mdr::proto {
+
+void LinkStateTable::set(graph::NodeId head, graph::NodeId tail,
+                         graph::Cost cost) {
+  assert(head != tail);
+  assert(cost >= 0);
+  links_[Key{head, tail}] = cost;
+}
+
+void LinkStateTable::remove(graph::NodeId head, graph::NodeId tail) {
+  links_.erase(Key{head, tail});
+}
+
+void LinkStateTable::apply(const LsuEntry& entry) {
+  if (entry.op == LsuOp::kDelete) {
+    remove(entry.head, entry.tail);
+  } else {
+    set(entry.head, entry.tail, entry.cost);
+  }
+}
+
+std::optional<graph::Cost> LinkStateTable::cost(graph::NodeId head,
+                                                graph::NodeId tail) const {
+  const auto it = links_.find(Key{head, tail});
+  if (it == links_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<graph::CostedEdge> LinkStateTable::edges() const {
+  std::vector<graph::CostedEdge> out;
+  out.reserve(links_.size());
+  for (const auto& [key, cost] : links_) {
+    out.push_back(graph::CostedEdge{key.first, key.second, cost});
+  }
+  return out;
+}
+
+std::vector<std::pair<graph::NodeId, graph::Cost>> LinkStateTable::links_from(
+    graph::NodeId head) const {
+  std::vector<std::pair<graph::NodeId, graph::Cost>> out;
+  for (auto it = links_.lower_bound(Key{head, graph::kInvalidNode});
+       it != links_.end() && it->first.first == head; ++it) {
+    out.emplace_back(it->first.second, it->second);
+  }
+  return out;
+}
+
+std::vector<LsuEntry> LinkStateTable::as_entries() const {
+  std::vector<LsuEntry> out;
+  out.reserve(links_.size());
+  for (const auto& [key, cost] : links_) {
+    out.push_back(LsuEntry{key.first, key.second, cost, LsuOp::kAddOrChange});
+  }
+  return out;
+}
+
+std::vector<LsuEntry> LinkStateTable::diff(const LinkStateTable& before,
+                                           const LinkStateTable& after) {
+  std::vector<LsuEntry> out;
+  for (const auto& [key, cost] : after.links_) {
+    const auto old = before.cost(key.first, key.second);
+    if (!old.has_value() || *old != cost) {
+      out.push_back(LsuEntry{key.first, key.second, cost, LsuOp::kAddOrChange});
+    }
+  }
+  for (const auto& [key, cost] : before.links_) {
+    if (!after.cost(key.first, key.second).has_value()) {
+      out.push_back(
+          LsuEntry{key.first, key.second, graph::kInfCost, LsuOp::kDelete});
+    }
+  }
+  return out;
+}
+
+}  // namespace mdr::proto

@@ -1,0 +1,60 @@
+// Link-state tables (paper Section 4.1).
+//
+// LinkStateTable is the representation of both the main topology table T^i
+// and the per-neighbor topology tables T^i_k: a set of directed links with
+// costs, diffable so a router can advertise exactly what changed.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/topology.h"
+#include "proto/lsu.h"
+
+namespace mdr::proto {
+
+class LinkStateTable {
+ public:
+  /// Installs or updates a directed link.
+  void set(graph::NodeId head, graph::NodeId tail, graph::Cost cost);
+
+  /// Removes a link if present.
+  void remove(graph::NodeId head, graph::NodeId tail);
+
+  /// Applies one LSU entry (add/change or delete).
+  void apply(const LsuEntry& entry);
+
+  std::optional<graph::Cost> cost(graph::NodeId head,
+                                  graph::NodeId tail) const;
+
+  void clear() { links_.clear(); }
+  std::size_t size() const { return links_.size(); }
+  bool empty() const { return links_.empty(); }
+
+  /// Snapshot as costed edges (Dijkstra input).
+  std::vector<graph::CostedEdge> edges() const;
+
+  /// The links whose head is `head`, as (tail, cost) pairs in tail order
+  /// (what MTU copies from the preferred neighbor's table).
+  std::vector<std::pair<graph::NodeId, graph::Cost>> links_from(
+      graph::NodeId head) const;
+
+  /// Snapshot as add/change LSU entries (full-topology sync on link-up).
+  std::vector<LsuEntry> as_entries() const;
+
+  /// Entries that transform `before` into `after`: kAddOrChange for new or
+  /// re-costed links, kDelete for vanished ones. Deterministic order.
+  static std::vector<LsuEntry> diff(const LinkStateTable& before,
+                                    const LinkStateTable& after);
+
+  friend bool operator==(const LinkStateTable&, const LinkStateTable&) = default;
+
+ private:
+  using Key = std::pair<graph::NodeId, graph::NodeId>;
+  std::map<Key, graph::Cost> links_;  // ordered: deterministic diffs
+};
+
+}  // namespace mdr::proto

@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mdr::sim {
+
+void EventQueue::schedule_at(Time t, Callback fn) {
+  assert(t >= now_ - 1e-12);
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; moving the callback out requires the
+  // usual const_cast idiom (the element is removed immediately after).
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  assert(ev.time >= now_ - 1e-12);
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run_until(Time t) {
+  while (!heap_.empty() && heap_.top().time <= t) run_next();
+  now_ = t;
+}
+
+}  // namespace mdr::sim

@@ -1,0 +1,61 @@
+// Discrete-event simulation core: a time-ordered event queue.
+//
+// Events scheduled for the same instant execute in schedule order (stable
+// FIFO tie-break), which keeps runs exactly reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace mdr::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void schedule_at(Time t, Callback fn);
+
+  /// Schedules `fn` after `delay` seconds (>= 0).
+  void schedule_in(Duration delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Executes the earliest event; false if the queue is empty.
+  bool run_next();
+
+  /// Executes every event with time <= `t`, then advances the clock to `t`.
+  void run_until(Time t);
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::size_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace mdr::sim

@@ -1,0 +1,100 @@
+#include "sim/experiment.h"
+
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+
+#include "flow/evaluate.h"
+#include "flow/network.h"
+
+namespace mdr::sim {
+
+OptReference compute_opt_reference(const graph::Topology& topo,
+                                   const std::vector<topo::FlowSpec>& flows,
+                                   double mean_packet_bits,
+                                   const gallager::Options& opt) {
+  const flow::FlowNetwork net(topo, mean_packet_bits);
+  const auto traffic = topo::to_traffic_matrix(topo, flows);
+  auto result = gallager::minimize(net, traffic, opt);
+
+  OptReference ref{std::move(result.phi), {}, result.total_delay_rate,
+                   result.average_delay_s, result.feasible, result.iterations};
+  const auto assignment = flow::compute_flows(net, traffic, ref.phi);
+  const auto delays = flow::commodity_delays(net, ref.phi, assignment.link_flows);
+  for (const auto& f : flows) {
+    const auto src = topo.find_node(f.src);
+    const auto dst = topo.find_node(f.dst);
+    assert(src != graph::kInvalidNode && dst != graph::kInvalidNode);
+    ref.flow_delay_s.push_back(delays(src, dst));
+  }
+  return ref;
+}
+
+SimResult run_with_static_phi(const graph::Topology& topo,
+                              const std::vector<topo::FlowSpec>& flows,
+                              SimConfig config,
+                              const flow::RoutingParameters& phi) {
+  config.mode = RoutingMode::kStatic;
+  config.static_phi = &phi;
+  return run_simulation(topo, flows, config);
+}
+
+DelayTable::DelayTable(std::vector<std::string> flow_labels)
+    : labels_(std::move(flow_labels)) {}
+
+void DelayTable::add_series(const std::string& name,
+                            const std::vector<double>& delays_s) {
+  assert(delays_s.size() == labels_.size());
+  series_.emplace_back(name, delays_s);
+}
+
+std::vector<double> DelayTable::ratio(const std::string& num,
+                                      const std::string& den) const {
+  const std::vector<double>* n = nullptr;
+  const std::vector<double>* d = nullptr;
+  for (const auto& [name, values] : series_) {
+    if (name == num) n = &values;
+    if (name == den) d = &values;
+  }
+  assert(n != nullptr && d != nullptr);
+  std::vector<double> out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    out.push_back((*d)[i] > 0 ? (*n)[i] / (*d)[i] : 0);
+  }
+  return out;
+}
+
+void DelayTable::print(std::ostream& os, const std::string& title) const {
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(6) << "flow" << std::setw(18) << "src->dst";
+  for (const auto& [name, values] : series_) {
+    os << std::right << std::setw(16) << name;
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    os << std::left << std::setw(6) << i << std::setw(18) << labels_[i];
+    os << std::fixed << std::setprecision(3);
+    for (const auto& [name, values] : series_) {
+      os << std::right << std::setw(13) << values[i] * 1e3 << " ms";
+    }
+    os << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+  os << std::setprecision(6);
+}
+
+std::vector<double> flow_delays(const SimResult& result) {
+  std::vector<double> out;
+  out.reserve(result.flows.size());
+  for (const auto& f : result.flows) out.push_back(f.mean_delay_s);
+  return out;
+}
+
+std::vector<std::string> flow_labels(const std::vector<topo::FlowSpec>& flows) {
+  std::vector<std::string> out;
+  out.reserve(flows.size());
+  for (const auto& f : flows) out.push_back(f.src + "->" + f.dst);
+  return out;
+}
+
+}  // namespace mdr::sim

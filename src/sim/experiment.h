@@ -1,0 +1,65 @@
+// Experiment drivers shared by the figure benches and examples: computing
+// the OPT reference (Gallager's algorithm at flow level, installed into the
+// packet simulator as static routing parameters), running MP/SP
+// measurements, and rendering the per-flow delay tables the paper's figures
+// plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "flow/phi.h"
+#include "gallager/optimizer.h"
+#include "sim/network_sim.h"
+#include "topo/flows.h"
+
+namespace mdr::sim {
+
+/// Gallager's OPT solved for the given stationary flows.
+struct OptReference {
+  flow::RoutingParameters phi;      ///< converged routing parameters
+  std::vector<double> flow_delay_s; ///< flow-level expected delay per flow
+  double total_delay_rate = 0;
+  double average_delay_s = 0;
+  bool feasible = true;
+  int iterations = 0;
+};
+
+OptReference compute_opt_reference(const graph::Topology& topo,
+                                   const std::vector<topo::FlowSpec>& flows,
+                                   double mean_packet_bits,
+                                   const gallager::Options& opt = {});
+
+/// Runs the packet simulator with OPT's phi installed as static routing.
+SimResult run_with_static_phi(const graph::Topology& topo,
+                              const std::vector<topo::FlowSpec>& flows,
+                              SimConfig config,
+                              const flow::RoutingParameters& phi);
+
+/// Per-flow delay table in the shape of the paper's figures: one row per
+/// flow id, one column per routing scheme, delays in milliseconds.
+class DelayTable {
+ public:
+  explicit DelayTable(std::vector<std::string> flow_labels);
+
+  /// Adds a column; values are in seconds and rendered in ms.
+  void add_series(const std::string& name, const std::vector<double>& delays_s);
+
+  /// Ratio helper: per-row value of `num` / value of `den` (by column name).
+  std::vector<double> ratio(const std::string& num, const std::string& den) const;
+
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+/// Extracts per-flow mean delays (seconds) from a SimResult, in flow order.
+std::vector<double> flow_delays(const SimResult& result);
+
+/// Flow labels "src->dst" in flow order.
+std::vector<std::string> flow_labels(const std::vector<topo::FlowSpec>& flows);
+
+}  // namespace mdr::sim

@@ -1,0 +1,146 @@
+#include "sim/link.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mdr::sim {
+
+SimLink::SimLink(EventQueue& events, graph::LinkAttr attr,
+                 cost::EstimatorKind estimator_kind, double mean_packet_bits,
+                 DeliverFn deliver, Options options, Rng rng)
+    : events_(&events),
+      attr_(attr),
+      deliver_(std::move(deliver)),
+      options_(options),
+      rng_(rng),
+      short_estimator_(cost::make_estimator(estimator_kind, attr.capacity_bps,
+                                            attr.prop_delay_s,
+                                            mean_packet_bits)),
+      long_estimator_(cost::make_estimator(estimator_kind, attr.capacity_bps,
+                                           attr.prop_delay_s,
+                                           mean_packet_bits)),
+      short_window_start_(events.now()),
+      long_window_start_(events.now()) {}
+
+bool SimLink::enqueue(Packet packet) {
+  if (!up_) {
+    ++drops_;
+    return false;
+  }
+  const bool starts_busy_period =
+      !transmitting_ && control_queue_.empty() && data_queue_.empty();
+  if (packet.kind == Packet::Kind::kData &&
+      options_.queue_limit_bits > 0 &&
+      queued_bits_ + packet.size_bits > options_.queue_limit_bits) {
+    ++drops_;
+    return false;
+  }
+  queued_bits_ += packet.size_bits;
+  Queued q{std::move(packet), events_->now()};
+  // Mark busy-period starts through the enqueue time so estimators see them.
+  if (starts_busy_period) q.enqueued = events_->now();
+  auto& queue = q.packet.kind == Packet::Kind::kControl ? control_queue_
+                                                        : data_queue_;
+  queue.push_back(std::move(q));
+  if (!transmitting_) start_transmission();
+  return true;
+}
+
+void SimLink::start_transmission() {
+  assert(!transmitting_);
+  assert(!control_queue_.empty() || !data_queue_.empty());
+  transmitting_ = true;
+  const std::uint64_t epoch = epoch_;
+  // Pin the packet in service now: a control arrival during a data
+  // transmission must not reorder what completes.
+  auto& queue = control_queue_.empty() ? data_queue_ : control_queue_;
+  in_service_ = std::move(queue.front());
+  queue.pop_front();
+  const double service =
+      (in_service_->packet.size_bits + kHeaderBits) / attr_.capacity_bps;
+  events_->schedule_in(service, [this, epoch] {
+    if (epoch == epoch_) finish_transmission();
+  });
+}
+
+void SimLink::finish_transmission() {
+  assert(transmitting_);
+  assert(in_service_.has_value());
+  Queued q = std::move(*in_service_);
+  in_service_.reset();
+  queued_bits_ -= q.packet.size_bits;
+  transmitting_ = false;
+
+  const double service =
+      (q.packet.size_bits + kHeaderBits) / attr_.capacity_bps;
+  busy_time_ += service;
+
+  cost::PacketObservation obs;
+  obs.arrival_time = q.enqueued;
+  obs.departure_time = events_->now();
+  obs.service_time = service;
+  obs.size_bits = q.packet.size_bits + kHeaderBits;
+  // It started a busy period iff nothing was being served when it arrived,
+  // i.e. its waiting time is exactly zero.
+  obs.started_busy_period = obs.departure_time - obs.arrival_time <=
+                            service + 1e-15;
+  short_estimator_->observe(obs);
+  long_estimator_->observe(obs);
+
+  if (q.packet.kind == Packet::Kind::kControl) {
+    ++control_packets_;
+    control_bits_ += obs.size_bits;
+  } else {
+    ++data_packets_;
+    data_bits_ += obs.size_bits;
+  }
+
+  if (options_.loss_rate > 0 && rng_.bernoulli(options_.loss_rate)) {
+    ++drops_;  // corrupted on the wire
+  } else {
+    const std::uint64_t epoch = epoch_;
+    events_->schedule_in(attr_.prop_delay_s,
+                         [this, epoch, packet = std::move(q.packet)]() mutable {
+                           if (epoch == epoch_) deliver_(std::move(packet));
+                         });
+  }
+
+  if (!control_queue_.empty() || !data_queue_.empty()) start_transmission();
+}
+
+void SimLink::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up) {
+    // Everything queued or in flight is lost; outstanding completion and
+    // delivery events are invalidated by the epoch bump.
+    drops_ += control_queue_.size() + data_queue_.size() +
+              (in_service_.has_value() ? 1 : 0);
+    control_queue_.clear();
+    data_queue_.clear();
+    in_service_.reset();
+    queued_bits_ = 0;
+    transmitting_ = false;
+    ++epoch_;
+  }
+}
+
+double SimLink::take_short_estimate() {
+  assert(events_->now() > short_window_start_);
+  const double est =
+      short_estimator_->estimate(short_window_start_, events_->now());
+  short_estimator_->reset();
+  short_window_start_ = events_->now();
+  return est;
+}
+
+double SimLink::take_long_estimate() {
+  assert(events_->now() > long_window_start_);
+  const double est =
+      long_estimator_->estimate(long_window_start_, events_->now());
+  long_estimator_->reset();
+  long_window_start_ = events_->now();
+  return est;
+}
+
+}  // namespace mdr::sim

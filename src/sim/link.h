@@ -1,0 +1,107 @@
+// Simulated directed link: a transmitter with a strict-priority queue
+// (control before data), propagation delay, per-window measurement hooks for
+// the marginal-delay estimators, and running statistics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "cost/estimators.h"
+#include "graph/topology.h"
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdr::sim {
+
+class SimLink {
+ public:
+  /// `deliver` fires when a packet fully arrives at the far end.
+  using DeliverFn = std::function<void(Packet)>;
+
+  struct Options {
+    double queue_limit_bits = 0;  ///< 0 = unbounded (paper setting)
+    /// Independent per-packet loss probability applied after transmission
+    /// (a noisy medium). Control traffic is equally affected — MPDA's
+    /// retransmission machinery is what keeps routing correct under loss.
+    double loss_rate = 0;
+  };
+
+  SimLink(EventQueue& events, graph::LinkAttr attr,
+          cost::EstimatorKind estimator_kind, double mean_packet_bits,
+          DeliverFn deliver)
+      : SimLink(events, attr, estimator_kind, mean_packet_bits,
+                std::move(deliver), Options{}, Rng(0)) {}
+
+  SimLink(EventQueue& events, graph::LinkAttr attr,
+          cost::EstimatorKind estimator_kind, double mean_packet_bits,
+          DeliverFn deliver, Options options, Rng rng = Rng(0));
+
+  /// Queues a packet for transmission; control packets bypass data.
+  /// Returns false when dropped at a full queue.
+  bool enqueue(Packet packet);
+
+  bool up() const { return up_; }
+  /// Failing a link discards everything queued or in flight.
+  void set_up(bool up);
+
+  const graph::LinkAttr& attr() const { return attr_; }
+
+  // --- measurement (two independent windows: Ts and Tl) -------------------
+
+  /// Short-window marginal-delay estimate; resets the short window.
+  double take_short_estimate();
+  /// Long-window marginal-delay estimate; resets the long window.
+  double take_long_estimate();
+
+  // --- statistics ----------------------------------------------------------
+
+  std::uint64_t data_packets() const { return data_packets_; }
+  std::uint64_t control_packets() const { return control_packets_; }
+  double data_bits() const { return data_bits_; }
+  double control_bits() const { return control_bits_; }
+  std::uint64_t drops() const { return drops_; }
+  double utilization_estimate(Time horizon) const {
+    return horizon > 0 ? busy_time_ / horizon : 0;
+  }
+
+ private:
+  void start_transmission();
+  void finish_transmission();
+
+  EventQueue* events_;
+  graph::LinkAttr attr_;
+  DeliverFn deliver_;
+  Options options_;
+  Rng rng_;
+
+  struct Queued {
+    Packet packet;
+    Time enqueued;
+  };
+  std::deque<Queued> control_queue_;
+  std::deque<Queued> data_queue_;
+  std::optional<Queued> in_service_;
+  double queued_bits_ = 0;
+  bool transmitting_ = false;
+  bool up_ = true;
+  std::uint64_t epoch_ = 0;  ///< bumped on set_up(false): cancels in-flight
+
+  std::unique_ptr<cost::MarginalDelayEstimator> short_estimator_;
+  std::unique_ptr<cost::MarginalDelayEstimator> long_estimator_;
+  Time short_window_start_ = 0;
+  Time long_window_start_ = 0;
+
+  std::uint64_t data_packets_ = 0;
+  std::uint64_t control_packets_ = 0;
+  double data_bits_ = 0;
+  double control_bits_ = 0;
+  std::uint64_t drops_ = 0;
+  double busy_time_ = 0;
+};
+
+}  // namespace mdr::sim

@@ -1,0 +1,269 @@
+#include "sim/network_sim.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/lfi.h"
+#include "util/log.h"
+
+namespace mdr::sim {
+
+using graph::LinkId;
+using graph::NodeId;
+
+NetworkSim::NetworkSim(const graph::Topology& topo,
+                       const std::vector<topo::FlowSpec>& flows,
+                       SimConfig config)
+    : topo_(&topo),
+      flow_specs_(flows),
+      config_(config),
+      master_rng_(config.seed) {
+  assert(config.mode != RoutingMode::kStatic || config.static_phi != nullptr);
+  build();
+}
+
+void NetworkSim::build() {
+  const auto n = static_cast<NodeId>(topo_->num_nodes());
+  measure_start_ = config_.traffic_start + config_.warmup;
+  flow_delays_.resize(flow_specs_.size());
+
+  NodeOptions node_options;
+  node_options.mode = config_.mode;
+  node_options.tl = config_.tl;
+  node_options.ts = config_.ts;
+  node_options.ah_damping = config_.ah_damping;
+  node_options.mean_packet_bits = config_.mean_packet_bits;
+  node_options.smoothing = config_.smoothing;
+  node_options.wrr_forwarding = config_.wrr_forwarding;
+  node_options.use_hello = config_.use_hello;
+  node_options.hello = config_.hello;
+
+  NodeCallbacks callbacks;
+  callbacks.delivered = [this](const Packet& p, Duration delay) {
+    window_delay_sum_ += delay;
+    ++window_delivered_;
+    if (p.created < measure_start_ || p.flow_id < 0) return;
+    flow_delays_[static_cast<std::size_t>(p.flow_id)].add(delay);
+  };
+  callbacks.dropped = [this](const Packet&) { ++window_dropped_; };
+
+  for (NodeId i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<SimNode>(events_, i, topo_->num_nodes(),
+                                               node_options,
+                                               master_rng_.split(), callbacks));
+  }
+
+  SimLink::Options link_options;
+  link_options.queue_limit_bits = config_.queue_limit_bits;
+  link_options.loss_rate = config_.link_loss_rate;
+  for (LinkId id = 0; id < static_cast<LinkId>(topo_->num_links()); ++id) {
+    const auto& l = topo_->link(id);
+    SimNode* to = nodes_[l.to].get();
+    links_.push_back(std::make_unique<SimLink>(
+        events_, l.attr, config_.estimator, config_.mean_packet_bits,
+        [to](Packet p) { to->receive(std::move(p)); }, link_options,
+        master_rng_.split()));
+    nodes_[l.from]->attach_link(l.to, links_.back().get());
+  }
+
+  if (config_.mode == RoutingMode::kStatic) {
+    const auto& phi = *config_.static_phi;
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const auto values = phi.at(i, j);
+        const auto out = topo_->out_links(i);
+        std::vector<core::ForwardingChoice> choices;
+        for (std::size_t x = 0; x < out.size(); ++x) {
+          if (values[x] > 0) {
+            choices.push_back(
+                core::ForwardingChoice{topo_->link(out[x]).to, values[x]});
+          }
+        }
+        nodes_[i]->set_static_choices(j, std::move(choices));
+      }
+    }
+  }
+
+  // Protocol bring-up at t=0 (random per-node order falls out of per-node
+  // timer phases; link_up processing itself is instantaneous and local).
+  for (NodeId i = 0; i < n; ++i) {
+    SimNode* node = nodes_[i].get();
+    events_.schedule_at(0, [node] { node->start(); });
+  }
+
+  // Traffic sources.
+  const Time stop = measure_start_ + config_.duration;
+  for (std::size_t f = 0; f < flow_specs_.size(); ++f) {
+    const auto& spec = flow_specs_[f];
+    FlowShape shape;
+    shape.src = topo_->find_node(spec.src);
+    shape.dst = topo_->find_node(spec.dst);
+    assert(shape.src != graph::kInvalidNode);
+    assert(shape.dst != graph::kInvalidNode);
+    shape.flow_id = static_cast<int>(f);
+    shape.rate_bps = spec.rate_bps;
+    shape.mean_packet_bits = config_.mean_packet_bits;
+    SimNode* src_node = nodes_[shape.src].get();
+    const auto inject = [src_node](Packet p) { src_node->receive(std::move(p)); };
+    auto model = config_.traffic_model;
+    if (config_.bursty && model == SimConfig::TrafficModel::kPoisson) {
+      model = SimConfig::TrafficModel::kOnOff;  // back-compat alias
+    }
+    switch (model) {
+      case SimConfig::TrafficModel::kOnOff:
+        onoff_sources_.push_back(std::make_unique<OnOffSource>(
+            events_, shape, config_.burstiness, master_rng_.split(), inject));
+        onoff_sources_.back()->run(config_.traffic_start, stop);
+        break;
+      case SimConfig::TrafficModel::kParetoOnOff:
+        pareto_sources_.push_back(std::make_unique<ParetoOnOffSource>(
+            events_, shape, config_.pareto, master_rng_.split(), inject));
+        pareto_sources_.back()->run(config_.traffic_start, stop);
+        break;
+      case SimConfig::TrafficModel::kPoisson:
+        poisson_sources_.push_back(std::make_unique<PoissonSource>(
+            events_, shape, master_rng_.split(), inject));
+        poisson_sources_.back()->run(config_.traffic_start, stop);
+        break;
+    }
+  }
+
+  schedule_link_toggles();
+
+  if (config_.lfi_check_interval > 0 && config_.mode != RoutingMode::kStatic) {
+    events_.schedule_in(config_.lfi_check_interval, [this] { lfi_check(); });
+  }
+  if (config_.timeseries_interval > 0) {
+    events_.schedule_in(config_.timeseries_interval,
+                        [this] { timeseries_tick(); });
+  }
+}
+
+void NetworkSim::timeseries_tick() {
+  TimePoint point;
+  point.t = events_.now();
+  point.delivered = window_delivered_;
+  point.mean_delay_s = window_delivered_ > 0
+                           ? window_delay_sum_ /
+                                 static_cast<double>(window_delivered_)
+                           : 0.0;
+  point.dropped = window_dropped_;
+  timeseries_.push_back(point);
+  window_delay_sum_ = 0;
+  window_delivered_ = 0;
+  window_dropped_ = 0;
+  events_.schedule_in(config_.timeseries_interval, [this] { timeseries_tick(); });
+}
+
+void NetworkSim::lfi_check() {
+  const auto n = static_cast<NodeId>(topo_->num_nodes());
+  ++lfi_checks_;
+  for (NodeId j = 0; j < n; ++j) {
+    core::LfiSnapshot snap;
+    snap.feasible_distance.resize(topo_->num_nodes());
+    snap.successors.resize(topo_->num_nodes());
+    for (NodeId i = 0; i < n; ++i) {
+      const auto& mpda = nodes_[i]->router()->mpda();
+      snap.feasible_distance[i] = mpda.feasible_distance(j);
+      if (i != j) snap.successors[i] = mpda.successors(j);
+    }
+    if (!core::feasible_distances_decrease(snap) ||
+        !core::successor_graph_loop_free(snap)) {
+      ++lfi_violations_;
+      MDR_LOG_WARN("LFI violated for destination %d at t=%.6f", j,
+                   events_.now());
+    }
+  }
+  events_.schedule_in(config_.lfi_check_interval, [this] { lfi_check(); });
+}
+
+void NetworkSim::schedule_link_toggles() {
+  for (const auto& toggle : config_.link_toggles) {
+    const NodeId a = topo_->find_node(toggle.a);
+    const NodeId b = topo_->find_node(toggle.b);
+    assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
+    events_.schedule_at(toggle.at,
+                        [this, a, b, up = toggle.up, silent = toggle.silent] {
+                          toggle_duplex(a, b, up, silent);
+                        });
+  }
+}
+
+void NetworkSim::toggle_duplex(NodeId a, NodeId b, bool up, bool silent) {
+  const LinkId ab = topo_->find_link(a, b);
+  const LinkId ba = topo_->find_link(b, a);
+  assert(ab != graph::kInvalidLink && ba != graph::kInvalidLink);
+  links_[ab]->set_up(up);
+  links_[ba]->set_up(up);
+  if (silent) return;  // nobody is told; hello timeouts must catch it
+  if (up) {
+    nodes_[a]->neighbor_link_restored(b);
+    nodes_[b]->neighbor_link_restored(a);
+  } else {
+    nodes_[a]->neighbor_link_failed(b);
+    nodes_[b]->neighbor_link_failed(a);
+  }
+}
+
+SimResult NetworkSim::run() {
+  const Time stop = measure_start_ + config_.duration;
+  // Small drain period so packets in flight at `stop` still land.
+  events_.run_until(stop + 0.5);
+
+  SimResult result;
+  result.events_processed = events_.processed();
+  result.lfi_checks = lfi_checks_;
+  result.lfi_violations = lfi_violations_;
+  result.timeseries = timeseries_;
+  double delay_weighted = 0;
+  for (std::size_t f = 0; f < flow_specs_.size(); ++f) {
+    const auto& spec = flow_specs_[f];
+    const auto& samples = flow_delays_[f];
+    FlowResult fr;
+    fr.flow_id = static_cast<int>(f);
+    fr.src = spec.src;
+    fr.dst = spec.dst;
+    fr.offered_bps = spec.rate_bps;
+    fr.delivered = samples.count();
+    if (!samples.empty()) {
+      fr.mean_delay_s = samples.mean();
+      fr.p95_delay_s = samples.percentile(0.95);
+      OnlineStats s;
+      for (double d : samples.values()) s.add(d);
+      fr.stddev_delay_s = s.stddev();
+      delay_weighted += samples.mean() * static_cast<double>(samples.count());
+      result.delivered += samples.count();
+    }
+    result.flows.push_back(fr);
+  }
+  result.avg_delay_s =
+      result.delivered > 0
+          ? delay_weighted / static_cast<double>(result.delivered)
+          : 0;
+  for (const auto& node : nodes_) {
+    result.dropped_no_route += node->drops_no_route();
+    result.dropped_ttl += node->drops_ttl();
+    result.control_messages += node->control_messages_sent();
+  }
+  for (LinkId id = 0; id < static_cast<LinkId>(links_.size()); ++id) {
+    const auto& link = *links_[id];
+    result.dropped_queue += link.drops();
+    result.control_bits += link.control_bits();
+    const auto& l = topo_->link(id);
+    result.links.push_back(LinkLoad{
+        std::string(topo_->name(l.from)), std::string(topo_->name(l.to)),
+        link.data_bits(), link.control_bits(),
+        link.utilization_estimate(events_.now())});
+  }
+  return result;
+}
+
+SimResult run_simulation(const graph::Topology& topo,
+                         const std::vector<topo::FlowSpec>& flows,
+                         const SimConfig& config) {
+  NetworkSim sim(topo, flows, config);
+  return sim.run();
+}
+
+}  // namespace mdr::sim

@@ -1,0 +1,167 @@
+// NetworkSim: assembles a packet-level simulation of a Topology — one
+// SimNode per router, one SimLink per directed link, traffic sources per
+// flow — runs it, and reports per-flow delay statistics plus control-plane
+// overhead. This is the measurement instrument behind every figure bench.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/phi.h"
+#include "graph/topology.h"
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/traffic.h"
+#include "topo/flows.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdr::sim {
+
+struct SimConfig {
+  RoutingMode mode = RoutingMode::kMultipath;
+  Duration tl = 10.0;
+  Duration ts = 2.0;
+  cost::EstimatorKind estimator = cost::EstimatorKind::kUtilization;
+  double mean_packet_bits = 8e3;
+
+  Duration traffic_start = 3.0;  ///< protocol converges before load arrives
+  Duration warmup = 10.0;        ///< loaded but unmeasured
+  Duration duration = 60.0;      ///< measured period
+
+  std::uint64_t seed = 1;
+  double link_loss_rate = 0;  ///< per-packet Bernoulli loss on every link
+  double ah_damping = 0.5;    ///< see MpRouterOptions::ah_damping
+  cost::DualTimescaleCost::Options smoothing{};  ///< Ts/Tl cost smoothing
+  bool wrr_forwarding = false;  ///< smooth-WRR phi realization (all modes)
+  double queue_limit_bits = 0;  ///< 0 = unbounded
+
+  enum class TrafficModel {
+    kPoisson,      ///< stationary (the paper's Section 5.1 experiments)
+    kOnOff,        ///< exponential bursts (short-term fluctuations)
+    kParetoOnOff,  ///< heavy-tailed bursts (self-similar traffic)
+  };
+  TrafficModel traffic_model = TrafficModel::kPoisson;
+  /// Back-compat alias: true selects kOnOff.
+  bool bursty = false;
+  OnOffSource::Burstiness burstiness{};
+  ParetoOnOffSource::Shape pareto{};
+
+  /// kStatic mode: the routing parameters to install (e.g. OPT's output).
+  const flow::RoutingParameters* static_phi = nullptr;
+
+  /// Hello protocol beneath routing (see NodeOptions::use_hello): 2-way
+  /// adjacency checks and dead-interval detection of silent failures.
+  bool use_hello = false;
+  proto::HelloProtocol::Options hello{};
+
+  /// Scheduled physical-layer changes (both directions toggled).
+  struct LinkToggle {
+    Time at = 0;
+    std::string a, b;  ///< node names
+    bool up = false;
+    /// Silent: the physical layer does not signal the change; only the
+    /// hello dead interval can detect it (requires use_hello for recovery).
+    bool silent = false;
+  };
+  std::vector<LinkToggle> link_toggles;
+
+  /// If > 0, periodically snapshot every router's feasible distances and
+  /// successor sets and verify the Loop-Free Invariant globally (paper
+  /// Theorem 3) — the packet-level counterpart of the property tests.
+  /// Violations are counted in SimResult::lfi_violations (must be 0).
+  Duration lfi_check_interval = 0;
+
+  /// If > 0, record a delay/throughput time series with this window size
+  /// (SimResult::timeseries) — how the network behaves *over time*, e.g.
+  /// around a failure or a burst, rather than just on average.
+  Duration timeseries_interval = 0;
+};
+
+/// One time-series window (delivered packets within [t - window, t)).
+struct TimePoint {
+  Time t = 0;
+  std::uint64_t delivered = 0;
+  double mean_delay_s = 0;  ///< 0 when nothing was delivered in the window
+  std::uint64_t dropped = 0;
+};
+
+struct FlowResult {
+  int flow_id = -1;
+  std::string src, dst;
+  double offered_bps = 0;
+  std::uint64_t delivered = 0;
+  double mean_delay_s = 0;
+  double p95_delay_s = 0;
+  double stddev_delay_s = 0;
+};
+
+struct LinkLoad {
+  std::string from, to;
+  double data_bits = 0;
+  double control_bits = 0;
+  double utilization = 0;  ///< busy fraction over the whole run
+};
+
+struct SimResult {
+  std::vector<FlowResult> flows;
+  std::vector<LinkLoad> links;  ///< by LinkId
+  double avg_delay_s = 0;  ///< packet-weighted over all measured deliveries
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t control_messages = 0;
+  double control_bits = 0;
+  std::size_t events_processed = 0;
+  std::uint64_t lfi_checks = 0;      ///< snapshots taken (see lfi_check_interval)
+  std::uint64_t lfi_violations = 0;  ///< invariant breaches observed (expect 0)
+  std::vector<TimePoint> timeseries;  ///< see SimConfig::timeseries_interval
+};
+
+class NetworkSim {
+ public:
+  NetworkSim(const graph::Topology& topo,
+             const std::vector<topo::FlowSpec>& flows, SimConfig config);
+
+  /// Runs to completion and returns the measurements. Call once.
+  SimResult run();
+
+ private:
+  void build();
+  void schedule_link_toggles();
+  void toggle_duplex(graph::NodeId a, graph::NodeId b, bool up, bool silent);
+  void lfi_check();
+  void timeseries_tick();
+
+  const graph::Topology* topo_;
+  std::vector<topo::FlowSpec> flow_specs_;
+  SimConfig config_;
+
+  EventQueue events_;
+  Rng master_rng_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  std::vector<std::unique_ptr<SimLink>> links_;  // by LinkId
+  std::vector<std::unique_ptr<PoissonSource>> poisson_sources_;
+  std::vector<std::unique_ptr<OnOffSource>> onoff_sources_;
+  std::vector<std::unique_ptr<ParetoOnOffSource>> pareto_sources_;
+
+  Time measure_start_ = 0;
+  std::vector<Samples> flow_delays_;  // by flow id
+  std::uint64_t lfi_checks_ = 0;
+  std::uint64_t lfi_violations_ = 0;
+  std::vector<TimePoint> timeseries_;
+  double window_delay_sum_ = 0;
+  std::uint64_t window_delivered_ = 0;
+  std::uint64_t window_dropped_ = 0;
+};
+
+/// Convenience wrapper: build, run, return.
+SimResult run_simulation(const graph::Topology& topo,
+                         const std::vector<topo::FlowSpec>& flows,
+                         const SimConfig& config);
+
+}  // namespace mdr::sim

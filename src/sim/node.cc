@@ -1,0 +1,243 @@
+#include "sim/node.h"
+
+#include <cassert>
+#include <utility>
+
+#include "proto/lsu.h"
+
+namespace mdr::sim {
+
+using graph::NodeId;
+
+namespace {
+// First payload byte of a control packet selects the protocol.
+constexpr std::uint8_t kPayloadLsu = 'L';
+constexpr std::uint8_t kPayloadHello = 'H';
+}  // namespace
+
+SimNode::SimNode(EventQueue& events, NodeId id, std::size_t num_nodes,
+                 NodeOptions options, Rng rng, NodeCallbacks callbacks)
+    : events_(&events),
+      id_(id),
+      options_(options),
+      rng_(rng),
+      callbacks_(std::move(callbacks)) {
+  if (options_.mode == RoutingMode::kStatic) {
+    static_table_.resize(num_nodes);
+  } else {
+    core::MpRouterOptions ropts;
+    ropts.single_path = options_.mode == RoutingMode::kSinglePath;
+    ropts.ah_damping = options_.ah_damping;
+    router_ = std::make_unique<core::MpRouter>(id, num_nodes, *this, ropts);
+    if (options_.use_hello) {
+      proto::HelloProtocol::Callbacks callbacks;
+      callbacks.adjacency_up = [this](NodeId k) {
+        router_->on_link_up(k, initial_cost(*links_.at(k)));
+      };
+      callbacks.adjacency_down = [this](NodeId k) {
+        router_->on_link_down(k);
+      };
+      callbacks.send_hello = [this](NodeId k, const proto::HelloMessage& msg) {
+        const auto it = links_.find(k);
+        if (it == links_.end() || !it->second->up()) return;
+        Packet p;
+        p.kind = Packet::Kind::kControl;
+        p.src = id_;
+        p.dst = k;
+        p.created = events_->now();
+        p.payload.push_back(kPayloadHello);
+        const auto body = proto::encode_hello(msg);
+        p.payload.insert(p.payload.end(), body.begin(), body.end());
+        p.size_bits = static_cast<double>(p.payload.size() * 8);
+        it->second->enqueue(std::move(p));
+      };
+      hello_ = std::make_unique<proto::HelloProtocol>(id, options_.hello,
+                                                      std::move(callbacks));
+    }
+  }
+}
+
+void SimNode::attach_link(NodeId neighbor, SimLink* link) {
+  assert(link != nullptr);
+  links_[neighbor] = link;
+  cost_state_.emplace(neighbor, cost::DualTimescaleCost(
+                                    initial_cost(*link), options_.smoothing));
+}
+
+double SimNode::initial_cost(const SimLink& link) const {
+  // Zero-load marginal delay: one mean packet's latency.
+  return (options_.mean_packet_bits + kHeaderBits) / link.attr().capacity_bps +
+         link.attr().prop_delay_s;
+}
+
+void SimNode::set_static_choices(NodeId dest,
+                                 std::vector<core::ForwardingChoice> choices) {
+  assert(options_.mode == RoutingMode::kStatic);
+  static_table_[dest] = std::move(choices);
+}
+
+void SimNode::start() {
+  if (router_ == nullptr) return;  // static mode: no protocol, no timers
+  if (hello_ != nullptr) {
+    // Adjacencies rise only after the 2-way hello check.
+    for (const auto& [neighbor, link] : links_) hello_->physical_up(neighbor);
+    events_->schedule_in(options_.hello.interval * rng_.uniform(0.1, 0.9),
+                         [this] { hello_tick(); });
+  } else {
+    for (const auto& [neighbor, link] : links_) {
+      router_->on_link_up(neighbor, initial_cost(*link));
+    }
+  }
+  // Random phase offsets prevent network-wide update synchronization
+  // (paper Section 4.2, citing the route-synchronization pathology).
+  events_->schedule_in(options_.ts * rng_.uniform(0.5, 1.0),
+                       [this] { ts_tick(); });
+  events_->schedule_in(options_.tl * rng_.uniform(0.5, 1.0),
+                       [this] { tl_tick(); });
+  events_->schedule_in(options_.lsu_retransmit_interval * rng_.uniform(0.5, 1.0),
+                       [this] { retransmit_tick(); });
+}
+
+void SimNode::retransmit_tick() {
+  router_->retransmit_pending();
+  events_->schedule_in(options_.lsu_retransmit_interval,
+                       [this] { retransmit_tick(); });
+}
+
+void SimNode::hello_tick() {
+  hello_->tick(events_->now());
+  events_->schedule_in(options_.hello.interval, [this] { hello_tick(); });
+}
+
+void SimNode::ts_tick() {
+  std::map<NodeId, double> costs;
+  for (const auto& [neighbor, link] : links_) {
+    if (!link->up()) continue;
+    // Behind hello, routing only knows 2-way-adjacent neighbors.
+    if (hello_ != nullptr && !hello_->adjacent(neighbor)) continue;
+    const double estimate = link->take_short_estimate();
+    costs[neighbor] = cost_state_.at(neighbor).on_short_window(estimate);
+  }
+  router_->update_short_term_costs(costs);
+  events_->schedule_in(options_.ts, [this] { ts_tick(); });
+}
+
+void SimNode::tl_tick() {
+  for (const auto& [neighbor, link] : links_) {
+    if (!link->up()) continue;
+    if (hello_ != nullptr && !hello_->adjacent(neighbor)) continue;
+    const double estimate = link->take_long_estimate();
+    const auto update = cost_state_.at(neighbor).on_long_window(estimate);
+    if (update.report) router_->on_long_term_cost(neighbor, update.cost);
+  }
+  events_->schedule_in(options_.tl, [this] { tl_tick(); });
+}
+
+void SimNode::send(NodeId neighbor, const proto::LsuMessage& msg) {
+  const auto it = links_.find(neighbor);
+  if (it == links_.end() || !it->second->up()) return;
+  Packet p;
+  p.kind = Packet::Kind::kControl;
+  p.src = id_;
+  p.dst = neighbor;
+  p.created = events_->now();
+  p.payload.push_back(kPayloadLsu);
+  const auto body = proto::encode(msg);
+  p.payload.insert(p.payload.end(), body.begin(), body.end());
+  p.size_bits = static_cast<double>(p.payload.size() * 8);
+  it->second->enqueue(std::move(p));
+  ++control_sent_;
+}
+
+void SimNode::receive(Packet packet) {
+  if (packet.kind == Packet::Kind::kControl) {
+    if (packet.payload.empty() || router_ == nullptr) return;
+    const std::span<const std::uint8_t> body(packet.payload.data() + 1,
+                                             packet.payload.size() - 1);
+    switch (packet.payload[0]) {
+      case kPayloadLsu: {
+        const auto msg = proto::decode(body);
+        assert(msg.has_value());
+        if (msg.has_value()) router_->on_lsu(*msg);
+        break;
+      }
+      case kPayloadHello: {
+        const auto msg = proto::decode_hello(body);
+        assert(msg.has_value());
+        if (msg.has_value() && hello_ != nullptr) {
+          hello_->on_hello(*msg, events_->now());
+        }
+        break;
+      }
+      default:
+        assert(false && "unknown control payload type");
+    }
+    return;
+  }
+  if (packet.dst == id_) {
+    if (callbacks_.delivered) {
+      callbacks_.delivered(packet, events_->now() - packet.created);
+    }
+    return;
+  }
+  forward(std::move(packet));
+}
+
+void SimNode::forward(Packet packet) {
+  if (--packet.ttl <= 0) {
+    ++drops_ttl_;
+    if (callbacks_.dropped) callbacks_.dropped(packet);
+    return;
+  }
+  const NodeId nh = next_hop(packet.dst);
+  if (nh == graph::kInvalidNode) {
+    ++drops_no_route_;
+    if (callbacks_.dropped) callbacks_.dropped(packet);
+    return;
+  }
+  links_.at(nh)->enqueue(std::move(packet));
+}
+
+NodeId SimNode::next_hop(NodeId dest) {
+  if (router_ != nullptr) {
+    return options_.wrr_forwarding ? router_->pick_next_hop_wrr(dest)
+                                   : router_->pick_next_hop(dest, rng_);
+  }
+  const auto& choices = static_table_[dest];
+  if (choices.empty()) return graph::kInvalidNode;
+  if (choices.size() == 1) return choices[0].neighbor;
+  if (options_.wrr_forwarding) {
+    if (static_credits_.empty()) static_credits_.resize(static_table_.size());
+    auto& credits = static_credits_[dest];
+    if (credits.size() != choices.size()) credits.assign(choices.size(), 0.0);
+    std::size_t best = 0;
+    for (std::size_t x = 0; x < choices.size(); ++x) {
+      credits[x] += choices[x].weight;
+      if (credits[x] > credits[best]) best = x;
+    }
+    credits[best] -= 1.0;
+    return choices[best].neighbor;
+  }
+  std::vector<double> weights;
+  weights.reserve(choices.size());
+  for (const auto& c : choices) weights.push_back(c.weight);
+  return choices[rng_.pick_weighted(weights)].neighbor;
+}
+
+void SimNode::neighbor_link_failed(NodeId neighbor) {
+  if (hello_ != nullptr) {
+    hello_->physical_down(neighbor);  // signaled: adjacency drops at once
+  } else if (router_ != nullptr) {
+    router_->on_link_down(neighbor);
+  }
+}
+
+void SimNode::neighbor_link_restored(NodeId neighbor) {
+  if (hello_ != nullptr) {
+    hello_->physical_up(neighbor);  // adjacency returns after the 2-way check
+  } else if (router_ != nullptr) {
+    router_->on_link_up(neighbor, initial_cost(*links_.at(neighbor)));
+  }
+}
+
+}  // namespace mdr::sim

@@ -1,0 +1,122 @@
+// Simulated router node: embeds an MpRouter (MP or SP mode) or a static
+// routing-parameter table (the installed-OPT baseline), forwards data
+// packets by weighted next-hop choice, exchanges LSUs in-band, and drives
+// the Ts/Tl measurement timers of Section 4.2.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/mp_router.h"
+#include "cost/smoother.h"
+#include "proto/hello.h"
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "sim/packet.h"
+#include "util/rng.h"
+
+namespace mdr::sim {
+
+enum class RoutingMode {
+  kMultipath,   ///< MP: MPDA + IH/AH (the paper's contribution)
+  kSinglePath,  ///< SP: MP restricted to the best successor (paper baseline)
+  kStatic,      ///< fixed phi installed up front (used for OPT's parameters)
+};
+
+struct NodeOptions {
+  RoutingMode mode = RoutingMode::kMultipath;
+  Duration tl = 10.0;  ///< long-term (routing path) update interval
+  Duration ts = 2.0;   ///< short-term (routing parameter) update interval
+  double ah_damping = 0.5;  ///< see MpRouterOptions::ah_damping
+  double mean_packet_bits = 8e3;
+  /// Realize phi by smooth weighted round-robin (deterministic) instead of
+  /// i.i.d. weighted-random next hops.
+  bool wrr_forwarding = false;
+  cost::DualTimescaleCost::Options smoothing{};
+  /// Run the hello protocol beneath routing: adjacencies come up only after
+  /// the 2-way check, and silent link failures are detected by the dead
+  /// interval instead of assumed-signaled. Off by default (the paper's
+  /// model signals failures directly).
+  bool use_hello = false;
+  proto::HelloProtocol::Options hello{};
+  /// Period of the LSU retransmission timer (reliable flooding); only
+  /// matters on lossy transports, a no-op otherwise.
+  Duration lsu_retransmit_interval = 1.0;
+};
+
+struct NodeCallbacks {
+  /// A data packet reached its destination.
+  std::function<void(const Packet&, Duration delay)> delivered;
+  /// A data packet was discarded (no route or TTL exhausted).
+  std::function<void(const Packet&)> dropped;
+};
+
+class SimNode final : public proto::LsuSink {
+ public:
+  SimNode(EventQueue& events, graph::NodeId id, std::size_t num_nodes,
+          NodeOptions options, Rng rng, NodeCallbacks callbacks);
+
+  graph::NodeId id() const { return id_; }
+
+  /// Registers the outgoing link to `neighbor` (before start()).
+  void attach_link(graph::NodeId neighbor, SimLink* link);
+
+  /// kStatic only: installs the forwarding choices for one destination.
+  void set_static_choices(graph::NodeId dest,
+                          std::vector<core::ForwardingChoice> choices);
+
+  /// Brings up all attached links in the routing protocol and starts the
+  /// Ts/Tl timers (randomly phased, as the paper prescribes).
+  void start();
+
+  /// Entry point for packets arriving from a link (or injected by a source).
+  void receive(Packet packet);
+
+  /// Adjacency change notifications from the physical layer.
+  void neighbor_link_failed(graph::NodeId neighbor);
+  void neighbor_link_restored(graph::NodeId neighbor);
+
+  // --- LsuSink -------------------------------------------------------------
+  void send(graph::NodeId neighbor, const proto::LsuMessage& msg) override;
+
+  // --- stats ---------------------------------------------------------------
+  std::uint64_t drops_no_route() const { return drops_no_route_; }
+  std::uint64_t drops_ttl() const { return drops_ttl_; }
+  std::uint64_t control_messages_sent() const { return control_sent_; }
+
+  /// The embedded router (null in kStatic mode).
+  const core::MpRouter* router() const { return router_.get(); }
+
+ private:
+  void forward(Packet packet);
+  graph::NodeId next_hop(graph::NodeId dest);
+  void ts_tick();
+  void tl_tick();
+  double initial_cost(const SimLink& link) const;
+
+  EventQueue* events_;
+  graph::NodeId id_;
+  NodeOptions options_;
+  Rng rng_;
+  NodeCallbacks callbacks_;
+
+  void hello_tick();
+  void retransmit_tick();
+
+  std::unique_ptr<core::MpRouter> router_;  // kMultipath / kSinglePath
+  std::unique_ptr<proto::HelloProtocol> hello_;
+  std::vector<std::vector<core::ForwardingChoice>> static_table_;  // kStatic
+  std::vector<std::vector<double>> static_credits_;  // kStatic + WRR
+
+  std::map<graph::NodeId, SimLink*> links_;
+  std::map<graph::NodeId, cost::DualTimescaleCost> cost_state_;
+
+  std::uint64_t drops_no_route_ = 0;
+  std::uint64_t drops_ttl_ = 0;
+  std::uint64_t control_sent_ = 0;
+};
+
+}  // namespace mdr::sim

@@ -1,0 +1,29 @@
+// Simulated packets: data packets belonging to measured flows, and control
+// packets carrying encoded LSU messages in-band.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/topology.h"
+#include "util/time.h"
+
+namespace mdr::sim {
+
+struct Packet {
+  enum class Kind : std::uint8_t { kData, kControl };
+
+  Kind kind = Kind::kData;
+  graph::NodeId src = graph::kInvalidNode;
+  graph::NodeId dst = graph::kInvalidNode;
+  double size_bits = 0;
+  Time created = 0;
+  int flow_id = -1;  ///< index into the experiment's flow list; -1 = control
+  int ttl = 64;      ///< hop budget; transient re-routing cannot loop forever
+  std::vector<std::uint8_t> payload;  ///< encoded LSU for control packets
+};
+
+/// Link-layer header overhead charged to every packet on the wire (bits).
+inline constexpr double kHeaderBits = 160;
+
+}  // namespace mdr::sim

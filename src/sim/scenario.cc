@@ -1,0 +1,301 @@
+#include "sim/scenario.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "sim/experiment.h"
+#include "topo/builders.h"
+
+namespace mdr::sim {
+
+namespace {
+
+// Splits a line into whitespace-separated tokens, honoring '#' comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+// Parses "key=value" into (key, value); plain words become (word, "").
+std::pair<std::string, std::string> split_kv(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) return {token, ""};
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+bool parse_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+// Collects key=value options from tokens[from..]; returns false and names
+// the offender on a stray token or non-numeric value.
+bool parse_options(const std::vector<std::string>& tokens, std::size_t from,
+                   std::map<std::string, double>* out, std::string* bad) {
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const auto [key, value] = split_kv(tokens[i]);
+    double number = 0;
+    if (value.empty() || !parse_double(value, &number)) {
+      *bad = tokens[i];
+      return false;
+    }
+    (*out)[key] = number;
+  }
+  return true;
+}
+
+struct ParseState {
+  Scenario scenario;
+  bool used_builtin = false;
+  bool built_nodes = false;
+};
+
+// One directive; returns false with *error set on failure.
+bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
+                     std::string* error) {
+  Scenario& s = state.scenario;
+  const std::string& cmd = tokens[0];
+  const auto fail = [&](const std::string& why) {
+    *error = why;
+    return false;
+  };
+  const auto need = [&](std::size_t n) { return tokens.size() >= n; };
+
+  if (cmd == "topology") {
+    if (!need(2)) return fail("topology needs a name (cairn | net1)");
+    if (state.built_nodes) return fail("topology conflicts with node/link");
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 2, &opts, &bad)) return fail("bad option " + bad);
+    const double scale = opts.count("scale") ? opts["scale"] : 1.0;
+    if (tokens[1] == "cairn") {
+      s.topo = topo::make_cairn();
+      s.flows = topo::cairn_flows(scale);
+    } else if (tokens[1] == "net1") {
+      s.topo = topo::make_net1();
+      s.flows = topo::net1_flows(scale);
+    } else {
+      return fail("unknown built-in topology: " + tokens[1]);
+    }
+    state.used_builtin = true;
+    return true;
+  }
+  if (cmd == "node") {
+    if (!need(2)) return fail("node needs a name");
+    if (state.used_builtin) return fail("node conflicts with topology");
+    if (s.topo.find_node(tokens[1]) != graph::kInvalidNode) {
+      return fail("duplicate node " + tokens[1]);
+    }
+    s.topo.add_node(tokens[1]);
+    state.built_nodes = true;
+    return true;
+  }
+  if (cmd == "link") {
+    if (!need(3)) return fail("link needs two node names");
+    const auto a = s.topo.find_node(tokens[1]);
+    const auto b = s.topo.find_node(tokens[2]);
+    if (a == graph::kInvalidNode || b == graph::kInvalidNode) {
+      return fail("link references unknown node");
+    }
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 3, &opts, &bad)) return fail("bad option " + bad);
+    graph::LinkAttr attr;
+    if (opts.count("capacity")) attr.capacity_bps = opts["capacity"];
+    if (opts.count("prop")) attr.prop_delay_s = opts["prop"];
+    if (attr.capacity_bps <= 0 || attr.prop_delay_s < 0) {
+      return fail("link attributes out of range");
+    }
+    s.topo.add_duplex(a, b, attr);
+    return true;
+  }
+  if (cmd == "flow") {
+    if (!need(4)) return fail("flow needs src dst rate=<bps>");
+    if (s.topo.find_node(tokens[1]) == graph::kInvalidNode ||
+        s.topo.find_node(tokens[2]) == graph::kInvalidNode) {
+      return fail("flow references unknown node");
+    }
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 3, &opts, &bad)) return fail("bad option " + bad);
+    if (!opts.count("rate") || opts["rate"] <= 0) {
+      return fail("flow needs rate=<bps> > 0");
+    }
+    s.flows.push_back(topo::FlowSpec{tokens[1], tokens[2], opts["rate"]});
+    return true;
+  }
+  if (cmd == "mode") {
+    if (!need(2)) return fail("mode needs mp | sp | opt");
+    if (tokens[1] != "mp" && tokens[1] != "sp" && tokens[1] != "opt") {
+      return fail("unknown mode: " + tokens[1]);
+    }
+    s.mode = tokens[1];
+    return true;
+  }
+  if (cmd == "estimator") {
+    if (!need(2)) return fail("estimator needs a name");
+    if (tokens[1] == "utilization") {
+      s.config.estimator = cost::EstimatorKind::kUtilization;
+    } else if (tokens[1] == "mm1") {
+      s.config.estimator = cost::EstimatorKind::kAnalyticMm1;
+    } else if (tokens[1] == "observable") {
+      s.config.estimator = cost::EstimatorKind::kObservable;
+    } else if (tokens[1] == "ipa") {
+      s.config.estimator = cost::EstimatorKind::kIpa;
+    } else {
+      return fail("unknown estimator: " + tokens[1]);
+    }
+    return true;
+  }
+  if (cmd == "bursty") {
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    s.config.traffic_model = SimConfig::TrafficModel::kOnOff;
+    if (opts.count("on")) s.config.burstiness.mean_on_s = opts["on"];
+    if (opts.count("off")) s.config.burstiness.mean_off_s = opts["off"];
+    return true;
+  }
+  if (cmd == "pareto") {
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    s.config.traffic_model = SimConfig::TrafficModel::kParetoOnOff;
+    if (opts.count("alpha")) s.config.pareto.alpha = opts["alpha"];
+    if (opts.count("on")) s.config.pareto.mean_on_s = opts["on"];
+    if (opts.count("off")) s.config.pareto.mean_off_s = opts["off"];
+    if (s.config.pareto.alpha <= 1.0) {
+      return fail("pareto alpha must exceed 1 (finite mean)");
+    }
+    return true;
+  }
+  if (cmd == "loss") {
+    double rate = 0;
+    if (!need(2) || !parse_double(tokens[1], &rate) || rate < 0 || rate >= 1) {
+      return fail("loss needs a rate in [0, 1)");
+    }
+    s.config.link_loss_rate = rate;
+    return true;
+  }
+  if (cmd == "hello") {
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    s.config.use_hello = true;
+    if (opts.count("interval")) s.config.hello.interval = opts["interval"];
+    if (opts.count("dead")) s.config.hello.dead_interval = opts["dead"];
+    if (s.config.hello.dead_interval <= s.config.hello.interval) {
+      return fail("hello dead interval must exceed the hello interval");
+    }
+    return true;
+  }
+  if (cmd == "wrr") {
+    s.config.wrr_forwarding = true;
+    return true;
+  }
+  if (cmd == "fail" || cmd == "restore") {
+    if (!need(4)) return fail(cmd + " needs <t> <a> <b>");
+    double t = 0;
+    if (!parse_double(tokens[1], &t) || t < 0) return fail("bad time");
+    if (s.topo.find_node(tokens[2]) == graph::kInvalidNode ||
+        s.topo.find_node(tokens[3]) == graph::kInvalidNode) {
+      return fail(cmd + " references unknown node");
+    }
+    SimConfig::LinkToggle toggle{t, tokens[2], tokens[3], cmd == "restore"};
+    toggle.silent = tokens.size() > 4 && tokens[4] == "silent";
+    s.config.link_toggles.push_back(toggle);
+    return true;
+  }
+
+  // Scalar directives.
+  static const std::map<std::string, double SimConfig::*> kScalars = {
+      {"tl", &SimConfig::tl},
+      {"ts", &SimConfig::ts},
+      {"duration", &SimConfig::duration},
+      {"warmup", &SimConfig::warmup},
+      {"traffic_start", &SimConfig::traffic_start},
+      {"timeseries", &SimConfig::timeseries_interval},
+      {"lfi_check", &SimConfig::lfi_check_interval},
+      {"ah_damping", &SimConfig::ah_damping},
+      {"mean_packet_bits", &SimConfig::mean_packet_bits},
+  };
+  if (const auto it = kScalars.find(cmd); it != kScalars.end()) {
+    double value = 0;
+    if (!need(2) || !parse_double(tokens[1], &value) || value < 0) {
+      return fail(cmd + " needs a non-negative number");
+    }
+    s.config.*(it->second) = value;
+    return true;
+  }
+  if (cmd == "seed") {
+    double value = 0;
+    if (!need(2) || !parse_double(tokens[1], &value) || value < 0) {
+      return fail("seed needs a non-negative number");
+    }
+    s.config.seed = static_cast<std::uint64_t>(value);
+    return true;
+  }
+  return fail("unknown directive: " + cmd);
+}
+
+}  // namespace
+
+std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
+  ParseState state;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    std::string why;
+    if (!apply_directive(state, tokens, &why)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": " + why;
+      }
+      return std::nullopt;
+    }
+  }
+  if (state.scenario.topo.num_nodes() == 0) {
+    if (error != nullptr) *error = "scenario defines no topology";
+    return std::nullopt;
+  }
+  if (state.scenario.flows.empty()) {
+    if (error != nullptr) *error = "scenario defines no flows";
+    return std::nullopt;
+  }
+  return std::move(state.scenario);
+}
+
+std::optional<Scenario> load_scenario(const std::string& path,
+                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return parse_scenario(in, error);
+}
+
+SimResult run_scenario(const Scenario& scenario) {
+  SimConfig config = scenario.config;
+  if (scenario.mode == "opt") {
+    const auto ref = compute_opt_reference(scenario.topo, scenario.flows,
+                                           config.mean_packet_bits);
+    return run_with_static_phi(scenario.topo, scenario.flows, config, ref.phi);
+  }
+  config.mode = scenario.mode == "sp" ? RoutingMode::kSinglePath
+                                      : RoutingMode::kMultipath;
+  return run_simulation(scenario.topo, scenario.flows, config);
+}
+
+}  // namespace mdr::sim

@@ -1,0 +1,66 @@
+// Scenario files: declarative experiment descriptions.
+//
+// A scenario is a plain-text file describing a topology (or naming a
+// built-in one), a set of flows, the routing scheme and its knobs, and any
+// scheduled link events — everything run_simulation() needs. The `mdrsim`
+// command-line tool runs scenarios directly; tests and downstream code can
+// use the parser programmatically.
+//
+// Format (one directive per line; '#' starts a comment):
+//
+//   topology cairn [scale=<x>]      # built-in: cairn | net1 (+ paper flows)
+//   node <name>                     # or build your own topology
+//   link <a> <b> [capacity=<bps>] [prop=<s>]      # duplex
+//   flow <src> <dst> rate=<bps>
+//   mode mp | sp | opt
+//   tl <s>        ts <s>
+//   duration <s>  warmup <s>  traffic_start <s>
+//   seed <n>
+//   estimator utilization | mm1 | observable | ipa
+//   bursty on=<s> off=<s>                  # exponential on/off sources
+//   pareto [alpha=<a>] [on=<s>] [off=<s>]  # self-similar on/off sources
+//   loss <p>                               # per-packet link loss in [0,1)
+//   hello [interval=<s>] [dead=<s>]
+//   timeseries <s>
+//   lfi_check <s>
+//   ah_damping <x>
+//   wrr
+//   fail <t> <a> <b> [silent]
+//   restore <t> <a> <b> [silent]
+//
+// Unknown directives and malformed values are errors (fail fast, with the
+// offending line number).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/topology.h"
+#include "sim/network_sim.h"
+#include "topo/flows.h"
+
+namespace mdr::sim {
+
+struct Scenario {
+  graph::Topology topo;
+  std::vector<topo::FlowSpec> flows;
+  SimConfig config;
+  /// "mp", "sp" or "opt". For "opt" the runner must solve Gallager first
+  /// and install the result (config.mode is kStatic with static_phi unset).
+  std::string mode = "mp";
+};
+
+/// Parses a scenario; on failure returns nullopt and describes the problem
+/// (with a line number) in *error.
+std::optional<Scenario> parse_scenario(std::istream& in, std::string* error);
+
+/// Loads a scenario file from disk.
+std::optional<Scenario> load_scenario(const std::string& path,
+                                      std::string* error);
+
+/// Runs a scenario end to end, solving OPT first when mode == "opt".
+SimResult run_scenario(const Scenario& scenario);
+
+}  // namespace mdr::sim

@@ -1,0 +1,146 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace mdr::sim {
+
+namespace {
+constexpr double kMinPacketBits = 64;
+
+Packet make_packet(const FlowShape& shape, Rng& rng, Time now) {
+  Packet p;
+  p.kind = Packet::Kind::kData;
+  p.src = shape.src;
+  p.dst = shape.dst;
+  p.flow_id = shape.flow_id;
+  p.created = now;
+  p.size_bits =
+      std::max(kMinPacketBits, rng.exponential(shape.mean_packet_bits));
+  return p;
+}
+}  // namespace
+
+// ----------------------------------------------------------------- Poisson
+
+PoissonSource::PoissonSource(EventQueue& events, FlowShape shape, Rng rng,
+                             InjectFn inject)
+    : events_(&events),
+      shape_(shape),
+      rng_(rng),
+      inject_(std::move(inject)) {
+  assert(shape.rate_bps > 0);
+  assert(shape.mean_packet_bits > 0);
+  const double pkt_rate = shape.rate_bps / shape.mean_packet_bits;
+  mean_interarrival_s_ = 1.0 / pkt_rate;
+}
+
+void PoissonSource::run(Time start, Time stop) {
+  assert(stop > start);
+  stop_ = stop;
+  events_->schedule_at(start + rng_.exponential(mean_interarrival_s_),
+                       [this] { schedule_next(); });
+}
+
+void PoissonSource::schedule_next() {
+  if (events_->now() >= stop_) return;
+  inject_(make_packet(shape_, rng_, events_->now()));
+  events_->schedule_in(rng_.exponential(mean_interarrival_s_),
+                       [this] { schedule_next(); });
+}
+
+// ----------------------------------------------------------- Pareto on/off
+
+ParetoOnOffSource::ParetoOnOffSource(EventQueue& events, FlowShape shape,
+                                     Shape burst, Rng rng, InjectFn inject)
+    : events_(&events),
+      shape_(shape),
+      burst_(burst),
+      rng_(rng),
+      inject_(std::move(inject)) {
+  assert(shape.rate_bps > 0);
+  assert(burst.alpha > 1.0);  // mean must exist
+  // Pareto(x_m, alpha) has mean x_m * alpha / (alpha - 1).
+  scale_on_ = burst.mean_on_s * (burst.alpha - 1.0) / burst.alpha;
+  scale_off_ = burst.mean_off_s * (burst.alpha - 1.0) / burst.alpha;
+  const double duty = burst.mean_on_s / (burst.mean_on_s + burst.mean_off_s);
+  peak_interarrival_s_ = shape.mean_packet_bits / (shape.rate_bps / duty);
+}
+
+double ParetoOnOffSource::pareto(double scale) {
+  // Inverse-CDF sampling: x = x_m * U^(-1/alpha).
+  const double u = std::max(rng_.uniform(), 1e-12);
+  return scale * std::pow(u, -1.0 / burst_.alpha);
+}
+
+void ParetoOnOffSource::run(Time start, Time stop) {
+  assert(stop > start);
+  stop_ = stop;
+  events_->schedule_at(start + pareto(scale_off_) * rng_.uniform(),
+                       [this] { begin_on_period(); });
+}
+
+void ParetoOnOffSource::begin_on_period() {
+  if (events_->now() >= stop_) return;
+  const Time period_end = events_->now() + pareto(scale_on_);
+  schedule_next_packet(period_end);
+  events_->schedule_at(std::min(period_end + pareto(scale_off_), stop_ + 1),
+                       [this] { begin_on_period(); });
+}
+
+void ParetoOnOffSource::schedule_next_packet(Time period_end) {
+  const Time next = events_->now() + rng_.exponential(peak_interarrival_s_);
+  if (next >= period_end || next >= stop_) return;
+  events_->schedule_at(next, [this, period_end] {
+    inject_(make_packet(shape_, rng_, events_->now()));
+    schedule_next_packet(period_end);
+  });
+}
+
+// ------------------------------------------------------------------ On/Off
+
+OnOffSource::OnOffSource(EventQueue& events, FlowShape shape,
+                         Burstiness burstiness, Rng rng, InjectFn inject)
+    : events_(&events),
+      shape_(shape),
+      burstiness_(burstiness),
+      rng_(rng),
+      inject_(std::move(inject)) {
+  assert(shape.rate_bps > 0);
+  const double duty =
+      burstiness.mean_on_s / (burstiness.mean_on_s + burstiness.mean_off_s);
+  const double peak_bps = shape.rate_bps / duty;
+  peak_interarrival_s_ = shape.mean_packet_bits / peak_bps;
+}
+
+void OnOffSource::run(Time start, Time stop) {
+  assert(stop > start);
+  stop_ = stop;
+  // Start in a random phase: an OFF tail, then the first ON period.
+  events_->schedule_at(
+      start + rng_.exponential(burstiness_.mean_off_s) * rng_.uniform(),
+      [this] { begin_on_period(); });
+}
+
+void OnOffSource::begin_on_period() {
+  if (events_->now() >= stop_) return;
+  const Time period_end =
+      events_->now() + rng_.exponential(burstiness_.mean_on_s);
+  schedule_next_packet(period_end);
+  events_->schedule_at(
+      std::min(period_end + rng_.exponential(burstiness_.mean_off_s), stop_ + 1),
+      [this] { begin_on_period(); });
+}
+
+void OnOffSource::schedule_next_packet(Time period_end) {
+  const Time next = events_->now() + rng_.exponential(peak_interarrival_s_);
+  if (next >= period_end || next >= stop_) return;
+  events_->schedule_at(next, [this, period_end] {
+    inject_(make_packet(shape_, rng_, events_->now()));
+    schedule_next_packet(period_end);
+  });
+}
+
+}  // namespace mdr::sim

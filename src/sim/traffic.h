@@ -1,0 +1,108 @@
+// Traffic generation: Poisson sources (the stationary workloads of the
+// paper's Section 5.1) and exponential on/off sources (the bursty, dynamic
+// workloads its framework is built to absorb).
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+#include "util/rng.h"
+
+namespace mdr::sim {
+
+/// Hands a freshly generated packet to the source node's forwarding path.
+using InjectFn = std::function<void(Packet)>;
+
+struct FlowShape {
+  graph::NodeId src = graph::kInvalidNode;
+  graph::NodeId dst = graph::kInvalidNode;
+  int flow_id = -1;
+  double rate_bps = 0;          ///< long-run average offered load
+  double mean_packet_bits = 8e3;
+};
+
+/// Poisson arrivals, exponentially distributed packet sizes: each link then
+/// behaves approximately like the paper's M/M/1 model.
+class PoissonSource {
+ public:
+  PoissonSource(EventQueue& events, FlowShape shape, Rng rng, InjectFn inject);
+
+  /// Emits packets from `start` until `stop` (absolute times).
+  void run(Time start, Time stop);
+
+ private:
+  void schedule_next();
+  EventQueue* events_;
+  FlowShape shape_;
+  Rng rng_;
+  InjectFn inject_;
+  Time stop_ = 0;
+  double mean_interarrival_s_ = 0;
+};
+
+/// Pareto (heavy-tailed) on/off source. Multiplexing many such sources
+/// yields self-similar traffic (Taqqu et al.), the regime behind the
+/// paper's observation that "in real networks traffic is very bursty at any
+/// time scale" — burst lengths have infinite variance for alpha < 2, so no
+/// averaging interval smooths them out.
+class ParetoOnOffSource {
+ public:
+  struct Shape {
+    double alpha = 1.5;      ///< tail index (1 < alpha < 2: self-similar)
+    double mean_on_s = 1.0;  ///< mean burst length
+    double mean_off_s = 3.0; ///< mean gap length (same alpha tail)
+  };
+
+  ParetoOnOffSource(EventQueue& events, FlowShape shape, Shape burst,
+                    Rng rng, InjectFn inject);
+
+  void run(Time start, Time stop);
+
+ private:
+  double pareto(double mean);
+  void begin_on_period();
+  void schedule_next_packet(Time period_end);
+
+  EventQueue* events_;
+  FlowShape shape_;
+  Shape burst_;
+  Rng rng_;
+  InjectFn inject_;
+  Time stop_ = 0;
+  double peak_interarrival_s_ = 0;
+  double scale_on_ = 0;   ///< Pareto x_m for ON periods
+  double scale_off_ = 0;  ///< Pareto x_m for OFF periods
+};
+
+/// Exponential on/off source: bursts at `peak_factor` times the average rate
+/// during ON periods so the long-run average still matches shape.rate_bps.
+/// Models the "short-term traffic fluctuations" the Ts heuristics absorb.
+class OnOffSource {
+ public:
+  struct Burstiness {
+    double mean_on_s = 1.0;
+    double mean_off_s = 3.0;
+    /// Peak rate = rate_bps * (mean_on + mean_off) / mean_on, so the
+    /// duty-cycled average equals rate_bps.
+  };
+
+  OnOffSource(EventQueue& events, FlowShape shape, Burstiness burstiness,
+              Rng rng, InjectFn inject);
+
+  void run(Time start, Time stop);
+
+ private:
+  void begin_on_period();
+  void schedule_next_packet(Time period_end);
+
+  EventQueue* events_;
+  FlowShape shape_;
+  Burstiness burstiness_;
+  Rng rng_;
+  InjectFn inject_;
+  Time stop_ = 0;
+  double peak_interarrival_s_ = 0;
+};
+
+}  // namespace mdr::sim

@@ -1,0 +1,258 @@
+#include "topo/builders.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace mdr::topo {
+
+using graph::LinkAttr;
+using graph::NodeId;
+using graph::Topology;
+
+namespace {
+
+// Declarative duplex-link spec used by the fixed builders.
+struct Duplex {
+  const char* a;
+  const char* b;
+  double capacity_bps;
+  double prop_delay_s;
+};
+
+Topology build_named(std::initializer_list<const char*> names,
+                     std::initializer_list<Duplex> links) {
+  Topology topo;
+  for (const char* n : names) topo.add_node(n);
+  for (const Duplex& l : links) {
+    const NodeId a = topo.find_node(l.a);
+    const NodeId b = topo.find_node(l.b);
+    assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
+    topo.add_duplex(a, b, LinkAttr{l.capacity_bps, l.prop_delay_s});
+  }
+  return topo;
+}
+
+}  // namespace
+
+Topology make_cairn() {
+  // Reconstruction of the 1999 CAIRN research network (DESIGN.md §5): the
+  // 26 router names surviving in the paper's Fig. 8, wired as a sparse
+  // coast-to-coast research backbone (west cluster around sri/isi, east
+  // cluster around mci-r/isi-e, two transcontinental trunks so east-west
+  // traffic has multiple unequal-cost paths). The paper keeps only CAIRN's
+  // connectivity and assumes its own capacities (<= 10 Mb/s) and
+  // propagation delays; we do the same, with short "metro" and longer
+  // "regional/haul" delays.
+  constexpr double kCap = 10e6;
+  constexpr double kMetro = 50e-6;
+  constexpr double kRegional = 150e-6;
+  constexpr double kHaul = 400e-6;
+  return build_named(
+      {
+          // west
+          "ucsc", "epsilon", "cisco-w", "parc", "ucb", "sri", "lbl", "nasa",
+          "isi", "ucla", "sdsc", "saic",
+          // middle
+          "anl", "netstar",
+          // east
+          "mit", "bbn", "bell", "cmu", "darpa", "mci-r", "isi-e", "tis",
+          "udel", "nrl-v6", "tioc",
+          // transatlantic
+          "ucl",
+      },
+      {
+          // -- west coast cluster
+          Duplex{"ucsc", "ucb", kCap, kMetro},
+          Duplex{"ucsc", "sri", kCap, kMetro},
+          Duplex{"epsilon", "ucsc", kCap, kMetro},
+          Duplex{"epsilon", "sri", kCap, kMetro},
+          Duplex{"ucb", "lbl", kCap, kMetro},
+          Duplex{"ucb", "sri", kCap, kMetro},
+          Duplex{"lbl", "parc", kCap, kMetro},
+          Duplex{"parc", "sri", kCap, kMetro},
+          Duplex{"parc", "cisco-w", kCap, kMetro},
+          Duplex{"cisco-w", "sri", kCap, kMetro},
+          Duplex{"nasa", "sri", kCap, kMetro},
+          Duplex{"nasa", "isi", kCap, kRegional},
+          Duplex{"sri", "isi", kCap, kRegional},
+          Duplex{"isi", "ucla", kCap, kMetro},
+          Duplex{"isi", "sdsc", kCap, kRegional},
+          Duplex{"ucla", "sdsc", kCap, kMetro},
+          Duplex{"ucla", "tioc", kCap, kMetro},
+          Duplex{"isi", "tioc", kCap, kMetro},
+          Duplex{"saic", "sdsc", kCap, kMetro},
+          Duplex{"saic", "isi", kCap, kRegional},
+          // -- transcontinental trunks
+          Duplex{"sri", "anl", kCap, kHaul},
+          Duplex{"isi", "mci-r", kCap, kHaul},
+          Duplex{"netstar", "anl", kCap, kRegional},
+          Duplex{"netstar", "sri", kCap, kHaul},
+          Duplex{"anl", "mci-r", kCap, kRegional},
+          Duplex{"anl", "cmu", kCap, kRegional},
+          // -- east coast cluster
+          Duplex{"cmu", "mci-r", kCap, kRegional},
+          Duplex{"mit", "bbn", kCap, kMetro},
+          Duplex{"mit", "cmu", kCap, kRegional},
+          Duplex{"bbn", "mci-r", kCap, kRegional},
+          Duplex{"bbn", "bell", kCap, kMetro},
+          Duplex{"bell", "mci-r", kCap, kRegional},
+          Duplex{"mci-r", "isi-e", kCap, kMetro},
+          Duplex{"mci-r", "darpa", kCap, kMetro},
+          Duplex{"mci-r", "tis", kCap, kMetro},
+          Duplex{"isi-e", "darpa", kCap, kMetro},
+          Duplex{"isi-e", "nrl-v6", kCap, kMetro},
+          Duplex{"isi-e", "tis", kCap, kMetro},
+          Duplex{"darpa", "nrl-v6", kCap, kMetro},
+          Duplex{"tis", "udel", kCap, kMetro},
+          Duplex{"udel", "mci-r", kCap, kRegional},
+          // -- transatlantic
+          Duplex{"ucl", "mci-r", kCap, kHaul},
+          Duplex{"ucl", "bbn", kCap, kHaul},
+      });
+}
+
+Topology make_net1() {
+  // Reconstruction of the paper's contrived NET1 (DESIGN.md §5): 10 routers
+  // 0..9 in two chorded clusters joined by two bridges (0-9 and 4-5), giving
+  // degrees 3-4 (paper: "between 3 and 5") and diameter 4 (paper: "four"),
+  // with plentiful unequal-cost multipath between the clusters.
+  constexpr double kCap = 10e6;
+  constexpr double kProp = 100e-6;
+  return build_named(
+      {"0", "1", "2", "3", "4", "5", "6", "7", "8", "9"},
+      {
+          // cluster A spine + chords
+          Duplex{"0", "1", kCap, kProp},
+          Duplex{"1", "2", kCap, kProp},
+          Duplex{"2", "3", kCap, kProp},
+          Duplex{"3", "4", kCap, kProp},
+          Duplex{"0", "2", kCap, kProp},
+          Duplex{"1", "3", kCap, kProp},
+          Duplex{"2", "4", kCap, kProp},
+          // cluster B spine + chords
+          Duplex{"5", "6", kCap, kProp},
+          Duplex{"6", "7", kCap, kProp},
+          Duplex{"7", "8", kCap, kProp},
+          Duplex{"8", "9", kCap, kProp},
+          Duplex{"5", "7", kCap, kProp},
+          Duplex{"6", "8", kCap, kProp},
+          Duplex{"7", "9", kCap, kProp},
+          // bridges
+          Duplex{"4", "5", kCap, kProp},
+          Duplex{"0", "9", kCap, kProp},
+      });
+}
+
+Topology make_ring(std::size_t n, BuilderDefaults d) {
+  assert(n >= 3);
+  Topology topo;
+  topo.add_nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_duplex(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n),
+                    LinkAttr{d.capacity_bps, d.prop_delay_s});
+  }
+  return topo;
+}
+
+Topology make_grid(std::size_t rows, std::size_t cols, BuilderDefaults d) {
+  assert(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  Topology topo;
+  topo.add_nodes(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        topo.add_duplex(id(r, c), id(r, c + 1),
+                        LinkAttr{d.capacity_bps, d.prop_delay_s});
+      }
+      if (r + 1 < rows) {
+        topo.add_duplex(id(r, c), id(r + 1, c),
+                        LinkAttr{d.capacity_bps, d.prop_delay_s});
+      }
+    }
+  }
+  return topo;
+}
+
+Topology make_full_mesh(std::size_t n, BuilderDefaults d) {
+  assert(n >= 2);
+  Topology topo;
+  topo.add_nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      topo.add_duplex(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                      LinkAttr{d.capacity_bps, d.prop_delay_s});
+    }
+  }
+  return topo;
+}
+
+Topology make_waxman(std::size_t n, double a, double b, Rng& rng,
+                     double capacity_bps, double max_prop_delay_s) {
+  assert(n >= 3);
+  assert(a > 0 && a <= 1);
+  assert(b > 0);
+  Topology topo;
+  topo.add_nodes(n);
+  std::vector<std::pair<double, double>> pos;
+  pos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.emplace_back(rng.uniform(), rng.uniform());
+  }
+  const double diagonal = std::sqrt(2.0);
+  const auto dist = [&pos](std::size_t i, std::size_t j) {
+    const double dx = pos[i].first - pos[j].first;
+    const double dy = pos[i].second - pos[j].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const auto attr_for = [&](double d2) {
+    return LinkAttr{capacity_bps,
+                    std::max(1e-6, max_prop_delay_s * d2 / diagonal)};
+  };
+  // Spanning ring for connectivity (short hops: ring over a random order
+  // would create long links; accept the simple ring on node ids).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    topo.add_duplex(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                    attr_for(dist(i, j)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) {
+      if (i == 0 && j == n - 1) continue;
+      const double d2 = dist(i, j);
+      if (rng.bernoulli(a * std::exp(-d2 / (b * diagonal)))) {
+        topo.add_duplex(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                        attr_for(d2));
+      }
+    }
+  }
+  return topo;
+}
+
+Topology make_random(std::size_t n, double p, Rng& rng, BuilderDefaults d) {
+  assert(n >= 3);
+  assert(p >= 0.0 && p <= 1.0);
+  Topology topo;
+  topo.add_nodes(n);
+  const LinkAttr attr{d.capacity_bps, d.prop_delay_s};
+  // Spanning ring for connectivity, then Gilbert chords.
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_duplex(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n),
+                    attr);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) {
+      if (i == 0 && j == n - 1) continue;  // ring already has it
+      if (rng.bernoulli(p)) {
+        topo.add_duplex(static_cast<NodeId>(i), static_cast<NodeId>(j), attr);
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace mdr::topo

@@ -1,0 +1,56 @@
+// Topology builders (paper Fig. 8 plus synthetic generators for tests).
+//
+// CAIRN and NET1 are reconstructions: the paper's figure is not
+// machine-readable in the surviving text, so we rebuild them from what is
+// stated — CAIRN's node names and 11 flow pairs, link capacities capped at
+// 10 Mb/s; NET1 "contrived", diameter four, node degrees between 3 and 5,
+// "connectivity high enough to ensure the existence of multiple paths and
+// small enough to prevent a large number of one-hop paths". See DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace mdr::topo {
+
+/// Default link attributes used by the paper-style builders.
+struct BuilderDefaults {
+  double capacity_bps = 10e6;   ///< paper: "restricted ... to a maximum of 10Mbs"
+  double prop_delay_s = 1e-3;
+};
+
+/// The 1999 CAIRN research network (22 routers, sparse research backbone).
+/// All routers named as in the paper; long-haul links get larger propagation
+/// delays than metro links.
+graph::Topology make_cairn();
+
+/// The paper's contrived NET1: 10 routers, degrees 3-5, diameter 4.
+graph::Topology make_net1();
+
+/// n-node ring (each node linked to its two neighbors).
+graph::Topology make_ring(std::size_t n, BuilderDefaults d = {});
+
+/// rows x cols grid with 4-neighbor links.
+graph::Topology make_grid(std::size_t rows, std::size_t cols,
+                          BuilderDefaults d = {});
+
+/// Full mesh over n nodes.
+graph::Topology make_full_mesh(std::size_t n, BuilderDefaults d = {});
+
+/// Connected Gilbert G(n, p) random graph: every undirected pair is linked
+/// with probability p; a spanning ring guarantees connectivity.
+graph::Topology make_random(std::size_t n, double p, Rng& rng,
+                            BuilderDefaults d = {});
+
+/// Connected Waxman random graph: n nodes placed uniformly in the unit
+/// square, each pair linked with probability a*exp(-dist/(b*sqrt(2))), plus
+/// a spanning ring for connectivity. Propagation delays are proportional to
+/// Euclidean distance (scaled so the diagonal costs max_prop_delay_s) — the
+/// classic internet-like testbed generator.
+graph::Topology make_waxman(std::size_t n, double a, double b, Rng& rng,
+                            double capacity_bps = 10e6,
+                            double max_prop_delay_s = 5e-3);
+
+}  // namespace mdr::topo

@@ -1,0 +1,47 @@
+#include "topo/flows.h"
+
+#include <cassert>
+
+namespace mdr::topo {
+
+std::vector<FlowSpec> cairn_flows(double scale) {
+  // Paper: "(lbl, mci-r), (netstar, isi-e), (isi, darpa), (parc, sdsc),
+  // (sri, mit), (tioc, sdsc), (mit, sri), (isi-e, netstar), (sdsc, parc),
+  // (mci-r, tioc), (darpa, isi)". Rates: deterministic 1.0-3.0 Mb/s band.
+  const double mb = 1e6 * scale;
+  return {
+      {"lbl", "mci-r", 2.2 * mb},   {"netstar", "isi-e", 1.6 * mb},
+      {"isi", "darpa", 2.8 * mb},   {"parc", "sdsc", 1.8 * mb},
+      {"sri", "mit", 2.4 * mb},     {"tioc", "sdsc", 1.4 * mb},
+      {"mit", "sri", 2.0 * mb},     {"isi-e", "netstar", 1.2 * mb},
+      {"sdsc", "parc", 2.6 * mb},   {"mci-r", "tioc", 1.0 * mb},
+      {"darpa", "isi", 3.0 * mb},
+  };
+}
+
+std::vector<FlowSpec> net1_flows(double scale) {
+  // Paper: "(9,2), (8,3), (7,0), (6,1), (5,8), (4,1), (3,8), (2,9), (1,6),
+  // (0,7)".
+  const double mb = 1e6 * scale;
+  return {
+      {"9", "2", 2.4 * mb}, {"8", "3", 1.8 * mb}, {"7", "0", 2.8 * mb},
+      {"6", "1", 1.4 * mb}, {"5", "8", 2.0 * mb}, {"4", "1", 1.6 * mb},
+      {"3", "8", 2.6 * mb}, {"2", "9", 1.2 * mb}, {"1", "6", 3.0 * mb},
+      {"0", "7", 2.2 * mb},
+  };
+}
+
+flow::TrafficMatrix to_traffic_matrix(const graph::Topology& topo,
+                                      const std::vector<FlowSpec>& flows) {
+  flow::TrafficMatrix matrix(topo.num_nodes());
+  for (const FlowSpec& f : flows) {
+    const graph::NodeId src = topo.find_node(f.src);
+    const graph::NodeId dst = topo.find_node(f.dst);
+    assert(src != graph::kInvalidNode);
+    assert(dst != graph::kInvalidNode);
+    matrix.add(src, dst, f.rate_bps);
+  }
+  return matrix;
+}
+
+}  // namespace mdr::topo

@@ -1,0 +1,35 @@
+// The paper's evaluation flow sets (Section 5).
+//
+// CAIRN: 11 source-destination pairs; NET1: 10 pairs, exactly as listed in
+// the paper. The paper's per-flow rates survive only as "bandwidths in the
+// range ? Mbs"; we expose a default band of 1.0-3.0 Mb/s assigned
+// deterministically, and every experiment can scale the whole set (see
+// DESIGN.md §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/network.h"
+#include "graph/topology.h"
+
+namespace mdr::topo {
+
+struct FlowSpec {
+  std::string src;
+  std::string dst;
+  double rate_bps = 0;
+};
+
+/// The 11 CAIRN flows of Section 5, in the paper's order (flow ids 0..10 on
+/// the figures' x-axes).
+std::vector<FlowSpec> cairn_flows(double scale = 1.0);
+
+/// The 10 NET1 flows of Section 5 (flow ids 0..9).
+std::vector<FlowSpec> net1_flows(double scale = 1.0);
+
+/// Resolves flow specs against a topology into a traffic matrix.
+flow::TrafficMatrix to_traffic_matrix(const graph::Topology& topo,
+                                      const std::vector<FlowSpec>& flows);
+
+}  // namespace mdr::topo

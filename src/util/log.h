@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator and protocol engines are silent by default; raise the level
+// for protocol traces when debugging. Not thread-safe by design: the whole
+// library is single-threaded discrete-event code.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace mdr {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+namespace detail {
+inline LogLevel& log_level_ref() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
+inline LogLevel log_level() { return detail::log_level_ref(); }
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  std::fprintf(stderr, "[%s] ", names[static_cast<int>(level)]);
+  if constexpr (sizeof...(Args) == 0) {
+    std::fputs(fmt, stderr);
+  } else {
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+  }
+  std::fputc('\n', stderr);
+}
+
+#define MDR_LOG_DEBUG(...) ::mdr::log(::mdr::LogLevel::kDebug, __VA_ARGS__)
+#define MDR_LOG_INFO(...) ::mdr::log(::mdr::LogLevel::kInfo, __VA_ARGS__)
+#define MDR_LOG_WARN(...) ::mdr::log(::mdr::LogLevel::kWarn, __VA_ARGS__)
+#define MDR_LOG_ERROR(...) ::mdr::log(::mdr::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace mdr

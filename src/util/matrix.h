@@ -1,0 +1,47 @@
+// Dense row-major matrix over a flat buffer; used for per-(node,destination)
+// routing state where both dimensions are small and fixed.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace mdr {
+
+template <typename T>
+class FlatMatrix {
+ public:
+  FlatMatrix() = default;
+  FlatMatrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void assign(std::size_t rows, std::size_t cols, T fill = T{}) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  void fill(const T& value) { data_.assign(data_.size(), value); }
+
+  std::vector<T>& raw() { return data_; }
+  const std::vector<T>& raw() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace mdr

@@ -1,0 +1,76 @@
+// Deterministic random number generation for simulations and tests.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so whole
+// experiments are reproducible from a single 64-bit seed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace mdr {
+
+/// A seeded pseudo-random generator with the distributions the library needs.
+///
+/// Wraps std::mt19937_64. Copyable; copies evolve independently, which makes
+/// it easy to give each traffic source or router its own stream derived from
+/// the experiment seed (see split()).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    assert(mean > 0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  ///
+  /// Weights must be non-negative with a positive sum; zero-weight entries
+  /// are never selected.
+  std::size_t pick_weighted(std::span<const double> weights) {
+    assert(!weights.empty());
+    double total = 0;
+    for (double w : weights) {
+      assert(w >= 0);
+      total += w;
+    }
+    assert(total > 0);
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;  // guards against rounding at the boundary
+  }
+
+  /// Derives an independent child stream; ith call with the same parent state
+  /// yields the same child, so per-entity streams are stable across runs.
+  Rng split() { return Rng(engine_() ^ 0xd1b54a32d192ed03ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace mdr

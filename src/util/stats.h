@@ -1,0 +1,125 @@
+// Small statistics toolkit used for measurement windows and experiment
+// reporting: streaming moments, EWMA smoothing, and percentile summaries.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace mdr {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void reset() { *this = OnlineStats{}; }
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const OnlineStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ += delta * nb / (na + nb);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially weighted moving average with configurable smoothing factor.
+///
+/// alpha is the weight of a new sample: value = alpha*x + (1-alpha)*value.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.25) : alpha_(alpha) {
+    assert(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void add(double x) {
+    if (!seeded_) {
+      value_ = x;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool seeded() const { return seeded_; }
+  double value() const { return value_; }
+  void reset() { seeded_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Sample reservoir with exact percentiles; intended for per-flow delay
+/// distributions where sample counts are modest (<= a few million).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  double mean() const {
+    if (xs_.empty()) return 0.0;
+    double s = 0;
+    for (double x : xs_) s += x;
+    return s / static_cast<double>(xs_.size());
+  }
+
+  /// Exact q-quantile (q in [0,1]) by nearest-rank; 0.5 is the median.
+  double percentile(double q) const {
+    assert(!xs_.empty());
+    assert(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+  const std::vector<double>& values() const { return xs_; }
+  void reset() { xs_.clear(); }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace mdr

@@ -1,0 +1,30 @@
+// Simulation time primitives.
+//
+// All simulation clocks in this library are doubles measured in seconds.
+// The aliases below exist to make interfaces self-describing; arithmetic on
+// them is plain double arithmetic.
+#pragma once
+
+#include <limits>
+
+namespace mdr {
+
+/// Absolute simulation time in seconds since the start of the run.
+using Time = double;
+
+/// A span of simulation time in seconds.
+using Duration = double;
+
+/// Sentinel for "never" / "not yet scheduled".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Converts milliseconds to the library's canonical seconds.
+constexpr Duration from_ms(double ms) { return ms * 1e-3; }
+
+/// Converts the library's canonical seconds to milliseconds.
+constexpr double to_ms(Duration s) { return s * 1e3; }
+
+/// Converts microseconds to seconds.
+constexpr Duration from_us(double us) { return us * 1e-6; }
+
+}  // namespace mdr

@@ -1,0 +1,215 @@
+// Unit and property tests for src/core/allocation: IH (Fig. 6), AH (Fig. 7)
+// and the SP selector — including the Property 1 invariants the paper
+// requires both heuristics to preserve at every instant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/allocation.h"
+#include "util/rng.h"
+
+namespace mdr::core {
+namespace {
+
+double sum(std::span<const double> xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+std::vector<SuccessorMetric> metrics_of(std::initializer_list<double> dists) {
+  std::vector<SuccessorMetric> m;
+  graph::NodeId id = 0;
+  for (double d : dists) m.push_back(SuccessorMetric{id++, d});
+  return m;
+}
+
+// ------------------------------------------------------------------------ IH
+
+TEST(InitialAllocation, EmptySet) {
+  EXPECT_TRUE(initial_allocation({}).empty());
+}
+
+TEST(InitialAllocation, SingleSuccessorGetsEverything) {
+  const auto phi = initial_allocation(metrics_of({3.0}));
+  ASSERT_EQ(phi.size(), 1u);
+  EXPECT_DOUBLE_EQ(phi[0], 1.0);
+}
+
+TEST(InitialAllocation, EqualDistancesSplitEqually) {
+  const auto phi = initial_allocation(metrics_of({2.0, 2.0, 2.0}));
+  for (double p : phi) EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+}
+
+TEST(InitialAllocation, FartherSuccessorGetsLess) {
+  // Paper: "if D_jp + l_p > D_jq + l_q for successors p and q, then
+  // phi_p < phi_q".
+  const auto phi = initial_allocation(metrics_of({1.0, 2.0, 4.0}));
+  EXPECT_GT(phi[0], phi[1]);
+  EXPECT_GT(phi[1], phi[2]);
+  EXPECT_NEAR(sum(phi), 1.0, 1e-12);
+}
+
+TEST(InitialAllocation, MatchesFig6Formula) {
+  // |S|=2, d = {1, 3}: phi_k = (1 - d_k/4) / 1.
+  const auto phi = initial_allocation(metrics_of({1.0, 3.0}));
+  EXPECT_NEAR(phi[0], 0.75, 1e-12);
+  EXPECT_NEAR(phi[1], 0.25, 1e-12);
+}
+
+class InitialAllocationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(InitialAllocationProperty, Property1HoldsForRandomMetrics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 200; ++trial) {
+    const int size = rng.uniform_int(1, 8);
+    std::vector<SuccessorMetric> m;
+    for (int i = 0; i < size; ++i) {
+      m.push_back(SuccessorMetric{i, rng.uniform(0.01, 10.0)});
+    }
+    const auto phi = initial_allocation(m);
+    EXPECT_NEAR(sum(phi), 1.0, 1e-9);
+    for (double p : phi) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0 + 1e-12);
+    }
+    // Monotonicity: larger distance never gets a larger share.
+    for (int a = 0; a < size; ++a) {
+      for (int b = 0; b < size; ++b) {
+        if (m[a].distance < m[b].distance) {
+          EXPECT_GE(phi[a], phi[b] - 1e-12);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InitialAllocationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------------------ AH
+
+TEST(AdjustAllocation, NoOpOnSingleSuccessor) {
+  std::vector<double> phi{1.0};
+  adjust_allocation(metrics_of({2.0}), phi);
+  EXPECT_DOUBLE_EQ(phi[0], 1.0);
+}
+
+TEST(AdjustAllocation, NoOpWhenPerfectlyBalanced) {
+  std::vector<double> phi{0.5, 0.5};
+  adjust_allocation(metrics_of({2.0, 2.0}), phi);
+  EXPECT_DOUBLE_EQ(phi[0], 0.5);
+  EXPECT_DOUBLE_EQ(phi[1], 0.5);
+}
+
+TEST(AdjustAllocation, MovesTrafficTowardBestSuccessor) {
+  std::vector<double> phi{0.5, 0.5};
+  adjust_allocation(metrics_of({1.0, 3.0}), phi);
+  EXPECT_GT(phi[0], 0.5);
+  EXPECT_LT(phi[1], 0.5);
+  EXPECT_NEAR(phi[0] + phi[1], 1.0, 1e-12);
+}
+
+TEST(AdjustAllocation, FullShiftDrainsTheWorstSuccessor) {
+  // With damping 1.0 (the paper's heuristic) the binding successor hits 0.
+  std::vector<double> phi{0.4, 0.3, 0.3};
+  adjust_allocation(metrics_of({1.0, 2.0, 5.0}), phi);
+  // delta = min(0.3/1, 0.3/4) = 0.075; k=1 loses 0.075, k=2 loses 0.3.
+  EXPECT_NEAR(phi[1], 0.225, 1e-12);
+  EXPECT_NEAR(phi[2], 0.0, 1e-12);
+  EXPECT_NEAR(phi[0], 0.775, 1e-12);
+}
+
+TEST(AdjustAllocation, RemovedTrafficProportionalToExcessDelay) {
+  // a_1 = 1, a_2 = 2: successor 2 must lose twice what successor 1 loses.
+  std::vector<double> phi{0.2, 0.4, 0.4};
+  adjust_allocation(metrics_of({1.0, 2.0, 3.0}), phi, 0.5);
+  const double lost1 = 0.4 - phi[1];
+  const double lost2 = 0.4 - phi[2];
+  EXPECT_NEAR(lost2, 2.0 * lost1, 1e-12);
+  EXPECT_NEAR(sum(phi), 1.0, 1e-12);
+}
+
+TEST(AdjustAllocation, DampingScalesTheShift) {
+  std::vector<double> full{0.5, 0.5};
+  std::vector<double> half{0.5, 0.5};
+  adjust_allocation(metrics_of({1.0, 2.0}), full, 1.0);
+  adjust_allocation(metrics_of({1.0, 2.0}), half, 0.5);
+  EXPECT_NEAR(full[0] - 0.5, 2.0 * (half[0] - 0.5), 1e-12);
+}
+
+TEST(AdjustAllocation, ZeroWeightWorseSuccessorDoesNotBlockShift) {
+  // A successor that already carries nothing must not clamp delta to zero.
+  std::vector<double> phi{0.5, 0.0, 0.5};
+  adjust_allocation(metrics_of({1.0, 2.0, 3.0}), phi);
+  EXPECT_GT(phi[0], 0.5);
+  EXPECT_DOUBLE_EQ(phi[1], 0.0);
+  EXPECT_LT(phi[2], 0.5);
+}
+
+TEST(AdjustAllocation, RepeatedCallsConvergeToSingleBest) {
+  // With static metrics, repeating AH funnels everything to the best.
+  std::vector<double> phi{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  const auto m = metrics_of({1.0, 2.0, 3.0});
+  for (int i = 0; i < 10; ++i) adjust_allocation(m, phi);
+  EXPECT_NEAR(phi[0], 1.0, 1e-9);
+  EXPECT_NEAR(phi[1], 0.0, 1e-9);
+  EXPECT_NEAR(phi[2], 0.0, 1e-9);
+}
+
+class AdjustAllocationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdjustAllocationProperty, PreservesProperty1AndNeverHurtsBest) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int size = rng.uniform_int(2, 7);
+    std::vector<SuccessorMetric> m;
+    for (int i = 0; i < size; ++i) {
+      m.push_back(SuccessorMetric{i, rng.uniform(0.01, 5.0)});
+    }
+    // Random Property-1 phi.
+    std::vector<double> phi(static_cast<std::size_t>(size));
+    double total = 0;
+    for (double& p : phi) total += (p = rng.uniform(0.0, 1.0));
+    for (double& p : phi) p /= total;
+
+    std::size_t best = 0;
+    for (std::size_t x = 1; x < phi.size(); ++x) {
+      if (m[x].distance < m[best].distance) best = x;
+    }
+    const double best_before = phi[best];
+    const double damping = rng.uniform(0.1, 1.0);
+    adjust_allocation(m, phi, damping);
+
+    EXPECT_NEAR(sum(phi), 1.0, 1e-9);
+    for (std::size_t x = 0; x < phi.size(); ++x) {
+      EXPECT_GE(phi[x], 0.0) << "trial " << trial;
+    }
+    EXPECT_GE(phi[best], best_before - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjustAllocationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------------------ SP
+
+TEST(BestSuccessor, PicksMinimumDistance) {
+  const auto phi = best_successor_allocation(metrics_of({3.0, 1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(phi[0], 0.0);
+  EXPECT_DOUBLE_EQ(phi[1], 1.0);
+  EXPECT_DOUBLE_EQ(phi[2], 0.0);
+}
+
+TEST(BestSuccessor, TieBreaksToLowerNeighborId) {
+  std::vector<SuccessorMetric> m{{5, 2.0}, {3, 2.0}, {7, 2.0}};
+  const auto phi = best_successor_allocation(m);
+  EXPECT_DOUBLE_EQ(phi[1], 1.0);  // neighbor 3
+}
+
+TEST(BestSuccessor, EmptyInput) {
+  EXPECT_TRUE(best_successor_allocation({}).empty());
+}
+
+}  // namespace
+}  // namespace mdr::core

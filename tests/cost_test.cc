@@ -1,0 +1,224 @@
+// Unit tests for src/cost: the M/M/1 delay model, the online marginal-delay
+// estimators (driven by a purpose-built M/M/1 sample path), and the
+// two-timescale smoother.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "cost/delay_model.h"
+#include "cost/estimators.h"
+#include "cost/smoother.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdr::cost {
+namespace {
+
+TEST(DelayModel, ZeroLoadMatchesSinglePacketLatency) {
+  const LinkDelayModel m{10e6, 2e-3, 8000};
+  EXPECT_DOUBLE_EQ(m.packet_delay(0), 8000 / 10e6 + 2e-3);
+  EXPECT_DOUBLE_EQ(m.marginal_delay(0), 8000 / 10e6 + 2e-3);
+  EXPECT_DOUBLE_EQ(m.total_delay_rate(0), 0.0);
+}
+
+TEST(DelayModel, PaperEquation24WithUnitPackets) {
+  // With L = 1 the expressions reduce to the paper's: D = f/(C-f) + tau*f,
+  // D' = C/(C-f)^2 + tau.
+  const LinkDelayModel m{100.0, 0.5, 1.0};
+  const double f = 40.0;
+  EXPECT_NEAR(m.total_delay_rate(f), f / (100 - f) + 0.5 * f, 1e-12);
+  EXPECT_NEAR(m.marginal_delay(f), 100.0 / ((100 - f) * (100 - f)) + 0.5,
+              1e-12);
+}
+
+TEST(DelayModel, MarginalIsDerivativeOfTotal) {
+  const LinkDelayModel m{10e6, 1e-3, 8000};
+  for (double f : {1e6, 3e6, 7e6, 9e6}) {
+    const double h = 1.0;  // 1 bit/s
+    const double numeric = (m.total_delay_rate(f + h) - m.total_delay_rate(f - h)) / (2 * h);
+    // marginal_delay is d/d(pkt rate) = L * d/d(bit rate)
+    EXPECT_NEAR(m.marginal_delay(f), numeric * m.mean_packet_bits,
+                1e-6 * m.marginal_delay(f));
+  }
+}
+
+TEST(DelayModel, DivergesAtCapacity) {
+  const LinkDelayModel m{1e6, 0, 1000};
+  EXPECT_TRUE(std::isinf(m.packet_delay(1e6)));
+  EXPECT_TRUE(std::isinf(m.total_delay_rate(2e6)));
+  EXPECT_TRUE(std::isinf(m.marginal_delay(1e6)));
+}
+
+TEST(DelayModel, ConvexityOfTotalDelay) {
+  const LinkDelayModel m{1e6, 1e-3, 1000};
+  double prev_slope = 0;
+  for (double f = 0; f <= 0.9e6; f += 1e5) {
+    const double slope = m.marginal_delay(f);
+    EXPECT_GE(slope, prev_slope);
+    prev_slope = slope;
+  }
+}
+
+TEST(DelayModel, ClampedMarginalIsFiniteAndMonotone) {
+  const LinkDelayModel m{1e6, 1e-3, 1000};
+  const double at_cap = m.marginal_delay_clamped(1e6);
+  EXPECT_TRUE(std::isfinite(at_cap));
+  EXPECT_GT(at_cap, m.marginal_delay_clamped(0.5e6));
+  EXPECT_DOUBLE_EQ(m.marginal_delay_clamped(2e6), at_cap);  // saturates
+}
+
+// ---------------------------------------------------------------------------
+// Estimators: drive all three with the same simulated M/M/1 sample path and
+// compare to the analytic marginal at the true offered load.
+
+struct Mm1Path {
+  std::vector<PacketObservation> observations;
+  double horizon = 0;
+};
+
+Mm1Path simulate_mm1(double lambda_pps, double mean_service_s, double horizon,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Mm1Path path;
+  path.horizon = horizon;
+  double t = 0;
+  double server_free_at = 0;
+  while (true) {
+    t += rng.exponential(1.0 / lambda_pps);
+    if (t > horizon) break;
+    PacketObservation obs;
+    obs.arrival_time = t;
+    obs.service_time = rng.exponential(mean_service_s);
+    obs.started_busy_period = t >= server_free_at;
+    const double start = std::max(t, server_free_at);
+    obs.departure_time = start + obs.service_time;
+    server_free_at = obs.departure_time;
+    obs.size_bits = obs.service_time;  // capacity 1 bit/s in test units
+    path.observations.push_back(obs);
+  }
+  return path;
+}
+
+class EstimatorAccuracy : public ::testing::TestWithParam<EstimatorKind> {};
+
+TEST_P(EstimatorAccuracy, TracksAnalyticMarginalUnderPoissonLoad) {
+  // Units: capacity 1 bit/s, mean packet 1 bit => mean service 1 s.
+  const double capacity = 1.0, mean_packet = 1.0, prop = 0.25;
+  for (double rho : {0.2, 0.5, 0.7}) {
+    const double lambda = rho;  // pkt/s
+    OnlineStats estimates;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      auto est = make_estimator(GetParam(), capacity, prop, mean_packet);
+      const auto path = simulate_mm1(lambda, 1.0, 60000.0, seed);
+      for (const auto& obs : path.observations) est->observe(obs);
+      estimates.add(est->estimate(0, path.horizon));
+    }
+    const LinkDelayModel model{capacity, prop, mean_packet};
+    const double truth = model.marginal_delay(rho * capacity);
+    // Averaged over seeds the estimate must land within 12% of analytic.
+    EXPECT_NEAR(estimates.mean(), truth, 0.12 * truth)
+        << "rho=" << rho << " estimator=" << static_cast<int>(GetParam());
+  }
+}
+
+TEST_P(EstimatorAccuracy, IdleWindowReturnsPositiveZeroLoadCost) {
+  auto est = make_estimator(GetParam(), 1.0, 0.25, 1.0);
+  const double idle = est->estimate(0, 100.0);
+  EXPECT_GT(idle, 0.0);
+  EXPECT_TRUE(std::isfinite(idle));
+  // Roughly one service time plus propagation.
+  EXPECT_NEAR(idle, 1.25, 0.5);
+}
+
+TEST_P(EstimatorAccuracy, ResetClearsWindowState) {
+  auto est = make_estimator(GetParam(), 1.0, 0.25, 1.0);
+  const auto path = simulate_mm1(0.7, 1.0, 5000.0, 3);
+  for (const auto& obs : path.observations) est->observe(obs);
+  (void)est->estimate(0, path.horizon);
+  est->reset();
+  // After reset an idle window must be near the zero-load cost again.
+  const double idle = est->estimate(path.horizon, path.horizon + 100.0);
+  EXPECT_LT(idle, 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EstimatorAccuracy,
+                         ::testing::Values(EstimatorKind::kAnalyticMm1,
+                                           EstimatorKind::kObservable,
+                                           EstimatorKind::kIpa,
+                                           EstimatorKind::kUtilization),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EstimatorKind::kAnalyticMm1: return "mm1";
+                             case EstimatorKind::kObservable: return "observable";
+                             case EstimatorKind::kIpa: return "ipa";
+                             case EstimatorKind::kUtilization: return "utilization";
+                           }
+                           return "unknown";
+                         });
+
+TEST(Estimators, CapacityFreeKindsNeverUseCapacity) {
+  // The capacity passed to the factory only seeds the fallback cost; feeding
+  // a wildly wrong capacity must not change estimates once traffic flows.
+  const auto path = simulate_mm1(0.5, 1.0, 20000.0, 7);
+  for (EstimatorKind kind : {EstimatorKind::kObservable, EstimatorKind::kIpa,
+                             EstimatorKind::kUtilization}) {
+    auto right = make_estimator(kind, 1.0, 0.25, 1.0);
+    auto wrong = make_estimator(kind, 1e9, 0.25, 1.0);  // absurd capacity
+    for (const auto& obs : path.observations) {
+      right->observe(obs);
+      wrong->observe(obs);
+    }
+    EXPECT_NEAR(right->estimate(0, path.horizon),
+                wrong->estimate(0, path.horizon), 1e-9)
+        << right->name();
+  }
+}
+
+TEST(Estimators, NamesAreDistinct) {
+  auto a = make_estimator(EstimatorKind::kAnalyticMm1, 1, 0, 1);
+  auto b = make_estimator(EstimatorKind::kObservable, 1, 0, 1);
+  auto c = make_estimator(EstimatorKind::kIpa, 1, 0, 1);
+  EXPECT_NE(a->name(), b->name());
+  EXPECT_NE(b->name(), c->name());
+}
+
+// ---------------------------------------------------------------------------
+// Smoother
+
+TEST(Smoother, ShortWindowEwma) {
+  DualTimescaleCost cost(1.0, {.short_alpha = 0.5, .long_alpha = 0.5,
+                               .report_threshold = 0.1});
+  EXPECT_DOUBLE_EQ(cost.on_short_window(3.0), 2.0);  // 0.5*3 + 0.5*1
+  EXPECT_DOUBLE_EQ(cost.short_cost(), 2.0);
+  EXPECT_DOUBLE_EQ(cost.long_cost(), 1.0);  // untouched
+}
+
+TEST(Smoother, LongWindowReportsOnlyAboveThreshold) {
+  DualTimescaleCost cost(1.0, {.short_alpha = 0.5, .long_alpha = 1.0,
+                               .report_threshold = 0.2});
+  auto small = cost.on_long_window(1.1);  // 10% move: below threshold
+  EXPECT_FALSE(small.report);
+  EXPECT_DOUBLE_EQ(cost.last_reported(), 1.0);
+  auto big = cost.on_long_window(2.0);  // 100% move: report
+  EXPECT_TRUE(big.report);
+  EXPECT_DOUBLE_EQ(cost.last_reported(), 2.0);
+  // A move relative to the *reported* value, not the previous estimate.
+  auto after = cost.on_long_window(2.1);
+  EXPECT_FALSE(after.report);
+}
+
+TEST(Smoother, ConvergesToStationaryEstimate) {
+  DualTimescaleCost cost(5.0);
+  for (int i = 0; i < 200; ++i) {
+    cost.on_short_window(2.0);
+    cost.on_long_window(2.0);
+  }
+  EXPECT_NEAR(cost.short_cost(), 2.0, 1e-6);
+  EXPECT_NEAR(cost.long_cost(), 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mdr::cost

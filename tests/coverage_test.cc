@@ -1,0 +1,202 @@
+// Additional coverage: delay-curvature math, deep first-hop chains, phi
+// accessors, TTL loop protection in the simulator, MPATH cost-change
+// reconvergence, and small accessors not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "cost/delay_model.h"
+#include "flow/phi.h"
+#include "graph/dijkstra.h"
+#include "harness.h"
+#include "mpath/mpath.h"
+#include "proto/hello.h"
+#include "sim/network_sim.h"
+#include "topo/builders.h"
+
+namespace mdr {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+// ----------------------------------------------------------- curvature math
+
+TEST(DelayCurvature, MatchesNumericSecondDerivative) {
+  const cost::LinkDelayModel m{10e6, 1e-3, 8000};
+  for (const double f : {1e6, 4e6, 8e6}) {
+    const double h = 100.0;
+    const double numeric =
+        (m.marginal_delay(f + h) - m.marginal_delay(f - h)) / (2 * h);
+    // delay_curvature is d(marginal)/d(pkt rate) = L * d(marginal)/d(bit rate).
+    EXPECT_NEAR(m.delay_curvature(f), numeric * m.mean_packet_bits,
+                1e-4 * m.delay_curvature(f))
+        << "f=" << f;
+  }
+}
+
+TEST(DelayCurvature, DivergesAtCapacityAndClamps) {
+  const cost::LinkDelayModel m{1e6, 0, 1000};
+  EXPECT_TRUE(std::isinf(m.delay_curvature(1e6)));
+  EXPECT_TRUE(std::isfinite(m.delay_curvature_clamped(1e6)));
+  EXPECT_GT(m.delay_curvature(0.9e6), m.delay_curvature(0.1e6));
+}
+
+// ------------------------------------------------------------- graph chains
+
+TEST(FirstHop, WalksDeepChains) {
+  // 0 - 1 - 2 - 3 - 4 line.
+  std::vector<graph::CostedEdge> edges;
+  for (NodeId i = 0; i < 4; ++i) {
+    edges.push_back({i, i + 1, 1.0});
+  }
+  const auto spt = graph::dijkstra(5, edges, 0);
+  for (NodeId j = 1; j <= 4; ++j) {
+    EXPECT_EQ(spt.first_hop(0, j), 1) << j;
+  }
+  EXPECT_EQ(spt.first_hop(0, 0), graph::kInvalidNode);
+}
+
+// ------------------------------------------------------------ phi accessors
+
+TEST(PhiAccessors, MutableSpanAliasesStorage) {
+  graph::Topology t;
+  t.add_nodes(3);
+  t.add_duplex(0, 1);
+  t.add_duplex(0, 2);
+  flow::RoutingParameters phi(t);
+  auto span = phi.at_mutable(0, 2);
+  ASSERT_EQ(span.size(), 2u);
+  span[0] = 0.25;
+  span[1] = 0.75;
+  EXPECT_DOUBLE_EQ(phi.get(0, 2, 0), 0.25);
+  EXPECT_FALSE(phi.unrouted(0, 2));
+  phi.clear(0, 2);
+  EXPECT_TRUE(phi.unrouted(0, 2));
+  EXPECT_EQ(&phi.topology(), &t);
+}
+
+// -------------------------------------------------------- TTL loop defense
+
+TEST(TtlDefense, DeliberateForwardingLoopIsCutByTtl) {
+  // Static phi with a 2-node loop: 0 sends to 1, 1 sends back to 0, for a
+  // destination neither can reach. TTL must cut every packet and count it.
+  graph::Topology topo;
+  topo.add_nodes(3);
+  topo.add_duplex(0, 1, {10e6, 1e-4});
+  topo.add_duplex(1, 2, {10e6, 1e-4});
+  flow::RoutingParameters phi(topo);
+  const auto out_index = [&](NodeId from, NodeId to) {
+    const auto links = topo.out_links(from);
+    for (std::size_t x = 0; x < links.size(); ++x) {
+      if (topo.link(links[x]).to == to) return x;
+    }
+    return links.size();
+  };
+  phi.set_single_path(0, 2, out_index(0, 1));
+  phi.set_single_path(1, 2, out_index(1, 0));  // the loop
+
+  // Keep the rate low enough that a packet's ~64 bounces fit within link
+  // capacity; otherwise most packets are still queued mid-loop at sim end.
+  std::vector<topo::FlowSpec> flows{{"n0", "n2", 1e5}};
+  sim::SimConfig config;
+  config.mode = sim::RoutingMode::kStatic;
+  config.static_phi = &phi;
+  config.traffic_start = 1;
+  config.warmup = 1;
+  config.duration = 8;
+  const auto result = sim::run_simulation(topo, flows, config);
+  EXPECT_EQ(result.flows[0].delivered, 0u);
+  EXPECT_GT(result.dropped_ttl, 50u);  // every completed packet died by TTL
+}
+
+// -------------------------------------------------------- MPATH cost churn
+
+TEST(MpathChurn, CostChangeReroutesDistanceVectors) {
+  // Reuse the in-test harness shape: 4-node diamond, make one path pricey.
+  graph::Topology topo;
+  topo.add_nodes(4);
+  topo.add_duplex(0, 1);
+  topo.add_duplex(0, 2);
+  topo.add_duplex(1, 3);
+  topo.add_duplex(2, 3);
+
+  struct Sink final : mpath::VectorSink {
+    std::vector<std::pair<NodeId, mpath::VectorMessage>>* bus = nullptr;
+    void send(NodeId to, const mpath::VectorMessage& m) override {
+      bus->push_back({to, m});
+    }
+  };
+  std::vector<std::pair<NodeId, mpath::VectorMessage>> bus;
+  std::vector<std::unique_ptr<Sink>> sinks;
+  std::vector<std::unique_ptr<mpath::MpathProcess>> nodes;
+  for (NodeId i = 0; i < 4; ++i) {
+    sinks.push_back(std::make_unique<Sink>());
+    sinks.back()->bus = &bus;
+    nodes.push_back(std::make_unique<mpath::MpathProcess>(i, 4, *sinks.back()));
+  }
+  const auto pump = [&] {
+    Rng rng(9);
+    std::size_t guard = 0;
+    while (!bus.empty()) {
+      ASSERT_LT(++guard, 100000u);
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(bus.size()) - 1));
+      const auto [to, msg] = bus[idx];
+      bus.erase(bus.begin() + static_cast<std::ptrdiff_t>(idx));
+      nodes[to]->on_message(msg);
+    }
+  };
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    const auto& l = topo.link(id);
+    nodes[l.from]->on_link_up(l.to, 1.0);
+  }
+  pump();
+  EXPECT_DOUBLE_EQ(nodes[0]->distance(3), 2.0);
+  EXPECT_EQ(nodes[0]->successors(3).size(), 2u);  // both relays
+
+  // Path via 1 becomes expensive: successor set shrinks, distance holds.
+  nodes[0]->on_link_cost_change(1, 10.0);
+  nodes[1]->on_link_cost_change(3, 10.0);
+  nodes[3]->on_link_cost_change(1, 10.0);
+  pump();
+  EXPECT_DOUBLE_EQ(nodes[0]->distance(3), 2.0);  // via 2 unchanged
+  ASSERT_EQ(nodes[0]->successors(3).size(), 1u);
+  EXPECT_EQ(nodes[0]->successors(3)[0], 2);
+}
+
+// ---------------------------------------------------------------- misc
+
+TEST(HelloMisc, OptionsAccessorAndHeardList) {
+  proto::HelloProtocol hello(3, {2.0, 7.0}, {});
+  EXPECT_DOUBLE_EQ(hello.options().interval, 2.0);
+  EXPECT_DOUBLE_EQ(hello.options().dead_interval, 7.0);
+  hello.physical_up(5);
+  EXPECT_TRUE(hello.heard_neighbors().empty());  // nothing heard yet
+  hello.on_hello(proto::HelloMessage{5, {}}, 0.5);
+  EXPECT_EQ(hello.heard_neighbors(), std::vector<NodeId>{5});
+  EXPECT_FALSE(hello.adjacent(5));  // heard but not 2-way
+}
+
+TEST(TopologyMisc, MutableLinkAllowsAttributeEdits) {
+  graph::Topology t;
+  t.add_nodes(2);
+  const auto id = t.add_link(0, 1, {1e6, 1e-3});
+  t.mutable_link(id).attr.capacity_bps = 2e6;
+  EXPECT_DOUBLE_EQ(t.link(id).attr.capacity_bps, 2e6);
+}
+
+TEST(NeighborTopologyAccessor, EmptyForUnknownNeighbor) {
+  proto::RouterTables t(0, 3);
+  EXPECT_TRUE(t.neighbor_topology(1).empty());
+  t.link_up(1, 1.0);
+  const proto::LsuEntry e[] = {{1, 2, 1.0, proto::LsuOp::kAddOrChange}};
+  t.apply_lsu(1, e);
+  EXPECT_EQ(t.neighbor_topology(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mdr

@@ -1,0 +1,278 @@
+// Unit tests for src/flow: routing parameters (Property 1), conservation
+// (Eqs. 1-2), total delay (Eq. 3) and per-commodity delays.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/evaluate.h"
+#include "flow/network.h"
+#include "flow/phi.h"
+#include "graph/topology.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+
+namespace mdr::flow {
+namespace {
+
+using graph::NodeId;
+
+// a=0, b=1, c=2, d=3: diamond a->{b,c}->d plus direct a->d.
+graph::Topology diamond() {
+  graph::Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  t.add_node("c");
+  t.add_node("d");
+  const graph::LinkAttr attr{10e6, 1e-3};
+  t.add_duplex(0, 1, attr);
+  t.add_duplex(0, 2, attr);
+  t.add_duplex(1, 3, attr);
+  t.add_duplex(2, 3, attr);
+  t.add_duplex(0, 3, attr);
+  return t;
+}
+
+// Index of link (from->to) within from's out_links.
+std::size_t out_index(const graph::Topology& t, NodeId from, NodeId to) {
+  const auto links = t.out_links(from);
+  for (std::size_t x = 0; x < links.size(); ++x) {
+    if (t.link(links[x]).to == to) return x;
+  }
+  ADD_FAILURE() << "no link " << from << "->" << to;
+  return 0;
+}
+
+TEST(RoutingParameters, StartsAllZero) {
+  const auto t = diamond();
+  RoutingParameters phi(t);
+  EXPECT_TRUE(phi.satisfies_property1());
+  EXPECT_TRUE(phi.unrouted(0, 3));
+}
+
+TEST(RoutingParameters, SinglePathAndSuccessors) {
+  const auto t = diamond();
+  RoutingParameters phi(t);
+  phi.set_single_path(0, 3, out_index(t, 0, 1));
+  EXPECT_FALSE(phi.unrouted(0, 3));
+  const auto succ = phi.successor_sets(3);
+  ASSERT_EQ(succ[0].size(), 1u);
+  EXPECT_EQ(succ[0][0], 1);
+  EXPECT_TRUE(phi.satisfies_property1());
+}
+
+TEST(RoutingParameters, Property1RejectsBadSums) {
+  const auto t = diamond();
+  RoutingParameters phi(t);
+  phi.set(0, 3, out_index(t, 0, 1), 0.6);
+  std::string why;
+  EXPECT_FALSE(phi.satisfies_property1(1e-9, &why));
+  EXPECT_NE(why.find("sums"), std::string::npos);
+  phi.set(0, 3, out_index(t, 0, 2), 0.4);
+  EXPECT_TRUE(phi.satisfies_property1());
+}
+
+TEST(RoutingParameters, Property1RejectsPhiAtDestination) {
+  const auto t = diamond();
+  RoutingParameters phi(t);
+  phi.set(3, 3, 0, 1.0);
+  EXPECT_FALSE(phi.satisfies_property1());
+}
+
+TEST(ComputeFlows, SinglePathConservation) {
+  const auto t = diamond();
+  const FlowNetwork net(t, 8000);
+  TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 3, 2e6);
+  RoutingParameters phi(t);
+  phi.set_single_path(0, 3, out_index(t, 0, 1));
+  phi.set_single_path(1, 3, out_index(t, 1, 3));
+
+  const auto fa = compute_flows(net, traffic, phi);
+  EXPECT_TRUE(fa.valid);
+  EXPECT_DOUBLE_EQ(fa.stranded_bps, 0.0);
+  EXPECT_DOUBLE_EQ(fa.node_traffic(0, 3), 2e6);
+  EXPECT_DOUBLE_EQ(fa.node_traffic(1, 3), 2e6);  // relayed through b
+  EXPECT_DOUBLE_EQ(fa.link_flows[t.find_link(0, 1)], 2e6);
+  EXPECT_DOUBLE_EQ(fa.link_flows[t.find_link(1, 3)], 2e6);
+  EXPECT_DOUBLE_EQ(fa.link_flows[t.find_link(0, 3)], 0.0);
+}
+
+TEST(ComputeFlows, SplitsAccordingToPhi) {
+  const auto t = diamond();
+  const FlowNetwork net(t, 8000);
+  TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 3, 3e6);
+  RoutingParameters phi(t);
+  phi.set(0, 3, out_index(t, 0, 1), 0.5);
+  phi.set(0, 3, out_index(t, 0, 2), 0.25);
+  phi.set(0, 3, out_index(t, 0, 3), 0.25);
+  phi.set_single_path(1, 3, out_index(t, 1, 3));
+  phi.set_single_path(2, 3, out_index(t, 2, 3));
+
+  const auto fa = compute_flows(net, traffic, phi);
+  EXPECT_TRUE(fa.valid);
+  EXPECT_DOUBLE_EQ(fa.link_flows[t.find_link(0, 1)], 1.5e6);
+  EXPECT_DOUBLE_EQ(fa.link_flows[t.find_link(0, 2)], 0.75e6);
+  EXPECT_DOUBLE_EQ(fa.link_flows[t.find_link(0, 3)], 0.75e6);
+  EXPECT_DOUBLE_EQ(fa.link_flows[t.find_link(1, 3)], 1.5e6);
+}
+
+TEST(ComputeFlows, AggregatesCommoditiesPerDestination) {
+  // Traffic from a and from b, both to d, share b's phi (Eq. 1's sum).
+  const auto t = diamond();
+  const FlowNetwork net(t, 8000);
+  TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 3, 1e6);
+  traffic.add(1, 3, 1e6);
+  RoutingParameters phi(t);
+  phi.set_single_path(0, 3, out_index(t, 0, 1));
+  phi.set_single_path(1, 3, out_index(t, 1, 3));
+
+  const auto fa = compute_flows(net, traffic, phi);
+  EXPECT_DOUBLE_EQ(fa.node_traffic(1, 3), 2e6);
+  EXPECT_DOUBLE_EQ(fa.link_flows[t.find_link(1, 3)], 2e6);
+}
+
+TEST(ComputeFlows, ReportsStrandedTraffic) {
+  const auto t = diamond();
+  const FlowNetwork net(t, 8000);
+  TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 3, 1e6);
+  RoutingParameters phi(t);
+  phi.set_single_path(0, 3, out_index(t, 0, 1));
+  // b has no route to d: traffic strands there.
+  const auto fa = compute_flows(net, traffic, phi);
+  EXPECT_TRUE(fa.valid);
+  EXPECT_DOUBLE_EQ(fa.stranded_bps, 1e6);
+}
+
+TEST(ComputeFlows, CyclicPhiFallsBackAndStaysFinite) {
+  // Deliberate two-node routing loop between b and c: traffic leaks nowhere
+  // (not lossless: phi splits half back, half to d each hop), so the fixed
+  // point converges.
+  graph::Topology t;
+  t.add_nodes(3);  // 0 src, 1 relay, 2 dest
+  const graph::LinkAttr attr{10e6, 1e-3};
+  t.add_duplex(0, 1, attr);
+  t.add_duplex(1, 2, attr);
+  t.add_duplex(0, 2, attr);
+  const FlowNetwork net(t, 8000);
+  TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 2, 1e6);
+  RoutingParameters phi(t);
+  // 0 sends half to 1 and half direct; 1 sends half *back* to 0 (loop!).
+  phi.set(0, 2, out_index(t, 0, 1), 0.5);
+  phi.set(0, 2, out_index(t, 0, 2), 0.5);
+  phi.set(1, 2, out_index(t, 1, 0), 0.5);
+  phi.set(1, 2, out_index(t, 1, 2), 0.5);
+
+  const auto fa = compute_flows(net, traffic, phi);
+  EXPECT_TRUE(fa.valid);  // fixed point converged despite the cycle
+  // t_0 = 1e6 + 0.5 t_1, t_1 = 0.5 t_0  =>  t_0 = 4/3e6, t_1 = 2/3e6.
+  EXPECT_NEAR(fa.node_traffic(0, 2), 4e6 / 3, 1.0);
+  EXPECT_NEAR(fa.node_traffic(1, 2), 2e6 / 3, 1.0);
+}
+
+TEST(TotalDelay, InfiniteWhenOverloaded) {
+  const auto t = diamond();
+  const FlowNetwork net(t, 8000);
+  std::vector<double> flows(t.num_links(), 0.0);
+  flows[0] = 20e6;  // above the 10 Mb/s capacity
+  EXPECT_TRUE(std::isinf(total_delay_rate(net, flows)));
+}
+
+TEST(TotalDelay, SumsPerLinkDelays) {
+  const auto t = diamond();
+  const FlowNetwork net(t, 8000);
+  std::vector<double> flows(t.num_links(), 0.0);
+  flows[0] = 2e6;
+  flows[2] = 4e6;
+  const double expected = net.model(0).total_delay_rate(2e6) +
+                          net.model(2).total_delay_rate(4e6);
+  EXPECT_DOUBLE_EQ(total_delay_rate(net, flows), expected);
+}
+
+TEST(CommodityDelays, TwoHopPathAddsLinkDelays) {
+  const auto t = diamond();
+  const FlowNetwork net(t, 8000);
+  TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 3, 2e6);
+  RoutingParameters phi(t);
+  phi.set_single_path(0, 3, out_index(t, 0, 1));
+  phi.set_single_path(1, 3, out_index(t, 1, 3));
+  const auto fa = compute_flows(net, traffic, phi);
+  const auto delays = commodity_delays(net, phi, fa.link_flows);
+  const double w01 = net.model(t.find_link(0, 1)).packet_delay(2e6);
+  const double w13 = net.model(t.find_link(1, 3)).packet_delay(2e6);
+  EXPECT_NEAR(delays(0, 3), w01 + w13, 1e-12);
+  EXPECT_NEAR(delays(1, 3), w13, 1e-12);
+  EXPECT_DOUBLE_EQ(delays(3, 3), 0.0);
+  EXPECT_TRUE(std::isinf(delays(2, 3)));  // c has no route
+}
+
+TEST(CommodityDelays, SplitPathIsWeightedAverage) {
+  const auto t = diamond();
+  const FlowNetwork net(t, 8000);
+  TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 3, 2e6);
+  RoutingParameters phi(t);
+  phi.set(0, 3, out_index(t, 0, 1), 0.75);
+  phi.set(0, 3, out_index(t, 0, 3), 0.25);
+  phi.set_single_path(1, 3, out_index(t, 1, 3));
+  const auto fa = compute_flows(net, traffic, phi);
+  const auto delays = commodity_delays(net, phi, fa.link_flows);
+  const double via_b =
+      net.model(t.find_link(0, 1)).packet_delay(fa.link_flows[t.find_link(0, 1)]) +
+      net.model(t.find_link(1, 3)).packet_delay(fa.link_flows[t.find_link(1, 3)]);
+  const double direct =
+      net.model(t.find_link(0, 3)).packet_delay(fa.link_flows[t.find_link(0, 3)]);
+  EXPECT_NEAR(delays(0, 3), 0.75 * via_b + 0.25 * direct, 1e-12);
+}
+
+TEST(AverageDelay, WeightsByInputRate) {
+  const auto t = diamond();
+  const FlowNetwork net(t, 8000);
+  TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 3, 1e6);
+  traffic.add(1, 3, 3e6);
+  RoutingParameters phi(t);
+  phi.set_single_path(0, 3, out_index(t, 0, 3));
+  phi.set_single_path(1, 3, out_index(t, 1, 3));
+  const auto fa = compute_flows(net, traffic, phi);
+  const auto delays = commodity_delays(net, phi, fa.link_flows);
+  const double expected =
+      (1e6 * delays(0, 3) + 3e6 * delays(1, 3)) / 4e6;
+  EXPECT_NEAR(average_delay(net, traffic, phi), expected, 1e-15);
+}
+
+TEST(AverageDelay, InfiniteWhenTrafficUnrouted) {
+  const auto t = diamond();
+  const FlowNetwork net(t, 8000);
+  TrafficMatrix traffic(t.num_nodes());
+  traffic.add(2, 3, 1e6);
+  RoutingParameters phi(t);  // no routes at all
+  EXPECT_TRUE(std::isinf(average_delay(net, traffic, phi)));
+}
+
+TEST(FlowNetwork, ZeroLoadCostsMatchModels) {
+  const auto t = topo::make_net1();
+  const FlowNetwork net(t, 8000);
+  const auto costs = net.zero_load_costs();
+  ASSERT_EQ(costs.size(), t.num_links());
+  for (std::size_t id = 0; id < costs.size(); ++id) {
+    EXPECT_DOUBLE_EQ(costs[id], net.model(id).marginal_delay(0));
+  }
+}
+
+TEST(TrafficMatrix, ScaledCopies) {
+  TrafficMatrix m(4);
+  m.add(0, 1, 1e6);
+  m.add(2, 3, 2e6);
+  const auto s = m.scaled(1.5);
+  EXPECT_DOUBLE_EQ(s.rate(0, 1), 1.5e6);
+  EXPECT_DOUBLE_EQ(s.total(), 4.5e6);
+  EXPECT_DOUBLE_EQ(m.total(), 3e6);  // original untouched
+}
+
+}  // namespace
+}  // namespace mdr::flow

@@ -1,0 +1,271 @@
+// Unit tests for src/gallager: marginal distances (Eq. 4), the optimality
+// gap (Eqs. 5-7) and the OPT gradient-projection iteration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/evaluate.h"
+#include "gallager/marginals.h"
+#include "gallager/optimizer.h"
+#include "graph/dag.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+
+namespace mdr::gallager {
+namespace {
+
+using graph::NodeId;
+
+std::size_t out_index(const graph::Topology& t, NodeId from, NodeId to) {
+  const auto links = t.out_links(from);
+  for (std::size_t x = 0; x < links.size(); ++x) {
+    if (t.link(links[x]).to == to) return x;
+  }
+  ADD_FAILURE() << "no link " << from << "->" << to;
+  return 0;
+}
+
+graph::Topology diamond() {
+  graph::Topology t;
+  t.add_nodes(4);  // 0 src, 1/2 relays, 3 dest
+  const graph::LinkAttr attr{10e6, 1e-3};
+  t.add_duplex(0, 1, attr);
+  t.add_duplex(0, 2, attr);
+  t.add_duplex(1, 3, attr);
+  t.add_duplex(2, 3, attr);
+  return t;
+}
+
+TEST(Marginals, SinglePathIsSumOfLinkMarginals) {
+  const auto t = diamond();
+  const flow::FlowNetwork net(t, 8000);
+  flow::RoutingParameters phi(t);
+  phi.set_single_path(0, 3, out_index(t, 0, 1));
+  phi.set_single_path(1, 3, out_index(t, 1, 3));
+  std::vector<double> flows(t.num_links(), 0.0);
+  const auto marg = net.marginal_costs(flows);
+  const auto md = marginal_distances(net, phi, marg, 3);
+  EXPECT_DOUBLE_EQ(md[3], 0.0);
+  EXPECT_DOUBLE_EQ(md[1], marg[t.find_link(1, 3)]);
+  EXPECT_DOUBLE_EQ(md[0], marg[t.find_link(0, 1)] + marg[t.find_link(1, 3)]);
+  EXPECT_TRUE(std::isinf(md[2]));  // no route from 2
+}
+
+TEST(Marginals, SplitPathIsPhiWeighted) {
+  const auto t = diamond();
+  const flow::FlowNetwork net(t, 8000);
+  flow::RoutingParameters phi(t);
+  phi.set(0, 3, out_index(t, 0, 1), 0.3);
+  phi.set(0, 3, out_index(t, 0, 2), 0.7);
+  phi.set_single_path(1, 3, out_index(t, 1, 3));
+  phi.set_single_path(2, 3, out_index(t, 2, 3));
+  std::vector<double> flows(t.num_links(), 1e6);
+  const auto marg = net.marginal_costs(flows);
+  const auto md = marginal_distances(net, phi, marg, 3);
+  const double via1 = marg[t.find_link(0, 1)] + md[1];
+  const double via2 = marg[t.find_link(0, 2)] + md[2];
+  EXPECT_NEAR(md[0], 0.3 * via1 + 0.7 * via2, 1e-15);
+}
+
+TEST(Marginals, OptimalityGapZeroOnlyAtBalance) {
+  const auto t = diamond();
+  const flow::FlowNetwork net(t, 8000);
+  std::vector<double> flows(t.num_links(), 0.0);
+  const auto marg = net.marginal_costs(flows);
+
+  // Symmetric links and an even split: perfectly balanced.
+  flow::RoutingParameters balanced(t);
+  balanced.set(0, 3, out_index(t, 0, 1), 0.5);
+  balanced.set(0, 3, out_index(t, 0, 2), 0.5);
+  balanced.set_single_path(1, 3, out_index(t, 1, 3));
+  balanced.set_single_path(2, 3, out_index(t, 2, 3));
+  const auto md_b = marginal_distances(net, balanced, marg, 3);
+  EXPECT_NEAR(optimality_gap(net, balanced, marg, 3, md_b), 0.0, 1e-12);
+
+  // All traffic on one of two equal paths: zero-load marginals are equal,
+  // so the gap is still ~0; but skew the link costs and the gap appears.
+  std::vector<double> skewed_flows(t.num_links(), 0.0);
+  skewed_flows[t.find_link(0, 1)] = 8e6;
+  const auto marg_skewed = net.marginal_costs(skewed_flows);
+  const auto md_s = marginal_distances(net, balanced, marg_skewed, 3);
+  EXPECT_GT(optimality_gap(net, balanced, marg_skewed, 3, md_s), 0.0);
+}
+
+TEST(ShortestPathPhi, RoutesEveryPairOnZeroLoadSpt) {
+  const auto t = topo::make_net1();
+  const flow::FlowNetwork net(t, 8000);
+  const auto phi = shortest_path_phi(net);
+  EXPECT_TRUE(phi.satisfies_property1());
+  const auto n = static_cast<NodeId>(t.num_nodes());
+  for (NodeId j = 0; j < n; ++j) {
+    const auto succ = phi.successor_sets(j);
+    EXPECT_TRUE(graph::is_acyclic(succ)) << "dest " << j;
+    for (NodeId i = 0; i < n; ++i) {
+      if (i == j) continue;
+      EXPECT_EQ(succ[i].size(), 1u) << i << "->" << j;  // single path
+    }
+    // Every node reaches j.
+    const auto reach = graph::can_reach(succ, j);
+    for (NodeId i = 0; i < n; ++i) EXPECT_TRUE(reach[i]);
+  }
+}
+
+TEST(Optimizer, TwoParallelLinksBalanceEqually) {
+  // Two disjoint equal paths 0->1->3 / 0->2->3 and one commodity: the
+  // optimum splits 50/50.
+  const auto t = diamond();
+  const flow::FlowNetwork net(t, 8000);
+  flow::TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 3, 8e6);  // heavy enough that splitting clearly wins
+
+  const auto result = minimize(net, traffic, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.feasible);
+  const auto idx1 = out_index(t, 0, 1);
+  const auto idx2 = out_index(t, 0, 2);
+  EXPECT_NEAR(result.phi.get(0, 3, idx1), 0.5, 0.02);
+  EXPECT_NEAR(result.phi.get(0, 3, idx2), 0.5, 0.02);
+}
+
+TEST(Optimizer, DelayTraceIsNonIncreasing) {
+  const auto t = topo::make_net1();
+  const flow::FlowNetwork net(t, 8000);
+  const auto traffic = topo::to_traffic_matrix(t, topo::net1_flows());
+  const auto result = minimize(net, traffic, {});
+  ASSERT_GE(result.delay_trace.size(), 2u);
+  for (std::size_t i = 1; i < result.delay_trace.size(); ++i) {
+    EXPECT_LE(result.delay_trace[i], result.delay_trace[i - 1] * (1 + 1e-9))
+        << "iteration " << i;
+  }
+}
+
+TEST(Optimizer, BeatsSinglePathOnPaperWorkloads) {
+  for (const bool cairn : {true, false}) {
+    const auto t = cairn ? topo::make_cairn() : topo::make_net1();
+    const auto flows = cairn ? topo::cairn_flows() : topo::net1_flows();
+    const flow::FlowNetwork net(t, 8000);
+    const auto traffic = topo::to_traffic_matrix(t, flows);
+    const auto result = minimize(net, traffic, {});
+    EXPECT_TRUE(result.feasible);
+    const double sp_delay =
+        flow::average_delay(net, traffic, shortest_path_phi(net));
+    EXPECT_LE(result.average_delay_s, sp_delay * (1 + 1e-9))
+        << (cairn ? "cairn" : "net1");
+  }
+}
+
+TEST(Optimizer, SuccessorGraphsStayAcyclic) {
+  const auto t = topo::make_net1();
+  const flow::FlowNetwork net(t, 8000);
+  const auto traffic = topo::to_traffic_matrix(t, topo::net1_flows());
+  const auto result = minimize(net, traffic, {});
+  for (NodeId j = 0; j < static_cast<NodeId>(t.num_nodes()); ++j) {
+    EXPECT_TRUE(graph::is_acyclic(result.phi.successor_sets(j)))
+        << "dest " << j;
+  }
+  EXPECT_TRUE(result.phi.satisfies_property1(1e-6));
+}
+
+TEST(Optimizer, ReachesNearZeroOptimalityGap) {
+  const auto t = topo::make_net1();
+  const flow::FlowNetwork net(t, 8000);
+  const auto traffic = topo::to_traffic_matrix(t, topo::net1_flows());
+  const auto result = minimize(net, traffic, {});
+  const auto fa = flow::compute_flows(net, traffic, result.phi);
+  const auto marg = net.marginal_costs(fa.link_flows);
+
+  // Gallager's conditions at destinations that carry traffic: the relative
+  // gap must be small (exact zero requires infinite iterations).
+  for (NodeId j = 0; j < static_cast<NodeId>(t.num_nodes()); ++j) {
+    double incoming = 0;
+    for (NodeId i = 0; i < static_cast<NodeId>(t.num_nodes()); ++i) {
+      incoming += traffic.rate(i, j);
+    }
+    if (incoming <= 0) continue;
+    const auto md = marginal_distances(net, result.phi, marg, j);
+    double max_md = 0;
+    for (NodeId i = 0; i < static_cast<NodeId>(t.num_nodes()); ++i) {
+      if (std::isfinite(md[i])) max_md = std::max(max_md, md[i]);
+    }
+    EXPECT_LT(optimality_gap(net, result.phi, marg, j, md), 0.15 * max_md)
+        << "dest " << j;
+  }
+}
+
+TEST(Optimizer, SecondDerivativeReachesSameOptimum) {
+  // The Bertsekas-Gallager curvature-scaled step must find the same minimum
+  // as the first-order method (it changes the path, not the destination).
+  for (const bool cairn : {true, false}) {
+    const auto t = cairn ? topo::make_cairn() : topo::make_net1();
+    const auto flows = cairn ? topo::cairn_flows() : topo::net1_flows();
+    const flow::FlowNetwork net(t, 8000);
+    const auto traffic = topo::to_traffic_matrix(t, flows);
+    const auto first = minimize(net, traffic, {});
+    Options second_opts;
+    second_opts.second_derivative = true;
+    const auto second = minimize(net, traffic, second_opts);
+    ASSERT_TRUE(first.feasible);
+    ASSERT_TRUE(second.feasible);
+    EXPECT_NEAR(second.total_delay_rate, first.total_delay_rate,
+                0.01 * first.total_delay_rate)
+        << (cairn ? "cairn" : "net1");
+    EXPECT_TRUE(second.phi.satisfies_property1(1e-6));
+    for (NodeId j = 0; j < static_cast<NodeId>(t.num_nodes()); ++j) {
+      EXPECT_TRUE(graph::is_acyclic(second.phi.successor_sets(j)));
+    }
+  }
+}
+
+TEST(Optimizer, SecondDerivativeToleratesWideEtaRange) {
+  // The point of curvature scaling: convergence speed is far less sensitive
+  // to the global constant. Both a tiny and a huge eta must still converge
+  // to (near) the same optimum within the iteration budget.
+  const auto t = topo::make_net1();
+  const flow::FlowNetwork net(t, 8000);
+  const auto traffic = topo::to_traffic_matrix(t, topo::net1_flows());
+  double reference = 0;
+  for (const double eta : {0.5, 5.0, 500.0}) {
+    Options opts;
+    opts.second_derivative = true;
+    opts.eta = eta;
+    const auto result = minimize(net, traffic, opts);
+    ASSERT_TRUE(result.feasible) << "eta " << eta;
+    if (reference == 0) {
+      reference = result.total_delay_rate;
+    } else {
+      EXPECT_NEAR(result.total_delay_rate, reference, 0.02 * reference)
+          << "eta " << eta;
+    }
+  }
+}
+
+TEST(Optimizer, InfeasibleLoadReportsInfeasible) {
+  // One 1 Mb/s bottleneck carrying 5 Mb/s: no routing can help.
+  graph::Topology t;
+  t.add_nodes(2);
+  t.add_duplex(0, 1, graph::LinkAttr{1e6, 1e-3});
+  const flow::FlowNetwork net(t, 8000);
+  flow::TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 1, 5e6);
+  const auto result = minimize(net, traffic, {});
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Optimizer, FixedStepMatchesAdaptiveOnEasyCase) {
+  const auto t = diamond();
+  const flow::FlowNetwork net(t, 8000);
+  flow::TrafficMatrix traffic(t.num_nodes());
+  traffic.add(0, 3, 6e6);
+  Options fixed;
+  fixed.adaptive_step = false;
+  fixed.eta = 5.0;
+  fixed.max_iterations = 20000;
+  const auto fixed_result = minimize(net, traffic, fixed);
+  const auto adaptive_result = minimize(net, traffic, {});
+  EXPECT_TRUE(fixed_result.feasible);
+  EXPECT_NEAR(fixed_result.total_delay_rate, adaptive_result.total_delay_rate,
+              0.02 * adaptive_result.total_delay_rate);
+}
+
+}  // namespace
+}  // namespace mdr::gallager

@@ -1,0 +1,224 @@
+// Unit tests for src/graph: topology, Dijkstra, Bellman-Ford, DAG utilities.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/bellman_ford.h"
+#include "graph/dag.h"
+#include "graph/dijkstra.h"
+#include "graph/topology.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace mdr::graph {
+namespace {
+
+Topology diamond() {
+  // a -> b -> d and a -> c -> d, plus direct a -> d.
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const NodeId c = t.add_node("c");
+  const NodeId d = t.add_node("d");
+  t.add_duplex(a, b);
+  t.add_duplex(a, c);
+  t.add_duplex(b, d);
+  t.add_duplex(c, d);
+  t.add_duplex(a, d);
+  return t;
+}
+
+TEST(Topology, NodesAndNames) {
+  Topology t;
+  EXPECT_EQ(t.add_node("x"), 0);
+  EXPECT_EQ(t.add_node("y"), 1);
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.name(0), "x");
+  EXPECT_EQ(t.find_node("y"), 1);
+  EXPECT_EQ(t.find_node("zzz"), kInvalidNode);
+}
+
+TEST(Topology, AddNodesBulk) {
+  Topology t;
+  const NodeId first = t.add_nodes(5);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(t.num_nodes(), 5u);
+  EXPECT_NE(t.find_node("n3"), kInvalidNode);
+}
+
+TEST(Topology, LinksAndAdjacency) {
+  Topology t = diamond();
+  EXPECT_EQ(t.num_links(), 10u);  // 5 duplex
+  const NodeId a = t.find_node("a");
+  const NodeId d = t.find_node("d");
+  EXPECT_EQ(t.out_links(a).size(), 3u);
+  EXPECT_EQ(t.neighbors(a).size(), 3u);
+  const LinkId ad = t.find_link(a, d);
+  ASSERT_NE(ad, kInvalidLink);
+  EXPECT_EQ(t.link(ad).from, a);
+  EXPECT_EQ(t.link(ad).to, d);
+  EXPECT_EQ(t.find_link(d, 99), kInvalidLink);
+}
+
+TEST(Topology, LinkAttributesStored) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const LinkId id = t.add_link(a, b, LinkAttr{1.5e6, 2e-3});
+  EXPECT_DOUBLE_EQ(t.link(id).attr.capacity_bps, 1.5e6);
+  EXPECT_DOUBLE_EQ(t.link(id).attr.prop_delay_s, 2e-3);
+}
+
+TEST(Topology, StrongConnectivityAndDiameter) {
+  Topology t = diamond();
+  EXPECT_TRUE(t.is_strongly_connected());
+  EXPECT_EQ(t.diameter_hops(), 2u);
+
+  Topology one_way;
+  const NodeId a = one_way.add_node("a");
+  const NodeId b = one_way.add_node("b");
+  one_way.add_link(a, b);
+  EXPECT_FALSE(one_way.is_strongly_connected());
+}
+
+TEST(Dijkstra, SimpleChain) {
+  std::vector<CostedEdge> edges{{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 5.0}};
+  const auto spt = dijkstra(3, edges, 0);
+  EXPECT_DOUBLE_EQ(spt.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(spt.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(spt.dist[2], 3.0);  // via node 1, not the direct edge
+  EXPECT_EQ(spt.parent[2], 1);
+  EXPECT_EQ(spt.first_hop(0, 2), 1);
+}
+
+TEST(Dijkstra, UnreachableNodes) {
+  std::vector<CostedEdge> edges{{0, 1, 1.0}};
+  const auto spt = dijkstra(3, edges, 0);
+  EXPECT_FALSE(spt.reachable(2));
+  EXPECT_EQ(spt.dist[2], kInfCost);
+  EXPECT_EQ(spt.first_hop(0, 2), kInvalidNode);
+}
+
+TEST(Dijkstra, IgnoresInfiniteCostEdges) {
+  std::vector<CostedEdge> edges{{0, 1, kInfCost}, {0, 2, 1.0}, {2, 1, 1.0}};
+  const auto spt = dijkstra(3, edges, 0);
+  EXPECT_DOUBLE_EQ(spt.dist[1], 2.0);  // the infinite edge is a failed link
+}
+
+TEST(Dijkstra, KeepsCheapestParallelEdge) {
+  std::vector<CostedEdge> edges{{0, 1, 5.0}, {0, 1, 2.0}, {0, 1, 9.0}};
+  const auto spt = dijkstra(2, edges, 0);
+  EXPECT_DOUBLE_EQ(spt.dist[1], 2.0);
+}
+
+TEST(Dijkstra, ConsistentTieBreakPrefersLowerParent) {
+  // Two equal-cost two-hop paths to node 3: via 1 and via 2.
+  std::vector<CostedEdge> edges{
+      {0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 1.0}, {2, 3, 1.0}};
+  const auto spt = dijkstra(4, edges, 0);
+  EXPECT_EQ(spt.parent[3], 1);  // lower id wins
+  // Edge order must not matter.
+  std::vector<CostedEdge> reversed(edges.rbegin(), edges.rend());
+  const auto spt2 = dijkstra(4, reversed, 0);
+  EXPECT_EQ(spt2.parent[3], 1);
+}
+
+TEST(Dijkstra, TopologyOverload) {
+  Topology t = diamond();
+  std::vector<Cost> costs(t.num_links(), 1.0);
+  // Make the direct a->d link expensive.
+  costs[t.find_link(t.find_node("a"), t.find_node("d"))] = 10.0;
+  const auto spt = dijkstra(t, costs, t.find_node("a"));
+  EXPECT_DOUBLE_EQ(spt.dist[t.find_node("d")], 2.0);
+}
+
+TEST(Dijkstra, TreeEdgesFormSpanningTree) {
+  Rng rng(17);
+  const auto topo = topo::make_random(20, 0.15, rng);
+  std::vector<CostedEdge> edges;
+  for (LinkId id = 0; id < static_cast<LinkId>(topo.num_links()); ++id) {
+    edges.push_back(
+        CostedEdge{topo.link(id).from, topo.link(id).to, rng.uniform(1, 10)});
+  }
+  const auto spt = dijkstra(topo.num_nodes(), edges, 0);
+  const auto tree = tree_edges(spt, edges);
+  EXPECT_EQ(tree.size(), topo.num_nodes() - 1);  // connected => spanning
+  // Every tree edge must reproduce the distance relation.
+  for (const auto& e : tree) {
+    EXPECT_NEAR(spt.dist[e.from] + e.cost, spt.dist[e.to], 1e-9);
+  }
+}
+
+TEST(BellmanFord, MatchesDijkstraOnRandomGraphs) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto topo = topo::make_random(15, 0.2, rng);
+    std::vector<CostedEdge> edges;
+    for (LinkId id = 0; id < static_cast<LinkId>(topo.num_links()); ++id) {
+      edges.push_back(CostedEdge{topo.link(id).from, topo.link(id).to,
+                                 rng.uniform(0.5, 4.0)});
+    }
+    const NodeId root = rng.uniform_int(0, 14);
+    const auto spt = dijkstra(topo.num_nodes(), edges, root);
+    const auto bf = bellman_ford(topo.num_nodes(), edges, root);
+    for (std::size_t i = 0; i < bf.size(); ++i) {
+      EXPECT_NEAR(bf[i], spt.dist[i], 1e-9) << "node " << i;
+    }
+  }
+}
+
+TEST(BellmanFord, NHopDistancesAreMonotone) {
+  // Paper Property 2: D(h) >= D(n) for h <= n.
+  Rng rng(29);
+  const auto topo = topo::make_random(12, 0.2, rng);
+  std::vector<CostedEdge> edges;
+  for (LinkId id = 0; id < static_cast<LinkId>(topo.num_links()); ++id) {
+    edges.push_back(CostedEdge{topo.link(id).from, topo.link(id).to,
+                               rng.uniform(0.5, 4.0)});
+  }
+  std::vector<Cost> prev = bellman_ford(topo.num_nodes(), edges, 0, 1);
+  for (std::size_t hops = 2; hops < topo.num_nodes(); ++hops) {
+    const auto cur = bellman_ford(topo.num_nodes(), edges, 0, hops);
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      EXPECT_LE(cur[i], prev[i]) << "hops " << hops << " node " << i;
+    }
+    prev = cur;
+  }
+}
+
+TEST(Dag, AcyclicDetection) {
+  SuccessorSets dag{{1, 2}, {2}, {}};
+  EXPECT_TRUE(is_acyclic(dag));
+  SuccessorSets cycle{{1}, {2}, {0}};
+  EXPECT_FALSE(is_acyclic(cycle));
+  SuccessorSets self_loopless{{}, {}, {}};
+  EXPECT_TRUE(is_acyclic(self_loopless));
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  SuccessorSets dag{{2}, {0, 2}, {}, {1}};
+  const auto order = topological_order(dag);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> pos(4);
+  for (std::size_t p = 0; p < order->size(); ++p) pos[(*order)[p]] = static_cast<int>(p);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId k : dag[i]) EXPECT_LT(pos[i], pos[k]);
+  }
+}
+
+TEST(Dag, TopologicalOrderRejectsCycle) {
+  SuccessorSets cycle{{1}, {0}};
+  EXPECT_FALSE(topological_order(cycle).has_value());
+}
+
+TEST(Dag, CanReach) {
+  SuccessorSets dag{{1}, {2}, {}, {}};  // 3 is isolated
+  const auto reach = can_reach(dag, 2);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+  EXPECT_FALSE(reach[3]);
+}
+
+}  // namespace
+}  // namespace mdr::graph

@@ -1,0 +1,154 @@
+// Tests for core/inspect: routing-table dumps and the Graphviz export,
+// plus a decode-random-bytes fuzz for the wire codecs (a router must never
+// crash on garbage input) and a larger-network stress run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/inspect.h"
+#include "harness.h"
+#include "proto/hello.h"
+#include "proto/lsu.h"
+#include "sim/network_sim.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+#include "util/rng.h"
+
+namespace mdr {
+namespace {
+
+using graph::NodeId;
+
+test::ProtocolHarness<core::MpRouter>::Factory router_factory() {
+  return [](NodeId self, std::size_t n, proto::LsuSink& sink) {
+    return std::make_unique<core::MpRouter>(self, n, sink,
+                                            core::MpRouterOptions{});
+  };
+}
+
+TEST(Inspect, DumpContainsDistancesAndSuccessors) {
+  const auto topo = topo::make_net1();
+  test::ProtocolHarness<core::MpRouter> h(
+      topo, std::vector<graph::Cost>(topo.num_links(), 1.0), router_factory());
+  Rng rng(1);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+
+  std::ostringstream out;
+  core::dump_router_state(out, h.node(0), topo);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("router 0"), std::string::npos);
+  EXPECT_NE(text.find("PASSIVE"), std::string::npos);
+  EXPECT_NE(text.find("FD"), std::string::npos);
+  // Every other node appears as a destination row.
+  for (NodeId j = 1; j < 10; ++j) {
+    EXPECT_NE(text.find("\n  " + std::string(topo.name(j))),
+              std::string::npos)
+        << "dest " << j;
+  }
+  EXPECT_EQ(text.find("(no route)"), std::string::npos);
+}
+
+TEST(Inspect, DotOutputIsWellFormedAndAcyclicEdges) {
+  const auto topo = topo::make_net1();
+  test::ProtocolHarness<core::MpRouter> h(
+      topo, std::vector<graph::Cost>(topo.num_links(), 1.0), router_factory());
+  Rng rng(2);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+
+  std::vector<const core::MpRouter*> routers;
+  for (NodeId i = 0; i < 10; ++i) routers.push_back(&h.node(i));
+
+  std::ostringstream out;
+  core::successor_graph_dot(out, topo, routers, 8);
+  const std::string dot = out.str();
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // the destination
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // Node 8 must not have outgoing successor edges toward itself.
+  EXPECT_EQ(dot.find("\"8\" ->"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- codec fuzz
+
+TEST(CodecFuzz, LsuDecodeNeverCrashesOnRandomBytes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto decoded = proto::decode(bytes);
+    if (decoded.has_value()) {
+      // Whatever decodes must re-encode to the same bytes (canonical form).
+      EXPECT_EQ(proto::encode(*decoded), bytes);
+    }
+  }
+}
+
+TEST(CodecFuzz, HelloDecodeNeverCrashesOnRandomBytes) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto decoded = proto::decode_hello(bytes);
+    if (decoded.has_value()) {
+      EXPECT_EQ(proto::encode_hello(*decoded), bytes);
+    }
+  }
+}
+
+TEST(CodecFuzz, LsuRoundTripRandomMessages) {
+  Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    proto::LsuMessage msg;
+    msg.sender = rng.uniform_int(0, 1000);
+    msg.ack = rng.bernoulli(0.5);
+    msg.ack_seq = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30));
+    msg.seq = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30));
+    const int entries = rng.uniform_int(0, 10);
+    for (int e = 0; e < entries; ++e) {
+      msg.entries.push_back(proto::LsuEntry{
+          rng.uniform_int(0, 500), rng.uniform_int(0, 500),
+          rng.uniform(0.0, 1e6),
+          rng.bernoulli(0.2) ? proto::LsuOp::kDelete
+                             : proto::LsuOp::kAddOrChange});
+    }
+    const auto decoded = proto::decode(proto::encode(msg));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+// -------------------------------------------------------------------- scale
+
+TEST(Scale, SixtyFourNodeNetworkConvergesAndRoutes) {
+  Rng rng(6);
+  const auto topo = topo::make_random(64, 0.06, rng);
+  std::vector<topo::FlowSpec> flows;
+  for (int f = 0; f < 12; ++f) {
+    const NodeId src = rng.uniform_int(0, 63);
+    NodeId dst = rng.uniform_int(0, 63);
+    if (src == dst) dst = (dst + 1) % 64;
+    flows.push_back(topo::FlowSpec{std::string(topo.name(src)),
+                                   std::string(topo.name(dst)), 1e6});
+  }
+  sim::SimConfig config;
+  config.traffic_start = 4;
+  config.warmup = 4;
+  config.duration = 10;
+  config.seed = 9;
+  const auto result = sim::run_simulation(topo, flows, config);
+  for (const auto& f : result.flows) {
+    EXPECT_GT(f.delivered, 100u) << f.src << "->" << f.dst;
+  }
+  EXPECT_EQ(result.dropped_no_route, 0u);
+  EXPECT_EQ(result.dropped_ttl, 0u);
+}
+
+}  // namespace
+}  // namespace mdr

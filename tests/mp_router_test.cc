@@ -1,0 +1,201 @@
+// Unit tests for src/core/mp_router: IH-on-route-change, AH-on-Ts-tick,
+// SP mode, and forwarding realization of phi.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/mp_router.h"
+#include "harness.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace mdr::core {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+using RouterHarness = test::ProtocolHarness<MpRouter>;
+
+RouterHarness::Factory router_factory(MpRouterOptions options = {}) {
+  return [options](NodeId self, std::size_t n, proto::LsuSink& sink) {
+    return std::make_unique<MpRouter>(self, n, sink, options);
+  };
+}
+
+std::vector<Cost> uniform_costs(const graph::Topology& topo, Cost c = 1.0) {
+  return std::vector<Cost>(topo.num_links(), c);
+}
+
+double weight_sum(std::span<const ForwardingChoice> entry) {
+  double s = 0;
+  for (const auto& c : entry) s += c.weight;
+  return s;
+}
+
+// Two disjoint two-hop paths 0->1->3 and 0->2->3.
+graph::Topology two_path() {
+  graph::Topology t;
+  t.add_nodes(4);
+  t.add_duplex(0, 1);
+  t.add_duplex(0, 2);
+  t.add_duplex(1, 3);
+  t.add_duplex(2, 3);
+  return t;
+}
+
+TEST(MpRouter, BuildsForwardingTablesAfterConvergence) {
+  const auto topo = topo::make_net1();
+  RouterHarness h(topo, uniform_costs(topo), router_factory());
+  Rng rng(1);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto entry = h.node(i).forwarding(j);
+      ASSERT_FALSE(entry.empty()) << i << "->" << j;
+      EXPECT_NEAR(weight_sum(entry), 1.0, 1e-9);
+      for (const auto& c : entry) EXPECT_GE(c.weight, 0.0);
+    }
+  }
+}
+
+TEST(MpRouter, InitialSplitFollowsIhOverEqualPaths) {
+  const auto topo = two_path();
+  RouterHarness h(topo, uniform_costs(topo), router_factory());
+  Rng rng(2);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  const auto entry = h.node(0).forwarding(3);
+  ASSERT_EQ(entry.size(), 2u);  // both neighbors are successors
+  EXPECT_NEAR(entry[0].weight, 0.5, 1e-9);
+  EXPECT_NEAR(entry[1].weight, 0.5, 1e-9);
+}
+
+TEST(MpRouter, ShortTermCostsShiftTrafficViaAh) {
+  const auto topo = two_path();
+  RouterHarness h(topo, uniform_costs(topo), router_factory());
+  Rng rng(3);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  // Ts tick: the adjacent link to neighbor 1 got congested.
+  h.node(0).update_short_term_costs({{1, 3.0}, {2, 1.0}});
+  const auto entry = h.node(0).forwarding(3);
+  ASSERT_EQ(entry.size(), 2u);
+  const double w1 = entry[0].neighbor == 1 ? entry[0].weight : entry[1].weight;
+  const double w2 = entry[0].neighbor == 2 ? entry[0].weight : entry[1].weight;
+  EXPECT_LT(w1, 0.5);
+  EXPECT_GT(w2, 0.5);
+  EXPECT_NEAR(w1 + w2, 1.0, 1e-9);
+}
+
+TEST(MpRouter, RouteChangeTriggersFreshIhDistribution) {
+  const auto topo = two_path();
+  RouterHarness h(topo, uniform_costs(topo), router_factory());
+  Rng rng(4);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  // Drain (nearly) everything onto neighbor 1 via repeated AH; the default
+  // damping of 0.5 decays the drained successor's share geometrically.
+  for (int i = 0; i < 60; ++i) {
+    h.node(0).update_short_term_costs({{1, 1.0}, {2, 4.0}});
+  }
+  {
+    const auto entry = h.node(0).forwarding(3);
+    const double w2 =
+        entry[0].neighbor == 2 ? entry[0].weight : entry[1].weight;
+    EXPECT_NEAR(w2, 0.0, 1e-9);
+  }
+  // Long-term route change: link (1,3) becomes expensive; after the flood
+  // the successor set changes, so IH redistributes from scratch.
+  h.change_cost(1, 3, 10.0);
+  h.run_to_quiescence(rng);
+  const auto entry = h.node(0).forwarding(3);
+  ASSERT_FALSE(entry.empty());
+  for (const auto& c : entry) EXPECT_GT(c.weight, 0.0);
+  EXPECT_NEAR(weight_sum(entry), 1.0, 1e-9);
+}
+
+TEST(MpRouter, SinglePathModeUsesOneNextHop) {
+  const auto topo = topo::make_net1();
+  RouterHarness h(topo, uniform_costs(topo),
+                  router_factory(MpRouterOptions{.single_path = true}));
+  Rng rng(5);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto entry = h.node(i).forwarding(j);
+      int positive = 0;
+      for (const auto& c : entry) positive += c.weight > 0 ? 1 : 0;
+      EXPECT_EQ(positive, 1) << i << "->" << j;
+    }
+  }
+}
+
+TEST(MpRouter, SinglePathFollowsShortTermCosts) {
+  const auto topo = two_path();
+  RouterHarness h(topo, uniform_costs(topo),
+                  router_factory(MpRouterOptions{.single_path = true}));
+  Rng rng(6);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  h.node(0).update_short_term_costs({{1, 5.0}, {2, 1.0}});
+  Rng pick(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(h.node(0).pick_next_hop(3, pick), 2);
+  }
+}
+
+TEST(MpRouter, PickNextHopMatchesWeights) {
+  const auto topo = two_path();
+  RouterHarness h(topo, uniform_costs(topo), router_factory());
+  Rng rng(8);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  h.node(0).update_short_term_costs({{1, 1.0}, {2, 2.0}});
+  const auto entry = h.node(0).forwarding(3);
+  std::map<NodeId, double> weight;
+  for (const auto& c : entry) weight[c.neighbor] = c.weight;
+
+  Rng pick(9);
+  std::map<NodeId, int> counts;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++counts[h.node(0).pick_next_hop(3, pick)];
+  for (const auto& [k, w] : weight) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kN, w, 0.01) << "nbr " << k;
+  }
+}
+
+TEST(MpRouter, NoRouteYieldsInvalidNextHop) {
+  const auto topo = two_path();
+  RouterHarness h(topo, uniform_costs(topo), router_factory());
+  Rng rng(10);
+  // Links never brought up: no routes anywhere.
+  EXPECT_EQ(h.node(0).pick_next_hop(3, rng), graph::kInvalidNode);
+  EXPECT_TRUE(h.node(0).forwarding(3).empty());
+}
+
+TEST(MpRouter, SurvivesPartitionAndHeals) {
+  const auto topo = two_path();
+  RouterHarness h(topo, uniform_costs(topo), router_factory());
+  Rng rng(11);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  h.fail_duplex(0, 1);
+  h.fail_duplex(0, 2);
+  h.run_to_quiescence(rng);
+  EXPECT_TRUE(h.node(0).forwarding(3).empty());
+  h.restore_duplex(0, 1);
+  h.restore_duplex(0, 2);
+  h.run_to_quiescence(rng);
+  EXPECT_FALSE(h.node(0).forwarding(3).empty());
+  EXPECT_NEAR(weight_sum(h.node(0).forwarding(3)), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mdr::core

@@ -1,0 +1,260 @@
+// Unit tests for the MPATH extension: the distance-vector realization of
+// the LFI framework must converge to shortest paths, hold loop-freedom at
+// every instant, and bound count-to-infinity via hop counts.
+#include <gtest/gtest.h>
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/lfi.h"
+#include "graph/dijkstra.h"
+#include "mpath/mpath.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace mdr::mpath {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+// Small synchronous harness for MpathProcess (the proto harness is typed on
+// LsuSink; this one speaks VectorMessage).
+class MpathNet {
+ public:
+  MpathNet(const graph::Topology& topo, std::vector<Cost> costs)
+      : topo_(&topo), costs_(std::move(costs)) {
+    for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+      sinks_.push_back(std::make_unique<Sink>(this));
+      nodes_.push_back(
+          std::make_unique<MpathProcess>(i, topo.num_nodes(), *sinks_.back()));
+    }
+    up_.assign(topo.num_links(), false);
+  }
+
+  MpathProcess& node(NodeId i) { return *nodes_[i]; }
+  const graph::Topology& topology() const { return *topo_; }
+
+  void bring_up_all(Rng& rng) {
+    std::vector<graph::LinkId> order(topo_->num_links());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[static_cast<std::size_t>(
+                                  rng.uniform_int(0, static_cast<int>(i) - 1))]);
+    }
+    for (const auto id : order) {
+      const auto& l = topo_->link(id);
+      up_[id] = true;
+      nodes_[l.from]->on_link_up(l.to, costs_[id]);
+      observe();
+    }
+  }
+
+  void fail_duplex(NodeId a, NodeId b) {
+    for (const auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+      const auto id = topo_->find_link(x, y);
+      up_[id] = false;
+      queues_.erase({x, y});
+      nodes_[x]->on_link_down(y);
+      observe();
+    }
+  }
+
+  bool deliver_one(Rng& rng) {
+    std::vector<std::pair<NodeId, NodeId>> ready;
+    for (const auto& [key, q] : queues_) {
+      if (!q.empty()) ready.push_back(key);
+    }
+    if (ready.empty()) return false;
+    const auto key = ready[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(ready.size()) - 1))];
+    auto& q = queues_[key];
+    const VectorMessage msg = q.front();
+    q.pop_front();
+    nodes_[key.second]->on_message(msg);
+    observe();
+    return true;
+  }
+
+  void run_to_quiescence(Rng& rng, std::size_t max_steps = 500000) {
+    std::size_t steps = 0;
+    while (deliver_one(rng)) {
+      ASSERT_LE(++steps, max_steps) << "mpath did not quiesce";
+    }
+  }
+
+  std::function<void()> on_after_event;
+
+ private:
+  struct Sink final : VectorSink {
+    explicit Sink(MpathNet* n) : net(n) {}
+    void send(NodeId neighbor, const VectorMessage& msg) override {
+      const auto id = net->topo_->find_link(msg.sender, neighbor);
+      assert(id != graph::kInvalidLink);
+      if (!net->up_[id]) return;
+      net->queues_[{msg.sender, neighbor}].push_back(msg);
+    }
+    MpathNet* net;
+  };
+
+  void observe() {
+    if (on_after_event) on_after_event();
+  }
+
+  const graph::Topology* topo_;
+  std::vector<Cost> costs_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+  std::vector<std::unique_ptr<MpathProcess>> nodes_;
+  std::vector<bool> up_;
+  std::map<std::pair<NodeId, NodeId>, std::deque<VectorMessage>> queues_;
+};
+
+void expect_shortest_distances(MpathNet& net, const std::vector<Cost>& costs) {
+  const auto& topo = net.topology();
+  std::vector<graph::CostedEdge> edges;
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    edges.push_back(
+        graph::CostedEdge{topo.link(id).from, topo.link(id).to, costs[id]});
+  }
+  for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+    const auto spt = graph::dijkstra(topo.num_nodes(), edges, i);
+    for (NodeId j = 0; j < static_cast<NodeId>(topo.num_nodes()); ++j) {
+      EXPECT_NEAR(net.node(i).distance(j), spt.dist[j], 1e-9)
+          << i << " -> " << j;
+    }
+  }
+}
+
+std::vector<Cost> uniform_costs(const graph::Topology& t, Cost c = 1.0) {
+  return std::vector<Cost>(t.num_links(), c);
+}
+
+TEST(Mpath, ConvergesOnRing) {
+  const auto topo = topo::make_ring(6);
+  const auto costs = uniform_costs(topo);
+  MpathNet net(topo, costs);
+  Rng rng(1);
+  net.bring_up_all(rng);
+  net.run_to_quiescence(rng);
+  expect_shortest_distances(net, costs);
+}
+
+TEST(Mpath, ConvergesOnNet1RandomCosts) {
+  const auto topo = topo::make_net1();
+  Rng rng(2);
+  std::vector<Cost> costs;
+  for (std::size_t i = 0; i < topo.num_links(); ++i) {
+    costs.push_back(rng.uniform(0.5, 3.0));
+  }
+  MpathNet net(topo, costs);
+  net.bring_up_all(rng);
+  net.run_to_quiescence(rng);
+  expect_shortest_distances(net, costs);
+}
+
+TEST(Mpath, SuccessorSetsMatchLfiAtConvergence) {
+  const auto topo = topo::make_net1();
+  Rng rng(3);
+  std::vector<Cost> costs;
+  for (std::size_t i = 0; i < topo.num_links(); ++i) {
+    costs.push_back(rng.uniform(0.5, 3.0));
+  }
+  MpathNet net(topo, costs);
+  net.bring_up_all(rng);
+  net.run_to_quiescence(rng);
+  std::vector<graph::CostedEdge> edges;
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    edges.push_back(
+        graph::CostedEdge{topo.link(id).from, topo.link(id).to, costs[id]});
+  }
+  std::vector<graph::ShortestPathTree> spt;
+  for (NodeId i = 0; i < 10; ++i) {
+    spt.push_back(graph::dijkstra(topo.num_nodes(), edges, i));
+  }
+  for (NodeId i = 0; i < 10; ++i) {
+    EXPECT_TRUE(net.node(i).passive());
+    EXPECT_EQ(net.node(i).acks_pending(), 0u);
+    for (NodeId j = 0; j < 10; ++j) {
+      if (i == j) continue;
+      std::vector<NodeId> expected;
+      for (const NodeId k : topo.neighbors(i)) {
+        if (spt[k].dist[j] < spt[i].dist[j]) expected.push_back(k);
+      }
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(net.node(i).successors(j), expected) << i << "->" << j;
+    }
+  }
+}
+
+TEST(Mpath, LoopFreeAtEveryInstant) {
+  const auto topo = topo::make_grid(3, 3);
+  Rng rng(4);
+  std::vector<Cost> costs;
+  for (std::size_t i = 0; i < topo.num_links(); ++i) {
+    costs.push_back(rng.uniform(0.5, 3.0));
+  }
+  MpathNet net(topo, costs);
+  net.on_after_event = [&net, &topo] {
+    for (NodeId j = 0; j < static_cast<NodeId>(topo.num_nodes()); ++j) {
+      core::LfiSnapshot snap;
+      snap.feasible_distance.resize(topo.num_nodes());
+      snap.successors.resize(topo.num_nodes());
+      for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+        snap.feasible_distance[i] = net.node(i).feasible_distance(j);
+        if (i != j) snap.successors[i] = net.node(i).successors(j);
+      }
+      ASSERT_TRUE(core::feasible_distances_decrease(snap)) << "dest " << j;
+      ASSERT_TRUE(core::successor_graph_loop_free(snap)) << "dest " << j;
+    }
+  };
+  net.bring_up_all(rng);
+  net.run_to_quiescence(rng);
+}
+
+TEST(Mpath, PartitionDoesNotCountToInfinity) {
+  // Line 0-1-2; cutting 1-2 makes 2 unreachable from {0,1}. The hop bound
+  // must retire the stale route in a bounded number of messages.
+  graph::Topology topo;
+  topo.add_nodes(3);
+  topo.add_duplex(0, 1);
+  topo.add_duplex(1, 2);
+  const auto costs = uniform_costs(topo);
+  MpathNet net(topo, costs);
+  Rng rng(5);
+  net.bring_up_all(rng);
+  net.run_to_quiescence(rng);
+  EXPECT_DOUBLE_EQ(net.node(0).distance(2), 2.0);
+
+  net.fail_duplex(1, 2);
+  net.run_to_quiescence(rng, 10000);  // bounded: hop counts cap the churn
+  EXPECT_EQ(net.node(0).distance(2), graph::kInfCost);
+  EXPECT_EQ(net.node(1).distance(2), graph::kInfCost);
+  EXPECT_TRUE(net.node(0).successors(2).empty());
+}
+
+TEST(Mpath, ProvidesMultipathLikeMpda) {
+  const auto topo = topo::make_net1();
+  Rng rng(6);
+  std::vector<Cost> costs;
+  for (std::size_t i = 0; i < topo.num_links(); ++i) {
+    costs.push_back(rng.uniform(0.5, 3.0));
+  }
+  MpathNet net(topo, costs);
+  net.bring_up_all(rng);
+  net.run_to_quiescence(rng);
+  bool multipath = false;
+  for (NodeId i = 0; i < 10 && !multipath; ++i) {
+    for (NodeId j = 0; j < 10; ++j) {
+      if (i != j && net.node(i).successors(j).size() > 1) multipath = true;
+    }
+  }
+  EXPECT_TRUE(multipath);
+}
+
+}  // namespace
+}  // namespace mdr::mpath

@@ -1,0 +1,331 @@
+// Unit tests for src/core/mpda: MPDA's liveness (Theorem 4: distances
+// converge, successor sets become {k : D_kj < D_ij}) and safety (Theorem 3:
+// loop-freedom at every instant), plus the ACTIVE/PASSIVE + ACK machinery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/lfi.h"
+#include "core/mpda.h"
+#include "graph/dijkstra.h"
+#include "harness.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace mdr::core {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+using MpdaHarness = test::ProtocolHarness<MpdaProcess>;
+
+MpdaHarness::Factory mpda_factory() {
+  return [](NodeId self, std::size_t n, proto::LsuSink& sink) {
+    return std::make_unique<MpdaProcess>(self, n, sink);
+  };
+}
+
+std::vector<Cost> uniform_costs(const graph::Topology& topo, Cost c = 1.0) {
+  return std::vector<Cost>(topo.num_links(), c);
+}
+
+std::vector<Cost> random_costs(const graph::Topology& topo, Rng& rng) {
+  std::vector<Cost> costs;
+  for (std::size_t i = 0; i < topo.num_links(); ++i) {
+    costs.push_back(rng.uniform(0.5, 4.0));
+  }
+  return costs;
+}
+
+// Installs an observer asserting Theorem 3 after every event: for every
+// destination, the global successor graph is a DAG and feasible distances
+// strictly decrease along successor edges.
+void check_loop_freedom_always(MpdaHarness& h) {
+  h.on_after_event = [&h] {
+    const auto n = static_cast<NodeId>(h.topology().num_nodes());
+    for (NodeId j = 0; j < n; ++j) {
+      LfiSnapshot snap;
+      snap.feasible_distance.resize(n);
+      snap.successors.resize(n);
+      for (NodeId i = 0; i < n; ++i) {
+        snap.feasible_distance[i] = h.node(i).feasible_distance(j);
+        if (i != j) snap.successors[i] = h.node(i).successors(j);
+      }
+      ASSERT_TRUE(feasible_distances_decrease(snap)) << "dest " << j;
+      ASSERT_TRUE(successor_graph_loop_free(snap)) << "dest " << j;
+    }
+  };
+}
+
+// Theorem 4 checks at quiescence.
+void expect_converged(MpdaHarness& h, const std::vector<Cost>& costs) {
+  const auto& topo = h.topology();
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  std::vector<graph::CostedEdge> edges;
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    edges.push_back(
+        graph::CostedEdge{topo.link(id).from, topo.link(id).to, costs[id]});
+  }
+  std::vector<graph::ShortestPathTree> spt;
+  for (NodeId i = 0; i < n; ++i) {
+    spt.push_back(graph::dijkstra(topo.num_nodes(), edges, i));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    EXPECT_TRUE(h.node(i).passive()) << "router " << i;
+    EXPECT_EQ(h.node(i).acks_pending(), 0u) << "router " << i;
+    for (NodeId j = 0; j < n; ++j) {
+      EXPECT_NEAR(h.node(i).distance(j), spt[i].dist[j], 1e-9)
+          << "D at " << i << " for " << j;
+      if (i == j) continue;
+      // FD == D in steady state.
+      EXPECT_NEAR(h.node(i).feasible_distance(j), spt[i].dist[j], 1e-9);
+      // S = {k : D_kj < D_ij} (Theorem 4).
+      std::vector<NodeId> expected;
+      for (const NodeId k : topo.neighbors(i)) {
+        if (spt[k].dist[j] < spt[i].dist[j]) expected.push_back(k);
+      }
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(h.node(i).successors(j), expected)
+          << "S at " << i << " for " << j;
+    }
+  }
+}
+
+TEST(Mpda, ConvergesOnRing) {
+  const auto topo = topo::make_ring(6);
+  const auto costs = uniform_costs(topo);
+  MpdaHarness h(topo, costs, mpda_factory());
+  Rng rng(1);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  expect_converged(h, costs);
+}
+
+TEST(Mpda, ConvergesOnNet1WithRandomCosts) {
+  const auto topo = topo::make_net1();
+  Rng rng(2);
+  const auto costs = random_costs(topo, rng);
+  MpdaHarness h(topo, costs, mpda_factory());
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  expect_converged(h, costs);
+}
+
+TEST(Mpda, ConvergesOnCairn) {
+  const auto topo = topo::make_cairn();
+  Rng rng(3);
+  const auto costs = random_costs(topo, rng);
+  MpdaHarness h(topo, costs, mpda_factory());
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  expect_converged(h, costs);
+}
+
+TEST(Mpda, ProvidesMultipleUnequalCostSuccessors) {
+  // NET1 is built to have unequal-cost multipath: at convergence some router
+  // must hold more than one successor toward some destination, with
+  // different distances through them.
+  const auto topo = topo::make_net1();
+  Rng rng(4);
+  const auto costs = random_costs(topo, rng);  // unequal-cost paths
+  MpdaHarness h(topo, costs, mpda_factory());
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  bool found_multipath = false, found_unequal = false;
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  for (NodeId i = 0; i < n && !(found_multipath && found_unequal); ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto& succ = h.node(i).successors(j);
+      if (succ.size() > 1) {
+        found_multipath = true;
+        const Cost d0 = h.node(i).distance_via(j, succ[0]);
+        for (const NodeId k : succ) {
+          if (h.node(i).distance_via(j, k) != d0) found_unequal = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_multipath);
+  EXPECT_TRUE(found_unequal);
+}
+
+TEST(Mpda, LoopFreeAtEveryInstantDuringBringUp) {
+  const auto topo = topo::make_net1();
+  Rng rng(5);
+  const auto costs = random_costs(topo, rng);
+  MpdaHarness h(topo, costs, mpda_factory());
+  check_loop_freedom_always(h);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  expect_converged(h, costs);
+}
+
+TEST(Mpda, LoopFreeAtEveryInstantAcrossCostChurn) {
+  const auto topo = topo::make_grid(3, 3);
+  Rng rng(6);
+  auto costs = uniform_costs(topo);
+  MpdaHarness h(topo, costs, mpda_factory());
+  check_loop_freedom_always(h);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  // Storm of cost changes with partial delivery between them.
+  for (int round = 0; round < 30; ++round) {
+    const auto id =
+        static_cast<graph::LinkId>(rng.uniform_int(0, static_cast<int>(topo.num_links()) - 1));
+    const auto& l = h.topology().link(id);
+    h.change_cost(l.from, l.to, rng.uniform(0.5, 5.0));
+    for (int d = 0; d < 5; ++d) h.deliver_one(rng);
+  }
+  h.run_to_quiescence(rng);
+  EXPECT_EQ(h.in_flight(), 0u);
+}
+
+TEST(Mpda, LoopFreeAcrossFailureAndRecovery) {
+  const auto topo = topo::make_ring(6);
+  const auto costs = uniform_costs(topo);
+  MpdaHarness h(topo, costs, mpda_factory());
+  Rng rng(7);
+  check_loop_freedom_always(h);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+
+  h.fail_duplex(2, 3);
+  h.run_to_quiescence(rng);
+  // Ring minus one link is a line: still connected.
+  EXPECT_LT(h.node(2).distance(3), graph::kInfCost);
+  EXPECT_DOUBLE_EQ(h.node(2).distance(3), 5.0);
+
+  h.restore_duplex(2, 3);
+  h.run_to_quiescence(rng);
+  expect_converged(h, costs);
+}
+
+TEST(Mpda, AcksSettleAndModeReturnsToPassive) {
+  const auto topo = topo::make_ring(4);
+  MpdaHarness h(topo, uniform_costs(topo), mpda_factory());
+  Rng rng(8);
+  h.bring_up_all(&rng);
+  // Mid-convergence some nodes are ACTIVE with outstanding acks.
+  bool saw_active = false;
+  h.on_after_event = [&h, &saw_active] {
+    for (NodeId i = 0; i < 4; ++i) {
+      if (!h.node(i).passive()) saw_active = true;
+    }
+  };
+  h.run_to_quiescence(rng);
+  EXPECT_TRUE(saw_active);
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_TRUE(h.node(i).passive());
+    EXPECT_EQ(h.node(i).acks_pending(), 0u);
+  }
+}
+
+TEST(Mpda, SuccessorVersionBumpsOnChange) {
+  const auto topo = topo::make_ring(4);
+  MpdaHarness h(topo, uniform_costs(topo), mpda_factory());
+  Rng rng(9);
+  const auto v0 = h.node(0).successor_version(2);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  EXPECT_GT(h.node(0).successor_version(2), v0);
+  // Quiescent re-check: no further bumps without events.
+  const auto v1 = h.node(0).successor_version(2);
+  EXPECT_EQ(h.node(0).successor_version(2), v1);
+}
+
+TEST(Mpda, IgnoresLsuFromNonNeighbor) {
+  const auto topo = topo::make_ring(4);
+  MpdaHarness h(topo, uniform_costs(topo), mpda_factory());
+  Rng rng(10);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  // Forge a message from a node that is not adjacent to node 0.
+  proto::LsuMessage forged{2, false, {proto::LsuEntry{2, 0, 0.1, proto::LsuOp::kAddOrChange}}};
+  const auto before = h.node(0).distance(2);
+  h.node(0).on_lsu(forged);
+  EXPECT_DOUBLE_EQ(h.node(0).distance(2), before);
+}
+
+// Captures sent messages for manual (lossy) delivery.
+struct CapturingSink final : proto::LsuSink {
+  void send(NodeId neighbor, const proto::LsuMessage& msg) override {
+    sent.push_back({neighbor, msg});
+  }
+  std::vector<std::pair<NodeId, proto::LsuMessage>> sent;
+};
+
+TEST(Mpda, RetransmissionRecoversLostLsu) {
+  CapturingSink sink_a, sink_b;
+  MpdaProcess a(0, 2, sink_a), b(1, 2, sink_b);
+  a.on_link_up(1, 1.0);
+  ASSERT_EQ(sink_a.sent.size(), 1u);  // a floods its (0,1) link
+  // The message is LOST: b never saw it (e.g. b's adjacency lagged).
+  sink_a.sent.clear();
+  b.on_link_up(0, 1.0);
+  // Deliver b's flood to a; a acks but remains waiting for b's ack.
+  for (const auto& [to, msg] : sink_b.sent) a.on_lsu(msg);
+  sink_b.sent.clear();
+  for (const auto& [to, msg] : sink_a.sent) b.on_lsu(msg);
+  sink_a.sent.clear();
+  for (const auto& [to, msg] : sink_b.sent) a.on_lsu(msg);
+  sink_b.sent.clear();
+  EXPECT_GT(a.acks_pending(), 0u);  // the lost LSU is still outstanding
+
+  // Reliable flooding: the retransmission timer resends; b acks; a settles.
+  a.retransmit_unacked();
+  for (int round = 0; round < 5; ++round) {
+    for (const auto& [to, msg] : sink_a.sent) b.on_lsu(msg);
+    sink_a.sent.clear();
+    for (const auto& [to, msg] : sink_b.sent) a.on_lsu(msg);
+    sink_b.sent.clear();
+  }
+  EXPECT_EQ(a.acks_pending(), 0u);
+  EXPECT_EQ(b.acks_pending(), 0u);
+  EXPECT_TRUE(a.passive());
+  EXPECT_DOUBLE_EQ(a.distance(1), 1.0);
+  EXPECT_DOUBLE_EQ(b.distance(0), 1.0);
+}
+
+TEST(Mpda, DuplicateLsuIsReackedWithoutReprocessing) {
+  CapturingSink sink_a, sink_b;
+  MpdaProcess a(0, 2, sink_a), b(1, 2, sink_b);
+  a.on_link_up(1, 1.0);
+  b.on_link_up(0, 1.0);
+  ASSERT_FALSE(sink_a.sent.empty());
+  const auto first = sink_a.sent[0].second;
+  ASSERT_TRUE(first.requires_ack());
+  b.on_lsu(first);
+  const auto acks_after_first = sink_b.sent.size();
+  EXPECT_GT(acks_after_first, 0u);
+  // Deliver the identical LSU again (a retransmission duplicate).
+  b.on_lsu(first);
+  // b acknowledged again (the original ack may have been lost) ...
+  EXPECT_GT(sink_b.sent.size(), acks_after_first);
+  bool reacked = false;
+  for (std::size_t i = acks_after_first; i < sink_b.sent.size(); ++i) {
+    const auto& msg = sink_b.sent[i].second;
+    if (msg.ack && msg.ack_seq == first.seq) reacked = true;
+  }
+  EXPECT_TRUE(reacked);
+  // ... and its topology state is unchanged.
+  EXPECT_DOUBLE_EQ(b.distance(0), 1.0);
+}
+
+TEST(Mpda, TwoNodeBootstrap) {
+  graph::Topology topo;
+  topo.add_nodes(2);
+  topo.add_duplex(0, 1);
+  MpdaHarness h(topo, uniform_costs(topo), mpda_factory());
+  Rng rng(11);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  EXPECT_DOUBLE_EQ(h.node(0).distance(1), 1.0);
+  ASSERT_EQ(h.node(0).successors(1).size(), 1u);
+  EXPECT_EQ(h.node(0).successors(1)[0], 1);
+}
+
+}  // namespace
+}  // namespace mdr::core

@@ -1,0 +1,283 @@
+// Property tests: randomized sweeps over topologies, event interleavings,
+// and failure injections, asserting the paper's invariants "at every
+// instant" — the heart of what Theorems 1 and 3 promise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/lfi.h"
+#include "core/mp_router.h"
+#include "core/mpda.h"
+#include "flow/evaluate.h"
+#include "gallager/optimizer.h"
+#include "graph/dijkstra.h"
+#include "harness.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+#include "util/rng.h"
+
+namespace mdr {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+std::vector<Cost> random_costs(const graph::Topology& topo, Rng& rng) {
+  std::vector<Cost> costs;
+  for (std::size_t i = 0; i < topo.num_links(); ++i) {
+    costs.push_back(rng.uniform(0.2, 5.0));
+  }
+  return costs;
+}
+
+// ---------------------------------------------------------------------------
+// MPDA safety fuzz: random topology, random interleavings, random cost churn
+// and duplex link failures/recoveries. Loop-freedom and the FD ordering must
+// hold after EVERY event; distances must match global Dijkstra at the end.
+
+class MpdaSafetyFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpdaSafetyFuzz, LoopFreeUnderChurnAndFailures) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709);
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(5, 14));
+  const auto topo = topo::make_random(n, rng.uniform(0.15, 0.45), rng);
+  auto costs = random_costs(topo, rng);
+
+  test::ProtocolHarness<core::MpdaProcess> h(
+      topo, costs, [](NodeId self, std::size_t num, proto::LsuSink& sink) {
+        return std::make_unique<core::MpdaProcess>(self, num, sink);
+      });
+
+  std::size_t checks = 0;
+  h.on_after_event = [&] {
+    ++checks;
+    for (NodeId j = 0; j < static_cast<NodeId>(n); ++j) {
+      core::LfiSnapshot snap;
+      snap.feasible_distance.resize(n);
+      snap.successors.resize(n);
+      for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+        snap.feasible_distance[i] = h.node(i).feasible_distance(j);
+        if (i != j) snap.successors[i] = h.node(i).successors(j);
+      }
+      ASSERT_TRUE(core::feasible_distances_decrease(snap))
+          << "FD ordering violated for dest " << j;
+      ASSERT_TRUE(core::successor_graph_loop_free(snap))
+          << "loop for dest " << j;
+    }
+  };
+
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+
+  // Churn: cost changes interleaved with partial delivery.
+  for (int round = 0; round < 25; ++round) {
+    const auto id = static_cast<graph::LinkId>(
+        rng.uniform_int(0, static_cast<int>(topo.num_links()) - 1));
+    const auto& l = topo.link(id);
+    const Cost c = rng.uniform(0.2, 5.0);
+    costs[id] = c;
+    h.change_cost(l.from, l.to, c);
+    for (int d = 0; d < rng.uniform_int(0, 8); ++d) h.deliver_one(rng);
+  }
+  h.run_to_quiescence(rng);
+
+  // Failure and recovery of a random duplex link (keep the ring intact so
+  // the graph stays connected).
+  const std::size_t chord_start = 2 * n;  // links 0..2n-1 form the ring
+  if (topo.num_links() > chord_start) {
+    const auto id = static_cast<graph::LinkId>(rng.uniform_int(
+        static_cast<int>(chord_start), static_cast<int>(topo.num_links()) - 1));
+    const auto& l = topo.link(id);
+    // Find its reverse for a duplex cut.
+    h.fail_duplex(l.from, l.to);
+    for (int d = 0; d < 10; ++d) h.deliver_one(rng);
+    h.run_to_quiescence(rng);
+    h.restore_duplex(l.from, l.to);
+    h.run_to_quiescence(rng);
+  }
+
+  EXPECT_GT(checks, 100u);
+
+  // Liveness: distances equal global shortest paths at quiescence.
+  std::vector<graph::CostedEdge> edges;
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    edges.push_back(
+        graph::CostedEdge{topo.link(id).from, topo.link(id).to, costs[id]});
+  }
+  for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+    const auto spt = graph::dijkstra(n, edges, i);
+    for (NodeId j = 0; j < static_cast<NodeId>(n); ++j) {
+      ASSERT_NEAR(h.node(i).distance(j), spt.dist[j], 1e-9)
+          << "seed " << GetParam() << " " << i << "->" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpdaSafetyFuzz, ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// MpRouter forwarding-weight fuzz: Property 1 must hold for every (node,
+// destination) after arbitrary protocol churn and short-term cost updates.
+
+class RouterProperty1Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RouterProperty1Fuzz, WeightsAreAlwaysADistribution) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(5, 10));
+  const auto topo = topo::make_random(n, 0.3, rng);
+  const auto costs = random_costs(topo, rng);
+
+  test::ProtocolHarness<core::MpRouter> h(
+      topo, costs, [](NodeId self, std::size_t num, proto::LsuSink& sink) {
+        return std::make_unique<core::MpRouter>(self, num, sink,
+                                                core::MpRouterOptions{});
+      });
+
+  const auto check_all = [&] {
+    for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+      for (NodeId j = 0; j < static_cast<NodeId>(n); ++j) {
+        if (i == j) continue;
+        const auto entry = h.node(i).forwarding(j);
+        if (entry.empty()) continue;
+        double sum = 0;
+        for (const auto& c : entry) {
+          ASSERT_GE(c.weight, 0.0);
+          sum += c.weight;
+        }
+        ASSERT_NEAR(sum, 1.0, 1e-9) << i << "->" << j;
+      }
+    }
+  };
+  h.on_after_event = check_all;
+
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+
+  // Random short-term cost updates at random routers.
+  for (int round = 0; round < 50; ++round) {
+    const NodeId i = rng.uniform_int(0, static_cast<int>(n) - 1);
+    std::map<NodeId, double> short_costs;
+    for (const NodeId k : topo.neighbors(i)) {
+      short_costs[k] = rng.uniform(0.2, 5.0);
+    }
+    h.node(i).update_short_term_costs(short_costs);
+    check_all();
+    for (int d = 0; d < rng.uniform_int(0, 4); ++d) h.deliver_one(rng);
+  }
+  h.run_to_quiescence(rng);
+  check_all();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterProperty1Fuzz, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Gallager OPT fuzz: on random instances the optimizer must keep successor
+// graphs acyclic, preserve Property 1, never do worse than its single-path
+// start, and leave a near-stationary point.
+
+class GallagerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GallagerFuzz, DescendsSafelyOnRandomInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(5, 10));
+  const auto topo =
+      topo::make_random(n, 0.3, rng, topo::BuilderDefaults{10e6, 0.5e-3});
+  const flow::FlowNetwork net(topo, 8e3);
+
+  flow::TrafficMatrix traffic(n);
+  const int commodities = rng.uniform_int(2, 6);
+  for (int c = 0; c < commodities; ++c) {
+    const NodeId src = rng.uniform_int(0, static_cast<int>(n) - 1);
+    NodeId dst = rng.uniform_int(0, static_cast<int>(n) - 1);
+    if (src == dst) dst = (dst + 1) % static_cast<NodeId>(n);
+    traffic.add(src, dst, rng.uniform(0.5e6, 2.5e6));
+  }
+
+  const auto result = gallager::minimize(net, traffic, {});
+  ASSERT_TRUE(result.feasible) << "random instance overloaded";
+  EXPECT_TRUE(result.phi.satisfies_property1(1e-6));
+  for (NodeId j = 0; j < static_cast<NodeId>(n); ++j) {
+    EXPECT_TRUE(graph::is_acyclic(result.phi.successor_sets(j)));
+  }
+  // Monotone trace.
+  for (std::size_t i = 1; i < result.delay_trace.size(); ++i) {
+    EXPECT_LE(result.delay_trace[i], result.delay_trace[i - 1] * (1 + 1e-9));
+  }
+  // No worse than the shortest-path start.
+  const double spt_delay =
+      flow::average_delay(net, traffic, gallager::shortest_path_phi(net));
+  EXPECT_LE(result.average_delay_s, spt_delay * (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GallagerFuzz, ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Flow-plane conservation: for random Property-1 routing DAGs, everything
+// offered to a destination arrives there (node_traffic at the destination
+// equals total offered rate) unless explicitly stranded.
+
+class ConservationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConservationFuzz, OfferedTrafficArrivesAtDestination) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863);
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(4, 9));
+  const auto topo = topo::make_random(n, 0.35, rng);
+  const flow::FlowNetwork net(topo, 8e3);
+
+  // Random loop-free phi per destination: rank nodes by Dijkstra distance
+  // to dest and split uniformly over strictly-closer neighbors (an LFI set).
+  const auto zero_costs = net.zero_load_costs();
+  flow::RoutingParameters phi(topo);
+  std::vector<graph::CostedEdge> reversed;
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    const auto& l = topo.link(id);
+    reversed.push_back(graph::CostedEdge{l.to, l.from, zero_costs[id]});
+  }
+  for (NodeId j = 0; j < static_cast<NodeId>(n); ++j) {
+    const auto spt = graph::dijkstra(n, reversed, j);
+    for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+      if (i == j) continue;
+      const auto links = topo.out_links(i);
+      std::vector<std::size_t> closer;
+      for (std::size_t x = 0; x < links.size(); ++x) {
+        if (spt.dist[topo.link(links[x]).to] < spt.dist[i]) closer.push_back(x);
+      }
+      ASSERT_FALSE(closer.empty());
+      // Random positive split over the closer set.
+      double total = 0;
+      std::vector<double> w(closer.size());
+      for (double& v : w) total += (v = rng.uniform(0.1, 1.0));
+      for (std::size_t x = 0; x < closer.size(); ++x) {
+        phi.set(i, j, closer[x], w[x] / total);
+      }
+    }
+  }
+  ASSERT_TRUE(phi.satisfies_property1(1e-9));
+
+  flow::TrafficMatrix traffic(n);
+  std::vector<double> offered(n, 0.0);
+  for (int c = 0; c < 5; ++c) {
+    const NodeId src = rng.uniform_int(0, static_cast<int>(n) - 1);
+    NodeId dst = rng.uniform_int(0, static_cast<int>(n) - 1);
+    if (src == dst) dst = (dst + 1) % static_cast<NodeId>(n);
+    const double rate = rng.uniform(0.1e6, 1e6);
+    traffic.add(src, dst, rate);
+    offered[dst] += rate;
+  }
+
+  const auto fa = flow::compute_flows(net, traffic, phi);
+  ASSERT_TRUE(fa.valid);
+  EXPECT_DOUBLE_EQ(fa.stranded_bps, 0.0);
+  for (NodeId j = 0; j < static_cast<NodeId>(n); ++j) {
+    EXPECT_NEAR(fa.node_traffic(j, j), offered[j], 1e-6)
+        << "conservation broke at dest " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationFuzz, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace mdr

@@ -1,0 +1,419 @@
+// Unit tests for src/proto: LSU codec, link-state tables, NTU/MTU, and PDA
+// end-to-end convergence (paper Theorem 2).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/bellman_ford.h"
+#include "graph/dijkstra.h"
+#include "harness.h"
+#include "proto/lsu.h"
+#include "proto/pda.h"
+#include "proto/tables.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace mdr::proto {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+// ------------------------------------------------------------------- codec
+
+TEST(LsuCodec, RoundTripsAllFields) {
+  LsuMessage msg;
+  msg.sender = 7;
+  msg.ack = true;
+  msg.entries = {
+      LsuEntry{1, 2, 3.25, LsuOp::kAddOrChange},
+      LsuEntry{2, 9, graph::kInfCost, LsuOp::kDelete},
+  };
+  const auto wire = encode(msg);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(LsuCodec, EmptyAckMessage) {
+  const LsuMessage msg{3, true, {}};
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+  EXPECT_FALSE(msg.requires_ack());
+}
+
+TEST(LsuCodec, WireSizeMatchesEncoding) {
+  LsuMessage msg{1, false, {LsuEntry{0, 1, 2.0, LsuOp::kAddOrChange}}};
+  EXPECT_EQ(msg.wire_size_bits(), encode(msg).size() * 8);
+  EXPECT_TRUE(msg.requires_ack());
+}
+
+TEST(LsuCodec, RejectsTruncation) {
+  const LsuMessage msg{1, false, {LsuEntry{0, 1, 2.0, LsuOp::kAddOrChange}}};
+  auto wire = encode(msg);
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(
+        decode(std::span(wire.data(), wire.size() - cut)).has_value())
+        << "cut " << cut;
+  }
+}
+
+TEST(LsuCodec, RejectsTrailingBytes) {
+  auto wire = encode(LsuMessage{1, false, {}});
+  wire.push_back(0);
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(LsuCodec, RejectsBadOpAndFlags) {
+  auto wire = encode(LsuMessage{1, false, {LsuEntry{0, 1, 2.0, LsuOp::kAddOrChange}}});
+  wire[4] = 0xFF;  // flags byte
+  EXPECT_FALSE(decode(wire).has_value());
+  auto wire2 = encode(LsuMessage{1, false, {LsuEntry{0, 1, 2.0, LsuOp::kAddOrChange}}});
+  wire2.back() = 0xFF;  // entry op byte
+  EXPECT_FALSE(decode(wire2).has_value());
+}
+
+// ------------------------------------------------------------------ tables
+
+TEST(LinkStateTable, SetRemoveQuery) {
+  LinkStateTable t;
+  EXPECT_TRUE(t.empty());
+  t.set(0, 1, 2.5);
+  t.set(1, 2, 1.0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.cost(0, 1), 2.5);
+  EXPECT_FALSE(t.cost(1, 0).has_value());
+  t.remove(0, 1);
+  EXPECT_FALSE(t.cost(0, 1).has_value());
+}
+
+TEST(LinkStateTable, ApplyEntries) {
+  LinkStateTable t;
+  t.apply(LsuEntry{0, 1, 3.0, LsuOp::kAddOrChange});
+  EXPECT_EQ(t.cost(0, 1), 3.0);
+  t.apply(LsuEntry{0, 1, 4.0, LsuOp::kAddOrChange});
+  EXPECT_EQ(t.cost(0, 1), 4.0);
+  t.apply(LsuEntry{0, 1, 0, LsuOp::kDelete});
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(LinkStateTable, DiffProducesMinimalUpdate) {
+  LinkStateTable before, after;
+  before.set(0, 1, 1.0);  // unchanged
+  before.set(0, 2, 2.0);  // re-costed
+  before.set(1, 2, 3.0);  // deleted
+  after.set(0, 1, 1.0);
+  after.set(0, 2, 5.0);
+  after.set(2, 3, 4.0);  // added
+  const auto d = LinkStateTable::diff(before, after);
+  ASSERT_EQ(d.size(), 3u);
+  // Applying the diff to `before` must yield `after`.
+  for (const auto& e : d) before.apply(e);
+  EXPECT_EQ(before, after);
+}
+
+TEST(LinkStateTable, LinksFromFiltersByHead) {
+  LinkStateTable t;
+  t.set(1, 0, 1.0);
+  t.set(1, 2, 2.0);
+  t.set(2, 3, 3.0);
+  const auto from1 = t.links_from(1);
+  ASSERT_EQ(from1.size(), 2u);
+  EXPECT_EQ(from1[0].first, 0);
+  EXPECT_EQ(from1[1].first, 2);
+  EXPECT_TRUE(t.links_from(0).empty());
+}
+
+TEST(LinkStateTable, EdgesSnapshot) {
+  LinkStateTable t;
+  t.set(0, 1, 1.5);
+  const auto edges = t.edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, 0);
+  EXPECT_EQ(edges[0].to, 1);
+  EXPECT_EQ(edges[0].cost, 1.5);
+}
+
+// ------------------------------------------------------------ RouterTables
+
+TEST(RouterTables, LinkLifecycle) {
+  RouterTables t(0, 4);
+  EXPECT_TRUE(t.neighbors().empty());
+  t.link_up(1, 2.0);
+  EXPECT_TRUE(t.is_neighbor(1));
+  EXPECT_EQ(t.link_cost(1), 2.0);
+  t.link_cost_change(1, 3.0);
+  EXPECT_EQ(t.link_cost(1), 3.0);
+  t.link_down(1);
+  EXPECT_FALSE(t.is_neighbor(1));
+  EXPECT_EQ(t.link_cost(1), graph::kInfCost);
+}
+
+TEST(RouterTables, ApplyLsuComputesNeighborDistances) {
+  RouterTables t(0, 4);
+  t.link_up(1, 1.0);
+  // Neighbor 1 reports its tree: 1->2 (2.0), 2->3 (1.0).
+  const LsuEntry entries[] = {{1, 2, 2.0, LsuOp::kAddOrChange},
+                              {2, 3, 1.0, LsuOp::kAddOrChange}};
+  t.apply_lsu(1, entries);
+  EXPECT_DOUBLE_EQ(t.distance_via(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(t.distance_via(2, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t.distance_via(3, 1), 3.0);
+  EXPECT_EQ(t.distance_via(3, 2), graph::kInfCost);  // unknown neighbor
+}
+
+TEST(RouterTables, MtuMergesAdjacentLinksAndPrunes) {
+  RouterTables t(0, 3);
+  t.link_up(1, 1.0);
+  t.link_up(2, 5.0);
+  const LsuEntry from1[] = {{1, 2, 1.0, LsuOp::kAddOrChange}};
+  t.apply_lsu(1, from1);
+  const auto changes = t.mtu();
+  EXPECT_FALSE(changes.empty());
+  EXPECT_DOUBLE_EQ(t.distance(1), 1.0);
+  EXPECT_DOUBLE_EQ(t.distance(2), 2.0);  // via 1, cheaper than direct (5.0)
+  // The pruned tree keeps 0->1 and 1->2 but not the expensive 0->2.
+  EXPECT_TRUE(t.main_topology().cost(0, 1).has_value());
+  EXPECT_TRUE(t.main_topology().cost(1, 2).has_value());
+  EXPECT_FALSE(t.main_topology().cost(0, 2).has_value());
+}
+
+TEST(RouterTables, MtuPrefersNeighborWithShortestDistanceToHead) {
+  // Fig. 3: conflicting reports about link (3, ...) resolve in favor of the
+  // neighbor closest to node 3.
+  RouterTables t(0, 5);
+  t.link_up(1, 1.0);   // close neighbor
+  t.link_up(2, 10.0);  // far neighbor
+  // Neighbor 1: 1->3 cost 1; 3->4 cost 7 (its view of 3's outgoing link).
+  const LsuEntry from1[] = {{1, 3, 1.0, LsuOp::kAddOrChange},
+                            {3, 4, 7.0, LsuOp::kAddOrChange}};
+  // Neighbor 2: 2->3 cost 1; 3->4 cost 2 (a conflicting, stale view).
+  const LsuEntry from2[] = {{2, 3, 1.0, LsuOp::kAddOrChange},
+                            {3, 4, 2.0, LsuOp::kAddOrChange}};
+  t.apply_lsu(1, from1);
+  t.apply_lsu(2, from2);
+  t.mtu();
+  // Distance to 3 via 1 = 1+1 = 2; via 2 = 10+1 = 11: neighbor 1 wins, so
+  // 3->4 is believed to cost 7 and D(4) = 2 + 7.
+  EXPECT_DOUBLE_EQ(t.distance(3), 2.0);
+  EXPECT_DOUBLE_EQ(t.distance(4), 9.0);
+}
+
+TEST(RouterTables, MtuDiffIsIncremental) {
+  RouterTables t(0, 3);
+  t.link_up(1, 1.0);
+  const auto first = t.mtu();
+  ASSERT_EQ(first.size(), 1u);  // 0->1 appeared
+  const auto second = t.mtu();
+  EXPECT_TRUE(second.empty());  // nothing changed
+  t.link_cost_change(1, 2.0);
+  const auto third = t.mtu();
+  ASSERT_EQ(third.size(), 1u);  // 0->1 re-costed
+  EXPECT_DOUBLE_EQ(third[0].cost, 2.0);
+}
+
+// --------------------------------------------------------------------- PDA
+
+using PdaHarness = test::ProtocolHarness<PdaProcess>;
+
+PdaHarness::Factory pda_factory() {
+  return [](NodeId self, std::size_t n, LsuSink& sink) {
+    return std::make_unique<PdaProcess>(self, n, sink);
+  };
+}
+
+std::vector<Cost> uniform_costs(const graph::Topology& topo, Cost c = 1.0) {
+  return std::vector<Cost>(topo.num_links(), c);
+}
+
+// Checks Theorem 2: every router's D_j equals the global shortest distance.
+void expect_converged_distances(PdaHarness& h,
+                                const std::vector<Cost>& costs) {
+  const auto& topo = h.topology();
+  std::vector<graph::CostedEdge> edges;
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    edges.push_back(
+        graph::CostedEdge{topo.link(id).from, topo.link(id).to, costs[id]});
+  }
+  for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+    const auto truth = graph::dijkstra(topo.num_nodes(), edges, i);
+    for (NodeId j = 0; j < static_cast<NodeId>(topo.num_nodes()); ++j) {
+      EXPECT_NEAR(h.node(i).tables().distance(j), truth.dist[j], 1e-9)
+          << "router " << i << " dest " << j;
+    }
+  }
+}
+
+TEST(Pda, ConvergesOnRingToGlobalShortestPaths) {
+  const auto topo = topo::make_ring(6);
+  const auto costs = uniform_costs(topo);
+  PdaHarness h(topo, costs, pda_factory());
+  Rng rng(1);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  expect_converged_distances(h, costs);
+}
+
+TEST(Pda, ConvergesOnCairnAndNet1) {
+  for (const auto* which : {"cairn", "net1"}) {
+    const auto topo = std::string(which) == "cairn" ? topo::make_cairn()
+                                                    : topo::make_net1();
+    Rng rng(2);
+    std::vector<Cost> costs;
+    for (std::size_t i = 0; i < topo.num_links(); ++i) {
+      costs.push_back(rng.uniform(0.5, 3.0));
+    }
+    PdaHarness h(topo, costs, pda_factory());
+    h.bring_up_all(&rng);
+    h.run_to_quiescence(rng);
+    expect_converged_distances(h, costs);
+  }
+}
+
+TEST(Pda, ReconvergesAfterCostChange) {
+  const auto topo = topo::make_ring(5);
+  auto costs = uniform_costs(topo);
+  PdaHarness h(topo, costs, pda_factory());
+  Rng rng(3);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+
+  // Make one direction of one ring link expensive; routes flip around.
+  const graph::LinkId id = topo.find_link(0, 1);
+  costs[id] = 10.0;
+  h.change_cost(0, 1, 10.0);
+  h.run_to_quiescence(rng);
+  expect_converged_distances(h, costs);
+  EXPECT_DOUBLE_EQ(h.node(0).tables().distance(1), 4.0);  // the long way
+}
+
+TEST(Pda, ReconvergesAfterLinkFailureAndRecovery) {
+  const auto topo = topo::make_ring(5);
+  const auto costs = uniform_costs(topo);
+  PdaHarness h(topo, costs, pda_factory());
+  Rng rng(4);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+
+  h.fail_duplex(0, 1);
+  h.run_to_quiescence(rng);
+  EXPECT_DOUBLE_EQ(h.node(0).tables().distance(1), 4.0);
+
+  h.restore_duplex(0, 1);
+  h.run_to_quiescence(rng);
+  expect_converged_distances(h, costs);
+}
+
+TEST(Pda, PartitionYieldsInfiniteDistances) {
+  // Two triangles joined by one duplex bridge; cutting it partitions.
+  graph::Topology topo;
+  topo.add_nodes(6);
+  topo.add_duplex(0, 1);
+  topo.add_duplex(1, 2);
+  topo.add_duplex(2, 0);
+  topo.add_duplex(3, 4);
+  topo.add_duplex(4, 5);
+  topo.add_duplex(5, 3);
+  topo.add_duplex(2, 3);
+  const auto costs = uniform_costs(topo);
+  PdaHarness h(topo, costs, pda_factory());
+  Rng rng(5);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+  EXPECT_LT(h.node(0).tables().distance(5), graph::kInfCost);
+
+  h.fail_duplex(2, 3);
+  h.run_to_quiescence(rng);
+  EXPECT_EQ(h.node(0).tables().distance(5), graph::kInfCost);
+  EXPECT_EQ(h.node(5).tables().distance(0), graph::kInfCost);
+  EXPECT_LT(h.node(0).tables().distance(1), graph::kInfCost);
+}
+
+TEST(Pda, LemmaOneNHopProgressUnderSynchronizedRounds) {
+  // Paper Lemma 1 / Theorem 2: if every neighbor table holds an n-hop
+  // minimum tree, MTU yields an (n+1)-hop minimum tree. Drive the network
+  // in lockstep rounds (every round delivers exactly the messages produced
+  // by the previous round) and check the sandwich after round r:
+  //   true shortest distance <= D <= r-hop minimum distance.
+  Rng rng(31);
+  const auto topo = topo::make_random(12, 0.15, rng);
+  std::vector<Cost> costs;
+  std::vector<graph::CostedEdge> edges;
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    costs.push_back(rng.uniform(0.5, 3.0));
+    edges.push_back(graph::CostedEdge{topo.link(id).from, topo.link(id).to,
+                                      costs.back()});
+  }
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+
+  // Lockstep pump: round buffers instead of free-running queues.
+  struct RoundSink final : LsuSink {
+    void send(NodeId neighbor, const LsuMessage& msg) override {
+      outbox->push_back({neighbor, msg});
+    }
+    std::vector<std::pair<NodeId, LsuMessage>>* outbox = nullptr;
+  };
+  std::vector<std::pair<NodeId, LsuMessage>> current, next;
+  std::vector<std::unique_ptr<RoundSink>> sinks;
+  std::vector<std::unique_ptr<PdaProcess>> nodes;
+  for (NodeId i = 0; i < n; ++i) {
+    sinks.push_back(std::make_unique<RoundSink>());
+    sinks.back()->outbox = &next;
+    nodes.push_back(std::make_unique<PdaProcess>(i, topo.num_nodes(),
+                                                 *sinks.back()));
+  }
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    const auto& l = topo.link(id);
+    nodes[l.from]->on_link_up(l.to, costs[id]);
+  }
+
+  std::vector<std::vector<Cost>> shortest;
+  for (NodeId i = 0; i < n; ++i) {
+    shortest.push_back(graph::bellman_ford(topo.num_nodes(), edges, i));
+  }
+
+  // The MTU conflict-resolution rule (trust the neighbor nearest the head)
+  // can trail the idealized hop schedule by a round when that neighbor is
+  // itself behind — the paper's proof only promises "within a finite time"
+  // per hop — so the upper bound allows one round of slack.
+  for (std::size_t round = 1; round < topo.num_nodes() + 4; ++round) {
+    std::swap(current, next);
+    next.clear();
+    for (const auto& [to, msg] : current) nodes[to]->on_lsu(msg);
+    const std::size_t credit = round > 1 ? round - 1 : 1;
+    for (NodeId i = 0; i < n; ++i) {
+      const auto rhop = graph::bellman_ford(topo.num_nodes(), edges, i, credit);
+      for (NodeId j = 0; j < n; ++j) {
+        const Cost d = nodes[i]->tables().distance(j);
+        EXPECT_GE(d, shortest[i][j] - 1e-9)
+            << "round " << round << " " << i << "->" << j;
+        EXPECT_LE(d, rhop[j] + 1e-9)
+            << "round " << round << " " << i << "->" << j;
+      }
+    }
+    if (next.empty()) break;
+  }
+  // At the end everything is exact.
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      EXPECT_NEAR(nodes[i]->tables().distance(j), shortest[i][j], 1e-9);
+    }
+  }
+}
+
+TEST(Pda, QuiescesWithBoundedMessages) {
+  const auto topo = topo::make_grid(3, 3);
+  PdaHarness h(topo, uniform_costs(topo), pda_factory());
+  Rng rng(6);
+  h.bring_up_all(&rng);
+  const std::size_t steps = h.run_to_quiescence(rng, 100000);
+  EXPECT_GT(steps, 0u);
+  EXPECT_EQ(h.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace mdr::proto

@@ -1,0 +1,212 @@
+// Unit tests for the scenario parser and runner (src/sim/scenario.h).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/scenario.h"
+
+namespace mdr::sim {
+namespace {
+
+std::optional<Scenario> parse(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  return parse_scenario(in, error);
+}
+
+TEST(ScenarioParser, MinimalCustomTopology) {
+  std::string error;
+  const auto s = parse(R"(
+    node a
+    node b
+    link a b capacity=5e6 prop=2e-4
+    flow a b rate=1e6
+  )",
+                       &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  EXPECT_EQ(s->topo.num_nodes(), 2u);
+  EXPECT_EQ(s->topo.num_links(), 2u);  // duplex
+  const auto id = s->topo.find_link(0, 1);
+  EXPECT_DOUBLE_EQ(s->topo.link(id).attr.capacity_bps, 5e6);
+  EXPECT_DOUBLE_EQ(s->topo.link(id).attr.prop_delay_s, 2e-4);
+  ASSERT_EQ(s->flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(s->flows[0].rate_bps, 1e6);
+  EXPECT_EQ(s->mode, "mp");
+}
+
+TEST(ScenarioParser, BuiltinTopologiesWithScale) {
+  std::string error;
+  const auto cairn = parse("topology cairn scale=1.15\n", &error);
+  ASSERT_TRUE(cairn.has_value()) << error;
+  EXPECT_EQ(cairn->topo.num_nodes(), 26u);
+  EXPECT_EQ(cairn->flows.size(), 11u);
+
+  const auto net1 = parse("topology net1\n", &error);
+  ASSERT_TRUE(net1.has_value()) << error;
+  EXPECT_EQ(net1->topo.num_nodes(), 10u);
+  EXPECT_EQ(net1->flows.size(), 10u);
+}
+
+TEST(ScenarioParser, AllKnobs) {
+  std::string error;
+  const auto s = parse(R"(
+    topology net1 scale=0.5
+    mode sp
+    tl 20
+    ts 4
+    duration 90
+    warmup 12
+    traffic_start 5
+    seed 42
+    estimator ipa
+    bursty on=2 off=6
+    hello interval=0.5 dead=2
+    wrr
+    timeseries 1.5
+    lfi_check 0.25
+    ah_damping 0.3
+    mean_packet_bits 4000
+    fail 30 0 9 silent
+    restore 45 0 9
+  )",
+                       &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  EXPECT_EQ(s->mode, "sp");
+  EXPECT_DOUBLE_EQ(s->config.tl, 20);
+  EXPECT_DOUBLE_EQ(s->config.ts, 4);
+  EXPECT_DOUBLE_EQ(s->config.duration, 90);
+  EXPECT_DOUBLE_EQ(s->config.warmup, 12);
+  EXPECT_DOUBLE_EQ(s->config.traffic_start, 5);
+  EXPECT_EQ(s->config.seed, 42u);
+  EXPECT_EQ(s->config.estimator, cost::EstimatorKind::kIpa);
+  EXPECT_EQ(s->config.traffic_model, SimConfig::TrafficModel::kOnOff);
+  EXPECT_DOUBLE_EQ(s->config.burstiness.mean_on_s, 2);
+  EXPECT_TRUE(s->config.use_hello);
+  EXPECT_DOUBLE_EQ(s->config.hello.dead_interval, 2);
+  EXPECT_TRUE(s->config.wrr_forwarding);
+  EXPECT_DOUBLE_EQ(s->config.timeseries_interval, 1.5);
+  EXPECT_DOUBLE_EQ(s->config.lfi_check_interval, 0.25);
+  EXPECT_DOUBLE_EQ(s->config.ah_damping, 0.3);
+  EXPECT_DOUBLE_EQ(s->config.mean_packet_bits, 4000);
+  ASSERT_EQ(s->config.link_toggles.size(), 2u);
+  EXPECT_TRUE(s->config.link_toggles[0].silent);
+  EXPECT_FALSE(s->config.link_toggles[0].up);
+  EXPECT_TRUE(s->config.link_toggles[1].up);
+  EXPECT_FALSE(s->config.link_toggles[1].silent);
+}
+
+TEST(ScenarioParser, ParetoAndLossDirectives) {
+  std::string error;
+  const auto s = parse(
+      "topology net1\npareto alpha=1.4 on=2 off=8\nloss 0.01\n", &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  EXPECT_EQ(s->config.traffic_model, SimConfig::TrafficModel::kParetoOnOff);
+  EXPECT_DOUBLE_EQ(s->config.pareto.alpha, 1.4);
+  EXPECT_DOUBLE_EQ(s->config.pareto.mean_on_s, 2);
+  EXPECT_DOUBLE_EQ(s->config.pareto.mean_off_s, 8);
+  EXPECT_DOUBLE_EQ(s->config.link_loss_rate, 0.01);
+}
+
+TEST(ScenarioParser, CommentsAndBlankLines) {
+  std::string error;
+  const auto s = parse(
+      "# full-line comment\n"
+      "\n"
+      "topology net1  # trailing comment\n",
+      &error);
+  ASSERT_TRUE(s.has_value()) << error;
+}
+
+struct BadCase {
+  const char* name;
+  const char* text;
+  const char* expect;  // substring of the error
+};
+
+class ScenarioErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ScenarioErrors, ReportsLineAndCause) {
+  std::string error;
+  const auto s = parse(GetParam().text, &error);
+  EXPECT_FALSE(s.has_value());
+  EXPECT_NE(error.find(GetParam().expect), std::string::npos)
+      << "actual error: " << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ScenarioErrors,
+    ::testing::Values(
+        BadCase{"empty", "", "no topology"},
+        BadCase{"no_flows", "node a\nnode b\nlink a b\n", "no flows"},
+        BadCase{"unknown_directive", "frobnicate 3\n", "unknown directive"},
+        BadCase{"unknown_topology", "topology arpanet\n", "unknown built-in"},
+        BadCase{"dup_node", "node a\nnode a\n", "duplicate node"},
+        BadCase{"builtin_then_node", "topology net1\nnode x\n", "conflicts"},
+        BadCase{"node_then_builtin", "node x\ntopology net1\n", "conflicts"},
+        BadCase{"link_unknown_node", "node a\nlink a zz\n", "unknown node"},
+        BadCase{"flow_no_rate", "topology net1\nflow 0 7\n", "rate"},
+        BadCase{"bad_mode", "topology net1\nmode ospf\n", "unknown mode"},
+        BadCase{"bad_estimator", "topology net1\nestimator psychic\n",
+                "unknown estimator"},
+        BadCase{"bad_number", "topology net1\ntl banana\n", "number"},
+        BadCase{"negative", "topology net1\nduration -5\n", "number"},
+        BadCase{"bad_option", "topology net1\nbursty on=fast\n", "bad option"},
+        BadCase{"hello_dead", "topology net1\nhello interval=2 dead=1\n",
+                "dead interval"},
+        BadCase{"fail_unknown", "topology net1\nfail 10 0 zz\n",
+                "unknown node"},
+        BadCase{"pareto_alpha", "topology net1\npareto alpha=0.9\n", "alpha"},
+        BadCase{"loss_range", "topology net1\nloss 1.5\n", "rate"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ScenarioParser, ErrorsCarryLineNumbers) {
+  std::string error;
+  const auto s = parse("topology net1\n\nmode ospf\n", &error);
+  EXPECT_FALSE(s.has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+TEST(ScenarioRunner, RunsAllThreeModes) {
+  const std::string base = R"(
+    node a
+    node b
+    node c
+    link a b
+    link b c
+    link a c
+    flow a c rate=2e6
+    duration 10
+    warmup 2
+    traffic_start 2
+  )";
+  for (const std::string mode : {"mp", "sp", "opt"}) {
+    std::string error;
+    auto s = parse(base + "mode " + mode + "\n", &error);
+    ASSERT_TRUE(s.has_value()) << error;
+    const auto result = run_scenario(*s);
+    EXPECT_GT(result.flows[0].delivered, 500u) << mode;
+    EXPECT_GT(result.flows[0].mean_delay_s, 0.0) << mode;
+  }
+}
+
+TEST(ScenarioRunner, LoadScenarioReportsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(load_scenario("/nonexistent/file.scn", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(ScenarioRunner, ShippedScenariosParse) {
+  for (const char* path : {"examples/scenarios/cairn_mp.scn",
+                           "examples/scenarios/failure.scn",
+                           "examples/scenarios/selfsimilar.scn"}) {
+    std::string error;
+    // Tests run from the build tree; look relative to the source root too.
+    auto s = load_scenario(path, &error);
+    if (!s.has_value()) {
+      s = load_scenario(std::string(MDR_SOURCE_DIR) + "/" + path, &error);
+    }
+    EXPECT_TRUE(s.has_value()) << path << ": " << error;
+  }
+}
+
+}  // namespace
+}  // namespace mdr::sim

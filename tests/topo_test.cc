@@ -1,0 +1,152 @@
+// Unit tests for src/topo: the paper topologies' stated structural
+// properties and the synthetic generators.
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+#include "util/rng.h"
+
+namespace mdr::topo {
+namespace {
+
+using graph::NodeId;
+
+TEST(Cairn, StructureMatchesPaperConstraints) {
+  const auto t = make_cairn();
+  EXPECT_EQ(t.num_nodes(), 26u);
+  EXPECT_TRUE(t.is_strongly_connected());
+  // Paper: capacities restricted to a maximum of 10 Mb/s.
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(t.num_links());
+       ++id) {
+    EXPECT_LE(t.link(id).attr.capacity_bps, 10e6);
+    EXPECT_GT(t.link(id).attr.prop_delay_s, 0.0);
+  }
+}
+
+TEST(Cairn, AllPaperFlowEndpointsExist) {
+  const auto t = make_cairn();
+  for (const auto& f : cairn_flows()) {
+    EXPECT_NE(t.find_node(f.src), graph::kInvalidNode) << f.src;
+    EXPECT_NE(t.find_node(f.dst), graph::kInvalidNode) << f.dst;
+  }
+}
+
+TEST(Cairn, FlowCountAndRateBand) {
+  const auto flows = cairn_flows();
+  EXPECT_EQ(flows.size(), 11u);  // the paper's 11 pairs
+  for (const auto& f : flows) {
+    EXPECT_GE(f.rate_bps, 1e6);
+    EXPECT_LE(f.rate_bps, 3e6);
+  }
+}
+
+TEST(Cairn, ScaleMultipliesRates) {
+  const auto base = cairn_flows(1.0);
+  const auto doubled = cairn_flows(2.0);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(doubled[i].rate_bps, 2.0 * base[i].rate_bps);
+  }
+}
+
+TEST(Net1, StructureMatchesPaperConstraints) {
+  const auto t = make_net1();
+  EXPECT_EQ(t.num_nodes(), 10u);
+  EXPECT_TRUE(t.is_strongly_connected());
+  // Paper: "The diameter of NET1 is four and the nodes have degrees between
+  // 3 and 5."
+  EXPECT_EQ(t.diameter_hops(), 4u);
+  for (NodeId i = 0; i < 10; ++i) {
+    EXPECT_GE(t.out_links(i).size(), 3u) << "node " << i;
+    EXPECT_LE(t.out_links(i).size(), 5u) << "node " << i;
+  }
+}
+
+TEST(Net1, AllPaperFlowEndpointsExist) {
+  const auto t = make_net1();
+  const auto flows = net1_flows();
+  EXPECT_EQ(flows.size(), 10u);
+  for (const auto& f : flows) {
+    EXPECT_NE(t.find_node(f.src), graph::kInvalidNode) << f.src;
+    EXPECT_NE(t.find_node(f.dst), graph::kInvalidNode) << f.dst;
+  }
+}
+
+TEST(ToTrafficMatrix, ResolvesNamesAndAggregates) {
+  const auto t = make_net1();
+  std::vector<FlowSpec> flows{{"0", "7", 1e6}, {"0", "7", 2e6}, {"3", "8", 5e5}};
+  const auto m = to_traffic_matrix(t, flows);
+  EXPECT_DOUBLE_EQ(m.rate(t.find_node("0"), t.find_node("7")), 3e6);
+  EXPECT_DOUBLE_EQ(m.rate(t.find_node("3"), t.find_node("8")), 5e5);
+  EXPECT_DOUBLE_EQ(m.total(), 3.5e6);
+}
+
+TEST(Ring, Structure) {
+  const auto t = make_ring(6);
+  EXPECT_EQ(t.num_nodes(), 6u);
+  EXPECT_EQ(t.num_links(), 12u);
+  EXPECT_TRUE(t.is_strongly_connected());
+  EXPECT_EQ(t.diameter_hops(), 3u);
+  for (NodeId i = 0; i < 6; ++i) EXPECT_EQ(t.out_links(i).size(), 2u);
+}
+
+TEST(Grid, Structure) {
+  const auto t = make_grid(3, 4);
+  EXPECT_EQ(t.num_nodes(), 12u);
+  EXPECT_TRUE(t.is_strongly_connected());
+  EXPECT_EQ(t.diameter_hops(), 5u);  // manhattan distance corner to corner
+}
+
+TEST(FullMesh, Structure) {
+  const auto t = make_full_mesh(5);
+  EXPECT_EQ(t.num_links(), 20u);
+  EXPECT_EQ(t.diameter_hops(), 1u);
+}
+
+TEST(Random, AlwaysConnectedAndSeedStable) {
+  Rng rng1(99), rng2(99);
+  const auto a = make_random(15, 0.2, rng1);
+  const auto b = make_random(15, 0.2, rng2);
+  EXPECT_TRUE(a.is_strongly_connected());
+  EXPECT_EQ(a.num_links(), b.num_links());
+}
+
+TEST(Waxman, ConnectedWithDistanceProportionalDelays) {
+  Rng rng(41);
+  const auto t = make_waxman(30, 0.6, 0.3, rng, 10e6, 5e-3);
+  EXPECT_EQ(t.num_nodes(), 30u);
+  EXPECT_TRUE(t.is_strongly_connected());
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(t.num_links());
+       ++id) {
+    EXPECT_GT(t.link(id).attr.prop_delay_s, 0.0);
+    EXPECT_LE(t.link(id).attr.prop_delay_s, 5e-3 + 1e-12);
+    EXPECT_DOUBLE_EQ(t.link(id).attr.capacity_bps, 10e6);
+  }
+}
+
+TEST(Waxman, LocalityParameterShortensLinks) {
+  // Smaller b penalizes distance harder: the mean chord length shrinks.
+  const auto mean_chord = [](double b) {
+    Rng rng(43);
+    const auto t = make_waxman(40, 0.9, b, rng);
+    double sum = 0;
+    std::size_t count = 0;
+    for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(t.num_links());
+         ++id) {
+      sum += t.link(id).attr.prop_delay_s;
+      ++count;
+    }
+    return sum / static_cast<double>(count);
+  };
+  EXPECT_LT(mean_chord(0.05), mean_chord(0.8));
+}
+
+TEST(Random, DensityGrowsWithP) {
+  Rng rng(5);
+  const auto sparse = make_random(20, 0.05, rng);
+  const auto dense = make_random(20, 0.5, rng);
+  EXPECT_LT(sparse.num_links(), dense.num_links());
+}
+
+}  // namespace
+}  // namespace mdr::topo

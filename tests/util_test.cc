@@ -1,0 +1,161 @@
+// Unit tests for src/util: rng, stats, matrix, time helpers.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace mdr {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(from_ms(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(0.25), 250.0);
+  EXPECT_DOUBLE_EQ(from_us(1000.0), 1e-3);
+  EXPECT_GT(kTimeInfinity, 1e300);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int x = rng.uniform_int(3, 5);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 5);
+    saw_lo |= x == 3;
+    saw_hi |= x == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.05);
+}
+
+TEST(Rng, PickWeightedProportions) {
+  Rng rng(13);
+  const std::array<double, 3> w{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.pick_weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(5);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // Children from successive splits differ from each other.
+  EXPECT_NE(child1.uniform(), child2.uniform());
+}
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsSafe) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5, 5);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.add(7.0);
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleSeeds) {
+  Ewma e(0.1);
+  e.add(42.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(Ewma, SmoothsStep) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(Samples, MeanAndPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+}
+
+TEST(FlatMatrix, IndexingAndFill) {
+  FlatMatrix<int> m(3, 4, -1);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m(2, 3), -1);
+  m(1, 2) = 42;
+  EXPECT_EQ(m(1, 2), 42);
+  m.fill(7);
+  EXPECT_EQ(m(1, 2), 7);
+  m.assign(2, 2, 0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m(1, 1), 0);
+}
+
+}  // namespace
+}  // namespace mdr
