@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdrsim.dir/mdrsim.cc.o"
+  "CMakeFiles/mdrsim.dir/mdrsim.cc.o.d"
+  "mdrsim"
+  "mdrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_allocation"
+  "../bench/ablation_allocation.pdb"
+  "CMakeFiles/ablation_allocation.dir/ablation_allocation.cc.o"
+  "CMakeFiles/ablation_allocation.dir/ablation_allocation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_estimators"
+  "../bench/ablation_estimators.pdb"
+  "CMakeFiles/ablation_estimators.dir/ablation_estimators.cc.o"
+  "CMakeFiles/ablation_estimators.dir/ablation_estimators.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_failure_response"
+  "../bench/ablation_failure_response.pdb"
+  "CMakeFiles/ablation_failure_response.dir/ablation_failure_response.cc.o"
+  "CMakeFiles/ablation_failure_response.dir/ablation_failure_response.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failure_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_loadsweep"
+  "../bench/ablation_loadsweep.pdb"
+  "CMakeFiles/ablation_loadsweep.dir/ablation_loadsweep.cc.o"
+  "CMakeFiles/ablation_loadsweep.dir/ablation_loadsweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loadsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_loadsweep.
+# This may be replaced when dependencies are built.

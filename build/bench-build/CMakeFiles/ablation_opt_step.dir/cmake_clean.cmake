@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_opt_step"
+  "../bench/ablation_opt_step.pdb"
+  "CMakeFiles/ablation_opt_step.dir/ablation_opt_step.cc.o"
+  "CMakeFiles/ablation_opt_step.dir/ablation_opt_step.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_opt_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_selfsimilar"
+  "../bench/ablation_selfsimilar.pdb"
+  "CMakeFiles/ablation_selfsimilar.dir/ablation_selfsimilar.cc.o"
+  "CMakeFiles/ablation_selfsimilar.dir/ablation_selfsimilar.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selfsimilar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

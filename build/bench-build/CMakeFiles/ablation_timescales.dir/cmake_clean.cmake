@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_timescales"
+  "../bench/ablation_timescales.pdb"
+  "CMakeFiles/ablation_timescales.dir/ablation_timescales.cc.o"
+  "CMakeFiles/ablation_timescales.dir/ablation_timescales.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timescales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_cairn_opt_mp"
+  "../bench/fig09_cairn_opt_mp.pdb"
+  "CMakeFiles/fig09_cairn_opt_mp.dir/fig09_cairn_opt_mp.cc.o"
+  "CMakeFiles/fig09_cairn_opt_mp.dir/fig09_cairn_opt_mp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cairn_opt_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

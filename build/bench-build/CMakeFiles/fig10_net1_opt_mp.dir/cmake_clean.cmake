@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_net1_opt_mp"
+  "../bench/fig10_net1_opt_mp.pdb"
+  "CMakeFiles/fig10_net1_opt_mp.dir/fig10_net1_opt_mp.cc.o"
+  "CMakeFiles/fig10_net1_opt_mp.dir/fig10_net1_opt_mp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_net1_opt_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

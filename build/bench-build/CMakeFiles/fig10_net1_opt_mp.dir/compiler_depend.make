@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_net1_opt_mp.
+# This may be replaced when dependencies are built.

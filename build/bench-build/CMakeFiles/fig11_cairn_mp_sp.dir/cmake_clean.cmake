@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_cairn_mp_sp"
+  "../bench/fig11_cairn_mp_sp.pdb"
+  "CMakeFiles/fig11_cairn_mp_sp.dir/fig11_cairn_mp_sp.cc.o"
+  "CMakeFiles/fig11_cairn_mp_sp.dir/fig11_cairn_mp_sp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cairn_mp_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

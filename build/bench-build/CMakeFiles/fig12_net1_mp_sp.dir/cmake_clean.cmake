@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_net1_mp_sp"
+  "../bench/fig12_net1_mp_sp.pdb"
+  "CMakeFiles/fig12_net1_mp_sp.dir/fig12_net1_mp_sp.cc.o"
+  "CMakeFiles/fig12_net1_mp_sp.dir/fig12_net1_mp_sp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_net1_mp_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

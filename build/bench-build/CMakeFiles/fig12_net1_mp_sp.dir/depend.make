@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_net1_mp_sp.
+# This may be replaced when dependencies are built.

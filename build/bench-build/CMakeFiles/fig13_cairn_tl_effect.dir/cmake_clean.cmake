@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_cairn_tl_effect"
+  "../bench/fig13_cairn_tl_effect.pdb"
+  "CMakeFiles/fig13_cairn_tl_effect.dir/fig13_cairn_tl_effect.cc.o"
+  "CMakeFiles/fig13_cairn_tl_effect.dir/fig13_cairn_tl_effect.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cairn_tl_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_cairn_tl_effect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_cairn_tl_effect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_net1_tl_effect.
+# This may be replaced when dependencies are built.

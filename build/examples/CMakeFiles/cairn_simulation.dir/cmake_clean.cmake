@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cairn_simulation.dir/cairn_simulation.cpp.o"
+  "CMakeFiles/cairn_simulation.dir/cairn_simulation.cpp.o.d"
+  "cairn_simulation"
+  "cairn_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cairn_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

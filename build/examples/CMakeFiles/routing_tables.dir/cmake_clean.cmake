@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_tables.dir/routing_tables.cpp.o"
+  "CMakeFiles/routing_tables.dir/routing_tables.cpp.o.d"
+  "routing_tables"
+  "routing_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

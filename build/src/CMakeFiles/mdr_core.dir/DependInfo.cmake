@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cc" "src/CMakeFiles/mdr_core.dir/core/allocation.cc.o" "gcc" "src/CMakeFiles/mdr_core.dir/core/allocation.cc.o.d"
+  "/root/repo/src/core/inspect.cc" "src/CMakeFiles/mdr_core.dir/core/inspect.cc.o" "gcc" "src/CMakeFiles/mdr_core.dir/core/inspect.cc.o.d"
+  "/root/repo/src/core/mp_router.cc" "src/CMakeFiles/mdr_core.dir/core/mp_router.cc.o" "gcc" "src/CMakeFiles/mdr_core.dir/core/mp_router.cc.o.d"
+  "/root/repo/src/core/mpda.cc" "src/CMakeFiles/mdr_core.dir/core/mpda.cc.o" "gcc" "src/CMakeFiles/mdr_core.dir/core/mpda.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdr_core.dir/core/allocation.cc.o"
+  "CMakeFiles/mdr_core.dir/core/allocation.cc.o.d"
+  "CMakeFiles/mdr_core.dir/core/inspect.cc.o"
+  "CMakeFiles/mdr_core.dir/core/inspect.cc.o.d"
+  "CMakeFiles/mdr_core.dir/core/mp_router.cc.o"
+  "CMakeFiles/mdr_core.dir/core/mp_router.cc.o.d"
+  "CMakeFiles/mdr_core.dir/core/mpda.cc.o"
+  "CMakeFiles/mdr_core.dir/core/mpda.cc.o.d"
+  "libmdr_core.a"
+  "libmdr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/delay_model.cc" "src/CMakeFiles/mdr_cost.dir/cost/delay_model.cc.o" "gcc" "src/CMakeFiles/mdr_cost.dir/cost/delay_model.cc.o.d"
+  "/root/repo/src/cost/estimators.cc" "src/CMakeFiles/mdr_cost.dir/cost/estimators.cc.o" "gcc" "src/CMakeFiles/mdr_cost.dir/cost/estimators.cc.o.d"
+  "/root/repo/src/cost/smoother.cc" "src/CMakeFiles/mdr_cost.dir/cost/smoother.cc.o" "gcc" "src/CMakeFiles/mdr_cost.dir/cost/smoother.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

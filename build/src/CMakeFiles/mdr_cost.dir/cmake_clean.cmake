@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdr_cost.dir/cost/delay_model.cc.o"
+  "CMakeFiles/mdr_cost.dir/cost/delay_model.cc.o.d"
+  "CMakeFiles/mdr_cost.dir/cost/estimators.cc.o"
+  "CMakeFiles/mdr_cost.dir/cost/estimators.cc.o.d"
+  "CMakeFiles/mdr_cost.dir/cost/smoother.cc.o"
+  "CMakeFiles/mdr_cost.dir/cost/smoother.cc.o.d"
+  "libmdr_cost.a"
+  "libmdr_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdr_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

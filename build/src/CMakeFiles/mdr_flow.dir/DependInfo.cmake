@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/evaluate.cc" "src/CMakeFiles/mdr_flow.dir/flow/evaluate.cc.o" "gcc" "src/CMakeFiles/mdr_flow.dir/flow/evaluate.cc.o.d"
+  "/root/repo/src/flow/network.cc" "src/CMakeFiles/mdr_flow.dir/flow/network.cc.o" "gcc" "src/CMakeFiles/mdr_flow.dir/flow/network.cc.o.d"
+  "/root/repo/src/flow/phi.cc" "src/CMakeFiles/mdr_flow.dir/flow/phi.cc.o" "gcc" "src/CMakeFiles/mdr_flow.dir/flow/phi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

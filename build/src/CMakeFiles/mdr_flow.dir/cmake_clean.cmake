@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdr_flow.dir/flow/evaluate.cc.o"
+  "CMakeFiles/mdr_flow.dir/flow/evaluate.cc.o.d"
+  "CMakeFiles/mdr_flow.dir/flow/network.cc.o"
+  "CMakeFiles/mdr_flow.dir/flow/network.cc.o.d"
+  "CMakeFiles/mdr_flow.dir/flow/phi.cc.o"
+  "CMakeFiles/mdr_flow.dir/flow/phi.cc.o.d"
+  "libmdr_flow.a"
+  "libmdr_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdr_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

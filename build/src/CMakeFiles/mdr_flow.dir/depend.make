@@ -1,0 +1,2 @@
+# Empty dependencies file for mdr_flow.
+# This may be replaced when dependencies are built.

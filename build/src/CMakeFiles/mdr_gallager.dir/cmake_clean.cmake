@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdr_gallager.dir/gallager/marginals.cc.o"
+  "CMakeFiles/mdr_gallager.dir/gallager/marginals.cc.o.d"
+  "CMakeFiles/mdr_gallager.dir/gallager/optimizer.cc.o"
+  "CMakeFiles/mdr_gallager.dir/gallager/optimizer.cc.o.d"
+  "libmdr_gallager.a"
+  "libmdr_gallager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdr_gallager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

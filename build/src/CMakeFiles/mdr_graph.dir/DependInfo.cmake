@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bellman_ford.cc" "src/CMakeFiles/mdr_graph.dir/graph/bellman_ford.cc.o" "gcc" "src/CMakeFiles/mdr_graph.dir/graph/bellman_ford.cc.o.d"
+  "/root/repo/src/graph/dag.cc" "src/CMakeFiles/mdr_graph.dir/graph/dag.cc.o" "gcc" "src/CMakeFiles/mdr_graph.dir/graph/dag.cc.o.d"
+  "/root/repo/src/graph/dijkstra.cc" "src/CMakeFiles/mdr_graph.dir/graph/dijkstra.cc.o" "gcc" "src/CMakeFiles/mdr_graph.dir/graph/dijkstra.cc.o.d"
+  "/root/repo/src/graph/topology.cc" "src/CMakeFiles/mdr_graph.dir/graph/topology.cc.o" "gcc" "src/CMakeFiles/mdr_graph.dir/graph/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdr_graph.dir/graph/bellman_ford.cc.o"
+  "CMakeFiles/mdr_graph.dir/graph/bellman_ford.cc.o.d"
+  "CMakeFiles/mdr_graph.dir/graph/dag.cc.o"
+  "CMakeFiles/mdr_graph.dir/graph/dag.cc.o.d"
+  "CMakeFiles/mdr_graph.dir/graph/dijkstra.cc.o"
+  "CMakeFiles/mdr_graph.dir/graph/dijkstra.cc.o.d"
+  "CMakeFiles/mdr_graph.dir/graph/topology.cc.o"
+  "CMakeFiles/mdr_graph.dir/graph/topology.cc.o.d"
+  "libmdr_graph.a"
+  "libmdr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdr_mpath.dir/mpath/mpath.cc.o"
+  "CMakeFiles/mdr_mpath.dir/mpath/mpath.cc.o.d"
+  "libmdr_mpath.a"
+  "libmdr_mpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdr_mpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

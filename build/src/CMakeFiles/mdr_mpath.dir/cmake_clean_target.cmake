@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdr_mpath.a"
+)

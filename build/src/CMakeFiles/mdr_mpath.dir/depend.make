@@ -1,0 +1,2 @@
+# Empty dependencies file for mdr_mpath.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/hello.cc" "src/CMakeFiles/mdr_proto.dir/proto/hello.cc.o" "gcc" "src/CMakeFiles/mdr_proto.dir/proto/hello.cc.o.d"
+  "/root/repo/src/proto/lsu.cc" "src/CMakeFiles/mdr_proto.dir/proto/lsu.cc.o" "gcc" "src/CMakeFiles/mdr_proto.dir/proto/lsu.cc.o.d"
+  "/root/repo/src/proto/pda.cc" "src/CMakeFiles/mdr_proto.dir/proto/pda.cc.o" "gcc" "src/CMakeFiles/mdr_proto.dir/proto/pda.cc.o.d"
+  "/root/repo/src/proto/tables.cc" "src/CMakeFiles/mdr_proto.dir/proto/tables.cc.o" "gcc" "src/CMakeFiles/mdr_proto.dir/proto/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdr_proto.dir/proto/hello.cc.o"
+  "CMakeFiles/mdr_proto.dir/proto/hello.cc.o.d"
+  "CMakeFiles/mdr_proto.dir/proto/lsu.cc.o"
+  "CMakeFiles/mdr_proto.dir/proto/lsu.cc.o.d"
+  "CMakeFiles/mdr_proto.dir/proto/pda.cc.o"
+  "CMakeFiles/mdr_proto.dir/proto/pda.cc.o.d"
+  "CMakeFiles/mdr_proto.dir/proto/tables.cc.o"
+  "CMakeFiles/mdr_proto.dir/proto/tables.cc.o.d"
+  "libmdr_proto.a"
+  "libmdr_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdr_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

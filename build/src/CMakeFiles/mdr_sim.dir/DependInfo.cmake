@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/mdr_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/mdr_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/mdr_sim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/mdr_sim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/CMakeFiles/mdr_sim.dir/sim/link.cc.o" "gcc" "src/CMakeFiles/mdr_sim.dir/sim/link.cc.o.d"
+  "/root/repo/src/sim/network_sim.cc" "src/CMakeFiles/mdr_sim.dir/sim/network_sim.cc.o" "gcc" "src/CMakeFiles/mdr_sim.dir/sim/network_sim.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/CMakeFiles/mdr_sim.dir/sim/node.cc.o" "gcc" "src/CMakeFiles/mdr_sim.dir/sim/node.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/CMakeFiles/mdr_sim.dir/sim/scenario.cc.o" "gcc" "src/CMakeFiles/mdr_sim.dir/sim/scenario.cc.o.d"
+  "/root/repo/src/sim/traffic.cc" "src/CMakeFiles/mdr_sim.dir/sim/traffic.cc.o" "gcc" "src/CMakeFiles/mdr_sim.dir/sim/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_gallager.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

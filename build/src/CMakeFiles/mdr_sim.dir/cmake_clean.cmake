@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdr_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/mdr_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/mdr_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/mdr_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/mdr_sim.dir/sim/link.cc.o"
+  "CMakeFiles/mdr_sim.dir/sim/link.cc.o.d"
+  "CMakeFiles/mdr_sim.dir/sim/network_sim.cc.o"
+  "CMakeFiles/mdr_sim.dir/sim/network_sim.cc.o.d"
+  "CMakeFiles/mdr_sim.dir/sim/node.cc.o"
+  "CMakeFiles/mdr_sim.dir/sim/node.cc.o.d"
+  "CMakeFiles/mdr_sim.dir/sim/scenario.cc.o"
+  "CMakeFiles/mdr_sim.dir/sim/scenario.cc.o.d"
+  "CMakeFiles/mdr_sim.dir/sim/traffic.cc.o"
+  "CMakeFiles/mdr_sim.dir/sim/traffic.cc.o.d"
+  "libmdr_sim.a"
+  "libmdr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

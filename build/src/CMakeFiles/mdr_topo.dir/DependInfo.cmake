@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/builders.cc" "src/CMakeFiles/mdr_topo.dir/topo/builders.cc.o" "gcc" "src/CMakeFiles/mdr_topo.dir/topo/builders.cc.o.d"
+  "/root/repo/src/topo/flows.cc" "src/CMakeFiles/mdr_topo.dir/topo/flows.cc.o" "gcc" "src/CMakeFiles/mdr_topo.dir/topo/flows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

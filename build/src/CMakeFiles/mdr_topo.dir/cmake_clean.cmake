@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdr_topo.dir/topo/builders.cc.o"
+  "CMakeFiles/mdr_topo.dir/topo/builders.cc.o.d"
+  "CMakeFiles/mdr_topo.dir/topo/flows.cc.o"
+  "CMakeFiles/mdr_topo.dir/topo/flows.cc.o.d"
+  "libmdr_topo.a"
+  "libmdr_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdr_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallager_test.dir/gallager_test.cc.o"
+  "CMakeFiles/gallager_test.dir/gallager_test.cc.o.d"
+  "gallager_test"
+  "gallager_test.pdb"
+  "gallager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hello_test.dir/hello_test.cc.o"
+  "CMakeFiles/hello_test.dir/hello_test.cc.o.d"
+  "hello_test"
+  "hello_test.pdb"
+  "hello_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hello_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

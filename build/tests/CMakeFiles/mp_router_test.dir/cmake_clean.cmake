@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_router_test.dir/mp_router_test.cc.o"
+  "CMakeFiles/mp_router_test.dir/mp_router_test.cc.o.d"
+  "mp_router_test"
+  "mp_router_test.pdb"
+  "mp_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpath_test.cc" "tests/CMakeFiles/mpath_test.dir/mpath_test.cc.o" "gcc" "tests/CMakeFiles/mpath_test.dir/mpath_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdr_gallager.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_mpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

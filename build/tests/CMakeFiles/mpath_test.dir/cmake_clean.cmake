@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_test.dir/mpath_test.cc.o"
+  "CMakeFiles/mpath_test.dir/mpath_test.cc.o.d"
+  "mpath_test"
+  "mpath_test.pdb"
+  "mpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

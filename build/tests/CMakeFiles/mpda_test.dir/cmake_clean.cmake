@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpda_test.dir/mpda_test.cc.o"
+  "CMakeFiles/mpda_test.dir/mpda_test.cc.o.d"
+  "mpda_test"
+  "mpda_test.pdb"
+  "mpda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
