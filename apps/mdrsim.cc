@@ -1,86 +1,38 @@
 // mdrsim — run a routing experiment from a scenario file.
 //
 // Usage:
-//   mdrsim <scenario-file> [--mode mp|sp|opt] [--seed N] [--quiet]
+//   mdrsim <scenario-file> [--mode mp|sp|opt] [--seed N]
+//          [--seeds N] [--jobs M] [--json PATH] [--quiet]
 //
-// Prints per-flow delays, drop and control-plane counters, and, if the
-// scenario enables them, the delay time series and LFI check summary.
+// By default runs the scenario once and prints per-flow delays, drop and
+// control-plane counters, and, if the scenario enables them, the delay time
+// series and LFI check summary. With --seeds N > 1 the experiment is
+// replicated N times under seeds derived from the base seed and fanned
+// across --jobs worker threads (results are identical for any --jobs
+// value); per-flow delays are reported as mean / stddev / 95% CI across the
+// replications. --json writes the batch (aggregates plus per-run rows) in
+// the schema documented in docs/RUNNER.md.
 // See src/sim/scenario.h for the file format, and examples/scenarios/ for
 // ready-made inputs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "runner/experiment_runner.h"
 #include "sim/scenario.h"
 
 namespace {
 
 void usage() {
   std::fputs(
-      "usage: mdrsim <scenario-file> [--mode mp|sp|opt] [--seed N] [--quiet]\n",
+      "usage: mdrsim <scenario-file> [--mode mp|sp|opt] [--seed N]\n"
+      "              [--seeds N] [--jobs M] [--json PATH] [--quiet]\n",
       stderr);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string path;
-  std::string mode_override;
-  std::string seed_override;
-  bool quiet = false;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--mode" && i + 1 < argc) {
-      mode_override = argv[++i];
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed_override = argv[++i];
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--help" || arg == "-h") {
-      usage();
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      usage();
-      return 2;
-    } else if (path.empty()) {
-      path = arg;
-    } else {
-      usage();
-      return 2;
-    }
-  }
-  if (path.empty()) {
-    usage();
-    return 2;
-  }
-
-  std::string error;
-  auto scenario = mdr::sim::load_scenario(path, &error);
-  if (!scenario.has_value()) {
-    std::fprintf(stderr, "mdrsim: %s\n", error.c_str());
-    return 1;
-  }
-  if (!mode_override.empty()) {
-    if (mode_override != "mp" && mode_override != "sp" &&
-        mode_override != "opt") {
-      std::fprintf(stderr, "mdrsim: bad --mode %s\n", mode_override.c_str());
-      return 2;
-    }
-    scenario->mode = mode_override;
-  }
-  if (!seed_override.empty()) {
-    scenario->config.seed =
-        static_cast<std::uint64_t>(std::strtoull(seed_override.c_str(), nullptr, 10));
-  }
-
-  const auto result = mdr::sim::run_scenario(*scenario);
-
-  std::printf("scenario: %s  mode=%s  seed=%llu\n", path.c_str(),
-              scenario->mode.c_str(),
-              static_cast<unsigned long long>(scenario->config.seed));
+void print_single_run(const mdr::sim::SimResult& result, bool quiet) {
   std::printf("%-24s %10s %12s %12s\n", "flow", "delivered", "mean (ms)",
               "p95 (ms)");
   for (const auto& f : result.flows) {
@@ -112,6 +64,111 @@ int main(int argc, char** argv) {
                   p.mean_delay_s * 1e3,
                   static_cast<unsigned long long>(p.dropped));
     }
+  }
+}
+
+void print_batch(const mdr::runner::BatchResult& batch) {
+  std::printf("%-24s %14s %12s %12s\n", "flow", "mean (ms)", "stddev (ms)",
+              "95% CI (±ms)");
+  for (const auto& f : batch.flows) {
+    std::printf("%-24s %14.3f %12.3f %12.3f\n", (f.src + "->" + f.dst).c_str(),
+                f.mean_delay_s * 1e3, f.stddev_delay_s * 1e3,
+                f.ci95_delay_s * 1e3);
+  }
+  std::printf(
+      "network average delay: %.3f ms (stddev %.3f, 95%% CI ±%.3f) over %zu "
+      "replications\n",
+      batch.avg_delay_s.mean() * 1e3, batch.avg_delay_s.stddev() * 1e3,
+      mdr::ci95_halfwidth(batch.avg_delay_s) * 1e3, batch.runs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string mode_override;
+  std::string seed_override;
+  std::string json_path;
+  long seeds = 1;
+  long jobs = 1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mode" && i + 1 < argc) {
+      mode_override = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed_override = argv[++i];
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      seeds = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (path.empty() || seeds < 1 || jobs < 1) {
+    usage();
+    return 2;
+  }
+
+  std::string error;
+  auto scenario = mdr::sim::load_scenario(path, &error);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "mdrsim: %s\n", error.c_str());
+    return 1;
+  }
+  if (!mode_override.empty()) {
+    if (mode_override != "mp" && mode_override != "sp" &&
+        mode_override != "opt") {
+      std::fprintf(stderr, "mdrsim: bad --mode %s\n", mode_override.c_str());
+      return 2;
+    }
+    scenario->mode = mode_override;
+  }
+  if (!seed_override.empty()) {
+    scenario->spec.config.seed = static_cast<std::uint64_t>(
+        std::strtoull(seed_override.c_str(), nullptr, 10));
+  }
+
+  // Everything runs through the parallel runner; a single seed is just a
+  // batch of one.
+  mdr::runner::ExperimentRunner runner(mdr::runner::Options{
+      static_cast<int>(jobs), scenario->spec.config.seed});
+  const auto batch = runner.run_replicated(scenario->spec, scenario->mode,
+                                           static_cast<int>(seeds));
+
+  std::printf("scenario: %s  mode=%s  base_seed=%llu  seeds=%ld  jobs=%ld\n",
+              path.c_str(), scenario->mode.c_str(),
+              static_cast<unsigned long long>(scenario->spec.config.seed),
+              seeds, jobs);
+  if (batch.runs.size() == 1) {
+    print_single_run(batch.runs.front(), quiet);
+  } else {
+    print_batch(batch);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "mdrsim: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    mdr::runner::write_results_json(out, batch, path);
   }
   return 0;
 }

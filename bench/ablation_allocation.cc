@@ -17,46 +17,36 @@
 int main() {
   using namespace mdr;
   const auto setup = bench::cairn_setup();
-  auto base = bench::measurement_config();
-  base.duration = 90;
+  auto base = setup.spec;
+  base.config.duration = 90;
 
-  const auto opt_ref =
-      sim::compute_opt_reference(setup.topo, setup.flows, base.mean_packet_bits);
-  const auto opt = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    return bench::run_opt(setup, c, opt_ref);
-  });
+  const auto opt = bench::aggregate_means(bench::replicated(base, "opt"));
   double opt_avg = 0;
   for (const double d : opt) opt_avg += d / static_cast<double>(opt.size());
 
   struct Variant {
     const char* name;
-    sim::RoutingMode mode;
+    const char* mode;
     double ts;
     double damping;
   };
   const Variant variants[] = {
-      {"SP (best successor)", sim::RoutingMode::kSinglePath, 10, 0.5},
-      {"IH-only (no AH)", sim::RoutingMode::kMultipath, 1e6, 0.5},
-      {"IH+AH damping 1.0", sim::RoutingMode::kMultipath, 2, 1.0},
-      {"IH+AH damping 0.5", sim::RoutingMode::kMultipath, 2, 0.5},
-      {"IH+AH damping 0.25", sim::RoutingMode::kMultipath, 2, 0.25},
+      {"SP (best successor)", "sp", 10, 0.5},
+      {"IH-only (no AH)", "mp", 1e6, 0.5},
+      {"IH+AH damping 1.0", "mp", 2, 1.0},
+      {"IH+AH damping 0.5", "mp", 2, 0.5},
+      {"IH+AH damping 0.25", "mp", 2, 0.25},
   };
 
   std::printf("== Allocation ablation on CAIRN (OPT mean %.3f ms) ==\n",
               opt_avg * 1e3);
   std::printf("%-24s %12s %10s\n", "variant", "mean (ms)", "vs OPT");
   for (const auto& v : variants) {
-    const auto delays = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-      auto c = base;
-      c.seed = seed;
-      c.mode = v.mode;
-      c.tl = 10;
-      c.ts = v.ts;
-      c.ah_damping = v.damping;
-      return sim::run_simulation(setup.topo, setup.flows, c);
-    });
+    auto spec = base;
+    spec.config.tl = 10;
+    spec.config.ts = v.ts;
+    spec.config.ah_damping = v.damping;
+    const auto delays = bench::aggregate_means(bench::replicated(spec, v.mode));
     double avg = 0;
     for (const double d : delays) avg += d / static_cast<double>(delays.size());
     std::printf("%-24s %12.3f %9.3fx\n", v.name, avg * 1e3, avg / opt_avg);

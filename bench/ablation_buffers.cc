@@ -12,32 +12,27 @@
 int main() {
   using namespace mdr;
   const auto setup = bench::cairn_setup();
-  auto base = bench::measurement_config();
-  base.duration = 90;
+  auto base = setup.spec;
+  base.config.duration = 90;
 
   struct Cell {
     double delay_ms;
     double loss_pct;
   };
-  const auto run = [&](sim::RoutingMode mode, double ts,
-                       double buffer_bits) {
-    double delay = 0, loss = 0;
-    const auto seeds = bench::replication_seeds();
-    for (const auto seed : seeds) {
-      auto c = base;
-      c.seed = seed;
-      c.mode = mode;
-      c.tl = 10;
-      c.ts = ts;
-      c.queue_limit_bits = buffer_bits;
-      const auto r = sim::run_simulation(setup.topo, setup.flows, c);
-      delay += r.avg_delay_s / static_cast<double>(seeds.size());
+  const auto run = [&](const char* mode, double ts, double buffer_bits) {
+    auto spec = base;
+    spec.config.tl = 10;
+    spec.config.ts = ts;
+    spec.config.queue_limit_bits = buffer_bits;
+    const auto batch = bench::replicated(spec, mode);
+    double loss = 0;
+    for (const auto& r : batch.runs) {
       const double total =
           static_cast<double>(r.delivered + r.dropped_queue + r.dropped_ttl);
       loss += (total > 0 ? static_cast<double>(r.dropped_queue) / total : 0) /
-              static_cast<double>(seeds.size());
+              static_cast<double>(batch.runs.size());
     }
-    return Cell{delay * 1e3, loss * 100};
+    return Cell{batch.avg_delay_s.mean() * 1e3, loss * 100};
   };
 
   std::puts("== CAIRN with drop-tail buffers (per-link, in mean packets) ==");
@@ -45,8 +40,8 @@ int main() {
               "SP (ms)", "SP loss");
   for (const double pkts : {8.0, 16.0, 32.0, 64.0, 0.0}) {
     const double bits = pkts * 8000;
-    const auto mp = run(sim::RoutingMode::kMultipath, 2, bits);
-    const auto sp = run(sim::RoutingMode::kSinglePath, 10, bits);
+    const auto mp = run("mp", 2, bits);
+    const auto sp = run("sp", 10, bits);
     char label[32];
     if (pkts == 0) {
       std::snprintf(label, sizeof label, "unbounded");

@@ -91,15 +91,9 @@ void accuracy_table() {
 void end_to_end_table() {
   std::puts("\n== Part 2: end-to-end MP delay on CAIRN per estimator ==");
   const auto setup = bench::cairn_setup();
-  auto base = bench::measurement_config();
-  base.duration = 90;
-  const auto opt_ref =
-      sim::compute_opt_reference(setup.topo, setup.flows, base.mean_packet_bits);
-  const auto opt = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    return bench::run_opt(setup, c, opt_ref);
-  });
+  auto base = setup.spec;
+  base.config.duration = 90;
+  const auto opt = bench::aggregate_means(bench::replicated(base, "opt"));
   double opt_avg = 0;
   for (const double d : opt) opt_avg += d / static_cast<double>(opt.size());
 
@@ -112,15 +106,11 @@ void end_to_end_table() {
         Named{"observable (W+lW^2)", cost::EstimatorKind::kObservable},
         Named{"IPA busy-period", cost::EstimatorKind::kIpa},
         Named{"utilization (default)", cost::EstimatorKind::kUtilization}}) {
-    const auto delays = bench::averaged_flow_delays(setup, [&, k = kind](std::uint64_t seed) {
-      auto c = base;
-      c.seed = seed;
-      c.mode = sim::RoutingMode::kMultipath;
-      c.tl = 10;
-      c.ts = 2;
-      c.estimator = k;
-      return sim::run_simulation(setup.topo, setup.flows, c);
-    });
+    auto spec = base;
+    spec.config.tl = 10;
+    spec.config.ts = 2;
+    spec.config.estimator = kind;
+    const auto delays = bench::aggregate_means(bench::replicated(spec, "mp"));
     double avg = 0;
     for (const double d : delays) avg += d / static_cast<double>(delays.size());
     std::printf("%-24s %10.3f ms  (%.3fx OPT)\n", name, avg * 1e3,

@@ -27,13 +27,13 @@ int main() {
   mp_cfg.mode = sim::RoutingMode::kMultipath;
   mp_cfg.tl = 10;
   mp_cfg.ts = 2;
-  const auto mp = sim::run_simulation(setup.topo, setup.flows, mp_cfg);
+  const auto mp = sim::run_simulation(setup.spec.topo, setup.spec.flows, mp_cfg);
 
   auto sp_cfg = base;
   sp_cfg.mode = sim::RoutingMode::kSinglePath;
   sp_cfg.tl = 10;
   sp_cfg.ts = 10;
-  const auto sp = sim::run_simulation(setup.topo, setup.flows, sp_cfg);
+  const auto sp = sim::run_simulation(setup.spec.topo, setup.spec.flows, sp_cfg);
 
   std::puts("== CAIRN sri<->isi trunk fails at t=30s, heals at t=50s ==");
   std::printf("%8s %14s %14s %10s %10s\n", "t (s)", "MP delay (ms)",

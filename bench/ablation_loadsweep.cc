@@ -19,25 +19,13 @@ int main() {
   std::printf("%-8s %10s %10s %10s %8s\n", "scale", "OPT", "MP", "SP", "SP/MP");
   for (const double scale :
        {0.3, 0.6, 0.8, 0.9, 1.0, 1.05, 1.1, 1.15, 1.2, 1.3}) {
-    const auto flows = topo::cairn_flows(scale);
-    const auto ref = sim::compute_opt_reference(topo, flows, base.mean_packet_bits);
-    double opt = 0, mp = 0, sp = 0;
-    const auto seeds = bench::replication_seeds();
-    for (const auto seed : seeds) {
-      auto c = base;
-      c.seed = seed;
-      opt += sim::run_with_static_phi(topo, flows, c, ref.phi).avg_delay_s /
-             static_cast<double>(seeds.size());
-      c.mode = sim::RoutingMode::kMultipath;
-      c.tl = 10;
-      c.ts = 2;
-      mp += sim::run_simulation(topo, flows, c).avg_delay_s /
-            static_cast<double>(seeds.size());
-      c.mode = sim::RoutingMode::kSinglePath;
-      c.ts = 10;
-      sp += sim::run_simulation(topo, flows, c).avg_delay_s /
-            static_cast<double>(seeds.size());
-    }
+    const sim::ExperimentSpec spec{topo, topo::cairn_flows(scale), base};
+    const auto ref = sim::compute_opt_reference(spec);
+    const double opt = bench::replicated(spec, "opt").avg_delay_s.mean();
+    const double mp =
+        bench::replicated(bench::mp_spec(spec, 10, 2), "mp").avg_delay_s.mean();
+    const double sp =
+        bench::replicated(bench::sp_spec(spec, 10), "sp").avg_delay_s.mean();
     std::printf("%-8.2f %10.3f %10.3f %10.3f %7.2fx%s\n", scale, opt * 1e3,
                 mp * 1e3, sp * 1e3, sp / mp,
                 ref.feasible ? "" : "  (OPT infeasible)");

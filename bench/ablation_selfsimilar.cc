@@ -16,51 +16,32 @@
 int main() {
   using namespace mdr;
   const auto setup = bench::cairn_setup(0.7);  // headroom for bursts
-  auto base = bench::measurement_config();
-  base.duration = 120;
-
-  const auto opt_ref =
-      sim::compute_opt_reference(setup.topo, setup.flows, base.mean_packet_bits);
+  auto base = setup.spec;
+  base.config.duration = 120;
 
   struct Model {
     const char* name;
-    sim::SimConfig::TrafficModel model;
+    sim::TrafficModel model;
   };
   const Model models[] = {
-      {"Poisson (stationary)", sim::SimConfig::TrafficModel::kPoisson},
-      {"exp on/off bursts", sim::SimConfig::TrafficModel::kOnOff},
-      {"Pareto on/off (self-similar)",
-       sim::SimConfig::TrafficModel::kParetoOnOff},
+      {"Poisson (stationary)", sim::TrafficModel::kPoisson},
+      {"exp on/off bursts", sim::TrafficModel::kOnOff},
+      {"Pareto on/off (self-similar)", sim::TrafficModel::kParetoOnOff},
   };
 
   std::puts("== CAIRN at 0.7x load: same average rate, three traffic models ==");
   std::printf("%-30s %10s %10s %10s %8s %8s\n", "traffic", "OPT", "MP", "SP",
               "MP/OPT", "SP/MP");
   for (const auto& m : models) {
-    double opt = 0, mp = 0, sp = 0;
-    const auto seeds = bench::replication_seeds();
-    for (const auto seed : seeds) {
-      auto c = base;
-      c.seed = seed;
-      c.traffic_model = m.model;
-      c.burstiness = {4.0, 8.0};
-      c.pareto = {1.5, 4.0, 8.0};
-      opt += sim::run_with_static_phi(setup.topo, setup.flows, c, opt_ref.phi)
-                 .avg_delay_s /
-             static_cast<double>(seeds.size());
-      auto cm = c;
-      cm.mode = sim::RoutingMode::kMultipath;
-      cm.tl = 10;
-      cm.ts = 2;
-      mp += sim::run_simulation(setup.topo, setup.flows, cm).avg_delay_s /
-            static_cast<double>(seeds.size());
-      auto cs = c;
-      cs.mode = sim::RoutingMode::kSinglePath;
-      cs.tl = 10;
-      cs.ts = 10;
-      sp += sim::run_simulation(setup.topo, setup.flows, cs).avg_delay_s /
-            static_cast<double>(seeds.size());
-    }
+    auto spec = base;
+    spec.config.traffic.model = m.model;
+    spec.config.traffic.burstiness = {4.0, 8.0};
+    spec.config.traffic.pareto = {1.5, 4.0, 8.0};
+    const double opt = bench::replicated(spec, "opt").avg_delay_s.mean();
+    const double mp =
+        bench::replicated(bench::mp_spec(spec, 10, 2), "mp").avg_delay_s.mean();
+    const double sp =
+        bench::replicated(bench::sp_spec(spec, 10), "sp").avg_delay_s.mean();
     std::printf("%-30s %9.3f %9.3f %9.3f %7.2fx %7.2fx\n", m.name, opt * 1e3,
                 mp * 1e3, sp * 1e3, mp / opt, sp / mp);
   }

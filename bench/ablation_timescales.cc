@@ -12,22 +12,12 @@
 int main() {
   using namespace mdr;
   const auto setup = bench::cairn_setup();
-  auto base = bench::measurement_config();
-  base.duration = 90;
+  auto base = setup.spec;
+  base.config.duration = 90;
 
   const auto run_avg = [&](double tl, double ts) {
-    double sum = 0;
-    const auto seeds = bench::replication_seeds();
-    for (const auto seed : seeds) {
-      auto c = base;
-      c.seed = seed;
-      c.mode = sim::RoutingMode::kMultipath;
-      c.tl = tl;
-      c.ts = ts;
-      sum += sim::run_simulation(setup.topo, setup.flows, c).avg_delay_s /
-             static_cast<double>(seeds.size());
-    }
-    return sum;
+    return bench::replicated(bench::mp_spec(base, tl, ts), "mp")
+        .avg_delay_s.mean();
   };
 
   std::puts("== MP delay vs short-term interval Ts (Tl = 10 s) ==");

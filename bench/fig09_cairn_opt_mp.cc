@@ -3,8 +3,10 @@
 // The paper plots, for the 11 CAIRN flows, the average delay under OPT
 // (Gallager's minimum-delay routing), the OPT+5% envelope, and MP with
 // Tl=10s, Ts=2s. Claim reproduced: MP's per-flow delays stay within a few
-// percent of OPT (the paper's 5% envelope). Measured series are
-// 3-replication means.
+// percent of OPT (the paper's 5% envelope). Measured series are 5-seed
+// means with Student-t 95% confidence intervals, fanned across cores by
+// runner::ExperimentRunner (MDR_BENCH_JOBS sets the worker count; the
+// numbers are identical for any value).
 #include <iostream>
 
 #include "figure_common.h"
@@ -12,39 +14,34 @@
 int main() {
   using namespace mdr;
   const auto setup = bench::cairn_setup();
-  const auto base = bench::measurement_config();
 
-  const auto opt_ref =
-      sim::compute_opt_reference(setup.topo, setup.flows, base.mean_packet_bits);
+  const auto opt_ref = sim::compute_opt_reference(setup.spec);
   std::cout << "OPT (Gallager) converged in " << opt_ref.iterations
             << " iterations; flow-level average delay "
             << opt_ref.average_delay_s * 1e3 << " ms\n";
 
-  const auto opt = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    return bench::run_opt(setup, c, opt_ref);
-  });
-  std::uint64_t control_messages = 0;
-  double control_bits = 0;
-  const auto mp = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    auto r = bench::run_mp(setup, c, /*tl=*/10, /*ts=*/2);
-    control_messages += r.control_messages;
-    control_bits += r.control_bits;
-    return r;
-  });
+  const auto opt = bench::replicated(setup.spec, "opt");
+  const auto mp =
+      bench::replicated(bench::mp_spec(setup.spec, /*tl=*/10, /*ts=*/2), "mp");
+  const auto opt_means = bench::aggregate_means(opt);
+  const auto mp_means = bench::aggregate_means(mp);
 
-  sim::DelayTable table(sim::flow_labels(setup.flows));
-  table.add_series("OPT", opt);
-  table.add_series("OPT+5%", bench::envelope(opt, 1.05));
-  table.add_series("MP-TL-10-TS-2", mp);
+  sim::DelayTable table(sim::flow_labels(setup.spec.flows));
+  table.add_series("OPT", opt_means, bench::aggregate_ci95(opt));
+  table.add_series("OPT+5%", bench::envelope(opt_means, 1.05));
+  table.add_series("MP-TL-10-TS-2", mp_means, bench::aggregate_ci95(mp));
   table.print(std::cout, "Figure 9: delays of OPT and MP in CAIRN");
 
-  bench::print_envelope_summary(opt, mp, 5.0);
-  bench::print_ratio_summary("MP vs OPT", mp, opt);
-  const auto reps = static_cast<double>(bench::replication_seeds().size());
+  bench::print_envelope_summary(opt_means, mp_means, 5.0);
+  bench::print_ratio_summary("MP vs OPT", mp_means, opt_means);
+
+  std::uint64_t control_messages = 0;
+  double control_bits = 0;
+  for (const auto& r : mp.runs) {
+    control_messages += r.control_messages;
+    control_bits += r.control_bits;
+  }
+  const auto reps = static_cast<double>(mp.runs.size());
   std::cout << "MP control overhead per run: " << control_messages / reps
             << " LSU messages, " << control_bits / reps / 8e3 << " kB\n";
   return 0;

@@ -9,7 +9,8 @@
 // hot, and with Ts = 2 s the allocation feedback lag occasionally costs the
 // bridge-crossing flows a few percent beyond the envelope; with Ts = 1 s
 // the envelope holds for every flow. EXPERIMENTS.md discusses the
-// sensitivity. Measured series are 3-replication means.
+// sensitivity. Measured series are 5-seed means ± Student-t 95% CI, run in
+// parallel by runner::ExperimentRunner.
 #include <iostream>
 
 #include "figure_common.h"
@@ -17,42 +18,33 @@
 int main() {
   using namespace mdr;
   const auto setup = bench::net1_setup();
-  const auto base = bench::measurement_config();
 
-  const auto opt_ref =
-      sim::compute_opt_reference(setup.topo, setup.flows, base.mean_packet_bits);
+  const auto opt_ref = sim::compute_opt_reference(setup.spec);
   std::cout << "OPT (Gallager) converged in " << opt_ref.iterations
             << " iterations; flow-level average delay "
             << opt_ref.average_delay_s * 1e3 << " ms\n";
 
-  const auto opt = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    return bench::run_opt(setup, c, opt_ref);
-  });
-  const auto mp_ts2 = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    return bench::run_mp(setup, c, /*tl=*/10, /*ts=*/2);
-  });
-  const auto mp_ts1 = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    return bench::run_mp(setup, c, /*tl=*/10, /*ts=*/1);
-  });
+  const auto opt = bench::replicated(setup.spec, "opt");
+  const auto mp_ts2 =
+      bench::replicated(bench::mp_spec(setup.spec, /*tl=*/10, /*ts=*/2), "mp");
+  const auto mp_ts1 =
+      bench::replicated(bench::mp_spec(setup.spec, /*tl=*/10, /*ts=*/1), "mp");
+  const auto opt_means = bench::aggregate_means(opt);
+  const auto ts2_means = bench::aggregate_means(mp_ts2);
+  const auto ts1_means = bench::aggregate_means(mp_ts1);
 
-  sim::DelayTable table(sim::flow_labels(setup.flows));
-  table.add_series("OPT", opt);
-  table.add_series("OPT+8%", bench::envelope(opt, 1.08));
-  table.add_series("MP-TL-10-TS-2", mp_ts2);
-  table.add_series("MP-TL-10-TS-1", mp_ts1);
+  sim::DelayTable table(sim::flow_labels(setup.spec.flows));
+  table.add_series("OPT", opt_means, bench::aggregate_ci95(opt));
+  table.add_series("OPT+8%", bench::envelope(opt_means, 1.08));
+  table.add_series("MP-TL-10-TS-2", ts2_means, bench::aggregate_ci95(mp_ts2));
+  table.add_series("MP-TL-10-TS-1", ts1_means, bench::aggregate_ci95(mp_ts1));
   table.print(std::cout, "Figure 10: delays of OPT and MP in NET1");
 
   std::cout << "TS-2: ";
-  bench::print_envelope_summary(opt, mp_ts2, 8.0);
-  bench::print_ratio_summary("TS-2 MP vs OPT", mp_ts2, opt);
+  bench::print_envelope_summary(opt_means, ts2_means, 8.0);
+  bench::print_ratio_summary("TS-2 MP vs OPT", ts2_means, opt_means);
   std::cout << "TS-1: ";
-  bench::print_envelope_summary(opt, mp_ts1, 8.0);
-  bench::print_ratio_summary("TS-1 MP vs OPT", mp_ts1, opt);
+  bench::print_envelope_summary(opt_means, ts1_means, 8.0);
+  bench::print_ratio_summary("TS-1 MP vs OPT", ts1_means, opt_means);
   return 0;
 }

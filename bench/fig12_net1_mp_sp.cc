@@ -2,7 +2,7 @@
 //
 // As Figure 11, on NET1. The paper reports the MP advantage grows with
 // connectivity: SP average delays run up to five-six times MP's there.
-// Measured series are 3-replication means.
+// Measured series are 5-seed means, replicated in parallel by the runner.
 #include <iostream>
 
 #include "figure_common.h"
@@ -10,32 +10,16 @@
 int main() {
   using namespace mdr;
   const auto setup = bench::net1_setup();
-  const auto base = bench::measurement_config();
 
-  const auto opt_ref =
-      sim::compute_opt_reference(setup.topo, setup.flows, base.mean_packet_bits);
-  const auto opt = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    return bench::run_opt(setup, c, opt_ref);
-  });
-  const auto mp_ts10 = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    return bench::run_mp(setup, c, 10, 10);
-  });
-  const auto mp_ts2 = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    return bench::run_mp(setup, c, 10, 2);
-  });
-  const auto sp = bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-    auto c = base;
-    c.seed = seed;
-    return bench::run_sp(setup, c, 10);
-  });
+  const auto opt = bench::aggregate_means(bench::replicated(setup.spec, "opt"));
+  const auto mp_ts10 = bench::aggregate_means(
+      bench::replicated(bench::mp_spec(setup.spec, 10, 10), "mp"));
+  const auto mp_ts2 = bench::aggregate_means(
+      bench::replicated(bench::mp_spec(setup.spec, 10, 2), "mp"));
+  const auto sp = bench::aggregate_means(
+      bench::replicated(bench::sp_spec(setup.spec, 10), "sp"));
 
-  sim::DelayTable table(sim::flow_labels(setup.flows));
+  sim::DelayTable table(sim::flow_labels(setup.spec.flows));
   table.add_series("OPT", opt);
   table.add_series("MP-TL-10-TS-10", mp_ts10);
   table.add_series("MP-TL-10-TS-2", mp_ts2);

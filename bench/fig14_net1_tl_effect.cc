@@ -2,8 +2,8 @@
 //
 // As Figure 13, on NET1: doubling Tl leaves MP's delays essentially
 // unchanged while SP's grow — with the delay-based estimator variant the
-// paper's "more than doubled" magnitude appears. Series are 3-replication
-// means over a 240s horizon.
+// paper's "more than doubled" magnitude appears. Series are 5-seed means
+// over a 240s horizon, replicated in parallel by the runner.
 #include <iostream>
 
 #include "figure_common.h"
@@ -11,30 +11,26 @@
 int main() {
   using namespace mdr;
   const auto setup = bench::net1_setup();
-  auto base = bench::measurement_config();
-  base.warmup = 20;
-  base.duration = 240;
+  auto base = setup.spec;
+  base.config.warmup = 20;
+  base.config.duration = 240;
 
   for (const auto estimator : {cost::EstimatorKind::kUtilization,
                                cost::EstimatorKind::kObservable}) {
-    base.estimator = estimator;
-    const auto run_avg = [&](sim::RoutingMode mode, double tl, double ts) {
-      return bench::averaged_flow_delays(setup, [&](std::uint64_t seed) {
-        auto c = base;
-        c.seed = seed;
-        c.mode = mode;
-        c.tl = tl;
-        c.ts = ts;
-        return sim::run_simulation(setup.topo, setup.flows, c);
-      });
+    base.config.estimator = estimator;
+    const auto run_avg = [&](const std::string& mode, double tl, double ts) {
+      auto spec = base;
+      spec.config.tl = tl;
+      spec.config.ts = ts;
+      return bench::aggregate_means(bench::replicated(spec, mode));
     };
 
-    const auto mp_tl10 = run_avg(sim::RoutingMode::kMultipath, 10, 2);
-    const auto mp_tl20 = run_avg(sim::RoutingMode::kMultipath, 20, 2);
-    const auto sp_tl10 = run_avg(sim::RoutingMode::kSinglePath, 10, 10);
-    const auto sp_tl20 = run_avg(sim::RoutingMode::kSinglePath, 20, 20);
+    const auto mp_tl10 = run_avg("mp", 10, 2);
+    const auto mp_tl20 = run_avg("mp", 20, 2);
+    const auto sp_tl10 = run_avg("sp", 10, 10);
+    const auto sp_tl20 = run_avg("sp", 20, 20);
 
-    sim::DelayTable table(sim::flow_labels(setup.flows));
+    sim::DelayTable table(sim::flow_labels(setup.spec.flows));
     table.add_series("MP-TL-10-TS-2", mp_tl10);
     table.add_series("MP-TL-20-TS-2", mp_tl20);
     table.add_series("SP-TL-10", sp_tl10);

@@ -4,13 +4,19 @@
 // under some combination of OPT (Gallager, installed statically), MP
 // (MPDA + IH/AH with Tl/Ts update intervals) and SP (best-successor-only).
 // This header provides the measurement runs and the figure-table printing
-// so each bench body is just its parameter set.
+// so each bench body is just its parameter set. Replicated series run
+// through runner::ExperimentRunner, so seeds fan out across cores
+// (MDR_BENCH_JOBS overrides the worker count; results are identical for
+// any value).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "runner/experiment_runner.h"
 #include "sim/experiment.h"
 #include "sim/network_sim.h"
 #include "topo/builders.h"
@@ -19,22 +25,9 @@
 namespace mdr::bench {
 
 struct FigureSetup {
-  graph::Topology topo;
-  std::vector<topo::FlowSpec> flows;
+  sim::ExperimentSpec spec;
   std::string name;
 };
-
-// Default load scales calibrated so the networks are "sufficiently loaded"
-// (the paper's words): SP concentrates enough traffic for multi-x delay
-// inflation while every scheme remains stable. DESIGN.md §5 documents the
-// calibration (the paper's exact per-flow rates did not survive OCR).
-inline FigureSetup cairn_setup(double scale = 1.15) {
-  return FigureSetup{topo::make_cairn(), topo::cairn_flows(scale), "CAIRN"};
-}
-
-inline FigureSetup net1_setup(double scale = 0.92) {
-  return FigureSetup{topo::make_net1(), topo::net1_flows(scale), "NET1"};
-}
 
 inline sim::SimConfig measurement_config(std::uint64_t seed = 7) {
   sim::SimConfig config;
@@ -45,45 +38,75 @@ inline sim::SimConfig measurement_config(std::uint64_t seed = 7) {
   return config;
 }
 
-/// Seeds used when a series is averaged over independent replications (the
-/// paper plots one run; SP's delays near congestion are noisy enough that
-/// we report the 3-seed mean and note the variance in EXPERIMENTS.md).
-inline std::vector<std::uint64_t> replication_seeds() { return {7, 21, 33}; }
+// Default load scales calibrated so the networks are "sufficiently loaded"
+// (the paper's words): SP concentrates enough traffic for multi-x delay
+// inflation while every scheme remains stable. DESIGN.md §5 documents the
+// calibration (the paper's exact per-flow rates did not survive OCR).
+inline FigureSetup cairn_setup(double scale = 1.15) {
+  return FigureSetup{
+      {topo::make_cairn(), topo::cairn_flows(scale), measurement_config()},
+      "CAIRN"};
+}
 
-/// Per-flow mean delays averaged over replications of `run`.
-template <typename RunFn>
-std::vector<double> averaged_flow_delays(const FigureSetup& s, RunFn run) {
-  std::vector<double> acc(s.flows.size(), 0.0);
-  const auto seeds = replication_seeds();
-  for (const auto seed : seeds) {
-    const auto delays = sim::flow_delays(run(seed));
-    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += delays[i];
+inline FigureSetup net1_setup(double scale = 0.92) {
+  return FigureSetup{
+      {topo::make_net1(), topo::net1_flows(scale), measurement_config()},
+      "NET1"};
+}
+
+/// Replications per measured series. The paper plots one run; we report the
+/// multi-seed mean with a Student-t 95% CI (EXPERIMENTS.md discusses the
+/// variance near congestion).
+inline int replications() { return 5; }
+
+/// Worker threads for the runner: MDR_BENCH_JOBS if set, else one per core.
+inline int bench_jobs() {
+  if (const char* env = std::getenv("MDR_BENCH_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
   }
-  for (double& d : acc) d /= static_cast<double>(seeds.size());
-  return acc;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-/// Packet-level measurement of OPT: Gallager's converged phi installed as
-/// static routing parameters, measured under the same traffic as MP/SP.
-inline sim::SimResult run_opt(const FigureSetup& s, const sim::SimConfig& base,
-                              const sim::OptReference& ref) {
-  return sim::run_with_static_phi(s.topo, s.flows, base, ref.phi);
+/// Runs `spec` under `mode` ("mp" | "sp" | "opt") replications() times in
+/// parallel and aggregates per-flow delays across the derived seeds.
+inline runner::BatchResult replicated(const sim::ExperimentSpec& spec,
+                                      const std::string& mode) {
+  runner::ExperimentRunner runner(
+      runner::Options{bench_jobs(), spec.config.seed});
+  return runner.run_replicated(spec, mode, replications());
 }
 
-inline sim::SimResult run_mp(const FigureSetup& s, sim::SimConfig base,
-                             double tl, double ts) {
-  base.mode = sim::RoutingMode::kMultipath;
-  base.tl = tl;
-  base.ts = ts;
-  return sim::run_simulation(s.topo, s.flows, base);
+inline std::vector<double> aggregate_means(const runner::BatchResult& batch) {
+  std::vector<double> out;
+  out.reserve(batch.flows.size());
+  for (const auto& f : batch.flows) out.push_back(f.mean_delay_s);
+  return out;
 }
 
-inline sim::SimResult run_sp(const FigureSetup& s, sim::SimConfig base,
-                             double tl) {
-  base.mode = sim::RoutingMode::kSinglePath;
-  base.tl = tl;
-  base.ts = tl;  // SP's only knob is the long-term period (paper: SP-TL-xx)
-  return sim::run_simulation(s.topo, s.flows, base);
+inline std::vector<double> aggregate_ci95(const runner::BatchResult& batch) {
+  std::vector<double> out;
+  out.reserve(batch.flows.size());
+  for (const auto& f : batch.flows) out.push_back(f.ci95_delay_s);
+  return out;
+}
+
+/// Config helpers: the same experiment under a different scheme is the same
+/// spec with the timescale knobs adjusted.
+inline sim::ExperimentSpec mp_spec(const sim::ExperimentSpec& base, double tl,
+                                   double ts) {
+  sim::ExperimentSpec spec = base;
+  spec.config.tl = tl;
+  spec.config.ts = ts;
+  return spec;
+}
+
+inline sim::ExperimentSpec sp_spec(const sim::ExperimentSpec& base, double tl) {
+  sim::ExperimentSpec spec = base;
+  spec.config.tl = tl;
+  spec.config.ts = tl;  // SP's only knob is the long-term period (SP-TL-xx)
+  return spec;
 }
 
 inline std::vector<double> envelope(const std::vector<double>& base,

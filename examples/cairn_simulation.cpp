@@ -21,27 +21,25 @@ int main() {
   std::printf("CAIRN: %zu routers, %zu directed links, %zu flows\n\n",
               topo.num_nodes(), topo.num_links(), flows.size());
 
-  sim::SimConfig config;
-  config.duration = 60.0;
-  config.warmup = 10.0;
+  sim::ExperimentSpec spec{topo, flows, {}};
+  spec.config.duration = 60.0;
+  spec.config.warmup = 10.0;
 
   // OPT: solve Gallager's problem at flow level, install the routing
   // parameters, measure in the packet simulator.
-  const auto opt_ref = sim::compute_opt_reference(topo, flows, config.mean_packet_bits);
+  const auto opt_ref = sim::compute_opt_reference(spec);
   std::printf("Gallager OPT: converged=%s after %d iterations, "
               "predicted average delay %.3f ms\n",
               opt_ref.feasible ? "yes" : "NO", opt_ref.iterations,
               opt_ref.average_delay_s * 1e3);
-  const auto opt = sim::run_with_static_phi(topo, flows, config, opt_ref.phi);
+  const auto opt = sim::run_with_static_phi(spec, opt_ref.phi);
 
-  // MP and SP run the live protocol.
-  config.mode = sim::RoutingMode::kMultipath;
-  config.tl = 10;
-  config.ts = 2;
-  const auto mp = sim::run_simulation(topo, flows, config);
-  config.mode = sim::RoutingMode::kSinglePath;
-  config.ts = 10;
-  const auto sp = sim::run_simulation(topo, flows, config);
+  // MP and SP run the live protocol via the shared mode-string entry point.
+  spec.config.tl = 10;
+  spec.config.ts = 2;
+  const auto mp = sim::run_experiment(spec, "mp");
+  spec.config.ts = 10;
+  const auto sp = sim::run_experiment(spec, "sp");
 
   std::puts("\nper-flow mean delays (ms):");
   std::printf("  %-18s %8s %8s %8s %8s\n", "flow", "OPT", "MP", "SP", "SP/MP");

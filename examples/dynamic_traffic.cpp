@@ -28,8 +28,10 @@ Outcome measure(const graph::Topology& topo,
   sim::SimConfig config;
   config.duration = 120.0;
   config.warmup = 15.0;
-  config.bursty = bursty;
-  config.burstiness = {/*mean_on_s=*/5.0, /*mean_off_s=*/5.0};
+  if (bursty) {
+    config.traffic.model = sim::TrafficModel::kOnOff;
+    config.traffic.burstiness = {/*mean_on_s=*/5.0, /*mean_off_s=*/5.0};
+  }
 
   config.mode = sim::RoutingMode::kMultipath;
   config.tl = 10;

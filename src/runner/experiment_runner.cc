@@ -1,0 +1,152 @@
+#include "runner/experiment_runner.h"
+
+#include <cassert>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "runner/pool.h"
+#include "sim/experiment.h"
+
+namespace mdr::runner {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index) {
+  // SplitMix64 over the pair: absorb the index into the base, then run two
+  // finalization rounds. Avalanches every input bit, so neighbouring job
+  // indices land in unrelated regions of the seed space.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (job_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+ExperimentRunner::ExperimentRunner(Options options)
+    : options_(std::move(options)) {}
+
+std::vector<sim::SimResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
+  std::vector<sim::SimResult> results(jobs.size());
+  Pool pool(options_.jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job* job = &jobs[i];
+    sim::SimResult* slot = &results[i];
+    const std::uint64_t seed = derive_seed(options_.base_seed, i);
+    pool.submit([job, slot, seed] {
+      sim::ExperimentSpec spec = job->spec;
+      spec.config.seed = seed;
+      *slot = sim::run_experiment(spec, job->mode);
+    });
+  }
+  pool.wait();
+  return results;
+}
+
+BatchResult ExperimentRunner::run_replicated(const sim::ExperimentSpec& spec,
+                                             const std::string& mode,
+                                             int replications) {
+  assert(replications > 0);
+  std::vector<Job> jobs(static_cast<std::size_t>(replications),
+                        Job{spec, mode});
+  BatchResult batch;
+  batch.mode = mode;
+  batch.base_seed = options_.base_seed;
+  batch.jobs = options_.jobs;
+  batch.runs = run(jobs);
+  batch.flows = aggregate_flows(batch.runs);
+  for (const auto& r : batch.runs) batch.avg_delay_s.add(r.avg_delay_s);
+  return batch;
+}
+
+std::vector<FlowAggregate> aggregate_flows(
+    const std::vector<sim::SimResult>& runs) {
+  std::vector<FlowAggregate> out;
+  if (runs.empty()) return out;
+  const std::size_t num_flows = runs.front().flows.size();
+  // One reservoir of per-seed mean delays per flow.
+  std::vector<Samples> reservoirs(num_flows);
+  for (const auto& run : runs) {
+    assert(run.flows.size() == num_flows);
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      reservoirs[f].add(run.flows[f].mean_delay_s);
+    }
+  }
+  out.reserve(num_flows);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    const auto& first = runs.front().flows[f];
+    OnlineStats stats;
+    for (const double x : reservoirs[f].values()) stats.add(x);
+    FlowAggregate agg;
+    agg.src = first.src;
+    agg.dst = first.dst;
+    agg.offered_bps = first.offered_bps;
+    agg.replications = stats.count();
+    agg.mean_delay_s = stats.mean();
+    agg.stddev_delay_s = stats.stddev();
+    agg.ci95_delay_s = ci95_halfwidth(stats);
+    out.push_back(agg);
+  }
+  return out;
+}
+
+namespace {
+
+// Minimal JSON string escape: node names and labels are plain identifiers,
+// but a scenario path can contain anything.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_results_json(std::ostream& os, const BatchResult& batch,
+                        const std::string& name) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "{\n";
+  os << "  \"name\": \"" << escape(name) << "\",\n";
+  os << "  \"mode\": \"" << escape(batch.mode) << "\",\n";
+  os << "  \"base_seed\": " << batch.base_seed << ",\n";
+  os << "  \"jobs\": " << batch.jobs << ",\n";
+  os << "  \"replications\": " << batch.runs.size() << ",\n";
+  os << "  \"network\": {\n";
+  os << "    \"mean_avg_delay_s\": " << batch.avg_delay_s.mean() << ",\n";
+  os << "    \"stddev_avg_delay_s\": " << batch.avg_delay_s.stddev() << ",\n";
+  os << "    \"ci95_avg_delay_s\": " << ci95_halfwidth(batch.avg_delay_s)
+     << "\n";
+  os << "  },\n";
+  os << "  \"flows\": [\n";
+  for (std::size_t f = 0; f < batch.flows.size(); ++f) {
+    const auto& a = batch.flows[f];
+    os << "    {\"src\": \"" << escape(a.src) << "\", \"dst\": \""
+       << escape(a.dst) << "\", \"offered_bps\": " << a.offered_bps
+       << ", \"replications\": " << a.replications
+       << ", \"mean_delay_s\": " << a.mean_delay_s
+       << ", \"stddev_delay_s\": " << a.stddev_delay_s
+       << ", \"ci95_delay_s\": " << a.ci95_delay_s << "}"
+       << (f + 1 < batch.flows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < batch.runs.size(); ++i) {
+    const auto& r = batch.runs[i];
+    os << "    {\"seed\": " << derive_seed(batch.base_seed, i)
+       << ", \"avg_delay_s\": " << r.avg_delay_s
+       << ", \"delivered\": " << r.delivered << ", \"dropped\": "
+       << (r.dropped_no_route + r.dropped_ttl + r.dropped_queue)
+       << ", \"control_messages\": " << r.control_messages << "}"
+       << (i + 1 < batch.runs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace mdr::runner

@@ -1,0 +1,87 @@
+// Parallel experiment execution: fans a batch of (experiment, mode, seed)
+// jobs across a fixed-size thread pool, with per-job RNG streams derived
+// deterministically from (base_seed, job_index) so aggregated results are
+// bit-identical whether run with 1 worker or N. Aggregates per-flow delays
+// across replications into mean / stddev / 95% CI and can emit the batch as
+// JSON (schema in docs/RUNNER.md).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment_spec.h"
+#include "sim/network_sim.h"
+#include "util/stats.h"
+
+namespace mdr::runner {
+
+/// SplitMix64-style hash of (base_seed, job_index). Distinct indices give
+/// well-separated seeds, independent of thread count and scheduling order.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index);
+
+/// One unit of work: a complete experiment plus the routing scheme to run
+/// it under ("mp" | "sp" | "opt"). The runner overwrites spec.config.seed
+/// with the seed derived from the job's position in the batch.
+struct Job {
+  sim::ExperimentSpec spec;
+  std::string mode = "mp";
+};
+
+struct Options {
+  int jobs = 1;                 ///< worker threads
+  std::uint64_t base_seed = 1;  ///< per-job seeds derive from this
+};
+
+/// Cross-replication statistics for one flow: the per-seed mean delays are
+/// the samples; the confidence interval is Student-t at 95%.
+struct FlowAggregate {
+  std::string src, dst;
+  double offered_bps = 0;
+  std::size_t replications = 0;
+  double mean_delay_s = 0;
+  double stddev_delay_s = 0;
+  double ci95_delay_s = 0;  ///< half-width of the 95% CI of the mean
+};
+
+/// The outcome of a replicated batch, in job-index order.
+struct BatchResult {
+  std::string mode;
+  std::uint64_t base_seed = 0;
+  int jobs = 1;
+  std::vector<sim::SimResult> runs;  ///< by job index (== replication index)
+  std::vector<FlowAggregate> flows;  ///< cross-seed per-flow statistics
+  OnlineStats avg_delay_s;           ///< per-run network averages
+};
+
+/// Per-flow aggregation across runs that share one flow set (samples are
+/// collected into util/stats.h reservoirs, one per flow).
+std::vector<FlowAggregate> aggregate_flows(
+    const std::vector<sim::SimResult>& runs);
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(Options options = {});
+
+  /// Runs every job (job i simulates with seed derive_seed(base_seed, i))
+  /// and returns the results in job order — identical for any jobs count.
+  std::vector<sim::SimResult> run(const std::vector<Job>& jobs);
+
+  /// Replicates one experiment `replications` times under derived seeds and
+  /// aggregates the per-flow delays.
+  BatchResult run_replicated(const sim::ExperimentSpec& spec,
+                             const std::string& mode, int replications);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// Serializes a batch as JSON. `name` labels the experiment (topology or
+/// scenario file). Schema documented in docs/RUNNER.md.
+void write_results_json(std::ostream& os, const BatchResult& batch,
+                        const std::string& name);
+
+}  // namespace mdr::runner

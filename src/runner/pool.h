@@ -1,0 +1,50 @@
+// A fixed-size thread pool over one shared FIFO queue — deliberately no
+// work stealing: every task carries its own output slot, so neither the
+// number of workers nor the scheduling order can affect results, only
+// wall-clock time. Used by runner::ExperimentRunner to fan independent
+// simulations across cores.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdr::runner {
+
+class Pool {
+ public:
+  /// Starts `threads` workers (clamped to at least 1).
+  explicit Pool(int threads);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including from inside a
+  /// running task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every submitted task has finished.
+  void wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< dequeued but not yet finished
+  bool shutting_down_ = false;
+};
+
+}  // namespace mdr::runner

@@ -3,58 +3,70 @@
 #include <cassert>
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
 #include "flow/evaluate.h"
 #include "flow/network.h"
 
 namespace mdr::sim {
 
-OptReference compute_opt_reference(const graph::Topology& topo,
-                                   const std::vector<topo::FlowSpec>& flows,
-                                   double mean_packet_bits,
+OptReference compute_opt_reference(const ExperimentSpec& spec,
                                    const gallager::Options& opt) {
-  const flow::FlowNetwork net(topo, mean_packet_bits);
-  const auto traffic = topo::to_traffic_matrix(topo, flows);
+  const flow::FlowNetwork net(spec.topo, spec.config.mean_packet_bits);
+  const auto traffic = topo::to_traffic_matrix(spec.topo, spec.flows);
   auto result = gallager::minimize(net, traffic, opt);
 
   OptReference ref{std::move(result.phi), {}, result.total_delay_rate,
                    result.average_delay_s, result.feasible, result.iterations};
   const auto assignment = flow::compute_flows(net, traffic, ref.phi);
   const auto delays = flow::commodity_delays(net, ref.phi, assignment.link_flows);
-  for (const auto& f : flows) {
-    const auto src = topo.find_node(f.src);
-    const auto dst = topo.find_node(f.dst);
+  for (const auto& f : spec.flows) {
+    const auto src = spec.topo.find_node(f.src);
+    const auto dst = spec.topo.find_node(f.dst);
     assert(src != graph::kInvalidNode && dst != graph::kInvalidNode);
     ref.flow_delay_s.push_back(delays(src, dst));
   }
   return ref;
 }
 
-SimResult run_with_static_phi(const graph::Topology& topo,
-                              const std::vector<topo::FlowSpec>& flows,
-                              SimConfig config,
+SimResult run_with_static_phi(const ExperimentSpec& spec,
                               const flow::RoutingParameters& phi) {
+  SimConfig config = spec.config;
   config.mode = RoutingMode::kStatic;
   config.static_phi = &phi;
-  return run_simulation(topo, flows, config);
+  return run_simulation(spec.topo, spec.flows, config);
+}
+
+SimResult run_experiment(const ExperimentSpec& spec, const std::string& mode) {
+  assert(mode == "mp" || mode == "sp" || mode == "opt");
+  if (mode == "opt") {
+    const auto ref = compute_opt_reference(spec);
+    return run_with_static_phi(spec, ref.phi);
+  }
+  SimConfig config = spec.config;
+  config.mode =
+      mode == "sp" ? RoutingMode::kSinglePath : RoutingMode::kMultipath;
+  return run_simulation(spec.topo, spec.flows, config);
 }
 
 DelayTable::DelayTable(std::vector<std::string> flow_labels)
     : labels_(std::move(flow_labels)) {}
 
 void DelayTable::add_series(const std::string& name,
-                            const std::vector<double>& delays_s) {
+                            const std::vector<double>& delays_s,
+                            const std::vector<double>& ci95_s) {
   assert(delays_s.size() == labels_.size());
-  series_.emplace_back(name, delays_s);
+  assert(ci95_s.empty() || ci95_s.size() == labels_.size());
+  series_.push_back(Series{name, delays_s, ci95_s});
 }
 
 std::vector<double> DelayTable::ratio(const std::string& num,
                                       const std::string& den) const {
   const std::vector<double>* n = nullptr;
   const std::vector<double>* d = nullptr;
-  for (const auto& [name, values] : series_) {
-    if (name == num) n = &values;
-    if (name == den) d = &values;
+  for (const auto& s : series_) {
+    if (s.name == num) n = &s.values;
+    if (s.name == den) d = &s.values;
   }
   assert(n != nullptr && d != nullptr);
   std::vector<double> out;
@@ -65,17 +77,28 @@ std::vector<double> DelayTable::ratio(const std::string& num,
 }
 
 void DelayTable::print(std::ostream& os, const std::string& title) const {
+  bool any_ci = false;
+  for (const auto& s : series_) any_ci |= !s.ci95.empty();
+  const int cell = any_ci ? 22 : 16;
+
   os << "== " << title << " ==\n";
   os << std::left << std::setw(6) << "flow" << std::setw(18) << "src->dst";
-  for (const auto& [name, values] : series_) {
-    os << std::right << std::setw(16) << name;
+  for (const auto& s : series_) {
+    os << std::right << std::setw(cell) << s.name;
   }
   os << "\n";
   for (std::size_t i = 0; i < labels_.size(); ++i) {
     os << std::left << std::setw(6) << i << std::setw(18) << labels_[i];
     os << std::fixed << std::setprecision(3);
-    for (const auto& [name, values] : series_) {
-      os << std::right << std::setw(13) << values[i] * 1e3 << " ms";
+    for (const auto& s : series_) {
+      if (s.ci95.empty()) {
+        os << std::right << std::setw(cell - 3) << s.values[i] * 1e3 << " ms";
+      } else {
+        std::ostringstream cellText;
+        cellText << std::fixed << std::setprecision(3) << s.values[i] * 1e3
+                 << " ±" << s.ci95[i] * 1e3;
+        os << std::right << std::setw(cell - 3) << cellText.str() << " ms";
+      }
     }
     os << "\n";
   }

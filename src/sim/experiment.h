@@ -11,6 +11,7 @@
 
 #include "flow/phi.h"
 #include "gallager/optimizer.h"
+#include "sim/experiment_spec.h"
 #include "sim/network_sim.h"
 #include "topo/flows.h"
 
@@ -26,16 +27,20 @@ struct OptReference {
   int iterations = 0;
 };
 
-OptReference compute_opt_reference(const graph::Topology& topo,
-                                   const std::vector<topo::FlowSpec>& flows,
-                                   double mean_packet_bits,
+/// Solves Gallager's problem for spec.topo under spec.flows (packet sizes
+/// from spec.config.mean_packet_bits; spec.config is otherwise unused).
+OptReference compute_opt_reference(const ExperimentSpec& spec,
                                    const gallager::Options& opt = {});
 
 /// Runs the packet simulator with OPT's phi installed as static routing.
-SimResult run_with_static_phi(const graph::Topology& topo,
-                              const std::vector<topo::FlowSpec>& flows,
-                              SimConfig config,
+SimResult run_with_static_phi(const ExperimentSpec& spec,
                               const flow::RoutingParameters& phi);
+
+/// Runs an experiment under a named routing scheme: "mp" (MPDA + IH/AH),
+/// "sp" (best successor only) or "opt" (Gallager solved at flow level, then
+/// installed as static routing). This is the entry point the scenario
+/// runner, the figure benches and the parallel runner's jobs all share.
+SimResult run_experiment(const ExperimentSpec& spec, const std::string& mode);
 
 /// Per-flow delay table in the shape of the paper's figures: one row per
 /// flow id, one column per routing scheme, delays in milliseconds.
@@ -43,8 +48,10 @@ class DelayTable {
  public:
   explicit DelayTable(std::vector<std::string> flow_labels);
 
-  /// Adds a column; values are in seconds and rendered in ms.
-  void add_series(const std::string& name, const std::vector<double>& delays_s);
+  /// Adds a column; values are in seconds and rendered in ms. When `ci95_s`
+  /// is given (same length), cells render as "mean ±halfwidth".
+  void add_series(const std::string& name, const std::vector<double>& delays_s,
+                  const std::vector<double>& ci95_s = {});
 
   /// Ratio helper: per-row value of `num` / value of `den` (by column name).
   std::vector<double> ratio(const std::string& num, const std::string& den) const;
@@ -52,8 +59,13 @@ class DelayTable {
   void print(std::ostream& os, const std::string& title) const;
 
  private:
+  struct Series {
+    std::string name;
+    std::vector<double> values;
+    std::vector<double> ci95;  ///< empty, or half-widths per row
+  };
   std::vector<std::string> labels_;
-  std::vector<std::pair<std::string, std::vector<double>>> series_;
+  std::vector<Series> series_;
 };
 
 /// Extracts per-flow mean delays (seconds) from a SimResult, in flow order.

@@ -106,22 +106,20 @@ void NetworkSim::build() {
     shape.mean_packet_bits = config_.mean_packet_bits;
     SimNode* src_node = nodes_[shape.src].get();
     const auto inject = [src_node](Packet p) { src_node->receive(std::move(p)); };
-    auto model = config_.traffic_model;
-    if (config_.bursty && model == SimConfig::TrafficModel::kPoisson) {
-      model = SimConfig::TrafficModel::kOnOff;  // back-compat alias
-    }
-    switch (model) {
-      case SimConfig::TrafficModel::kOnOff:
+    switch (config_.traffic.model) {
+      case TrafficModel::kOnOff:
         onoff_sources_.push_back(std::make_unique<OnOffSource>(
-            events_, shape, config_.burstiness, master_rng_.split(), inject));
+            events_, shape, config_.traffic.burstiness, master_rng_.split(),
+            inject));
         onoff_sources_.back()->run(config_.traffic_start, stop);
         break;
-      case SimConfig::TrafficModel::kParetoOnOff:
+      case TrafficModel::kParetoOnOff:
         pareto_sources_.push_back(std::make_unique<ParetoOnOffSource>(
-            events_, shape, config_.pareto, master_rng_.split(), inject));
+            events_, shape, config_.traffic.pareto, master_rng_.split(),
+            inject));
         pareto_sources_.back()->run(config_.traffic_start, stop);
         break;
-      case SimConfig::TrafficModel::kPoisson:
+      case TrafficModel::kPoisson:
         poisson_sources_.push_back(std::make_unique<PoissonSource>(
             events_, shape, master_rng_.split(), inject));
         poisson_sources_.back()->run(config_.traffic_start, stop);

@@ -21,6 +21,21 @@
 
 namespace mdr::sim {
 
+/// Which arrival process every traffic source uses.
+enum class TrafficModel {
+  kPoisson,      ///< stationary (the paper's Section 5.1 experiments)
+  kOnOff,        ///< exponential bursts (short-term fluctuations)
+  kParetoOnOff,  ///< heavy-tailed bursts (self-similar traffic)
+};
+
+/// The offered-traffic shape: arrival model plus the knobs of the bursty
+/// models (each model reads only its own sub-struct).
+struct TrafficSpec {
+  TrafficModel model = TrafficModel::kPoisson;
+  OnOffSource::Burstiness burstiness{};  ///< kOnOff only
+  ParetoOnOffSource::Shape pareto{};     ///< kParetoOnOff only
+};
+
 struct SimConfig {
   RoutingMode mode = RoutingMode::kMultipath;
   Duration tl = 10.0;
@@ -39,16 +54,7 @@ struct SimConfig {
   bool wrr_forwarding = false;  ///< smooth-WRR phi realization (all modes)
   double queue_limit_bits = 0;  ///< 0 = unbounded
 
-  enum class TrafficModel {
-    kPoisson,      ///< stationary (the paper's Section 5.1 experiments)
-    kOnOff,        ///< exponential bursts (short-term fluctuations)
-    kParetoOnOff,  ///< heavy-tailed bursts (self-similar traffic)
-  };
-  TrafficModel traffic_model = TrafficModel::kPoisson;
-  /// Back-compat alias: true selects kOnOff.
-  bool bursty = false;
-  OnOffSource::Burstiness burstiness{};
-  ParetoOnOffSource::Shape pareto{};
+  TrafficSpec traffic{};  ///< arrival model + burst shape for every source
 
   /// kStatic mode: the routing parameters to install (e.g. OPT's output).
   const flow::RoutingParameters* static_phi = nullptr;

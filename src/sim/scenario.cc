@@ -62,7 +62,8 @@ struct ParseState {
 // One directive; returns false with *error set on failure.
 bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
                      std::string* error) {
-  Scenario& s = state.scenario;
+  Scenario& scenario = state.scenario;
+  ExperimentSpec& s = scenario.spec;
   const std::string& cmd = tokens[0];
   const auto fail = [&](const std::string& why) {
     *error = why;
@@ -138,7 +139,7 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     if (tokens[1] != "mp" && tokens[1] != "sp" && tokens[1] != "opt") {
       return fail("unknown mode: " + tokens[1]);
     }
-    s.mode = tokens[1];
+    scenario.mode = tokens[1];
     return true;
   }
   if (cmd == "estimator") {
@@ -160,20 +161,20 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     std::map<std::string, double> opts;
     std::string bad;
     if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
-    s.config.traffic_model = SimConfig::TrafficModel::kOnOff;
-    if (opts.count("on")) s.config.burstiness.mean_on_s = opts["on"];
-    if (opts.count("off")) s.config.burstiness.mean_off_s = opts["off"];
+    s.config.traffic.model = TrafficModel::kOnOff;
+    if (opts.count("on")) s.config.traffic.burstiness.mean_on_s = opts["on"];
+    if (opts.count("off")) s.config.traffic.burstiness.mean_off_s = opts["off"];
     return true;
   }
   if (cmd == "pareto") {
     std::map<std::string, double> opts;
     std::string bad;
     if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
-    s.config.traffic_model = SimConfig::TrafficModel::kParetoOnOff;
-    if (opts.count("alpha")) s.config.pareto.alpha = opts["alpha"];
-    if (opts.count("on")) s.config.pareto.mean_on_s = opts["on"];
-    if (opts.count("off")) s.config.pareto.mean_off_s = opts["off"];
-    if (s.config.pareto.alpha <= 1.0) {
+    s.config.traffic.model = TrafficModel::kParetoOnOff;
+    if (opts.count("alpha")) s.config.traffic.pareto.alpha = opts["alpha"];
+    if (opts.count("on")) s.config.traffic.pareto.mean_on_s = opts["on"];
+    if (opts.count("off")) s.config.traffic.pareto.mean_off_s = opts["off"];
+    if (s.config.traffic.pareto.alpha <= 1.0) {
       return fail("pareto alpha must exceed 1 (finite mean)");
     }
     return true;
@@ -265,11 +266,11 @@ std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
       return std::nullopt;
     }
   }
-  if (state.scenario.topo.num_nodes() == 0) {
+  if (state.scenario.spec.topo.num_nodes() == 0) {
     if (error != nullptr) *error = "scenario defines no topology";
     return std::nullopt;
   }
-  if (state.scenario.flows.empty()) {
+  if (state.scenario.spec.flows.empty()) {
     if (error != nullptr) *error = "scenario defines no flows";
     return std::nullopt;
   }
@@ -287,15 +288,7 @@ std::optional<Scenario> load_scenario(const std::string& path,
 }
 
 SimResult run_scenario(const Scenario& scenario) {
-  SimConfig config = scenario.config;
-  if (scenario.mode == "opt") {
-    const auto ref = compute_opt_reference(scenario.topo, scenario.flows,
-                                           config.mean_packet_bits);
-    return run_with_static_phi(scenario.topo, scenario.flows, config, ref.phi);
-  }
-  config.mode = scenario.mode == "sp" ? RoutingMode::kSinglePath
-                                      : RoutingMode::kMultipath;
-  return run_simulation(scenario.topo, scenario.flows, config);
+  return run_experiment(scenario.spec, scenario.mode);
 }
 
 }  // namespace mdr::sim

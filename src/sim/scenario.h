@@ -37,18 +37,15 @@
 #include <string>
 #include <vector>
 
-#include "graph/topology.h"
-#include "sim/network_sim.h"
-#include "topo/flows.h"
+#include "sim/experiment_spec.h"
 
 namespace mdr::sim {
 
 struct Scenario {
-  graph::Topology topo;
-  std::vector<topo::FlowSpec> flows;
-  SimConfig config;
+  /// Everything run_experiment() needs: topology, flows and config.
+  ExperimentSpec spec;
   /// "mp", "sp" or "opt". For "opt" the runner must solve Gallager first
-  /// and install the result (config.mode is kStatic with static_phi unset).
+  /// and install the result (spec.config.mode is kStatic, static_phi unset).
   std::string mode = "mp";
 };
 

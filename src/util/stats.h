@@ -61,6 +61,28 @@ class OnlineStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+/// Exact table for the small replication counts experiments actually use
+/// (df <= 30); the normal-approximation 1.96 beyond that.
+inline double student_t95(std::size_t df) {
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
+}
+
+/// Half-width of the 95% confidence interval of the mean of the accumulated
+/// samples: t_{0.975, n-1} * stddev / sqrt(n). Zero for fewer than two
+/// samples (no variance estimate).
+inline double ci95_halfwidth(const OnlineStats& s) {
+  if (s.count() < 2) return 0.0;
+  return student_t95(s.count() - 1) * s.stddev() /
+         std::sqrt(static_cast<double>(s.count()));
+}
+
 /// Exponentially weighted moving average with configurable smoothing factor.
 ///
 /// alpha is the weight of a new sample: value = alpha*x + (1-alpha)*value.

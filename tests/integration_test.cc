@@ -37,11 +37,12 @@ sim::SimConfig quick_config(sim::RoutingMode mode) {
 TEST(Integration, Net1MpBeatsSpAndApproachesOpt) {
   const auto topo = topo::make_net1();
   const auto flows = topo::net1_flows(0.92);
-  const auto ref = sim::compute_opt_reference(topo, flows, 8e3);
+  const sim::ExperimentSpec opt_spec{topo, flows,
+                                     quick_config(sim::RoutingMode::kStatic)};
+  const auto ref = sim::compute_opt_reference(opt_spec);
   ASSERT_TRUE(ref.feasible);
 
-  const auto opt =
-      sim::run_with_static_phi(topo, flows, quick_config(sim::RoutingMode::kStatic), ref.phi);
+  const auto opt = sim::run_with_static_phi(opt_spec, ref.phi);
   const auto mp =
       sim::run_simulation(topo, flows, quick_config(sim::RoutingMode::kMultipath));
   auto sp_config = quick_config(sim::RoutingMode::kSinglePath);
@@ -72,10 +73,11 @@ TEST(Integration, CairnAllFlowsDeliverUnderMp) {
 TEST(Integration, PacketLevelOptMatchesFlowLevelPrediction) {
   const auto topo = topo::make_net1();
   const auto flows = topo::net1_flows(0.8);  // moderate load: M/M/1 regime
-  const auto ref = sim::compute_opt_reference(topo, flows, 8e3);
   auto config = quick_config(sim::RoutingMode::kStatic);
   config.duration = 60;
-  const auto measured = sim::run_with_static_phi(topo, flows, config, ref.phi);
+  const sim::ExperimentSpec spec{topo, flows, config};
+  const auto ref = sim::compute_opt_reference(spec);
+  const auto measured = sim::run_with_static_phi(spec, ref.phi);
   for (std::size_t i = 0; i < flows.size(); ++i) {
     // The flow plane predicts expected per-packet delay from Eq. (1)-(3);
     // the packet plane measures it (plus header overhead): within 20%.
@@ -133,7 +135,7 @@ TEST(Integration, OptReferenceFlowDelaysAreFiniteAndOrdered) {
   for (const bool cairn : {true, false}) {
     const auto topo = cairn ? topo::make_cairn() : topo::make_net1();
     const auto flows = cairn ? topo::cairn_flows(1.15) : topo::net1_flows(0.92);
-    const auto ref = sim::compute_opt_reference(topo, flows, 8e3);
+    const auto ref = sim::compute_opt_reference(sim::ExperimentSpec{topo, flows, {}});
     ASSERT_TRUE(ref.feasible);
     ASSERT_EQ(ref.flow_delay_s.size(), flows.size());
     for (const double d : ref.flow_delay_s) {
@@ -187,7 +189,7 @@ TEST(Integration, BurstyTrafficWidensSpMpGap) {
 
   const auto mp_smooth = sim::run_simulation(topo, flows, mp_cfg);
   const auto sp_smooth = sim::run_simulation(topo, flows, sp_cfg);
-  mp_cfg.bursty = sp_cfg.bursty = true;
+  mp_cfg.traffic.model = sp_cfg.traffic.model = sim::TrafficModel::kOnOff;
   const auto mp_bursty = sim::run_simulation(topo, flows, mp_cfg);
   const auto sp_bursty = sim::run_simulation(topo, flows, sp_cfg);
 
@@ -219,8 +221,8 @@ TEST(Integration, SelfSimilarTrafficStillRoutedLoopFree) {
   const auto topo = topo::make_net1();
   const auto flows = topo::net1_flows(0.5);
   auto config = quick_config(sim::RoutingMode::kMultipath);
-  config.traffic_model = sim::SimConfig::TrafficModel::kParetoOnOff;
-  config.pareto = {1.5, 2.0, 4.0};
+  config.traffic.model = sim::TrafficModel::kParetoOnOff;
+  config.traffic.pareto = {1.5, 2.0, 4.0};
   config.duration = 60;
   config.lfi_check_interval = 0.2;
   const auto result = sim::run_simulation(topo, flows, config);

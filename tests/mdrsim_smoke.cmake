@@ -1,0 +1,51 @@
+# ctest smoke run: drive the mdrsim CLI end to end with a multi-seed batch
+# and verify the --json output actually parses (cmake's string(JSON), 3.19+).
+#
+# Expected definitions (see tests/CMakeLists.txt):
+#   MDRSIM   - path to the mdrsim executable
+#   SCENARIO - path to the scenario file to run
+#   OUTDIR   - writable directory for the JSON result
+
+set(json_path "${OUTDIR}/mdrsim_smoke.json")
+execute_process(
+  COMMAND "${MDRSIM}" "${SCENARIO}" --seeds 2 --jobs 2 --json "${json_path}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "mdrsim exited with ${rc}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+endif()
+
+file(READ "${json_path}" doc)
+
+# string(JSON) raises a fatal error on malformed JSON, so each GET below is
+# itself the parse check.
+string(JSON mode GET "${doc}" mode)
+string(JSON replications GET "${doc}" replications)
+string(JSON jobs GET "${doc}" jobs)
+string(JSON mean GET "${doc}" network mean_avg_delay_s)
+string(JSON nflows LENGTH "${doc}" flows)
+string(JSON nruns LENGTH "${doc}" runs)
+string(JSON run0_seed GET "${doc}" runs 0 seed)
+string(JSON run1_seed GET "${doc}" runs 1 seed)
+
+if(NOT mode STREQUAL "mp")
+  message(FATAL_ERROR "expected mode mp, got '${mode}'")
+endif()
+if(NOT replications EQUAL 2 OR NOT nruns EQUAL 2)
+  message(FATAL_ERROR "expected 2 replications/runs, got ${replications}/${nruns}")
+endif()
+if(NOT jobs EQUAL 2)
+  message(FATAL_ERROR "expected jobs=2, got ${jobs}")
+endif()
+if(nflows LESS 1)
+  message(FATAL_ERROR "expected at least one flow aggregate")
+endif()
+if(run0_seed STREQUAL run1_seed)
+  message(FATAL_ERROR "derived seeds must differ across replications")
+endif()
+if(NOT mean GREATER 0)
+  message(FATAL_ERROR "network mean delay should be positive, got '${mean}'")
+endif()
+
+message(STATUS "mdrsim smoke OK: ${nruns} runs, ${nflows} flows, mean ${mean}s")

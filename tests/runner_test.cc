@@ -1,0 +1,109 @@
+// Unit tests for the multi-seed experiment runner (src/runner/).
+//
+// The load-bearing property is seed determinism: a batch's results depend
+// only on (base_seed, job_index), never on how many worker threads happen
+// to execute it. Workers affect wall-clock, nothing else.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "runner/experiment_runner.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+#include "util/stats.h"
+
+namespace mdr::runner {
+namespace {
+
+sim::ExperimentSpec small_spec() {
+  sim::ExperimentSpec spec{topo::make_net1(), topo::net1_flows(0.6), {}};
+  spec.config.traffic_start = 2;
+  spec.config.warmup = 4;
+  spec.config.duration = 12;
+  spec.config.seed = 17;
+  return spec;
+}
+
+TEST(DeriveSeed, DistinctPerJobIndex) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(derive_seed(/*base_seed=*/1, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  // Different base seeds give different streams for the same index.
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  // The derived seed is not just base + index.
+  EXPECT_NE(derive_seed(1, 1), 2u);
+}
+
+TEST(ExperimentRunner, JobCountDoesNotAffectResults) {
+  const auto spec = small_spec();
+  ExperimentRunner serial(Options{/*jobs=*/1, /*base_seed=*/spec.config.seed});
+  ExperimentRunner wide(Options{/*jobs=*/8, /*base_seed=*/spec.config.seed});
+
+  const auto a = serial.run_replicated(spec, "mp", /*replications=*/4);
+  const auto b = wide.run_replicated(spec, "mp", /*replications=*/4);
+
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    // Bit-identical per run: same derived seed -> same event sequence.
+    EXPECT_EQ(a.runs[i].delivered, b.runs[i].delivered) << "run " << i;
+    EXPECT_EQ(a.runs[i].avg_delay_s, b.runs[i].avg_delay_s) << "run " << i;
+    EXPECT_EQ(a.runs[i].control_messages, b.runs[i].control_messages)
+        << "run " << i;
+  }
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].mean_delay_s, b.flows[i].mean_delay_s);
+    EXPECT_EQ(a.flows[i].ci95_delay_s, b.flows[i].ci95_delay_s);
+  }
+  EXPECT_EQ(a.avg_delay_s.mean(), b.avg_delay_s.mean());
+}
+
+TEST(ExperimentRunner, ReplicationsUseDistinctSeedsAndVary) {
+  const auto spec = small_spec();
+  ExperimentRunner runner(Options{/*jobs=*/2, /*base_seed=*/spec.config.seed});
+  const auto batch = runner.run_replicated(spec, "mp", /*replications=*/3);
+  ASSERT_EQ(batch.runs.size(), 3u);
+  // Different derived seeds produce (at least slightly) different delays.
+  EXPECT_NE(batch.runs[0].avg_delay_s, batch.runs[1].avg_delay_s);
+  EXPECT_GT(batch.avg_delay_s.stddev(), 0.0);
+}
+
+TEST(Aggregation, CiMatchesHandComputedFixture) {
+  // Samples {1,2,3,4,5}: mean 3, sample stddev sqrt(2.5), df=4 -> t=2.776,
+  // half-width = 2.776 * sqrt(2.5)/sqrt(5) = 1.962927...
+  OnlineStats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(ci95_halfwidth(s), 2.776 * std::sqrt(2.5) / std::sqrt(5.0),
+              1e-9);
+  // Degenerate cases: no spread and too-few samples.
+  OnlineStats one;
+  one.add(42.0);
+  EXPECT_EQ(ci95_halfwidth(one), 0.0);
+  EXPECT_DOUBLE_EQ(student_t95(1), 12.706);
+  EXPECT_DOUBLE_EQ(student_t95(1000), 1.96);
+}
+
+TEST(Json, WritesParsableSchema) {
+  const auto spec = small_spec();
+  ExperimentRunner runner(Options{/*jobs=*/2, /*base_seed=*/spec.config.seed});
+  const auto batch = runner.run_replicated(spec, "mp", /*replications=*/2);
+  std::ostringstream out;
+  write_results_json(out, batch, "unit\"test");
+  const std::string json = out.str();
+  // Spot-check structure and escaping (full parse is the ctest smoke run).
+  EXPECT_NE(json.find("\"name\": \"unit\\\"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"mp\""), std::string::npos);
+  EXPECT_NE(json.find("\"replications\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"flows\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"runs\": ["), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+}  // namespace
+}  // namespace mdr::runner

@@ -23,13 +23,13 @@ TEST(ScenarioParser, MinimalCustomTopology) {
   )",
                        &error);
   ASSERT_TRUE(s.has_value()) << error;
-  EXPECT_EQ(s->topo.num_nodes(), 2u);
-  EXPECT_EQ(s->topo.num_links(), 2u);  // duplex
-  const auto id = s->topo.find_link(0, 1);
-  EXPECT_DOUBLE_EQ(s->topo.link(id).attr.capacity_bps, 5e6);
-  EXPECT_DOUBLE_EQ(s->topo.link(id).attr.prop_delay_s, 2e-4);
-  ASSERT_EQ(s->flows.size(), 1u);
-  EXPECT_DOUBLE_EQ(s->flows[0].rate_bps, 1e6);
+  EXPECT_EQ(s->spec.topo.num_nodes(), 2u);
+  EXPECT_EQ(s->spec.topo.num_links(), 2u);  // duplex
+  const auto id = s->spec.topo.find_link(0, 1);
+  EXPECT_DOUBLE_EQ(s->spec.topo.link(id).attr.capacity_bps, 5e6);
+  EXPECT_DOUBLE_EQ(s->spec.topo.link(id).attr.prop_delay_s, 2e-4);
+  ASSERT_EQ(s->spec.flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(s->spec.flows[0].rate_bps, 1e6);
   EXPECT_EQ(s->mode, "mp");
 }
 
@@ -37,13 +37,13 @@ TEST(ScenarioParser, BuiltinTopologiesWithScale) {
   std::string error;
   const auto cairn = parse("topology cairn scale=1.15\n", &error);
   ASSERT_TRUE(cairn.has_value()) << error;
-  EXPECT_EQ(cairn->topo.num_nodes(), 26u);
-  EXPECT_EQ(cairn->flows.size(), 11u);
+  EXPECT_EQ(cairn->spec.topo.num_nodes(), 26u);
+  EXPECT_EQ(cairn->spec.flows.size(), 11u);
 
   const auto net1 = parse("topology net1\n", &error);
   ASSERT_TRUE(net1.has_value()) << error;
-  EXPECT_EQ(net1->topo.num_nodes(), 10u);
-  EXPECT_EQ(net1->flows.size(), 10u);
+  EXPECT_EQ(net1->spec.topo.num_nodes(), 10u);
+  EXPECT_EQ(net1->spec.flows.size(), 10u);
 }
 
 TEST(ScenarioParser, AllKnobs) {
@@ -71,27 +71,27 @@ TEST(ScenarioParser, AllKnobs) {
                        &error);
   ASSERT_TRUE(s.has_value()) << error;
   EXPECT_EQ(s->mode, "sp");
-  EXPECT_DOUBLE_EQ(s->config.tl, 20);
-  EXPECT_DOUBLE_EQ(s->config.ts, 4);
-  EXPECT_DOUBLE_EQ(s->config.duration, 90);
-  EXPECT_DOUBLE_EQ(s->config.warmup, 12);
-  EXPECT_DOUBLE_EQ(s->config.traffic_start, 5);
-  EXPECT_EQ(s->config.seed, 42u);
-  EXPECT_EQ(s->config.estimator, cost::EstimatorKind::kIpa);
-  EXPECT_EQ(s->config.traffic_model, SimConfig::TrafficModel::kOnOff);
-  EXPECT_DOUBLE_EQ(s->config.burstiness.mean_on_s, 2);
-  EXPECT_TRUE(s->config.use_hello);
-  EXPECT_DOUBLE_EQ(s->config.hello.dead_interval, 2);
-  EXPECT_TRUE(s->config.wrr_forwarding);
-  EXPECT_DOUBLE_EQ(s->config.timeseries_interval, 1.5);
-  EXPECT_DOUBLE_EQ(s->config.lfi_check_interval, 0.25);
-  EXPECT_DOUBLE_EQ(s->config.ah_damping, 0.3);
-  EXPECT_DOUBLE_EQ(s->config.mean_packet_bits, 4000);
-  ASSERT_EQ(s->config.link_toggles.size(), 2u);
-  EXPECT_TRUE(s->config.link_toggles[0].silent);
-  EXPECT_FALSE(s->config.link_toggles[0].up);
-  EXPECT_TRUE(s->config.link_toggles[1].up);
-  EXPECT_FALSE(s->config.link_toggles[1].silent);
+  EXPECT_DOUBLE_EQ(s->spec.config.tl, 20);
+  EXPECT_DOUBLE_EQ(s->spec.config.ts, 4);
+  EXPECT_DOUBLE_EQ(s->spec.config.duration, 90);
+  EXPECT_DOUBLE_EQ(s->spec.config.warmup, 12);
+  EXPECT_DOUBLE_EQ(s->spec.config.traffic_start, 5);
+  EXPECT_EQ(s->spec.config.seed, 42u);
+  EXPECT_EQ(s->spec.config.estimator, cost::EstimatorKind::kIpa);
+  EXPECT_EQ(s->spec.config.traffic.model, TrafficModel::kOnOff);
+  EXPECT_DOUBLE_EQ(s->spec.config.traffic.burstiness.mean_on_s, 2);
+  EXPECT_TRUE(s->spec.config.use_hello);
+  EXPECT_DOUBLE_EQ(s->spec.config.hello.dead_interval, 2);
+  EXPECT_TRUE(s->spec.config.wrr_forwarding);
+  EXPECT_DOUBLE_EQ(s->spec.config.timeseries_interval, 1.5);
+  EXPECT_DOUBLE_EQ(s->spec.config.lfi_check_interval, 0.25);
+  EXPECT_DOUBLE_EQ(s->spec.config.ah_damping, 0.3);
+  EXPECT_DOUBLE_EQ(s->spec.config.mean_packet_bits, 4000);
+  ASSERT_EQ(s->spec.config.link_toggles.size(), 2u);
+  EXPECT_TRUE(s->spec.config.link_toggles[0].silent);
+  EXPECT_FALSE(s->spec.config.link_toggles[0].up);
+  EXPECT_TRUE(s->spec.config.link_toggles[1].up);
+  EXPECT_FALSE(s->spec.config.link_toggles[1].silent);
 }
 
 TEST(ScenarioParser, ParetoAndLossDirectives) {
@@ -99,11 +99,11 @@ TEST(ScenarioParser, ParetoAndLossDirectives) {
   const auto s = parse(
       "topology net1\npareto alpha=1.4 on=2 off=8\nloss 0.01\n", &error);
   ASSERT_TRUE(s.has_value()) << error;
-  EXPECT_EQ(s->config.traffic_model, SimConfig::TrafficModel::kParetoOnOff);
-  EXPECT_DOUBLE_EQ(s->config.pareto.alpha, 1.4);
-  EXPECT_DOUBLE_EQ(s->config.pareto.mean_on_s, 2);
-  EXPECT_DOUBLE_EQ(s->config.pareto.mean_off_s, 8);
-  EXPECT_DOUBLE_EQ(s->config.link_loss_rate, 0.01);
+  EXPECT_EQ(s->spec.config.traffic.model, TrafficModel::kParetoOnOff);
+  EXPECT_DOUBLE_EQ(s->spec.config.traffic.pareto.alpha, 1.4);
+  EXPECT_DOUBLE_EQ(s->spec.config.traffic.pareto.mean_on_s, 2);
+  EXPECT_DOUBLE_EQ(s->spec.config.traffic.pareto.mean_off_s, 8);
+  EXPECT_DOUBLE_EQ(s->spec.config.link_loss_rate, 0.01);
 }
 
 TEST(ScenarioParser, CommentsAndBlankLines) {
