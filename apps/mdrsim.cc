@@ -44,17 +44,46 @@ void print_single_run(const mdr::sim::SimResult& result, bool quiet) {
   std::printf("network average delay: %.3f ms over %llu packets\n",
               result.avg_delay_s * 1e3,
               static_cast<unsigned long long>(result.delivered));
-  std::printf("drops: no-route %llu, ttl %llu, queue/link %llu\n",
+  std::printf("drops: no-route %llu, ttl %llu, queue/link %llu, dead %llu\n",
               static_cast<unsigned long long>(result.dropped_no_route),
               static_cast<unsigned long long>(result.dropped_ttl),
-              static_cast<unsigned long long>(result.dropped_queue));
-  std::printf("control plane: %llu messages, %.1f kB\n",
+              static_cast<unsigned long long>(result.dropped_queue),
+              static_cast<unsigned long long>(result.dropped_dead));
+  std::printf("control plane: %llu messages, %.1f kB",
               static_cast<unsigned long long>(result.control_messages),
               result.control_bits / 8e3);
+  if (result.control_garbage > 0) {
+    std::printf(", %llu corrupted rejected",
+                static_cast<unsigned long long>(result.control_garbage));
+  }
+  std::printf("\n");
   if (result.lfi_checks > 0) {
     std::printf("LFI checks: %llu, violations: %llu\n",
                 static_cast<unsigned long long>(result.lfi_checks),
                 static_cast<unsigned long long>(result.lfi_violations));
+  }
+  if (result.monitor.has_value()) {
+    const auto& m = *result.monitor;
+    std::printf(
+        "monitor: %llu checks, %llu forwarding loops, %llu blackholes, "
+        "%llu accounting leaks\n",
+        static_cast<unsigned long long>(m.checks),
+        static_cast<unsigned long long>(m.forwarding_loops),
+        static_cast<unsigned long long>(m.blackholes),
+        static_cast<unsigned long long>(m.accounting_leaks));
+    for (const auto& inc : m.incidents) {
+      if (inc.t_reconverged >= 0) {
+        std::printf(
+            "  incident %-10s crash t=%.2f  recovered t=%.2f  reconverged "
+            "t=%.2f (%.2fs, %llu packets lost)\n",
+            inc.name.c_str(), inc.t_crash, inc.t_recovered, inc.t_reconverged,
+            inc.time_to_reconverge(),
+            static_cast<unsigned long long>(inc.packets_lost));
+      } else {
+        std::printf("  incident %-10s crash t=%.2f  NOT RECONVERGED\n",
+                    inc.name.c_str(), inc.t_crash);
+      }
+    }
   }
   if (!quiet && !result.timeseries.empty()) {
     std::puts("\ntime series (window end, delivered, mean delay ms, drops):");

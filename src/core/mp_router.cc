@@ -16,6 +16,20 @@ MpRouter::MpRouter(NodeId self, std::size_t num_nodes, proto::LsuSink& sink,
       allocated_version_(num_nodes, 0),
       wrr_credits_(num_nodes) {}
 
+void MpRouter::reset() {
+  mpda_.reset();
+  short_costs_.clear();
+  for (auto& entry : table_) entry.clear();
+  for (auto& credits : wrr_credits_) credits.clear();
+  // MPDA bumped the version of every destination it wiped; syncing the
+  // allocated versions here keeps refresh_changed_destinations() a no-op
+  // until real routing state reappears.
+  const auto n = static_cast<NodeId>(table_.size());
+  for (NodeId dest = 0; dest < n; ++dest) {
+    allocated_version_[dest] = mpda_.successor_version(dest);
+  }
+}
+
 void MpRouter::on_link_up(NodeId k, Cost long_term_cost) {
   mpda_.on_link_up(k, long_term_cost);
   refresh_changed_destinations();

@@ -73,6 +73,12 @@ class MpRouter {
   /// Retransmission tick: resend unacknowledged LSUs (lossy transports).
   void retransmit_pending() { mpda_.retransmit_unacked(); }
 
+  /// Crash semantics: wipe ALL routing state — MPDA tables, short-term cost
+  /// estimates, forwarding table, WRR counters — as if the router process
+  /// was restarted from scratch. Adjacencies must be re-announced afterwards
+  /// (on_link_up) once the neighbor protocol re-establishes them.
+  void reset();
+
   // --- forwarding ----------------------------------------------------------
 
   /// Routing parameters toward `dest`; empty when there is no route.

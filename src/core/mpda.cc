@@ -26,15 +26,44 @@ std::size_t MpdaProcess::acks_pending() const {
 }
 
 void MpdaProcess::retransmit_unacked() {
-  for (const auto& [k, msgs] : unacked_) {
+  for (auto& [k, msgs] : unacked_) {
     if (!tables_.is_neighbor(k)) continue;
-    for (const auto& [seq, msg] : msgs) {
-      LsuMessage copy = msg;
+    std::size_t window = 0;
+    for (auto& [seq, pending] : msgs) {
+      if (++window > kRetransmitWindow) break;  // oldest first; rest wait
+      if (pending.cooldown > 0) {
+        --pending.cooldown;
+        continue;
+      }
+      LsuMessage copy = pending.msg;
       copy.ack = false;  // a stale piggybacked ack must not be replayed
       copy.ack_seq = 0;
       send(k, copy);
+      ++pending.attempts;
+      pending.cooldown = std::min(
+          pending.attempts < 6 ? (1u << pending.attempts) - 1 : ~0u,
+          kRetransmitBackoffCap - 1);
     }
   }
+}
+
+void MpdaProcess::reset() {
+  tables_ = proto::RouterTables(tables_.self(), fd_.size());
+  mode_ = Mode::kPassive;
+  next_seq_ = 1;
+  unacked_.clear();
+  last_seen_seq_.clear();
+  full_sync_.clear();
+  std::fill(fd_.begin(), fd_.end(), graph::kInfCost);
+  fd_[tables_.self()] = 0;
+  for (std::size_t j = 0; j < successors_.size(); ++j) {
+    if (!successors_[j].empty()) {
+      successors_[j].clear();
+      ++successor_versions_[j];
+    }
+  }
+  // messages_sent_ is a measurement counter, not protocol state: it keeps
+  // counting across incarnations so run statistics stay conserved.
 }
 
 void MpdaProcess::send(NodeId k, const LsuMessage& msg) {
@@ -54,7 +83,7 @@ void MpdaProcess::on_link_up(NodeId k, Cost cost) {
     LsuMessage msg{self(), /*ack=*/false,
                    tables_.main_topology().as_entries()};
     msg.seq = next_seq_++;
-    unacked_[k][msg.seq] = msg;
+    unacked_[k][msg.seq] = Pending{msg};
     send(k, msg);
     mode_ = Mode::kActive;
   }
@@ -138,7 +167,7 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
                          : changes};
       msg.ack_seq = msg.ack ? outcome.ack_seq : 0;
       msg.seq = next_seq_++;
-      unacked_[k][msg.seq] = msg;
+      unacked_[k][msg.seq] = Pending{msg};
       send(k, msg);
     }
   } else if (outcome.ack_to != graph::kInvalidNode &&

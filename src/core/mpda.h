@@ -76,12 +76,26 @@ class MpdaProcess final : public proto::RoutingProcess {
   Mode mode() const { return mode_; }
   bool passive() const { return mode_ == Mode::kPassive; }
 
-  /// Resends every unacknowledged entries-LSU (reliable flooding). Drive
-  /// this from a periodic timer when the transport can lose messages
-  /// (silent link failures, adjacency races); it is a no-op when nothing is
+  /// Resends unacknowledged entries-LSUs (reliable flooding). Drive this
+  /// from a periodic timer when the transport can lose messages (silent
+  /// link failures, adjacency races); it is a no-op when nothing is
   /// outstanding. Duplicates are detected by sequence number at the
   /// receiver and re-acknowledged without reprocessing.
+  ///
+  /// Two throttles bound the retransmission traffic on badly lossy links:
+  /// per neighbor only the `kRetransmitWindow` oldest outstanding LSUs are
+  /// eligible (newer ones wait — in-order resend keeps the receiver's
+  /// duplicate filter effective), and each LSU backs off exponentially
+  /// (resent on the 1st, 2nd, 4th, 8th, ... eligible tick after first
+  /// transmission, capped at kRetransmitBackoffCap).
   void retransmit_unacked();
+
+  /// The router crashed and rebooted: discard ALL protocol state — topology
+  /// tables, feasible distances, sequence numbers, retransmission buffers,
+  /// successor sets — as a real restart would. Successor versions are
+  /// bumped (not zeroed) so downstream consumers observe the wipe. The host
+  /// re-announces adjacencies afterwards via on_link_up().
+  void reset();
 
   const proto::RouterTables& tables() const { return tables_; }
   graph::NodeId self() const { return tables_.self(); }
@@ -89,10 +103,22 @@ class MpdaProcess final : public proto::RoutingProcess {
   std::size_t messages_sent() const { return messages_sent_; }
   std::size_t acks_pending() const;
 
+  /// Oldest outstanding LSUs eligible for retransmission, per neighbor.
+  static constexpr std::size_t kRetransmitWindow = 8;
+  /// Maximum gap (in retransmit ticks) between successive resends.
+  static constexpr std::uint32_t kRetransmitBackoffCap = 32;
+
  private:
   struct NtuOutcome {
     graph::NodeId ack_to = graph::kInvalidNode;  // entries-LSU to acknowledge
     std::uint32_t ack_seq = 0;                   // its sequence number
+  };
+
+  /// One entry of the retransmission buffer.
+  struct Pending {
+    proto::LsuMessage msg;
+    std::uint32_t attempts = 0;  ///< resends so far
+    std::uint32_t cooldown = 0;  ///< eligible ticks to skip before resending
   };
 
   // Fig. 4 steps 2-8, shared by every event type.
@@ -106,7 +132,7 @@ class MpdaProcess final : public proto::RoutingProcess {
   std::uint32_t next_seq_ = 1;
   /// Entries-LSUs sent but not yet acknowledged, per neighbor and sequence
   /// number; the retransmission buffer of reliable flooding.
-  std::map<graph::NodeId, std::map<std::uint32_t, proto::LsuMessage>> unacked_;
+  std::map<graph::NodeId, std::map<std::uint32_t, Pending>> unacked_;
   /// Highest entries-LSU sequence number seen per neighbor (duplicate filter).
   std::map<graph::NodeId, std::uint32_t> last_seen_seq_;
   std::set<graph::NodeId> full_sync_;  // new neighbors owed the full topology

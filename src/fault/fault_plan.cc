@@ -1,0 +1,93 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <string>
+
+#include "util/rng.h"
+
+namespace mdr::fault {
+
+namespace {
+
+// Picks `count` distinct indices from [0, n) in draw order.
+std::vector<int> pick_distinct(Rng& rng, int n, int count) {
+  assert(count <= n);
+  std::set<int> chosen;
+  std::vector<int> out;
+  while (static_cast<int>(out.size()) < count) {
+    const int x = rng.uniform_int(0, n - 1);
+    if (chosen.insert(x).second) out.push_back(x);
+  }
+  return out;
+}
+
+// Picks `count` distinct duplex links (as directed-link ids with from < to),
+// skipping ids already claimed by an earlier pick.
+std::vector<graph::LinkId> pick_duplex_links(Rng& rng,
+                                             const graph::Topology& topo,
+                                             int count,
+                                             std::set<graph::LinkId>* taken) {
+  std::vector<graph::LinkId> forward;  // one id per physical cable
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    const auto& l = topo.link(id);
+    if (l.from < l.to) forward.push_back(id);
+  }
+  assert(count <= static_cast<int>(forward.size()));
+  std::vector<graph::LinkId> out;
+  while (static_cast<int>(out.size()) < count) {
+    const auto id =
+        forward[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(forward.size()) - 1))];
+    if (taken->insert(id).second) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultPlan make_random_plan(const graph::Topology& topo,
+                           const RandomPlanOptions& opts, std::uint64_t seed) {
+  assert(opts.window_end >= opts.window_start);
+  assert(opts.outage_max >= opts.outage_min);
+  Rng rng(seed);
+  FaultPlan plan;
+
+  for (const int node : pick_distinct(rng, static_cast<int>(topo.num_nodes()),
+                                      opts.crashes)) {
+    const Time at = rng.uniform(opts.window_start, opts.window_end);
+    const Duration outage = rng.uniform(opts.outage_min, opts.outage_max);
+    const std::string name(topo.name(static_cast<graph::NodeId>(node)));
+    plan.crashes.push_back(NodeEvent{at, name});
+    plan.recoveries.push_back(NodeEvent{at + outage, name});
+  }
+
+  std::set<graph::LinkId> taken;
+  for (const auto id :
+       pick_duplex_links(rng, topo, opts.flapping_links, &taken)) {
+    const auto& l = topo.link(id);
+    LinkFlap flap = opts.flap_shape;
+    flap.a = std::string(topo.name(l.from));
+    flap.b = std::string(topo.name(l.to));
+    plan.flaps.push_back(std::move(flap));
+  }
+  for (const auto id :
+       pick_duplex_links(rng, topo, opts.gilbert_links, &taken)) {
+    const auto& l = topo.link(id);
+    plan.gilbert.push_back(LinkGilbert{std::string(topo.name(l.from)),
+                                       std::string(topo.name(l.to)),
+                                       opts.gilbert});
+  }
+
+  // Stable order regardless of draw order, so plans diff cleanly.
+  const auto by_time = [](const NodeEvent& x, const NodeEvent& y) {
+    return x.at != y.at ? x.at < y.at : x.node < y.node;
+  };
+  std::sort(plan.crashes.begin(), plan.crashes.end(), by_time);
+  std::sort(plan.recoveries.begin(), plan.recoveries.end(), by_time);
+  return plan;
+}
+
+}  // namespace mdr::fault

@@ -1,0 +1,108 @@
+// Fault models: a deterministic, seeded description of everything unkind
+// that happens to the network during a run.
+//
+// A FaultPlan composes
+//   * node crash/recover events (the router loses ALL protocol state —
+//     topology tables, feasible distances, sequence numbers, adjacencies —
+//     and must re-handshake from scratch when it reboots),
+//   * periodic link flapping (a link that cycles up/down on a duty cycle,
+//     always silently: only the hello protocol can track it),
+//   * Gilbert–Elliott bursty loss on chosen links (fault/gilbert.h), and
+//   * control-plane chaos knobs: corruption (random bit flips in control
+//     payloads — codecs must reject or survive them), duplication and
+//     reordering of control packets.
+//
+// Plans are plain data resolved by node/link *names*, so they slot into
+// SimConfig next to the existing LinkToggle schedule and can be written by
+// hand, parsed from scenario directives (crash / recover / flap / gilbert /
+// corrupt / duplicate / reorder), or generated pseudo-randomly from a seed
+// (make_random_plan) for chaos property tests and benches. Everything
+// downstream of the seed is deterministic: two runs of the same plan under
+// the same SimConfig seed produce bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/gilbert.h"
+#include "graph/topology.h"
+#include "util/time.h"
+
+namespace mdr::fault {
+
+/// One node lifecycle event (crash or recover), by router name.
+struct NodeEvent {
+  Time at = 0;
+  std::string node;
+};
+
+/// Periodic flapping of one duplex link: from `start`, each `period` begins
+/// with the link up for `duty * period` seconds, then down for the rest.
+/// The last cycle ending at or before `stop` leaves the link up. Flaps are
+/// silent — neither endpoint gets a physical-layer notification.
+struct LinkFlap {
+  std::string a, b;
+  Duration period = 4.0;
+  double duty = 0.5;  ///< fraction of each period the link is up, in (0, 1)
+  Time start = 0;
+  Time stop = kTimeInfinity;
+};
+
+/// Gilbert–Elliott bursty loss on one duplex link (both directions run
+/// independent chains with the same parameters).
+struct LinkGilbert {
+  std::string a, b;
+  GilbertParams params;
+};
+
+/// Control-plane chaos applied on every link (data packets are untouched).
+struct ControlChaos {
+  double corrupt_rate = 0;    ///< P(flip one random payload bit)
+  double duplicate_rate = 0;  ///< P(deliver a second copy)
+  double reorder_rate = 0;    ///< P(extra propagation delay -> reordering)
+
+  bool any() const {
+    return corrupt_rate > 0 || duplicate_rate > 0 || reorder_rate > 0;
+  }
+};
+
+struct FaultPlan {
+  std::vector<NodeEvent> crashes;
+  std::vector<NodeEvent> recoveries;
+  std::vector<LinkFlap> flaps;
+  std::vector<LinkGilbert> gilbert;
+  ControlChaos chaos;
+
+  bool empty() const {
+    return crashes.empty() && recoveries.empty() && flaps.empty() &&
+           gilbert.empty() && !chaos.any();
+  }
+
+  /// True when the plan contains faults only the hello protocol can detect
+  /// (crashes and flaps are silent by construction).
+  bool needs_hello() const { return !crashes.empty() || !flaps.empty(); }
+};
+
+/// Shape of a pseudo-random chaos schedule (make_random_plan).
+struct RandomPlanOptions {
+  int crashes = 3;            ///< distinct routers crashed once each
+  int flapping_links = 2;     ///< distinct duplex links that flap
+  int gilbert_links = 2;      ///< distinct duplex links with bursty loss
+  Time window_start = 8.0;    ///< crashes begin no earlier than this
+  Time window_end = 25.0;     ///< crashes begin no later than this
+  Duration outage_min = 2.0;  ///< crash-to-recover dwell, lower bound
+  Duration outage_max = 5.0;  ///< crash-to-recover dwell, upper bound
+  LinkFlap flap_shape{"", "", 4.0, 0.5, 8.0, 30.0};  ///< period/duty/window
+  GilbertParams gilbert{0.05, 0.3, 0.3, 0.0};        ///< per chosen link
+};
+
+/// Draws a deterministic chaos schedule for `topo` from `seed`: `crashes`
+/// distinct routers crash once inside the window and recover after a random
+/// dwell, `flapping_links` distinct duplex links flap with the given shape,
+/// and `gilbert_links` further distinct links get bursty loss. The same
+/// (topo, opts, seed) always yields the same plan.
+FaultPlan make_random_plan(const graph::Topology& topo,
+                           const RandomPlanOptions& opts, std::uint64_t seed);
+
+}  // namespace mdr::fault

@@ -1,0 +1,22 @@
+#include "fault/gilbert.h"
+
+namespace mdr::fault {
+
+double GilbertParams::stationary_loss() const {
+  const double denom = p_good_bad + p_bad_good;
+  if (denom <= 0) return loss_good;  // absorbing GOOD state
+  const double pi_bad = p_good_bad / denom;
+  return pi_bad * loss_bad + (1 - pi_bad) * loss_good;
+}
+
+bool GilbertChannel::lose(Rng& rng) {
+  const bool lost = rng.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
+  if (bad_) {
+    if (rng.bernoulli(params_.p_bad_good)) bad_ = false;
+  } else {
+    if (rng.bernoulli(params_.p_good_bad)) bad_ = true;
+  }
+  return lost;
+}
+
+}  // namespace mdr::fault

@@ -1,0 +1,46 @@
+// Gilbert–Elliott two-state bursty loss channel.
+//
+// The classic burst-loss model: the channel is a two-state Markov chain
+// (GOOD / BAD) stepped once per packet; each state drops packets with its
+// own probability. Unlike i.i.d. Bernoulli loss, losses cluster into bursts
+// whose mean length is 1 / p_bad_good packets — the regime that actually
+// stresses retransmission machinery, because consecutive retransmissions of
+// the same LSU can all die inside one bad period.
+#pragma once
+
+#include "util/rng.h"
+
+namespace mdr::fault {
+
+/// Parameters of one Gilbert–Elliott channel. Defaults disable the model.
+struct GilbertParams {
+  double p_good_bad = 0;  ///< per-packet P(GOOD -> BAD)
+  double p_bad_good = 1;  ///< per-packet P(BAD -> GOOD)
+  double loss_bad = 0;    ///< drop probability while BAD
+  double loss_good = 0;   ///< drop probability while GOOD (usually 0)
+
+  bool enabled() const { return loss_bad > 0 || loss_good > 0; }
+
+  /// Stationary loss rate of the chain (sanity checks and tests).
+  double stationary_loss() const;
+};
+
+/// The chain itself: one instance per (directed) link, stepped per packet.
+class GilbertChannel {
+ public:
+  explicit GilbertChannel(GilbertParams params) : params_(params) {}
+
+  /// Advances the chain one packet and decides this packet's fate.
+  /// The loss draw uses the state the packet sees; the transition happens
+  /// after, so a burst begins with the first packet drawn in BAD.
+  bool lose(Rng& rng);
+
+  bool bad() const { return bad_; }
+  const GilbertParams& params() const { return params_; }
+
+ private:
+  GilbertParams params_;
+  bool bad_ = false;  ///< chain starts GOOD
+};
+
+}  // namespace mdr::fault

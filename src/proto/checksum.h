@@ -1,0 +1,28 @@
+// Control-message checksum.
+//
+// The structural checks in the codecs (lengths, ranges, enum values) catch
+// truncation and wildly malformed buffers, but a single bit flip inside a
+// sequence number or a cost mantissa produces a perfectly well-formed
+// message with wrong content — and an inflated sequence number poisons the
+// receiver's staleness filter so every later *genuine* update from that
+// origin is discarded. Every control message therefore carries a 32-bit
+// FNV-1a checksum trailer; decode recomputes it and rejects mismatches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mdr::proto {
+
+/// 32-bit FNV-1a over a byte span. Not cryptographic — it defends against
+/// random corruption (any single bit flip changes the digest), not forgery.
+inline std::uint32_t checksum32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+}  // namespace mdr::proto

@@ -3,27 +3,36 @@
 #include <algorithm>
 #include <cassert>
 
+#include "proto/checksum.h"
+
 namespace mdr::proto {
 
 std::vector<std::uint8_t> encode_hello(const HelloMessage& msg) {
   std::vector<std::uint8_t> out;
-  out.reserve(5 + 4 * msg.heard.size());
+  out.reserve(13 + 4 * msg.heard.size());
   const auto put_u32 = [&out](std::uint32_t v) {
     for (int i = 0; i < 4; ++i) {
       out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
     }
   };
   put_u32(static_cast<std::uint32_t>(msg.sender));
+  put_u32(msg.generation);
   assert(msg.heard.size() <= 255);
   out.push_back(static_cast<std::uint8_t>(msg.heard.size()));
   for (const graph::NodeId id : msg.heard) {
     put_u32(static_cast<std::uint32_t>(id));
   }
+  put_u32(checksum32(out));
   return out;
 }
 
 std::optional<HelloMessage> decode_hello(std::span<const std::uint8_t> wire) {
-  if (wire.size() < 5) return std::nullopt;
+  // Validate the total length before reading anything: the count byte fully
+  // determines the size, so truncated or length-lying buffers are rejected
+  // up front and no loop below can over-read. The checksum trailer catches
+  // what structure can't: in-range bit flips (e.g. inside the generation).
+  if (wire.size() < 13) return std::nullopt;
+  const auto body = wire.first(wire.size() - 4);
   const auto get_u32 = [&wire](std::size_t at) {
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i) {
@@ -31,13 +40,18 @@ std::optional<HelloMessage> decode_hello(std::span<const std::uint8_t> wire) {
     }
     return v;
   };
+  if (get_u32(body.size()) != checksum32(body)) return std::nullopt;
   HelloMessage msg;
   msg.sender = static_cast<graph::NodeId>(get_u32(0));
-  const std::size_t count = wire[4];
-  if (wire.size() != 5 + 4 * count) return std::nullopt;
+  if (msg.sender < 0) return std::nullopt;  // corrupted id
+  msg.generation = get_u32(4);
+  const std::size_t count = wire[8];
+  if (body.size() != 9 + 4 * count) return std::nullopt;
   msg.heard.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    msg.heard.push_back(static_cast<graph::NodeId>(get_u32(5 + 4 * i)));
+    const auto id = static_cast<graph::NodeId>(get_u32(9 + 4 * i));
+    if (id < 0) return std::nullopt;
+    msg.heard.push_back(id);
   }
   return msg;
 }
@@ -47,6 +61,13 @@ HelloProtocol::HelloProtocol(graph::NodeId self, Options options,
     : self_(self), options_(options), callbacks_(std::move(callbacks)) {
   assert(options_.interval > 0);
   assert(options_.dead_interval > options_.interval);
+}
+
+void HelloProtocol::restart(std::uint32_t generation) {
+  // No adjacency_down callbacks: the host has already discarded its routing
+  // state wholesale; peers learn of the reboot from the generation bump.
+  generation_ = generation;
+  peers_.clear();
 }
 
 void HelloProtocol::physical_up(graph::NodeId k) {
@@ -65,6 +86,14 @@ void HelloProtocol::on_hello(const HelloMessage& msg, Time now) {
   const auto it = peers_.find(msg.sender);
   if (it == peers_.end()) return;  // no physical link: stray datagram
   Peer& peer = it->second;
+  if (peer.generation_known && peer.generation != msg.generation) {
+    // The peer rebooted and lost all state. Tear the adjacency down (so the
+    // routing layer flushes its per-neighbor state) and treat this hello as
+    // the first from a brand-new peer; the 2-way check below re-establishes.
+    drop(msg.sender, peer);
+  }
+  peer.generation = msg.generation;
+  peer.generation_known = true;
   peer.heard = true;
   peer.last_heard = now;
   const bool sees_us =
@@ -93,6 +122,7 @@ void HelloProtocol::tick(Time now) {
   }
   HelloMessage msg;
   msg.sender = self_;
+  msg.generation = generation_;
   msg.heard = heard_neighbors();
   for (const auto& [k, peer] : peers_) {
     if (callbacks_.send_hello) callbacks_.send_hello(k, msg);

@@ -11,7 +11,16 @@
 //     the routing process may exchange LSUs with k;
 //   * an adjacency (or a half-open peer) expires after dead_interval
 //     without Hellos — this catches *silent* failures the physical layer
-//     never signals.
+//     never signals;
+//   * every Hello carries the sender's boot *generation*. A peer whose
+//     generation changes has rebooted and lost all protocol state: the
+//     adjacency is torn down immediately (flushing the routing layer's
+//     per-neighbor state — sequence numbers, retransmission buffers) and
+//     re-established through a fresh 2-way check, which triggers a full
+//     topology resync. This catches reboots *faster than the dead
+//     interval*, which silence-based detection alone would miss — the peer
+//     would otherwise keep discarding the reborn router's "old" sequence
+//     numbers forever.
 //
 // The protocol is transport-agnostic: the host wires the callbacks to its
 // link layer and calls tick() every `interval` seconds.
@@ -31,9 +40,11 @@ namespace mdr::proto {
 
 struct HelloMessage {
   graph::NodeId sender = graph::kInvalidNode;
+  std::uint32_t generation = 0;      ///< sender's boot incarnation
   std::vector<graph::NodeId> heard;  ///< neighbors the sender currently hears
 
-  std::size_t wire_size_bits() const { return 8 * (5 + 4 * heard.size()); }
+  /// sender u32, generation u32, count u8, ids, checksum u32.
+  std::size_t wire_size_bits() const { return 8 * (13 + 4 * heard.size()); }
   friend bool operator==(const HelloMessage&, const HelloMessage&) = default;
 };
 
@@ -58,6 +69,12 @@ class HelloProtocol {
 
   HelloProtocol(graph::NodeId self, Options options, Callbacks callbacks);
 
+  /// This router rebooted with all state lost: forget every peer and start
+  /// advertising the new generation. The host must re-announce its physical
+  /// links (physical_up) afterwards; peers detect the generation change and
+  /// tear down / re-establish their side.
+  void restart(std::uint32_t generation);
+
   /// The physical link toward k is up; begin soliciting it.
   void physical_up(graph::NodeId k);
 
@@ -74,12 +91,15 @@ class HelloProtocol {
   bool adjacent(graph::NodeId k) const;
   std::vector<graph::NodeId> heard_neighbors() const;
   const Options& options() const { return options_; }
+  std::uint32_t generation() const { return generation_; }
 
  private:
   struct Peer {
     bool heard = false;    ///< 1-way: their hellos reach us
     bool two_way = false;  ///< adjacency: they also list us
     Time last_heard = 0;
+    std::uint32_t generation = 0;  ///< last seen boot incarnation
+    bool generation_known = false;
   };
 
   void drop(graph::NodeId k, Peer& peer);
@@ -87,6 +107,7 @@ class HelloProtocol {
   graph::NodeId self_;
   Options options_;
   Callbacks callbacks_;
+  std::uint32_t generation_ = 0;
   std::map<graph::NodeId, Peer> peers_;
 };
 

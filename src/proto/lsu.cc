@@ -1,7 +1,10 @@
 #include "proto/lsu.h"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
+
+#include "proto/checksum.h"
 
 namespace mdr::proto {
 
@@ -9,6 +12,7 @@ namespace {
 
 constexpr std::size_t kHeaderBytes = 4 + 1 + 4 + 4 + 2;  // sender, flags, ack_seq, seq, count
 constexpr std::size_t kEntryBytes = 4 + 4 + 8 + 1;
+constexpr std::size_t kTrailerBytes = 4;  // FNV-1a checksum (see checksum.h)
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -68,12 +72,12 @@ class Reader {
 }  // namespace
 
 std::size_t LsuMessage::wire_size_bits() const {
-  return 8 * (kHeaderBytes + kEntryBytes * entries.size());
+  return 8 * (kHeaderBytes + kEntryBytes * entries.size() + kTrailerBytes);
 }
 
 std::vector<std::uint8_t> encode(const LsuMessage& msg) {
   std::vector<std::uint8_t> out;
-  out.reserve(kHeaderBytes + kEntryBytes * msg.entries.size());
+  out.reserve(kHeaderBytes + kEntryBytes * msg.entries.size() + kTrailerBytes);
   put_u32(out, static_cast<std::uint32_t>(msg.sender));
   out.push_back(msg.ack ? 1 : 0);
   put_u32(out, msg.ack_seq);
@@ -85,11 +89,22 @@ std::vector<std::uint8_t> encode(const LsuMessage& msg) {
     put_f64(out, e.cost);
     out.push_back(static_cast<std::uint8_t>(e.op));
   }
+  put_u32(out, checksum32(out));
   return out;
 }
 
 std::optional<LsuMessage> decode(std::span<const std::uint8_t> wire) {
-  Reader r(wire);
+  // Checksum first: structural checks below cannot catch an in-range bit
+  // flip (e.g. inside seq, which would poison the staleness filter).
+  if (wire.size() < kHeaderBytes + kTrailerBytes) return std::nullopt;
+  const auto body = wire.first(wire.size() - kTrailerBytes);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(wire[body.size() + i]) << (8 * i);
+  }
+  if (stored != checksum32(body)) return std::nullopt;
+
+  Reader r(body);
   LsuMessage msg;
   std::uint32_t sender = 0;
   std::uint8_t flags = 0;
@@ -99,7 +114,12 @@ std::optional<LsuMessage> decode(std::span<const std::uint8_t> wire) {
     return std::nullopt;
   }
   if (flags > 1) return std::nullopt;
+  // The count fully determines the message size; validate it before
+  // reserving so a length-lying header can neither over-allocate nor leave
+  // trailing garbage accepted.
+  if (body.size() != kHeaderBytes + kEntryBytes * count) return std::nullopt;
   msg.sender = static_cast<graph::NodeId>(sender);
+  if (msg.sender < 0) return std::nullopt;  // corrupted id
   msg.ack = flags == 1;
   msg.entries.reserve(count);
   for (std::uint16_t i = 0; i < count; ++i) {
@@ -112,6 +132,11 @@ std::optional<LsuMessage> decode(std::span<const std::uint8_t> wire) {
     if (op > static_cast<std::uint8_t>(LsuOp::kDelete)) return std::nullopt;
     e.head = static_cast<graph::NodeId>(head);
     e.tail = static_cast<graph::NodeId>(tail);
+    if (e.head < 0 || e.tail < 0) return std::nullopt;
+    // Costs are nonnegative finite numbers or kInfCost (a deleted link);
+    // NaN or negative values can only come from corruption and would poison
+    // every distance computation downstream.
+    if (std::isnan(e.cost) || e.cost < 0) return std::nullopt;
     e.op = static_cast<LsuOp>(op);
     msg.entries.push_back(e);
   }

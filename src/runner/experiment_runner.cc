@@ -141,9 +141,13 @@ void write_results_json(std::ostream& os, const BatchResult& batch,
     os << "    {\"seed\": " << derive_seed(batch.base_seed, i)
        << ", \"avg_delay_s\": " << r.avg_delay_s
        << ", \"delivered\": " << r.delivered << ", \"dropped\": "
-       << (r.dropped_no_route + r.dropped_ttl + r.dropped_queue)
-       << ", \"control_messages\": " << r.control_messages << "}"
-       << (i + 1 < batch.runs.size() ? "," : "") << "\n";
+       << (r.dropped_no_route + r.dropped_ttl + r.dropped_queue +
+           r.dropped_dead)
+       << ", \"control_messages\": " << r.control_messages;
+    if (r.monitor.has_value()) {
+      os << ", \"monitor\": " << sim::monitor_report_json(*r.monitor);
+    }
+    os << "}" << (i + 1 < batch.runs.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
   os << "}\n";

@@ -13,6 +13,7 @@ SimLink::SimLink(EventQueue& events, graph::LinkAttr attr,
       deliver_(std::move(deliver)),
       options_(options),
       rng_(rng),
+      gilbert_(options.gilbert),
       short_estimator_(cost::make_estimator(estimator_kind, attr.capacity_bps,
                                             attr.prop_delay_s,
                                             mean_packet_bits)),
@@ -25,6 +26,7 @@ SimLink::SimLink(EventQueue& events, graph::LinkAttr attr,
 bool SimLink::enqueue(Packet packet) {
   if (!up_) {
     ++drops_;
+    if (packet.kind == Packet::Kind::kData) ++data_dropped_;
     return false;
   }
   const bool starts_busy_period =
@@ -33,6 +35,7 @@ bool SimLink::enqueue(Packet packet) {
       options_.queue_limit_bits > 0 &&
       queued_bits_ + packet.size_bits > options_.queue_limit_bits) {
     ++drops_;
+    ++data_dropped_;
     return false;
   }
   queued_bits_ += packet.size_bits;
@@ -95,17 +98,51 @@ void SimLink::finish_transmission() {
     data_bits_ += obs.size_bits;
   }
 
-  if (options_.loss_rate > 0 && rng_.bernoulli(options_.loss_rate)) {
+  // Both loss processes are always evaluated (no short-circuit): the
+  // Gilbert–Elliott chain must step on every packet to keep its burst
+  // structure, whatever the i.i.d. draw said.
+  bool lost = options_.loss_rate > 0 && rng_.bernoulli(options_.loss_rate);
+  if (options_.gilbert.enabled() && gilbert_.lose(rng_)) lost = true;
+  if (lost) {
     ++drops_;  // corrupted on the wire
+    if (q.packet.kind == Packet::Kind::kData) ++data_dropped_;
   } else {
-    const std::uint64_t epoch = epoch_;
-    events_->schedule_in(attr_.prop_delay_s,
-                         [this, epoch, packet = std::move(q.packet)]() mutable {
-                           if (epoch == epoch_) deliver_(std::move(packet));
-                         });
+    const bool control = q.packet.kind == Packet::Kind::kControl;
+    Duration delay = attr_.prop_delay_s;
+    if (control && options_.reorder_rate > 0 &&
+        rng_.bernoulli(options_.reorder_rate)) {
+      // Enough extra latency that packets transmitted later routinely
+      // overtake this one.
+      delay += attr_.prop_delay_s * rng_.uniform(1.0, 4.0);
+    }
+    if (control && options_.corrupt_rate > 0 &&
+        rng_.bernoulli(options_.corrupt_rate) && !q.packet.payload.empty()) {
+      const auto bit = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<int>(q.packet.payload.size()) * 8 - 1));
+      q.packet.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    if (control && options_.duplicate_rate > 0 &&
+        rng_.bernoulli(options_.duplicate_rate)) {
+      schedule_delivery(q.packet, delay);
+    }
+    schedule_delivery(std::move(q.packet), delay);
   }
 
   if (!control_queue_.empty() || !data_queue_.empty()) start_transmission();
+}
+
+void SimLink::schedule_delivery(Packet packet, Duration delay) {
+  const std::uint64_t epoch = epoch_;
+  ++(packet.kind == Packet::Kind::kData ? in_flight_data_
+                                        : in_flight_control_);
+  events_->schedule_in(delay,
+                       [this, epoch, packet = std::move(packet)]() mutable {
+                         if (epoch != epoch_) return;  // link failed en route
+                         --(packet.kind == Packet::Kind::kData
+                                ? in_flight_data_
+                                : in_flight_control_);
+                         deliver_(std::move(packet));
+                       });
 }
 
 void SimLink::set_up(bool up) {
@@ -113,9 +150,15 @@ void SimLink::set_up(bool up) {
   up_ = up;
   if (!up) {
     // Everything queued or in flight is lost; outstanding completion and
-    // delivery events are invalidated by the epoch bump.
+    // delivery events are invalidated by the epoch bump. Packets already
+    // propagating count as drops too — otherwise they leak out of the
+    // conservation ledger (injected == delivered + dropped + in transit).
+    data_dropped_ += queued_data_packets() + in_flight_data_;
     drops_ += control_queue_.size() + data_queue_.size() +
-              (in_service_.has_value() ? 1 : 0);
+              (in_service_.has_value() ? 1 : 0) + in_flight_data_ +
+              in_flight_control_;
+    in_flight_data_ = 0;
+    in_flight_control_ = 0;
     control_queue_.clear();
     data_queue_.clear();
     in_service_.reset();

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "cost/estimators.h"
+#include "fault/gilbert.h"
 #include "graph/topology.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
@@ -29,6 +30,16 @@ class SimLink {
     /// (a noisy medium). Control traffic is equally affected — MPDA's
     /// retransmission machinery is what keeps routing correct under loss.
     double loss_rate = 0;
+    /// Gilbert–Elliott bursty loss (fault/gilbert.h), composed with
+    /// loss_rate: a packet is lost when either process says so. The chain
+    /// is stepped for every packet regardless of the i.i.d. outcome.
+    fault::GilbertParams gilbert;
+    /// Control-plane chaos (fault::ControlChaos semantics). Applied to
+    /// control packets only, after a successful transmission; data packets
+    /// are never corrupted, duplicated or reordered.
+    double corrupt_rate = 0;    ///< P(flip one random payload bit)
+    double duplicate_rate = 0;  ///< P(deliver a second copy)
+    double reorder_rate = 0;    ///< P(extra propagation delay -> reorder)
   };
 
   SimLink(EventQueue& events, graph::LinkAttr attr,
@@ -65,6 +76,20 @@ class SimLink {
   double data_bits() const { return data_bits_; }
   double control_bits() const { return control_bits_; }
   std::uint64_t drops() const { return drops_; }
+  /// Data packets dropped on this link, from any cause (full queue, wire
+  /// loss, link failure flushing the queue or the propagation pipe). Part
+  /// of the monitor's packet-conservation ledger.
+  std::uint64_t data_dropped() const { return data_dropped_; }
+  /// Data packets currently queued or in service (not yet on the wire).
+  std::uint64_t queued_data_packets() const {
+    return data_queue_.size() +
+           (in_service_.has_value() &&
+                    in_service_->packet.kind == Packet::Kind::kData
+                ? 1
+                : 0);
+  }
+  /// Data packets transmitted and currently propagating toward the far end.
+  std::uint64_t in_flight_data_packets() const { return in_flight_data_; }
   double utilization_estimate(Time horizon) const {
     return horizon > 0 ? busy_time_ / horizon : 0;
   }
@@ -72,12 +97,14 @@ class SimLink {
  private:
   void start_transmission();
   void finish_transmission();
+  void schedule_delivery(Packet packet, Duration delay);
 
   EventQueue* events_;
   graph::LinkAttr attr_;
   DeliverFn deliver_;
   Options options_;
   Rng rng_;
+  fault::GilbertChannel gilbert_;
 
   struct Queued {
     Packet packet;
@@ -101,6 +128,9 @@ class SimLink {
   double data_bits_ = 0;
   double control_bits_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t data_dropped_ = 0;
+  std::uint64_t in_flight_data_ = 0;     ///< propagating data packets
+  std::uint64_t in_flight_control_ = 0;  ///< propagating control packets
   double busy_time_ = 0;
 };
 

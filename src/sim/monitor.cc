@@ -1,0 +1,216 @@
+#include "sim/monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/log.h"
+
+namespace mdr::sim {
+
+using graph::LinkId;
+using graph::NodeId;
+
+InvariantMonitor::InvariantMonitor(const graph::Topology& topo,
+                                   MonitorHooks hooks)
+    : topo_(&topo), hooks_(std::move(hooks)) {}
+
+void InvariantMonitor::on_crash(NodeId node, Time now) {
+  Incident inc;
+  inc.node = node;
+  inc.name = std::string(topo_->name(node));
+  inc.t_crash = now;
+  report_.incidents.push_back(std::move(inc));
+  dropped_at_crash_.push_back(hooks_.accounting().dropped);
+}
+
+void InvariantMonitor::on_recover(NodeId node, Time now) {
+  // Close the most recent still-open incident for this node.
+  for (std::size_t i = report_.incidents.size(); i-- > 0;) {
+    auto& inc = report_.incidents[i];
+    if (inc.node == node && inc.t_recovered < 0) {
+      inc.t_recovered = now;
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// The next hops packets can actually take: positive-weight choices, or the
+/// first choice when every weight degenerated to zero (both next-hop
+/// realizations fall back to it).
+void realized_next_hops(std::span<const core::ForwardingChoice> choices,
+                        std::vector<NodeId>& out) {
+  out.clear();
+  for (const auto& c : choices) {
+    if (c.weight > 0) out.push_back(c.neighbor);
+  }
+  if (out.empty() && !choices.empty()) out.push_back(choices[0].neighbor);
+}
+
+}  // namespace
+
+void InvariantMonitor::check(Time now) {
+  ++report_.checks;
+
+  const auto snapshot = hooks_.accounting();
+  if (!snapshot.balanced()) {
+    ++report_.accounting_leaks;
+    MDR_LOG_WARN(
+        "packet accounting leak at t=%.6f: injected=%llu delivered=%llu "
+        "dropped=%llu queued=%llu in_flight=%llu",
+        now, static_cast<unsigned long long>(snapshot.injected),
+        static_cast<unsigned long long>(snapshot.delivered),
+        static_cast<unsigned long long>(snapshot.dropped),
+        static_cast<unsigned long long>(snapshot.queued),
+        static_cast<unsigned long long>(snapshot.in_flight));
+  }
+
+  const auto n = static_cast<NodeId>(topo_->num_nodes());
+  std::vector<bool> alive(n);
+  for (NodeId i = 0; i < n; ++i) alive[i] = hooks_.node_alive(i);
+
+  // Reverse adjacency over up links between alive routers (for backward
+  // reachability BFS from each destination).
+  std::vector<std::vector<NodeId>> rev(n);
+  for (LinkId id = 0; id < static_cast<LinkId>(topo_->num_links()); ++id) {
+    const auto& l = topo_->link(id);
+    if (alive[l.from] && alive[l.to] && hooks_.link_up(id)) {
+      rev[l.to].push_back(l.from);
+    }
+  }
+
+  // Incidents whose router is back up but not yet declared reconverged.
+  std::vector<std::size_t> open;
+  for (std::size_t i = 0; i < report_.incidents.size(); ++i) {
+    const auto& inc = report_.incidents[i];
+    if (inc.t_recovered >= 0 && inc.t_reconverged < 0 && alive[inc.node]) {
+      open.push_back(i);
+    }
+  }
+  std::vector<bool> converged(open.size(), true);
+
+  std::vector<NodeId> hops;
+  std::vector<int> color(n);
+  std::vector<bool> reach(n);
+  struct Frame {
+    NodeId node;
+    std::vector<NodeId> edges;
+    std::size_t next = 0;
+  };
+  for (NodeId dest = 0; dest < n; ++dest) {
+    // --- loop-freedom of the realized forwarding graph toward `dest` ---
+    // Edges between alive routers only: a dead router forwards nothing, and
+    // an edge into `dest` terminates. Checked for dead destinations too —
+    // LFI loop-freedom does not depend on the destination being up.
+    bool loop = false;
+    std::fill(color.begin(), color.end(), 0);
+    std::vector<Frame> stack;
+    for (NodeId start = 0; start < n && !loop; ++start) {
+      if (!alive[start] || start == dest || color[start] != 0) continue;
+      color[start] = 1;
+      realized_next_hops(hooks_.forwarding(start, dest), hops);
+      stack.push_back(Frame{start, hops, 0});
+      while (!stack.empty() && !loop) {
+        Frame& top = stack.back();
+        if (top.next == top.edges.size()) {
+          color[top.node] = 2;
+          stack.pop_back();
+          continue;
+        }
+        const NodeId k = top.edges[top.next++];
+        if (k == dest || k < 0 || k >= n || !alive[k]) continue;
+        if (color[k] == 1) {
+          loop = true;
+        } else if (color[k] == 0) {
+          color[k] = 1;
+          realized_next_hops(hooks_.forwarding(k, dest), hops);
+          stack.push_back(Frame{k, hops, 0});
+        }
+      }
+    }
+    if (loop) {
+      ++report_.forwarding_loops;
+      std::string cycle;
+      for (const auto& f : stack) {
+        cycle += std::string(topo_->name(f.node));
+        cycle += "(";
+        realized_next_hops(hooks_.forwarding(f.node, dest), hops);
+        for (NodeId h : hops) cycle += std::string(topo_->name(h)) + " ";
+        cycle += ") ";
+      }
+      MDR_LOG_WARN("forwarding loop toward %s at t=%.6f: %s",
+                   std::string(topo_->name(dest)).c_str(), now, cycle.c_str());
+    }
+
+    if (!alive[dest]) continue;  // unreachable: blackholes are expected
+
+    // --- blackholes and reconvergence toward this destination ---
+    std::fill(reach.begin(), reach.end(), false);
+    reach[dest] = true;
+    std::vector<NodeId> frontier{dest};
+    while (!frontier.empty()) {
+      const NodeId x = frontier.back();
+      frontier.pop_back();
+      for (const NodeId p : rev[x]) {
+        if (!reach[p]) {
+          reach[p] = true;
+          frontier.push_back(p);
+        }
+      }
+    }
+    for (NodeId x = 0; x < n; ++x) {
+      if (x == dest || !alive[x] || !reach[x]) continue;
+      if (hooks_.forwarding(x, dest).empty()) {
+        ++report_.blackholes;
+        for (std::size_t i = 0; i < open.size(); ++i) {
+          if (report_.incidents[open[i]].node == x) converged[i] = false;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < open.size(); ++i) {
+    if (!converged[i]) continue;
+    auto& inc = report_.incidents[open[i]];
+    inc.t_reconverged = now;
+    inc.packets_lost = snapshot.dropped - dropped_at_crash_[open[i]];
+  }
+}
+
+namespace {
+
+void append_time(std::string& out, Time t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", t);
+  out += buf;
+}
+
+}  // namespace
+
+std::string monitor_report_json(const MonitorReport& r) {
+  std::string out = "{\"checks\":" + std::to_string(r.checks) +
+                    ",\"forwarding_loops\":" +
+                    std::to_string(r.forwarding_loops) +
+                    ",\"blackholes\":" + std::to_string(r.blackholes) +
+                    ",\"accounting_leaks\":" +
+                    std::to_string(r.accounting_leaks) + ",\"incidents\":[";
+  for (std::size_t i = 0; i < r.incidents.size(); ++i) {
+    const auto& inc = r.incidents[i];
+    if (i > 0) out += ",";
+    out += "{\"node\":\"" + inc.name + "\",\"t_crash\":";
+    append_time(out, inc.t_crash);
+    out += ",\"t_recovered\":";
+    append_time(out, inc.t_recovered);
+    out += ",\"t_reconverged\":";
+    append_time(out, inc.t_reconverged);
+    out += ",\"time_to_reconverge\":";
+    append_time(out, inc.time_to_reconverge());
+    out += ",\"packets_lost\":" + std::to_string(inc.packets_lost) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mdr::sim

@@ -1,0 +1,112 @@
+// InvariantMonitor: a runtime watchdog that checks recovery invariants
+// while the simulation runs under chaos (node crashes, flapping links,
+// bursty loss — see fault/fault_plan.h).
+//
+// Every `monitor_interval` the monitor sweeps the network and verifies:
+//
+//   * loop-freedom of the REALIZED forwarding tables — not the successor
+//     sets MPDA claims (core/lfi.h covers those), but the positive-weight
+//     next-hop choices packets actually follow. A cycle among alive
+//     routers for any destination is a forwarding loop;
+//   * blackhole detection — an alive router with a physically usable path
+//     to a destination (over up links and alive routers) but an empty
+//     forwarding entry. Transient blackholes during reconvergence are
+//     expected and only counted, never fatal;
+//   * delivery accounting — every data packet ever injected is delivered,
+//     dropped (with a counted cause), queued, or in flight. A leak means
+//     the simulator lost track of a packet.
+//
+// Crash/recover events open structured incident records; the first passing
+// sweep after recovery in which the reborn router can reach every
+// physically reachable destination closes the incident with its
+// time-to-reconvergence and the packets lost in the meantime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/mp_router.h"
+#include "graph/topology.h"
+#include "util/time.h"
+
+namespace mdr::sim {
+
+/// One node crash/recover lifecycle and how the network healed from it.
+struct Incident {
+  graph::NodeId node = graph::kInvalidNode;
+  std::string name;
+  Time t_crash = 0;
+  Time t_recovered = -1;    ///< -1: still down at end of run
+  Time t_reconverged = -1;  ///< -1: never reconverged (a failure)
+  /// Data packets dropped network-wide between the crash and reconvergence.
+  std::uint64_t packets_lost = 0;
+
+  Duration time_to_reconverge() const {
+    return t_reconverged >= 0 ? t_reconverged - t_crash : -1;
+  }
+};
+
+/// The monitor's cumulative findings over one run.
+struct MonitorReport {
+  std::uint64_t checks = 0;
+  std::uint64_t forwarding_loops = 0;   ///< must be 0 (LFI, Theorem 3)
+  std::uint64_t blackholes = 0;         ///< transient; diagnostic only
+  std::uint64_t accounting_leaks = 0;   ///< must be 0
+  std::vector<Incident> incidents;
+};
+
+/// The packet-conservation ledger at one instant (data packets only).
+struct AccountingSnapshot {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;    ///< all causes, node- and link-level
+  std::uint64_t queued = 0;     ///< sitting in link queues / in service
+  std::uint64_t in_flight = 0;  ///< propagating on a wire
+
+  bool balanced() const {
+    return injected == delivered + dropped + queued + in_flight;
+  }
+};
+
+/// How the monitor observes the network; wired up by NetworkSim (or a test
+/// harness — the monitor itself has no simulator dependencies).
+struct MonitorHooks {
+  std::function<bool(graph::NodeId)> node_alive;
+  std::function<bool(graph::LinkId)> link_up;
+  /// Realized forwarding choices of `node` toward `dest`.
+  std::function<std::span<const core::ForwardingChoice>(graph::NodeId node,
+                                                        graph::NodeId dest)>
+      forwarding;
+  std::function<AccountingSnapshot()> accounting;
+};
+
+class InvariantMonitor {
+ public:
+  InvariantMonitor(const graph::Topology& topo, MonitorHooks hooks);
+
+  /// A router crashed: opens an incident record.
+  void on_crash(graph::NodeId node, Time now);
+  /// The router rebooted: reconvergence tracking starts.
+  void on_recover(graph::NodeId node, Time now);
+
+  /// One full invariant sweep at time `now`.
+  void check(Time now);
+
+  const MonitorReport& report() const { return report_; }
+
+ private:
+  const graph::Topology* topo_;
+  MonitorHooks hooks_;
+  MonitorReport report_;
+  /// Network-wide drop count at each open incident's crash instant.
+  std::vector<std::uint64_t> dropped_at_crash_;
+};
+
+/// Compact single-line JSON for the report; deterministic formatting so two
+/// runs with the same seed serialize bit-identically.
+std::string monitor_report_json(const MonitorReport& report);
+
+}  // namespace mdr::sim

@@ -1,7 +1,10 @@
 #include "sim/network_sim.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "core/lfi.h"
 #include "util/log.h"
@@ -40,6 +43,7 @@ void NetworkSim::build() {
 
   NodeCallbacks callbacks;
   callbacks.delivered = [this](const Packet& p, Duration delay) {
+    ++total_delivered_;
     window_delay_sum_ += delay;
     ++window_delivered_;
     if (p.created < measure_start_ || p.flow_id < 0) return;
@@ -53,15 +57,35 @@ void NetworkSim::build() {
                                                master_rng_.split(), callbacks));
   }
 
+  // Resolve the Gilbert–Elliott assignments to directed node pairs once
+  // (each duplex entry covers both directions; each gets its own chain).
+  std::map<std::pair<NodeId, NodeId>, fault::GilbertParams> gilbert_by_pair;
+  for (const auto& g : config_.faults.gilbert) {
+    const NodeId a = topo_->find_node(g.a);
+    const NodeId b = topo_->find_node(g.b);
+    assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
+    gilbert_by_pair[{a, b}] = g.params;
+    gilbert_by_pair[{b, a}] = g.params;
+  }
+
   SimLink::Options link_options;
   link_options.queue_limit_bits = config_.queue_limit_bits;
   link_options.loss_rate = config_.link_loss_rate;
+  link_options.corrupt_rate = config_.faults.chaos.corrupt_rate;
+  link_options.duplicate_rate = config_.faults.chaos.duplicate_rate;
+  link_options.reorder_rate = config_.faults.chaos.reorder_rate;
+  link_holds_.resize(topo_->num_links());
   for (LinkId id = 0; id < static_cast<LinkId>(topo_->num_links()); ++id) {
     const auto& l = topo_->link(id);
     SimNode* to = nodes_[l.to].get();
+    auto options = link_options;
+    if (const auto it = gilbert_by_pair.find({l.from, l.to});
+        it != gilbert_by_pair.end()) {
+      options.gilbert = it->second;
+    }
     links_.push_back(std::make_unique<SimLink>(
         events_, l.attr, config_.estimator, config_.mean_packet_bits,
-        [to](Packet p) { to->receive(std::move(p)); }, link_options,
+        [to](Packet p) { to->receive(std::move(p)); }, options,
         master_rng_.split()));
     nodes_[l.from]->attach_link(l.to, links_.back().get());
   }
@@ -105,7 +129,10 @@ void NetworkSim::build() {
     shape.rate_bps = spec.rate_bps;
     shape.mean_packet_bits = config_.mean_packet_bits;
     SimNode* src_node = nodes_[shape.src].get();
-    const auto inject = [src_node](Packet p) { src_node->receive(std::move(p)); };
+    const auto inject = [this, src_node](Packet p) {
+      ++injected_;  // conservation ledger: every data packet enters here
+      src_node->receive(std::move(p));
+    };
     switch (config_.traffic.model) {
       case TrafficModel::kOnOff:
         onoff_sources_.push_back(std::make_unique<OnOffSource>(
@@ -129,6 +156,20 @@ void NetworkSim::build() {
 
   schedule_link_toggles();
 
+  if (config_.monitor_interval > 0) {
+    MonitorHooks hooks;
+    hooks.node_alive = [this](NodeId i) { return nodes_[i]->alive(); };
+    hooks.link_up = [this](LinkId id) { return links_[id]->up(); };
+    hooks.forwarding = [this](NodeId x, NodeId dest) {
+      return nodes_[x]->forwarding(dest);
+    };
+    hooks.accounting = [this] { return accounting_snapshot(); };
+    monitor_ = std::make_unique<InvariantMonitor>(*topo_, std::move(hooks));
+    events_.schedule_in(config_.monitor_interval, [this] { monitor_check(); });
+  }
+
+  schedule_faults();
+
   if (config_.lfi_check_interval > 0 && config_.mode != RoutingMode::kStatic) {
     events_.schedule_in(config_.lfi_check_interval, [this] { lfi_check(); });
   }
@@ -136,6 +177,98 @@ void NetworkSim::build() {
     events_.schedule_in(config_.timeseries_interval,
                         [this] { timeseries_tick(); });
   }
+}
+
+AccountingSnapshot NetworkSim::accounting_snapshot() const {
+  AccountingSnapshot s;
+  s.injected = injected_;
+  s.delivered = total_delivered_;
+  for (const auto& node : nodes_) {
+    s.dropped +=
+        node->drops_no_route() + node->drops_ttl() + node->drops_dead();
+  }
+  for (const auto& link : links_) {
+    s.dropped += link->data_dropped();
+    s.queued += link->queued_data_packets();
+    s.in_flight += link->in_flight_data_packets();
+  }
+  return s;
+}
+
+void NetworkSim::monitor_check() {
+  monitor_->check(events_.now());
+  events_.schedule_in(config_.monitor_interval, [this] { monitor_check(); });
+}
+
+void NetworkSim::schedule_faults() {
+  const auto& plan = config_.faults;
+  for (const auto& ev : plan.crashes) {
+    const NodeId x = topo_->find_node(ev.node);
+    assert(x != graph::kInvalidNode);
+    events_.schedule_at(ev.at, [this, x] { crash_node(x); });
+  }
+  for (const auto& ev : plan.recoveries) {
+    const NodeId x = topo_->find_node(ev.node);
+    assert(x != graph::kInvalidNode);
+    events_.schedule_at(ev.at, [this, x] { recover_node(x); });
+  }
+  const Time sim_end = measure_start_ + config_.duration;
+  for (const auto& flap : plan.flaps) {
+    const NodeId a = topo_->find_node(flap.a);
+    const NodeId b = topo_->find_node(flap.b);
+    assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
+    assert(flap.period > 0 && flap.duty > 0 && flap.duty < 1);
+    // Each period starts up; the link goes down after the duty fraction and
+    // returns at the period boundary. Only whole cycles are scheduled, so a
+    // flapped link always ends the run up.
+    const Time stop = std::min(flap.stop, sim_end);
+    for (Time t = flap.start; t + flap.period <= stop + 1e-9;
+         t += flap.period) {
+      events_.schedule_at(t + flap.duty * flap.period,
+                          [this, a, b] { flap_duplex(a, b, /*down=*/true); });
+      events_.schedule_at(t + flap.period,
+                          [this, a, b] { flap_duplex(a, b, /*down=*/false); });
+    }
+  }
+}
+
+void NetworkSim::apply_link_state(LinkId id) {
+  const auto& l = topo_->link(id);
+  const bool up = !link_holds_[id].admin_down && !link_holds_[id].flap_down &&
+                  nodes_[l.from]->alive() && nodes_[l.to]->alive();
+  links_[id]->set_up(up);
+}
+
+void NetworkSim::apply_incident_links(NodeId node) {
+  for (LinkId id = 0; id < static_cast<LinkId>(topo_->num_links()); ++id) {
+    const auto& l = topo_->link(id);
+    if (l.from == node || l.to == node) apply_link_state(id);
+  }
+}
+
+void NetworkSim::flap_duplex(NodeId a, NodeId b, bool down) {
+  const LinkId ab = topo_->find_link(a, b);
+  const LinkId ba = topo_->find_link(b, a);
+  assert(ab != graph::kInvalidLink && ba != graph::kInvalidLink);
+  link_holds_[ab].flap_down = down;
+  link_holds_[ba].flap_down = down;
+  apply_link_state(ab);
+  apply_link_state(ba);
+  // Silent by definition: only hello dead intervals notice the outage.
+}
+
+void NetworkSim::crash_node(NodeId node) {
+  if (!nodes_[node]->alive()) return;
+  nodes_[node]->crash();
+  apply_incident_links(node);  // its links drop, silently
+  if (monitor_ != nullptr) monitor_->on_crash(node, events_.now());
+}
+
+void NetworkSim::recover_node(NodeId node) {
+  if (nodes_[node]->alive()) return;
+  nodes_[node]->recover();
+  apply_incident_links(node);  // links return (unless still held down)
+  if (monitor_ != nullptr) monitor_->on_recover(node, events_.now());
 }
 
 void NetworkSim::timeseries_tick() {
@@ -192,8 +325,10 @@ void NetworkSim::toggle_duplex(NodeId a, NodeId b, bool up, bool silent) {
   const LinkId ab = topo_->find_link(a, b);
   const LinkId ba = topo_->find_link(b, a);
   assert(ab != graph::kInvalidLink && ba != graph::kInvalidLink);
-  links_[ab]->set_up(up);
-  links_[ba]->set_up(up);
+  link_holds_[ab].admin_down = !up;
+  link_holds_[ba].admin_down = !up;
+  apply_link_state(ab);
+  apply_link_state(ba);
   if (silent) return;  // nobody is told; hello timeouts must catch it
   if (up) {
     nodes_[a]->neighbor_link_restored(b);
@@ -242,8 +377,11 @@ SimResult NetworkSim::run() {
   for (const auto& node : nodes_) {
     result.dropped_no_route += node->drops_no_route();
     result.dropped_ttl += node->drops_ttl();
+    result.dropped_dead += node->drops_dead();
+    result.control_garbage += node->control_garbage();
     result.control_messages += node->control_messages_sent();
   }
+  if (monitor_ != nullptr) result.monitor = monitor_->report();
   for (LinkId id = 0; id < static_cast<LinkId>(links_.size()); ++id) {
     const auto& link = *links_[id];
     result.dropped_queue += link.drops();

@@ -9,10 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "flow/phi.h"
 #include "graph/topology.h"
 #include "sim/event_queue.h"
 #include "sim/link.h"
+#include "sim/monitor.h"
 #include "sim/node.h"
 #include "sim/traffic.h"
 #include "topo/flows.h"
@@ -85,6 +87,17 @@ struct SimConfig {
   /// (SimResult::timeseries) — how the network behaves *over time*, e.g.
   /// around a failure or a burst, rather than just on average.
   Duration timeseries_interval = 0;
+
+  /// Chaos schedule: node crashes/recoveries, flapping links, bursty loss
+  /// and control-plane corruption (fault/fault_plan.h). Crashes and flaps
+  /// are always silent — use_hello is required to detect and heal them
+  /// (scenario parsing enforces this).
+  fault::FaultPlan faults;
+
+  /// If > 0, run the InvariantMonitor (sim/monitor.h) with this sweep
+  /// period: realized-forwarding loop checks, blackhole detection, packet
+  /// accounting, and per-crash incident records (SimResult::monitor).
+  Duration monitor_interval = 0;
 };
 
 /// One time-series window (delivered packets within [t - window, t)).
@@ -119,13 +132,17 @@ struct SimResult {
   std::uint64_t delivered = 0;
   std::uint64_t dropped_no_route = 0;
   std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_dead = 0;   ///< data packets that hit a dead router
   std::uint64_t dropped_queue = 0;
   std::uint64_t control_messages = 0;
+  std::uint64_t control_garbage = 0;  ///< corrupted control packets rejected
   double control_bits = 0;
   std::size_t events_processed = 0;
   std::uint64_t lfi_checks = 0;      ///< snapshots taken (see lfi_check_interval)
   std::uint64_t lfi_violations = 0;  ///< invariant breaches observed (expect 0)
   std::vector<TimePoint> timeseries;  ///< see SimConfig::timeseries_interval
+  /// InvariantMonitor findings; present iff monitor_interval > 0.
+  std::optional<MonitorReport> monitor;
 };
 
 class NetworkSim {
@@ -139,9 +156,19 @@ class NetworkSim {
  private:
   void build();
   void schedule_link_toggles();
+  void schedule_faults();
   void toggle_duplex(graph::NodeId a, graph::NodeId b, bool up, bool silent);
+  /// Recomputes one directed link's effective state from every hold on it
+  /// (admin toggles, flap schedule, endpoint liveness).
+  void apply_link_state(graph::LinkId id);
+  void apply_incident_links(graph::NodeId node);
+  void flap_duplex(graph::NodeId a, graph::NodeId b, bool down);
+  void crash_node(graph::NodeId node);
+  void recover_node(graph::NodeId node);
   void lfi_check();
+  void monitor_check();
   void timeseries_tick();
+  AccountingSnapshot accounting_snapshot() const;
 
   const graph::Topology* topo_;
   std::vector<topo::FlowSpec> flow_specs_;
@@ -163,6 +190,17 @@ class NetworkSim {
   double window_delay_sum_ = 0;
   std::uint64_t window_delivered_ = 0;
   std::uint64_t window_dropped_ = 0;
+
+  /// A directed link is up iff no hold applies AND both endpoints are alive.
+  struct LinkHold {
+    bool admin_down = false;  ///< link_toggles (fail/restore)
+    bool flap_down = false;   ///< flap schedule
+  };
+  std::vector<LinkHold> link_holds_;  // by LinkId
+
+  std::unique_ptr<InvariantMonitor> monitor_;
+  std::uint64_t injected_ = 0;         ///< data packets entered at sources
+  std::uint64_t total_delivered_ = 0;  ///< all deliveries, measured or not
 };
 
 /// Convenience wrapper: build, run, return.

@@ -21,7 +21,8 @@ SimNode::SimNode(EventQueue& events, NodeId id, std::size_t num_nodes,
       id_(id),
       options_(options),
       rng_(rng),
-      callbacks_(std::move(callbacks)) {
+      callbacks_(std::move(callbacks)),
+      num_nodes_(num_nodes) {
   if (options_.mode == RoutingMode::kStatic) {
     static_table_.resize(num_nodes);
   } else {
@@ -81,8 +82,8 @@ void SimNode::start() {
   if (hello_ != nullptr) {
     // Adjacencies rise only after the 2-way hello check.
     for (const auto& [neighbor, link] : links_) hello_->physical_up(neighbor);
-    events_->schedule_in(options_.hello.interval * rng_.uniform(0.1, 0.9),
-                         [this] { hello_tick(); });
+    schedule_guarded(options_.hello.interval * rng_.uniform(0.1, 0.9),
+                     &SimNode::hello_tick);
   } else {
     for (const auto& [neighbor, link] : links_) {
       router_->on_link_up(neighbor, initial_cost(*link));
@@ -90,23 +91,51 @@ void SimNode::start() {
   }
   // Random phase offsets prevent network-wide update synchronization
   // (paper Section 4.2, citing the route-synchronization pathology).
-  events_->schedule_in(options_.ts * rng_.uniform(0.5, 1.0),
-                       [this] { ts_tick(); });
-  events_->schedule_in(options_.tl * rng_.uniform(0.5, 1.0),
-                       [this] { tl_tick(); });
-  events_->schedule_in(options_.lsu_retransmit_interval * rng_.uniform(0.5, 1.0),
-                       [this] { retransmit_tick(); });
+  schedule_guarded(options_.ts * rng_.uniform(0.5, 1.0), &SimNode::ts_tick);
+  schedule_guarded(options_.tl * rng_.uniform(0.5, 1.0), &SimNode::tl_tick);
+  schedule_guarded(options_.lsu_retransmit_interval * rng_.uniform(0.5, 1.0),
+                   &SimNode::retransmit_tick);
+}
+
+void SimNode::schedule_guarded(Duration delay, void (SimNode::*method)()) {
+  const std::uint64_t boot = boot_;
+  events_->schedule_in(delay, [this, boot, method] {
+    if (boot == boot_ && alive_) (this->*method)();
+  });
+}
+
+void SimNode::crash() {
+  if (!alive_ || router_ == nullptr) return;  // static nodes do not crash
+  alive_ = false;
+  ++boot_;  // invalidates every timer of the dead incarnation
+  // Wipe immediately: a dead router holds no observable state, and global
+  // invariant sweeps (LFI, the chaos monitor) must never read the stale
+  // pre-crash tables.
+  router_->reset();
+  // The cost estimators' smoothing memory died with the process too.
+  for (auto& [neighbor, state] : cost_state_) {
+    state = cost::DualTimescaleCost(initial_cost(*links_.at(neighbor)),
+                                    options_.smoothing);
+  }
+}
+
+void SimNode::recover() {
+  if (alive_ || router_ == nullptr) return;
+  alive_ = true;
+  if (hello_ != nullptr) {
+    hello_->restart(static_cast<std::uint32_t>(boot_));
+  }
+  start();  // re-announce physical links, restart timers (fresh phases)
 }
 
 void SimNode::retransmit_tick() {
   router_->retransmit_pending();
-  events_->schedule_in(options_.lsu_retransmit_interval,
-                       [this] { retransmit_tick(); });
+  schedule_guarded(options_.lsu_retransmit_interval, &SimNode::retransmit_tick);
 }
 
 void SimNode::hello_tick() {
   hello_->tick(events_->now());
-  events_->schedule_in(options_.hello.interval, [this] { hello_tick(); });
+  schedule_guarded(options_.hello.interval, &SimNode::hello_tick);
 }
 
 void SimNode::ts_tick() {
@@ -119,7 +148,7 @@ void SimNode::ts_tick() {
     costs[neighbor] = cost_state_.at(neighbor).on_short_window(estimate);
   }
   router_->update_short_term_costs(costs);
-  events_->schedule_in(options_.ts, [this] { ts_tick(); });
+  schedule_guarded(options_.ts, &SimNode::ts_tick);
 }
 
 void SimNode::tl_tick() {
@@ -130,7 +159,7 @@ void SimNode::tl_tick() {
     const auto update = cost_state_.at(neighbor).on_long_window(estimate);
     if (update.report) router_->on_long_term_cost(neighbor, update.cost);
   }
-  events_->schedule_in(options_.tl, [this] { tl_tick(); });
+  schedule_guarded(options_.tl, &SimNode::tl_tick);
 }
 
 void SimNode::send(NodeId neighbor, const proto::LsuMessage& msg) {
@@ -150,27 +179,57 @@ void SimNode::send(NodeId neighbor, const proto::LsuMessage& msg) {
 }
 
 void SimNode::receive(Packet packet) {
+  if (!alive_) {
+    // A dead router's interfaces eat everything. Data packets still enter
+    // the conservation ledger as drops.
+    if (packet.kind == Packet::Kind::kData) {
+      ++drops_dead_;
+      if (callbacks_.dropped) callbacks_.dropped(packet);
+    }
+    return;
+  }
   if (packet.kind == Packet::Kind::kControl) {
-    if (packet.payload.empty() || router_ == nullptr) return;
+    if (router_ == nullptr) return;
+    if (packet.payload.empty()) {
+      ++control_garbage_;
+      return;
+    }
     const std::span<const std::uint8_t> body(packet.payload.data() + 1,
                                              packet.payload.size() - 1);
+    // Corruption on the wire is expected under chaos: anything the codecs
+    // reject — or that passes the codec but carries ids the routing tables
+    // could not index — is counted and discarded, never processed.
     switch (packet.payload[0]) {
       case kPayloadLsu: {
         const auto msg = proto::decode(body);
-        assert(msg.has_value());
-        if (msg.has_value()) router_->on_lsu(*msg);
+        bool ok = msg.has_value() && msg->sender == packet.src;
+        if (ok) {
+          for (const auto& e : msg->entries) {
+            if (e.head >= static_cast<graph::NodeId>(num_nodes_) ||
+                e.tail >= static_cast<graph::NodeId>(num_nodes_)) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (!ok) {
+          ++control_garbage_;
+          break;
+        }
+        router_->on_lsu(*msg);
         break;
       }
       case kPayloadHello: {
         const auto msg = proto::decode_hello(body);
-        assert(msg.has_value());
-        if (msg.has_value() && hello_ != nullptr) {
-          hello_->on_hello(*msg, events_->now());
+        if (!msg.has_value() || msg->sender != packet.src) {
+          ++control_garbage_;
+          break;
         }
+        if (hello_ != nullptr) hello_->on_hello(*msg, events_->now());
         break;
       }
       default:
-        assert(false && "unknown control payload type");
+        ++control_garbage_;
     }
     return;
   }
@@ -225,6 +284,7 @@ NodeId SimNode::next_hop(NodeId dest) {
 }
 
 void SimNode::neighbor_link_failed(NodeId neighbor) {
+  if (!alive_) return;
   if (hello_ != nullptr) {
     hello_->physical_down(neighbor);  // signaled: adjacency drops at once
   } else if (router_ != nullptr) {
@@ -233,6 +293,7 @@ void SimNode::neighbor_link_failed(NodeId neighbor) {
 }
 
 void SimNode::neighbor_link_restored(NodeId neighbor) {
+  if (!alive_) return;
   if (hello_ != nullptr) {
     hello_->physical_up(neighbor);  // adjacency returns after the 2-way check
   } else if (router_ != nullptr) {

@@ -79,13 +79,40 @@ class SimNode final : public proto::LsuSink {
   void neighbor_link_failed(graph::NodeId neighbor);
   void neighbor_link_restored(graph::NodeId neighbor);
 
+  // --- crash/recover lifecycle ---------------------------------------------
+
+  /// The router process dies: every pending timer of this incarnation is
+  /// invalidated (boot-epoch guard) and arriving packets are eaten. All
+  /// protocol state is discarded on the subsequent recover(). No-op when
+  /// already dead or in static mode.
+  void crash();
+
+  /// Reboot: routing state is rebuilt from nothing, the hello protocol
+  /// restarts under a new generation number (so peers detect the reboot
+  /// even when the outage was shorter than their dead interval), and all
+  /// timers restart with fresh random phases.
+  void recover();
+
+  bool alive() const { return alive_; }
+
   // --- LsuSink -------------------------------------------------------------
   void send(graph::NodeId neighbor, const proto::LsuMessage& msg) override;
 
   // --- stats ---------------------------------------------------------------
   std::uint64_t drops_no_route() const { return drops_no_route_; }
   std::uint64_t drops_ttl() const { return drops_ttl_; }
+  /// Data packets that arrived at (or were injected into) a dead router.
+  std::uint64_t drops_dead() const { return drops_dead_; }
+  /// Control packets rejected as malformed (corruption on the wire).
+  std::uint64_t control_garbage() const { return control_garbage_; }
   std::uint64_t control_messages_sent() const { return control_sent_; }
+
+  /// The realized forwarding choices toward `dest` (whatever the routing
+  /// mode); what the invariant monitor walks for loop/blackhole checks.
+  std::span<const core::ForwardingChoice> forwarding(graph::NodeId dest) const {
+    if (router_ != nullptr) return router_->forwarding(dest);
+    return static_table_[dest];
+  }
 
   /// The embedded router (null in kStatic mode).
   const core::MpRouter* router() const { return router_.get(); }
@@ -96,6 +123,10 @@ class SimNode final : public proto::LsuSink {
   void ts_tick();
   void tl_tick();
   double initial_cost(const SimLink& link) const;
+  /// Schedules `method` after `delay`, silently dropped if this incarnation
+  /// has died in the meantime (crash bumps boot_). Every recurring timer
+  /// goes through this so a reboot starts from a clean timer slate.
+  void schedule_guarded(Duration delay, void (SimNode::*method)());
 
   EventQueue* events_;
   graph::NodeId id_;
@@ -114,8 +145,14 @@ class SimNode final : public proto::LsuSink {
   std::map<graph::NodeId, SimLink*> links_;
   std::map<graph::NodeId, cost::DualTimescaleCost> cost_state_;
 
+  std::size_t num_nodes_;
+  bool alive_ = true;
+  std::uint64_t boot_ = 0;  ///< incarnation counter; guards timers
+
   std::uint64_t drops_no_route_ = 0;
   std::uint64_t drops_ttl_ = 0;
+  std::uint64_t drops_dead_ = 0;
+  std::uint64_t control_garbage_ = 0;
   std::uint64_t control_sent_ = 0;
 };
 

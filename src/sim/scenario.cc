@@ -217,6 +217,81 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     return true;
   }
 
+  if (cmd == "crash" || cmd == "recover") {
+    if (!need(3)) return fail(cmd + " needs <t> <node>");
+    double t = 0;
+    if (!parse_double(tokens[1], &t) || t < 0) return fail("bad time");
+    if (s.topo.find_node(tokens[2]) == graph::kInvalidNode) {
+      return fail(cmd + " references unknown node");
+    }
+    auto& events = cmd == "crash" ? s.config.faults.crashes
+                                  : s.config.faults.recoveries;
+    events.push_back(fault::NodeEvent{t, tokens[2]});
+    return true;
+  }
+  if (cmd == "flap") {
+    if (!need(3)) return fail("flap needs <a> <b> [period=] [duty=] [start=] [stop=]");
+    if (s.topo.find_node(tokens[1]) == graph::kInvalidNode ||
+        s.topo.find_node(tokens[2]) == graph::kInvalidNode) {
+      return fail("flap references unknown node");
+    }
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 3, &opts, &bad)) return fail("bad option " + bad);
+    fault::LinkFlap flap;
+    flap.a = tokens[1];
+    flap.b = tokens[2];
+    if (opts.count("period")) flap.period = opts["period"];
+    if (opts.count("duty")) flap.duty = opts["duty"];
+    if (opts.count("start")) flap.start = opts["start"];
+    if (opts.count("stop")) flap.stop = opts["stop"];
+    if (flap.period <= 0) return fail("flap period must be positive");
+    if (flap.duty <= 0 || flap.duty >= 1) return fail("flap duty must be in (0, 1)");
+    if (flap.start < 0 || flap.stop < flap.start) {
+      return fail("flap window out of range");
+    }
+    s.config.faults.flaps.push_back(std::move(flap));
+    return true;
+  }
+  if (cmd == "gilbert") {
+    if (!need(3)) return fail("gilbert needs <a> <b> [p_good=] [p_bad=] [loss_bad=] [loss_good=]");
+    if (s.topo.find_node(tokens[1]) == graph::kInvalidNode ||
+        s.topo.find_node(tokens[2]) == graph::kInvalidNode) {
+      return fail("gilbert references unknown node");
+    }
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 3, &opts, &bad)) return fail("bad option " + bad);
+    fault::GilbertParams params;
+    // p_good: leave the GOOD state (-> BAD); p_bad: leave the BAD state.
+    if (opts.count("p_good")) params.p_good_bad = opts["p_good"];
+    if (opts.count("p_bad")) params.p_bad_good = opts["p_bad"];
+    if (opts.count("loss_bad")) params.loss_bad = opts["loss_bad"];
+    if (opts.count("loss_good")) params.loss_good = opts["loss_good"];
+    if (params.p_good_bad < 0 || params.p_good_bad > 1 ||
+        params.p_bad_good < 0 || params.p_bad_good > 1) {
+      return fail("gilbert transition probabilities must be in [0, 1]");
+    }
+    if (params.loss_bad < 0 || params.loss_bad >= 1 || params.loss_good < 0 ||
+        params.loss_good >= 1) {
+      return fail("gilbert loss probabilities must be in [0, 1)");
+    }
+    s.config.faults.gilbert.push_back(
+        fault::LinkGilbert{tokens[1], tokens[2], params});
+    return true;
+  }
+  if (cmd == "corrupt" || cmd == "duplicate" || cmd == "reorder") {
+    double rate = 0;
+    if (!need(2) || !parse_double(tokens[1], &rate) || rate < 0 || rate >= 1) {
+      return fail(cmd + " needs a rate in [0, 1)");
+    }
+    auto& chaos = s.config.faults.chaos;
+    (cmd == "corrupt"     ? chaos.corrupt_rate
+     : cmd == "duplicate" ? chaos.duplicate_rate
+                          : chaos.reorder_rate) = rate;
+    return true;
+  }
+
   // Scalar directives.
   static const std::map<std::string, double SimConfig::*> kScalars = {
       {"tl", &SimConfig::tl},
@@ -226,6 +301,7 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
       {"traffic_start", &SimConfig::traffic_start},
       {"timeseries", &SimConfig::timeseries_interval},
       {"lfi_check", &SimConfig::lfi_check_interval},
+      {"monitor", &SimConfig::monitor_interval},
       {"ah_damping", &SimConfig::ah_damping},
       {"mean_packet_bits", &SimConfig::mean_packet_bits},
   };
@@ -272,6 +348,15 @@ std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
   }
   if (state.scenario.spec.flows.empty()) {
     if (error != nullptr) *error = "scenario defines no flows";
+    return std::nullopt;
+  }
+  const auto& config = state.scenario.spec.config;
+  if (config.faults.needs_hello() && !config.use_hello) {
+    if (error != nullptr) {
+      *error =
+          "crash/flap faults are silent and need the hello protocol to be "
+          "detected: add a `hello` directive";
+    }
     return std::nullopt;
   }
   return std::move(state.scenario);

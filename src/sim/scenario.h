@@ -27,6 +27,15 @@
 //   wrr
 //   fail <t> <a> <b> [silent]
 //   restore <t> <a> <b> [silent]
+//   crash <t> <node>                       # router loses ALL state (silent)
+//   recover <t> <node>                     # reboot + full re-handshake
+//   flap <a> <b> [period=<s>] [duty=<x>] [start=<t>] [stop=<t>]
+//   gilbert <a> <b> [p_good=<p>] [p_bad=<p>] [loss_bad=<p>] [loss_good=<p>]
+//   corrupt <p>     duplicate <p>     reorder <p>   # control-plane chaos
+//   monitor <s>                            # invariant sweep interval
+//
+// crash/flap faults are silent by construction: a scenario using them must
+// also enable `hello` (enforced at parse time). See docs/FAULTS.md.
 //
 // Unknown directives and malformed values are errors (fail fast, with the
 // offending line number).

@@ -176,7 +176,7 @@ TEST(HelloMisc, OptionsAccessorAndHeardList) {
   EXPECT_DOUBLE_EQ(hello.options().dead_interval, 7.0);
   hello.physical_up(5);
   EXPECT_TRUE(hello.heard_neighbors().empty());  // nothing heard yet
-  hello.on_hello(proto::HelloMessage{5, {}}, 0.5);
+  hello.on_hello(proto::HelloMessage{5, 0, {}}, 0.5);
   EXPECT_EQ(hello.heard_neighbors(), std::vector<NodeId>{5});
   EXPECT_FALSE(hello.adjacent(5));  // heard but not 2-way
 }

@@ -1,0 +1,291 @@
+// Chaos-harness tests: fault models (src/fault), crash/recover hardening,
+// and the recovery-invariant monitor (sim/monitor.h).
+//
+// The headline test is ChaosProperty: CAIRN and NET1 under a randomized
+// fault plan (node crashes, flapping links, Gilbert–Elliott bursty loss,
+// control corruption) must show zero realized forwarding loops at every
+// monitor sweep, a balanced packet-conservation ledger, finite
+// time-to-reconvergence for every crashed router, and bit-identical
+// incident records across two runs with the same seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "fault/gilbert.h"
+#include "sim/network_sim.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+#include "util/rng.h"
+
+namespace mdr::fault {
+namespace {
+
+// --------------------------------------------------------- GilbertChannel
+
+TEST(Gilbert, DisabledByDefault) {
+  GilbertParams params;
+  EXPECT_FALSE(params.enabled());
+  EXPECT_DOUBLE_EQ(params.stationary_loss(), 0.0);
+}
+
+TEST(Gilbert, StationaryLossMatchesChainParameters) {
+  // pi_bad = p_gb / (p_gb + p_bg) = 0.1 / 0.5 = 0.2; loss = 0.2 * 0.5.
+  GilbertParams params{0.1, 0.4, 0.5, 0.0};
+  EXPECT_NEAR(params.stationary_loss(), 0.1, 1e-12);
+}
+
+TEST(Gilbert, EmpiricalLossConvergesToStationary) {
+  GilbertParams params{0.05, 0.3, 0.4, 0.0};
+  GilbertChannel channel(params);
+  Rng rng(42);
+  const int n = 200000;
+  int lost = 0;
+  for (int i = 0; i < n; ++i) {
+    if (channel.lose(rng)) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, params.stationary_loss(), 0.01);
+}
+
+TEST(Gilbert, LossesClusterIntoBursts) {
+  // With mean burst length 1/p_bad_good = 5 packets, back-to-back losses
+  // must be far more common than under i.i.d. loss of the same rate.
+  GilbertParams params{0.02, 0.2, 1.0, 0.0};
+  GilbertChannel channel(params);
+  Rng rng(7);
+  const int n = 200000;
+  int lost = 0, consecutive = 0;
+  bool prev = false;
+  for (int i = 0; i < n; ++i) {
+    const bool now = channel.lose(rng);
+    if (now) ++lost;
+    if (now && prev) ++consecutive;
+    prev = now;
+  }
+  const double rate = static_cast<double>(lost) / n;
+  const double pair_rate = static_cast<double>(consecutive) / n;
+  EXPECT_GT(pair_rate, 3.0 * rate * rate);  // iid would give ~rate^2
+}
+
+// ---------------------------------------------------------- make_random_plan
+
+TEST(RandomPlan, HasRequestedShapeAndIsDeterministic) {
+  const auto topo = topo::make_cairn();
+  RandomPlanOptions opts;
+  opts.crashes = 3;
+  opts.flapping_links = 2;
+  opts.gilbert_links = 2;
+
+  const FaultPlan plan = make_random_plan(topo, opts, 17);
+  EXPECT_EQ(plan.crashes.size(), 3u);
+  EXPECT_EQ(plan.recoveries.size(), 3u);
+  EXPECT_EQ(plan.flaps.size(), 2u);
+  EXPECT_EQ(plan.gilbert.size(), 2u);
+  EXPECT_TRUE(plan.needs_hello());
+
+  // Distinct routers; each recovery after its crash, inside the windows.
+  std::set<std::string> crashed;
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    crashed.insert(plan.crashes[i].node);
+    EXPECT_EQ(plan.crashes[i].node, plan.recoveries[i].node);
+    EXPECT_GE(plan.crashes[i].at, opts.window_start);
+    EXPECT_LE(plan.crashes[i].at, opts.window_end);
+    const Duration dwell = plan.recoveries[i].at - plan.crashes[i].at;
+    EXPECT_GE(dwell, opts.outage_min);
+    EXPECT_LE(dwell, opts.outage_max);
+  }
+  EXPECT_EQ(crashed.size(), 3u);
+
+  // Same seed, same plan; different seed, different plan.
+  const FaultPlan again = make_random_plan(topo, opts, 17);
+  ASSERT_EQ(again.crashes.size(), plan.crashes.size());
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    EXPECT_EQ(again.crashes[i].node, plan.crashes[i].node);
+    EXPECT_DOUBLE_EQ(again.crashes[i].at, plan.crashes[i].at);
+  }
+  const FaultPlan other = make_random_plan(topo, opts, 18);
+  bool differs = false;
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    if (other.crashes[i].node != plan.crashes[i].node ||
+        other.crashes[i].at != plan.crashes[i].at) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace mdr::fault
+
+namespace mdr::sim {
+namespace {
+
+// Two disjoint paths n0-n1-n3 / n0-n2-n3: crashing n1 forces a reroute.
+graph::Topology square_topo() {
+  graph::Topology topo;
+  topo.add_nodes(4);
+  const graph::LinkAttr attr{10e6, 1e-4};
+  topo.add_duplex(0, 1, attr);
+  topo.add_duplex(0, 2, attr);
+  topo.add_duplex(1, 3, attr);
+  topo.add_duplex(2, 3, attr);
+  return topo;
+}
+
+SimConfig chaos_base_config() {
+  SimConfig config;
+  config.use_hello = true;
+  config.traffic_start = 6.0;
+  config.warmup = 4.0;
+  config.duration = 40.0;
+  config.monitor_interval = 0.5;
+  return config;
+}
+
+TEST(CrashRecovery, CrashedRouterDropsAndTrafficReroutes) {
+  const auto topo = square_topo();
+  std::vector<topo::FlowSpec> flows{{"n0", "n3", 2e6}};
+  SimConfig config = chaos_base_config();
+  config.faults.crashes.push_back({20.0, "n1"});
+  config.faults.recoveries.push_back({24.0, "n1"});
+  const auto result = run_simulation(topo, flows, config);
+
+  ASSERT_TRUE(result.monitor.has_value());
+  const auto& m = *result.monitor;
+  ASSERT_EQ(m.incidents.size(), 1u);
+  EXPECT_EQ(m.incidents[0].name, "n1");
+  EXPECT_DOUBLE_EQ(m.incidents[0].t_crash, 20.0);
+  EXPECT_DOUBLE_EQ(m.incidents[0].t_recovered, 24.0);
+  EXPECT_GE(m.incidents[0].t_reconverged, 24.0) << "never reconverged";
+  EXPECT_EQ(m.forwarding_loops, 0u);
+  EXPECT_EQ(m.accounting_leaks, 0u);
+  EXPECT_GT(m.checks, 50u);
+
+  // Traffic survived the outage: rerouted through n2.
+  EXPECT_GT(result.flows[0].delivered, 4000u);
+  double via2 = 0;
+  for (const auto& l : result.links) {
+    if (l.from == "n0" && l.to == "n2") via2 = l.data_bits;
+  }
+  EXPECT_GT(via2, 1e6);
+}
+
+TEST(CrashRecovery, FastRebootInsideDeadIntervalIsDetected) {
+  // The router reboots in 0.5 s — far below the 3.5 s dead interval, so the
+  // dead-interval timer alone would never notice. Only the hello generation
+  // number tells peers the neighbor lost all state; without the resync its
+  // post-reboot sequence numbers (restarting at 1) would be discarded as
+  // stale and the router would stay isolated forever.
+  const auto topo = square_topo();
+  std::vector<topo::FlowSpec> flows{{"n0", "n3", 2e6}, {"n3", "n0", 2e6}};
+  SimConfig config = chaos_base_config();
+  config.faults.crashes.push_back({20.0, "n1"});
+  config.faults.recoveries.push_back({20.5, "n1"});
+  const auto result = run_simulation(topo, flows, config);
+
+  ASSERT_TRUE(result.monitor.has_value());
+  const auto& m = *result.monitor;
+  ASSERT_EQ(m.incidents.size(), 1u);
+  EXPECT_GE(m.incidents[0].t_reconverged, 20.5)
+      << "rebooted router never re-learned the topology";
+  EXPECT_LT(m.incidents[0].time_to_reconverge(), 15.0);
+  EXPECT_EQ(m.forwarding_loops, 0u);
+  EXPECT_EQ(m.accounting_leaks, 0u);
+}
+
+TEST(CrashRecovery, RouterDownAtEndOfRunIsReportedUnrecovered) {
+  const auto topo = square_topo();
+  std::vector<topo::FlowSpec> flows{{"n0", "n3", 2e6}};
+  SimConfig config = chaos_base_config();
+  config.faults.crashes.push_back({20.0, "n1"});  // never recovers
+  const auto result = run_simulation(topo, flows, config);
+
+  ASSERT_TRUE(result.monitor.has_value());
+  const auto& m = *result.monitor;
+  ASSERT_EQ(m.incidents.size(), 1u);
+  EXPECT_LT(m.incidents[0].t_recovered, 0);
+  EXPECT_LT(m.incidents[0].t_reconverged, 0);
+  EXPECT_EQ(m.forwarding_loops, 0u);
+  EXPECT_EQ(m.accounting_leaks, 0u);
+  // The network around the dead router keeps working.
+  EXPECT_GT(result.flows[0].delivered, 4000u);
+}
+
+// The acceptance property: randomized chaos on the paper topologies.
+// At least 3 node crashes, 2 flapping links, Gilbert–Elliott loss and 1%
+// control corruption; the run must show zero realized forwarding loops at
+// every check, a balanced ledger, finite reconvergence for every crashed
+// router, and bit-identical incident records across same-seed runs.
+class ChaosProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  static graph::Topology topology() {
+    return std::string(GetParam()) == "cairn" ? topo::make_cairn()
+                                              : topo::make_net1();
+  }
+  static std::vector<topo::FlowSpec> flows() {
+    return std::string(GetParam()) == "cairn" ? topo::cairn_flows(0.5)
+                                              : topo::net1_flows(0.5);
+  }
+};
+
+TEST_P(ChaosProperty, InvariantsHoldUnderRandomizedChaos) {
+  const auto topo = topology();
+  fault::RandomPlanOptions opts;  // 3 crashes, 2 flaps, 2 gilbert links
+  SimConfig config = chaos_base_config();
+  config.seed = 99;
+  config.faults = fault::make_random_plan(topo, opts, /*seed=*/99);
+  config.faults.chaos.corrupt_rate = 0.01;
+  ASSERT_GE(config.faults.crashes.size(), 3u);
+  ASSERT_GE(config.faults.flaps.size(), 2u);
+  ASSERT_GE(config.faults.gilbert.size(), 1u);
+
+  const auto result = run_simulation(topo, flows(), config);
+  ASSERT_TRUE(result.monitor.has_value());
+  const auto& m = *result.monitor;
+
+  EXPECT_EQ(m.forwarding_loops, 0u) << "realized forwarding loop under chaos";
+  EXPECT_EQ(m.accounting_leaks, 0u) << "packet-conservation ledger leaked";
+  EXPECT_GT(m.checks, 50u);
+  ASSERT_EQ(m.incidents.size(), config.faults.crashes.size());
+  for (const auto& inc : m.incidents) {
+    EXPECT_GE(inc.t_recovered, 0) << inc.name << " never recovered";
+    EXPECT_GE(inc.t_reconverged, 0) << inc.name << " never reconverged";
+    EXPECT_GE(inc.time_to_reconverge(), 0);
+  }
+  // Corruption was actually exercised and rejected by the codecs.
+  EXPECT_GT(result.control_garbage, 0u);
+
+  // Determinism: a second identical run serializes bit-identically.
+  const auto rerun = run_simulation(topology(), flows(), config);
+  ASSERT_TRUE(rerun.monitor.has_value());
+  EXPECT_EQ(monitor_report_json(*rerun.monitor), monitor_report_json(m));
+  EXPECT_EQ(rerun.delivered, result.delivered);
+  EXPECT_EQ(rerun.control_garbage, result.control_garbage);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTopologies, ChaosProperty,
+                         ::testing::Values("cairn", "net1"));
+
+// A regression for the convergence behaviour the retransmission machinery
+// exists for: lossy control plane, MPDA must still converge (DESIGN.md §4).
+TEST(LossyControl, CairnConvergesUnderControlLoss) {
+  const auto topo = topo::make_cairn();
+  const auto flows = topo::cairn_flows(0.5);
+  SimConfig config;
+  config.link_loss_rate = 0.05;
+  config.traffic_start = 6.0;
+  config.warmup = 4.0;
+  config.duration = 30.0;
+  config.lfi_check_interval = 0.1;
+  const auto result = run_simulation(topo, flows, config);
+  EXPECT_EQ(result.lfi_violations, 0u);
+  EXPECT_EQ(result.dropped_no_route, 0u);
+  for (const auto& f : result.flows) {
+    EXPECT_GT(f.delivered, 100u) << f.src << "->" << f.dst;
+  }
+}
+
+}  // namespace
+}  // namespace mdr::sim

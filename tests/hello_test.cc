@@ -34,11 +34,23 @@ TEST(HelloCodec, EmptyHeardList) {
 }
 
 TEST(HelloCodec, RejectsTruncatedAndTrailing) {
-  auto wire = encode_hello(HelloMessage{1, {2, 3}});
+  auto wire = encode_hello(HelloMessage{1, 0, {2, 3}});
   EXPECT_FALSE(decode_hello(std::span(wire.data(), wire.size() - 1)).has_value());
   wire.push_back(0);
   EXPECT_FALSE(decode_hello(wire).has_value());
   EXPECT_FALSE(decode_hello(std::span<const std::uint8_t>{}).has_value());
+}
+
+TEST(HelloCodec, RejectsEverySingleBitFlip) {
+  // The chaos model flips one random bit in control payloads; the checksum
+  // trailer must reject all of them — a flipped generation would otherwise
+  // masquerade as a reboot and tear a healthy adjacency down.
+  const auto wire = encode_hello(HelloMessage{9, 7, {1, 4}});
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    auto flipped = wire;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(decode_hello(flipped).has_value()) << "bit " << bit;
+  }
 }
 
 // Fixture wiring two HelloProtocol instances through in-memory delivery.
@@ -132,6 +144,65 @@ TEST_F(HelloPair, DeadIntervalDropsAdjacency) {
   EXPECT_EQ(down_events.size(), 2u);
 }
 
+TEST_F(HelloPair, DeadIntervalBoundaryIsExclusive) {
+  // The peer is dead only when silence *exceeds* the dead interval: a tick
+  // at exactly last_heard + dead_interval keeps the adjacency (OSPF
+  // semantics: the timer fires after, not at, RouterDeadInterval).
+  nodes[0]->physical_up(1);
+  nodes[1]->physical_up(0);
+  for (double t = 0; t <= 2.0; t += 1.0) {
+    nodes[0]->tick(t);
+    nodes[1]->tick(t);
+    flush(t + 0.1);
+  }
+  ASSERT_TRUE(nodes[0]->adjacent(1));
+  const double last_heard = 2.1;  // the final flush above
+  link_up = false;
+  nodes[0]->tick(last_heard + 3.5);  // exactly the dead interval
+  EXPECT_TRUE(nodes[0]->adjacent(1));
+  EXPECT_TRUE(down_events.empty());
+  nodes[0]->tick(last_heard + 3.5 + 1e-9);  // just past it
+  EXPECT_FALSE(nodes[0]->adjacent(1));
+  ASSERT_EQ(down_events.size(), 1u);
+}
+
+TEST_F(HelloPair, GenerationChangeSignalsRebootInstantly) {
+  // Node 1 reboots and is back before its next hello is even due — far
+  // inside the dead interval, so the silence timer never fires. The bumped
+  // generation number in its first post-reboot hello is the only signal,
+  // and it must tear the stale adjacency down immediately so the routing
+  // layer flushes per-neighbor state and resyncs.
+  nodes[0]->physical_up(1);
+  nodes[1]->physical_up(0);
+  for (double t = 0; t <= 2.0; t += 1.0) {
+    nodes[0]->tick(t);
+    nodes[1]->tick(t);
+    flush(t + 0.1);
+  }
+  ASSERT_TRUE(nodes[0]->adjacent(1));
+  ASSERT_TRUE(down_events.empty());
+
+  nodes[1]->restart(/*generation=*/1);
+  nodes[1]->physical_up(0);  // the host re-learns its attached links
+  EXPECT_FALSE(nodes[1]->adjacent(0));  // reboot wiped the peer table
+
+  nodes[1]->tick(3.0);  // first post-reboot hello, generation 1
+  flush(3.1);
+  // Node 0 saw the generation change: stale adjacency torn down at once,
+  // 0.4 s after the reboot instead of a 3.5 s dead interval later.
+  ASSERT_GE(down_events.size(), 1u);
+  EXPECT_EQ(down_events[0], (std::pair<NodeId, NodeId>{0, 1}));
+
+  // And the 2-way handshake re-establishes from scratch.
+  for (double t = 4.0; t <= 6.0; t += 1.0) {
+    nodes[0]->tick(t);
+    nodes[1]->tick(t);
+    flush(t + 0.1);
+  }
+  EXPECT_TRUE(nodes[0]->adjacent(1));
+  EXPECT_TRUE(nodes[1]->adjacent(0));
+}
+
 TEST_F(HelloPair, SignaledPhysicalDownDropsImmediately) {
   nodes[0]->physical_up(1);
   nodes[1]->physical_up(0);
@@ -176,7 +247,7 @@ TEST(HelloProtocolMisc, IgnoresHelloWithoutPhysicalLink) {
   int ups = 0;
   callbacks.adjacency_up = [&ups](NodeId) { ++ups; };
   HelloProtocol hello(0, HelloProtocol::Options{1.0, 3.5}, std::move(callbacks));
-  hello.on_hello(HelloMessage{5, {0}}, 1.0);  // no physical_up(5) happened
+  hello.on_hello(HelloMessage{5, 0, {0}}, 1.0);  // no physical_up(5) happened
   EXPECT_FALSE(hello.adjacent(5));
   EXPECT_EQ(ups, 0);
 }

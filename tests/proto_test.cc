@@ -2,11 +2,13 @@
 // end-to-end convergence (paper Theorem 2).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "graph/bellman_ford.h"
 #include "graph/dijkstra.h"
 #include "harness.h"
+#include "proto/checksum.h"
 #include "proto/lsu.h"
 #include "proto/pda.h"
 #include "proto/tables.h"
@@ -72,6 +74,73 @@ TEST(LsuCodec, RejectsBadOpAndFlags) {
   auto wire2 = encode(LsuMessage{1, false, {LsuEntry{0, 1, 2.0, LsuOp::kAddOrChange}}});
   wire2.back() = 0xFF;  // entry op byte
   EXPECT_FALSE(decode(wire2).has_value());
+}
+
+// Recomputes the checksum trailer after the test tampered with the body, so
+// the assertions below hit the structural checks rather than the checksum.
+void refresh_checksum(std::vector<std::uint8_t>& wire) {
+  const std::span<const std::uint8_t> body(wire.data(), wire.size() - 4);
+  const std::uint32_t sum = checksum32(body);
+  for (int i = 0; i < 4; ++i) {
+    wire[body.size() + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+}
+
+TEST(LsuCodec, RejectsEverySingleBitFlip) {
+  // The chaos corruption model flips one random payload bit; the checksum
+  // must catch all of them — in particular flips inside seq, which are
+  // structurally valid but would poison the staleness filter.
+  LsuMessage msg;
+  msg.sender = 3;
+  msg.seq = 17;
+  msg.entries = {LsuEntry{1, 2, 3.25, LsuOp::kAddOrChange},
+                 LsuEntry{2, 9, graph::kInfCost, LsuOp::kDelete}};
+  const auto wire = encode(msg);
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    auto flipped = wire;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(decode(flipped).has_value()) << "bit " << bit;
+  }
+}
+
+TEST(LsuCodec, RejectsLengthLyingCount) {
+  auto wire = encode(LsuMessage{1, false,
+                                {LsuEntry{0, 1, 2.0, LsuOp::kAddOrChange},
+                                 LsuEntry{1, 2, 3.0, LsuOp::kAddOrChange}}});
+  // Count claims more/fewer entries than the buffer holds (checksum made
+  // valid again so only the length check can reject).
+  for (const std::uint8_t lie : {0, 1, 3, 200}) {
+    auto tampered = wire;
+    tampered[13] = lie;  // count low byte (2 entries fit in one byte)
+    refresh_checksum(tampered);
+    EXPECT_FALSE(decode(tampered).has_value()) << "count " << int(lie);
+  }
+}
+
+TEST(LsuCodec, RejectsNanAndNegativeCosts) {
+  const LsuMessage msg{1, false, {LsuEntry{0, 1, 2.0, LsuOp::kAddOrChange}}};
+  for (const double bad : {std::nan(""), -1.0, -graph::kInfCost}) {
+    auto tampered = msg;
+    tampered.entries[0].cost = bad;
+    auto wire = encode(tampered);
+    EXPECT_FALSE(decode(wire).has_value());
+  }
+}
+
+TEST(LsuCodec, RandomBuffersNeverDecode) {
+  // Random bytes are not a valid message: structurally implausible ones are
+  // rejected by the length/range checks, plausible ones by the checksum
+  // (2^-32 per trial of a false accept; with 20k trials, never in practice).
+  mdr::Rng rng(11);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(rng.uniform_int(0, 96)));
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    EXPECT_FALSE(decode(bytes).has_value());
+  }
 }
 
 // ------------------------------------------------------------------ tables
