@@ -57,6 +57,28 @@ void print_single_run(const mdr::sim::SimResult& result, bool quiet) {
                 static_cast<unsigned long long>(result.control_garbage));
   }
   std::printf("\n");
+  if (!result.node_control.empty()) {
+    std::printf(
+        "LSUs: %llu originated, %llu retransmitted, %llu paced away, "
+        "%llu acks",
+        static_cast<unsigned long long>(result.lsus_originated),
+        static_cast<unsigned long long>(result.lsus_retransmitted),
+        static_cast<unsigned long long>(result.lsus_suppressed),
+        static_cast<unsigned long long>(result.acks_sent));
+    if (result.damped_withdrawals > 0) {
+      std::printf(", %llu damped withdrawals",
+                  static_cast<unsigned long long>(result.damped_withdrawals));
+    }
+    if (result.control_dropped > 0) {
+      std::printf("; control drops %llu (queue %llu, wire %llu, flush %llu)",
+                  static_cast<unsigned long long>(result.control_dropped),
+                  static_cast<unsigned long long>(result.control_dropped_queue),
+                  static_cast<unsigned long long>(result.control_dropped_wire),
+                  static_cast<unsigned long long>(
+                      result.control_dropped_flush));
+    }
+    std::printf("\n");
+  }
   if (result.lfi_checks > 0) {
     std::printf("LFI checks: %llu, violations: %llu\n",
                 static_cast<unsigned long long>(result.lfi_checks),
@@ -71,6 +93,15 @@ void print_single_run(const mdr::sim::SimResult& result, bool quiet) {
         static_cast<unsigned long long>(m.forwarding_loops),
         static_cast<unsigned long long>(m.blackholes),
         static_cast<unsigned long long>(m.accounting_leaks));
+    if (m.control_drop_alerts > 0 || m.starved_adjacencies > 0) {
+      std::printf("  watchdog: %llu control-drop alerts, %llu starved adjacencies\n",
+                  static_cast<unsigned long long>(m.control_drop_alerts),
+                  static_cast<unsigned long long>(m.starved_adjacencies));
+    }
+    if (m.t_last_anomaly >= 0) {
+      std::printf("  last anomaly (loop/blackhole) at t=%.2f\n",
+                  m.t_last_anomaly);
+    }
     for (const auto& inc : m.incidents) {
       if (inc.t_reconverged >= 0) {
         std::printf(

@@ -10,7 +10,7 @@ using graph::NodeId;
 
 MpRouter::MpRouter(NodeId self, std::size_t num_nodes, proto::LsuSink& sink,
                    MpRouterOptions options)
-    : mpda_(self, num_nodes, sink),
+    : mpda_(self, num_nodes, sink, options.pacing),
       options_(options),
       table_(num_nodes),
       allocated_version_(num_nodes, 0),
@@ -35,14 +35,24 @@ void MpRouter::on_link_up(NodeId k, Cost long_term_cost) {
   refresh_changed_destinations();
 }
 
+void MpRouter::on_link_up_at(NodeId k, Cost long_term_cost, Time now) {
+  mpda_.on_link_up_at(k, long_term_cost, now);
+  refresh_changed_destinations();
+}
+
 void MpRouter::on_link_down(NodeId k) {
   short_costs_.erase(k);
   mpda_.on_link_down(k);
   refresh_changed_destinations();
 }
 
-void MpRouter::on_long_term_cost(NodeId k, Cost cost) {
-  mpda_.on_link_cost_change(k, cost);
+void MpRouter::on_long_term_cost(NodeId k, Cost cost, Time now) {
+  mpda_.on_link_cost_change_at(k, cost, now);
+  refresh_changed_destinations();
+}
+
+void MpRouter::pacing_tick(Time now) {
+  mpda_.pacing_tick(now);
   refresh_changed_destinations();
 }
 

@@ -37,6 +37,8 @@ struct MpRouterOptions {
   /// lands within the paper's 5% OPT envelope. bench/ablation_allocation
   /// quantifies the difference.
   double ah_damping = 0.5;
+  /// LSU origination pacing (off by default — see core/mpda.h).
+  LsuPacing pacing{};
 };
 
 /// One next-hop choice with its routing parameter (phi).
@@ -53,11 +55,21 @@ class MpRouter {
   // --- control-plane events (forwarded to MPDA, allocations refreshed) ----
 
   void on_link_up(graph::NodeId k, graph::Cost long_term_cost);
+  /// Clock-aware link up: with pacing enabled, a re-announcement inside the
+  /// link's hold-down is deferred to pacing_tick() (and cancelled by a down
+  /// meanwhile); see MpdaProcess::on_link_up_at.
+  void on_link_up_at(graph::NodeId k, graph::Cost long_term_cost, Time now);
   void on_link_down(graph::NodeId k);
   /// Tl tick outcome for one adjacent link: a new long-term cost worth
-  /// advertising. Triggers an LSU flood via MPDA.
-  void on_long_term_cost(graph::NodeId k, graph::Cost cost);
+  /// advertising. Triggers an LSU flood via MPDA — immediately, or (with
+  /// pacing enabled and the link's hold-down open) coalesced until
+  /// pacing_tick(). `now` only matters to pacing; the default keeps
+  /// un-timed harness call sites bit-identical.
+  void on_long_term_cost(graph::NodeId k, graph::Cost cost, Time now = 0);
   void on_lsu(const proto::LsuMessage& msg);
+
+  /// Pacing tick: flush expired hold-downs (see MpdaProcess::pacing_tick).
+  void pacing_tick(Time now);
 
   /// Alias so MpRouter exposes the same event-method names as the raw
   /// protocol processes (harnesses drive either interchangeably).

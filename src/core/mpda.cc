@@ -10,13 +10,17 @@ using graph::NodeId;
 using proto::LsuMessage;
 
 MpdaProcess::MpdaProcess(NodeId self, std::size_t num_nodes,
-                         proto::LsuSink& sink)
+                         proto::LsuSink& sink, LsuPacing pacing)
     : tables_(self, num_nodes),
       sink_(&sink),
       fd_(num_nodes, graph::kInfCost),
       successors_(num_nodes),
-      successor_versions_(num_nodes, 0) {
+      successor_versions_(num_nodes, 0),
+      pacing_(pacing) {
   fd_[self] = 0;
+  assert(!pacing_.enabled ||
+         (pacing_.min_interval > 0 &&
+          pacing_.max_interval >= pacing_.min_interval));
 }
 
 std::size_t MpdaProcess::acks_pending() const {
@@ -39,6 +43,7 @@ void MpdaProcess::retransmit_unacked() {
       copy.ack = false;  // a stale piggybacked ack must not be replayed
       copy.ack_seq = 0;
       send(k, copy);
+      ++lsus_retransmitted_;
       ++pending.attempts;
       pending.cooldown = std::min(
           pending.attempts < 6 ? (1u << pending.attempts) - 1 : ~0u,
@@ -54,6 +59,7 @@ void MpdaProcess::reset() {
   unacked_.clear();
   last_seen_seq_.clear();
   full_sync_.clear();
+  pace_.clear();  // a rebooted router has no memory of past instability
   std::fill(fd_.begin(), fd_.end(), graph::kInfCost);
   fd_[tables_.self()] = 0;
   for (std::size_t j = 0; j < successors_.size(); ++j) {
@@ -62,8 +68,9 @@ void MpdaProcess::reset() {
       ++successor_versions_[j];
     }
   }
-  // messages_sent_ is a measurement counter, not protocol state: it keeps
-  // counting across incarnations so run statistics stay conserved.
+  // messages_sent_ and the lsus_*/acks_sent_ breakdown are measurement
+  // counters, not protocol state: they keep counting across incarnations so
+  // run statistics stay conserved.
 }
 
 void MpdaProcess::send(NodeId k, const LsuMessage& msg) {
@@ -72,6 +79,12 @@ void MpdaProcess::send(NodeId k, const LsuMessage& msg) {
 }
 
 void MpdaProcess::on_link_up(NodeId k, Cost cost) {
+  // The fresh adjacency announces its own cost; a change coalesced before
+  // the link went down is obsolete.
+  if (auto it = pace_.find(k); it != pace_.end()) {
+    it->second.has_pending = false;
+    it->second.pending_up = false;
+  }
   tables_.link_up(k, cost);
   full_sync_.insert(k);  // Fig. 2 step 2: owe k the full topology table
   after_ntu({});
@@ -85,11 +98,19 @@ void MpdaProcess::on_link_up(NodeId k, Cost cost) {
     msg.seq = next_seq_++;
     unacked_[k][msg.seq] = Pending{msg};
     send(k, msg);
+    ++lsus_originated_;
     mode_ = Mode::kActive;
   }
 }
 
 void MpdaProcess::on_link_down(NodeId k) {
+  // A cost change coalesced for a link that just died must never flush —
+  // and a deferred re-announcement dies with it (the whole bounce never
+  // reaches the wire).
+  if (auto it = pace_.find(k); it != pace_.end()) {
+    it->second.has_pending = false;
+    it->second.pending_up = false;
+  }
   tables_.link_down(k);
   // Paper: "When a router detects that an adjacent link failed, any pending
   // ACKs from the neighbor at the other end of the link are treated as
@@ -103,6 +124,77 @@ void MpdaProcess::on_link_down(NodeId k) {
 void MpdaProcess::on_link_cost_change(NodeId k, Cost cost) {
   tables_.link_cost_change(k, cost);
   after_ntu({});
+}
+
+void MpdaProcess::on_link_cost_change_at(NodeId k, Cost cost, Time now) {
+  if (!pacing_.enabled) {
+    on_link_cost_change(k, cost);
+    return;
+  }
+  auto [it, inserted] = pace_.try_emplace(k, Pace{pacing_.min_interval});
+  Pace& p = it->second;
+  if (p.has_pending && p.pending_up) {
+    // The announcement itself is still deferred (possibly past its window,
+    // awaiting the next tick): the new cost just rides along with it.
+    p.pending = cost;
+    ++lsus_suppressed_;
+    return;
+  }
+  if (now >= p.next_allowed) {
+    // Hold-down expired. If a whole extra interval passed quietly the link
+    // has calmed down: snap the backoff to its floor before originating.
+    if (now - p.next_allowed >= p.interval) p.interval = pacing_.min_interval;
+    p.next_allowed = now + p.interval;
+    on_link_cost_change(k, cost);
+  } else {
+    // Inside the hold-down: coalesce — only the latest cost survives. Each
+    // swallowed event is one origination flood the network never saw.
+    p.pending = cost;
+    p.has_pending = true;
+    ++lsus_suppressed_;
+  }
+}
+
+void MpdaProcess::on_link_up_at(NodeId k, Cost cost, Time now) {
+  if (!pacing_.enabled) {
+    on_link_up(k, cost);
+    return;
+  }
+  auto [it, inserted] = pace_.try_emplace(k, Pace{pacing_.min_interval});
+  Pace& p = it->second;
+  if (now >= p.next_allowed) {
+    if (now - p.next_allowed >= p.interval) p.interval = pacing_.min_interval;
+    p.next_allowed = now + p.interval;
+    on_link_up(k, cost);
+  } else {
+    // Re-announcement inside the hold-down: the link just bounced. Defer
+    // the up; if the link dies again before the window closes, on_link_down
+    // cancels it and the whole bounce never reached the wire.
+    p.pending = cost;
+    p.has_pending = true;
+    p.pending_up = true;
+    ++lsus_suppressed_;
+  }
+}
+
+void MpdaProcess::pacing_tick(Time now) {
+  if (!pacing_.enabled) return;
+  for (auto& [k, p] : pace_) {
+    if (now < p.next_allowed || !p.has_pending) continue;
+    p.has_pending = false;
+    const bool was_up = p.pending_up;
+    p.pending_up = false;
+    // Trickle: a window that had to coalesce means the link is unstable —
+    // lengthen the next hold-down (capped). The quiet-window snap-back
+    // happens in on_link_cost_change_at when the next change arrives.
+    p.interval = std::min(p.interval * 2, pacing_.max_interval);
+    p.next_allowed = now + p.interval;
+    if (was_up) {
+      on_link_up(k, p.pending);
+    } else if (tables_.is_neighbor(k)) {
+      on_link_cost_change(k, p.pending);
+    }
+  }
 }
 
 void MpdaProcess::on_lsu(const LsuMessage& msg) {
@@ -169,6 +261,7 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
       msg.seq = next_seq_++;
       unacked_[k][msg.seq] = Pending{msg};
       send(k, msg);
+      ++lsus_originated_;
     }
   } else if (outcome.ack_to != graph::kInvalidNode &&
              tables_.is_neighbor(outcome.ack_to)) {
@@ -176,6 +269,7 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
     LsuMessage msg{self(), /*ack=*/true, {}};
     msg.ack_seq = outcome.ack_seq;
     send(outcome.ack_to, msg);
+    ++acks_sent_;
   }
 }
 

@@ -36,14 +36,37 @@
 #include "graph/topology.h"
 #include "proto/lsu.h"
 #include "proto/pda.h"
+#include "util/time.h"
 
 namespace mdr::core {
+
+/// LSU origination pacing: a per-link MinLSInterval-style hold-down with
+/// Trickle-like adaptive backoff. While a link's hold-down is open,
+/// back-to-back long-term cost changes for it are coalesced — only the
+/// latest cost is applied (and flooded) when the window expires. A window
+/// that had to coalesce doubles the next hold-down (up to `max_interval`);
+/// a window that stayed quiet snaps it back to `min_interval`. Deferring
+/// the *whole* cost-change event (not just its flood) is what keeps MPDA's
+/// invariants intact: to the protocol a paced change is simply a cost that
+/// changed a little later.
+///
+/// The hold-down also paces link *re-announcements* (the BGP-MRAI /
+/// OSPF-MinLSInterval asymmetry): an up arriving inside the window is
+/// deferred, and a down meanwhile cancels it, collapsing a whole bounce to
+/// nothing on the wire. Withdrawals (on_link_down) are never paced — bad
+/// news must flood immediately.
+struct LsuPacing {
+  bool enabled = false;
+  Duration min_interval = 1.0;  ///< hold-down after an origination (s)
+  Duration max_interval = 8.0;  ///< backoff ceiling while unstable (s)
+};
 
 class MpdaProcess final : public proto::RoutingProcess {
  public:
   enum class Mode { kPassive, kActive };
 
-  MpdaProcess(graph::NodeId self, std::size_t num_nodes, proto::LsuSink& sink);
+  MpdaProcess(graph::NodeId self, std::size_t num_nodes, proto::LsuSink& sink,
+              LsuPacing pacing = {});
 
   // --- protocol events -----------------------------------------------------
 
@@ -51,6 +74,24 @@ class MpdaProcess final : public proto::RoutingProcess {
   void on_link_down(graph::NodeId k) override;
   void on_link_cost_change(graph::NodeId k, graph::Cost cost) override;
   void on_lsu(const proto::LsuMessage& msg) override;
+
+  /// Clock-aware cost change: applies immediately when pacing is off or the
+  /// link's hold-down has expired, otherwise coalesces into the pending slot
+  /// for pacing_tick() to flush. The un-timed override above is equivalent
+  /// to `now = 0` (pacing effectively bypassed), preserving every existing
+  /// call site bit-for-bit.
+  void on_link_cost_change_at(graph::NodeId k, graph::Cost cost, Time now);
+
+  /// Clock-aware link up: immediate when pacing is off or the link's
+  /// hold-down has expired, otherwise the announcement is deferred until
+  /// pacing_tick() — and silently dropped if the link goes back down first.
+  void on_link_up_at(graph::NodeId k, graph::Cost cost, Time now);
+
+  /// Flushes expired hold-downs (flooding the coalesced cost) and performs
+  /// Trickle bookkeeping: double the interval after a busy window, snap back
+  /// to min_interval after a quiet one. Drive from a periodic timer of
+  /// roughly `min_interval` when pacing is enabled; no-op otherwise.
+  void pacing_tick(Time now);
 
   // --- routing state -------------------------------------------------------
 
@@ -103,6 +144,21 @@ class MpdaProcess final : public proto::RoutingProcess {
   std::size_t messages_sent() const { return messages_sent_; }
   std::size_t acks_pending() const;
 
+  // --- control-overhead breakdown (measurement counters; like
+  // messages_sent_ they survive reset() so run statistics stay conserved) --
+
+  /// First-transmission entries-LSUs (floods + full syncs).
+  std::uint64_t lsus_originated() const { return lsus_originated_; }
+  /// Resends out of the retransmission buffer.
+  std::uint64_t lsus_retransmitted() const { return lsus_retransmitted_; }
+  /// Cost-change events coalesced away by pacing (each would have been an
+  /// origination flood without the hold-down).
+  std::uint64_t lsus_suppressed() const { return lsus_suppressed_; }
+  /// Pure ack messages (no entries payload).
+  std::uint64_t acks_sent() const { return acks_sent_; }
+
+  const LsuPacing& pacing() const { return pacing_; }
+
   /// Oldest outstanding LSUs eligible for retransmission, per neighbor.
   static constexpr std::size_t kRetransmitWindow = 8;
   /// Maximum gap (in retransmit ticks) between successive resends.
@@ -119,6 +175,15 @@ class MpdaProcess final : public proto::RoutingProcess {
     proto::LsuMessage msg;
     std::uint32_t attempts = 0;  ///< resends so far
     std::uint32_t cooldown = 0;  ///< eligible ticks to skip before resending
+  };
+
+  /// Per-link pacing state (exists only while pacing is enabled).
+  struct Pace {
+    Duration interval;         ///< current hold-down length
+    Time next_allowed = 0;     ///< hold-down open until this instant
+    bool has_pending = false;  ///< a coalesced change awaits flushing
+    bool pending_up = false;   ///< the pending event is an announcement
+    graph::Cost pending = 0;   ///< latest coalesced cost
   };
 
   // Fig. 4 steps 2-8, shared by every event type.
@@ -140,6 +205,12 @@ class MpdaProcess final : public proto::RoutingProcess {
   std::vector<std::vector<graph::NodeId>> successors_;
   std::vector<std::uint64_t> successor_versions_;
   std::size_t messages_sent_ = 0;
+  LsuPacing pacing_;
+  std::map<graph::NodeId, Pace> pace_;
+  std::uint64_t lsus_originated_ = 0;
+  std::uint64_t lsus_retransmitted_ = 0;
+  std::uint64_t lsus_suppressed_ = 0;
+  std::uint64_t acks_sent_ = 0;
 };
 
 }  // namespace mdr::core

@@ -1,0 +1,74 @@
+#include "proto/damping.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdr::proto {
+
+FlapDamper::FlapDamper(Options options) : options_(options) {}
+
+double FlapDamper::decayed(const State& s, Time now) const {
+  if (s.penalty <= 0) return 0;
+  const Duration dt = now - s.stamp;
+  if (dt <= 0) return s.penalty;
+  return s.penalty * std::exp2(-dt / options_.half_life);
+}
+
+bool FlapDamper::on_down(graph::NodeId k, Time now) {
+  State& s = states_[k];
+  s.penalty = std::min(decayed(s, now) + options_.penalty, options_.max_penalty);
+  s.stamp = now;
+  if (!s.suppressed && s.penalty >= options_.suppress_threshold) {
+    s.suppressed = true;
+    ++damped_withdrawals_;
+  }
+  return s.suppressed;
+}
+
+bool FlapDamper::on_up(graph::NodeId k, Time now) {
+  auto it = states_.find(k);
+  if (it == states_.end()) return true;
+  State& s = it->second;
+  s.penalty = decayed(s, now);
+  s.stamp = now;
+  if (s.suppressed) {
+    ++suppressed_ups_;
+    return false;
+  }
+  return true;
+}
+
+std::vector<graph::NodeId> FlapDamper::release_reusable(Time now) {
+  std::vector<graph::NodeId> released;
+  for (auto it = states_.begin(); it != states_.end();) {
+    State& s = it->second;
+    s.penalty = decayed(s, now);
+    s.stamp = now;
+    if (s.suppressed && s.penalty < options_.reuse_threshold) {
+      s.suppressed = false;
+      released.push_back(it->first);
+    }
+    // Prune idle entries once the penalty has decayed to noise; a
+    // long-stable neighbor should cost no memory.
+    if (!s.suppressed && s.penalty < 1.0) {
+      it = states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+bool FlapDamper::suppressed(graph::NodeId k) const {
+  auto it = states_.find(k);
+  return it != states_.end() && it->second.suppressed;
+}
+
+double FlapDamper::penalty(graph::NodeId k, Time now) const {
+  auto it = states_.find(k);
+  return it == states_.end() ? 0.0 : decayed(it->second, now);
+}
+
+void FlapDamper::reset() { states_.clear(); }
+
+}  // namespace mdr::proto

@@ -1,0 +1,89 @@
+// Link-flap damping (RFC 2439 style) over hello adjacency events.
+//
+// A flapping adjacency — one that cycles up/down faster than the network
+// can reconverge — makes every transition trigger a network-wide LSU flood:
+// exactly the "excessive flooding" overhead the paper's report threshold is
+// meant to avoid, re-created at the adjacency layer. The damper keeps an
+// exponentially-decaying penalty per neighbor: every down transition adds a
+// fixed penalty; once the penalty crosses `suppress_threshold` the neighbor
+// is *suppressed* — it is withdrawn from routing once and further up
+// transitions are swallowed instead of re-advertised — until decay brings
+// the penalty below `reuse_threshold`, at which point the host re-announces
+// the (still-up) adjacency.
+//
+// The damper is pure bookkeeping with an explicit clock: the host feeds it
+// adjacency transitions (on_down / on_up) and polls release_reusable() from
+// a periodic timer. It never talks to the routing process itself, so the
+// routing layer sees only a slow, stable adjacency where the physical layer
+// had a fast, flapping one. Loop-freedom is unaffected: to MPDA a damped
+// link is simply a link that stays down longer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/topology.h"
+#include "util/time.h"
+
+namespace mdr::proto {
+
+class FlapDamper {
+ public:
+  struct Options {
+    bool enabled = false;
+    double penalty = 1000.0;            ///< added per down transition
+    double suppress_threshold = 2000.0; ///< penalty at/above which to suppress
+    double reuse_threshold = 750.0;     ///< decay below this releases
+    Duration half_life = 15.0;          ///< exponential-decay half life (s)
+    double max_penalty = 12000.0;       ///< accumulation ceiling
+  };
+
+  explicit FlapDamper(Options options);
+
+  /// Records a down transition at `now`; returns true when the neighbor is
+  /// suppressed after the penalty is applied (the withdrawal this event
+  /// triggers is then the *last* one until release).
+  bool on_down(graph::NodeId k, Time now);
+
+  /// Records an up transition; returns true when the up may be announced to
+  /// routing, false when the neighbor is suppressed (the host holds the
+  /// adjacency back and waits for release_reusable()).
+  bool on_up(graph::NodeId k, Time now);
+
+  /// Decays every penalty to `now` and returns the neighbors that just left
+  /// suppression (penalty fell below reuse_threshold). The host re-announces
+  /// those that are still adjacent. Fully-decayed idle entries are pruned.
+  std::vector<graph::NodeId> release_reusable(Time now);
+
+  bool suppressed(graph::NodeId k) const;
+  double penalty(graph::NodeId k, Time now) const;
+
+  /// Crash semantics: damping state dies with the router process. The
+  /// measurement counters survive (run statistics stay conserved).
+  void reset();
+
+  /// Times a neighbor entered suppression (each is one withdrawal that
+  /// replaced a whole train of re-advertisements).
+  std::uint64_t damped_withdrawals() const { return damped_withdrawals_; }
+  /// Up transitions swallowed while suppressed.
+  std::uint64_t suppressed_ups() const { return suppressed_ups_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct State {
+    double penalty = 0;
+    Time stamp = 0;  ///< instant `penalty` was last materialized
+    bool suppressed = false;
+  };
+
+  double decayed(const State& s, Time now) const;
+
+  Options options_;
+  std::map<graph::NodeId, State> states_;
+  std::uint64_t damped_withdrawals_ = 0;
+  std::uint64_t suppressed_ups_ = 0;
+};
+
+}  // namespace mdr::proto

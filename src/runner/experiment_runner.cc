@@ -144,6 +144,28 @@ void write_results_json(std::ostream& os, const BatchResult& batch,
        << (r.dropped_no_route + r.dropped_ttl + r.dropped_queue +
            r.dropped_dead)
        << ", \"control_messages\": " << r.control_messages;
+    os << ", \"control\": {\"messages\": " << r.control_messages
+       << ", \"garbage\": " << r.control_garbage
+       << ", \"dropped\": " << r.control_dropped
+       << ", \"dropped_queue\": " << r.control_dropped_queue
+       << ", \"dropped_wire\": " << r.control_dropped_wire
+       << ", \"dropped_flush\": " << r.control_dropped_flush
+       << ", \"lsus_originated\": " << r.lsus_originated
+       << ", \"lsus_retransmitted\": " << r.lsus_retransmitted
+       << ", \"lsus_suppressed\": " << r.lsus_suppressed
+       << ", \"acks\": " << r.acks_sent
+       << ", \"damped_withdrawals\": " << r.damped_withdrawals
+       << ", \"per_node\": [";
+    for (std::size_t x = 0; x < r.node_control.size(); ++x) {
+      const auto& nc = r.node_control[x];
+      os << (x > 0 ? ", " : "") << "{\"node\": \"" << escape(nc.node)
+         << "\", \"lsus_originated\": " << nc.lsus_originated
+         << ", \"lsus_retransmitted\": " << nc.lsus_retransmitted
+         << ", \"lsus_suppressed\": " << nc.lsus_suppressed
+         << ", \"acks\": " << nc.acks
+         << ", \"damped_withdrawals\": " << nc.damped_withdrawals << "}";
+    }
+    os << "]}";
     if (r.monitor.has_value()) {
       os << ", \"monitor\": " << sim::monitor_report_json(*r.monitor);
     }

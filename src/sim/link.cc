@@ -26,7 +26,11 @@ SimLink::SimLink(EventQueue& events, graph::LinkAttr attr,
 bool SimLink::enqueue(Packet packet) {
   if (!up_) {
     ++drops_;
-    if (packet.kind == Packet::Kind::kData) ++data_dropped_;
+    if (packet.kind == Packet::Kind::kData) {
+      ++data_dropped_;
+    } else {
+      ++control_dropped_flush_;
+    }
     return false;
   }
   const bool starts_busy_period =
@@ -38,7 +42,20 @@ bool SimLink::enqueue(Packet packet) {
     ++data_dropped_;
     return false;
   }
+  if (packet.kind == Packet::Kind::kControl &&
+      options_.control_queue_limit_bits > 0 &&
+      control_queued_bits_ + packet.size_bits >
+          options_.control_queue_limit_bits) {
+    // Bounded control ingress: the budget counts control bits queued or in
+    // service, so a storm sheds here instead of growing without bound.
+    ++drops_;
+    ++control_dropped_queue_;
+    return false;
+  }
   queued_bits_ += packet.size_bits;
+  if (packet.kind == Packet::Kind::kControl) {
+    control_queued_bits_ += packet.size_bits;
+  }
   Queued q{std::move(packet), events_->now()};
   // Mark busy-period starts through the enqueue time so estimators see them.
   if (starts_busy_period) q.enqueued = events_->now();
@@ -72,6 +89,9 @@ void SimLink::finish_transmission() {
   Queued q = std::move(*in_service_);
   in_service_.reset();
   queued_bits_ -= q.packet.size_bits;
+  if (q.packet.kind == Packet::Kind::kControl) {
+    control_queued_bits_ -= q.packet.size_bits;
+  }
   transmitting_ = false;
 
   const double service =
@@ -105,7 +125,11 @@ void SimLink::finish_transmission() {
   if (options_.gilbert.enabled() && gilbert_.lose(rng_)) lost = true;
   if (lost) {
     ++drops_;  // corrupted on the wire
-    if (q.packet.kind == Packet::Kind::kData) ++data_dropped_;
+    if (q.packet.kind == Packet::Kind::kData) {
+      ++data_dropped_;
+    } else {
+      ++control_dropped_wire_;
+    }
   } else {
     const bool control = q.packet.kind == Packet::Kind::kControl;
     Duration delay = attr_.prop_delay_s;
@@ -154,6 +178,13 @@ void SimLink::set_up(bool up) {
     // propagating count as drops too — otherwise they leak out of the
     // conservation ledger (injected == delivered + dropped + in transit).
     data_dropped_ += queued_data_packets() + in_flight_data_;
+    control_dropped_flush_ +=
+        control_queue_.size() +
+        (in_service_.has_value() &&
+                 in_service_->packet.kind == Packet::Kind::kControl
+             ? 1
+             : 0) +
+        in_flight_control_;
     drops_ += control_queue_.size() + data_queue_.size() +
               (in_service_.has_value() ? 1 : 0) + in_flight_data_ +
               in_flight_control_;
@@ -163,6 +194,7 @@ void SimLink::set_up(bool up) {
     data_queue_.clear();
     in_service_.reset();
     queued_bits_ = 0;
+    control_queued_bits_ = 0;
     transmitting_ = false;
     ++epoch_;
   }

@@ -25,7 +25,14 @@ class SimLink {
   using DeliverFn = std::function<void(Packet)>;
 
   struct Options {
-    double queue_limit_bits = 0;  ///< 0 = unbounded (paper setting)
+    double queue_limit_bits = 0;  ///< data-queue bound; 0 = unbounded (paper)
+    /// Separate budget for the strict-priority control queue (bits queued or
+    /// in service). 0 = unbounded, the seed behavior. A finite budget models
+    /// a router that bounds its control ingress: during an update storm the
+    /// excess is shed here — with per-cause accounting — instead of growing
+    /// without bound, and the protocol's retransmission machinery recovers
+    /// whatever mattered.
+    double control_queue_limit_bits = 0;
     /// Independent per-packet loss probability applied after transmission
     /// (a noisy medium). Control traffic is equally affected — MPDA's
     /// retransmission machinery is what keeps routing correct under loss.
@@ -80,6 +87,25 @@ class SimLink {
   /// loss, link failure flushing the queue or the propagation pipe). Part
   /// of the monitor's packet-conservation ledger.
   std::uint64_t data_dropped() const { return data_dropped_; }
+  /// Control packets dropped on this link, from any cause — the mirror of
+  /// data_dropped() the seed never kept (control drops were folded into the
+  /// generic drops_). Split by cause below; feeds the monitor's
+  /// control-starvation watchdog.
+  std::uint64_t control_dropped() const {
+    return control_dropped_queue_ + control_dropped_wire_ +
+           control_dropped_flush_;
+  }
+  /// ... at a full control-queue budget (control_queue_limit_bits).
+  std::uint64_t control_dropped_queue() const {
+    return control_dropped_queue_;
+  }
+  /// ... lost on the wire (i.i.d. or Gilbert–Elliott loss).
+  std::uint64_t control_dropped_wire() const { return control_dropped_wire_; }
+  /// ... flushed by a link failure (queued, in service, in flight, or
+  /// enqueued while the link was down).
+  std::uint64_t control_dropped_flush() const {
+    return control_dropped_flush_;
+  }
   /// Data packets currently queued or in service (not yet on the wire).
   std::uint64_t queued_data_packets() const {
     return data_queue_.size() +
@@ -114,6 +140,7 @@ class SimLink {
   std::deque<Queued> data_queue_;
   std::optional<Queued> in_service_;
   double queued_bits_ = 0;
+  double control_queued_bits_ = 0;  ///< control share of queued_bits_
   bool transmitting_ = false;
   bool up_ = true;
   std::uint64_t epoch_ = 0;  ///< bumped on set_up(false): cancels in-flight
@@ -129,6 +156,9 @@ class SimLink {
   double control_bits_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t data_dropped_ = 0;
+  std::uint64_t control_dropped_queue_ = 0;
+  std::uint64_t control_dropped_wire_ = 0;
+  std::uint64_t control_dropped_flush_ = 0;
   std::uint64_t in_flight_data_ = 0;     ///< propagating data packets
   std::uint64_t in_flight_control_ = 0;  ///< propagating control packets
   double busy_time_ = 0;

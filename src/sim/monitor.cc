@@ -12,8 +12,8 @@ using graph::LinkId;
 using graph::NodeId;
 
 InvariantMonitor::InvariantMonitor(const graph::Topology& topo,
-                                   MonitorHooks hooks)
-    : topo_(&topo), hooks_(std::move(hooks)) {}
+                                   MonitorHooks hooks, MonitorOptions options)
+    : topo_(&topo), hooks_(std::move(hooks)), options_(options) {}
 
 void InvariantMonitor::on_crash(NodeId node, Time now) {
   Incident inc;
@@ -81,6 +81,49 @@ void InvariantMonitor::check(Time now) {
     }
   }
 
+  // --- control-overload watchdog (only with the control_dropped hook) ---
+  if (hooks_.control_dropped) {
+    const auto num_links = static_cast<LinkId>(topo_->num_links());
+    if (prev_control_dropped_.size() != static_cast<std::size_t>(num_links)) {
+      prev_control_dropped_.assign(num_links, 0);
+    }
+    std::vector<std::uint64_t> ingress_delta(n, 0);
+    std::uint64_t sweep_delta = 0;
+    for (LinkId id = 0; id < num_links; ++id) {
+      const std::uint64_t total = hooks_.control_dropped(id);
+      const std::uint64_t delta = total - prev_control_dropped_[id];
+      prev_control_dropped_[id] = total;
+      sweep_delta += delta;
+      ingress_delta[topo_->link(id).to] += delta;
+    }
+    if (sweep_delta > options_.control_drop_budget) {
+      ++report_.control_drop_alerts;
+      MDR_LOG_WARN(
+          "control overload at t=%.6f: %llu control drops this sweep "
+          "(budget %llu)",
+          now, static_cast<unsigned long long>(sweep_delta),
+          static_cast<unsigned long long>(options_.control_drop_budget));
+    }
+    if (hooks_.adjacent) {
+      for (LinkId id = 0; id < num_links; ++id) {
+        const auto& l = topo_->link(id);
+        // An up link between alive routers whose receiver sheds control
+        // while not (or no longer) adjacent to the sender: the adjacency
+        // is being starved by its own ingress.
+        if (alive[l.from] && alive[l.to] && hooks_.link_up(id) &&
+            ingress_delta[l.to] > 0 && !hooks_.adjacent(l.to, l.from)) {
+          ++report_.starved_adjacencies;
+          MDR_LOG_WARN(
+              "starved adjacency at t=%.6f: %s not adjacent to %s while "
+              "shedding %llu control packets",
+              now, std::string(topo_->name(l.to)).c_str(),
+              std::string(topo_->name(l.from)).c_str(),
+              static_cast<unsigned long long>(ingress_delta[l.to]));
+        }
+      }
+    }
+  }
+
   // Incidents whose router is back up but not yet declared reconverged.
   std::vector<std::size_t> open;
   for (std::size_t i = 0; i < report_.incidents.size(); ++i) {
@@ -99,11 +142,24 @@ void InvariantMonitor::check(Time now) {
     std::vector<NodeId> edges;
     std::size_t next = 0;
   };
+  // A forwarding edge can only carry traffic over an up link: between a
+  // silent failure and its dead-interval detection a router may still point
+  // at the dead link, but packets sent there die on the wire — a blackhole,
+  // not a loop. (Same reasoning as skipping dead routers below.)
+  std::vector<bool> edge_up(static_cast<std::size_t>(n) * n, false);
+  for (LinkId id = 0; id < static_cast<LinkId>(topo_->num_links()); ++id) {
+    const auto& l = topo_->link(id);
+    if (hooks_.link_up(id)) {
+      edge_up[static_cast<std::size_t>(l.from) * n + l.to] = true;
+    }
+  }
+
   for (NodeId dest = 0; dest < n; ++dest) {
     // --- loop-freedom of the realized forwarding graph toward `dest` ---
-    // Edges between alive routers only: a dead router forwards nothing, and
-    // an edge into `dest` terminates. Checked for dead destinations too —
-    // LFI loop-freedom does not depend on the destination being up.
+    // Edges between alive routers over up links only: a dead router
+    // forwards nothing, a down link delivers nothing, and an edge into
+    // `dest` terminates. Checked for dead destinations too — LFI
+    // loop-freedom does not depend on the destination being up.
     bool loop = false;
     std::fill(color.begin(), color.end(), 0);
     std::vector<Frame> stack;
@@ -120,7 +176,10 @@ void InvariantMonitor::check(Time now) {
           continue;
         }
         const NodeId k = top.edges[top.next++];
-        if (k == dest || k < 0 || k >= n || !alive[k]) continue;
+        if (k == dest || k < 0 || k >= n || !alive[k] ||
+            !edge_up[static_cast<std::size_t>(top.node) * n + k]) {
+          continue;
+        }
         if (color[k] == 1) {
           loop = true;
         } else if (color[k] == 0) {
@@ -132,6 +191,7 @@ void InvariantMonitor::check(Time now) {
     }
     if (loop) {
       ++report_.forwarding_loops;
+      report_.t_last_anomaly = now;
       std::string cycle;
       for (const auto& f : stack) {
         cycle += std::string(topo_->name(f.node));
@@ -164,6 +224,7 @@ void InvariantMonitor::check(Time now) {
       if (x == dest || !alive[x] || !reach[x]) continue;
       if (hooks_.forwarding(x, dest).empty()) {
         ++report_.blackholes;
+        report_.t_last_anomaly = now;
         for (std::size_t i = 0; i < open.size(); ++i) {
           if (report_.incidents[open[i]].node == x) converged[i] = false;
         }
@@ -195,7 +256,14 @@ std::string monitor_report_json(const MonitorReport& r) {
                     std::to_string(r.forwarding_loops) +
                     ",\"blackholes\":" + std::to_string(r.blackholes) +
                     ",\"accounting_leaks\":" +
-                    std::to_string(r.accounting_leaks) + ",\"incidents\":[";
+                    std::to_string(r.accounting_leaks) +
+                    ",\"control_drop_alerts\":" +
+                    std::to_string(r.control_drop_alerts) +
+                    ",\"starved_adjacencies\":" +
+                    std::to_string(r.starved_adjacencies) +
+                    ",\"t_last_anomaly\":";
+  append_time(out, r.t_last_anomaly);
+  out += ",\"incidents\":[";
   for (std::size_t i = 0; i < r.incidents.size(); ++i) {
     const auto& inc = r.incidents[i];
     if (i > 0) out += ",";

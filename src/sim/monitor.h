@@ -55,6 +55,18 @@ struct MonitorReport {
   std::uint64_t forwarding_loops = 0;   ///< must be 0 (LFI, Theorem 3)
   std::uint64_t blackholes = 0;         ///< transient; diagnostic only
   std::uint64_t accounting_leaks = 0;   ///< must be 0
+  /// Sweeps where network-wide control drops since the previous sweep
+  /// exceeded MonitorOptions::control_drop_budget (overload watchdog).
+  std::uint64_t control_drop_alerts = 0;
+  /// Up links between alive routers whose receiving end did not consider
+  /// the sender adjacent while that ingress was shedding control packets —
+  /// the signature of an adjacency starved out by overload.
+  std::uint64_t starved_adjacencies = 0;
+  /// Last sweep instant with a forwarding loop or blackhole; -1 when the
+  /// whole run was clean. `storm_end` ≤ t_last_anomaly < ∞ bounds
+  /// time-to-reconvergence for incidents (like link flapping) that never
+  /// open a crash record.
+  Time t_last_anomaly = -1;
   std::vector<Incident> incidents;
 };
 
@@ -81,11 +93,26 @@ struct MonitorHooks {
                                                         graph::NodeId dest)>
       forwarding;
   std::function<AccountingSnapshot()> accounting;
+  /// Cumulative control packets shed by a link's ingress budget (queue
+  /// drops only — wire corruption and link-down flushes are loss, not
+  /// overload). Optional: when absent the control watchdog is disabled
+  /// (seed-compatible hooks).
+  std::function<std::uint64_t(graph::LinkId)> control_dropped;
+  /// Whether `node` currently considers `neighbor` a control-plane
+  /// adjacency. Optional; required for starved-adjacency detection.
+  std::function<bool(graph::NodeId node, graph::NodeId neighbor)> adjacent;
+};
+
+struct MonitorOptions {
+  /// Control packets the network may shed per sweep before the watchdog
+  /// raises a control_drop_alert. 0: any drop alerts.
+  std::uint64_t control_drop_budget = 0;
 };
 
 class InvariantMonitor {
  public:
-  InvariantMonitor(const graph::Topology& topo, MonitorHooks hooks);
+  InvariantMonitor(const graph::Topology& topo, MonitorHooks hooks,
+                   MonitorOptions options = MonitorOptions{});
 
   /// A router crashed: opens an incident record.
   void on_crash(graph::NodeId node, Time now);
@@ -100,9 +127,13 @@ class InvariantMonitor {
  private:
   const graph::Topology* topo_;
   MonitorHooks hooks_;
+  MonitorOptions options_;
   MonitorReport report_;
   /// Network-wide drop count at each open incident's crash instant.
   std::vector<std::uint64_t> dropped_at_crash_;
+  /// Per-link cumulative control drops at the previous sweep (watchdog
+  /// deltas are per sweep, not per run).
+  std::vector<std::uint64_t> prev_control_dropped_;
 };
 
 /// Compact single-line JSON for the report; deterministic formatting so two

@@ -40,6 +40,8 @@ void NetworkSim::build() {
   node_options.wrr_forwarding = config_.wrr_forwarding;
   node_options.use_hello = config_.use_hello;
   node_options.hello = config_.hello;
+  node_options.pacing = config_.pacing;
+  node_options.damping = config_.damping;
 
   NodeCallbacks callbacks;
   callbacks.delivered = [this](const Packet& p, Duration delay) {
@@ -70,6 +72,7 @@ void NetworkSim::build() {
 
   SimLink::Options link_options;
   link_options.queue_limit_bits = config_.queue_limit_bits;
+  link_options.control_queue_limit_bits = config_.control_queue_limit_bits;
   link_options.loss_rate = config_.link_loss_rate;
   link_options.corrupt_rate = config_.faults.chaos.corrupt_rate;
   link_options.duplicate_rate = config_.faults.chaos.duplicate_rate;
@@ -164,7 +167,16 @@ void NetworkSim::build() {
       return nodes_[x]->forwarding(dest);
     };
     hooks.accounting = [this] { return accounting_snapshot(); };
-    monitor_ = std::make_unique<InvariantMonitor>(*topo_, std::move(hooks));
+    hooks.control_dropped = [this](LinkId id) {
+      return links_[id]->control_dropped_queue();
+    };
+    hooks.adjacent = [this](NodeId x, NodeId neighbor) {
+      return nodes_[x]->adjacent_to(neighbor);
+    };
+    MonitorOptions monitor_options;
+    monitor_options.control_drop_budget = config_.monitor_control_drop_budget;
+    monitor_ = std::make_unique<InvariantMonitor>(*topo_, std::move(hooks),
+                                                  monitor_options);
     events_.schedule_in(config_.monitor_interval, [this] { monitor_check(); });
   }
 
@@ -380,12 +392,31 @@ SimResult NetworkSim::run() {
     result.dropped_dead += node->drops_dead();
     result.control_garbage += node->control_garbage();
     result.control_messages += node->control_messages_sent();
+    if (node->router() == nullptr) continue;  // static: no control plane
+    const auto& mpda = node->router()->mpda();
+    NodeControlStats stats;
+    stats.node = std::string(topo_->name(node->id()));
+    stats.lsus_originated = mpda.lsus_originated();
+    stats.lsus_retransmitted = mpda.lsus_retransmitted();
+    stats.lsus_suppressed = mpda.lsus_suppressed();
+    stats.acks = mpda.acks_sent();
+    stats.damped_withdrawals = node->damped_withdrawals();
+    result.lsus_originated += stats.lsus_originated;
+    result.lsus_retransmitted += stats.lsus_retransmitted;
+    result.lsus_suppressed += stats.lsus_suppressed;
+    result.acks_sent += stats.acks;
+    result.damped_withdrawals += stats.damped_withdrawals;
+    result.node_control.push_back(std::move(stats));
   }
   if (monitor_ != nullptr) result.monitor = monitor_->report();
   for (LinkId id = 0; id < static_cast<LinkId>(links_.size()); ++id) {
     const auto& link = *links_[id];
     result.dropped_queue += link.drops();
     result.control_bits += link.control_bits();
+    result.control_dropped += link.control_dropped();
+    result.control_dropped_queue += link.control_dropped_queue();
+    result.control_dropped_wire += link.control_dropped_wire();
+    result.control_dropped_flush += link.control_dropped_flush();
     const auto& l = topo_->link(id);
     result.links.push_back(LinkLoad{
         std::string(topo_->name(l.from)), std::string(topo_->name(l.to)),

@@ -55,6 +55,8 @@ struct SimConfig {
   cost::DualTimescaleCost::Options smoothing{};  ///< Ts/Tl cost smoothing
   bool wrr_forwarding = false;  ///< smooth-WRR phi realization (all modes)
   double queue_limit_bits = 0;  ///< 0 = unbounded
+  /// Control-ingress budget per link (SimLink::Options); 0 = unbounded.
+  double control_queue_limit_bits = 0;
 
   TrafficSpec traffic{};  ///< arrival model + burst shape for every source
 
@@ -65,6 +67,13 @@ struct SimConfig {
   /// adjacency checks and dead-interval detection of silent failures.
   bool use_hello = false;
   proto::HelloProtocol::Options hello{};
+
+  /// LSU origination pacing with Trickle-style backoff (core/mpda.h).
+  /// Off by default: seed figures stay bit-identical.
+  core::LsuPacing pacing{};
+  /// RFC 2439-style link-flap damping over hello adjacencies
+  /// (proto/damping.h). Requires use_hello; off by default.
+  proto::FlapDamper::Options damping{};
 
   /// Scheduled physical-layer changes (both directions toggled).
   struct LinkToggle {
@@ -96,8 +105,12 @@ struct SimConfig {
 
   /// If > 0, run the InvariantMonitor (sim/monitor.h) with this sweep
   /// period: realized-forwarding loop checks, blackhole detection, packet
-  /// accounting, and per-crash incident records (SimResult::monitor).
+  /// accounting, per-crash incident records (SimResult::monitor), and the
+  /// control-overload watchdog.
   Duration monitor_interval = 0;
+  /// Watchdog tolerance: control drops allowed per monitor sweep before a
+  /// control_drop_alert is raised (MonitorOptions::control_drop_budget).
+  std::uint64_t monitor_control_drop_budget = 0;
 };
 
 /// One time-series window (delivered packets within [t - window, t)).
@@ -125,6 +138,16 @@ struct LinkLoad {
   double utilization = 0;  ///< busy fraction over the whole run
 };
 
+/// Per-node control-overhead breakdown (only routing nodes produce one).
+struct NodeControlStats {
+  std::string node;
+  std::uint64_t lsus_originated = 0;     ///< first-transmission floods
+  std::uint64_t lsus_retransmitted = 0;  ///< reliable-flooding resends
+  std::uint64_t lsus_suppressed = 0;     ///< coalesced away by pacing
+  std::uint64_t acks = 0;                ///< pure ack messages
+  std::uint64_t damped_withdrawals = 0;  ///< flapping adjacencies held down
+};
+
 struct SimResult {
   std::vector<FlowResult> flows;
   std::vector<LinkLoad> links;  ///< by LinkId
@@ -137,6 +160,18 @@ struct SimResult {
   std::uint64_t control_messages = 0;
   std::uint64_t control_garbage = 0;  ///< corrupted control packets rejected
   double control_bits = 0;
+  /// Control-overhead breakdown: per routing node, plus network totals.
+  std::vector<NodeControlStats> node_control;
+  std::uint64_t lsus_originated = 0;
+  std::uint64_t lsus_retransmitted = 0;
+  std::uint64_t lsus_suppressed = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t damped_withdrawals = 0;
+  /// Control packets dropped on links, total and by cause (SimLink).
+  std::uint64_t control_dropped = 0;
+  std::uint64_t control_dropped_queue = 0;  ///< control-budget overflow
+  std::uint64_t control_dropped_wire = 0;   ///< wire loss
+  std::uint64_t control_dropped_flush = 0;  ///< link-failure flushes
   std::size_t events_processed = 0;
   std::uint64_t lfi_checks = 0;      ///< snapshots taken (see lfi_check_interval)
   std::uint64_t lfi_violations = 0;  ///< invariant breaches observed (expect 0)

@@ -29,14 +29,30 @@ SimNode::SimNode(EventQueue& events, NodeId id, std::size_t num_nodes,
     core::MpRouterOptions ropts;
     ropts.single_path = options_.mode == RoutingMode::kSinglePath;
     ropts.ah_damping = options_.ah_damping;
+    ropts.pacing = options_.pacing;
     router_ = std::make_unique<core::MpRouter>(id, num_nodes, *this, ropts);
+    // Flap damping filters hello adjacency events; without hello there is
+    // no flapping-detection layer to damp (scenario parsing enforces this).
+    assert(!options_.damping.enabled || options_.use_hello);
     if (options_.use_hello) {
+      if (options_.damping.enabled) {
+        damper_ = std::make_unique<proto::FlapDamper>(options_.damping);
+      }
       proto::HelloProtocol::Callbacks callbacks;
       callbacks.adjacency_up = [this](NodeId k) {
-        router_->on_link_up(k, initial_cost(*links_.at(k)));
+        if (damper_ != nullptr && !damper_->on_up(k, events_->now())) {
+          return;  // suppressed: held down until the penalty decays
+        }
+        announced_.insert(k);
+        // Paced: a re-announcement inside the link's hold-down is deferred
+        // (and cancelled if the adjacency drops again first).
+        router_->on_link_up_at(k, initial_cost(*links_.at(k)), events_->now());
       };
       callbacks.adjacency_down = [this](NodeId k) {
-        router_->on_link_down(k);
+        if (damper_ != nullptr) damper_->on_down(k, events_->now());
+        // Withdraw only adjacencies routing actually saw: with damping, an
+        // up may have been swallowed, and the matching down must be too.
+        if (announced_.erase(k) > 0) router_->on_link_down(k);
       };
       callbacks.send_hello = [this](NodeId k, const proto::HelloMessage& msg) {
         const auto it = links_.find(k);
@@ -95,6 +111,12 @@ void SimNode::start() {
   schedule_guarded(options_.tl * rng_.uniform(0.5, 1.0), &SimNode::tl_tick);
   schedule_guarded(options_.lsu_retransmit_interval * rng_.uniform(0.5, 1.0),
                    &SimNode::retransmit_tick);
+  if (options_.pacing.enabled) {
+    // Scheduled (and drawing its phase) only when pacing is on, so default
+    // runs consume exactly the seed's RNG stream and stay bit-identical.
+    schedule_guarded(options_.pacing.min_interval * rng_.uniform(0.5, 1.0),
+                     &SimNode::pace_tick);
+  }
 }
 
 void SimNode::schedule_guarded(Duration delay, void (SimNode::*method)()) {
@@ -112,6 +134,8 @@ void SimNode::crash() {
   // invariant sweeps (LFI, the chaos monitor) must never read the stale
   // pre-crash tables.
   router_->reset();
+  announced_.clear();
+  if (damper_ != nullptr) damper_->reset();
   // The cost estimators' smoothing memory died with the process too.
   for (auto& [neighbor, state] : cost_state_) {
     state = cost::DualTimescaleCost(initial_cost(*links_.at(neighbor)),
@@ -133,8 +157,26 @@ void SimNode::retransmit_tick() {
   schedule_guarded(options_.lsu_retransmit_interval, &SimNode::retransmit_tick);
 }
 
+void SimNode::pace_tick() {
+  router_->pacing_tick(events_->now());
+  schedule_guarded(options_.pacing.min_interval, &SimNode::pace_tick);
+}
+
 void SimNode::hello_tick() {
   hello_->tick(events_->now());
+  if (damper_ != nullptr) {
+    // Reuse: penalties that decayed below the threshold release their
+    // neighbors; any that are still hello-adjacent over an up link get
+    // re-announced to routing now.
+    for (const NodeId k : damper_->release_reusable(events_->now())) {
+      const auto it = links_.find(k);
+      if (it == links_.end() || !it->second->up()) continue;
+      if (!hello_->adjacent(k)) continue;
+      if (announced_.insert(k).second) {
+        router_->on_link_up_at(k, initial_cost(*it->second), events_->now());
+      }
+    }
+  }
   schedule_guarded(options_.hello.interval, &SimNode::hello_tick);
 }
 
@@ -142,8 +184,10 @@ void SimNode::ts_tick() {
   std::map<NodeId, double> costs;
   for (const auto& [neighbor, link] : links_) {
     if (!link->up()) continue;
-    // Behind hello, routing only knows 2-way-adjacent neighbors.
+    // Behind hello, routing only knows 2-way-adjacent neighbors — and with
+    // damping, only the announced subset of those.
     if (hello_ != nullptr && !hello_->adjacent(neighbor)) continue;
+    if (damper_ != nullptr && !announced_.contains(neighbor)) continue;
     const double estimate = link->take_short_estimate();
     costs[neighbor] = cost_state_.at(neighbor).on_short_window(estimate);
   }
@@ -155,9 +199,12 @@ void SimNode::tl_tick() {
   for (const auto& [neighbor, link] : links_) {
     if (!link->up()) continue;
     if (hello_ != nullptr && !hello_->adjacent(neighbor)) continue;
+    if (damper_ != nullptr && !announced_.contains(neighbor)) continue;
     const double estimate = link->take_long_estimate();
     const auto update = cost_state_.at(neighbor).on_long_window(estimate);
-    if (update.report) router_->on_long_term_cost(neighbor, update.cost);
+    if (update.report) {
+      router_->on_long_term_cost(neighbor, update.cost, events_->now());
+    }
   }
   schedule_guarded(options_.tl, &SimNode::tl_tick);
 }
@@ -283,6 +330,15 @@ NodeId SimNode::next_hop(NodeId dest) {
   return choices[rng_.pick_weighted(weights)].neighbor;
 }
 
+bool SimNode::adjacent_to(NodeId neighbor) const {
+  if (!alive_) return false;
+  // Deliberately the hello-level view: an adjacency the damper suppressed
+  // was withdrawn on purpose and must not read as "starved".
+  if (hello_ != nullptr) return hello_->adjacent(neighbor);
+  if (router_ != nullptr) return router_->mpda().tables().is_neighbor(neighbor);
+  return true;  // static mode: no control plane, nothing to starve
+}
+
 void SimNode::neighbor_link_failed(NodeId neighbor) {
   if (!alive_) return;
   if (hello_ != nullptr) {
@@ -297,7 +353,8 @@ void SimNode::neighbor_link_restored(NodeId neighbor) {
   if (hello_ != nullptr) {
     hello_->physical_up(neighbor);  // adjacency returns after the 2-way check
   } else if (router_ != nullptr) {
-    router_->on_link_up(neighbor, initial_cost(*links_.at(neighbor)));
+    router_->on_link_up_at(neighbor, initial_cost(*links_.at(neighbor)),
+                           events_->now());
   }
 }
 

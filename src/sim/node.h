@@ -8,10 +8,12 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/mp_router.h"
 #include "cost/smoother.h"
+#include "proto/damping.h"
 #include "proto/hello.h"
 #include "sim/event_queue.h"
 #include "sim/link.h"
@@ -45,6 +47,12 @@ struct NodeOptions {
   /// Period of the LSU retransmission timer (reliable flooding); only
   /// matters on lossy transports, a no-op otherwise.
   Duration lsu_retransmit_interval = 1.0;
+  /// LSU origination pacing (core/mpda.h). Off by default; when enabled a
+  /// dedicated pacing timer of min_interval flushes coalesced cost changes.
+  core::LsuPacing pacing{};
+  /// Link-flap damping over hello adjacency events (proto/damping.h).
+  /// Requires use_hello; off by default.
+  proto::FlapDamper::Options damping{};
 };
 
 struct NodeCallbacks {
@@ -106,6 +114,18 @@ class SimNode final : public proto::LsuSink {
   /// Control packets rejected as malformed (corruption on the wire).
   std::uint64_t control_garbage() const { return control_garbage_; }
   std::uint64_t control_messages_sent() const { return control_sent_; }
+  /// Flapping neighbors the damper suppressed (withdrawn once, held down).
+  std::uint64_t damped_withdrawals() const {
+    return damper_ != nullptr ? damper_->damped_withdrawals() : 0;
+  }
+
+  /// Whether this router currently considers `neighbor` a control-plane
+  /// adjacency: hello 2-way when hello runs (damper suppression is ignored —
+  /// a deliberately held-down adjacency is not "starved"), the routing
+  /// table's neighbor set otherwise, and trivially true for static nodes
+  /// (they have no control plane to starve). The monitor's starvation
+  /// watchdog reads this.
+  bool adjacent_to(graph::NodeId neighbor) const;
 
   /// The realized forwarding choices toward `dest` (whatever the routing
   /// mode); what the invariant monitor walks for loop/blackhole checks.
@@ -136,9 +156,16 @@ class SimNode final : public proto::LsuSink {
 
   void hello_tick();
   void retransmit_tick();
+  void pace_tick();
 
   std::unique_ptr<core::MpRouter> router_;  // kMultipath / kSinglePath
   std::unique_ptr<proto::HelloProtocol> hello_;
+  std::unique_ptr<proto::FlapDamper> damper_;
+  /// Neighbors currently announced up to the routing process. With damping,
+  /// hello adjacency and what routing believes diverge (a suppressed up is
+  /// swallowed); this set is the routing-side truth, so a down is only
+  /// forwarded for an adjacency routing actually saw.
+  std::set<graph::NodeId> announced_;
   std::vector<std::vector<core::ForwardingChoice>> static_table_;  // kStatic
   std::vector<std::vector<double>> static_credits_;  // kStatic + WRR
 

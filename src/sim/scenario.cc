@@ -203,6 +203,68 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     s.config.wrr_forwarding = true;
     return true;
   }
+  if (cmd == "report_threshold") {
+    double value = 0;
+    if (!need(2) || !parse_double(tokens[1], &value) || value < 0) {
+      return fail("report_threshold needs a non-negative number");
+    }
+    s.config.smoothing.report_threshold = value;
+    return true;
+  }
+  if (cmd == "pace") {
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    auto& pacing = s.config.pacing;
+    pacing.enabled = true;
+    if (opts.count("min")) pacing.min_interval = opts["min"];
+    if (opts.count("max")) pacing.max_interval = opts["max"];
+    if (pacing.min_interval <= 0 ||
+        pacing.max_interval < pacing.min_interval) {
+      return fail("pace needs 0 < min <= max");
+    }
+    return true;
+  }
+  if (cmd == "damping") {
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    auto& damping = s.config.damping;
+    damping.enabled = true;
+    if (opts.count("penalty")) damping.penalty = opts["penalty"];
+    if (opts.count("suppress")) damping.suppress_threshold = opts["suppress"];
+    if (opts.count("reuse")) damping.reuse_threshold = opts["reuse"];
+    if (opts.count("half_life")) damping.half_life = opts["half_life"];
+    if (opts.count("max")) damping.max_penalty = opts["max"];
+    if (damping.penalty <= 0 || damping.half_life <= 0) {
+      return fail("damping penalty and half_life must be positive");
+    }
+    if (damping.reuse_threshold >= damping.suppress_threshold) {
+      return fail("damping reuse threshold must be below suppress");
+    }
+    if (damping.max_penalty < damping.suppress_threshold) {
+      return fail("damping max penalty must reach the suppress threshold");
+    }
+    return true;
+  }
+  if (cmd == "monitor") {
+    double t = 0;
+    if (!need(2) || !parse_double(tokens[1], &t) || t < 0) {
+      return fail("monitor needs a non-negative sweep period");
+    }
+    s.config.monitor_interval = t;
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 2, &opts, &bad)) return fail("bad option " + bad);
+    if (opts.count("drop_budget")) {
+      if (opts["drop_budget"] < 0) {
+        return fail("monitor drop_budget must be non-negative");
+      }
+      s.config.monitor_control_drop_budget =
+          static_cast<std::uint64_t>(opts["drop_budget"]);
+    }
+    return true;
+  }
   if (cmd == "fail" || cmd == "restore") {
     if (!need(4)) return fail(cmd + " needs <t> <a> <b>");
     double t = 0;
@@ -301,9 +363,10 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
       {"traffic_start", &SimConfig::traffic_start},
       {"timeseries", &SimConfig::timeseries_interval},
       {"lfi_check", &SimConfig::lfi_check_interval},
-      {"monitor", &SimConfig::monitor_interval},
       {"ah_damping", &SimConfig::ah_damping},
       {"mean_packet_bits", &SimConfig::mean_packet_bits},
+      {"queue_limit", &SimConfig::queue_limit_bits},
+      {"control_queue_limit", &SimConfig::control_queue_limit_bits},
   };
   if (const auto it = kScalars.find(cmd); it != kScalars.end()) {
     double value = 0;
@@ -356,6 +419,14 @@ std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
       *error =
           "crash/flap faults are silent and need the hello protocol to be "
           "detected: add a `hello` directive";
+    }
+    return std::nullopt;
+  }
+  if (config.damping.enabled && !config.use_hello) {
+    if (error != nullptr) {
+      *error =
+          "damping filters hello adjacency events and needs the hello "
+          "protocol: add a `hello` directive";
     }
     return std::nullopt;
   }

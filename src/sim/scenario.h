@@ -25,6 +25,10 @@
 //   lfi_check <s>
 //   ah_damping <x>
 //   wrr
+//   queue_limit <bits>                     # data-queue bound per link
+//   control_queue_limit <bits>             # control-ingress budget per link
+//   pace [min=<s>] [max=<s>]               # LSU origination hold-down
+//   damping [penalty=<p>] [suppress=<p>] [reuse=<p>] [half_life=<s>] [max=<p>]
 //   fail <t> <a> <b> [silent]
 //   restore <t> <a> <b> [silent]
 //   crash <t> <node>                       # router loses ALL state (silent)
@@ -32,10 +36,11 @@
 //   flap <a> <b> [period=<s>] [duty=<x>] [start=<t>] [stop=<t>]
 //   gilbert <a> <b> [p_good=<p>] [p_bad=<p>] [loss_bad=<p>] [loss_good=<p>]
 //   corrupt <p>     duplicate <p>     reorder <p>   # control-plane chaos
-//   monitor <s>                            # invariant sweep interval
+//   monitor <s> [drop_budget=<n>]          # invariant sweeps + watchdog
 //
 // crash/flap faults are silent by construction: a scenario using them must
-// also enable `hello` (enforced at parse time). See docs/FAULTS.md.
+// also enable `hello` (enforced at parse time); `damping` filters hello
+// adjacency events and requires `hello` too. See docs/FAULTS.md.
 //
 // Unknown directives and malformed values are errors (fail fast, with the
 // offending line number).

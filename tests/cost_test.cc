@@ -210,6 +210,47 @@ TEST(Smoother, LongWindowReportsOnlyAboveThreshold) {
   EXPECT_FALSE(after.report);
 }
 
+TEST(Smoother, ChangeExactlyAtThresholdDoesNotReport) {
+  // The paper wants updates only for *significant* cost moves; the
+  // comparison is strict, so a relative change of exactly report_threshold
+  // stays silent. 1.0 -> 1.25 is exact in binary floating point.
+  DualTimescaleCost cost(1.0, {.short_alpha = 0.5, .long_alpha = 1.0,
+                               .report_threshold = 0.25});
+  const auto at = cost.on_long_window(1.25);
+  EXPECT_FALSE(at.report);
+  EXPECT_DOUBLE_EQ(cost.last_reported(), 1.0);
+  // Any headroom past the threshold trips it.
+  EXPECT_TRUE(cost.on_long_window(1.2500001).report);
+  EXPECT_DOUBLE_EQ(cost.last_reported(), 1.2500001);
+}
+
+TEST(Smoother, FirstReportMeasuresAgainstInitialCost) {
+  // Sub-threshold drift never rebases the comparison point: the first-ever
+  // report fires only once the *cumulative* move from the constructor's
+  // initial cost crosses the threshold.
+  DualTimescaleCost cost(1.0, {.short_alpha = 0.5, .long_alpha = 1.0,
+                               .report_threshold = 0.5});
+  EXPECT_FALSE(cost.on_long_window(1.2).report);  // 20% vs initial
+  EXPECT_FALSE(cost.on_long_window(1.4).report);  // 40% vs initial
+  EXPECT_DOUBLE_EQ(cost.last_reported(), 1.0);    // baseline untouched
+  EXPECT_TRUE(cost.on_long_window(1.6).report);   // 60% vs initial: report
+  EXPECT_DOUBLE_EQ(cost.last_reported(), 1.6);
+}
+
+TEST(Smoother, BaselineResetsAfterEachReport) {
+  // After a report the threshold is re-anchored at the reported value, so
+  // the same absolute move that just fired may be silent the next time.
+  DualTimescaleCost cost(1.0, {.short_alpha = 0.5, .long_alpha = 1.0,
+                               .report_threshold = 0.25});
+  ASSERT_TRUE(cost.on_long_window(2.0).report);  // 100% vs 1.0
+  EXPECT_DOUBLE_EQ(cost.last_reported(), 2.0);
+  // +0.3 absolute fired against 1.0 (30%) but is only 15% against 2.0.
+  EXPECT_FALSE(cost.on_long_window(2.3).report);
+  EXPECT_DOUBLE_EQ(cost.last_reported(), 2.0);
+  EXPECT_TRUE(cost.on_long_window(2.6).report);  // 30% vs 2.0
+  EXPECT_DOUBLE_EQ(cost.last_reported(), 2.6);
+}
+
 TEST(Smoother, ConvergesToStationaryEstimate) {
   DualTimescaleCost cost(5.0);
   for (int i = 0; i < 200; ++i) {

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "proto/damping.h"
 #include "proto/hello.h"
 #include "sim/network_sim.h"
 #include "topo/builders.h"
@@ -240,6 +241,91 @@ TEST_F(HelloPair, ReestablishesAfterSilenceEnds) {
   }
   EXPECT_TRUE(nodes[0]->adjacent(1));
   EXPECT_TRUE(nodes[1]->adjacent(0));
+}
+
+// ---------------------------------------------------------------------------
+// FlapDamper (proto/damping.h): RFC 2439-style penalty bookkeeping that the
+// simulator layers between hello adjacency events and the routing process.
+
+FlapDamper::Options damper_options() {
+  FlapDamper::Options o;
+  o.enabled = true;
+  o.penalty = 1000.0;
+  o.suppress_threshold = 1500.0;
+  o.reuse_threshold = 800.0;
+  o.half_life = 8.0;
+  o.max_penalty = 6000.0;
+  return o;
+}
+
+TEST(FlapDamper, SingleDownDoesNotSuppress) {
+  FlapDamper damper(damper_options());
+  EXPECT_FALSE(damper.on_down(1, 10.0));
+  EXPECT_FALSE(damper.suppressed(1));
+  EXPECT_TRUE(damper.on_up(1, 12.0));  // re-announce freely
+  EXPECT_EQ(damper.damped_withdrawals(), 0u);
+}
+
+TEST(FlapDamper, RepeatedDownsCrossSuppressThreshold) {
+  FlapDamper damper(damper_options());
+  EXPECT_FALSE(damper.on_down(1, 0.0));  // penalty 1000
+  // One half-life later the first penalty decayed to 500; the second down
+  // lands at 1500 >= suppress_threshold.
+  EXPECT_TRUE(damper.on_down(1, 8.0));
+  EXPECT_TRUE(damper.suppressed(1));
+  EXPECT_EQ(damper.damped_withdrawals(), 1u);
+}
+
+TEST(FlapDamper, UpsAreSwallowedWhileSuppressed) {
+  FlapDamper damper(damper_options());
+  damper.on_down(1, 0.0);
+  damper.on_down(1, 0.1);
+  ASSERT_TRUE(damper.suppressed(1));
+  EXPECT_FALSE(damper.on_up(1, 0.5));
+  EXPECT_FALSE(damper.on_up(1, 1.0));
+  EXPECT_EQ(damper.suppressed_ups(), 2u);
+  // A different neighbor is unaffected.
+  EXPECT_TRUE(damper.on_up(2, 1.0));
+}
+
+TEST(FlapDamper, DecayReleasesAfterQuietPeriod) {
+  FlapDamper damper(damper_options());
+  damper.on_down(1, 0.0);
+  damper.on_down(1, 0.1);  // ~2000: suppressed
+  ASSERT_TRUE(damper.suppressed(1));
+  EXPECT_TRUE(damper.release_reusable(1.0).empty());  // barely decayed
+  // 2000 * 2^(-dt/8) < 800 needs dt > 8 * log2(2.5) ~ 10.6 s.
+  const auto released = damper.release_reusable(12.0);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], 1);
+  EXPECT_FALSE(damper.suppressed(1));
+  EXPECT_TRUE(damper.on_up(1, 12.5));
+}
+
+TEST(FlapDamper, PenaltyIsCappedAtMax) {
+  FlapDamper damper(damper_options());
+  for (int i = 0; i < 50; ++i) damper.on_down(1, 0.0);
+  EXPECT_LE(damper.penalty(1, 0.0), damper.options().max_penalty);
+  // The cap bounds the suppression time: 6000 decays to 750 < 800 after
+  // exactly three half-lives, no matter how many downs piled up.
+  EXPECT_TRUE(damper.release_reusable(23.0).empty());  // ~818: still held
+  EXPECT_FALSE(damper.release_reusable(24.0).empty());
+}
+
+TEST(FlapDamper, ResetClearsStateButKeepsCounters) {
+  FlapDamper damper(damper_options());
+  damper.on_down(1, 0.0);
+  damper.on_down(1, 0.1);
+  damper.on_up(1, 0.2);
+  ASSERT_EQ(damper.damped_withdrawals(), 1u);
+  ASSERT_EQ(damper.suppressed_ups(), 1u);
+  damper.reset();  // crash: damping state dies with the router
+  EXPECT_FALSE(damper.suppressed(1));
+  EXPECT_DOUBLE_EQ(damper.penalty(1, 1.0), 0.0);
+  EXPECT_TRUE(damper.on_up(1, 1.0));
+  // Run statistics survive the reboot.
+  EXPECT_EQ(damper.damped_withdrawals(), 1u);
+  EXPECT_EQ(damper.suppressed_ups(), 1u);
 }
 
 TEST(HelloProtocolMisc, IgnoresHelloWithoutPhysicalLink) {

@@ -28,6 +28,15 @@ string(JSON nflows LENGTH "${doc}" flows)
 string(JSON nruns LENGTH "${doc}" runs)
 string(JSON run0_seed GET "${doc}" runs 0 seed)
 string(JSON run1_seed GET "${doc}" runs 1 seed)
+string(JSON ctl_messages GET "${doc}" runs 0 control messages)
+string(JSON ctl_dropped GET "${doc}" runs 0 control dropped)
+string(JSON ctl_originated GET "${doc}" runs 0 control lsus_originated)
+string(JSON ctl_suppressed GET "${doc}" runs 0 control lsus_suppressed)
+string(JSON ctl_acks GET "${doc}" runs 0 control acks)
+string(JSON ctl_damped GET "${doc}" runs 0 control damped_withdrawals)
+string(JSON nnodes LENGTH "${doc}" runs 0 control per_node)
+string(JSON node0_name GET "${doc}" runs 0 control per_node 0 node)
+string(JSON node0_orig GET "${doc}" runs 0 control per_node 0 lsus_originated)
 
 if(NOT mode STREQUAL "mp")
   message(FATAL_ERROR "expected mode mp, got '${mode}'")
@@ -46,6 +55,29 @@ if(run0_seed STREQUAL run1_seed)
 endif()
 if(NOT mean GREATER 0)
   message(FATAL_ERROR "network mean delay should be positive, got '${mean}'")
+endif()
+# Control-overhead breakdown: the smoke scenario runs MPDA, so every router
+# originates at least one LSU and the cross-counter arithmetic must hold.
+if(NOT ctl_originated GREATER 0)
+  message(FATAL_ERROR "expected LSU originations > 0, got '${ctl_originated}'")
+endif()
+if(NOT ctl_messages GREATER 0)
+  message(FATAL_ERROR "expected control messages > 0, got '${ctl_messages}'")
+endif()
+# No pacing/damping/control budget in the smoke scenario: these stay zero.
+if(NOT ctl_suppressed EQUAL 0 OR NOT ctl_damped EQUAL 0 OR NOT ctl_dropped EQUAL 0)
+  message(FATAL_ERROR
+    "expected zero suppressed/damped/dropped without pacing or damping, got "
+    "${ctl_suppressed}/${ctl_damped}/${ctl_dropped}")
+endif()
+if(nnodes LESS 1)
+  message(FATAL_ERROR "expected at least one per_node control entry")
+endif()
+if(node0_name STREQUAL "")
+  message(FATAL_ERROR "per_node entry missing node name")
+endif()
+if(node0_orig LESS 0)
+  message(FATAL_ERROR "per_node lsus_originated must be non-negative")
 endif()
 
 message(STATUS "mdrsim smoke OK: ${nruns} runs, ${nflows} flows, mean ${mean}s")

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "core/lfi.h"
 #include "core/mpda.h"
@@ -312,6 +313,221 @@ TEST(Mpda, DuplicateLsuIsReackedWithoutReprocessing) {
   EXPECT_TRUE(reacked);
   // ... and its topology state is unchanged.
   EXPECT_DOUBLE_EQ(b.distance(0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// LSU origination pacing (LsuPacing): hold-down with Trickle-style backoff.
+// The paced path defers the *cost-change event itself* (coalescing to the
+// latest value), so to MPDA it is indistinguishable from the cost changing
+// later — loop-freedom is untouched.
+
+// Brings a 2-node pair to quiescence by repeatedly exchanging queued LSUs.
+void settle(MpdaProcess& a, MpdaProcess& b, CapturingSink& sink_a,
+            CapturingSink& sink_b) {
+  for (int round = 0; round < 10; ++round) {
+    const auto from_a = std::exchange(sink_a.sent, {});
+    for (const auto& [to, msg] : from_a) b.on_lsu(msg);
+    const auto from_b = std::exchange(sink_b.sent, {});
+    for (const auto& [to, msg] : from_b) a.on_lsu(msg);
+  }
+}
+
+// Last advertised cost for directed link 0 -> 1 among the sink's queued
+// messages, or -1 if none of them carries that link.
+Cost last_flooded_cost(const CapturingSink& sink) {
+  Cost cost = -1;
+  for (const auto& [to, msg] : sink.sent) {
+    for (const auto& e : msg.entries) {
+      if (e.head == 0 && e.tail == 1) cost = e.cost;
+    }
+  }
+  return cost;
+}
+
+TEST(MpdaPacing, DisabledPacingForwardsEveryChangeImmediately) {
+  CapturingSink sink_a, sink_b;
+  MpdaProcess a(0, 2, sink_a), b(1, 2, sink_b);
+  a.on_link_up(1, 1.0);
+  b.on_link_up(0, 1.0);
+  settle(a, b, sink_a, sink_b);
+  for (int i = 0; i < 5; ++i) {
+    a.on_link_cost_change_at(1, 2.0 + i, /*now=*/0.01 * i);
+    EXPECT_FALSE(sink_a.sent.empty()) << "change " << i << " was held back";
+    EXPECT_DOUBLE_EQ(last_flooded_cost(sink_a), 2.0 + i);
+    settle(a, b, sink_a, sink_b);
+  }
+  EXPECT_EQ(a.lsus_suppressed(), 0u);
+  EXPECT_DOUBLE_EQ(a.distance(1), 6.0);
+}
+
+TEST(MpdaPacing, CoalescesBackToBackChangesToLatestCost) {
+  CapturingSink sink_a, sink_b;
+  MpdaProcess a(0, 2, sink_a, LsuPacing{true, 1.0, 8.0});
+  MpdaProcess b(1, 2, sink_b);
+  a.on_link_up(1, 1.0);
+  b.on_link_up(0, 1.0);
+  settle(a, b, sink_a, sink_b);
+  ASSERT_TRUE(a.passive());
+
+  // First change after a long idle floods at once.
+  a.on_link_cost_change_at(1, 2.0, /*now=*/10.0);
+  EXPECT_DOUBLE_EQ(last_flooded_cost(sink_a), 2.0);
+  settle(a, b, sink_a, sink_b);
+  EXPECT_DOUBLE_EQ(a.distance(1), 2.0);
+
+  // Two changes inside the hold-down window are swallowed — the deferral
+  // covers the whole event, so even a's own tables still read 2.0 ...
+  a.on_link_cost_change_at(1, 3.0, 10.4);
+  a.on_link_cost_change_at(1, 4.0, 10.6);
+  EXPECT_TRUE(sink_a.sent.empty());
+  EXPECT_EQ(a.lsus_suppressed(), 2u);
+  a.pacing_tick(10.9);  // window not over yet
+  EXPECT_TRUE(sink_a.sent.empty());
+  EXPECT_DOUBLE_EQ(a.distance(1), 2.0);
+
+  // ... and the tick after the window floods ONE update with the latest
+  // cost; the intermediate 3.0 never hits the wire.
+  a.pacing_tick(11.2);
+  ASSERT_FALSE(sink_a.sent.empty());
+  EXPECT_DOUBLE_EQ(last_flooded_cost(sink_a), 4.0);
+  settle(a, b, sink_a, sink_b);
+  EXPECT_DOUBLE_EQ(a.distance(1), 4.0);
+  EXPECT_TRUE(a.passive());
+}
+
+TEST(MpdaPacing, BackoffDoublesWhileUnstableAndSnapsBackWhenQuiet) {
+  CapturingSink sink_a, sink_b;
+  MpdaProcess a(0, 2, sink_a, LsuPacing{true, 1.0, 8.0});
+  MpdaProcess b(1, 2, sink_b);
+  a.on_link_up(1, 1.0);
+  b.on_link_up(0, 1.0);
+  settle(a, b, sink_a, sink_b);
+
+  a.on_link_cost_change_at(1, 2.0, 10.0);  // floods; next window [10, 11)
+  settle(a, b, sink_a, sink_b);
+  a.on_link_cost_change_at(1, 3.0, 10.5);  // coalesced
+  a.pacing_tick(11.2);                     // floods; interval doubles to 2 s
+  settle(a, b, sink_a, sink_b);
+
+  // Still churning: a change inside the now-2 s window stays pending at a
+  // 1 s tick cadence that would have released it under min_interval.
+  a.on_link_cost_change_at(1, 4.0, 11.5);
+  a.pacing_tick(12.5);
+  EXPECT_TRUE(sink_a.sent.empty());
+  EXPECT_DOUBLE_EQ(a.distance(1), 3.0);
+  a.pacing_tick(13.3);  // past 11.2 + 2 s: released, interval now 4 s
+  ASSERT_FALSE(sink_a.sent.empty());
+  settle(a, b, sink_a, sink_b);
+  EXPECT_DOUBLE_EQ(a.distance(1), 4.0);
+
+  // A long quiet spell snaps the interval back to min_interval: the next
+  // burst is again released after ~1 s, not after the backed-off 4 s.
+  a.on_link_cost_change_at(1, 5.0, 40.0);  // immediate (idle >= interval)
+  settle(a, b, sink_a, sink_b);
+  a.on_link_cost_change_at(1, 6.0, 40.5);
+  a.pacing_tick(41.2);
+  ASSERT_FALSE(sink_a.sent.empty()) << "backoff interval failed to snap back";
+  settle(a, b, sink_a, sink_b);
+  EXPECT_DOUBLE_EQ(a.distance(1), 6.0);
+}
+
+TEST(MpdaPacing, PendingChangeDiesWithTheLink) {
+  CapturingSink sink_a, sink_b;
+  MpdaProcess a(0, 2, sink_a, LsuPacing{true, 1.0, 8.0});
+  MpdaProcess b(1, 2, sink_b);
+  a.on_link_up(1, 1.0);
+  b.on_link_up(0, 1.0);
+  settle(a, b, sink_a, sink_b);
+
+  a.on_link_cost_change_at(1, 2.0, 10.0);
+  settle(a, b, sink_a, sink_b);
+  a.on_link_cost_change_at(1, 3.0, 10.5);  // pending
+  a.on_link_down(1);                       // floods the removal...
+  sink_a.sent.clear();
+  a.pacing_tick(12.0);  // ...and the stale pending cost must NOT resurface
+  EXPECT_TRUE(sink_a.sent.empty());
+}
+
+TEST(MpdaPacing, CountersTrackOriginationsAndSuppressions) {
+  CapturingSink sink_a, sink_b;
+  MpdaProcess a(0, 2, sink_a, LsuPacing{true, 1.0, 8.0});
+  MpdaProcess b(1, 2, sink_b);
+  a.on_link_up(1, 1.0);
+  b.on_link_up(0, 1.0);
+  settle(a, b, sink_a, sink_b);
+  const auto base = a.lsus_originated();
+  EXPECT_GT(base, 0u);
+  a.on_link_cost_change_at(1, 2.0, 10.0);
+  settle(a, b, sink_a, sink_b);  // ack the flood so a is PASSIVE again
+  a.on_link_cost_change_at(1, 3.0, 10.2);
+  a.pacing_tick(11.5);
+  EXPECT_EQ(a.lsus_suppressed(), 1u);
+  EXPECT_EQ(a.lsus_originated(), base + 2);  // direct flood + released flood
+  EXPECT_GT(a.acks_sent() + b.acks_sent(), 0u);
+}
+
+TEST(MpdaPacing, BouncedLinkNeverReachesTheWire) {
+  // A three-node line b -- a -- c: when the a-b link flaps, a still has c
+  // to flood toward, so the wire cost of the bounce is observable.
+  CapturingSink sink_a, sink_b, sink_c;
+  MpdaProcess a(0, 3, sink_a, LsuPacing{true, 4.0, 16.0});
+  MpdaProcess b(1, 3, sink_b);
+  MpdaProcess c(2, 3, sink_c);
+  a.on_link_up_at(1, 1.0, /*now=*/10.0);  // first announcement: immediate
+  a.on_link_up_at(2, 1.0, 10.0);
+  b.on_link_up(0, 1.0);
+  c.on_link_up(0, 1.0);
+  auto settle3 = [&] {
+    for (int round = 0; round < 10; ++round) {
+      for (const auto& [to, msg] : std::exchange(sink_a.sent, {})) {
+        (to == 1 ? b : c).on_lsu(msg);
+      }
+      for (const auto& [to, msg] : std::exchange(sink_b.sent, {})) a.on_lsu(msg);
+      for (const auto& [to, msg] : std::exchange(sink_c.sent, {})) a.on_lsu(msg);
+    }
+  };
+  settle3();
+  EXPECT_DOUBLE_EQ(a.distance(1), 1.0);
+
+  // The link to b bounces: the down floods a withdrawal at once (bad news
+  // is never paced) ...
+  a.on_link_down(1);
+  EXPECT_FALSE(sink_a.sent.empty());
+  settle3();
+  EXPECT_DOUBLE_EQ(c.distance(1), graph::kInfCost);
+  // ... but the re-up lands inside the hold-down and is deferred whole.
+  a.on_link_up_at(1, 1.0, 11.0);
+  EXPECT_TRUE(sink_a.sent.empty());
+  EXPECT_EQ(a.lsus_suppressed(), 1u);
+  // The link dies again before the window closes: the deferred
+  // announcement is cancelled — the entire bounce cost one withdrawal.
+  a.on_link_down(1);
+  a.pacing_tick(20.0);
+  EXPECT_TRUE(sink_a.sent.empty());
+  EXPECT_EQ(a.distance(1), graph::kInfCost);
+}
+
+TEST(MpdaPacing, DeferredUpFloodsWhenTheWindowCloses) {
+  CapturingSink sink_a, sink_b;
+  MpdaProcess a(0, 2, sink_a, LsuPacing{true, 4.0, 16.0});
+  MpdaProcess b(1, 2, sink_b);
+  a.on_link_up_at(1, 1.0, 10.0);
+  b.on_link_up(0, 1.0);
+  settle(a, b, sink_a, sink_b);
+
+  a.on_link_down(1);
+  settle(a, b, sink_a, sink_b);
+  a.on_link_up_at(1, 2.0, 11.0);  // deferred: inside [10, 14)
+  EXPECT_EQ(a.distance(1), graph::kInfCost);
+  // A cost report for the still-deferred link rides along with it.
+  a.on_link_cost_change_at(1, 3.0, 12.0);
+  EXPECT_EQ(a.lsus_suppressed(), 2u);
+  a.pacing_tick(13.0);  // window still open
+  EXPECT_EQ(a.distance(1), graph::kInfCost);
+  a.pacing_tick(14.5);  // flushes the announcement with the latest cost
+  settle(a, b, sink_a, sink_b);
+  EXPECT_DOUBLE_EQ(a.distance(1), 3.0);
+  EXPECT_TRUE(a.passive());
 }
 
 TEST(Mpda, TwoNodeBootstrap) {
