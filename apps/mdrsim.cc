@@ -12,6 +12,14 @@
 // value); per-flow delays are reported as mean / stddev / 95% CI across the
 // replications. --json writes the batch (aggregates plus per-run rows) in
 // the schema documented in docs/RUNNER.md.
+//
+// Telemetry (docs/OBSERVABILITY.md): --metrics-out streams the per-run
+// time-series samples plus per-run and merged metric registries (JSONL, or
+// tidy CSV when the path ends in .csv); --trace streams the structured
+// protocol event trace and any flight-recorder dumps (JSONL);
+// --sample-interval S sets the sampling period (also the scenario `sample`
+// directive; --metrics-out alone defaults it to 1s). All off by default —
+// a default run is bit-identical to one built without telemetry.
 // See src/sim/scenario.h for the file format, and examples/scenarios/ for
 // ready-made inputs.
 #include <cstdio>
@@ -20,7 +28,9 @@
 #include <fstream>
 #include <string>
 
+#include "obs/sampler.h"
 #include "runner/experiment_runner.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -28,8 +38,15 @@ namespace {
 void usage() {
   std::fputs(
       "usage: mdrsim <scenario-file> [--mode mp|sp|opt] [--seed N]\n"
-      "              [--seeds N] [--jobs M] [--json PATH] [--quiet]\n",
+      "              [--seeds N] [--jobs M] [--json PATH] [--quiet]\n"
+      "              [--metrics-out PATH] [--trace PATH]\n"
+      "              [--sample-interval S]\n",
       stderr);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 void print_single_run(const mdr::sim::SimResult& result, bool quiet) {
@@ -149,6 +166,9 @@ int main(int argc, char** argv) {
   std::string mode_override;
   std::string seed_override;
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
+  double sample_interval = -1;  // < 0: keep the scenario's setting
   long seeds = 1;
   long jobs = 1;
   bool quiet = false;
@@ -165,6 +185,16 @@ int main(int argc, char** argv) {
       jobs = std::strtol(argv[++i], nullptr, 10);
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--sample-interval" && i + 1 < argc) {
+      sample_interval = std::strtod(argv[++i], nullptr);
+      if (sample_interval <= 0) {
+        std::fputs("mdrsim: --sample-interval must be positive\n", stderr);
+        return 2;
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -204,6 +234,12 @@ int main(int argc, char** argv) {
     scenario->spec.config.seed = static_cast<std::uint64_t>(
         std::strtoull(seed_override.c_str(), nullptr, 10));
   }
+  auto& config = scenario->spec.config;
+  if (sample_interval > 0) config.sample_interval = sample_interval;
+  if (!metrics_path.empty() && config.sample_interval <= 0) {
+    config.sample_interval = 1.0;  // sensible default when asked for metrics
+  }
+  if (!trace_path.empty()) config.trace = true;
 
   // Everything runs through the parallel runner; a single seed is just a
   // batch of one.
@@ -229,6 +265,46 @@ int main(int argc, char** argv) {
       return 1;
     }
     mdr::runner::write_results_json(out, batch, path);
+  }
+
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    const auto names =
+        mdr::sim::telemetry_names(scenario->spec.topo, scenario->spec.flows);
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "mdrsim: cannot write %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      const bool csv = ends_with(metrics_path, ".csv");
+      for (std::size_t i = 0; i < batch.runs.size(); ++i) {
+        if (!batch.runs[i].telemetry.has_value()) continue;
+        const auto& telemetry = *batch.runs[i].telemetry;
+        const int run = static_cast<int>(i);
+        if (csv) {
+          mdr::obs::write_samples_csv(out, telemetry, names, run,
+                                      /*header=*/i == 0);
+        } else {
+          mdr::obs::write_samples_jsonl(out, telemetry, names, run);
+          mdr::obs::write_metrics_jsonl(out, telemetry.metrics,
+                                        std::to_string(run));
+        }
+      }
+      if (!csv) mdr::obs::write_metrics_jsonl(out, batch.metrics, "merged");
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "mdrsim: cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      for (std::size_t i = 0; i < batch.runs.size(); ++i) {
+        if (!batch.runs[i].telemetry.has_value()) continue;
+        mdr::obs::write_trace_jsonl(out, *batch.runs[i].telemetry, names,
+                                    static_cast<int>(i));
+      }
+    }
   }
   return 0;
 }

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Validate mdrsim telemetry JSONL streams against the documented schema.
+
+Usage:
+    check_telemetry.py --samples FILE [--trace FILE]
+
+Checks every line of the sample/metrics stream (--metrics-out) and the
+event/flight-dump stream (--trace) against the row schemas documented in
+docs/OBSERVABILITY.md: required keys, value types, and basic sanity
+(timestamps non-negative and non-decreasing per kind, utilization within
+[0, 1+eps], counters non-negative). Exits non-zero with a line-numbered
+message on the first violation so CI can gate on telemetry format drift.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+NUM = (int, float)
+# Event payloads may be null: non-finite doubles (e.g. the initial infinite
+# feasible distance) serialize as JSON null.
+NUM_OR_NULL = (int, float, type(None))
+
+# kind -> {field: expected type(s)}; every field is required.
+SAMPLE_SCHEMAS = {
+    "link": {
+        "run": int, "t": NUM, "from": str, "to": str, "util": NUM,
+        "queue_bits": NUM, "queue_pkts": int, "data_bits": NUM,
+        "control_bits": NUM, "drops": int,
+    },
+    "flow": {
+        "run": int, "t": NUM, "src": str, "dst": str, "injected": int,
+        "delivered": int, "delay_sum_s": NUM, "measured_delivered": int,
+        "measured_delay_sum_s": NUM, "dropped": int,
+    },
+    "dest": {
+        "run": int, "t": NUM, "dest": str, "mean_successors": NUM,
+        "mean_entropy_bits": NUM, "churn": int,
+    },
+    "control": {
+        "run": int, "t": NUM, "lsus_originated": int,
+        "lsus_retransmitted": int, "lsus_suppressed": int, "acks": int,
+        "hellos": int, "control_bits": NUM, "control_dropped": int,
+    },
+    "metrics": {"run": str, "metrics": dict},
+}
+
+TRACE_SCHEMAS = {
+    "event": {"run": int, "t": NUM, "node": str, "event": str,
+              "a": NUM_OR_NULL, "b": NUM_OR_NULL},
+    "flight_dump": {"run": int, "t": NUM, "reason": str, "events": list},
+}
+
+EVENT_NAMES = {
+    "lsu_originate", "lsu_receive", "fd_change", "successor_change",
+    "ih_alloc", "ah_alloc", "crash", "recover", "damp_suppress",
+    "damp_release", "control_drop",
+}
+
+DUMP_REASONS = {"forwarding_loop", "blackhole", "accounting_leak"}
+
+HISTO_FIELDS = {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def check_fields(row, schema, where):
+    for field, expected in schema.items():
+        if field not in row:
+            raise SchemaError(f"{where}: missing field '{field}'")
+        value = row[field]
+        # bool is an int subclass in Python; never valid here.
+        if isinstance(value, bool) or not isinstance(value, expected):
+            raise SchemaError(
+                f"{where}: field '{field}' has type {type(value).__name__}, "
+                f"expected {expected}")
+        if field == "t" and value < 0:
+            raise SchemaError(f"{where}: negative timestamp {value}")
+    extra = set(row) - set(schema) - {"kind", "peer"}
+    if extra:
+        raise SchemaError(f"{where}: unexpected fields {sorted(extra)}")
+
+
+def check_event_row(row, where, nested=False):
+    schema = TRACE_SCHEMAS["event"]
+    if nested:  # events inside a flight_dump inherit run/kind from the dump row
+        schema = {k: v for k, v in schema.items() if k != "run"}
+    check_fields(row, schema, where)
+    if row["event"] not in EVENT_NAMES:
+        raise SchemaError(f"{where}: unknown event type '{row['event']}'")
+    if "peer" in row and not isinstance(row["peer"], str):
+        raise SchemaError(f"{where}: 'peer' must be a string")
+
+
+def check_metrics_row(row, where):
+    check_fields(row, SAMPLE_SCHEMAS["metrics"], where)
+    m = row["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in m or not isinstance(m[section], dict):
+            raise SchemaError(f"{where}: metrics missing object '{section}'")
+    for name, v in m["counters"].items():
+        if isinstance(v, bool) or not isinstance(v, int) or v < 0:
+            raise SchemaError(f"{where}: counter '{name}' must be a "
+                              f"non-negative integer, got {v!r}")
+    for name, v in m["gauges"].items():
+        if isinstance(v, bool) or not isinstance(v, NUM):
+            raise SchemaError(f"{where}: gauge '{name}' must be numeric")
+    for name, h in m["histograms"].items():
+        if not isinstance(h, dict) or set(h) != HISTO_FIELDS:
+            raise SchemaError(
+                f"{where}: histogram '{name}' must have exactly "
+                f"{sorted(HISTO_FIELDS)}, got {sorted(h) if isinstance(h, dict) else h!r}")
+
+
+def parse_lines(path):
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SchemaError(f"{path}:{lineno}: invalid JSON: {e}")
+            if not isinstance(row, dict) or "kind" not in row:
+                raise SchemaError(f"{path}:{lineno}: row must be an object "
+                                  "with a 'kind' field")
+            yield lineno, row
+
+
+def check_samples(path):
+    counts = {}
+    last_t = {}
+    for lineno, row in parse_lines(path):
+        kind = row["kind"]
+        where = f"{path}:{lineno}"
+        if kind not in SAMPLE_SCHEMAS:
+            raise SchemaError(f"{where}: unknown sample kind '{kind}'")
+        if kind == "metrics":
+            check_metrics_row(row, where)
+        else:
+            check_fields(row, SAMPLE_SCHEMAS[kind], where)
+            series = (kind, row["run"])
+            if row["t"] < last_t.get(series, 0.0):
+                raise SchemaError(f"{where}: timestamps go backwards within "
+                                  f"{series}")
+            last_t[series] = row["t"]
+        if kind == "link" and not -1e-9 <= row["util"] <= 1.0 + 1e-9:
+            raise SchemaError(f"{where}: utilization {row['util']} out of "
+                              "[0, 1]")
+        counts[kind] = counts.get(kind, 0) + 1
+    for required in ("link", "flow", "control", "metrics"):
+        if counts.get(required, 0) == 0:
+            raise SchemaError(f"{path}: no '{required}' rows — sampler did "
+                              "not run or stream is truncated")
+    return counts
+
+
+def check_trace(path):
+    counts = {}
+    for lineno, row in parse_lines(path):
+        kind = row["kind"]
+        where = f"{path}:{lineno}"
+        if kind == "event":
+            check_event_row(row, where)
+        elif kind == "flight_dump":
+            check_fields(row, TRACE_SCHEMAS["flight_dump"], where)
+            if row["reason"] not in DUMP_REASONS:
+                raise SchemaError(f"{where}: unknown dump reason "
+                                  f"'{row['reason']}'")
+            for i, ev in enumerate(row["events"]):
+                check_event_row(ev, f"{where} (dump event {i})", nested=True)
+        else:
+            raise SchemaError(f"{where}: unknown trace kind '{kind}'")
+        counts[kind] = counts.get(kind, 0) + 1
+    if counts.get("event", 0) == 0:
+        raise SchemaError(f"{path}: no 'event' rows — trace is empty")
+    return counts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", help="JSONL file from --metrics-out")
+    parser.add_argument("--trace", help="JSONL file from --trace")
+    args = parser.parse_args()
+    if not args.samples and not args.trace:
+        parser.error("give at least one of --samples / --trace")
+    try:
+        if args.samples:
+            counts = check_samples(args.samples)
+            print(f"{args.samples}: OK "
+                  + " ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+        if args.trace:
+            counts = check_trace(args.trace)
+            print(f"{args.trace}: OK "
+                  + " ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    except SchemaError as e:
+        print(f"telemetry schema violation: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

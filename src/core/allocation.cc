@@ -27,11 +27,11 @@ std::vector<double> initial_allocation(
   return phi;
 }
 
-void adjust_allocation(std::span<const SuccessorMetric> metrics,
-                       std::span<double> phi, double damping) {
+double adjust_allocation(std::span<const SuccessorMetric> metrics,
+                         std::span<double> phi, double damping) {
   assert(metrics.size() == phi.size());
   assert(damping > 0 && damping <= 1.0);
-  if (metrics.size() < 2) return;
+  if (metrics.size() < 2) return 0.0;
 
   // Fig. 7 steps 1-2: the best successor k0.
   std::size_t k0 = 0;
@@ -49,7 +49,7 @@ void adjust_allocation(std::span<const SuccessorMetric> metrics,
     if (x == k0 || a <= 0 || phi[x] <= 0) continue;
     delta = std::min(delta, phi[x] / a);
   }
-  if (!std::isfinite(delta)) return;  // perfectly balanced already
+  if (!std::isfinite(delta)) return 0.0;  // perfectly balanced already
   delta *= damping;
 
   // Fig. 7 steps 5-6: drain proportionally, pile onto the best successor.
@@ -67,6 +67,7 @@ void adjust_allocation(std::span<const SuccessorMetric> metrics,
     }
   }
   phi[k0] += moved;
+  return moved;
 }
 
 std::vector<double> best_successor_allocation(

@@ -43,8 +43,12 @@ std::vector<double> initial_allocation(std::span<const SuccessorMetric> metrics)
 ///
 /// `damping` scales the paper's full shift (1.0 reproduces Fig. 7; smaller
 /// values move proportionally less per invocation — an ablation knob).
-void adjust_allocation(std::span<const SuccessorMetric> metrics,
-                       std::span<double> phi, double damping = 1.0);
+///
+/// Returns the total phi mass moved onto the best successor (0 when the
+/// allocation was already balanced or trivial) — the natural magnitude for
+/// telemetry of AH activity.
+double adjust_allocation(std::span<const SuccessorMetric> metrics,
+                         std::span<double> phi, double damping = 1.0);
 
 /// Single-path allocation: everything on the successor with the least
 /// marginal distance (ties to the lower neighbor id). Used by the SP

@@ -107,11 +107,14 @@ void MpRouter::refresh(NodeId dest, bool allow_adjust) {
              entry.size() != succ.size()) {
     // New successor set (long-term route change): fresh distribution (IH).
     phi = initial_allocation(metrics);
+    probe_.emit(obs::EventType::kIhAlloc, dest,
+                static_cast<double>(succ.size()));
   } else if (allow_adjust) {
     // Ts tick with an unchanged successor set: incremental shift (AH).
     phi.reserve(entry.size());
     for (const auto& choice : entry) phi.push_back(choice.weight);
-    adjust_allocation(metrics, phi, options_.ah_damping);
+    const double moved = adjust_allocation(metrics, phi, options_.ah_damping);
+    if (moved > 0) probe_.emit(obs::EventType::kAhAlloc, dest, moved);
   } else {
     // Protocol event that did not change S: keep the current phi.
     allocated_version_[dest] = version;

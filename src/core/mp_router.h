@@ -110,6 +110,13 @@ class MpRouter {
   const MpdaProcess& mpda() const { return mpda_; }
   graph::NodeId self() const { return mpda_.self(); }
 
+  /// Attaches a flight-recorder probe (IH/AH reallocation events here;
+  /// forwarded to MPDA for LSU/FD/successor events). Off by default.
+  void set_probe(const obs::Probe& probe) {
+    probe_ = probe;
+    mpda_.set_probe(probe);
+  }
+
  private:
   /// Rebuilds phi for one destination. `allow_adjust` selects AH when the
   /// successor set is unchanged (Ts tick) vs. keep-phi (protocol event).
@@ -123,6 +130,7 @@ class MpRouter {
   std::vector<std::vector<ForwardingChoice>> table_;
   std::vector<std::uint64_t> allocated_version_;
   std::vector<std::vector<double>> wrr_credits_;  // parallel to table_
+  obs::Probe probe_;
 };
 
 }  // namespace mdr::core

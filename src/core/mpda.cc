@@ -99,6 +99,8 @@ void MpdaProcess::on_link_up(NodeId k, Cost cost) {
     unacked_[k][msg.seq] = Pending{msg};
     send(k, msg);
     ++lsus_originated_;
+    probe_.emit(obs::EventType::kLsuOriginate, k, msg.seq,
+                static_cast<double>(msg.entries.size()));
     mode_ = Mode::kActive;
   }
 }
@@ -199,6 +201,8 @@ void MpdaProcess::pacing_tick(Time now) {
 
 void MpdaProcess::on_lsu(const LsuMessage& msg) {
   if (!tables_.is_neighbor(msg.sender)) return;  // raced with a link_down
+  probe_.emit(obs::EventType::kLsuReceive, msg.sender, msg.seq,
+              static_cast<double>(msg.entries.size()));
   NtuOutcome outcome;
   if (msg.ack) {
     const auto it = unacked_.find(msg.sender);
@@ -227,7 +231,12 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
     // Fig. 4 step 2: update T and lower the feasible distances.
     changes = tables_.mtu();
     for (std::size_t j = 0; j < fd_.size(); ++j) {
+      const Cost prev = fd_[j];
       fd_[j] = std::min(fd_[j], tables_.distance(static_cast<NodeId>(j)));
+      if (probe_.enabled() && fd_[j] != prev) {
+        probe_.emit(obs::EventType::kFdChange, static_cast<NodeId>(j), fd_[j],
+                    prev);
+      }
     }
   } else if (unacked_.empty()) {
     // Fig. 4 step 3: the last ACK arrived (or the last blocking neighbor
@@ -240,7 +249,12 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
     mode_ = Mode::kPassive;
     changes = tables_.mtu();
     for (std::size_t j = 0; j < fd_.size(); ++j) {
+      const Cost prev = fd_[j];
       fd_[j] = std::min(temp[j], tables_.distance(static_cast<NodeId>(j)));
+      if (probe_.enabled() && fd_[j] != prev) {
+        probe_.emit(obs::EventType::kFdChange, static_cast<NodeId>(j), fd_[j],
+                    prev);
+      }
     }
   }
   // While ACTIVE with outstanding ACKs: NTU already refreshed T_k and D_jk;
@@ -262,6 +276,8 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
       unacked_[k][msg.seq] = Pending{msg};
       send(k, msg);
       ++lsus_originated_;
+      probe_.emit(obs::EventType::kLsuOriginate, k, msg.seq,
+                  static_cast<double>(msg.entries.size()));
     }
   } else if (outcome.ack_to != graph::kInvalidNode &&
              tables_.is_neighbor(outcome.ack_to)) {
@@ -286,6 +302,8 @@ void MpdaProcess::recompute_successors() {
     if (next != successors_[j]) {
       successors_[j] = next;
       ++successor_versions_[j];
+      probe_.emit(obs::EventType::kSuccessorChange, j,
+                  static_cast<double>(next.size()), fd_[j]);
     }
   }
 }

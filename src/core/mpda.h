@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "graph/topology.h"
+#include "obs/trace.h"
 #include "proto/lsu.h"
 #include "proto/pda.h"
 #include "util/time.h"
@@ -159,6 +160,11 @@ class MpdaProcess final : public proto::RoutingProcess {
 
   const LsuPacing& pacing() const { return pacing_; }
 
+  /// Attaches a flight-recorder probe (LSU originate/receive, FD and
+  /// successor-set changes). Disabled by default; one branch per event when
+  /// off, so default runs are unaffected.
+  void set_probe(const obs::Probe& probe) { probe_ = probe; }
+
   /// Oldest outstanding LSUs eligible for retransmission, per neighbor.
   static constexpr std::size_t kRetransmitWindow = 8;
   /// Maximum gap (in retransmit ticks) between successive resends.
@@ -211,6 +217,7 @@ class MpdaProcess final : public proto::RoutingProcess {
   std::uint64_t lsus_retransmitted_ = 0;
   std::uint64_t lsus_suppressed_ = 0;
   std::uint64_t acks_sent_ = 0;
+  obs::Probe probe_;
 };
 
 }  // namespace mdr::core

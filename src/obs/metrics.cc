@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace mdr::obs {
+namespace {
+
+// Deterministic double formatting shared by all telemetry emitters: %.17g is
+// round-trip exact for IEEE doubles, so same-seed reruns serialize
+// byte-identically.
+void append_double(std::string& out, double v) {
+  // JSON has no representation for non-finite doubles (e.g. min of an empty
+  // histogram): emit null.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram() { std::memset(buckets_, 0, sizeof buckets_); }
+
+std::size_t LogHistogram::bucket_index(double value) {
+  if (!(value > 0) || !std::isfinite(value)) return 0;  // underflow bucket
+  int exp = 0;
+  // frexp: value = m * 2^exp with m in [0.5, 1); re-normalize to mantissa in
+  // [1, 2) over exponent exp-1 so sub-bucket = floor((m*2 - 1) * kSubBuckets).
+  const double m = std::frexp(value, &exp);
+  exp -= 1;
+  if (exp < kMinExp) return 0;
+  if (exp > kMaxExp) exp = kMaxExp;
+  int sub = static_cast<int>((m * 2.0 - 1.0) * kSubBuckets);
+  if (sub < 0) sub = 0;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 +
+         static_cast<std::size_t>(exp - kMinExp) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double LogHistogram::bucket_mid(std::size_t index) {
+  if (index == 0) return 0.0;
+  const std::size_t i = index - 1;
+  const int exp = kMinExp + static_cast<int>(i / kSubBuckets);
+  const int sub = static_cast<int>(i % kSubBuckets);
+  const double lo = std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                               exp);
+  const double hi =
+      std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, exp);
+  return 0.5 * (lo + hi);
+}
+
+void LogHistogram::record(double value) {
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double LogHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Nearest-rank over the cumulative bucket counts, mirroring
+  // Samples::percentile's rank formula so the two agree up to quantization.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      double v = bucket_mid(i);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) gauges_[name] = v;
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+void MetricRegistry::append_json(std::string& out) const {
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_u64(out, v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_double(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    append_u64(out, h.count());
+    out += ",\"sum\":";
+    append_double(out, h.sum());
+    out += ",\"min\":";
+    append_double(out, h.min());
+    out += ",\"max\":";
+    append_double(out, h.max());
+    out += ",\"mean\":";
+    append_double(out, h.mean());
+    out += ",\"p50\":";
+    append_double(out, h.percentile(0.50));
+    out += ",\"p90\":";
+    append_double(out, h.percentile(0.90));
+    out += ",\"p99\":";
+    append_double(out, h.percentile(0.99));
+    out += '}';
+  }
+  out += "}}";
+}
+
+}  // namespace mdr::obs

@@ -1,0 +1,120 @@
+// MetricRegistry: named counters, gauges and log-bucketed histograms for
+// run telemetry (docs/OBSERVABILITY.md).
+//
+// Design goals, in order:
+//   * O(1) record on hot paths — a histogram insert touches one bucket, no
+//     sorting, no allocation (the full-sort-per-query util/stats.h Samples
+//     stays the tool for *exact* end-of-run reporting, never for per-packet
+//     instrumentation);
+//   * mergeable — the runner's worker threads each fill a private registry
+//     and the batch merges them afterwards in job-index order, so the
+//     combined view is bit-identical for any thread count;
+//   * cheap percentile queries — a log-bucketed histogram answers any
+//     quantile with one pass over ~800 fixed buckets, at a bounded relative
+//     error (<= half a bucket, ~6% with 8 sub-buckets per octave).
+//
+// Handles returned by counter()/gauge()/histogram() stay valid for the
+// registry's lifetime (node-based map), so instrument points resolve the
+// name once and keep the pointer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mdr::obs {
+
+/// Fixed-layout log-bucketed histogram of positive doubles.
+///
+/// A value maps to (binary exponent, linear sub-bucket of the mantissa):
+/// 8 sub-buckets per octave bound the relative quantization error of any
+/// percentile estimate by ~6%. Count, sum, min and max are tracked exactly.
+/// Values <= 0 (and anything below the smallest representable bucket) land
+/// in a dedicated underflow bucket at the bottom of the range.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  /// O(1): one bucket increment plus exact count/sum/min/max updates.
+  void record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// q-quantile estimate (q in [0,1]) by nearest-rank over the buckets; the
+  /// returned value is the bucket midpoint, clamped to the exact [min, max]
+  /// observed. 0 when empty.
+  double percentile(double q) const;
+
+  /// Elementwise bucket addition; exact fields combine exactly.
+  void merge(const LogHistogram& other);
+
+  bool empty() const { return count_ == 0; }
+
+  /// Sub-buckets per power of two; the quantization grain.
+  static constexpr int kSubBuckets = 8;
+  /// Covered binary exponents [kMinExp, kMaxExp]: ~1e-18 .. ~1e12, enough
+  /// for delays in seconds, queue depths in bits and rates in Hz alike.
+  static constexpr int kMinExp = -60;
+  static constexpr int kMaxExp = 40;
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp + 1) * kSubBuckets + 1;
+
+ private:
+  static std::size_t bucket_index(double value);
+  /// Midpoint of bucket `index` (index 0 is the underflow bucket).
+  static double bucket_mid(std::size_t index);
+
+  std::uint64_t buckets_[kNumBuckets];
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Named metrics for one run (or one merged batch). Iteration is in name
+/// order everywhere, so serialization is deterministic.
+class MetricRegistry {
+ public:
+  /// Monotonic counter; create-on-first-use, zero-initialized.
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  /// Last-written value; create-on-first-use, zero-initialized.
+  double& gauge(const std::string& name) { return gauges_[name]; }
+  LogHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, LogHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Merge semantics: counters add, histograms merge bucketwise, gauges take
+  /// `other`'s value (last writer wins — merge in job-index order for a
+  /// deterministic result).
+  void merge(const MetricRegistry& other);
+
+  /// Appends this registry as a deterministic JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+  /// mean,p50,p90,p99}}}. Doubles use "%.17g" (round-trip exact).
+  void append_json(std::string& out) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, LogHistogram> histograms_;
+};
+
+}  // namespace mdr::obs

@@ -1,0 +1,174 @@
+// Periodic time-series sampling and the Telemetry container a run returns.
+//
+// The TimeSeriesSampler is driven by the simulator's event queue: once per
+// `sample_interval` the sim feeds it *cumulative* per-link / per-flow /
+// per-destination / network-control readings and the sampler turns them into
+// per-window rows (deltas, utilizations, instantaneous gauges). Keeping the
+// delta bookkeeping here means the sim-side tick is a read-only walk over
+// existing counters — it draws no randomness and reorders no events, so
+// enabling sampling never perturbs packet flows.
+//
+// All serialization (JSONL and tidy CSV) lives here too, with %.17g double
+// formatting so same-seed reruns emit byte-identical streams
+// (docs/OBSERVABILITY.md documents the schemas).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/time.h"
+
+namespace mdr::obs {
+
+/// One per-link sample window ending at time t.
+struct LinkSample {
+  Time t = 0;
+  std::uint32_t link = 0;        ///< LinkId
+  double utilization = 0;        ///< busy fraction of the window
+  double queue_bits = 0;         ///< instantaneous queued data bits
+  std::uint64_t queue_packets = 0;  ///< instantaneous queued data packets
+  double data_bits = 0;          ///< data bits transmitted in the window
+  double control_bits = 0;       ///< control bits transmitted in the window
+  std::uint64_t drops = 0;       ///< packets dropped in the window
+};
+
+/// One per-flow sample window ending at time t. `delivered`/`delay_sum_s`
+/// count every delivery (convergence curves from t=0); the `measured_*` pair
+/// restricts to packets created inside the measurement window, so summing
+/// them over all rows reconciles with FlowResult::mean_delay_s.
+struct FlowSample {
+  Time t = 0;
+  int flow = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  double delay_sum_s = 0;
+  std::uint64_t measured_delivered = 0;
+  double measured_delay_sum_s = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// One per-destination routing snapshot at time t, aggregated over the alive
+/// routers that currently have a forwarding entry for `dest`.
+struct DestSample {
+  Time t = 0;
+  graph::NodeId dest = graph::kInvalidNode;
+  double mean_successors = 0;    ///< mean successor-set size
+  double mean_entropy_bits = 0;  ///< mean Shannon entropy of phi (bits)
+  std::uint64_t churn = 0;       ///< successor-set version bumps this window
+};
+
+/// One network-wide control-plane sample window ending at time t.
+struct ControlSample {
+  Time t = 0;
+  std::uint64_t lsus_originated = 0;
+  std::uint64_t lsus_retransmitted = 0;
+  std::uint64_t lsus_suppressed = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t hellos = 0;
+  double control_bits = 0;
+  std::uint64_t control_dropped = 0;
+};
+
+/// Flight-recorder dump taken when an invariant incident opened at time t.
+struct FlightDump {
+  Time t = 0;
+  std::string reason;            ///< "forwarding_loop" | "blackhole" | ...
+  std::vector<Event> events;     ///< chronologically merged ring contents
+};
+
+/// Everything a telemetry-enabled run returns (SimResult::telemetry).
+struct Telemetry {
+  Duration sample_interval = 0;
+  std::vector<LinkSample> links;
+  std::vector<FlowSample> flows;
+  std::vector<DestSample> dests;
+  std::vector<ControlSample> control;
+  std::vector<Event> trace;           ///< full event trace (trace mode only)
+  std::vector<FlightDump> flight_dumps;
+  MetricRegistry metrics;
+};
+
+/// Turns cumulative readings into windowed sample rows. The caller feeds one
+/// full set of record_*() calls per tick; the sampler keeps the previous
+/// cumulative values per entity and appends the delta rows to `out`.
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(Duration interval, std::size_t num_links,
+                    std::size_t num_flows, Telemetry* out);
+
+  struct LinkCumulative {
+    double busy_time = 0;        ///< cumulative seconds spent transmitting
+    double queue_bits = 0;       ///< instantaneous
+    std::uint64_t queue_packets = 0;  ///< instantaneous
+    double data_bits = 0;        ///< cumulative
+    double control_bits = 0;     ///< cumulative
+    std::uint64_t drops = 0;     ///< cumulative
+  };
+  struct FlowCumulative {
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    double delay_sum_s = 0;
+    std::uint64_t measured_delivered = 0;
+    double measured_delay_sum_s = 0;
+    std::uint64_t dropped = 0;
+  };
+  struct DestCumulative {
+    double mean_successors = 0;   ///< instantaneous
+    double mean_entropy_bits = 0; ///< instantaneous
+    std::uint64_t successor_versions = 0;  ///< cumulative version sum
+  };
+  struct ControlCumulative {
+    std::uint64_t lsus_originated = 0;
+    std::uint64_t lsus_retransmitted = 0;
+    std::uint64_t lsus_suppressed = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t hellos = 0;
+    double control_bits = 0;
+    std::uint64_t control_dropped = 0;
+  };
+
+  void record_link(Time t, std::uint32_t link, const LinkCumulative& now);
+  void record_flow(Time t, int flow, const FlowCumulative& now);
+  void record_dest(Time t, graph::NodeId dest, const DestCumulative& now);
+  void record_control(Time t, const ControlCumulative& now);
+
+  Duration interval() const { return interval_; }
+
+ private:
+  Duration interval_;
+  Telemetry* out_;
+  std::vector<LinkCumulative> prev_links_;
+  std::vector<Time> prev_link_t_;
+  std::vector<FlowCumulative> prev_flows_;
+  std::vector<std::uint64_t> prev_dest_versions_;  // indexed by NodeId
+  ControlCumulative prev_control_;
+};
+
+/// Display names resolved once per run so emitters never touch the topology.
+struct TelemetryNames {
+  std::vector<std::string> nodes;  ///< by NodeId
+  std::vector<std::pair<std::string, std::string>> links;  ///< from/to by LinkId
+  std::vector<std::pair<std::string, std::string>> flows;  ///< src/dst by flow
+};
+
+// JSONL emitters — one object per line, deterministic field order, %.17g
+// doubles. `run` tags the replication index.
+void write_samples_jsonl(std::ostream& os, const Telemetry& telemetry,
+                         const TelemetryNames& names, int run);
+void write_trace_jsonl(std::ostream& os, const Telemetry& telemetry,
+                       const TelemetryNames& names, int run);
+void write_metrics_jsonl(std::ostream& os, const MetricRegistry& metrics,
+                         const std::string& run_label);
+
+/// Tidy long-format CSV: run,t,kind,entity,metric,value (one measurement per
+/// row). Set `header` on the first run of a file.
+void write_samples_csv(std::ostream& os, const Telemetry& telemetry,
+                       const TelemetryNames& names, int run, bool header);
+
+}  // namespace mdr::obs

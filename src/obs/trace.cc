@@ -1,0 +1,74 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mdr::obs {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kLsuOriginate: return "lsu_originate";
+    case EventType::kLsuReceive: return "lsu_receive";
+    case EventType::kFdChange: return "fd_change";
+    case EventType::kSuccessorChange: return "successor_change";
+    case EventType::kIhAlloc: return "ih_alloc";
+    case EventType::kAhAlloc: return "ah_alloc";
+    case EventType::kCrash: return "crash";
+    case EventType::kRecover: return "recover";
+    case EventType::kDampSuppress: return "damp_suppress";
+    case EventType::kDampRelease: return "damp_release";
+    case EventType::kControlDrop: return "control_drop";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t num_nodes,
+                               std::size_t ring_capacity, bool keep_all,
+                               MetricRegistry* metrics)
+    : rings_(num_nodes),
+      ring_capacity_(ring_capacity > 0 ? ring_capacity : 1),
+      keep_all_(keep_all) {
+  if (metrics != nullptr) {
+    for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+      counters_[i] = &metrics->counter(
+          std::string("events.") +
+          event_type_name(static_cast<EventType>(i)));
+    }
+  }
+}
+
+void FlightRecorder::record(const Event& e) {
+  const auto type_index = static_cast<std::size_t>(e.type);
+  if (type_index < kNumEventTypes && counters_[type_index] != nullptr) {
+    ++*counters_[type_index];
+  }
+  Ring& ring = (e.node >= 0 && static_cast<std::size_t>(e.node) < rings_.size())
+                   ? rings_[static_cast<std::size_t>(e.node)]
+                   : off_node_;
+  const Stamped stamped{e, next_seq_++};
+  if (ring.slots.size() < ring_capacity_) {
+    ring.slots.push_back(stamped);
+  } else {
+    ring.slots[ring.next] = stamped;
+    ring.next = (ring.next + 1) % ring_capacity_;
+  }
+  if (keep_all_) trace_.push_back(e);
+}
+
+std::vector<Event> FlightRecorder::dump() const {
+  std::vector<Stamped> all;
+  for (const Ring& ring : rings_) {
+    all.insert(all.end(), ring.slots.begin(), ring.slots.end());
+  }
+  all.insert(all.end(), off_node_.slots.begin(), off_node_.slots.end());
+  // The global sequence number is assigned in record order, which the
+  // monotonic sim clock makes chronological — one sort key, fully stable.
+  std::sort(all.begin(), all.end(),
+            [](const Stamped& a, const Stamped& b) { return a.seq < b.seq; });
+  std::vector<Event> out;
+  out.reserve(all.size());
+  for (const Stamped& s : all) out.push_back(s.event);
+  return out;
+}
+
+}  // namespace mdr::obs

@@ -1,0 +1,120 @@
+// Structured protocol trace: typed events, per-node bounded rings (the
+// flight recorder), and the Probe handle embedded in protocol objects.
+//
+// The flight recorder answers "what was the protocol doing just before this
+// anomaly" — when the InvariantMonitor opens a loop/blackhole/ledger
+// incident, the simulator dumps the rings into a chronologically merged
+// event sequence attached to the run's telemetry. With `trace` enabled the
+// recorder additionally retains *every* event for full JSONL export.
+//
+// Instrument points hold a Probe by value; a disabled probe costs exactly
+// one predictable branch (null recorder check), no allocation, no RNG use —
+// default runs stay bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/topology.h"
+#include "obs/metrics.h"
+#include "util/time.h"
+
+namespace mdr::obs {
+
+/// Protocol event types captured by the flight recorder. The `peer`/`a`/`b`
+/// payload fields are type-specific; see docs/OBSERVABILITY.md for the full
+/// catalog.
+enum class EventType : std::uint8_t {
+  kLsuOriginate = 0,  ///< peer=neighbor sent to, a=seq, b=entry count
+  kLsuReceive,        ///< peer=sender, a=seq, b=entry count
+  kFdChange,          ///< peer=destination, a=new FD, b=previous FD
+  kSuccessorChange,   ///< peer=destination, a=new successor count, b=FD
+  kIhAlloc,           ///< peer=destination, a=successor count
+  kAhAlloc,           ///< peer=destination, a=phi mass moved
+  kCrash,             ///< node crashed (state wiped)
+  kRecover,           ///< node recovered (boot epoch bumped)
+  kDampSuppress,      ///< peer=neighbor, a=penalty at suppression
+  kDampRelease,       ///< peer=neighbor, a=penalty at release
+  kControlDrop,       ///< node=receiving end, a=cause (0=queue,1=wire,2=flush),
+                      ///< b=packet count
+};
+
+constexpr std::size_t kNumEventTypes = 11;
+
+/// Stable lowercase identifier used in JSONL output and metric names.
+const char* event_type_name(EventType type);
+
+/// One recorded protocol event. `node` is the observing node; `peer` is a
+/// neighbor or destination depending on the type (kInvalidNode when unused).
+struct Event {
+  Time t = 0;
+  graph::NodeId node = graph::kInvalidNode;
+  EventType type = EventType::kLsuOriginate;
+  graph::NodeId peer = graph::kInvalidNode;
+  double a = 0;
+  double b = 0;
+};
+
+/// Per-node bounded rings of Events plus (optionally) a full append-only
+/// trace. Single-threaded by design, like the simulator that feeds it.
+class FlightRecorder {
+ public:
+  /// `ring_capacity` events are retained per node (older ones overwritten).
+  /// With `keep_all`, every event is additionally appended to trace().
+  /// A non-null `metrics` registry gets one `events.<type>` counter bump
+  /// per record().
+  FlightRecorder(std::size_t num_nodes, std::size_t ring_capacity,
+                 bool keep_all, MetricRegistry* metrics);
+
+  void record(const Event& e);
+
+  /// All currently retained ring events across nodes, merged into global
+  /// record order (which is chronological: the sim clock is monotonic).
+  std::vector<Event> dump() const;
+
+  /// Full event trace (empty unless constructed with keep_all).
+  const std::vector<Event>& trace() const { return trace_; }
+  std::vector<Event> take_trace() { return std::move(trace_); }
+
+  std::uint64_t recorded() const { return next_seq_; }
+  std::size_t ring_capacity() const { return ring_capacity_; }
+
+ private:
+  struct Stamped {
+    Event event;
+    std::uint64_t seq = 0;
+  };
+  struct Ring {
+    std::vector<Stamped> slots;  ///< grows to ring_capacity_, then wraps
+    std::size_t next = 0;        ///< overwrite cursor once full
+  };
+
+  std::vector<Ring> rings_;       ///< indexed by NodeId
+  Ring off_node_;                 ///< events with no valid node id
+  std::vector<Event> trace_;
+  std::size_t ring_capacity_;
+  bool keep_all_;
+  std::uint64_t next_seq_ = 0;
+  /// Cached per-type counter slots in the registry (null when no registry).
+  std::uint64_t* counters_[kNumEventTypes] = {};
+};
+
+/// Instrumentation handle held by value in protocol objects. Disabled (the
+/// default) it is a null recorder and emit() is a single branch.
+struct Probe {
+  FlightRecorder* recorder = nullptr;
+  graph::NodeId node = graph::kInvalidNode;
+  /// Simulation clock (EventQueue::now_ptr()); null stamps events at t=0.
+  const Time* clock = nullptr;
+
+  bool enabled() const { return recorder != nullptr; }
+
+  void emit(EventType type, graph::NodeId peer = graph::kInvalidNode,
+            double a = 0, double b = 0) const {
+    if (recorder == nullptr) return;
+    recorder->record(
+        Event{clock != nullptr ? *clock : Time{0}, node, type, peer, a, b});
+  }
+};
+
+}  // namespace mdr::obs

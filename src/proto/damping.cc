@@ -21,6 +21,7 @@ bool FlapDamper::on_down(graph::NodeId k, Time now) {
   if (!s.suppressed && s.penalty >= options_.suppress_threshold) {
     s.suppressed = true;
     ++damped_withdrawals_;
+    probe_.emit(obs::EventType::kDampSuppress, k, s.penalty);
   }
   return s.suppressed;
 }
@@ -47,6 +48,7 @@ std::vector<graph::NodeId> FlapDamper::release_reusable(Time now) {
     if (s.suppressed && s.penalty < options_.reuse_threshold) {
       s.suppressed = false;
       released.push_back(it->first);
+      probe_.emit(obs::EventType::kDampRelease, it->first, s.penalty);
     }
     // Prune idle entries once the penalty has decayed to noise; a
     // long-stable neighbor should cost no memory.

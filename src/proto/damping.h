@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/topology.h"
+#include "obs/trace.h"
 #include "util/time.h"
 
 namespace mdr::proto {
@@ -71,6 +72,10 @@ class FlapDamper {
 
   const Options& options() const { return options_; }
 
+  /// Attaches a flight-recorder probe (suppress/release events). Off by
+  /// default; one branch per transition when off.
+  void set_probe(const obs::Probe& probe) { probe_ = probe; }
+
  private:
   struct State {
     double penalty = 0;
@@ -84,6 +89,7 @@ class FlapDamper {
   std::map<graph::NodeId, State> states_;
   std::uint64_t damped_withdrawals_ = 0;
   std::uint64_t suppressed_ups_ = 0;
+  obs::Probe probe_;
 };
 
 }  // namespace mdr::proto

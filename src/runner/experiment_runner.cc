@@ -53,7 +53,11 @@ BatchResult ExperimentRunner::run_replicated(const sim::ExperimentSpec& spec,
   batch.jobs = options_.jobs;
   batch.runs = run(jobs);
   batch.flows = aggregate_flows(batch.runs);
-  for (const auto& r : batch.runs) batch.avg_delay_s.add(r.avg_delay_s);
+  for (const auto& r : batch.runs) {
+    batch.avg_delay_s.add(r.avg_delay_s);
+    // Deterministic merge order: job index, never completion order.
+    if (r.telemetry.has_value()) batch.metrics.merge(r.telemetry->metrics);
+  }
   return batch;
 }
 

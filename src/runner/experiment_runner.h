@@ -53,6 +53,10 @@ struct BatchResult {
   std::vector<sim::SimResult> runs;  ///< by job index (== replication index)
   std::vector<FlowAggregate> flows;  ///< cross-seed per-flow statistics
   OnlineStats avg_delay_s;           ///< per-run network averages
+  /// Per-run metric registries merged in job order — counters add,
+  /// histograms merge bucketwise — so the result is identical for any
+  /// worker count. Empty unless the runs carried telemetry.
+  obs::MetricRegistry metrics;
 };
 
 /// Per-flow aggregation across runs that share one flow set (samples are

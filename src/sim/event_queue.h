@@ -19,6 +19,10 @@ class EventQueue {
 
   Time now() const { return now_; }
 
+  /// Stable pointer to the clock, for consumers that need to read the
+  /// current time without holding the queue (obs::Probe, ScopedLogClock).
+  const Time* now_ptr() const { return &now_; }
+
   /// Schedules `fn` at absolute time `t` (>= now).
   void schedule_at(Time t, Callback fn);
 

@@ -120,4 +120,23 @@ std::vector<std::string> flow_labels(const std::vector<topo::FlowSpec>& flows) {
   return out;
 }
 
+obs::TelemetryNames telemetry_names(const graph::Topology& topo,
+                                    const std::vector<topo::FlowSpec>& flows) {
+  obs::TelemetryNames names;
+  names.nodes.reserve(topo.num_nodes());
+  for (std::size_t i = 0; i < topo.num_nodes(); ++i) {
+    names.nodes.emplace_back(topo.name(static_cast<graph::NodeId>(i)));
+  }
+  names.links.reserve(topo.num_links());
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    const auto& l = topo.link(id);
+    names.links.emplace_back(std::string(topo.name(l.from)),
+                             std::string(topo.name(l.to)));
+  }
+  names.flows.reserve(flows.size());
+  for (const auto& f : flows) names.flows.emplace_back(f.src, f.dst);
+  return names;
+}
+
 }  // namespace mdr::sim

@@ -74,4 +74,10 @@ std::vector<double> flow_delays(const SimResult& result);
 /// Flow labels "src->dst" in flow order.
 std::vector<std::string> flow_labels(const std::vector<topo::FlowSpec>& flows);
 
+/// Display names for telemetry emitters (obs::write_samples_jsonl etc.):
+/// node names by NodeId, link endpoint names by LinkId, flow endpoint names
+/// by flow id — resolved once so writers never touch the topology.
+obs::TelemetryNames telemetry_names(const graph::Topology& topo,
+                                    const std::vector<topo::FlowSpec>& flows);
+
 }  // namespace mdr::sim

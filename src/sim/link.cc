@@ -30,6 +30,7 @@ bool SimLink::enqueue(Packet packet) {
       ++data_dropped_;
     } else {
       ++control_dropped_flush_;
+      probe_.emit(obs::EventType::kControlDrop, packet.src, /*cause=*/2, 1);
     }
     return false;
   }
@@ -50,6 +51,7 @@ bool SimLink::enqueue(Packet packet) {
     // service, so a storm sheds here instead of growing without bound.
     ++drops_;
     ++control_dropped_queue_;
+    probe_.emit(obs::EventType::kControlDrop, packet.src, /*cause=*/0, 1);
     return false;
   }
   queued_bits_ += packet.size_bits;
@@ -129,6 +131,7 @@ void SimLink::finish_transmission() {
       ++data_dropped_;
     } else {
       ++control_dropped_wire_;
+      probe_.emit(obs::EventType::kControlDrop, q.packet.src, /*cause=*/1, 1);
     }
   } else {
     const bool control = q.packet.kind == Packet::Kind::kControl;
@@ -178,13 +181,18 @@ void SimLink::set_up(bool up) {
     // propagating count as drops too — otherwise they leak out of the
     // conservation ledger (injected == delivered + dropped + in transit).
     data_dropped_ += queued_data_packets() + in_flight_data_;
-    control_dropped_flush_ +=
+    const std::uint64_t control_flushed =
         control_queue_.size() +
         (in_service_.has_value() &&
                  in_service_->packet.kind == Packet::Kind::kControl
              ? 1
              : 0) +
         in_flight_control_;
+    control_dropped_flush_ += control_flushed;
+    if (control_flushed > 0) {
+      probe_.emit(obs::EventType::kControlDrop, graph::kInvalidNode,
+                  /*cause=*/2, static_cast<double>(control_flushed));
+    }
     drops_ += control_queue_.size() + data_queue_.size() +
               (in_service_.has_value() ? 1 : 0) + in_flight_data_ +
               in_flight_control_;

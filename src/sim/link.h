@@ -12,6 +12,7 @@
 #include "cost/estimators.h"
 #include "fault/gilbert.h"
 #include "graph/topology.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 #include "util/rng.h"
@@ -119,6 +120,15 @@ class SimLink {
   double utilization_estimate(Time horizon) const {
     return horizon > 0 ? busy_time_ / horizon : 0;
   }
+  /// Cumulative seconds this link spent transmitting (telemetry: windowed
+  /// utilization is the busy-time delta over the window).
+  double busy_time() const { return busy_time_; }
+  /// Bits currently queued or in service (data + control).
+  double queued_bits() const { return queued_bits_; }
+
+  /// Attaches a flight-recorder probe (control-drop events, stamped with the
+  /// receiving node's id). Off by default; one branch per drop when off.
+  void set_probe(const obs::Probe& probe) { probe_ = probe; }
 
  private:
   void start_transmission();
@@ -162,6 +172,7 @@ class SimLink {
   std::uint64_t in_flight_data_ = 0;     ///< propagating data packets
   std::uint64_t in_flight_control_ = 0;  ///< propagating control packets
   double busy_time_ = 0;
+  obs::Probe probe_;
 };
 
 }  // namespace mdr::sim

@@ -53,10 +53,12 @@ void realized_next_hops(std::span<const core::ForwardingChoice> choices,
 
 void InvariantMonitor::check(Time now) {
   ++report_.checks;
+  const char* anomaly = nullptr;  // first anomaly kind this sweep
 
   const auto snapshot = hooks_.accounting();
   if (!snapshot.balanced()) {
     ++report_.accounting_leaks;
+    if (anomaly == nullptr) anomaly = "accounting_leak";
     MDR_LOG_WARN(
         "packet accounting leak at t=%.6f: injected=%llu delivered=%llu "
         "dropped=%llu queued=%llu in_flight=%llu",
@@ -192,6 +194,7 @@ void InvariantMonitor::check(Time now) {
     if (loop) {
       ++report_.forwarding_loops;
       report_.t_last_anomaly = now;
+      if (anomaly == nullptr) anomaly = "forwarding_loop";
       std::string cycle;
       for (const auto& f : stack) {
         cycle += std::string(topo_->name(f.node));
@@ -225,6 +228,7 @@ void InvariantMonitor::check(Time now) {
       if (hooks_.forwarding(x, dest).empty()) {
         ++report_.blackholes;
         report_.t_last_anomaly = now;
+        if (anomaly == nullptr) anomaly = "blackhole";
         for (std::size_t i = 0; i < open.size(); ++i) {
           if (report_.incidents[open[i]].node == x) converged[i] = false;
         }
@@ -238,6 +242,13 @@ void InvariantMonitor::check(Time now) {
     inc.t_reconverged = now;
     inc.packets_lost = snapshot.dropped - dropped_at_crash_[open[i]];
   }
+
+  // Edge-triggered: a persistent anomaly fires the hook once when it opens,
+  // so a bounded dump budget covers distinct incidents, not repeat sweeps.
+  if (anomaly != nullptr && !anomaly_open_ && hooks_.anomaly) {
+    hooks_.anomaly(anomaly, now);
+  }
+  anomaly_open_ = anomaly != nullptr;
 }
 
 namespace {

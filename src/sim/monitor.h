@@ -101,6 +101,14 @@ struct MonitorHooks {
   /// Whether `node` currently considers `neighbor` a control-plane
   /// adjacency. Optional; required for starved-adjacency detection.
   std::function<bool(graph::NodeId node, graph::NodeId neighbor)> adjacent;
+  /// Fired when an anomaly incident OPENS: the first sweep that finds a
+  /// loop / blackhole / accounting leak after an anomaly-free sweep (or at
+  /// the start of the run). The argument is the first anomaly kind detected
+  /// ("forwarding_loop", "blackhole", "accounting_leak"). A persistent
+  /// anomaly fires once when it appears, not once per sweep; after a clean
+  /// sweep the next anomaly opens a fresh incident. Optional; NetworkSim
+  /// uses it to dump the protocol flight recorder at the incident instant.
+  std::function<void(const char* kind, Time now)> anomaly;
 };
 
 struct MonitorOptions {
@@ -134,6 +142,9 @@ class InvariantMonitor {
   /// Per-link cumulative control drops at the previous sweep (watchdog
   /// deltas are per sweep, not per run).
   std::vector<std::uint64_t> prev_control_dropped_;
+  /// The previous sweep found an anomaly — hooks_.anomaly fires only on the
+  /// clean-to-anomalous edge (incident open), not on every anomalous sweep.
+  bool anomaly_open_ = false;
 };
 
 /// Compact single-line JSON for the report; deterministic formatting so two

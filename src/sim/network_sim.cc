@@ -43,15 +43,35 @@ void NetworkSim::build() {
   node_options.pacing = config_.pacing;
   node_options.damping = config_.damping;
 
+  telemetry_enabled_ = config_.sample_interval > 0 || config_.trace ||
+                       config_.flightrec_capacity > 0;
+
   NodeCallbacks callbacks;
   callbacks.delivered = [this](const Packet& p, Duration delay) {
     ++total_delivered_;
     window_delay_sum_ += delay;
     ++window_delivered_;
-    if (p.created < measure_start_ || p.flow_id < 0) return;
+    if (p.flow_id < 0) return;
+    const bool measured = p.created >= measure_start_;
+    if (telemetry_enabled_) {
+      auto& acc = flow_accum_[static_cast<std::size_t>(p.flow_id)];
+      ++acc.delivered;
+      acc.delay_sum_s += delay;
+      if (measured) {
+        ++acc.measured_delivered;
+        acc.measured_delay_sum_s += delay;
+        delay_hist_->record(delay);
+      }
+    }
+    if (!measured) return;
     flow_delays_[static_cast<std::size_t>(p.flow_id)].add(delay);
   };
-  callbacks.dropped = [this](const Packet&) { ++window_dropped_; };
+  callbacks.dropped = [this](const Packet& p) {
+    ++window_dropped_;
+    if (telemetry_enabled_ && p.flow_id >= 0) {
+      ++flow_accum_[static_cast<std::size_t>(p.flow_id)].dropped;
+    }
+  };
 
   for (NodeId i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<SimNode>(events_, i, topo_->num_nodes(),
@@ -91,6 +111,33 @@ void NetworkSim::build() {
         [to](Packet p) { to->receive(std::move(p)); }, options,
         master_rng_.split()));
     nodes_[l.from]->attach_link(l.to, links_.back().get());
+  }
+
+  if (telemetry_enabled_) {
+    telemetry_.sample_interval = config_.sample_interval;
+    const std::size_t ring =
+        config_.flightrec_capacity > 0 ? config_.flightrec_capacity : 256;
+    recorder_ = std::make_unique<obs::FlightRecorder>(
+        topo_->num_nodes(), ring, /*keep_all=*/config_.trace,
+        &telemetry_.metrics);
+    const Time* clock = events_.now_ptr();
+    for (NodeId i = 0; i < n; ++i) {
+      nodes_[i]->set_probe(obs::Probe{recorder_.get(), i, clock});
+    }
+    // A link's drop events are stamped with the RECEIVING node: control
+    // sheds at the ingress of the far end, which is where the overload is.
+    for (LinkId id = 0; id < static_cast<LinkId>(topo_->num_links()); ++id) {
+      links_[id]->set_probe(
+          obs::Probe{recorder_.get(), topo_->link(id).to, clock});
+    }
+    flow_accum_.resize(flow_specs_.size());
+    delay_hist_ = &telemetry_.metrics.histogram("flow_delay_s");
+    if (config_.sample_interval > 0) {
+      sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+          config_.sample_interval, topo_->num_links(), flow_specs_.size(),
+          &telemetry_);
+      events_.schedule_in(config_.sample_interval, [this] { sample_tick(); });
+    }
   }
 
   if (config_.mode == RoutingMode::kStatic) {
@@ -173,6 +220,16 @@ void NetworkSim::build() {
     hooks.adjacent = [this](NodeId x, NodeId neighbor) {
       return nodes_[x]->adjacent_to(neighbor);
     };
+    if (recorder_ != nullptr) {
+      // Dump the flight recorder the moment an invariant incident opens —
+      // bounded so a persistently broken run cannot grow without limit.
+      hooks.anomaly = [this](const char* kind, Time at) {
+        constexpr std::size_t kMaxDumps = 16;
+        if (telemetry_.flight_dumps.size() >= kMaxDumps) return;
+        telemetry_.flight_dumps.push_back(
+            obs::FlightDump{at, std::string(kind), recorder_->dump()});
+      };
+    }
     MonitorOptions monitor_options;
     monitor_options.control_drop_budget = config_.monitor_control_drop_budget;
     monitor_ = std::make_unique<InvariantMonitor>(*topo_, std::move(hooks),
@@ -299,6 +356,100 @@ void NetworkSim::timeseries_tick() {
   events_.schedule_in(config_.timeseries_interval, [this] { timeseries_tick(); });
 }
 
+std::uint64_t NetworkSim::source_emitted(std::size_t flow) const {
+  // One source per flow, all of the same model (see build()), so the flow id
+  // indexes whichever vector was populated.
+  switch (config_.traffic.model) {
+    case TrafficModel::kOnOff:
+      return onoff_sources_[flow]->emitted();
+    case TrafficModel::kParetoOnOff:
+      return pareto_sources_[flow]->emitted();
+    case TrafficModel::kPoisson:
+      return poisson_sources_[flow]->emitted();
+  }
+  return 0;
+}
+
+void NetworkSim::sample_tick() {
+  take_samples();
+  events_.schedule_in(config_.sample_interval, [this] { sample_tick(); });
+}
+
+void NetworkSim::take_samples() {
+  // A read-only walk over existing counters: no randomness is drawn and no
+  // protocol state is touched, so sampling never perturbs packet flows.
+  const Time now = events_.now();
+  for (LinkId id = 0; id < static_cast<LinkId>(links_.size()); ++id) {
+    const auto& link = *links_[id];
+    obs::TimeSeriesSampler::LinkCumulative c;
+    c.busy_time = link.busy_time();
+    c.queue_bits = link.queued_bits();
+    c.queue_packets = link.queued_data_packets();
+    c.data_bits = link.data_bits();
+    c.control_bits = link.control_bits();
+    c.drops = link.drops();
+    sampler_->record_link(now, static_cast<std::uint32_t>(id), c);
+  }
+  for (std::size_t f = 0; f < flow_specs_.size(); ++f) {
+    const auto& acc = flow_accum_[f];
+    obs::TimeSeriesSampler::FlowCumulative c;
+    c.injected = source_emitted(f);
+    c.delivered = acc.delivered;
+    c.delay_sum_s = acc.delay_sum_s;
+    c.measured_delivered = acc.measured_delivered;
+    c.measured_delay_sum_s = acc.measured_delay_sum_s;
+    c.dropped = acc.dropped;
+    sampler_->record_flow(now, static_cast<int>(f), c);
+  }
+  const auto n = static_cast<NodeId>(topo_->num_nodes());
+  if (config_.mode != RoutingMode::kStatic) {
+    for (NodeId j = 0; j < n; ++j) {
+      obs::TimeSeriesSampler::DestCumulative c;
+      double succ_sum = 0;
+      double entropy_sum = 0;
+      std::uint64_t entries = 0;
+      for (NodeId i = 0; i < n; ++i) {
+        if (i == j) continue;
+        const auto* router = nodes_[i]->router();
+        // Versions are monotonic (bumped, never zeroed, across crashes), so
+        // summing over every router — dead ones included — keeps the
+        // cumulative churn feed monotonic too.
+        c.successor_versions += router->mpda().successor_version(j);
+        if (!nodes_[i]->alive()) continue;
+        const auto choices = router->forwarding(j);
+        if (choices.empty()) continue;
+        ++entries;
+        succ_sum += static_cast<double>(choices.size());
+        double h = 0;
+        for (const auto& choice : choices) {
+          if (choice.weight > 0) h -= choice.weight * std::log2(choice.weight);
+        }
+        entropy_sum += h;
+      }
+      if (entries > 0) {
+        c.mean_successors = succ_sum / static_cast<double>(entries);
+        c.mean_entropy_bits = entropy_sum / static_cast<double>(entries);
+      }
+      sampler_->record_dest(now, j, c);
+    }
+  }
+  obs::TimeSeriesSampler::ControlCumulative c;
+  for (const auto& node : nodes_) {
+    c.hellos += node->hellos_sent();
+    if (node->router() == nullptr) continue;
+    const auto& mpda = node->router()->mpda();
+    c.lsus_originated += mpda.lsus_originated();
+    c.lsus_retransmitted += mpda.lsus_retransmitted();
+    c.lsus_suppressed += mpda.lsus_suppressed();
+    c.acks += mpda.acks_sent();
+  }
+  for (const auto& link : links_) {
+    c.control_bits += link->control_bits();
+    c.control_dropped += link->control_dropped();
+  }
+  sampler_->record_control(now, c);
+}
+
 void NetworkSim::lfi_check() {
   const auto n = static_cast<NodeId>(topo_->num_nodes());
   ++lfi_checks_;
@@ -352,9 +503,12 @@ void NetworkSim::toggle_duplex(NodeId a, NodeId b, bool up, bool silent) {
 }
 
 SimResult NetworkSim::run() {
+  // Stamp every MDR_LOG line emitted while events run with the sim time.
+  const ScopedLogClock log_clock(events_.now_ptr());
   const Time stop = measure_start_ + config_.duration;
   // Small drain period so packets in flight at `stop` still land.
   events_.run_until(stop + 0.5);
+  if (sampler_ != nullptr) take_samples();  // tail window (sums reconcile)
 
   SimResult result;
   result.events_processed = events_.processed();
@@ -422,6 +576,26 @@ SimResult NetworkSim::run() {
         std::string(topo_->name(l.from)), std::string(topo_->name(l.to)),
         link.data_bits(), link.control_bits(),
         link.utilization_estimate(events_.now())});
+  }
+  if (telemetry_enabled_) {
+    telemetry_.trace = recorder_->take_trace();
+    auto& m = telemetry_.metrics;
+    m.counter("packets.injected") += injected_;
+    m.counter("packets.delivered") += total_delivered_;
+    m.counter("packets.delivered_measured") += result.delivered;
+    m.counter("packets.dropped_no_route") += result.dropped_no_route;
+    m.counter("packets.dropped_ttl") += result.dropped_ttl;
+    m.counter("packets.dropped_dead") += result.dropped_dead;
+    m.counter("packets.dropped_queue") += result.dropped_queue;
+    m.counter("control.messages") += result.control_messages;
+    m.counter("control.lsus_originated") += result.lsus_originated;
+    m.counter("control.lsus_retransmitted") += result.lsus_retransmitted;
+    m.counter("control.lsus_suppressed") += result.lsus_suppressed;
+    m.counter("control.acks") += result.acks_sent;
+    m.counter("control.dropped") += result.control_dropped;
+    m.gauge("delay.avg_s") = result.avg_delay_s;
+    m.gauge("control.bits") = result.control_bits;
+    result.telemetry = std::move(telemetry_);
   }
   return result;
 }

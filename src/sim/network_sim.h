@@ -12,6 +12,8 @@
 #include "fault/fault_plan.h"
 #include "flow/phi.h"
 #include "graph/topology.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/link.h"
 #include "sim/monitor.h"
@@ -103,6 +105,27 @@ struct SimConfig {
   /// (scenario parsing enforces this).
   fault::FaultPlan faults;
 
+  // --- telemetry (src/obs) — everything off by default; a default run
+  // executes one predictable branch per instrument point and stays
+  // bit-identical to the seed (docs/OBSERVABILITY.md). ---------------------
+
+  /// If > 0, run the TimeSeriesSampler with this period: per-link
+  /// utilization/queue/bytes, per-flow delay, per-destination successor
+  /// statistics and network control rates land in SimResult::telemetry.
+  /// Sample ticks are read-only walks over existing counters — they draw no
+  /// randomness, so packet flows are unchanged.
+  Duration sample_interval = 0;
+
+  /// Retain EVERY flight-recorder event for full JSONL export
+  /// (Telemetry::trace). Implies the flight recorder.
+  bool trace = false;
+
+  /// If > 0, run the protocol flight recorder with bounded per-node rings of
+  /// this capacity. When an InvariantMonitor sweep opens a loop / blackhole /
+  /// ledger incident the rings are dumped into Telemetry::flight_dumps
+  /// (requires monitor_interval > 0 to have a trigger).
+  std::size_t flightrec_capacity = 0;
+
   /// If > 0, run the InvariantMonitor (sim/monitor.h) with this sweep
   /// period: realized-forwarding loop checks, blackhole detection, packet
   /// accounting, per-crash incident records (SimResult::monitor), and the
@@ -178,6 +201,9 @@ struct SimResult {
   std::vector<TimePoint> timeseries;  ///< see SimConfig::timeseries_interval
   /// InvariantMonitor findings; present iff monitor_interval > 0.
   std::optional<MonitorReport> monitor;
+  /// Time series, trace, flight dumps and metrics; present iff any of
+  /// sample_interval / trace / flightrec_capacity enabled telemetry.
+  std::optional<obs::Telemetry> telemetry;
 };
 
 class NetworkSim {
@@ -203,6 +229,12 @@ class NetworkSim {
   void lfi_check();
   void monitor_check();
   void timeseries_tick();
+  void sample_tick();
+  /// One full set of sampler readings at the current sim time (also called
+  /// once after the run drains, so the tail window is captured and the
+  /// per-flow sums reconcile exactly with FlowResult).
+  void take_samples();
+  std::uint64_t source_emitted(std::size_t flow) const;
   AccountingSnapshot accounting_snapshot() const;
 
   const graph::Topology* topo_;
@@ -236,6 +268,24 @@ class NetworkSim {
   std::unique_ptr<InvariantMonitor> monitor_;
   std::uint64_t injected_ = 0;         ///< data packets entered at sources
   std::uint64_t total_delivered_ = 0;  ///< all deliveries, measured or not
+
+  // --- telemetry (null/empty unless enabled; see SimConfig) ---------------
+  /// Per-flow cumulative delivery accounting for the sampler: every delivery
+  /// vs. only measurement-window deliveries (the pair that reconciles with
+  /// FlowResult::mean_delay_s).
+  struct FlowAccum {
+    std::uint64_t delivered = 0;
+    double delay_sum_s = 0;
+    std::uint64_t measured_delivered = 0;
+    double measured_delay_sum_s = 0;
+    std::uint64_t dropped = 0;
+  };
+  bool telemetry_enabled_ = false;
+  obs::Telemetry telemetry_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  std::vector<FlowAccum> flow_accum_;  // by flow id
+  obs::LogHistogram* delay_hist_ = nullptr;  ///< "flow_delay_s" in metrics
 };
 
 /// Convenience wrapper: build, run, return.

@@ -67,6 +67,7 @@ SimNode::SimNode(EventQueue& events, NodeId id, std::size_t num_nodes,
         p.payload.insert(p.payload.end(), body.begin(), body.end());
         p.size_bits = static_cast<double>(p.payload.size() * 8);
         it->second->enqueue(std::move(p));
+        ++hellos_sent_;
       };
       hello_ = std::make_unique<proto::HelloProtocol>(id, options_.hello,
                                                       std::move(callbacks));
@@ -126,9 +127,16 @@ void SimNode::schedule_guarded(Duration delay, void (SimNode::*method)()) {
   });
 }
 
+void SimNode::set_probe(const obs::Probe& probe) {
+  probe_ = probe;
+  if (router_ != nullptr) router_->set_probe(probe);
+  if (damper_ != nullptr) damper_->set_probe(probe);
+}
+
 void SimNode::crash() {
   if (!alive_ || router_ == nullptr) return;  // static nodes do not crash
   alive_ = false;
+  probe_.emit(obs::EventType::kCrash);
   ++boot_;  // invalidates every timer of the dead incarnation
   // Wipe immediately: a dead router holds no observable state, and global
   // invariant sweeps (LFI, the chaos monitor) must never read the stale
@@ -146,6 +154,8 @@ void SimNode::crash() {
 void SimNode::recover() {
   if (alive_ || router_ == nullptr) return;
   alive_ = true;
+  probe_.emit(obs::EventType::kRecover, graph::kInvalidNode,
+              static_cast<double>(boot_));
   if (hello_ != nullptr) {
     hello_->restart(static_cast<std::uint32_t>(boot_));
   }

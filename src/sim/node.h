@@ -137,6 +137,15 @@ class SimNode final : public proto::LsuSink {
   /// The embedded router (null in kStatic mode).
   const core::MpRouter* router() const { return router_.get(); }
 
+  /// Hello messages actually handed to a link (excluded from
+  /// control_messages_sent(), which counts LSUs only).
+  std::uint64_t hellos_sent() const { return hellos_sent_; }
+
+  /// Attaches a flight-recorder probe: crash/recover events here, LSU and
+  /// allocation events forwarded to the embedded router, suppress/release to
+  /// the damper. Off by default; one branch per event when off.
+  void set_probe(const obs::Probe& probe);
+
  private:
   void forward(Packet packet);
   graph::NodeId next_hop(graph::NodeId dest);
@@ -181,6 +190,8 @@ class SimNode final : public proto::LsuSink {
   std::uint64_t drops_dead_ = 0;
   std::uint64_t control_garbage_ = 0;
   std::uint64_t control_sent_ = 0;
+  std::uint64_t hellos_sent_ = 0;
+  obs::Probe probe_;
 };
 
 }  // namespace mdr::sim

@@ -354,6 +354,21 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     return true;
   }
 
+  if (cmd == "trace") {
+    s.config.trace = true;
+    return true;
+  }
+  if (cmd == "flightrec") {
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    double capacity = 256;
+    if (opts.count("capacity")) capacity = opts["capacity"];
+    if (capacity < 1) return fail("flightrec capacity must be at least 1");
+    s.config.flightrec_capacity = static_cast<std::size_t>(capacity);
+    return true;
+  }
+
   // Scalar directives.
   static const std::map<std::string, double SimConfig::*> kScalars = {
       {"tl", &SimConfig::tl},
@@ -362,6 +377,7 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
       {"warmup", &SimConfig::warmup},
       {"traffic_start", &SimConfig::traffic_start},
       {"timeseries", &SimConfig::timeseries_interval},
+      {"sample", &SimConfig::sample_interval},
       {"lfi_check", &SimConfig::lfi_check_interval},
       {"ah_damping", &SimConfig::ah_damping},
       {"mean_packet_bits", &SimConfig::mean_packet_bits},

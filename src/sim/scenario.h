@@ -37,6 +37,9 @@
 //   gilbert <a> <b> [p_good=<p>] [p_bad=<p>] [loss_bad=<p>] [loss_good=<p>]
 //   corrupt <p>     duplicate <p>     reorder <p>   # control-plane chaos
 //   monitor <s> [drop_budget=<n>]          # invariant sweeps + watchdog
+//   sample <s>                             # telemetry time-series period
+//   trace                                  # retain the full protocol trace
+//   flightrec [capacity=<n>]               # bounded per-node event rings
 //
 // crash/flap faults are silent by construction: a scenario using them must
 // also enable `hello` (enforced at parse time); `damping` filters hello

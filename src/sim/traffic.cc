@@ -46,6 +46,7 @@ void PoissonSource::run(Time start, Time stop) {
 
 void PoissonSource::schedule_next() {
   if (events_->now() >= stop_) return;
+  ++emitted_;
   inject_(make_packet(shape_, rng_, events_->now()));
   events_->schedule_in(rng_.exponential(mean_interarrival_s_),
                        [this] { schedule_next(); });
@@ -94,6 +95,7 @@ void ParetoOnOffSource::schedule_next_packet(Time period_end) {
   const Time next = events_->now() + rng_.exponential(peak_interarrival_s_);
   if (next >= period_end || next >= stop_) return;
   events_->schedule_at(next, [this, period_end] {
+    ++emitted_;
     inject_(make_packet(shape_, rng_, events_->now()));
     schedule_next_packet(period_end);
   });
@@ -138,6 +140,7 @@ void OnOffSource::schedule_next_packet(Time period_end) {
   const Time next = events_->now() + rng_.exponential(peak_interarrival_s_);
   if (next >= period_end || next >= stop_) return;
   events_->schedule_at(next, [this, period_end] {
+    ++emitted_;
     inject_(make_packet(shape_, rng_, events_->now()));
     schedule_next_packet(period_end);
   });

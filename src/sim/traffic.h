@@ -31,6 +31,9 @@ class PoissonSource {
   /// Emits packets from `start` until `stop` (absolute times).
   void run(Time start, Time stop);
 
+  /// Packets handed to the inject callback so far (telemetry).
+  std::uint64_t emitted() const { return emitted_; }
+
  private:
   void schedule_next();
   EventQueue* events_;
@@ -39,6 +42,7 @@ class PoissonSource {
   InjectFn inject_;
   Time stop_ = 0;
   double mean_interarrival_s_ = 0;
+  std::uint64_t emitted_ = 0;
 };
 
 /// Pareto (heavy-tailed) on/off source. Multiplexing many such sources
@@ -59,6 +63,9 @@ class ParetoOnOffSource {
 
   void run(Time start, Time stop);
 
+  /// Packets handed to the inject callback so far (telemetry).
+  std::uint64_t emitted() const { return emitted_; }
+
  private:
   double pareto(double mean);
   void begin_on_period();
@@ -73,6 +80,7 @@ class ParetoOnOffSource {
   double peak_interarrival_s_ = 0;
   double scale_on_ = 0;   ///< Pareto x_m for ON periods
   double scale_off_ = 0;  ///< Pareto x_m for OFF periods
+  std::uint64_t emitted_ = 0;
 };
 
 /// Exponential on/off source: bursts at `peak_factor` times the average rate
@@ -92,6 +100,9 @@ class OnOffSource {
 
   void run(Time start, Time stop);
 
+  /// Packets handed to the inject callback so far (telemetry).
+  std::uint64_t emitted() const { return emitted_; }
+
  private:
   void begin_on_period();
   void schedule_next_packet(Time period_end);
@@ -103,6 +114,7 @@ class OnOffSource {
   InjectFn inject_;
   Time stop_ = 0;
   double peak_interarrival_s_ = 0;
+  std::uint64_t emitted_ = 0;
 };
 
 }  // namespace mdr::sim

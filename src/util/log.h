@@ -1,11 +1,17 @@
 // Minimal leveled logging to stderr.
 //
 // The simulator and protocol engines are silent by default; raise the level
-// for protocol traces when debugging. Not thread-safe by design: the whole
-// library is single-threaded discrete-event code.
+// for protocol traces when debugging. Thread-safe: each message is formatted
+// into a single buffer and written with one fwrite under a mutex, so the
+// runner's worker threads never interleave partial lines. When a simulation
+// clock is installed for the current thread (ScopedLogClock, done by
+// NetworkSim::run()), messages are stamped with the current sim time.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -18,22 +24,65 @@ inline LogLevel& log_level_ref() {
   static LogLevel level = LogLevel::kWarn;
   return level;
 }
+
+inline std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Per-thread pointer to the active simulation clock (seconds); null outside
+/// a sim context. Thread-local because each runner worker drives its own sim.
+inline const double*& log_clock_ref() {
+  thread_local const double* clock = nullptr;
+  return clock;
+}
 }  // namespace detail
 
 inline void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
 inline LogLevel log_level() { return detail::log_level_ref(); }
 
+/// Installs `clock` as this thread's log timestamp source for the scope's
+/// lifetime (nesting restores the previous clock).
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(const double* clock)
+      : prev_(detail::log_clock_ref()) {
+    detail::log_clock_ref() = clock;
+  }
+  ~ScopedLogClock() { detail::log_clock_ref() = prev_; }
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+
+ private:
+  const double* prev_;
+};
+
 template <typename... Args>
 void log(LogLevel level, const char* fmt, Args&&... args) {
   if (static_cast<int>(level) > static_cast<int>(log_level())) return;
   static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
-  std::fprintf(stderr, "[%s] ", names[static_cast<int>(level)]);
+  char line[1024];
+  const double* clock = detail::log_clock_ref();
+  int prefix =
+      clock != nullptr
+          ? std::snprintf(line, sizeof line, "[%s t=%.6f] ",
+                          names[static_cast<int>(level)], *clock)
+          : std::snprintf(line, sizeof line, "[%s] ",
+                          names[static_cast<int>(level)]);
+  if (prefix < 0) return;
+  auto offset = std::min(static_cast<std::size_t>(prefix), sizeof line - 1);
   if constexpr (sizeof...(Args) == 0) {
-    std::fputs(fmt, stderr);
+    std::snprintf(line + offset, sizeof line - offset, "%s", fmt);
   } else {
-    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::snprintf(line + offset, sizeof line - offset, fmt,
+                  std::forward<Args>(args)...);
   }
-  std::fputc('\n', stderr);
+  // Overlong messages are truncated to the buffer; the trailing newline is
+  // always kept so concurrent writers stay line-atomic.
+  const std::size_t len = std::min(std::strlen(line), sizeof line - 2);
+  line[len] = '\n';
+  const std::lock_guard<std::mutex> lock(detail::log_mutex());
+  std::fwrite(line, 1, len + 1, stderr);
 }
 
 #define MDR_LOG_DEBUG(...) ::mdr::log(::mdr::LogLevel::kDebug, __VA_ARGS__)

@@ -115,7 +115,10 @@ class Ewma {
 /// distributions where sample counts are modest (<= a few million).
 class Samples {
  public:
-  void add(double x) { xs_.push_back(x); }
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_valid_ = false;
+  }
   std::size_t count() const { return xs_.size(); }
   bool empty() const { return xs_.empty(); }
 
@@ -127,21 +130,32 @@ class Samples {
   }
 
   /// Exact q-quantile (q in [0,1]) by nearest-rank; 0.5 is the median.
+  /// The sorted order is computed lazily on the first query after an add()
+  /// and cached, so repeated queries cost O(1) instead of a full sort each.
   double percentile(double q) const {
     assert(!xs_.empty());
     assert(q >= 0.0 && q <= 1.0);
-    std::vector<double> sorted = xs_;
-    std::sort(sorted.begin(), sorted.end());
+    if (!sorted_valid_) {
+      sorted_ = xs_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
     const auto rank = static_cast<std::size_t>(
-        q * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(rank, sorted.size() - 1)];
+        q * static_cast<double>(sorted_.size() - 1) + 0.5);
+    return sorted_[std::min(rank, sorted_.size() - 1)];
   }
 
   const std::vector<double>& values() const { return xs_; }
-  void reset() { xs_.clear(); }
+  void reset() {
+    xs_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+  }
 
  private:
   std::vector<double> xs_;
+  mutable std::vector<double> sorted_;  ///< lazily sorted copy of xs_
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace mdr

@@ -3,6 +3,7 @@
 // crash on garbage input) and a larger-network stress run.
 #include <gtest/gtest.h>
 
+#include <iomanip>
 #include <memory>
 #include <sstream>
 
@@ -71,6 +72,82 @@ TEST(Inspect, DotOutputIsWellFormedAndAcyclicEdges) {
   EXPECT_NE(dot.find("}"), std::string::npos);
   // Node 8 must not have outgoing successor edges toward itself.
   EXPECT_EQ(dot.find("\"8\" ->"), std::string::npos);
+}
+
+TEST(Inspect, DotNamesEveryNodeAndLabelsPhiOnMultiSuccessorEdges) {
+  // Unequal parallel-path costs on NET1 give several routers genuine
+  // multi-successor sets, so the DOT export must carry a phi label per edge.
+  const auto topo = topo::make_net1();
+  std::vector<graph::Cost> costs(topo.num_links());
+  for (std::size_t l = 0; l < costs.size(); ++l) {
+    costs[l] = 1.0 + 0.1 * static_cast<double>(l % 7);
+  }
+  test::ProtocolHarness<core::MpRouter> h(topo, costs, router_factory());
+  Rng rng(7);
+  h.bring_up_all(&rng);
+  h.run_to_quiescence(rng);
+
+  std::vector<const core::MpRouter*> routers;
+  for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+    routers.push_back(&h.node(i));
+  }
+
+  std::ostringstream out;
+  core::successor_graph_dot(out, topo, routers, 3);
+  const std::string dot = out.str();
+
+  // Every node gets a declaration line with its name and FD annotation.
+  for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+    const std::string decl = "\"" + std::string(topo.name(i)) + "\" [label=";
+    EXPECT_NE(dot.find(decl), std::string::npos) << "node " << i;
+  }
+
+  // Each forwarding edge appears with its phi as the label — including every
+  // edge of at least one multi-successor set (phi split across successors).
+  bool saw_multi = false;
+  for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+    if (i == 3) continue;
+    const auto entry = routers[i]->forwarding(3);
+    if (entry.size() > 1) saw_multi = true;
+    for (const auto& choice : entry) {
+      std::ostringstream edge;
+      edge << "\"" << topo.name(i) << "\" -> \"" << topo.name(choice.neighbor)
+           << "\" [label=\"" << std::fixed << std::setprecision(2)
+           << choice.weight << "\"]";
+      EXPECT_NE(dot.find(edge.str()), std::string::npos)
+          << "edge from " << i << " to " << choice.neighbor;
+    }
+  }
+  EXPECT_TRUE(saw_multi) << "test setup should produce a multi-successor set";
+}
+
+TEST(Inspect, DumpAndDotAreStableAcrossRuns) {
+  // Same topology, same seed, two independent protocol runs: both inspect
+  // renderings must be byte-identical (deterministic iteration order and
+  // formatting — diffable artifacts).
+  const auto topo = topo::make_cairn();
+  const auto render = [&](std::uint64_t seed) {
+    test::ProtocolHarness<core::MpRouter> h(
+        topo, std::vector<graph::Cost>(topo.num_links(), 2.0),
+        router_factory());
+    Rng rng(seed);
+    h.bring_up_all(&rng);
+    h.run_to_quiescence(rng);
+    std::vector<const core::MpRouter*> routers;
+    for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+      routers.push_back(&h.node(i));
+    }
+    std::ostringstream out;
+    for (NodeId i = 0; i < static_cast<NodeId>(topo.num_nodes()); ++i) {
+      core::dump_router_state(out, h.node(i), topo);
+    }
+    core::successor_graph_dot(out, topo, routers, 0);
+    return out.str();
+  };
+  const std::string first = render(11);
+  const std::string second = render(11);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 // ---------------------------------------------------------------- codec fuzz

@@ -1,0 +1,98 @@
+# ctest end-to-end check of the telemetry layer's two headline guarantees
+# (docs/OBSERVABILITY.md):
+#   1. Telemetry is observation-only: the --json report of a run with
+#      --metrics-out/--trace/--sample-interval is byte-identical to the same
+#      run without them.
+#   2. Telemetry is deterministic: re-running the same seeds produces
+#      byte-identical JSONL sample/metrics and trace streams.
+# When a python3 is on PATH, the streams are also validated against the
+# documented row schemas via scripts/check_telemetry.py.
+#
+# Expected definitions (see tests/CMakeLists.txt):
+#   MDRSIM   - path to the mdrsim executable
+#   SCENARIO - path to the scenario file to run
+#   OUTDIR   - writable directory for outputs
+#   CHECKER  - path to scripts/check_telemetry.py
+
+set(base_json "${OUTDIR}/telemetry_base.json")
+set(tel_json "${OUTDIR}/telemetry_on.json")
+
+function(run_mdrsim)
+  execute_process(
+    COMMAND "${MDRSIM}" "${SCENARIO}" --seeds 2 --jobs 2 ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "mdrsim ${ARGN} exited with ${rc}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+endfunction()
+
+# Baseline: no telemetry.
+run_mdrsim(--json "${base_json}")
+
+# Same run with every telemetry knob on.
+run_mdrsim(--json "${tel_json}"
+  --metrics-out "${OUTDIR}/telemetry_metrics.jsonl"
+  --trace "${OUTDIR}/telemetry_trace.jsonl"
+  --sample-interval 1)
+
+# 1. Observation-only: the JSON report must not move by a single byte.
+file(READ "${base_json}" base_doc)
+file(READ "${tel_json}" tel_doc)
+if(NOT base_doc STREQUAL tel_doc)
+  message(FATAL_ERROR
+    "--json output changed when telemetry was enabled; telemetry must be "
+    "observation-only (compare ${base_json} vs ${tel_json})")
+endif()
+
+# 2. Determinism: a second telemetry run with the same seeds must reproduce
+# the JSONL streams byte for byte.
+run_mdrsim(--json "${OUTDIR}/telemetry_on2.json"
+  --metrics-out "${OUTDIR}/telemetry_metrics2.jsonl"
+  --trace "${OUTDIR}/telemetry_trace2.jsonl"
+  --sample-interval 1)
+foreach(stream metrics trace)
+  file(READ "${OUTDIR}/telemetry_${stream}.jsonl" first)
+  file(READ "${OUTDIR}/telemetry_${stream}2.jsonl" second)
+  if(first STREQUAL "")
+    message(FATAL_ERROR "telemetry ${stream} stream is empty")
+  endif()
+  if(NOT first STREQUAL second)
+    message(FATAL_ERROR
+      "telemetry ${stream} stream is not deterministic across same-seed "
+      "reruns (compare ${OUTDIR}/telemetry_${stream}.jsonl vs "
+      "${OUTDIR}/telemetry_${stream}2.jsonl)")
+  endif()
+endforeach()
+
+# Quick shape check without python: every expected row kind is present.
+file(READ "${OUTDIR}/telemetry_metrics.jsonl" metrics_doc)
+foreach(kind link flow control metrics)
+  if(NOT metrics_doc MATCHES "\"kind\":\"${kind}\"")
+    message(FATAL_ERROR "metrics stream has no '${kind}' rows")
+  endif()
+endforeach()
+file(READ "${OUTDIR}/telemetry_trace.jsonl" trace_doc)
+if(NOT trace_doc MATCHES "\"kind\":\"event\"")
+  message(FATAL_ERROR "trace stream has no 'event' rows")
+endif()
+
+# Full schema validation when python3 is available (always true in CI).
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  execute_process(
+    COMMAND "${PYTHON3}" "${CHECKER}"
+      --samples "${OUTDIR}/telemetry_metrics.jsonl"
+      --trace "${OUTDIR}/telemetry_trace.jsonl"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "schema validation failed:\n${stdout}\n${stderr}")
+  endif()
+  message(STATUS "${stdout}")
+endif()
+
+message(STATUS "mdrsim telemetry OK: report unchanged, streams deterministic")

@@ -143,6 +143,48 @@ TEST(Samples, MeanAndPercentiles) {
   EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
 }
 
+// Reference implementation from before the sorted-state cache: copy and
+// fully sort the vector on every query, then take the nearest rank.
+static double naive_percentile(const std::vector<double>& xs, double q) {
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+TEST(Samples, CachedPercentileMatchesNaiveSortPerQuery) {
+  Samples s;
+  Rng rng(17);
+  std::vector<double> xs;
+  const double qs[] = {0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0};
+  // Interleave adds with repeated queries so the cache is invalidated,
+  // rebuilt, and re-queried many times.
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-1e3, 1e3);
+    s.add(x);
+    xs.push_back(x);
+    if (i % 37 == 0 || i == 1999) {
+      for (double q : qs) {
+        EXPECT_DOUBLE_EQ(s.percentile(q), naive_percentile(xs, q))
+            << "q=" << q << " after " << xs.size() << " samples";
+      }
+      // Repeated queries against the cached order must agree with the first.
+      EXPECT_DOUBLE_EQ(s.percentile(0.5), naive_percentile(xs, 0.5));
+    }
+  }
+  // reset() must drop the cached order along with the samples.
+  s.reset();
+  xs.clear();
+  for (double x : {3.0, 1.0, 2.0}) {
+    s.add(x);
+    xs.push_back(x);
+  }
+  for (double q : qs) {
+    EXPECT_DOUBLE_EQ(s.percentile(q), naive_percentile(xs, q));
+  }
+}
+
 TEST(FlatMatrix, IndexingAndFill) {
   FlatMatrix<int> m(3, 4, -1);
   EXPECT_EQ(m.rows(), 3u);
