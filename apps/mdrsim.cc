@@ -87,12 +87,14 @@ void print_single_run(const mdr::sim::SimResult& result, bool quiet) {
                   static_cast<unsigned long long>(result.damped_withdrawals));
     }
     if (result.control_dropped > 0) {
-      std::printf("; control drops %llu (queue %llu, wire %llu, flush %llu)",
-                  static_cast<unsigned long long>(result.control_dropped),
-                  static_cast<unsigned long long>(result.control_dropped_queue),
-                  static_cast<unsigned long long>(result.control_dropped_wire),
-                  static_cast<unsigned long long>(
-                      result.control_dropped_flush));
+      std::printf(
+          "; control drops %llu (queue %llu, wire %llu, flush %llu, "
+          "down %llu)",
+          static_cast<unsigned long long>(result.control_dropped),
+          static_cast<unsigned long long>(result.control_dropped_queue),
+          static_cast<unsigned long long>(result.control_dropped_wire),
+          static_cast<unsigned long long>(result.control_dropped_flush),
+          static_cast<unsigned long long>(result.control_dropped_down));
     }
     std::printf("\n");
   }

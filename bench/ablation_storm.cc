@@ -69,11 +69,12 @@ void print_run(const char* label, const mdr::sim::SimResult& r) {
       static_cast<unsigned long long>(r.acks_sent),
       static_cast<unsigned long long>(r.damped_withdrawals));
   std::printf(
-      "control drops: %llu (queue %llu, wire %llu, flush %llu)\n",
+      "control drops: %llu (queue %llu, wire %llu, flush %llu, down %llu)\n",
       static_cast<unsigned long long>(r.control_dropped),
       static_cast<unsigned long long>(r.control_dropped_queue),
       static_cast<unsigned long long>(r.control_dropped_wire),
-      static_cast<unsigned long long>(r.control_dropped_flush));
+      static_cast<unsigned long long>(r.control_dropped_flush),
+      static_cast<unsigned long long>(r.control_dropped_down));
   std::printf("data: %llu delivered, avg delay %.3f ms; drops: no-route "
               "%llu, queue %llu, dead %llu\n",
               static_cast<unsigned long long>(r.delivered),

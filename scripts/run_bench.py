@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Run the event-core perf baseline and validate its JSON output.
+
+Usage:
+    run_bench.py [--smoke] [--build-dir DIR] [--out FILE]
+    run_bench.py --validate-only FILE
+
+Drives build/bench/perf_event_core (building the target first if a build
+tree is configured), validates the emitted JSON against the schema
+documented in docs/BENCHMARKS.md, and writes the result to --out
+(default: BENCH_event_core.json at the repo root).
+
+Validation is STRUCTURAL, plus the one invariant that is deterministic on
+any machine: the typed packet path must be allocation-free
+(micro.typed_link_hop.allocs_per_event < 1e-3 — the small tolerance covers
+rare timer-wheel slot high-water growth, which is amortized, not
+per-event). There are deliberately NO timing assertions: wall-clock
+numbers on shared CI runners are noise, and a perf gate that flakes
+teaches people to ignore it. Timing regressions are caught by comparing
+the committed BENCH_event_core.json across PRs, by a human.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Every micro series carries the same five fields.
+SERIES_FIELDS = {
+    "events": int,
+    "wall_seconds": float,
+    "ns_per_event": float,
+    "events_per_sec": (int, float),
+    "allocs_per_event": float,
+}
+
+MACRO_FIELDS = {
+    "scenario": str,
+    "sim_seconds": (int, float),
+    "wall_seconds": float,
+    "events": int,
+    "events_per_sec": (int, float),
+    "delivered": int,
+    "peak_rss_bytes": int,
+}
+
+# The typed hop path must not allocate per event. The bound is not 0.0
+# exactly: the timer wheel's slot vectors occasionally grow to a new
+# high-water mark (a few allocations per million events, amortized to
+# zero); anything near the legacy core's ~0.57 allocs/event is a real
+# regression and fails loudly here.
+MAX_TYPED_ALLOCS_PER_EVENT = 1e-3
+
+
+def fail(msg):
+    print(f"run_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_number(value, name):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        fail(f"{name} is not a number: {value!r}")
+    if not math.isfinite(value):
+        fail(f"{name} is not finite: {value!r}")
+    if value < 0:
+        fail(f"{name} is negative: {value!r}")
+
+
+def check_fields(obj, fields, prefix):
+    if not isinstance(obj, dict):
+        fail(f"{prefix} is not an object")
+    for key, kind in fields.items():
+        if key not in obj:
+            fail(f"{prefix}.{key} is missing")
+        value = obj[key]
+        if kind is str:
+            if not isinstance(value, str):
+                fail(f"{prefix}.{key} is not a string: {value!r}")
+        else:
+            check_number(value, f"{prefix}.{key}")
+    extra = set(obj) - set(fields)
+    if extra:
+        fail(f"{prefix} has unknown fields: {sorted(extra)}")
+
+
+def validate(doc):
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("bench") != "event_core":
+        fail(f"bench != 'event_core': {doc.get('bench')!r}")
+    if doc.get("version") != 1:
+        fail(f"version != 1: {doc.get('version')!r}")
+    if not isinstance(doc.get("smoke"), bool):
+        fail("smoke is not a bool")
+
+    micro = doc.get("micro")
+    if not isinstance(micro, dict):
+        fail("micro is missing or not an object")
+    for series in ("legacy_fn_heap", "typed_link_hop", "timer_wheel"):
+        check_fields(micro.get(series), SERIES_FIELDS, f"micro.{series}")
+        if micro[series]["events"] == 0:
+            fail(f"micro.{series}.events == 0")
+    check_number(micro.get("speedup_vs_legacy"), "micro.speedup_vs_legacy")
+
+    check_fields(doc.get("macro"), MACRO_FIELDS, "macro")
+    if doc["macro"]["delivered"] == 0:
+        fail("macro.delivered == 0 (simulation carried no traffic)")
+
+    typed_allocs = micro["typed_link_hop"]["allocs_per_event"]
+    if typed_allocs >= MAX_TYPED_ALLOCS_PER_EVENT:
+        fail(
+            f"typed_link_hop.allocs_per_event = {typed_allocs} — the typed "
+            f"packet path must be allocation-free (< "
+            f"{MAX_TYPED_ALLOCS_PER_EVENT})"
+        )
+
+    legacy_allocs = micro["legacy_fn_heap"]["allocs_per_event"]
+    if legacy_allocs <= typed_allocs:
+        fail(
+            f"legacy allocs/event ({legacy_allocs}) <= typed "
+            f"({typed_allocs}) — the legacy series lost its per-delivery "
+            f"closure allocation; the comparison is no longer meaningful"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short run (CI): ~200k hop events, 10 s macro")
+    parser.add_argument("--build-dir", default=str(REPO_ROOT / "build"),
+                        help="CMake build tree holding bench/perf_event_core")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_event_core.json"),
+                        help="where to write the validated JSON")
+    parser.add_argument("--validate-only", metavar="FILE",
+                        help="validate an existing JSON file and exit")
+    args = parser.parse_args()
+
+    if args.validate_only:
+        with open(args.validate_only) as f:
+            validate(json.load(f))
+        print(f"run_bench: OK: {args.validate_only} matches the schema")
+        return
+
+    build_dir = pathlib.Path(args.build_dir)
+    binary = build_dir / "bench" / "perf_event_core"
+    if (build_dir / "CMakeCache.txt").exists():
+        subprocess.run(
+            ["cmake", "--build", str(build_dir), "--target",
+             "perf_event_core", "-j"],
+            check=True,
+        )
+    if not binary.exists():
+        fail(f"{binary} not found (configure the build tree first: "
+             f"cmake -B {build_dir} -S {REPO_ROOT})")
+
+    cmd = [str(binary), "--out", args.out]
+    if args.smoke:
+        cmd.append("--smoke")
+    subprocess.run(cmd, check=True)
+
+    with open(args.out) as f:
+        validate(json.load(f))
+    print(f"run_bench: OK: wrote and validated {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,8 +35,8 @@ enum class EventType : std::uint8_t {
   kRecover,           ///< node recovered (boot epoch bumped)
   kDampSuppress,      ///< peer=neighbor, a=penalty at suppression
   kDampRelease,       ///< peer=neighbor, a=penalty at release
-  kControlDrop,       ///< node=receiving end, a=cause (0=queue,1=wire,2=flush),
-                      ///< b=packet count
+  kControlDrop,       ///< node=receiving end, b=packet count,
+                      ///< a=cause (0=queue,1=wire,2=flush,3=link down)
 };
 
 constexpr std::size_t kNumEventTypes = 11;

@@ -154,6 +154,7 @@ void write_results_json(std::ostream& os, const BatchResult& batch,
        << ", \"dropped_queue\": " << r.control_dropped_queue
        << ", \"dropped_wire\": " << r.control_dropped_wire
        << ", \"dropped_flush\": " << r.control_dropped_flush
+       << ", \"dropped_down\": " << r.control_dropped_down
        << ", \"lsus_originated\": " << r.lsus_originated
        << ", \"lsus_retransmitted\": " << r.lsus_retransmitted
        << ", \"lsus_suppressed\": " << r.lsus_suppressed

@@ -1,30 +1,248 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 #include <utility>
+
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/traffic.h"
 
 namespace mdr::sim {
 
-void EventQueue::schedule_at(Time t, Callback fn) {
+// ------------------------------------------------------------------- pool
+
+std::uint32_t EventQueue::alloc_record(Time t, Kind kind) {
   assert(t >= now_ - 1e-12);
-  heap_.push(Event{t, next_seq_++, std::move(fn)});
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = pool_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Record& rec = pool_[idx];
+  rec.time = t;
+  rec.seq = next_seq_++;
+  rec.kind = kind;
+  rec.next_free = kNil;
+  return idx;
+}
+
+void EventQueue::release_record(std::uint32_t idx) {
+  Record& rec = pool_[idx];
+  rec.fn = nullptr;
+  rec.target = nullptr;
+  rec.method = nullptr;
+  rec.packet.payload.clear();
+  rec.next_free = free_head_;
+  free_head_ = idx;
+}
+
+// ------------------------------------------------------------------- heap
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapSlot slot = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(slot, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = slot;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const HeapSlot slot = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], slot)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = slot;
+}
+
+void EventQueue::push_heap(std::uint32_t idx) {
+  const Record& rec = pool_[idx];
+  heap_.push_back(HeapSlot{rec.time, rec.seq, idx});
+  sift_up(heap_.size() - 1);
+}
+
+// ------------------------------------------------------------------ wheel
+
+void EventQueue::push_wheel(std::uint32_t idx) {
+  const std::int64_t b = bucket(pool_[idx].time);
+  if (b < next_cascade_slot_) {
+    // Its bucket already cascaded this revolution: straight to the heap.
+    push_heap(idx);
+    return;
+  }
+  wheel_[static_cast<std::size_t>(b) % kWheelSlots].push_back(idx);
+  ++wheel_count_;
+}
+
+void EventQueue::cascade_until(Time bound) {
+  while (wheel_count_ > 0) {
+    // Wheel entries must reach the heap strictly before they could become
+    // the earliest pending event; recompute the horizon each slot because
+    // a cascaded entry may itself become the new heap top.
+    const Time limit =
+        heap_.empty() ? bound : std::min(heap_[0].time, bound);
+    if (static_cast<Time>(next_cascade_slot_) * kWheelTick > limit) break;
+    auto& slot = wheel_[static_cast<std::size_t>(next_cascade_slot_) %
+                        kWheelSlots];
+    std::size_t kept = 0;
+    for (const std::uint32_t idx : slot) {
+      if (bucket(pool_[idx].time) == next_cascade_slot_) {
+        push_heap(idx);
+        --wheel_count_;
+      } else {
+        slot[kept++] = idx;  // a later revolution; stays parked
+      }
+    }
+    slot.resize(kept);
+    ++next_cascade_slot_;
+  }
+}
+
+// -------------------------------------------------------------- scheduling
+
+void EventQueue::schedule_at(Time t, Callback fn) {
+  const std::uint32_t idx = alloc_record(t, Kind::kCallback);
+  pool_[idx].fn = std::move(fn);
+  push_heap(idx);
+}
+
+void EventQueue::schedule_timer_at(Time t, Callback fn) {
+  const std::uint32_t idx = alloc_record(t, Kind::kCallback);
+  pool_[idx].fn = std::move(fn);
+  push_wheel(idx);
+}
+
+void EventQueue::schedule_transmit_complete(Duration delay, SimLink* link,
+                                            std::uint64_t epoch) {
+  const std::uint32_t idx =
+      alloc_record(now_ + delay, Kind::kTransmitComplete);
+  Record& rec = pool_[idx];
+  rec.target = link;
+  rec.epoch = epoch;
+  push_heap(idx);
+}
+
+void EventQueue::schedule_delivery(Duration delay, SimLink* link,
+                                   std::uint64_t epoch, Packet packet) {
+  const std::uint32_t idx = alloc_record(now_ + delay, Kind::kDeliver);
+  Record& rec = pool_[idx];
+  rec.target = link;
+  rec.epoch = epoch;
+  rec.packet = std::move(packet);
+  push_heap(idx);
+}
+
+void EventQueue::schedule_source_event(Time t, TrafficSource* source,
+                                       std::uint8_t op, double arg) {
+  const std::uint32_t idx = alloc_record(t, Kind::kSourceEmit);
+  Record& rec = pool_[idx];
+  rec.target = source;
+  rec.op = op;
+  rec.arg = arg;
+  ++live_source_events_;
+  push_heap(idx);
+}
+
+void EventQueue::schedule_node_timer(Duration delay, SimNode* node,
+                                     std::uint64_t boot,
+                                     void (SimNode::*method)()) {
+  const std::uint32_t idx = alloc_record(now_ + delay, Kind::kNodeTimer);
+  Record& rec = pool_[idx];
+  rec.target = node;
+  rec.epoch = boot;
+  rec.method = method;
+  push_wheel(idx);
+}
+
+// -------------------------------------------------------------- execution
+
+void EventQueue::dispatch_top() {
+  const HeapSlot top = heap_[0];
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  assert(top.time >= now_ - 1e-12);
+  now_ = top.time;
+  ++processed_;
+
+  // Move the payload out and recycle the record BEFORE invoking the
+  // handler: whatever the handler schedules reuses this record first, so a
+  // steady state cycles through a fixed working set and never grows the
+  // pool.
+  Record& rec = pool_[top.rec];
+  switch (rec.kind) {
+    case Kind::kCallback: {
+      Callback fn = std::move(rec.fn);
+      release_record(top.rec);
+      fn();
+      break;
+    }
+    case Kind::kTransmitComplete: {
+      auto* link = static_cast<SimLink*>(rec.target);
+      const std::uint64_t epoch = rec.epoch;
+      release_record(top.rec);
+      link->handle_transmit_complete(epoch);
+      break;
+    }
+    case Kind::kDeliver: {
+      auto* link = static_cast<SimLink*>(rec.target);
+      const std::uint64_t epoch = rec.epoch;
+      Packet packet = std::move(rec.packet);
+      release_record(top.rec);
+      link->handle_delivery(epoch, std::move(packet));
+      break;
+    }
+    case Kind::kSourceEmit: {
+      auto* source = static_cast<TrafficSource*>(rec.target);
+      const std::uint8_t op = rec.op;
+      const double arg = rec.arg;
+      release_record(top.rec);
+      --live_source_events_;
+      source->handle_source_event(op, arg);
+      break;
+    }
+    case Kind::kNodeTimer: {
+      auto* node = static_cast<SimNode*>(rec.target);
+      const std::uint64_t boot = rec.epoch;
+      void (SimNode::*method)() = rec.method;
+      release_record(top.rec);
+      node->handle_timer(boot, method);
+      break;
+    }
+  }
 }
 
 bool EventQueue::run_next() {
+  cascade_until(std::numeric_limits<double>::infinity());
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; moving the callback out requires the
-  // usual const_cast idiom (the element is removed immediately after).
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  assert(ev.time >= now_ - 1e-12);
-  now_ = ev.time;
-  ++processed_;
-  ev.fn();
+  dispatch_top();
   return true;
 }
 
 void EventQueue::run_until(Time t) {
-  while (!heap_.empty() && heap_.top().time <= t) run_next();
+  for (;;) {
+    cascade_until(t);
+    if (heap_.empty() || heap_[0].time > t) break;
+    dispatch_top();
+  }
   now_ = t;
 }
 

@@ -2,16 +2,40 @@
 //
 // Events scheduled for the same instant execute in schedule order (stable
 // FIFO tie-break), which keeps runs exactly reproducible for a given seed.
+//
+// The hot path is typed and pooled: the high-frequency simulation events
+// (link transmission complete, packet delivery, traffic-source emission,
+// node protocol timers) are small tagged records drawn from a free-list
+// pool, so the steady-state packet path performs no heap allocation per
+// hop. A std::function fallback remains for low-rate control events
+// (fault schedules, bring-up, measurement sweeps).
+//
+// Two containers hold pending events, both ordered by (time, seq):
+//
+//  * a 4-ary implicit heap of 24-byte {time, seq, record} slots — shallower
+//    and more cache-friendly than the former std::priority_queue of
+//    std::function events;
+//  * a hashed timer wheel for the high-multiplicity periodic timers
+//    (hello, Ts/Tl, retransmit, pacing, samplers). Wheel entries cascade
+//    into the heap strictly before their due time, so the global execution
+//    order is exactly the (time, seq) order of one merged queue and
+//    same-seed runs stay bit-identical to a heap-only core.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/packet.h"
 #include "util/time.h"
 
 namespace mdr::sim {
+
+class SimLink;
+class SimNode;
+class TrafficSource;
 
 class EventQueue {
  public:
@@ -23,6 +47,8 @@ class EventQueue {
   /// current time without holding the queue (obs::Probe, ScopedLogClock).
   const Time* now_ptr() const { return &now_; }
 
+  // --- generic events (std::function fallback) -----------------------------
+
   /// Schedules `fn` at absolute time `t` (>= now).
   void schedule_at(Time t, Callback fn);
 
@@ -30,6 +56,41 @@ class EventQueue {
   void schedule_in(Duration delay, Callback fn) {
     schedule_at(now_ + delay, std::move(fn));
   }
+
+  /// Schedules `fn` at `t` on the timer wheel: same semantics as
+  /// schedule_at, but periodic low-rate timers parked here stop churning
+  /// the main heap. Use for recurring measurement/maintenance ticks.
+  void schedule_timer_at(Time t, Callback fn);
+
+  void schedule_timer_in(Duration delay, Callback fn) {
+    schedule_timer_at(now_ + delay, std::move(fn));
+  }
+
+  // --- typed pooled events (the packet hot path) ---------------------------
+
+  /// Link finishes transmitting its in-service packet after `delay`.
+  /// Dispatches SimLink::handle_transmit_complete(epoch); the epoch guard
+  /// cancels completions that outlive a link failure.
+  void schedule_transmit_complete(Duration delay, SimLink* link,
+                                  std::uint64_t epoch);
+
+  /// Packet fully propagates after `delay`. Dispatches
+  /// SimLink::handle_delivery(epoch, packet).
+  void schedule_delivery(Duration delay, SimLink* link, std::uint64_t epoch,
+                         Packet packet);
+
+  /// Traffic-source event at absolute `t` (next arrival, burst boundary).
+  /// Dispatches TrafficSource::handle_source_event(op, arg).
+  void schedule_source_event(Time t, TrafficSource* source, std::uint8_t op,
+                             double arg);
+
+  /// Node protocol timer after `delay`, parked on the timer wheel.
+  /// Dispatches SimNode::handle_timer(boot, method); the boot guard drops
+  /// timers of a crashed incarnation.
+  void schedule_node_timer(Duration delay, SimNode* node, std::uint64_t boot,
+                           void (SimNode::*method)());
+
+  // --- execution -----------------------------------------------------------
 
   /// Executes the earliest event; false if the queue is empty.
   bool run_next();
@@ -39,27 +100,102 @@ class EventQueue {
 
   void run_for(Duration d) { run_until(now_ + d); }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return heap_.empty() && wheel_count_ == 0; }
+  std::size_t pending() const { return heap_.size() + wheel_count_; }
   std::size_t processed() const { return processed_; }
 
+  // --- introspection (tests, benches) --------------------------------------
+
+  /// Traffic-source events currently pending. Sources never schedule past
+  /// their stop time, so after the post-run drain this must be zero.
+  std::size_t pending_source_events() const { return live_source_events_; }
+
+  /// Event records ever allocated (pool high-water mark). Flat across a
+  /// steady state — records are recycled through the free list.
+  std::size_t pool_records() const { return pool_.size(); }
+
+  std::size_t heap_pending() const { return heap_.size(); }
+  std::size_t wheel_pending() const { return wheel_count_; }
+
  private:
-  struct Event {
+  enum class Kind : std::uint8_t {
+    kCallback,          ///< generic std::function fallback
+    kTransmitComplete,  ///< SimLink finished serializing a packet
+    kDeliver,           ///< packet reached the far end of a link
+    kSourceEmit,        ///< traffic source arrival / burst boundary
+    kNodeTimer,         ///< SimNode periodic protocol timer
+  };
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// Pooled event record: one tagged union-of-payloads. Records live in a
+  /// stable deque and are recycled through an intrusive free list; `packet`
+  /// and `fn` keep no heap state between uses (moved out at dispatch).
+  struct Record {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    Kind kind = Kind::kCallback;
+    std::uint8_t op = 0;           ///< kSourceEmit: source-defined opcode
+    std::uint32_t next_free = kNil;
+    std::uint64_t epoch = 0;       ///< link epoch / node boot guard
+    double arg = 0;                ///< kSourceEmit: source-defined payload
+    void* target = nullptr;        ///< SimLink* / SimNode* / TrafficSource*
+    void (SimNode::*method)() = nullptr;  ///< kNodeTimer
+    Packet packet;                 ///< kDeliver
+    Callback fn;                   ///< kCallback
+  };
+
+  /// Heap slot: the ordering key plus the pool index. Small and trivially
+  /// copyable so sift operations move 24 bytes, never a closure.
+  struct HeapSlot {
     Time time;
     std::uint64_t seq;
-    Callback fn;
+    std::uint32_t rec;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+
+  static bool earlier(const HeapSlot& a, const HeapSlot& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  // Wheel geometry: 256 slots of 1/16 s cover 16 s per revolution — every
+  // periodic protocol timer (hello ~1 s, Ts 2 s, Tl 10 s, retransmit 1 s)
+  // lands within one revolution. Longer timers simply survive a cascade
+  // scan per revolution. The tick is a power of two so bucket arithmetic
+  // is exact in doubles.
+  static constexpr std::size_t kWheelSlots = 256;
+  static constexpr double kWheelTick = 1.0 / 16.0;
+
+  static std::int64_t bucket(Time t) {
+    return static_cast<std::int64_t>(t / kWheelTick);
+  }
+
+  std::uint32_t alloc_record(Time t, Kind kind);
+  void release_record(std::uint32_t idx);
+  void push_heap(std::uint32_t idx);
+  void push_wheel(std::uint32_t idx);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Moves every wheel entry that could precede `bound` (or the current
+  /// heap top) into the heap, maintaining the cascade invariant: all wheel
+  /// entries in buckets < next_cascade_slot_ are already in the heap.
+  void cascade_until(Time bound);
+  void dispatch_top();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+
+  std::deque<Record> pool_;      ///< stable storage; indexed by HeapSlot::rec
+  std::uint32_t free_head_ = kNil;
+
+  std::vector<HeapSlot> heap_;   ///< 4-ary implicit min-heap on (time, seq)
+
+  std::array<std::vector<std::uint32_t>, kWheelSlots> wheel_;
+  std::int64_t next_cascade_slot_ = 0;
+  std::size_t wheel_count_ = 0;
+
+  std::size_t live_source_events_ = 0;
 };
 
 }  // namespace mdr::sim

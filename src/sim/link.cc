@@ -29,8 +29,11 @@ bool SimLink::enqueue(Packet packet) {
     if (packet.kind == Packet::Kind::kData) {
       ++data_dropped_;
     } else {
-      ++control_dropped_flush_;
-      probe_.emit(obs::EventType::kControlDrop, packet.src, /*cause=*/2, 1);
+      // The link is already down; nothing was flushed, the packet was
+      // refused at the door. Its own cause keeps the per-cause breakdown
+      // honest (down-drops used to masquerade as flush-drops).
+      ++control_dropped_down_;
+      probe_.emit(obs::EventType::kControlDrop, packet.src, /*cause=*/3, 1);
     }
     return false;
   }
@@ -58,9 +61,15 @@ bool SimLink::enqueue(Packet packet) {
   if (packet.kind == Packet::Kind::kControl) {
     control_queued_bits_ += packet.size_bits;
   }
-  Queued q{std::move(packet), events_->now()};
-  // Mark busy-period starts through the enqueue time so estimators see them.
-  if (starts_busy_period) q.enqueued = events_->now();
+  Queued q{std::move(packet), events_->now(), starts_busy_period};
+  if (starts_busy_period) {
+    // Fully idle transmitter: go straight into service. Skipping the deque
+    // round-trip matters — at queue depth one a push_back/pop_front pair
+    // creeps through the deque's blocks and allocates every few packets,
+    // which would be the only steady-state allocation left on the hop path.
+    begin_service(std::move(q));
+    return true;
+  }
   auto& queue = q.packet.kind == Packet::Kind::kControl ? control_queue_
                                                         : data_queue_;
   queue.push_back(std::move(q));
@@ -71,18 +80,21 @@ bool SimLink::enqueue(Packet packet) {
 void SimLink::start_transmission() {
   assert(!transmitting_);
   assert(!control_queue_.empty() || !data_queue_.empty());
-  transmitting_ = true;
-  const std::uint64_t epoch = epoch_;
   // Pin the packet in service now: a control arrival during a data
   // transmission must not reorder what completes.
   auto& queue = control_queue_.empty() ? data_queue_ : control_queue_;
-  in_service_ = std::move(queue.front());
+  Queued q = std::move(queue.front());
   queue.pop_front();
+  begin_service(std::move(q));
+}
+
+void SimLink::begin_service(Queued q) {
+  assert(!transmitting_);
+  transmitting_ = true;
+  in_service_ = std::move(q);
   const double service =
       (in_service_->packet.size_bits + kHeaderBits) / attr_.capacity_bps;
-  events_->schedule_in(service, [this, epoch] {
-    if (epoch == epoch_) finish_transmission();
-  });
+  events_->schedule_transmit_complete(service, this, epoch_);
 }
 
 void SimLink::finish_transmission() {
@@ -105,10 +117,12 @@ void SimLink::finish_transmission() {
   obs.departure_time = events_->now();
   obs.service_time = service;
   obs.size_bits = q.packet.size_bits + kHeaderBits;
-  // It started a busy period iff nothing was being served when it arrived,
-  // i.e. its waiting time is exactly zero.
-  obs.started_busy_period = obs.departure_time - obs.arrival_time <=
-                            service + 1e-15;
+  // Decided when the packet arrived (Queued::starts_busy_period), not
+  // re-derived from departure - arrival: a back-to-back arrival at the
+  // exact instant a transmission completes has zero waiting time but did
+  // NOT start a busy period.
+  obs.started_busy_period = q.starts_busy_period;
+  if (q.starts_busy_period) ++busy_periods_;
   short_estimator_->observe(obs);
   long_estimator_->observe(obs);
 
@@ -159,17 +173,16 @@ void SimLink::finish_transmission() {
 }
 
 void SimLink::schedule_delivery(Packet packet, Duration delay) {
-  const std::uint64_t epoch = epoch_;
   ++(packet.kind == Packet::Kind::kData ? in_flight_data_
                                         : in_flight_control_);
-  events_->schedule_in(delay,
-                       [this, epoch, packet = std::move(packet)]() mutable {
-                         if (epoch != epoch_) return;  // link failed en route
-                         --(packet.kind == Packet::Kind::kData
-                                ? in_flight_data_
-                                : in_flight_control_);
-                         deliver_(std::move(packet));
-                       });
+  events_->schedule_delivery(delay, this, epoch_, std::move(packet));
+}
+
+void SimLink::handle_delivery(std::uint64_t epoch, Packet packet) {
+  if (epoch != epoch_) return;  // link failed en route
+  --(packet.kind == Packet::Kind::kData ? in_flight_data_
+                                        : in_flight_control_);
+  deliver_(std::move(packet));
 }
 
 void SimLink::set_up(bool up) {

@@ -94,7 +94,7 @@ class SimLink {
   /// control-starvation watchdog.
   std::uint64_t control_dropped() const {
     return control_dropped_queue_ + control_dropped_wire_ +
-           control_dropped_flush_;
+           control_dropped_flush_ + control_dropped_down_;
   }
   /// ... at a full control-queue budget (control_queue_limit_bits).
   std::uint64_t control_dropped_queue() const {
@@ -102,11 +102,18 @@ class SimLink {
   }
   /// ... lost on the wire (i.i.d. or Gilbert–Elliott loss).
   std::uint64_t control_dropped_wire() const { return control_dropped_wire_; }
-  /// ... flushed by a link failure (queued, in service, in flight, or
-  /// enqueued while the link was down).
+  /// ... flushed by a link failure (queued, in service, or in flight when
+  /// the link went down).
   std::uint64_t control_dropped_flush() const {
     return control_dropped_flush_;
   }
+  /// ... offered to a link that was already down. Distinct from flush: a
+  /// flush destroys packets the link had accepted, a down-drop refuses new
+  /// ones, so the two point at different problems in a trace.
+  std::uint64_t control_dropped_down() const { return control_dropped_down_; }
+  /// Busy periods started on this link: packets that arrived to a fully
+  /// idle transmitter (the estimators' IPA segmentation).
+  std::uint64_t busy_periods() const { return busy_periods_; }
   /// Data packets currently queued or in service (not yet on the wire).
   std::uint64_t queued_data_packets() const {
     return data_queue_.size() +
@@ -130,8 +137,22 @@ class SimLink {
   /// receiving node's id). Off by default; one branch per drop when off.
   void set_probe(const obs::Probe& probe) { probe_ = probe; }
 
+  // --- typed-event dispatch (EventQueue only) ------------------------------
+
+  /// The in-service packet finished serializing. Ignored when `epoch` is
+  /// stale: the link failed after the event was scheduled.
+  void handle_transmit_complete(std::uint64_t epoch) {
+    if (epoch == epoch_) finish_transmission();
+  }
+
+  /// `packet` fully propagated to the far end. Ignored when `epoch` is
+  /// stale (the packet was lost to a link failure en route).
+  void handle_delivery(std::uint64_t epoch, Packet packet);
+
  private:
+  struct Queued;
   void start_transmission();
+  void begin_service(Queued q);
   void finish_transmission();
   void schedule_delivery(Packet packet, Duration delay);
 
@@ -145,6 +166,12 @@ class SimLink {
   struct Queued {
     Packet packet;
     Time enqueued;
+    /// The link was fully idle (nothing in service, nothing queued) when
+    /// this packet arrived. Decided at enqueue time and carried through to
+    /// the estimator observation — re-deriving it at departure from float
+    /// arithmetic misclassifies arrivals that land exactly when the
+    /// previous transmission completes.
+    bool starts_busy_period = false;
   };
   std::deque<Queued> control_queue_;
   std::deque<Queued> data_queue_;
@@ -169,6 +196,8 @@ class SimLink {
   std::uint64_t control_dropped_queue_ = 0;
   std::uint64_t control_dropped_wire_ = 0;
   std::uint64_t control_dropped_flush_ = 0;
+  std::uint64_t control_dropped_down_ = 0;
+  std::uint64_t busy_periods_ = 0;
   std::uint64_t in_flight_data_ = 0;     ///< propagating data packets
   std::uint64_t in_flight_control_ = 0;  ///< propagating control packets
   double busy_time_ = 0;

@@ -136,7 +136,8 @@ void NetworkSim::build() {
       sampler_ = std::make_unique<obs::TimeSeriesSampler>(
           config_.sample_interval, topo_->num_links(), flow_specs_.size(),
           &telemetry_);
-      events_.schedule_in(config_.sample_interval, [this] { sample_tick(); });
+      events_.schedule_timer_in(config_.sample_interval,
+                                [this] { sample_tick(); });
     }
   }
 
@@ -185,23 +186,21 @@ void NetworkSim::build() {
     };
     switch (config_.traffic.model) {
       case TrafficModel::kOnOff:
-        onoff_sources_.push_back(std::make_unique<OnOffSource>(
+        sources_.push_back(std::make_unique<OnOffSource>(
             events_, shape, config_.traffic.burstiness, master_rng_.split(),
             inject));
-        onoff_sources_.back()->run(config_.traffic_start, stop);
         break;
       case TrafficModel::kParetoOnOff:
-        pareto_sources_.push_back(std::make_unique<ParetoOnOffSource>(
+        sources_.push_back(std::make_unique<ParetoOnOffSource>(
             events_, shape, config_.traffic.pareto, master_rng_.split(),
             inject));
-        pareto_sources_.back()->run(config_.traffic_start, stop);
         break;
       case TrafficModel::kPoisson:
-        poisson_sources_.push_back(std::make_unique<PoissonSource>(
+        sources_.push_back(std::make_unique<PoissonSource>(
             events_, shape, master_rng_.split(), inject));
-        poisson_sources_.back()->run(config_.traffic_start, stop);
         break;
     }
+    sources_.back()->run(config_.traffic_start, stop);
   }
 
   schedule_link_toggles();
@@ -234,17 +233,19 @@ void NetworkSim::build() {
     monitor_options.control_drop_budget = config_.monitor_control_drop_budget;
     monitor_ = std::make_unique<InvariantMonitor>(*topo_, std::move(hooks),
                                                   monitor_options);
-    events_.schedule_in(config_.monitor_interval, [this] { monitor_check(); });
+    events_.schedule_timer_in(config_.monitor_interval,
+                              [this] { monitor_check(); });
   }
 
   schedule_faults();
 
   if (config_.lfi_check_interval > 0 && config_.mode != RoutingMode::kStatic) {
-    events_.schedule_in(config_.lfi_check_interval, [this] { lfi_check(); });
+    events_.schedule_timer_in(config_.lfi_check_interval,
+                              [this] { lfi_check(); });
   }
   if (config_.timeseries_interval > 0) {
-    events_.schedule_in(config_.timeseries_interval,
-                        [this] { timeseries_tick(); });
+    events_.schedule_timer_in(config_.timeseries_interval,
+                              [this] { timeseries_tick(); });
   }
 }
 
@@ -266,7 +267,8 @@ AccountingSnapshot NetworkSim::accounting_snapshot() const {
 
 void NetworkSim::monitor_check() {
   monitor_->check(events_.now());
-  events_.schedule_in(config_.monitor_interval, [this] { monitor_check(); });
+  events_.schedule_timer_in(config_.monitor_interval,
+                            [this] { monitor_check(); });
 }
 
 void NetworkSim::schedule_faults() {
@@ -353,26 +355,18 @@ void NetworkSim::timeseries_tick() {
   window_delay_sum_ = 0;
   window_delivered_ = 0;
   window_dropped_ = 0;
-  events_.schedule_in(config_.timeseries_interval, [this] { timeseries_tick(); });
+  events_.schedule_timer_in(config_.timeseries_interval,
+                            [this] { timeseries_tick(); });
 }
 
 std::uint64_t NetworkSim::source_emitted(std::size_t flow) const {
-  // One source per flow, all of the same model (see build()), so the flow id
-  // indexes whichever vector was populated.
-  switch (config_.traffic.model) {
-    case TrafficModel::kOnOff:
-      return onoff_sources_[flow]->emitted();
-    case TrafficModel::kParetoOnOff:
-      return pareto_sources_[flow]->emitted();
-    case TrafficModel::kPoisson:
-      return poisson_sources_[flow]->emitted();
-  }
-  return 0;
+  return sources_[flow]->emitted();
 }
 
 void NetworkSim::sample_tick() {
   take_samples();
-  events_.schedule_in(config_.sample_interval, [this] { sample_tick(); });
+  events_.schedule_timer_in(config_.sample_interval,
+                            [this] { sample_tick(); });
 }
 
 void NetworkSim::take_samples() {
@@ -469,7 +463,8 @@ void NetworkSim::lfi_check() {
                    events_.now());
     }
   }
-  events_.schedule_in(config_.lfi_check_interval, [this] { lfi_check(); });
+  events_.schedule_timer_in(config_.lfi_check_interval,
+                            [this] { lfi_check(); });
 }
 
 void NetworkSim::schedule_link_toggles() {
@@ -508,6 +503,9 @@ SimResult NetworkSim::run() {
   const Time stop = measure_start_ + config_.duration;
   // Small drain period so packets in flight at `stop` still land.
   events_.run_until(stop + 0.5);
+  // Sources never schedule past their stop time, so after the drain only
+  // protocol events (timers, retransmissions) may remain pending.
+  assert(events_.pending_source_events() == 0);
   if (sampler_ != nullptr) take_samples();  // tail window (sums reconcile)
 
   SimResult result;
@@ -571,6 +569,7 @@ SimResult NetworkSim::run() {
     result.control_dropped_queue += link.control_dropped_queue();
     result.control_dropped_wire += link.control_dropped_wire();
     result.control_dropped_flush += link.control_dropped_flush();
+    result.control_dropped_down += link.control_dropped_down();
     const auto& l = topo_->link(id);
     result.links.push_back(LinkLoad{
         std::string(topo_->name(l.from)), std::string(topo_->name(l.to)),

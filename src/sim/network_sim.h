@@ -195,6 +195,7 @@ struct SimResult {
   std::uint64_t control_dropped_queue = 0;  ///< control-budget overflow
   std::uint64_t control_dropped_wire = 0;   ///< wire loss
   std::uint64_t control_dropped_flush = 0;  ///< link-failure flushes
+  std::uint64_t control_dropped_down = 0;   ///< refused by a down link
   std::size_t events_processed = 0;
   std::uint64_t lfi_checks = 0;      ///< snapshots taken (see lfi_check_interval)
   std::uint64_t lfi_violations = 0;  ///< invariant breaches observed (expect 0)
@@ -245,9 +246,7 @@ class NetworkSim {
   Rng master_rng_;
   std::vector<std::unique_ptr<SimNode>> nodes_;
   std::vector<std::unique_ptr<SimLink>> links_;  // by LinkId
-  std::vector<std::unique_ptr<PoissonSource>> poisson_sources_;
-  std::vector<std::unique_ptr<OnOffSource>> onoff_sources_;
-  std::vector<std::unique_ptr<ParetoOnOffSource>> pareto_sources_;
+  std::vector<std::unique_ptr<TrafficSource>> sources_;  // by flow id
 
   Time measure_start_ = 0;
   std::vector<Samples> flow_delays_;  // by flow id

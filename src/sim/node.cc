@@ -121,10 +121,9 @@ void SimNode::start() {
 }
 
 void SimNode::schedule_guarded(Duration delay, void (SimNode::*method)()) {
-  const std::uint64_t boot = boot_;
-  events_->schedule_in(delay, [this, boot, method] {
-    if (boot == boot_ && alive_) (this->*method)();
-  });
+  // Recurring protocol timers are the high-multiplicity events of a run;
+  // they park on the timer wheel instead of churning the main heap.
+  events_->schedule_node_timer(delay, this, boot_, method);
 }
 
 void SimNode::set_probe(const obs::Probe& probe) {

@@ -146,6 +146,13 @@ class SimNode final : public proto::LsuSink {
   /// the damper. Off by default; one branch per event when off.
   void set_probe(const obs::Probe& probe);
 
+  /// Typed-event dispatch from EventQueue: a timer scheduled through
+  /// schedule_guarded() fired. Dropped when `boot` is stale (the incarnation
+  /// that armed it crashed) or the node is dead.
+  void handle_timer(std::uint64_t boot, void (SimNode::*method)()) {
+    if (boot == boot_ && alive_) (this->*method)();
+  }
+
  private:
   void forward(Packet packet);
   graph::NodeId next_hop(graph::NodeId dest);

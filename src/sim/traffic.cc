@@ -10,6 +10,13 @@ namespace mdr::sim {
 namespace {
 constexpr double kMinPacketBits = 64;
 
+// Source-event opcodes (TrafficSource::handle_source_event). Poisson only
+// uses kNextArrival; the on/off models alternate burst boundaries
+// (kBeginOn) with in-burst emissions (kEmit, arg = the burst's end time).
+constexpr std::uint8_t kNextArrival = 0;
+constexpr std::uint8_t kBeginOn = 0;
+constexpr std::uint8_t kEmit = 1;
+
 Packet make_packet(const FlowShape& shape, Rng& rng, Time now) {
   Packet p;
   p.kind = Packet::Kind::kData;
@@ -40,16 +47,27 @@ PoissonSource::PoissonSource(EventQueue& events, FlowShape shape, Rng rng,
 void PoissonSource::run(Time start, Time stop) {
   assert(stop > start);
   stop_ = stop;
-  events_->schedule_at(start + rng_.exponential(mean_interarrival_s_),
-                       [this] { schedule_next(); });
+  // Draw first, then decide: the RNG stream must not depend on where the
+  // arrival lands. Nothing is ever scheduled at or past stop_, so the
+  // queue drains to protocol-only events at teardown.
+  const Time first = start + rng_.exponential(mean_interarrival_s_);
+  if (first < stop_) {
+    events_->schedule_source_event(first, this, kNextArrival, 0);
+  }
 }
 
-void PoissonSource::schedule_next() {
-  if (events_->now() >= stop_) return;
+void PoissonSource::handle_source_event(std::uint8_t /*op*/,
+                                        double /*arg*/) {
+  emit_and_reschedule();
+}
+
+void PoissonSource::emit_and_reschedule() {
   ++emitted_;
   inject_(make_packet(shape_, rng_, events_->now()));
-  events_->schedule_in(rng_.exponential(mean_interarrival_s_),
-                       [this] { schedule_next(); });
+  const Time next = events_->now() + rng_.exponential(mean_interarrival_s_);
+  if (next < stop_) {
+    events_->schedule_source_event(next, this, kNextArrival, 0);
+  }
 }
 
 // ----------------------------------------------------------- Pareto on/off
@@ -79,26 +97,35 @@ double ParetoOnOffSource::pareto(double scale) {
 void ParetoOnOffSource::run(Time start, Time stop) {
   assert(stop > start);
   stop_ = stop;
-  events_->schedule_at(start + pareto(scale_off_) * rng_.uniform(),
-                       [this] { begin_on_period(); });
+  const Time first = start + pareto(scale_off_) * rng_.uniform();
+  if (first < stop_) {
+    events_->schedule_source_event(first, this, kBeginOn, 0);
+  }
+}
+
+void ParetoOnOffSource::handle_source_event(std::uint8_t op, double arg) {
+  if (op == kBeginOn) {
+    begin_on_period();
+    return;
+  }
+  ++emitted_;
+  inject_(make_packet(shape_, rng_, events_->now()));
+  schedule_next_packet(/*period_end=*/arg);
 }
 
 void ParetoOnOffSource::begin_on_period() {
-  if (events_->now() >= stop_) return;
   const Time period_end = events_->now() + pareto(scale_on_);
   schedule_next_packet(period_end);
-  events_->schedule_at(std::min(period_end + pareto(scale_off_), stop_ + 1),
-                       [this] { begin_on_period(); });
+  const Time next_on = period_end + pareto(scale_off_);
+  if (next_on < stop_) {
+    events_->schedule_source_event(next_on, this, kBeginOn, 0);
+  }
 }
 
 void ParetoOnOffSource::schedule_next_packet(Time period_end) {
   const Time next = events_->now() + rng_.exponential(peak_interarrival_s_);
   if (next >= period_end || next >= stop_) return;
-  events_->schedule_at(next, [this, period_end] {
-    ++emitted_;
-    inject_(make_packet(shape_, rng_, events_->now()));
-    schedule_next_packet(period_end);
-  });
+  events_->schedule_source_event(next, this, kEmit, period_end);
 }
 
 // ------------------------------------------------------------------ On/Off
@@ -121,29 +148,38 @@ void OnOffSource::run(Time start, Time stop) {
   assert(stop > start);
   stop_ = stop;
   // Start in a random phase: an OFF tail, then the first ON period.
-  events_->schedule_at(
-      start + rng_.exponential(burstiness_.mean_off_s) * rng_.uniform(),
-      [this] { begin_on_period(); });
+  const Time first =
+      start + rng_.exponential(burstiness_.mean_off_s) * rng_.uniform();
+  if (first < stop_) {
+    events_->schedule_source_event(first, this, kBeginOn, 0);
+  }
+}
+
+void OnOffSource::handle_source_event(std::uint8_t op, double arg) {
+  if (op == kBeginOn) {
+    begin_on_period();
+    return;
+  }
+  ++emitted_;
+  inject_(make_packet(shape_, rng_, events_->now()));
+  schedule_next_packet(/*period_end=*/arg);
 }
 
 void OnOffSource::begin_on_period() {
-  if (events_->now() >= stop_) return;
   const Time period_end =
       events_->now() + rng_.exponential(burstiness_.mean_on_s);
   schedule_next_packet(period_end);
-  events_->schedule_at(
-      std::min(period_end + rng_.exponential(burstiness_.mean_off_s), stop_ + 1),
-      [this] { begin_on_period(); });
+  const Time next_on =
+      period_end + rng_.exponential(burstiness_.mean_off_s);
+  if (next_on < stop_) {
+    events_->schedule_source_event(next_on, this, kBeginOn, 0);
+  }
 }
 
 void OnOffSource::schedule_next_packet(Time period_end) {
   const Time next = events_->now() + rng_.exponential(peak_interarrival_s_);
   if (next >= period_end || next >= stop_) return;
-  events_->schedule_at(next, [this, period_end] {
-    ++emitted_;
-    inject_(make_packet(shape_, rng_, events_->now()));
-    schedule_next_packet(period_end);
-  });
+  events_->schedule_source_event(next, this, kEmit, period_end);
 }
 
 }  // namespace mdr::sim

@@ -22,20 +22,37 @@ struct FlowShape {
   double mean_packet_bits = 8e3;
 };
 
+/// Common interface of the arrival processes. NetworkSim owns every source
+/// through it, and EventQueue dispatches the sources' typed pooled events
+/// (next arrival, burst boundary) back through handle_source_event — no
+/// closure is allocated per packet emission.
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Emits packets from `start` until `stop` (absolute times).
+  virtual void run(Time start, Time stop) = 0;
+
+  /// Packets handed to the inject callback so far (telemetry).
+  virtual std::uint64_t emitted() const = 0;
+
+  /// Typed-event dispatch from EventQueue. The opcode space and `arg`
+  /// meaning are private to each source class.
+  virtual void handle_source_event(std::uint8_t op, double arg) = 0;
+};
+
 /// Poisson arrivals, exponentially distributed packet sizes: each link then
 /// behaves approximately like the paper's M/M/1 model.
-class PoissonSource {
+class PoissonSource final : public TrafficSource {
  public:
   PoissonSource(EventQueue& events, FlowShape shape, Rng rng, InjectFn inject);
 
-  /// Emits packets from `start` until `stop` (absolute times).
-  void run(Time start, Time stop);
-
-  /// Packets handed to the inject callback so far (telemetry).
-  std::uint64_t emitted() const { return emitted_; }
+  void run(Time start, Time stop) override;
+  std::uint64_t emitted() const override { return emitted_; }
+  void handle_source_event(std::uint8_t op, double arg) override;
 
  private:
-  void schedule_next();
+  void emit_and_reschedule();
   EventQueue* events_;
   FlowShape shape_;
   Rng rng_;
@@ -50,7 +67,7 @@ class PoissonSource {
 /// paper's observation that "in real networks traffic is very bursty at any
 /// time scale" — burst lengths have infinite variance for alpha < 2, so no
 /// averaging interval smooths them out.
-class ParetoOnOffSource {
+class ParetoOnOffSource final : public TrafficSource {
  public:
   struct Shape {
     double alpha = 1.5;      ///< tail index (1 < alpha < 2: self-similar)
@@ -61,10 +78,9 @@ class ParetoOnOffSource {
   ParetoOnOffSource(EventQueue& events, FlowShape shape, Shape burst,
                     Rng rng, InjectFn inject);
 
-  void run(Time start, Time stop);
-
-  /// Packets handed to the inject callback so far (telemetry).
-  std::uint64_t emitted() const { return emitted_; }
+  void run(Time start, Time stop) override;
+  std::uint64_t emitted() const override { return emitted_; }
+  void handle_source_event(std::uint8_t op, double arg) override;
 
  private:
   double pareto(double mean);
@@ -86,7 +102,7 @@ class ParetoOnOffSource {
 /// Exponential on/off source: bursts at `peak_factor` times the average rate
 /// during ON periods so the long-run average still matches shape.rate_bps.
 /// Models the "short-term traffic fluctuations" the Ts heuristics absorb.
-class OnOffSource {
+class OnOffSource final : public TrafficSource {
  public:
   struct Burstiness {
     double mean_on_s = 1.0;
@@ -98,10 +114,9 @@ class OnOffSource {
   OnOffSource(EventQueue& events, FlowShape shape, Burstiness burstiness,
               Rng rng, InjectFn inject);
 
-  void run(Time start, Time stop);
-
-  /// Packets handed to the inject callback so far (telemetry).
-  std::uint64_t emitted() const { return emitted_; }
+  void run(Time start, Time stop) override;
+  std::uint64_t emitted() const override { return emitted_; }
+  void handle_source_event(std::uint8_t op, double arg) override;
 
  private:
   void begin_on_period();

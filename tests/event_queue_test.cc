@@ -1,0 +1,345 @@
+// Event-core tests: ordering across the 4-ary heap and the timer wheel,
+// record-pool recycling (including epoch-guarded cancellation), run_until
+// clock semantics, and the SimLink accounting regressions fixed alongside
+// the typed-event rebuild — busy-period classification at exact completion
+// instants and the down-vs-flush control-drop cause split. The busy-period
+// and down-cause tests fail on the pre-fix code.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cost/estimators.h"
+#include "fault/fault_plan.h"
+#include "graph/topology.h"
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "sim/monitor.h"
+#include "sim/network_sim.h"
+#include "sim/traffic.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+#include "util/rng.h"
+
+namespace mdr::sim {
+namespace {
+
+// ------------------------------------------------------------- ordering
+
+TEST(EventCore, FifoTieBreakAtEqualTimeSpansHeapAndWheel) {
+  // Eight events at the same instant, alternating between the heap
+  // (schedule_at) and the timer wheel (schedule_timer_at). The wheel
+  // cascades into the heap before the due time, so the merged execution
+  // order must be exactly schedule order — the (time, seq) contract.
+  EventQueue events;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    if (i % 2 == 0) {
+      events.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    } else {
+      events.schedule_timer_at(1.0, [&order, i] { order.push_back(i); });
+    }
+  }
+  events.run_until(1.0);
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_DOUBLE_EQ(events.now(), 1.0);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(EventCore, WheelTimersFireInTimeOrderAcrossRevolutions) {
+  // The wheel covers 16 s per revolution; timers beyond that survive one
+  // cascade scan per revolution and must still fire in global time order,
+  // interleaved correctly with heap events.
+  EventQueue events;
+  std::vector<double> fired;
+  const auto record = [&events, &fired] { fired.push_back(events.now()); };
+  events.schedule_timer_at(33.5, record);  // third revolution
+  events.schedule_timer_at(0.05, record);
+  events.schedule_at(20.0, record);        // heap event between revolutions
+  events.schedule_timer_at(17.0, record);  // second revolution
+  events.schedule_timer_at(2.0, record);
+  while (events.run_next()) {
+  }
+  const std::vector<double> expect{0.05, 2.0, 17.0, 20.0, 33.5};
+  ASSERT_EQ(fired.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fired[i], expect[i]) << "event " << i;
+  }
+  EXPECT_DOUBLE_EQ(events.now(), 33.5);
+}
+
+TEST(EventCore, RunUntilIsInclusiveAndAdvancesTheClock) {
+  EventQueue events;
+  int fired = 0;
+  events.schedule_at(1.0, [&fired] { ++fired; });
+  events.schedule_timer_at(3.0, [&fired] { ++fired; });
+
+  events.run_until(2.0);  // past the first, short of the second
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(events.now(), 2.0);  // clock reaches the bound, not 1.0
+  EXPECT_EQ(events.pending(), 1u);
+
+  events.run_until(3.0);  // bound == event time: inclusive
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(events.now(), 3.0);
+
+  events.run_until(10.0);  // empty queue: clock still advances
+  EXPECT_DOUBLE_EQ(events.now(), 10.0);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(EventCore, TimerBehindTheCascadeFrontFiresOnTime) {
+  // After a cascade has swept past a bucket, a new timer landing in an
+  // already-swept bucket must go straight to the heap (the wheel would
+  // never visit it again this revolution) and still fire at its due time.
+  EventQueue events;
+  std::vector<double> fired;
+  const auto record = [&events, &fired] { fired.push_back(events.now()); };
+  events.schedule_timer_at(20.0, record);
+  events.schedule_timer_at(40.0, record);
+  events.run_until(25.0);  // sweeps the cascade front past t = 25
+  ASSERT_EQ(fired.size(), 1u);
+
+  events.schedule_timer_at(25.03125, record);  // behind the cascade front
+  EXPECT_EQ(events.heap_pending(), 1u);        // routed to the heap...
+  EXPECT_EQ(events.wheel_pending(), 1u);       // ...not parked on the wheel
+  events.run_until(41.0);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(fired[1], 25.03125);
+  EXPECT_DOUBLE_EQ(fired[2], 40.0);
+}
+
+// ----------------------------------------------------------- record pool
+
+TEST(EventCore, PoolStaysFlatAcrossASelfReschedulingChain) {
+  // A record is released before its handler runs, so a handler that
+  // reschedules reuses the record it just vacated: one chain, one record.
+  EventQueue events;
+  int remaining = 1000;
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) events.schedule_in(0.001, tick);
+  };
+  events.schedule_at(0.0, tick);
+  while (events.run_next()) {
+  }
+  EXPECT_EQ(remaining, 0);
+  EXPECT_EQ(events.pool_records(), 1u);
+}
+
+TEST(EventCore, PoolStaysFlatAcrossTheTypedPacketPath) {
+  // Steady state: one packet in the pipeline at a time, many times over.
+  // The typed transmit-complete / delivery records must recycle through
+  // the free list — the pool high-water mark stops growing after the
+  // first packet has exercised every record the pipeline needs.
+  EventQueue events;
+  std::uint64_t delivered = 0;
+  SimLink link(events, graph::LinkAttr{1e6, 1e-3},
+               cost::EstimatorKind::kObservable, 8e3,
+               [&delivered](Packet) { ++delivered; });
+  const auto send_one = [&] {
+    Packet p;
+    p.size_bits = 8e3;
+    ASSERT_TRUE(link.enqueue(std::move(p)));
+    events.run_until(events.now() + 1.0);  // drain: service + propagation
+  };
+  send_one();
+  const std::size_t high_water = events.pool_records();
+  for (int i = 0; i < 200; ++i) send_one();
+  EXPECT_EQ(delivered, 201u);
+  EXPECT_EQ(events.pool_records(), high_water)
+      << "typed packet events are not being recycled";
+}
+
+TEST(EventCore, EpochGuardedCancelDispatchesAsNoOpAndRecyclesRecords) {
+  // Failing a link bumps its epoch; pending transmit-complete and delivery
+  // events carry the old epoch and must dispatch as no-ops — and their
+  // records must return to the free list, not leak, across many cycles.
+  EventQueue events;
+  std::uint64_t delivered = 0;
+  SimLink link(events, graph::LinkAttr{1e6, 1e-3},
+               cost::EstimatorKind::kObservable, 8e3,
+               [&delivered](Packet) { ++delivered; });
+  for (int i = 0; i < 50; ++i) {
+    Packet p;
+    p.kind = Packet::Kind::kControl;
+    p.size_bits = 8e3;
+    ASSERT_TRUE(link.enqueue(std::move(p)));  // now in service
+    link.set_up(false);                       // flush + epoch bump
+    events.run_until(events.now() + 1.0);     // stale completion dispatches
+    link.set_up(true);
+  }
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(link.control_dropped_flush(), 50u);
+  EXPECT_TRUE(events.empty());
+  // One in-service record per cycle, recycled: the pool never grows past
+  // what a single cycle needs.
+  EXPECT_LE(events.pool_records(), 2u);
+}
+
+// ------------------------------------------- SimLink busy-period regression
+
+// Capacity and size chosen so service time is exactly (800 + 160) / 960 =
+// 1.0 s in double arithmetic: arrivals can be placed exactly at the
+// completion instant of the previous transmission.
+SimLink make_exact_service_link(EventQueue& events, std::uint64_t& delivered) {
+  return SimLink(events, graph::LinkAttr{960.0, 1e-3},
+                 cost::EstimatorKind::kObservable, 800.0,
+                 [&delivered](Packet) { ++delivered; });
+}
+
+Packet data_packet() {
+  Packet p;
+  p.size_bits = 800.0;
+  return p;
+}
+
+TEST(LinkAccounting, ArrivalAtExactCompletionInstantContinuesTheBusyPeriod) {
+  // Packet B arrives at t = 1.0, the exact instant packet A's transmission
+  // completes — but B's enqueue event was scheduled before A's completion
+  // event, so B finds the transmitter still busy. That is one busy period.
+  // The pre-fix code re-derived the flag at departure from float
+  // arithmetic with an epsilon and misclassified B as starting a second.
+  EventQueue events;
+  std::uint64_t delivered = 0;
+  SimLink link = make_exact_service_link(events, delivered);
+  events.schedule_at(0.0, [&link] { link.enqueue(data_packet()); });
+  events.schedule_at(1.0, [&link] { link.enqueue(data_packet()); });
+  events.run_until(10.0);
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(link.busy_periods(), 1u);
+}
+
+TEST(LinkAccounting, SameInstantBackToBackArrivalsAreOneBusyPeriod) {
+  EventQueue events;
+  std::uint64_t delivered = 0;
+  SimLink link = make_exact_service_link(events, delivered);
+  events.schedule_at(0.0, [&link] { link.enqueue(data_packet()); });
+  events.schedule_at(0.0, [&link] { link.enqueue(data_packet()); });
+  events.run_until(10.0);
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(link.busy_periods(), 1u);
+}
+
+TEST(LinkAccounting, ArrivalAfterAnIdleGapStartsANewBusyPeriod) {
+  EventQueue events;
+  std::uint64_t delivered = 0;
+  SimLink link = make_exact_service_link(events, delivered);
+  events.schedule_at(0.0, [&link] { link.enqueue(data_packet()); });
+  events.schedule_at(2.5, [&link] { link.enqueue(data_packet()); });
+  events.run_until(10.0);
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(link.busy_periods(), 2u);
+}
+
+// --------------------------------------------- SimLink down-vs-flush causes
+
+TEST(LinkAccounting, ControlRefusedByADownLinkCountsAsDownNotFlush) {
+  // Offering a control packet to a link that is already down is cause 3
+  // (down), not cause 2 (flush): nothing was accepted, nothing flushed.
+  // Pre-fix, this drop masqueraded as a flush.
+  EventQueue events;
+  std::uint64_t delivered = 0;
+  SimLink link(events, graph::LinkAttr{1e6, 1e-3},
+               cost::EstimatorKind::kObservable, 8e3,
+               [&delivered](Packet) { ++delivered; });
+  link.set_up(false);
+
+  Packet control;
+  control.kind = Packet::Kind::kControl;
+  control.size_bits = 400.0;
+  EXPECT_FALSE(link.enqueue(std::move(control)));
+  EXPECT_EQ(link.control_dropped_down(), 1u);
+  EXPECT_EQ(link.control_dropped_flush(), 0u);
+  EXPECT_EQ(link.control_dropped(), 1u);
+  EXPECT_EQ(link.drops(), 1u);
+
+  // Data refused by a down link stays out of the control breakdown.
+  EXPECT_FALSE(link.enqueue(data_packet()));
+  EXPECT_EQ(link.data_dropped(), 1u);
+  EXPECT_EQ(link.control_dropped_down(), 1u);
+  EXPECT_EQ(delivered, 0u);
+}
+
+TEST(LinkAccounting, FailureFlushingAnAcceptedPacketStaysCauseFlush) {
+  EventQueue events;
+  std::uint64_t delivered = 0;
+  SimLink link(events, graph::LinkAttr{1e6, 1e-3},
+               cost::EstimatorKind::kObservable, 8e3,
+               [&delivered](Packet) { ++delivered; });
+  Packet control;
+  control.kind = Packet::Kind::kControl;
+  control.size_bits = 400.0;
+  ASSERT_TRUE(link.enqueue(std::move(control)));  // accepted, in service
+  link.set_up(false);                             // failure flushes it
+  EXPECT_EQ(link.control_dropped_flush(), 1u);
+  EXPECT_EQ(link.control_dropped_down(), 0u);
+  EXPECT_EQ(link.control_dropped(), 1u);
+}
+
+// ------------------------------------------------ sources drain at teardown
+
+TEST(Sources, NeverScheduleAnEventAtOrPastTheirStopTime) {
+  // Every arrival process must leave the queue free of source events once
+  // the clock passes its stop time — teardown drains to protocol-only
+  // events. (On/off sources used to park a next-burst event at stop + off,
+  // which the run loop then had to outwait.)
+  EventQueue events;
+  const FlowShape shape{0, 1, 0, 64e3, 8e3};
+  std::uint64_t injected = 0;
+  const InjectFn count = [&injected](Packet) { ++injected; };
+
+  PoissonSource poisson(events, shape, Rng(41), count);
+  ParetoOnOffSource pareto(events, shape, ParetoOnOffSource::Shape{},
+                           Rng(42), count);
+  OnOffSource onoff(events, shape, OnOffSource::Burstiness{}, Rng(43), count);
+  poisson.run(0.0, 20.0);
+  pareto.run(0.0, 20.0);
+  onoff.run(0.0, 20.0);
+
+  events.run_until(20.0);
+  EXPECT_EQ(events.pending_source_events(), 0u)
+      << "a source scheduled an event at or past its stop time";
+  EXPECT_TRUE(events.empty());
+  EXPECT_GT(poisson.emitted(), 0u);
+  EXPECT_GT(pareto.emitted(), 0u);
+  EXPECT_GT(onoff.emitted(), 0u);
+  EXPECT_EQ(injected,
+            poisson.emitted() + pareto.emitted() + onoff.emitted());
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(EventCore, CairnChaosDigestIsBitIdenticalAcrossSameSeedReruns) {
+  // The acceptance property for the event-core rebuild: a CAIRN chaos run
+  // (crashes, flaps, bursty loss — heavy epoch-guard and wheel traffic)
+  // serializes bit-identically when rerun with the same seed. Monitor
+  // reports print doubles with %.17g, so string equality is bit equality.
+  const auto topo = topo::make_cairn();
+  const auto flows = topo::cairn_flows(0.5);
+  fault::RandomPlanOptions opts;
+  opts.window_end = 20.0;
+  SimConfig config;
+  config.use_hello = true;
+  config.traffic_start = 6.0;
+  config.warmup = 4.0;
+  config.duration = 30.0;
+  config.monitor_interval = 0.5;
+  config.seed = 5;
+  config.faults = fault::make_random_plan(topo, opts, /*seed=*/17);
+
+  const auto first = run_simulation(topo, flows, config);
+  const auto rerun = run_simulation(topo, flows, config);
+  ASSERT_TRUE(first.monitor.has_value());
+  ASSERT_TRUE(rerun.monitor.has_value());
+  EXPECT_EQ(monitor_report_json(*first.monitor),
+            monitor_report_json(*rerun.monitor));
+  EXPECT_EQ(first.delivered, rerun.delivered);
+  EXPECT_EQ(first.control_messages, rerun.control_messages);
+  EXPECT_EQ(std::memcmp(&first.avg_delay_s, &rerun.avg_delay_s,
+                        sizeof(double)),
+            0);
+}
+
+}  // namespace
+}  // namespace mdr::sim
