@@ -2,7 +2,7 @@
 //
 // Usage:
 //   mdrsim <scenario-file> [--mode mp|sp|opt] [--seed N]
-//          [--seeds N] [--jobs M] [--json PATH] [--quiet]
+//          [--seeds N] [--jobs M] [--shards S] [--json PATH] [--quiet]
 //
 // By default runs the scenario once and prints per-flow delays, drop and
 // control-plane counters, and, if the scenario enables them, the delay time
@@ -22,6 +22,7 @@
 // a default run is bit-identical to one built without telemetry.
 // See src/sim/scenario.h for the file format, and examples/scenarios/ for
 // ready-made inputs.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,7 +39,8 @@ namespace {
 void usage() {
   std::fputs(
       "usage: mdrsim <scenario-file> [--mode mp|sp|opt] [--seed N]\n"
-      "              [--seeds N] [--jobs M] [--json PATH] [--quiet]\n"
+      "              [--seeds N] [--jobs M] [--shards S] [--json PATH]\n"
+      "              [--quiet]\n"
       "              [--metrics-out PATH] [--trace PATH]\n"
       "              [--sample-interval S]\n",
       stderr);
@@ -173,6 +175,7 @@ int main(int argc, char** argv) {
   double sample_interval = -1;  // < 0: keep the scenario's setting
   long seeds = 1;
   long jobs = 1;
+  long shards = -1;  // < 0: keep the scenario's engine setting
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -185,6 +188,12 @@ int main(int argc, char** argv) {
       seeds = std::strtol(argv[++i], nullptr, 10);
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = std::strtol(argv[++i], nullptr, 10);
+      if (shards < 1) {
+        std::fputs("mdrsim: --shards must be at least 1\n", stderr);
+        return 2;
+      }
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -242,6 +251,29 @@ int main(int argc, char** argv) {
     config.sample_interval = 1.0;  // sensible default when asked for metrics
   }
   if (!trace_path.empty()) config.trace = true;
+  if (shards >= 1) scenario->spec.engine.shards = static_cast<int>(shards);
+  if (scenario->spec.engine.shards >= 1 &&
+      (config.trace || config.flightrec_capacity > 0)) {
+    std::fputs(
+        "mdrsim: --trace / flightrec need the single-threaded engine; drop "
+        "them or the shards setting\n",
+        stderr);
+    return 2;
+  }
+  // The sharded engine spawns `shards` threads per simulation; sharing the
+  // thread budget with the replication fan-out would oversubscribe the
+  // host, so the runner's job count shrinks to compensate.
+  if (scenario->spec.engine.shards >= 1 && jobs > 1) {
+    const long effective = std::max(1L, jobs / scenario->spec.engine.shards);
+    if (effective != jobs) {
+      std::fprintf(stderr,
+                   "mdrsim: note: %ld shards per run, shrinking --jobs %ld "
+                   "-> %ld to keep ~%ld threads\n",
+                   static_cast<long>(scenario->spec.engine.shards), jobs,
+                   effective, jobs);
+      jobs = effective;
+    }
+  }
 
   // Everything runs through the parallel runner; a single seed is just a
   // batch of one.

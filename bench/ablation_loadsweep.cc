@@ -19,7 +19,8 @@ int main() {
   std::printf("%-8s %10s %10s %10s %8s\n", "scale", "OPT", "MP", "SP", "SP/MP");
   for (const double scale :
        {0.3, 0.6, 0.8, 0.9, 1.0, 1.05, 1.1, 1.15, 1.2, 1.3}) {
-    const sim::ExperimentSpec spec{topo, topo::cairn_flows(scale), base};
+    const sim::ExperimentSpec spec{topo, topo::cairn_flows(scale), base,
+                                   sim::EngineSpec{}};
     const auto ref = sim::compute_opt_reference(spec);
     const double opt = bench::replicated(spec, "opt").avg_delay_s.mean();
     const double mp =

@@ -133,9 +133,12 @@ int main() {
   using namespace mdr;
   // Light load (the storm stresses the control plane, not the data plane).
   run_topology(bench::FigureSetup{
-      {topo::make_net1(), topo::net1_flows(0.3), sim::SimConfig{}}, "NET1"});
+      {topo::make_net1(), topo::net1_flows(0.3), sim::SimConfig{},
+       sim::EngineSpec{}},
+      "NET1"});
   run_topology(bench::FigureSetup{
-      {topo::make_cairn(), topo::cairn_flows(0.3), sim::SimConfig{}},
+      {topo::make_cairn(), topo::cairn_flows(0.3), sim::SimConfig{},
+       sim::EngineSpec{}},
       "CAIRN"});
   return 0;
 }

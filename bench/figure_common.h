@@ -44,13 +44,15 @@ inline sim::SimConfig measurement_config(std::uint64_t seed = 7) {
 // calibration (the paper's exact per-flow rates did not survive OCR).
 inline FigureSetup cairn_setup(double scale = 1.15) {
   return FigureSetup{
-      {topo::make_cairn(), topo::cairn_flows(scale), measurement_config()},
+      {topo::make_cairn(), topo::cairn_flows(scale), measurement_config(),
+       sim::EngineSpec{}},
       "CAIRN"};
 }
 
 inline FigureSetup net1_setup(double scale = 0.92) {
   return FigureSetup{
-      {topo::make_net1(), topo::net1_flows(scale), measurement_config()},
+      {topo::make_net1(), topo::net1_flows(scale), measurement_config(),
+       sim::EngineSpec{}},
       "NET1"};
 }
 

@@ -21,6 +21,15 @@
 // Macro: run_simulation on CAIRN at the figure load for 60 simulated
 // seconds, one seed — wall clock, total events, events/sec, peak RSS.
 //
+// Engine series: the same simulation pipeline on a generated Waxman graph
+// with a 1 ms propagation-delay floor (so the sharded engine's conservative
+// lookahead windows are wide), run on the legacy engine (shards = 0) and
+// the parallel engine at 1 / 2 / 4 / 8 shards. Plus one "scale" point: the
+// first 1000-router run, sharded. The emitted host_cpus field is the
+// honesty context for both — shard throughput can only scale with real
+// cores, and a 1-CPU container will show the barrier overhead, not a
+// speedup (docs/BENCHMARKS.md).
+//
 // Honesty note: on this workload the typed core's throughput gain over the
 // legacy heap is modest (tcache makes the legacy closure allocations cheap
 // in a single-threaded steady loop); the rebuild's hard wins are the zero
@@ -33,6 +42,7 @@
 // baseline lives in BENCH_event_core.json.
 #include <sys/resource.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -40,6 +50,7 @@
 #include <cstring>
 #include <memory>
 #include <deque>
+#include <thread>
 #include <functional>
 #include <new>
 #include <queue>
@@ -57,16 +68,18 @@
 #include "util/rng.h"
 
 namespace {
-std::uint64_t g_allocs = 0;
+// Relaxed atomic: the sharded engine series allocates from worker threads.
+// The micro series that reads the counter runs strictly single-threaded.
+std::atomic<std::uint64_t> g_allocs{0};
 }  // namespace
 
 void* operator new(std::size_t n) {
-  ++g_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t n) {
-  ++g_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
 }
@@ -362,6 +375,62 @@ Macro bench_macro(double duration) {
   return m;
 }
 
+// ------------------------------------------------- engine shard scaling
+
+// One (engine, workload) measurement: shards == 0 is the legacy
+// single-threaded queue, >= 1 the sharded conservative engine.
+struct EnginePoint {
+  int shards = 0;
+  double wall_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  double events_per_sec() const { return events / wall_s; }
+};
+
+// The shard-scaling workload: a sparse generated Waxman graph whose
+// propagation delays are floored at 1 ms, so the conservative lookahead
+// window is wide relative to the event density and barrier overhead stays
+// a small fraction of the work. Sparse on purpose — every LSU triggers a
+// full table update at the receiver, so dense graphs measure the routing
+// algebra, not the event engine.
+struct EngineWorkload {
+  graph::Topology topo;
+  std::vector<topo::FlowSpec> flows;
+  sim::SimConfig config;
+};
+
+EngineWorkload engine_workload(std::size_t nodes, std::size_t flow_count,
+                               double sim_seconds) {
+  EngineWorkload w;
+  Rng rng(11);
+  w.topo = topo::make_waxman(nodes, /*a=*/0.06, /*b=*/0.06, rng,
+                             /*capacity_bps=*/10e6,
+                             /*max_prop_delay_s=*/5e-3,
+                             /*min_prop_delay_s=*/1e-3);
+  w.flows = topo::random_flows(w.topo, flow_count, /*mean_rate_bps=*/1e6,
+                               rng);
+  w.config.traffic_start = 0.5;
+  w.config.warmup = 0.5;
+  w.config.duration = sim_seconds;
+  w.config.tl = 4.0;
+  w.config.ts = 2.0;
+  w.config.seed = 11;
+  return w;
+}
+
+EnginePoint bench_engine_point(const EngineWorkload& w, int shards) {
+  sim::EngineSpec engine;
+  engine.shards = shards;
+  EnginePoint p;
+  p.shards = shards;
+  const auto t0 = Clock::now();
+  const auto result = sim::run_simulation(w.topo, w.flows, w.config, engine);
+  p.wall_s = seconds_since(t0);
+  p.events = result.events_processed;
+  p.delivered = result.delivered;
+  return p;
+}
+
 // ---------------------------------------------------------------- main
 
 void print_series(std::FILE* out, const char* name, const Series& s,
@@ -391,6 +460,13 @@ int run(int argc, char** argv) {
   const std::uint64_t hops = smoke ? 100000 : 1000000;
   const std::uint64_t ticks = smoke ? 100000 : 1000000;
   const double macro_duration = smoke ? 10.0 : 60.0;
+  // Engine series: ~120 routers is deep into macro territory while keeping
+  // the 5-point sweep under a minute per point. The scale point is the
+  // 1000-router milestone (smoke substitutes 200 — CI minutes are real).
+  const std::size_t engine_nodes = smoke ? 60 : 120;
+  const double engine_sim_s = smoke ? 4.0 : 10.0;
+  const std::size_t scale_nodes = smoke ? 200 : 1000;
+  const double scale_sim_s = 1.0;
 
   const Series legacy = bench_legacy(hops);
   const Series typed = bench_typed_link_hop(hops);
@@ -398,13 +474,25 @@ int run(int argc, char** argv) {
   const Macro macro = bench_macro(macro_duration);
   const double speedup = typed.events_per_sec() / legacy.events_per_sec();
 
+  const EngineWorkload engine_work =
+      engine_workload(engine_nodes, engine_nodes / 2, engine_sim_s);
+  std::vector<EnginePoint> engine_series;
+  for (const int shards : {0, 1, 2, 4, 8}) {
+    engine_series.push_back(bench_engine_point(engine_work, shards));
+  }
+  const EngineWorkload scale_work =
+      engine_workload(scale_nodes, scale_nodes / 10, scale_sim_s);
+  const EnginePoint scale = bench_engine_point(scale_work, 4);
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+
   std::FILE* out = out_path ? std::fopen(out_path, "w") : stdout;
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
     return 1;
   }
-  std::fprintf(out, "{\n  \"bench\": \"event_core\",\n  \"version\": 1,\n");
+  std::fprintf(out, "{\n  \"bench\": \"event_core\",\n  \"version\": 2,\n");
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"host_cpus\": %u,\n", host_cpus);
   std::fprintf(out, "  \"micro\": {\n");
   print_series(out, "legacy_fn_heap", legacy, false);
   print_series(out, "typed_link_hop", typed, false);
@@ -414,12 +502,42 @@ int run(int argc, char** argv) {
                "  \"macro\": {\"scenario\": \"cairn_mp\", "
                "\"sim_seconds\": %.0f, \"wall_seconds\": %.3f, "
                "\"events\": %llu, \"events_per_sec\": %.0f, "
-               "\"delivered\": %llu, \"peak_rss_bytes\": %llu}\n}\n",
+               "\"delivered\": %llu, \"peak_rss_bytes\": %llu},\n",
                macro.sim_seconds, macro.wall_s,
                static_cast<unsigned long long>(macro.events),
                macro.events / macro.wall_s,
                static_cast<unsigned long long>(macro.delivered),
                static_cast<unsigned long long>(macro.peak_rss_bytes));
+  std::fprintf(out,
+               "  \"engine\": {\"scenario\": \"waxman_%zu\", "
+               "\"sim_seconds\": %.1f,\n    \"series\": [\n",
+               engine_nodes, engine_sim_s);
+  double shard1_eps = 0, shard4_eps = 0;
+  for (std::size_t i = 0; i < engine_series.size(); ++i) {
+    const EnginePoint& p = engine_series[i];
+    if (p.shards == 1) shard1_eps = p.events_per_sec();
+    if (p.shards == 4) shard4_eps = p.events_per_sec();
+    std::fprintf(out,
+                 "      {\"shards\": %d, \"wall_seconds\": %.3f, "
+                 "\"events\": %llu, \"events_per_sec\": %.0f, "
+                 "\"delivered\": %llu}%s\n",
+                 p.shards, p.wall_s,
+                 static_cast<unsigned long long>(p.events),
+                 p.events_per_sec(),
+                 static_cast<unsigned long long>(p.delivered),
+                 i + 1 < engine_series.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n    \"speedup_4_shards_vs_1\": %.2f\n  },\n",
+               shard1_eps > 0 ? shard4_eps / shard1_eps : 0.0);
+  std::fprintf(out,
+               "  \"scale\": {\"scenario\": \"waxman_%zu\", \"nodes\": %zu, "
+               "\"shards\": %d, \"sim_seconds\": %.1f, "
+               "\"wall_seconds\": %.3f, \"events\": %llu, "
+               "\"events_per_sec\": %.0f, \"delivered\": %llu}\n}\n",
+               scale_nodes, scale_nodes, scale.shards, scale_sim_s,
+               scale.wall_s, static_cast<unsigned long long>(scale.events),
+               scale.events_per_sec(),
+               static_cast<unsigned long long>(scale.delivered));
   if (out != stdout) std::fclose(out);
 
   std::fprintf(stderr,
@@ -428,6 +546,13 @@ int run(int argc, char** argv) {
                legacy.events_per_sec(), typed.events_per_sec(), speedup,
                typed.allocs_per_event(), wheel.events_per_sec(),
                macro.events / macro.wall_s);
+  std::fprintf(stderr, "engine series (host_cpus=%u):", host_cpus);
+  for (const EnginePoint& p : engine_series) {
+    std::fprintf(stderr, " s%d %.0f ev/s", p.shards, p.events_per_sec());
+  }
+  std::fprintf(stderr, " | scale n=%zu s%d %.0f ev/s (%.1fs wall)\n",
+               scale_nodes, scale.shards, scale.events_per_sec(),
+               scale.wall_s);
   return 0;
 }
 

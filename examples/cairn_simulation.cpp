@@ -21,7 +21,7 @@ int main() {
   std::printf("CAIRN: %zu routers, %zu directed links, %zu flows\n\n",
               topo.num_nodes(), topo.num_links(), flows.size());
 
-  sim::ExperimentSpec spec{topo, flows, {}};
+  sim::ExperimentSpec spec{topo, flows, {}, {}};
   spec.config.duration = 60.0;
   spec.config.warmup = 10.0;
 

@@ -123,10 +123,19 @@ void EventQueue::schedule_at(Time t, Callback fn) {
   push_heap(idx);
 }
 
-void EventQueue::schedule_timer_at(Time t, Callback fn) {
+void EventQueue::schedule_timer(TimerClass cls, Time t, Callback fn) {
+  ++timer_counts_[static_cast<std::size_t>(cls)];
   const std::uint32_t idx = alloc_record(t, Kind::kCallback);
   pool_[idx].fn = std::move(fn);
   push_wheel(idx);
+}
+
+void EventQueue::schedule_timer(TimerClass cls, Duration delay, SimNode* node,
+                                std::uint64_t boot) {
+  void (SimNode::*method)() = SimNode::timer_method(cls);
+  assert(method != nullptr);  // cls must name a node-timer class
+  ++timer_counts_[static_cast<std::size_t>(cls)];
+  schedule_node_timer(delay, node, boot, method);
 }
 
 void EventQueue::schedule_transmit_complete(Duration delay, SimLink* link,
@@ -143,6 +152,18 @@ void EventQueue::schedule_delivery(Duration delay, SimLink* link,
                                    std::uint64_t epoch, Packet packet) {
   const std::uint32_t idx = alloc_record(now_ + delay, Kind::kDeliver);
   Record& rec = pool_[idx];
+  rec.target = link;
+  rec.epoch = epoch;
+  rec.packet = std::move(packet);
+  push_heap(idx);
+}
+
+void EventQueue::schedule_delivery_keyed(Time t, SimLink* link,
+                                         std::uint64_t epoch, Packet packet,
+                                         std::uint64_t key) {
+  const std::uint32_t idx = alloc_record(t, Kind::kDeliver);
+  Record& rec = pool_[idx];
+  rec.seq = key;  // canonical cross-shard order replaces the local FIFO seq
   rec.target = link;
   rec.epoch = epoch;
   rec.packet = std::move(packet);
@@ -244,6 +265,23 @@ void EventQueue::run_until(Time t) {
     dispatch_top();
   }
   now_ = t;
+}
+
+void EventQueue::run_until_strict(Time t) {
+  for (;;) {
+    cascade_until(t);
+    if (heap_.empty() || heap_[0].time >= t) break;
+    dispatch_top();
+  }
+  now_ = t;
+}
+
+Time EventQueue::next_event_before(Time bound) {
+  cascade_until(bound);
+  if (heap_.empty() || heap_[0].time > bound) {
+    return std::numeric_limits<Time>::infinity();
+  }
+  return heap_[0].time;
 }
 
 }  // namespace mdr::sim

@@ -37,6 +37,25 @@ class SimLink;
 class SimNode;
 class TrafficSource;
 
+/// What a timer is for. One typed scheduling surface replaces the former
+/// per-purpose schedule_timer_* entry points: protocol timers (node-bound,
+/// boot-guarded) and maintenance ticks (callback-bound) all declare their
+/// class, so shard-local and cross-shard scheduling share a single audited
+/// API and per-class schedule counts are observable (timers_scheduled()).
+enum class TimerClass : std::uint8_t {
+  kHello,       ///< hello protocol tick (node timer)
+  kShortTerm,   ///< Ts measurement window (node timer)
+  kLongTerm,    ///< Tl measurement window (node timer)
+  kRetransmit,  ///< LSU reliable-flooding resend (node timer)
+  kPacing,      ///< LSU origination pacing flush (node timer)
+  kSampler,     ///< telemetry time-series sample (callback)
+  kMonitor,     ///< invariant-monitor sweep (callback)
+  kLfi,         ///< loop-free-invariant global check (callback)
+  kTimeseries,  ///< delay/throughput window roll (callback)
+  kGeneric,     ///< anything else parked on the wheel (callback)
+};
+inline constexpr std::size_t kNumTimerClasses = 10;
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -57,13 +76,37 @@ class EventQueue {
     schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Schedules `fn` at `t` on the timer wheel: same semantics as
+  // --- timers (the unified typed surface) ----------------------------------
+
+  /// Schedules `fn` at absolute `t` on the timer wheel: same semantics as
   /// schedule_at, but periodic low-rate timers parked here stop churning
-  /// the main heap. Use for recurring measurement/maintenance ticks.
-  void schedule_timer_at(Time t, Callback fn);
+  /// the main heap. `cls` tags the timer for auditing (timers_scheduled()).
+  void schedule_timer(TimerClass cls, Time t, Callback fn);
+
+  void schedule_timer_in(TimerClass cls, Duration delay, Callback fn) {
+    schedule_timer(cls, now_ + delay, std::move(fn));
+  }
+
+  /// Schedules a node protocol timer after `delay`, parked on the timer
+  /// wheel. The class selects the SimNode tick method (hello, Ts, Tl,
+  /// retransmit, pacing); the boot guard drops timers of a crashed
+  /// incarnation. `cls` must name a node-timer class.
+  void schedule_timer(TimerClass cls, Duration delay, SimNode* node,
+                      std::uint64_t boot);
+
+  /// Timers ever scheduled under `cls` (audit counter for the typed API).
+  std::uint64_t timers_scheduled(TimerClass cls) const {
+    return timer_counts_[static_cast<std::size_t>(cls)];
+  }
+
+  // --- compat shims (pre-TimerClass spellings) -----------------------------
+
+  void schedule_timer_at(Time t, Callback fn) {
+    schedule_timer(TimerClass::kGeneric, t, std::move(fn));
+  }
 
   void schedule_timer_in(Duration delay, Callback fn) {
-    schedule_timer_at(now_ + delay, std::move(fn));
+    schedule_timer(TimerClass::kGeneric, now_ + delay, std::move(fn));
   }
 
   // --- typed pooled events (the packet hot path) ---------------------------
@@ -79,14 +122,24 @@ class EventQueue {
   void schedule_delivery(Duration delay, SimLink* link, std::uint64_t epoch,
                          Packet packet);
 
+  /// Sharded-engine delivery: schedules at absolute `t` under an explicit
+  /// ordering key instead of the local FIFO seq. Keys carry bit 63 (see
+  /// sim/parallel_engine.h), so at equal timestamps deliveries order after
+  /// every locally-sequenced event and among themselves by (link, wire
+  /// FIFO) — the canonical order that makes results independent of how the
+  /// network is sharded.
+  void schedule_delivery_keyed(Time t, SimLink* link, std::uint64_t epoch,
+                               Packet packet, std::uint64_t key);
+
   /// Traffic-source event at absolute `t` (next arrival, burst boundary).
   /// Dispatches TrafficSource::handle_source_event(op, arg).
   void schedule_source_event(Time t, TrafficSource* source, std::uint8_t op,
                              double arg);
 
-  /// Node protocol timer after `delay`, parked on the timer wheel.
-  /// Dispatches SimNode::handle_timer(boot, method); the boot guard drops
-  /// timers of a crashed incarnation.
+  /// Low-level node-timer primitive (compat shim; prefer the TimerClass
+  /// overload, which resolves the method from the class). Dispatches
+  /// SimNode::handle_timer(boot, method); the boot guard drops timers of a
+  /// crashed incarnation.
   void schedule_node_timer(Duration delay, SimNode* node, std::uint64_t boot,
                            void (SimNode::*method)());
 
@@ -97,6 +150,18 @@ class EventQueue {
 
   /// Executes every event with time <= `t`, then advances the clock to `t`.
   void run_until(Time t);
+
+  /// Executes every event with time strictly < `t`, then advances the clock
+  /// to `t` (events at exactly `t` stay pending). The sharded engine runs
+  /// lookahead windows with this bound: a window ending at W may not touch
+  /// events at W itself, because a cross-shard packet can legally arrive
+  /// exactly at W.
+  void run_until_strict(Time t);
+
+  /// Exact earliest pending event time if it is <= `bound`, +infinity
+  /// otherwise (timer-wheel entries due before `bound` are cascaded so the
+  /// answer is exact). The shard coordinator sizes windows with this.
+  Time next_event_before(Time bound);
 
   void run_for(Duration d) { run_until(now_ + d); }
 
@@ -196,6 +261,8 @@ class EventQueue {
   std::size_t wheel_count_ = 0;
 
   std::size_t live_source_events_ = 0;
+
+  std::array<std::uint64_t, kNumTimerClasses> timer_counts_{};
 };
 
 }  // namespace mdr::sim

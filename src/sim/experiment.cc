@@ -34,7 +34,7 @@ SimResult run_with_static_phi(const ExperimentSpec& spec,
   SimConfig config = spec.config;
   config.mode = RoutingMode::kStatic;
   config.static_phi = &phi;
-  return run_simulation(spec.topo, spec.flows, config);
+  return run_simulation(spec.topo, spec.flows, config, spec.engine);
 }
 
 SimResult run_experiment(const ExperimentSpec& spec, const std::string& mode) {
@@ -46,7 +46,7 @@ SimResult run_experiment(const ExperimentSpec& spec, const std::string& mode) {
   SimConfig config = spec.config;
   config.mode =
       mode == "sp" ? RoutingMode::kSinglePath : RoutingMode::kMultipath;
-  return run_simulation(spec.topo, spec.flows, config);
+  return run_simulation(spec.topo, spec.flows, config, spec.engine);
 }
 
 DelayTable::DelayTable(std::vector<std::string> flow_labels)

@@ -17,6 +17,10 @@ struct ExperimentSpec {
   graph::Topology topo;
   std::vector<topo::FlowSpec> flows;
   SimConfig config;
+  /// Which event engine runs the experiment (EngineSpec; default: the
+  /// classic single-threaded queue). Scenario files set it with the
+  /// `engine` directive, mdrsim with --shards.
+  EngineSpec engine;
 };
 
 }  // namespace mdr::sim

@@ -173,15 +173,30 @@ void SimLink::finish_transmission() {
 }
 
 void SimLink::schedule_delivery(Packet packet, Duration delay) {
-  ++(packet.kind == Packet::Kind::kData ? in_flight_data_
-                                        : in_flight_control_);
-  events_->schedule_delivery(delay, this, epoch_, std::move(packet));
+  ++(packet.kind == Packet::Kind::kData ? wire_sent_data_
+                                        : wire_sent_control_);
+  if (!sharded_wire_) {
+    events_->schedule_delivery(delay, this, epoch_, std::move(packet));
+    return;
+  }
+  // Sharded wire: a canonical (link, wire seq) key orders this delivery
+  // identically for every shard count, and the event executes on the
+  // destination node's shard — directly when that is our own queue, through
+  // the handoff channel when it is not.
+  const std::uint64_t key = delivery_key(link_id_, wire_seq_++);
+  const Time at = events_->now() + delay;
+  if (dest_queue_ != nullptr) {
+    dest_queue_->schedule_delivery_keyed(at, this, epoch_, std::move(packet),
+                                         key);
+  } else {
+    channel_->push(HandoffItem{at, key, this, epoch_, std::move(packet)});
+  }
 }
 
 void SimLink::handle_delivery(std::uint64_t epoch, Packet packet) {
   if (epoch != epoch_) return;  // link failed en route
-  --(packet.kind == Packet::Kind::kData ? in_flight_data_
-                                        : in_flight_control_);
+  ++(packet.kind == Packet::Kind::kData ? wire_delivered_data_
+                                        : wire_delivered_control_);
   deliver_(std::move(packet));
 }
 
@@ -193,24 +208,30 @@ void SimLink::set_up(bool up) {
     // delivery events are invalidated by the epoch bump. Packets already
     // propagating count as drops too — otherwise they leak out of the
     // conservation ledger (injected == delivered + dropped + in transit).
-    data_dropped_ += queued_data_packets() + in_flight_data_;
+    // The wire ledger settles by moving the in-flight remainder to
+    // `flushed` (never by decrementing `sent`), which keeps every counter
+    // single-writer in sharded mode.
+    const std::uint64_t data_in_flight = in_flight_data_packets();
+    const std::uint64_t control_in_flight =
+        wire_sent_control_ - wire_delivered_control_ - wire_flushed_control_;
+    wire_flushed_data_ += data_in_flight;
+    wire_flushed_control_ += control_in_flight;
+    data_dropped_ += queued_data_packets() + data_in_flight;
     const std::uint64_t control_flushed =
         control_queue_.size() +
         (in_service_.has_value() &&
                  in_service_->packet.kind == Packet::Kind::kControl
              ? 1
              : 0) +
-        in_flight_control_;
+        control_in_flight;
     control_dropped_flush_ += control_flushed;
     if (control_flushed > 0) {
       probe_.emit(obs::EventType::kControlDrop, graph::kInvalidNode,
                   /*cause=*/2, static_cast<double>(control_flushed));
     }
     drops_ += control_queue_.size() + data_queue_.size() +
-              (in_service_.has_value() ? 1 : 0) + in_flight_data_ +
-              in_flight_control_;
-    in_flight_data_ = 0;
-    in_flight_control_ = 0;
+              (in_service_.has_value() ? 1 : 0) + data_in_flight +
+              control_in_flight;
     control_queue_.clear();
     data_queue_.clear();
     in_service_.reset();

@@ -3,6 +3,7 @@
 // the marginal-delay estimators, and running statistics.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -15,6 +16,7 @@
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
+#include "sim/parallel_engine.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -123,7 +125,13 @@ class SimLink {
                 : 0);
   }
   /// Data packets transmitted and currently propagating toward the far end.
-  std::uint64_t in_flight_data_packets() const { return in_flight_data_; }
+  /// Derived from the sent/delivered/flushed wire ledger: in sharded mode
+  /// the three counters have disjoint single-writer shards (sent by the
+  /// owning shard, delivered by the destination shard, flushed at window
+  /// barriers), so no counter is ever decremented across threads.
+  std::uint64_t in_flight_data_packets() const {
+    return wire_sent_data_ - wire_delivered_data_ - wire_flushed_data_;
+  }
   double utilization_estimate(Time horizon) const {
     return horizon > 0 ? busy_time_ / horizon : 0;
   }
@@ -136,6 +144,23 @@ class SimLink {
   /// Attaches a flight-recorder probe (control-drop events, stamped with the
   /// receiving node's id). Off by default; one branch per drop when off.
   void set_probe(const obs::Probe& probe) { probe_ = probe; }
+
+  /// Switches the wire to sharded operation: every delivery is scheduled
+  /// under a canonical (link id, wire seq) key — into `dest_queue` when the
+  /// far end lives on the same shard, through `channel` otherwise (exactly
+  /// one of the two must be non-null). handle_delivery then executes on the
+  /// DESTINATION shard; the owning shard keeps every other field.
+  void enable_sharded_wire(graph::LinkId id, EventQueue* dest_queue,
+                           HandoffChannel* channel) {
+    assert((dest_queue != nullptr) != (channel != nullptr));
+    link_id_ = id;
+    dest_queue_ = dest_queue;
+    channel_ = channel;
+    sharded_wire_ = true;
+  }
+
+  /// Wire ledger (tests): data packets ever put on the wire.
+  std::uint64_t wire_sent_data() const { return wire_sent_data_; }
 
   // --- typed-event dispatch (EventQueue only) ------------------------------
 
@@ -198,10 +223,25 @@ class SimLink {
   std::uint64_t control_dropped_flush_ = 0;
   std::uint64_t control_dropped_down_ = 0;
   std::uint64_t busy_periods_ = 0;
-  std::uint64_t in_flight_data_ = 0;     ///< propagating data packets
-  std::uint64_t in_flight_control_ = 0;  ///< propagating control packets
+  // Wire ledger: in flight = sent - delivered - flushed. Split this way so
+  // sharded mode never decrements a counter from another shard's thread —
+  // `delivered` belongs to the destination shard, everything else to the
+  // owner, and cross-shard reads happen only at window barriers.
+  std::uint64_t wire_sent_data_ = 0;
+  std::uint64_t wire_sent_control_ = 0;
+  std::uint64_t wire_delivered_data_ = 0;     ///< destination-shard writes
+  std::uint64_t wire_delivered_control_ = 0;  ///< destination-shard writes
+  std::uint64_t wire_flushed_data_ = 0;
+  std::uint64_t wire_flushed_control_ = 0;
   double busy_time_ = 0;
   obs::Probe probe_;
+
+  // Sharded wire (enable_sharded_wire); unused in single-threaded mode.
+  bool sharded_wire_ = false;
+  graph::LinkId link_id_ = graph::kInvalidLink;
+  EventQueue* dest_queue_ = nullptr;   ///< same-shard destination queue
+  HandoffChannel* channel_ = nullptr;  ///< cross-shard handoff
+  std::uint64_t wire_seq_ = 0;         ///< per-link delivery-key sequence
 };
 
 }  // namespace mdr::sim

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "core/lfi.h"
+#include "sim/parallel_engine.h"
 #include "util/log.h"
 
 namespace mdr::sim {
@@ -16,12 +19,18 @@ using graph::NodeId;
 
 NetworkSim::NetworkSim(const graph::Topology& topo,
                        const std::vector<topo::FlowSpec>& flows,
-                       SimConfig config)
+                       SimConfig config, EngineSpec engine)
     : topo_(&topo),
       flow_specs_(flows),
       config_(config),
-      master_rng_(config.seed) {
+      master_rng_(config.seed),
+      engine_(engine),
+      sharded_(engine.shards >= 1) {
   assert(config.mode != RoutingMode::kStatic || config.static_phi != nullptr);
+  // The flight recorder (and full tracing) is single-threaded by design;
+  // scenario validation and mdrsim reject the combination with a real error
+  // before it can reach this assert.
+  assert(!sharded_ || (!config.trace && config.flightrec_capacity == 0));
   build();
 }
 
@@ -29,6 +38,36 @@ void NetworkSim::build() {
   const auto n = static_cast<NodeId>(topo_->num_nodes());
   measure_start_ = config_.traffic_start + config_.warmup;
   flow_delays_.resize(flow_specs_.size());
+
+  if (sharded_) {
+    const int num_shards = engine_.shards;
+    shard_of_ = assign_shards(*topo_, num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    channels_.resize(static_cast<std::size_t>(num_shards) * num_shards);
+    for (int p = 0; p < num_shards; ++p) {
+      for (int q = 0; q < num_shards; ++q) {
+        if (p == q) continue;
+        channels_[static_cast<std::size_t>(p) * num_shards + q] =
+            std::make_unique<HandoffChannel>(engine_.ring_capacity);
+      }
+    }
+    lookahead_ = min_cross_shard_prop(*topo_, shard_of_);
+    if (engine_.lookahead_override > 0) {
+      lookahead_ = std::min(lookahead_, engine_.lookahead_override);
+    }
+    // A zero-delay cross-shard link would make every window empty; the
+    // topologies here all carry positive propagation delays.
+    assert(lookahead_ > 0);
+    wf_window_delay_sum_.assign(flow_specs_.size(), 0.0);
+    wf_window_delivered_.assign(flow_specs_.size(), 0);
+  }
+  const auto queue_for = [this](NodeId i) -> EventQueue& {
+    return sharded_
+               ? shards_[static_cast<std::size_t>(shard_of_[i])]->events
+               : events_;
+  };
 
   NodeOptions node_options;
   node_options.mode = config_.mode;
@@ -74,9 +113,46 @@ void NetworkSim::build() {
   };
 
   for (NodeId i = 0; i < n; ++i) {
-    nodes_.push_back(std::make_unique<SimNode>(events_, i, topo_->num_nodes(),
-                                               node_options,
-                                               master_rng_.split(), callbacks));
+    NodeCallbacks cb = callbacks;
+    if (sharded_) {
+      // Sharded accounting: per-shard integer counters plus per-flow sums
+      // written only by the flow's destination shard, so every field has a
+      // single writer and the float reduction order (flow order at merge
+      // time) is identical for every shard count.
+      const auto s = static_cast<std::size_t>(shard_of_[i]);
+      cb.delivered = [this, s](const Packet& p, Duration delay) {
+        auto& shard = *shards_[s];
+        ++shard.delivered;
+        if (p.flow_id < 0) {
+          ++shard.noflow_window_delivered;
+          return;
+        }
+        const auto f = static_cast<std::size_t>(p.flow_id);
+        wf_window_delay_sum_[f] += delay;
+        ++wf_window_delivered_[f];
+        const bool measured = p.created >= measure_start_;
+        if (telemetry_enabled_) {
+          auto& acc = flow_accum_[f];
+          ++acc.delivered;
+          acc.delay_sum_s += delay;
+          if (measured) {
+            ++acc.measured_delivered;
+            acc.measured_delay_sum_s += delay;
+            flow_hist_[f].record(delay);
+          }
+        }
+        if (measured) flow_delays_[f].add(delay);
+      };
+      cb.dropped = [this, s](const Packet& p) {
+        ++shards_[s]->window_dropped;
+        if (telemetry_enabled_ && p.flow_id >= 0) {
+          ++sflow_dropped_[s][static_cast<std::size_t>(p.flow_id)];
+        }
+      };
+    }
+    nodes_.push_back(std::make_unique<SimNode>(queue_for(i), i,
+                                               topo_->num_nodes(), node_options,
+                                               master_rng_.split(), cb));
   }
 
   // Resolve the Gilbert–Elliott assignments to directed node pairs once
@@ -107,37 +183,69 @@ void NetworkSim::build() {
       options.gilbert = it->second;
     }
     links_.push_back(std::make_unique<SimLink>(
-        events_, l.attr, config_.estimator, config_.mean_packet_bits,
+        queue_for(l.from), l.attr, config_.estimator, config_.mean_packet_bits,
         [to](Packet p) { to->receive(std::move(p)); }, options,
         master_rng_.split()));
+    if (sharded_) {
+      // The transmitter (and its estimators and RNG) belongs to the FROM
+      // shard; deliveries execute on the TO shard — directly into its queue
+      // when both endpoints share a shard, through the handoff ring
+      // otherwise.
+      const int from_shard = shard_of_[l.from];
+      const int to_shard = shard_of_[l.to];
+      links_.back()->enable_sharded_wire(
+          id,
+          from_shard == to_shard
+              ? &shards_[static_cast<std::size_t>(to_shard)]->events
+              : nullptr,
+          from_shard == to_shard
+              ? nullptr
+              : channels_[static_cast<std::size_t>(from_shard) *
+                              engine_.shards +
+                          to_shard]
+                    .get());
+    }
     nodes_[l.from]->attach_link(l.to, links_.back().get());
   }
 
   if (telemetry_enabled_) {
     telemetry_.sample_interval = config_.sample_interval;
-    const std::size_t ring =
-        config_.flightrec_capacity > 0 ? config_.flightrec_capacity : 256;
-    recorder_ = std::make_unique<obs::FlightRecorder>(
-        topo_->num_nodes(), ring, /*keep_all=*/config_.trace,
-        &telemetry_.metrics);
-    const Time* clock = events_.now_ptr();
-    for (NodeId i = 0; i < n; ++i) {
-      nodes_[i]->set_probe(obs::Probe{recorder_.get(), i, clock});
-    }
-    // A link's drop events are stamped with the RECEIVING node: control
-    // sheds at the ingress of the far end, which is where the overload is.
-    for (LinkId id = 0; id < static_cast<LinkId>(topo_->num_links()); ++id) {
-      links_[id]->set_probe(
-          obs::Probe{recorder_.get(), topo_->link(id).to, clock});
+    if (!sharded_) {
+      const std::size_t ring =
+          config_.flightrec_capacity > 0 ? config_.flightrec_capacity : 256;
+      recorder_ = std::make_unique<obs::FlightRecorder>(
+          topo_->num_nodes(), ring, /*keep_all=*/config_.trace,
+          &telemetry_.metrics);
+      const Time* clock = events_.now_ptr();
+      for (NodeId i = 0; i < n; ++i) {
+        nodes_[i]->set_probe(obs::Probe{recorder_.get(), i, clock});
+      }
+      // A link's drop events are stamped with the RECEIVING node: control
+      // sheds at the ingress of the far end, which is where the overload is.
+      for (LinkId id = 0; id < static_cast<LinkId>(topo_->num_links()); ++id) {
+        links_[id]->set_probe(
+            obs::Probe{recorder_.get(), topo_->link(id).to, clock});
+      }
+      delay_hist_ = &telemetry_.metrics.histogram("flow_delay_s");
+    } else {
+      // No flight recorder in sharded mode (asserted in the constructor).
+      // Per-flow histograms stand in for the shared delay_hist_ — single
+      // writer each — and merge into metrics["flow_delay_s"] in flow order
+      // when the run ends.
+      flow_hist_.resize(flow_specs_.size());
+      sflow_dropped_.assign(
+          static_cast<std::size_t>(engine_.shards),
+          std::vector<std::uint64_t>(flow_specs_.size(), 0));
     }
     flow_accum_.resize(flow_specs_.size());
-    delay_hist_ = &telemetry_.metrics.histogram("flow_delay_s");
     if (config_.sample_interval > 0) {
       sampler_ = std::make_unique<obs::TimeSeriesSampler>(
           config_.sample_interval, topo_->num_links(), flow_specs_.size(),
           &telemetry_);
-      events_.schedule_timer_in(config_.sample_interval,
-                                [this] { sample_tick(); });
+      if (!sharded_) {
+        events_.schedule_timer_in(TimerClass::kSampler, config_.sample_interval,
+                                  [this] { sample_tick(); });
+      }
     }
   }
 
@@ -164,7 +272,7 @@ void NetworkSim::build() {
   // timer phases; link_up processing itself is instantaneous and local).
   for (NodeId i = 0; i < n; ++i) {
     SimNode* node = nodes_[i].get();
-    events_.schedule_at(0, [node] { node->start(); });
+    queue_for(i).schedule_at(0, [node] { node->start(); });
   }
 
   // Traffic sources.
@@ -180,30 +288,40 @@ void NetworkSim::build() {
     shape.rate_bps = spec.rate_bps;
     shape.mean_packet_bits = config_.mean_packet_bits;
     SimNode* src_node = nodes_[shape.src].get();
-    const auto inject = [this, src_node](Packet p) {
-      ++injected_;  // conservation ledger: every data packet enters here
-      src_node->receive(std::move(p));
-    };
+    EventQueue& src_queue = queue_for(shape.src);
+    std::function<void(Packet)> inject;
+    if (sharded_) {
+      const auto s = static_cast<std::size_t>(shard_of_[shape.src]);
+      inject = [this, s, src_node](Packet p) {
+        ++shards_[s]->injected;  // conservation ledger, per-shard half
+        src_node->receive(std::move(p));
+      };
+    } else {
+      inject = [this, src_node](Packet p) {
+        ++injected_;  // conservation ledger: every data packet enters here
+        src_node->receive(std::move(p));
+      };
+    }
     switch (config_.traffic.model) {
       case TrafficModel::kOnOff:
         sources_.push_back(std::make_unique<OnOffSource>(
-            events_, shape, config_.traffic.burstiness, master_rng_.split(),
+            src_queue, shape, config_.traffic.burstiness, master_rng_.split(),
             inject));
         break;
       case TrafficModel::kParetoOnOff:
         sources_.push_back(std::make_unique<ParetoOnOffSource>(
-            events_, shape, config_.traffic.pareto, master_rng_.split(),
+            src_queue, shape, config_.traffic.pareto, master_rng_.split(),
             inject));
         break;
       case TrafficModel::kPoisson:
         sources_.push_back(std::make_unique<PoissonSource>(
-            events_, shape, master_rng_.split(), inject));
+            src_queue, shape, master_rng_.split(), inject));
         break;
     }
     sources_.back()->run(config_.traffic_start, stop);
   }
 
-  schedule_link_toggles();
+  if (!sharded_) schedule_link_toggles();
 
   if (config_.monitor_interval > 0) {
     MonitorHooks hooks;
@@ -233,26 +351,47 @@ void NetworkSim::build() {
     monitor_options.control_drop_budget = config_.monitor_control_drop_budget;
     monitor_ = std::make_unique<InvariantMonitor>(*topo_, std::move(hooks),
                                                   monitor_options);
-    events_.schedule_timer_in(config_.monitor_interval,
-                              [this] { monitor_check(); });
+    if (!sharded_) {
+      events_.schedule_timer_in(TimerClass::kMonitor, config_.monitor_interval,
+                                [this] { monitor_check(); });
+    }
   }
 
-  schedule_faults();
+  if (!sharded_) schedule_faults();
 
-  if (config_.lfi_check_interval > 0 && config_.mode != RoutingMode::kStatic) {
-    events_.schedule_timer_in(config_.lfi_check_interval,
+  if (config_.lfi_check_interval > 0 && config_.mode != RoutingMode::kStatic &&
+      !sharded_) {
+    events_.schedule_timer_in(TimerClass::kLfi, config_.lfi_check_interval,
                               [this] { lfi_check(); });
   }
-  if (config_.timeseries_interval > 0) {
-    events_.schedule_timer_in(config_.timeseries_interval,
+  if (config_.timeseries_interval > 0 && !sharded_) {
+    events_.schedule_timer_in(TimerClass::kTimeseries,
+                              config_.timeseries_interval,
                               [this] { timeseries_tick(); });
   }
+
+  // In sharded mode every global activity scheduled above through the
+  // wheel — toggles, faults, monitor / LFI / time-series / sampler ticks —
+  // becomes a coordinator pause executed at a window barrier instead.
+  if (sharded_) build_pause_plan();
+}
+
+std::uint64_t NetworkSim::injected_total() const {
+  std::uint64_t total = injected_;
+  for (const auto& shard : shards_) total += shard->injected;
+  return total;
+}
+
+std::uint64_t NetworkSim::delivered_total() const {
+  std::uint64_t total = total_delivered_;
+  for (const auto& shard : shards_) total += shard->delivered;
+  return total;
 }
 
 AccountingSnapshot NetworkSim::accounting_snapshot() const {
   AccountingSnapshot s;
-  s.injected = injected_;
-  s.delivered = total_delivered_;
+  s.injected = injected_total();
+  s.delivered = delivered_total();
   for (const auto& node : nodes_) {
     s.dropped +=
         node->drops_no_route() + node->drops_ttl() + node->drops_dead();
@@ -267,7 +406,7 @@ AccountingSnapshot NetworkSim::accounting_snapshot() const {
 
 void NetworkSim::monitor_check() {
   monitor_->check(events_.now());
-  events_.schedule_timer_in(config_.monitor_interval,
+  events_.schedule_timer_in(TimerClass::kMonitor, config_.monitor_interval,
                             [this] { monitor_check(); });
 }
 
@@ -332,31 +471,58 @@ void NetworkSim::crash_node(NodeId node) {
   if (!nodes_[node]->alive()) return;
   nodes_[node]->crash();
   apply_incident_links(node);  // its links drop, silently
-  if (monitor_ != nullptr) monitor_->on_crash(node, events_.now());
+  if (monitor_ != nullptr) monitor_->on_crash(node, now_sim());
 }
 
 void NetworkSim::recover_node(NodeId node) {
   if (nodes_[node]->alive()) return;
   nodes_[node]->recover();
   apply_incident_links(node);  // links return (unless still held down)
-  if (monitor_ != nullptr) monitor_->on_recover(node, events_.now());
+  if (monitor_ != nullptr) monitor_->on_recover(node, now_sim());
 }
 
 void NetworkSim::timeseries_tick() {
-  TimePoint point;
-  point.t = events_.now();
-  point.delivered = window_delivered_;
-  point.mean_delay_s = window_delivered_ > 0
-                           ? window_delay_sum_ /
-                                 static_cast<double>(window_delivered_)
-                           : 0.0;
-  point.dropped = window_dropped_;
-  timeseries_.push_back(point);
-  window_delay_sum_ = 0;
-  window_delivered_ = 0;
-  window_dropped_ = 0;
-  events_.schedule_timer_in(config_.timeseries_interval,
+  timeseries_point(events_.now());
+  events_.schedule_timer_in(TimerClass::kTimeseries,
+                            config_.timeseries_interval,
                             [this] { timeseries_tick(); });
+}
+
+void NetworkSim::timeseries_point(Time now) {
+  TimePoint point;
+  point.t = now;
+  if (!sharded_) {
+    point.delivered = window_delivered_;
+    point.mean_delay_s = window_delivered_ > 0
+                             ? window_delay_sum_ /
+                                   static_cast<double>(window_delivered_)
+                             : 0.0;
+    point.dropped = window_dropped_;
+    window_delay_sum_ = 0;
+    window_delivered_ = 0;
+    window_dropped_ = 0;
+  } else {
+    // Per-flow sums reduce in flow order — the same float additions in the
+    // same order for every shard count.
+    double delay_sum = 0;
+    for (std::size_t f = 0; f < wf_window_delivered_.size(); ++f) {
+      point.delivered += wf_window_delivered_[f];
+      delay_sum += wf_window_delay_sum_[f];
+      wf_window_delivered_[f] = 0;
+      wf_window_delay_sum_[f] = 0;
+    }
+    for (auto& shard : shards_) {
+      point.delivered += shard->noflow_window_delivered;
+      point.dropped += shard->window_dropped;
+      shard->noflow_window_delivered = 0;
+      shard->window_dropped = 0;
+    }
+    point.mean_delay_s =
+        point.delivered > 0
+            ? delay_sum / static_cast<double>(point.delivered)
+            : 0.0;
+  }
+  timeseries_.push_back(point);
 }
 
 std::uint64_t NetworkSim::source_emitted(std::size_t flow) const {
@@ -364,15 +530,14 @@ std::uint64_t NetworkSim::source_emitted(std::size_t flow) const {
 }
 
 void NetworkSim::sample_tick() {
-  take_samples();
-  events_.schedule_timer_in(config_.sample_interval,
+  take_samples(events_.now());
+  events_.schedule_timer_in(TimerClass::kSampler, config_.sample_interval,
                             [this] { sample_tick(); });
 }
 
-void NetworkSim::take_samples() {
+void NetworkSim::take_samples(Time now) {
   // A read-only walk over existing counters: no randomness is drawn and no
   // protocol state is touched, so sampling never perturbs packet flows.
-  const Time now = events_.now();
   for (LinkId id = 0; id < static_cast<LinkId>(links_.size()); ++id) {
     const auto& link = *links_[id];
     obs::TimeSeriesSampler::LinkCumulative c;
@@ -392,7 +557,13 @@ void NetworkSim::take_samples() {
     c.delay_sum_s = acc.delay_sum_s;
     c.measured_delivered = acc.measured_delivered;
     c.measured_delay_sum_s = acc.measured_delay_sum_s;
-    c.dropped = acc.dropped;
+    if (!sharded_) {
+      c.dropped = acc.dropped;
+    } else {
+      // Node-level drops land in the dropping shard's per-flow counter;
+      // their sum is the engine-invariant cumulative figure.
+      for (const auto& per_shard : sflow_dropped_) c.dropped += per_shard[f];
+    }
     sampler_->record_flow(now, static_cast<int>(f), c);
   }
   const auto n = static_cast<NodeId>(topo_->num_nodes());
@@ -445,6 +616,12 @@ void NetworkSim::take_samples() {
 }
 
 void NetworkSim::lfi_check() {
+  lfi_sweep(events_.now());
+  events_.schedule_timer_in(TimerClass::kLfi, config_.lfi_check_interval,
+                            [this] { lfi_check(); });
+}
+
+void NetworkSim::lfi_sweep(Time now) {
   const auto n = static_cast<NodeId>(topo_->num_nodes());
   ++lfi_checks_;
   for (NodeId j = 0; j < n; ++j) {
@@ -459,12 +636,9 @@ void NetworkSim::lfi_check() {
     if (!core::feasible_distances_decrease(snap) ||
         !core::successor_graph_loop_free(snap)) {
       ++lfi_violations_;
-      MDR_LOG_WARN("LFI violated for destination %d at t=%.6f", j,
-                   events_.now());
+      MDR_LOG_WARN("LFI violated for destination %d at t=%.6f", j, now);
     }
   }
-  events_.schedule_timer_in(config_.lfi_check_interval,
-                            [this] { lfi_check(); });
 }
 
 void NetworkSim::schedule_link_toggles() {
@@ -497,19 +671,234 @@ void NetworkSim::toggle_duplex(NodeId a, NodeId b, bool up, bool silent) {
   }
 }
 
+void NetworkSim::build_pause_plan() {
+  const Time sim_end = measure_start_ + config_.duration;
+  const Time horizon = sim_end + 0.5;  // matches run()'s drain horizon
+  // Rank 0: admin link toggles, in plan order.
+  for (const auto& toggle : config_.link_toggles) {
+    const NodeId a = topo_->find_node(toggle.a);
+    const NodeId b = topo_->find_node(toggle.b);
+    assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
+    pauses_.push_back(
+        Pause{toggle.at, 0,
+              [this, a, b, up = toggle.up, silent = toggle.silent] {
+                toggle_duplex(a, b, up, silent);
+              }});
+  }
+  const auto& plan = config_.faults;
+  // Rank 1: flap schedule — the same whole-cycle expansion as
+  // schedule_faults().
+  for (const auto& flap : plan.flaps) {
+    const NodeId a = topo_->find_node(flap.a);
+    const NodeId b = topo_->find_node(flap.b);
+    assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
+    assert(flap.period > 0 && flap.duty > 0 && flap.duty < 1);
+    const Time stop = std::min(flap.stop, sim_end);
+    for (Time t = flap.start; t + flap.period <= stop + 1e-9;
+         t += flap.period) {
+      pauses_.push_back(Pause{t + flap.duty * flap.period, 1, [this, a, b] {
+                                flap_duplex(a, b, /*down=*/true);
+                              }});
+      pauses_.push_back(Pause{t + flap.period, 1, [this, a, b] {
+                                flap_duplex(a, b, /*down=*/false);
+                              }});
+    }
+  }
+  // Ranks 2/3: crashes strictly before recoveries at an equal instant.
+  for (const auto& ev : plan.crashes) {
+    const NodeId x = topo_->find_node(ev.node);
+    assert(x != graph::kInvalidNode);
+    pauses_.push_back(Pause{ev.at, 2, [this, x] { crash_node(x); }});
+  }
+  for (const auto& ev : plan.recoveries) {
+    const NodeId x = topo_->find_node(ev.node);
+    assert(x != graph::kInvalidNode);
+    pauses_.push_back(Pause{ev.at, 3, [this, x] { recover_node(x); }});
+  }
+  // Ranks 4-7: the periodic observers. Each series mirrors its legacy
+  // wheel-timer chain: first tick one interval in, last tick at or before
+  // the drain horizon.
+  if (monitor_ != nullptr) {
+    for (Time t = config_.monitor_interval; t <= horizon;
+         t += config_.monitor_interval) {
+      pauses_.push_back(Pause{t, 4, [this, t] { monitor_->check(t); }});
+    }
+  }
+  if (config_.lfi_check_interval > 0 && config_.mode != RoutingMode::kStatic) {
+    for (Time t = config_.lfi_check_interval; t <= horizon;
+         t += config_.lfi_check_interval) {
+      pauses_.push_back(Pause{t, 5, [this, t] { lfi_sweep(t); }});
+    }
+  }
+  if (config_.timeseries_interval > 0) {
+    for (Time t = config_.timeseries_interval; t <= horizon;
+         t += config_.timeseries_interval) {
+      pauses_.push_back(Pause{t, 6, [this, t] { timeseries_point(t); }});
+    }
+  }
+  if (sampler_ != nullptr) {
+    for (Time t = config_.sample_interval; t <= horizon;
+         t += config_.sample_interval) {
+      pauses_.push_back(Pause{t, 7, [this, t] { take_samples(t); }});
+    }
+  }
+  // Anything past the drain horizon could never execute under the legacy
+  // engine either; dropping it lets the window loop stop exactly there.
+  std::erase_if(pauses_, [horizon](const Pause& p) { return p.at > horizon; });
+  std::stable_sort(pauses_.begin(), pauses_.end(),
+                   [](const Pause& x, const Pause& y) {
+                     return x.at != y.at ? x.at < y.at : x.rank < y.rank;
+                   });
+}
+
+void NetworkSim::drain_channels() {
+  const auto num_shards = static_cast<std::size_t>(engine_.shards);
+  for (std::size_t q = 0; q < num_shards; ++q) {
+    EventQueue& dst = shards_[q]->events;
+    for (std::size_t p = 0; p < num_shards; ++p) {
+      if (p == q) continue;
+      channels_[p * num_shards + q]->drain([&dst](HandoffItem&& item) {
+        dst.schedule_delivery_keyed(item.deliver_at, item.link, item.epoch,
+                                    std::move(item.packet), item.key);
+      });
+    }
+  }
+}
+
+void NetworkSim::run_parallel_loop() {
+  const int num_shards = engine_.shards;
+  const Time horizon = measure_start_ + config_.duration + 0.5;
+  const Time inf = std::numeric_limits<Time>::infinity();
+
+  // Window protocol: workers advance their shard strictly below the window
+  // end W (run_until_strict), so a cross-shard delivery produced mid-window
+  // can land exactly at W and still be pending when it is drained at the
+  // barrier. W = min(next pause, earliest pending event + lookahead); at a
+  // pause time T, a single INCLUSIVE run executes the events at exactly T
+  // before the pause handlers observe the network.
+  enum class Cmd { kWindow, kTie, kDone };
+  struct Control {
+    Cmd cmd = Cmd::kWindow;
+    Time cmd_time = 0;
+    std::size_t pause_idx = 0;
+    Time clock = 0;  ///< every shard's clock once the pending command ran
+    bool tie_done = false;
+  };
+  Control ctl;
+
+  const auto next_target = [&]() -> Time {
+    return ctl.pause_idx < pauses_.size()
+               ? std::min(pauses_[ctl.pause_idx].at, horizon)
+               : horizon;
+  };
+  const auto min_next_event = [&](Time bound) -> Time {
+    Time t = inf;
+    for (auto& shard : shards_) {
+      t = std::min(t, shard->events.next_event_before(bound));
+    }
+    return t;
+  };
+
+  // The whole coordinator runs inside the barrier completion hook: the last
+  // arriving worker executes it while every other worker is parked, so no
+  // state below needs atomics — the barrier's generation release/acquire
+  // publishes it.
+  const auto completion = [&] {
+    drain_channels();
+    for (;;) {
+      const Time target = next_target();
+      if (ctl.clock < target) {
+        // Advance: run strictly below W. A window bounded by lookahead can
+        // never cut in front of a cross-shard packet (deliver >= t_min +
+        // lookahead >= W); one bounded by the target stops for the pause.
+        const Time t_min = min_next_event(target);
+        Time w = target;
+        if (t_min + lookahead_ < target) w = t_min + lookahead_;
+        ctl.cmd = Cmd::kWindow;
+        ctl.cmd_time = w;
+        ctl.clock = w;
+        ctl.tie_done = false;
+        global_now_ = w;
+        return;
+      }
+      // clock == target: finish the instant (inclusive tie run) first.
+      if (!ctl.tie_done) {
+        ctl.tie_done = true;
+        if (min_next_event(target) <= target) {
+          ctl.cmd = Cmd::kTie;
+          ctl.cmd_time = target;
+          global_now_ = target;
+          return;
+        }
+      }
+      if (ctl.pause_idx < pauses_.size() &&
+          pauses_[ctl.pause_idx].at <= target) {
+        // Execute every pause due at this instant, in (rank, plan) order.
+        // Handlers only schedule into the future (positive service times and
+        // timer phases), so the tie run needs no repeat.
+        global_now_ = target;
+        while (ctl.pause_idx < pauses_.size() &&
+               pauses_[ctl.pause_idx].at == target) {
+          pauses_[ctl.pause_idx].fn();
+          ++ctl.pause_idx;
+        }
+        continue;  // the target moved; size the next window
+      }
+      assert(ctl.clock >= horizon);
+      ctl.cmd = Cmd::kDone;
+      return;
+    }
+  };
+
+  WindowBarrier barrier(num_shards, completion);
+  const auto worker = [&](int s) {
+    // Log lines from shard events are stamped with the coordinator clock
+    // (within one lookahead of the shard clock mid-window).
+    const ScopedLogClock log_clock(&global_now_);
+    EventQueue& queue = shards_[static_cast<std::size_t>(s)]->events;
+    for (;;) {
+      barrier.arrive_and_wait();
+      if (ctl.cmd == Cmd::kDone) break;
+      if (ctl.cmd == Cmd::kWindow) {
+        queue.run_until_strict(ctl.cmd_time);
+      } else {
+        queue.run_until(ctl.cmd_time);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_shards) - 1);
+  for (int s = 1; s < num_shards; ++s) threads.emplace_back(worker, s);
+  worker(0);  // the calling thread drives shard 0
+  for (auto& t : threads) t.join();
+  global_now_ = horizon;
+}
+
 SimResult NetworkSim::run() {
-  // Stamp every MDR_LOG line emitted while events run with the sim time.
-  const ScopedLogClock log_clock(events_.now_ptr());
   const Time stop = measure_start_ + config_.duration;
-  // Small drain period so packets in flight at `stop` still land.
-  events_.run_until(stop + 0.5);
-  // Sources never schedule past their stop time, so after the drain only
-  // protocol events (timers, retransmissions) may remain pending.
-  assert(events_.pending_source_events() == 0);
-  if (sampler_ != nullptr) take_samples();  // tail window (sums reconcile)
+  if (sharded_) {
+    run_parallel_loop();
+    for ([[maybe_unused]] const auto& shard : shards_) {
+      assert(shard->events.pending_source_events() == 0);
+    }
+    if (sampler_ != nullptr) take_samples(global_now_);
+  } else {
+    // Stamp every MDR_LOG line emitted while events run with the sim time.
+    const ScopedLogClock log_clock(events_.now_ptr());
+    // Small drain period so packets in flight at `stop` still land.
+    events_.run_until(stop + 0.5);
+    // Sources never schedule past their stop time, so after the drain only
+    // protocol events (timers, retransmissions) may remain pending.
+    assert(events_.pending_source_events() == 0);
+    // Tail window (sums reconcile).
+    if (sampler_ != nullptr) take_samples(events_.now());
+  }
 
   SimResult result;
   result.events_processed = events_.processed();
+  for (const auto& shard : shards_) {
+    result.events_processed += shard->events.processed();
+  }
   result.lfi_checks = lfi_checks_;
   result.lfi_violations = lfi_violations_;
   result.timeseries = timeseries_;
@@ -574,13 +963,19 @@ SimResult NetworkSim::run() {
     result.links.push_back(LinkLoad{
         std::string(topo_->name(l.from)), std::string(topo_->name(l.to)),
         link.data_bits(), link.control_bits(),
-        link.utilization_estimate(events_.now())});
+        link.utilization_estimate(now_sim())});
   }
   if (telemetry_enabled_) {
-    telemetry_.trace = recorder_->take_trace();
+    if (recorder_ != nullptr) telemetry_.trace = recorder_->take_trace();
+    if (sharded_) {
+      // The per-flow histograms (single writer each) merge in flow order:
+      // the same bucket additions for every shard count.
+      auto& h = telemetry_.metrics.histogram("flow_delay_s");
+      for (const auto& fh : flow_hist_) h.merge(fh);
+    }
     auto& m = telemetry_.metrics;
-    m.counter("packets.injected") += injected_;
-    m.counter("packets.delivered") += total_delivered_;
+    m.counter("packets.injected") += injected_total();
+    m.counter("packets.delivered") += delivered_total();
     m.counter("packets.delivered_measured") += result.delivered;
     m.counter("packets.dropped_no_route") += result.dropped_no_route;
     m.counter("packets.dropped_ttl") += result.dropped_ttl;
@@ -603,6 +998,13 @@ SimResult run_simulation(const graph::Topology& topo,
                          const std::vector<topo::FlowSpec>& flows,
                          const SimConfig& config) {
   NetworkSim sim(topo, flows, config);
+  return sim.run();
+}
+
+SimResult run_simulation(const graph::Topology& topo,
+                         const std::vector<topo::FlowSpec>& flows,
+                         const SimConfig& config, const EngineSpec& engine) {
+  NetworkSim sim(topo, flows, config, engine);
   return sim.run();
 }
 

@@ -4,6 +4,7 @@
 // overhead. This is the measurement instrument behind every figure bench.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -12,6 +13,7 @@
 #include "fault/fault_plan.h"
 #include "flow/phi.h"
 #include "graph/topology.h"
+#include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
@@ -136,6 +138,26 @@ struct SimConfig {
   std::uint64_t monitor_control_drop_budget = 0;
 };
 
+/// Parallel-engine knobs, grouped so callers select an engine in one place
+/// (runner::ExperimentSpec carries one; `mdrsim --shards` fills it in).
+struct EngineSpec {
+  /// 0 = the classic single-threaded engine — bit-identical to the seed.
+  /// >= 1 = the sharded conservative engine (sim/parallel_engine.h): output
+  /// is byte-identical for ANY shard count at a fixed seed, but is a
+  /// different (equally valid) event interleaving than shards == 0, so the
+  /// two engines are not comparable packet-for-packet.
+  int shards = 0;
+  /// Capacity of each cross-shard SPSC handoff ring (rounded up to a power
+  /// of two). Overflow spills to an unbounded producer-local buffer — a
+  /// tuning knob, never a correctness one.
+  std::size_t ring_capacity = 1024;
+  /// If > 0, the window lookahead is min(computed, this): shrinking windows
+  /// is always safe and useful for stress-testing the barrier protocol.
+  /// Raising lookahead above the minimum cross-shard propagation delay is
+  /// never allowed (it would admit causality violations).
+  double lookahead_override = 0;
+};
+
 /// One time-series window (delivered packets within [t - window, t)).
 struct TimePoint {
   Time t = 0;
@@ -209,8 +231,13 @@ struct SimResult {
 
 class NetworkSim {
  public:
+  /// `engine` selects the event engine (EngineSpec); the default runs the
+  /// classic single-threaded queue. Sharded mode (engine.shards >= 1)
+  /// rejects trace / flight-recorder telemetry (the recorder is
+  /// single-threaded by design) — callers validate, build() asserts.
   NetworkSim(const graph::Topology& topo,
-             const std::vector<topo::FlowSpec>& flows, SimConfig config);
+             const std::vector<topo::FlowSpec>& flows, SimConfig config,
+             EngineSpec engine = {});
 
   /// Runs to completion and returns the measurements. Call once.
   SimResult run();
@@ -228,15 +255,39 @@ class NetworkSim {
   void crash_node(graph::NodeId node);
   void recover_node(graph::NodeId node);
   void lfi_check();
+  /// The LFI sweep body, parameterized on the sweep time (the legacy timer
+  /// passes events_.now(); the sharded engine passes the pause time).
+  void lfi_sweep(Time now);
   void monitor_check();
   void timeseries_tick();
+  /// Closes one time-series window at `now` (reads the engine-appropriate
+  /// window accumulators, then resets them).
+  void timeseries_point(Time now);
   void sample_tick();
-  /// One full set of sampler readings at the current sim time (also called
-  /// once after the run drains, so the tail window is captured and the
-  /// per-flow sums reconcile exactly with FlowResult).
-  void take_samples();
+  /// One full set of sampler readings at `now` (also called once after the
+  /// run drains, so the tail window is captured and the per-flow sums
+  /// reconcile exactly with FlowResult).
+  void take_samples(Time now);
   std::uint64_t source_emitted(std::size_t flow) const;
   AccountingSnapshot accounting_snapshot() const;
+
+  // --- sharded conservative engine (see sim/parallel_engine.h) ------------
+  /// Replaces every wheel-scheduled global activity (toggles, faults,
+  /// monitor / LFI / time-series / sampler ticks) with a sorted pause plan
+  /// the coordinator executes at window barriers.
+  void build_pause_plan();
+  /// Lockstep window loop: workers advance shard queues, the barrier
+  /// completion hook drains handoff rings, executes due pauses and sizes
+  /// the next window. Returns with every shard clock at the drain horizon.
+  void run_parallel_loop();
+  /// Moves every queued cross-shard delivery into its destination queue.
+  /// Coordinator-only (all workers parked at the barrier).
+  void drain_channels();
+  std::uint64_t injected_total() const;
+  std::uint64_t delivered_total() const;
+  /// The simulation clock independent of engine: the event queue's in the
+  /// classic engine, the coordinator's between-windows clock when sharded.
+  Time now_sim() const { return sharded_ ? global_now_ : events_.now(); }
 
   const graph::Topology* topo_;
   std::vector<topo::FlowSpec> flow_specs_;
@@ -285,11 +336,55 @@ class NetworkSim {
   std::unique_ptr<obs::TimeSeriesSampler> sampler_;
   std::vector<FlowAccum> flow_accum_;  // by flow id
   obs::LogHistogram* delay_hist_ = nullptr;  ///< "flow_delay_s" in metrics
+
+  // --- sharded conservative engine state (empty when engine_.shards == 0).
+  // Accumulators are split so every field has exactly one writing shard:
+  // per-shard integers merge exactly in any order, and per-flow float sums
+  // are written only by the flow's destination shard, then combined in flow
+  // order — the float reduction order is therefore identical for every
+  // shard count.
+  EngineSpec engine_;
+  bool sharded_ = false;
+  std::vector<int> shard_of_;  // by NodeId
+  double lookahead_ = 0;       ///< window slack (min cross-shard prop delay)
+  /// Coordinator clock: equals every shard clock whenever the workers are
+  /// parked at a barrier; pause handlers and log lines read it.
+  double global_now_ = 0;
+  struct Shard {
+    EventQueue events;
+    std::uint64_t injected = 0;   ///< sources on this shard
+    std::uint64_t delivered = 0;  ///< deliveries at this shard's nodes
+    std::uint64_t window_dropped = 0;
+    /// Deliveries without a flow id this window (none in practice — every
+    /// source stamps a flow — but the ledger stays engine-invariant).
+    std::uint64_t noflow_window_delivered = 0;
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Directed handoff channels, indexed [from * shards + to]; diagonal null.
+  std::vector<std::unique_ptr<HandoffChannel>> channels_;
+  std::vector<double> wf_window_delay_sum_;        // by flow; dst shard writes
+  std::vector<std::uint64_t> wf_window_delivered_;  // by flow; dst shard writes
+  std::vector<std::vector<std::uint64_t>> sflow_dropped_;  // [shard][flow]
+  std::vector<obs::LogHistogram> flow_hist_;  // by flow; merged at the end
+  /// One globally-ordered coordinator action: rank breaks ties at equal
+  /// times (toggles < flaps < crashes < recoveries < monitor < lfi <
+  /// timeseries < sampler), insertion order breaks rank ties.
+  struct Pause {
+    Time at = 0;
+    int rank = 0;
+    std::function<void()> fn;
+  };
+  std::vector<Pause> pauses_;
 };
 
 /// Convenience wrapper: build, run, return.
 SimResult run_simulation(const graph::Topology& topo,
                          const std::vector<topo::FlowSpec>& flows,
                          const SimConfig& config);
+
+/// As above, on an explicit engine (EngineSpec; shards >= 1 runs sharded).
+SimResult run_simulation(const graph::Topology& topo,
+                         const std::vector<topo::FlowSpec>& flows,
+                         const SimConfig& config, const EngineSpec& engine);
 
 }  // namespace mdr::sim

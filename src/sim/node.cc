@@ -100,7 +100,7 @@ void SimNode::start() {
     // Adjacencies rise only after the 2-way hello check.
     for (const auto& [neighbor, link] : links_) hello_->physical_up(neighbor);
     schedule_guarded(options_.hello.interval * rng_.uniform(0.1, 0.9),
-                     &SimNode::hello_tick);
+                     TimerClass::kHello);
   } else {
     for (const auto& [neighbor, link] : links_) {
       router_->on_link_up(neighbor, initial_cost(*link));
@@ -108,22 +108,40 @@ void SimNode::start() {
   }
   // Random phase offsets prevent network-wide update synchronization
   // (paper Section 4.2, citing the route-synchronization pathology).
-  schedule_guarded(options_.ts * rng_.uniform(0.5, 1.0), &SimNode::ts_tick);
-  schedule_guarded(options_.tl * rng_.uniform(0.5, 1.0), &SimNode::tl_tick);
+  schedule_guarded(options_.ts * rng_.uniform(0.5, 1.0),
+                   TimerClass::kShortTerm);
+  schedule_guarded(options_.tl * rng_.uniform(0.5, 1.0), TimerClass::kLongTerm);
   schedule_guarded(options_.lsu_retransmit_interval * rng_.uniform(0.5, 1.0),
-                   &SimNode::retransmit_tick);
+                   TimerClass::kRetransmit);
   if (options_.pacing.enabled) {
     // Scheduled (and drawing its phase) only when pacing is on, so default
     // runs consume exactly the seed's RNG stream and stay bit-identical.
     schedule_guarded(options_.pacing.min_interval * rng_.uniform(0.5, 1.0),
-                     &SimNode::pace_tick);
+                     TimerClass::kPacing);
   }
 }
 
-void SimNode::schedule_guarded(Duration delay, void (SimNode::*method)()) {
+void SimNode::schedule_guarded(Duration delay, TimerClass cls) {
   // Recurring protocol timers are the high-multiplicity events of a run;
   // they park on the timer wheel instead of churning the main heap.
-  events_->schedule_node_timer(delay, this, boot_, method);
+  events_->schedule_timer(cls, delay, this, boot_);
+}
+
+void (SimNode::*SimNode::timer_method(TimerClass cls))() {
+  switch (cls) {
+    case TimerClass::kHello:
+      return &SimNode::hello_tick;
+    case TimerClass::kShortTerm:
+      return &SimNode::ts_tick;
+    case TimerClass::kLongTerm:
+      return &SimNode::tl_tick;
+    case TimerClass::kRetransmit:
+      return &SimNode::retransmit_tick;
+    case TimerClass::kPacing:
+      return &SimNode::pace_tick;
+    default:
+      return nullptr;  // callback-timer classes have no node method
+  }
 }
 
 void SimNode::set_probe(const obs::Probe& probe) {
@@ -163,12 +181,13 @@ void SimNode::recover() {
 
 void SimNode::retransmit_tick() {
   router_->retransmit_pending();
-  schedule_guarded(options_.lsu_retransmit_interval, &SimNode::retransmit_tick);
+  schedule_guarded(options_.lsu_retransmit_interval,
+                   TimerClass::kRetransmit);
 }
 
 void SimNode::pace_tick() {
   router_->pacing_tick(events_->now());
-  schedule_guarded(options_.pacing.min_interval, &SimNode::pace_tick);
+  schedule_guarded(options_.pacing.min_interval, TimerClass::kPacing);
 }
 
 void SimNode::hello_tick() {
@@ -186,7 +205,7 @@ void SimNode::hello_tick() {
       }
     }
   }
-  schedule_guarded(options_.hello.interval, &SimNode::hello_tick);
+  schedule_guarded(options_.hello.interval, TimerClass::kHello);
 }
 
 void SimNode::ts_tick() {
@@ -201,7 +220,7 @@ void SimNode::ts_tick() {
     costs[neighbor] = cost_state_.at(neighbor).on_short_window(estimate);
   }
   router_->update_short_term_costs(costs);
-  schedule_guarded(options_.ts, &SimNode::ts_tick);
+  schedule_guarded(options_.ts, TimerClass::kShortTerm);
 }
 
 void SimNode::tl_tick() {
@@ -215,7 +234,7 @@ void SimNode::tl_tick() {
       router_->on_long_term_cost(neighbor, update.cost, events_->now());
     }
   }
-  schedule_guarded(options_.tl, &SimNode::tl_tick);
+  schedule_guarded(options_.tl, TimerClass::kLongTerm);
 }
 
 void SimNode::send(NodeId neighbor, const proto::LsuMessage& msg) {

@@ -153,16 +153,23 @@ class SimNode final : public proto::LsuSink {
     if (boot == boot_ && alive_) (this->*method)();
   }
 
+  /// Resolves a node-timer class to the tick method it dispatches; null for
+  /// the callback-timer classes. EventQueue::schedule_timer(TimerClass, ...)
+  /// is the only intended caller — the mapping keeps the tick methods
+  /// private while giving the queue a typed scheduling surface.
+  static void (SimNode::*timer_method(TimerClass cls))();
+
  private:
   void forward(Packet packet);
   graph::NodeId next_hop(graph::NodeId dest);
   void ts_tick();
   void tl_tick();
   double initial_cost(const SimLink& link) const;
-  /// Schedules `method` after `delay`, silently dropped if this incarnation
-  /// has died in the meantime (crash bumps boot_). Every recurring timer
-  /// goes through this so a reboot starts from a clean timer slate.
-  void schedule_guarded(Duration delay, void (SimNode::*method)());
+  /// Schedules the tick of `cls` after `delay`, silently dropped if this
+  /// incarnation has died in the meantime (crash bumps boot_). Every
+  /// recurring timer goes through this so a reboot starts from a clean
+  /// timer slate.
+  void schedule_guarded(Duration delay, TimerClass cls);
 
   EventQueue* events_;
   graph::NodeId id_;

@@ -1,0 +1,50 @@
+#include "sim/parallel_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+namespace mdr::sim {
+
+std::vector<int> assign_shards(const graph::Topology& topo, int shards) {
+  std::vector<int> shard_of(topo.num_nodes());
+  for (std::size_t i = 0; i < topo.num_nodes(); ++i) {
+    shard_of[i] = static_cast<int>(
+        fnv1a(topo.name(static_cast<graph::NodeId>(i))) %
+        static_cast<std::uint64_t>(shards));
+  }
+  return shard_of;
+}
+
+double min_cross_shard_prop(const graph::Topology& topo,
+                            const std::vector<int>& shard_of) {
+  double lookahead = std::numeric_limits<double>::infinity();
+  for (graph::LinkId id = 0; id < static_cast<graph::LinkId>(topo.num_links());
+       ++id) {
+    const auto& l = topo.link(id);
+    if (shard_of[l.from] == shard_of[l.to]) continue;
+    lookahead = std::min(lookahead, l.attr.prop_delay_s);
+  }
+  return lookahead;
+}
+
+void WindowBarrier::arrive_and_wait() {
+  // Safe to read relaxed: this participant's exit from the previous phase
+  // acquired the current generation, and nobody can advance it again before
+  // this arrival is counted.
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+    completion_();  // every other participant is parked on `gen`
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.store(gen + 1, std::memory_order_release);
+    return;
+  }
+  // Brief spin for the fast path, then yield: on few-core hosts the other
+  // shards need this core to make progress at all.
+  int spins = 0;
+  while (generation_.load(std::memory_order_acquire) == gen) {
+    if (++spins > 64) std::this_thread::yield();
+  }
+}
+
+}  // namespace mdr::sim

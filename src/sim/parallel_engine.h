@@ -1,0 +1,138 @@
+// Building blocks of the conservative parallel event engine.
+//
+// The network is partitioned into shards by a stable hash of the node NAME
+// (not the dense id), so the assignment survives id renumbering and is
+// identical on every platform. Each shard owns its nodes, their outgoing
+// links and their traffic sources, and advances a private EventQueue in
+// lockstep time windows. The window length is bounded by the minimum
+// propagation delay over cross-shard links (the classic conservative
+// lookahead): a packet transmitted at time u on another shard cannot arrive
+// before u + lookahead, so a window that ends no later than
+// (earliest pending event anywhere) + lookahead can run without ever
+// seeing a cause from the future.
+//
+// Cross-shard deliveries travel through HandoffChannels (lock-free SPSC
+// rings, sim/spsc_ring.h) and are drained into the destination shard's
+// queue at every window barrier. Determinism across shard counts comes
+// from the delivery KEY, not from drain order: every delivery in sharded
+// mode — local or remote — is heap-ordered by (time, delivery_key), and
+// the key encodes (link id, per-link wire sequence) with bit 63 set. Keys
+// are globally unique, so the heap pop order is a total order independent
+// of insertion order, and deliveries sort after every locally-sequenced
+// event at an equal timestamp in every sharding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "graph/topology.h"
+#include "sim/packet.h"
+#include "sim/spsc_ring.h"
+#include "util/time.h"
+
+namespace mdr::sim {
+
+class SimLink;
+
+/// FNV-1a, the stable 64-bit name hash behind shard assignment.
+inline std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// shard_of[node] = fnv1a(name) % shards — deterministic for any shard
+/// count, independent of node insertion order.
+std::vector<int> assign_shards(const graph::Topology& topo, int shards);
+
+/// Minimum propagation delay over links whose endpoints live on different
+/// shards; +infinity when every link is shard-local (windows then run
+/// straight to the next global pause).
+double min_cross_shard_prop(const graph::Topology& topo,
+                            const std::vector<int>& shard_of);
+
+/// Canonical delivery ordering key: bit 63 (sorts after local events, whose
+/// FIFO seqs stay far below 2^63), then the link id, then the per-link wire
+/// sequence assigned at transmit time. 40 wire-seq bits cover ~10^12
+/// packets per link per run.
+inline constexpr unsigned kWireSeqBits = 40;
+
+inline std::uint64_t delivery_key(graph::LinkId link, std::uint64_t wire_seq) {
+  return (1ull << 63) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(link))
+          << kWireSeqBits) |
+         (wire_seq & ((1ull << kWireSeqBits) - 1));
+}
+
+/// One cross-shard delivery in flight between two window barriers.
+struct HandoffItem {
+  Time deliver_at = 0;
+  std::uint64_t key = 0;
+  SimLink* link = nullptr;  ///< executes handle_delivery on the dst shard
+  std::uint64_t epoch = 0;
+  Packet packet;
+};
+
+/// Directed shard-to-shard handoff: an SPSC ring plus a producer-local
+/// spill buffer. A full ring must not block the producing shard (it would
+/// deadlock the window barrier), so the overflow goes to the spill and both
+/// are emptied at the next barrier — backpressure shows up as the spilled()
+/// statistic, never as loss or a stall.
+class HandoffChannel {
+ public:
+  explicit HandoffChannel(std::size_t ring_capacity) : ring_(ring_capacity) {}
+
+  /// Producer (owning shard), called mid-window.
+  void push(HandoffItem item) {
+    if (!ring_.try_push(item)) {
+      ++spilled_;
+      spill_.push_back(std::move(item));
+    }
+  }
+
+  /// Consumer, called only at window barriers (the producer is parked, so
+  /// taking the spill buffer is race-free). Drain order does not matter for
+  /// determinism — keys are a total order — but ring-then-spill preserves
+  /// push order anyway.
+  template <typename Fn>
+  void drain(Fn&& deliver) {
+    HandoffItem item;
+    while (ring_.try_pop(item)) deliver(std::move(item));
+    for (auto& spilled : spill_) deliver(std::move(spilled));
+    spill_.clear();
+  }
+
+  /// Items that overflowed the ring into the spill buffer (cumulative).
+  std::uint64_t spilled() const { return spilled_; }
+
+ private:
+  SpscRing<HandoffItem> ring_;
+  std::vector<HandoffItem> spill_;  ///< producer-owned overflow
+  std::uint64_t spilled_ = 0;
+};
+
+/// Two-phase spin barrier with a completion hook: the last arriver runs
+/// `completion` while every other participant is still parked, then
+/// releases the generation. The sharded engine's entire coordinator —
+/// ring drains, window sizing, global pause events — runs inside the
+/// completion hook, single-threaded by construction.
+class WindowBarrier {
+ public:
+  WindowBarrier(int participants, std::function<void()> completion)
+      : participants_(participants), completion_(std::move(completion)) {}
+
+  void arrive_and_wait();
+
+ private:
+  const int participants_;
+  std::function<void()> completion_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace mdr::sim

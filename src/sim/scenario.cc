@@ -72,7 +72,9 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
   const auto need = [&](std::size_t n) { return tokens.size() >= n; };
 
   if (cmd == "topology") {
-    if (!need(2)) return fail("topology needs a name (cairn | net1)");
+    if (!need(2)) {
+      return fail("topology needs a name (cairn | net1 | random | waxman)");
+    }
     if (state.built_nodes) return fail("topology conflicts with node/link");
     std::map<std::string, double> opts;
     std::string bad;
@@ -84,10 +86,61 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     } else if (tokens[1] == "net1") {
       s.topo = topo::make_net1();
       s.flows = topo::net1_flows(scale);
+    } else if (tokens[1] == "random" || tokens[1] == "waxman") {
+      // Generated scale topologies (no paper flow set): `flows` random
+      // flows ride along, drawn from the same generator stream so the
+      // whole directive is one deterministic unit.
+      const double n = opts.count("n") ? opts["n"] : 0;
+      if (n < 3) return fail("topology " + tokens[1] + " needs n=<nodes> >= 3");
+      Rng rng(opts.count("seed") ? static_cast<std::uint64_t>(opts["seed"])
+                                 : 1);
+      if (tokens[1] == "random") {
+        const double p = opts.count("p") ? opts["p"] : 0.05;
+        if (p < 0 || p > 1) return fail("topology random p must be in [0, 1]");
+        s.topo = topo::make_random(static_cast<std::size_t>(n), p, rng);
+      } else {
+        const double alpha = opts.count("alpha") ? opts["alpha"] : 0.4;
+        const double beta = opts.count("beta") ? opts["beta"] : 0.2;
+        const double min_prop = opts.count("min_prop") ? opts["min_prop"] : 0;
+        if (alpha <= 0 || alpha > 1 || beta <= 0) {
+          return fail("topology waxman needs 0 < alpha <= 1 and beta > 0");
+        }
+        if (min_prop < 0) return fail("topology waxman min_prop must be >= 0");
+        s.topo =
+            topo::make_waxman(static_cast<std::size_t>(n), alpha, beta, rng,
+                              /*capacity_bps=*/10e6, /*max_prop_delay_s=*/5e-3,
+                              min_prop);
+      }
+      const double count = opts.count("flows") ? opts["flows"] : n;
+      const double rate = opts.count("rate") ? opts["rate"] : 1e6;
+      if (count < 1) return fail("topology needs flows=<count> >= 1");
+      if (rate <= 0) return fail("topology needs rate=<bps> > 0");
+      s.flows = topo::random_flows(s.topo, static_cast<std::size_t>(count),
+                                   rate, rng);
     } else {
       return fail("unknown built-in topology: " + tokens[1]);
     }
     state.used_builtin = true;
+    return true;
+  }
+  if (cmd == "engine") {
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    if (!opts.count("shards") || opts["shards"] < 1) {
+      return fail("engine needs shards=<n> >= 1");
+    }
+    s.engine.shards = static_cast<int>(opts["shards"]);
+    if (opts.count("ring")) {
+      if (opts["ring"] < 1) return fail("engine ring must be at least 1");
+      s.engine.ring_capacity = static_cast<std::size_t>(opts["ring"]);
+    }
+    if (opts.count("lookahead")) {
+      if (opts["lookahead"] <= 0) {
+        return fail("engine lookahead must be positive");
+      }
+      s.engine.lookahead_override = opts["lookahead"];
+    }
     return true;
   }
   if (cmd == "node") {
@@ -443,6 +496,15 @@ std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
       *error =
           "damping filters hello adjacency events and needs the hello "
           "protocol: add a `hello` directive";
+    }
+    return std::nullopt;
+  }
+  if (state.scenario.spec.engine.shards >= 1 &&
+      (config.trace || config.flightrec_capacity > 0)) {
+    if (error != nullptr) {
+      *error =
+          "trace/flightrec need the single-threaded engine (the flight "
+          "recorder is not shard-safe): drop them or the `engine` directive";
     }
     return std::nullopt;
   }

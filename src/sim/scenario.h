@@ -9,6 +9,9 @@
 // Format (one directive per line; '#' starts a comment):
 //
 //   topology cairn [scale=<x>]      # built-in: cairn | net1 (+ paper flows)
+//   topology random n=<n> [p=<p>] [flows=<k>] [rate=<bps>] [seed=<n>]
+//   topology waxman n=<n> [alpha=<a>] [beta=<b>] [min_prop=<s>]
+//            [flows=<k>] [rate=<bps>] [seed=<n>]   # generated + random flows
 //   node <name>                     # or build your own topology
 //   link <a> <b> [capacity=<bps>] [prop=<s>]      # duplex
 //   flow <src> <dst> rate=<bps>
@@ -40,6 +43,11 @@
 //   sample <s>                             # telemetry time-series period
 //   trace                                  # retain the full protocol trace
 //   flightrec [capacity=<n>]               # bounded per-node event rings
+//   engine shards=<n> [ring=<cap>] [lookahead=<s>]  # sharded parallel engine
+//
+// `engine shards=N` runs the sharded conservative engine (same-seed output
+// is byte-identical for any N >= 1); it is incompatible with trace/flightrec
+// (enforced at parse time).
 //
 // crash/flap faults are silent by construction: a scenario using them must
 // also enable `hello` (enforced at parse time); `damping` filters hello

@@ -1,0 +1,72 @@
+// Fixed-capacity lock-free single-producer / single-consumer ring.
+//
+// The sharded engine's cross-shard handoff channel: during a lookahead
+// window the owning shard pushes outbound deliveries, and at the window
+// barrier the coordinator drains every ring while the workers are parked.
+// Push and pop never touch a lock; the producer publishes with a release
+// store of the tail index and the consumer acknowledges with a release
+// store of the head, so the pair is safe even while a window is running.
+//
+// Capacity is rounded up to a power of two. A full ring refuses the push
+// (try_push returns false) — the caller spills to a producer-local overflow
+// buffer instead of blocking, because a shard that blocked mid-window on a
+// full ring could deadlock the barrier (see HandoffChannel).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mdr::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. False when the ring is full (the item is untouched).
+  bool try_push(T& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace mdr::sim

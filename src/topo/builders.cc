@@ -1,5 +1,6 @@
 #include "topo/builders.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <string>
@@ -192,7 +193,8 @@ Topology make_full_mesh(std::size_t n, BuilderDefaults d) {
 }
 
 Topology make_waxman(std::size_t n, double a, double b, Rng& rng,
-                     double capacity_bps, double max_prop_delay_s) {
+                     double capacity_bps, double max_prop_delay_s,
+                     double min_prop_delay_s) {
   assert(n >= 3);
   assert(a > 0 && a <= 1);
   assert(b > 0);
@@ -211,7 +213,8 @@ Topology make_waxman(std::size_t n, double a, double b, Rng& rng,
   };
   const auto attr_for = [&](double d2) {
     return LinkAttr{capacity_bps,
-                    std::max(1e-6, max_prop_delay_s * d2 / diagonal)};
+                    std::max({1e-6, min_prop_delay_s,
+                              max_prop_delay_s * d2 / diagonal})};
   };
   // Spanning ring for connectivity (short hops: ring over a random order
   // would create long links; accept the simple ring on node ids).

@@ -48,9 +48,13 @@ graph::Topology make_random(std::size_t n, double p, Rng& rng,
 /// square, each pair linked with probability a*exp(-dist/(b*sqrt(2))), plus
 /// a spanning ring for connectivity. Propagation delays are proportional to
 /// Euclidean distance (scaled so the diagonal costs max_prop_delay_s) — the
-/// classic internet-like testbed generator.
+/// classic internet-like testbed generator. `min_prop_delay_s` floors every
+/// link's delay — the sharded engine's lookahead is the minimum cross-shard
+/// propagation delay, so a floor keeps windows from collapsing to the
+/// microscopic delay of two coincidentally-adjacent nodes (0 = no floor).
 graph::Topology make_waxman(std::size_t n, double a, double b, Rng& rng,
                             double capacity_bps = 10e6,
-                            double max_prop_delay_s = 5e-3);
+                            double max_prop_delay_s = 5e-3,
+                            double min_prop_delay_s = 0);
 
 }  // namespace mdr::topo

@@ -31,6 +31,26 @@ std::vector<FlowSpec> net1_flows(double scale) {
   };
 }
 
+std::vector<FlowSpec> random_flows(const graph::Topology& topo,
+                                   std::size_t count, double mean_rate_bps,
+                                   Rng& rng) {
+  assert(topo.num_nodes() >= 2);
+  const int last = static_cast<int>(topo.num_nodes()) - 1;
+  std::vector<FlowSpec> flows;
+  flows.reserve(count);
+  for (std::size_t f = 0; f < count; ++f) {
+    const auto src = static_cast<graph::NodeId>(rng.uniform_int(0, last));
+    auto dst = src;
+    while (dst == src) {
+      dst = static_cast<graph::NodeId>(rng.uniform_int(0, last));
+    }
+    flows.push_back(FlowSpec{std::string(topo.name(src)),
+                             std::string(topo.name(dst)),
+                             mean_rate_bps * rng.uniform(0.5, 1.5)});
+  }
+  return flows;
+}
+
 flow::TrafficMatrix to_traffic_matrix(const graph::Topology& topo,
                                       const std::vector<FlowSpec>& flows) {
   flow::TrafficMatrix matrix(topo.num_nodes());

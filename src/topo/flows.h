@@ -12,6 +12,7 @@
 
 #include "flow/network.h"
 #include "graph/topology.h"
+#include "util/rng.h"
 
 namespace mdr::topo {
 
@@ -27,6 +28,13 @@ std::vector<FlowSpec> cairn_flows(double scale = 1.0);
 
 /// The 10 NET1 flows of Section 5 (flow ids 0..9).
 std::vector<FlowSpec> net1_flows(double scale = 1.0);
+
+/// `count` random flows over an arbitrary topology (for the generated
+/// scale topologies, which have no paper flow set): distinct endpoints,
+/// rates uniform in [0.5, 1.5] x mean_rate_bps. Deterministic in `rng`.
+std::vector<FlowSpec> random_flows(const graph::Topology& topo,
+                                   std::size_t count, double mean_rate_bps,
+                                   Rng& rng);
 
 /// Resolves flow specs against a topology into a traffic matrix.
 flow::TrafficMatrix to_traffic_matrix(const graph::Topology& topo,

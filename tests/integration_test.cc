@@ -38,7 +38,8 @@ TEST(Integration, Net1MpBeatsSpAndApproachesOpt) {
   const auto topo = topo::make_net1();
   const auto flows = topo::net1_flows(0.92);
   const sim::ExperimentSpec opt_spec{topo, flows,
-                                     quick_config(sim::RoutingMode::kStatic)};
+                                     quick_config(sim::RoutingMode::kStatic),
+                                     sim::EngineSpec{}};
   const auto ref = sim::compute_opt_reference(opt_spec);
   ASSERT_TRUE(ref.feasible);
 
@@ -75,7 +76,7 @@ TEST(Integration, PacketLevelOptMatchesFlowLevelPrediction) {
   const auto flows = topo::net1_flows(0.8);  // moderate load: M/M/1 regime
   auto config = quick_config(sim::RoutingMode::kStatic);
   config.duration = 60;
-  const sim::ExperimentSpec spec{topo, flows, config};
+  const sim::ExperimentSpec spec{topo, flows, config, sim::EngineSpec{}};
   const auto ref = sim::compute_opt_reference(spec);
   const auto measured = sim::run_with_static_phi(spec, ref.phi);
   for (std::size_t i = 0; i < flows.size(); ++i) {
@@ -135,7 +136,7 @@ TEST(Integration, OptReferenceFlowDelaysAreFiniteAndOrdered) {
   for (const bool cairn : {true, false}) {
     const auto topo = cairn ? topo::make_cairn() : topo::make_net1();
     const auto flows = cairn ? topo::cairn_flows(1.15) : topo::net1_flows(0.92);
-    const auto ref = sim::compute_opt_reference(sim::ExperimentSpec{topo, flows, {}});
+    const auto ref = sim::compute_opt_reference(sim::ExperimentSpec{topo, flows, {}, {}});
     ASSERT_TRUE(ref.feasible);
     ASSERT_EQ(ref.flow_delay_s.size(), flows.size());
     for (const double d : ref.flow_delay_s) {

@@ -18,7 +18,7 @@ namespace mdr::runner {
 namespace {
 
 sim::ExperimentSpec small_spec() {
-  sim::ExperimentSpec spec{topo::make_net1(), topo::net1_flows(0.6), {}};
+  sim::ExperimentSpec spec{topo::make_net1(), topo::net1_flows(0.6), {}, {}};
   spec.config.traffic_start = 2;
   spec.config.warmup = 4;
   spec.config.duration = 12;
