@@ -3,6 +3,14 @@
 // Usage:
 //   mdrsim <scenario-file> [--mode mp|sp|opt] [--seed N]
 //          [--seeds N] [--jobs M] [--shards S] [--json PATH] [--quiet]
+//          [--validate] [--sweep lo:hi:steps | --sweep auto]
+//
+// --validate parses the scenario (applying --mode/--seed/--shards
+// overrides), prints a one-screen summary and exits without simulating —
+// a dry-run for editors and CI. --sweep replaces the normal run with a
+// load sweep (runner/load_sweep.h): flow rates are scaled across the given
+// multiplier grid, the blow-up point is bisected, and one JSON object per
+// probe plus a final summary object stream to stdout.
 //
 // By default runs the scenario once and prints per-flow delays, drop and
 // control-plane counters, and, if the scenario enables them, the delay time
@@ -27,10 +35,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 
 #include "obs/sampler.h"
 #include "runner/experiment_runner.h"
+#include "runner/load_sweep.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 
@@ -42,7 +53,8 @@ void usage() {
       "              [--seeds N] [--jobs M] [--shards S] [--json PATH]\n"
       "              [--quiet]\n"
       "              [--metrics-out PATH] [--trace PATH]\n"
-      "              [--sample-interval S]\n",
+      "              [--sample-interval S]\n"
+      "              [--validate] [--sweep lo:hi:steps | --sweep auto]\n",
       stderr);
 }
 
@@ -104,6 +116,17 @@ void print_single_run(const mdr::sim::SimResult& result, bool quiet) {
     std::printf("LFI checks: %llu, violations: %llu\n",
                 static_cast<unsigned long long>(result.lfi_checks),
                 static_cast<unsigned long long>(result.lfi_violations));
+  }
+  if (result.stability.has_value()) {
+    const auto& st = *result.stability;
+    std::printf(
+        "stability: verdict %s  margin %.3f  peak slope %.0f bps "
+        "(threshold %.0f)\n",
+        st.unstable ? "UNSTABLE" : "stable", st.margin,
+        st.max_queue_slope_bps, st.slope_threshold_bps);
+    if (st.unstable) {
+      std::printf("  blow-up declared at t=%.2f\n", st.t_unstable);
+    }
   }
   if (result.monitor.has_value()) {
     const auto& m = *result.monitor;
@@ -177,6 +200,8 @@ int main(int argc, char** argv) {
   long jobs = 1;
   long shards = -1;  // < 0: keep the scenario's engine setting
   bool quiet = false;
+  bool validate = false;
+  std::string sweep_arg;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -208,6 +233,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--sweep" && i + 1 < argc) {
+      sweep_arg = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -273,6 +302,81 @@ int main(int argc, char** argv) {
                    effective, jobs);
       jobs = effective;
     }
+  }
+
+  if (validate) {
+    const auto& spec = scenario->spec;
+    std::printf("%s: OK\n", path.c_str());
+    std::printf("  topology: %zu nodes, %zu links\n", spec.topo.num_nodes(),
+                spec.topo.num_links());
+    std::printf("  flows: %zu  mode=%s  seed=%llu  duration=%.1fs\n",
+                spec.flows.size(), scenario->mode.c_str(),
+                static_cast<unsigned long long>(config.seed),
+                config.duration);
+    const char* model =
+        config.traffic.model == mdr::sim::TrafficModel::kPoisson ? "poisson"
+        : config.traffic.model == mdr::sim::TrafficModel::kOnOff ? "bursty"
+        : config.traffic.model == mdr::sim::TrafficModel::kParetoOnOff
+            ? "pareto"
+            : "adversarial";
+    std::printf("  traffic: %s", model);
+    if (config.traffic.diurnal_period_s > 0) {
+      std::printf(", diurnal period=%.1fs amp=%.2f",
+                  config.traffic.diurnal_period_s,
+                  config.traffic.diurnal_amplitude);
+    }
+    if (!config.traffic.flash_crowds.empty()) {
+      std::printf(", %zu flash crowd(s)", config.traffic.flash_crowds.size());
+    }
+    std::printf("\n");
+    const auto& faults = config.faults;
+    std::printf(
+        "  faults: %zu toggles, %zu crashes, %zu recoveries, %zu flaps, "
+        "%zu gilbert, %zu dutycycles\n",
+        config.link_toggles.size(), faults.crashes.size(),
+        faults.recoveries.size(), faults.flaps.size(), faults.gilbert.size(),
+        faults.duty_cycles.size());
+    std::printf("  hello: %s  monitor: %s  stability: %s",
+                config.use_hello ? "on" : "off",
+                config.monitor_interval > 0 ? "on" : "off",
+                config.stability.interval > 0 ? "on" : "off");
+    if (scenario->spec.engine.shards >= 1) {
+      std::printf("  engine: %d shards", scenario->spec.engine.shards);
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  if (!sweep_arg.empty()) {
+    mdr::runner::SweepOptions options;
+    if (sweep_arg != "auto") {
+      double lo = 0, hi = 0;
+      long steps = 0;
+      char colon1 = 0, colon2 = 0;
+      std::istringstream in(sweep_arg);
+      in >> lo >> colon1 >> hi >> colon2 >> steps;
+      if (!in || colon1 != ':' || colon2 != ':' || lo <= 0 || hi < lo ||
+          steps < 1) {
+        std::fputs("mdrsim: --sweep wants lo:hi:steps (lo > 0, hi >= lo, "
+                   "steps >= 1) or 'auto'\n",
+                   stderr);
+        return 2;
+      }
+      options.lo = lo;
+      options.hi = hi;
+      options.steps = static_cast<int>(steps);
+    }
+    const auto sweep = mdr::runner::run_load_sweep(scenario->spec,
+                                                   scenario->mode, options,
+                                                   &std::cout);
+    std::printf(
+        "{\"kind\":\"sweep_summary\",\"mode\":\"%s\",\"stable_high\":%.17g,"
+        "\"unstable_low\":%.17g,\"critical\":%.17g,\"monotone\":%s,"
+        "\"probes\":%zu}\n",
+        scenario->mode.c_str(), sweep.stable_high, sweep.unstable_low,
+        sweep.critical, sweep.monotone ? "true" : "false",
+        sweep.points.size());
+    return sweep.monotone ? 0 : 1;
   }
 
   // Everything runs through the parallel runner; a single seed is just a

@@ -1,0 +1,146 @@
+// Ablation: stability margins under adversarial and heavy-tail workloads.
+//
+// For each topology (CAIRN, NET1), each workload class (adversarial
+// sawtooth injection, flash crowd on a hotspot, diurnal modulation,
+// duty-cycled lossy radios) and each routing scheme (MP, SP, OPT), runs a
+// load sweep (runner/load_sweep.h) and reports the critical rate
+// multiplier where the StabilityMonitor's verdict flips — the measured
+// stability margin of the scheme under that workload. The paper argues MP
+// spreads load over more of the capacity region than SP; here that shows
+// up directly as a larger critical multiplier. OPT rows include
+// infeasible-by-construction probes (margin -1) once the scaled demand
+// exceeds a cut.
+//
+// Durations are deliberately short (the verdict needs a few windows, not a
+// converged delay estimate); MDR_SWEEP_STEPS / MDR_SWEEP_BISECT trim the
+// probe count further for smoke runs.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "figure_common.h"
+#include "runner/load_sweep.h"
+
+namespace {
+
+using mdr::bench::FigureSetup;
+
+int env_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+// Shortened measurement: the sweep needs a verdict per probe, not a tight
+// delay estimate, and 24 sweeps run back to back.
+void shorten(mdr::sim::ExperimentSpec& spec) {
+  spec.config.traffic_start = 3;
+  spec.config.warmup = 7;
+  spec.config.duration = 30;
+  spec.config.monitor_interval = 0.5;
+  spec.config.stability.interval = 0.5;
+  spec.config.stability.window = 8;
+}
+
+mdr::sim::ExperimentSpec with_adversarial(mdr::sim::ExperimentSpec spec) {
+  spec.config.traffic.model = mdr::sim::TrafficModel::kAdversarial;
+  spec.config.traffic.adversarial = {4.0, 0.5, 4.0, true};
+  return spec;
+}
+
+mdr::sim::ExperimentSpec with_flashcrowd(mdr::sim::ExperimentSpec spec) {
+  mdr::sim::FlashCrowd crowd;
+  crowd.dst = spec.flows.front().dst;  // hotspot: the first paper flow's sink
+  crowd.start = 12;
+  crowd.ramp_s = 3;
+  crowd.hold_s = 6;
+  crowd.peak = 3;
+  spec.config.traffic.flash_crowds.push_back(crowd);
+  return spec;
+}
+
+mdr::sim::ExperimentSpec with_diurnal(mdr::sim::ExperimentSpec spec) {
+  spec.config.traffic.diurnal_period_s = 20;
+  spec.config.traffic.diurnal_amplitude = 0.5;
+  return spec;
+}
+
+mdr::sim::ExperimentSpec with_dutycycle(mdr::sim::ExperimentSpec spec) {
+  // Sleep the first physical link on a 6 s period with bursty loss while
+  // awake; silent, so the hello protocol must notice.
+  const auto& link = spec.topo.link(0);
+  mdr::fault::LinkDutyCycle duty;
+  duty.a = std::string(spec.topo.name(link.from));
+  duty.b = std::string(spec.topo.name(link.to));
+  duty.period = 6;
+  duty.on_fraction = 0.6;
+  duty.start = 8;
+  duty.stop = 26;
+  duty.loss = {0.05, 0.3, 0.25, 0.0};
+  duty.lossy = true;
+  spec.config.faults.duty_cycles.push_back(duty);
+  spec.config.use_hello = true;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mdr;
+
+  runner::SweepOptions options;
+  options.lo = 0.4;
+  options.hi = 2.4;
+  options.steps = env_int("MDR_SWEEP_STEPS", 3);
+  options.bisect_iters = env_int("MDR_SWEEP_BISECT", 3);
+
+  struct Workload {
+    const char* name;
+    sim::ExperimentSpec (*apply)(sim::ExperimentSpec);
+  };
+  const Workload workloads[] = {
+      {"adversarial", with_adversarial},
+      {"flashcrowd", with_flashcrowd},
+      {"diurnal", with_diurnal},
+      {"dutycycle", with_dutycycle},
+  };
+  const char* modes[] = {"mp", "sp", "opt"};
+
+  std::printf("stability frontier: critical rate multiplier per scheme\n");
+  std::printf("(0 means the sweep never bracketed a verdict flip in [%.2g, %.2g])\n\n",
+              options.lo, options.hi);
+  std::printf("%-6s %-12s %8s %8s %8s %10s\n", "net", "workload", "mp", "sp",
+              "opt", "monotone");
+
+  for (const auto& setup : {bench::cairn_setup(), bench::net1_setup()}) {
+    for (const auto& workload : workloads) {
+      double critical[3] = {0, 0, 0};
+      bool monotone = true;
+      for (int m = 0; m < 3; ++m) {
+        auto spec = workload.apply(setup.spec);
+        shorten(spec);
+        const auto sweep = runner::run_load_sweep(spec, modes[m], options);
+        critical[m] = sweep.critical;
+        monotone = monotone && sweep.monotone;
+        for (const auto& point : sweep.points) {
+          if (!point.unstable &&
+              (point.forwarding_loops > 0 || point.accounting_leaks > 0)) {
+            std::printf("  !! %s/%s/%s x%.3f stable but loops=%llu leaks=%llu\n",
+                        setup.name.c_str(), workload.name, modes[m],
+                        point.multiplier,
+                        static_cast<unsigned long long>(point.forwarding_loops),
+                        static_cast<unsigned long long>(point.accounting_leaks));
+          }
+        }
+      }
+      std::printf("%-6s %-12s %8.3f %8.3f %8.3f %10s\n", setup.name.c_str(),
+                  workload.name, critical[0], critical[1], critical[2],
+                  monotone ? "yes" : "NO");
+    }
+  }
+  return 0;
+}

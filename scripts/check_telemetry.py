@@ -44,6 +44,12 @@ SAMPLE_SCHEMAS = {
         "lsus_retransmitted": int, "lsus_suppressed": int, "acks": int,
         "hellos": int, "control_bits": NUM, "control_dropped": int,
     },
+    # Present only when the run enables the stability monitor; margin may be
+    # negative once the verdict flips to unstable.
+    "stability": {
+        "run": int, "t": NUM, "queue_bits": NUM, "slope_bps": NUM,
+        "delay_s": NUM, "margin": NUM,
+    },
     "metrics": {"run": str, "metrics": dict},
 }
 

@@ -25,6 +25,7 @@ Stdlib only; no third-party dependencies.
 import argparse
 import json
 import math
+import os
 import pathlib
 import subprocess
 import sys
@@ -205,6 +206,8 @@ def main():
                         help="where to write the validated JSON")
     parser.add_argument("--validate-only", metavar="FILE",
                         help="validate an existing JSON file and exit")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite a baseline recorded on a bigger host")
     args = parser.parse_args()
 
     if args.validate_only:
@@ -212,6 +215,28 @@ def main():
             validate(json.load(f))
         print(f"run_bench: OK: {args.validate_only} matches the schema")
         return
+
+    # A baseline measured on a bigger machine (more cores) would be silently
+    # replaced by slower numbers from this host, and the next human diffing
+    # baselines would read that as a code regression. Refuse unless forced.
+    out_path = pathlib.Path(args.out)
+    if out_path.exists() and not args.force:
+        try:
+            with open(out_path) as f:
+                existing = json.load(f)
+            recorded_cpus = existing.get("host_cpus")
+        except (OSError, json.JSONDecodeError):
+            recorded_cpus = None
+        host_cpus = os.cpu_count() or 1
+        if isinstance(recorded_cpus, (int, float)) and \
+                not isinstance(recorded_cpus, bool) and \
+                recorded_cpus > host_cpus:
+            fail(
+                f"{out_path} was recorded on a {int(recorded_cpus)}-CPU host "
+                f"but this host has {host_cpus}; overwriting would make the "
+                f"committed baseline look like a perf regression. "
+                f"Pass --force to overwrite anyway."
+            )
 
     build_dir = pathlib.Path(args.build_dir)
     binary = build_dir / "bench" / "perf_event_core"

@@ -1,0 +1,22 @@
+#include "fault/duty_cycle.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mdr::fault {
+
+std::vector<DutyEdge> duty_cycle_edges(const LinkDutyCycle& duty,
+                                       Time sim_end) {
+  assert(duty.period > 0);
+  assert(duty.on_fraction > 0 && duty.on_fraction < 1);
+  std::vector<DutyEdge> edges;
+  const Time stop = std::min(duty.stop, sim_end);
+  for (Time t = duty.start; t + duty.period <= stop + 1e-9;
+       t += duty.period) {
+    edges.push_back({t + duty.on_fraction * duty.period, /*down=*/true});
+    edges.push_back({t + duty.period, /*down=*/false});
+  }
+  return edges;
+}
+
+}  // namespace mdr::fault

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/duty_cycle.h"
 #include "fault/gilbert.h"
 #include "graph/topology.h"
 #include "util/time.h"
@@ -72,16 +73,19 @@ struct FaultPlan {
   std::vector<NodeEvent> recoveries;
   std::vector<LinkFlap> flaps;
   std::vector<LinkGilbert> gilbert;
+  std::vector<LinkDutyCycle> duty_cycles;
   ControlChaos chaos;
 
   bool empty() const {
     return crashes.empty() && recoveries.empty() && flaps.empty() &&
-           gilbert.empty() && !chaos.any();
+           gilbert.empty() && duty_cycles.empty() && !chaos.any();
   }
 
   /// True when the plan contains faults only the hello protocol can detect
-  /// (crashes and flaps are silent by construction).
-  bool needs_hello() const { return !crashes.empty() || !flaps.empty(); }
+  /// (crashes, flaps and duty cycles are silent by construction).
+  bool needs_hello() const {
+    return !crashes.empty() || !flaps.empty() || !duty_cycles.empty();
+  }
 };
 
 /// Shape of a pseudo-random chaos schedule (make_random_plan).

@@ -261,6 +261,23 @@ void write_samples_jsonl(std::ostream& os, const Telemetry& telemetry,
     line += "}\n";
     os << line;
   }
+  for (const StabilitySample& s : telemetry.stability) {
+    line.clear();
+    line += "{\"kind\":\"stability\",\"run\":";
+    append_int(line, run);
+    line += ",\"t\":";
+    append_double(line, s.t);
+    line += ",\"queue_bits\":";
+    append_double(line, s.queue_bits);
+    line += ",\"slope_bps\":";
+    append_double(line, s.slope_bps);
+    line += ",\"delay_s\":";
+    append_double(line, s.delay_s);
+    line += ",\"margin\":";
+    append_double(line, s.margin);
+    line += "}\n";
+    os << line;
+  }
 }
 
 void write_trace_jsonl(std::ostream& os, const Telemetry& telemetry,
@@ -393,6 +410,14 @@ void write_samples_csv(std::ostream& os, const Telemetry& telemetry,
             s.control_bits);
     csv_row(os, line, run, s.t, "control", entity, "control_dropped",
             static_cast<double>(s.control_dropped));
+  }
+  for (const StabilitySample& s : telemetry.stability) {
+    entity = "net";
+    csv_row(os, line, run, s.t, "stability", entity, "queue_bits",
+            s.queue_bits);
+    csv_row(os, line, run, s.t, "stability", entity, "slope_bps", s.slope_bps);
+    csv_row(os, line, run, s.t, "stability", entity, "delay_s", s.delay_s);
+    csv_row(os, line, run, s.t, "stability", entity, "margin", s.margin);
   }
 }
 

@@ -75,6 +75,16 @@ struct ControlSample {
   std::uint64_t control_dropped = 0;
 };
 
+/// One stability-monitor observation at time t (sim/monitor.h
+/// StabilityMonitor): the workload-stress panel behind docs/WORKLOADS.md.
+struct StabilitySample {
+  Time t = 0;
+  double queue_bits = 0;     ///< total bits queued network-wide
+  double slope_bps = 0;      ///< windowed least-squares queue slope
+  double delay_s = 0;        ///< windowed mean packet delay
+  double margin = 0;         ///< running stability margin (< 0: unstable)
+};
+
 /// Flight-recorder dump taken when an invariant incident opened at time t.
 struct FlightDump {
   Time t = 0;
@@ -89,6 +99,9 @@ struct Telemetry {
   std::vector<FlowSample> flows;
   std::vector<DestSample> dests;
   std::vector<ControlSample> control;
+  /// Stability-monitor panel; filled by the sim, not the sampler (the
+  /// monitor computes its own windows), but serialized with the rest.
+  std::vector<StabilitySample> stability;
   std::vector<Event> trace;           ///< full event trace (trace mode only)
   std::vector<FlightDump> flight_dumps;
   MetricRegistry metrics;

@@ -174,6 +174,9 @@ void write_results_json(std::ostream& os, const BatchResult& batch,
     if (r.monitor.has_value()) {
       os << ", \"monitor\": " << sim::monitor_report_json(*r.monitor);
     }
+    if (r.stability.has_value()) {
+      os << ", \"stability\": " << sim::stability_report_json(*r.stability);
+    }
     os << "}" << (i + 1 < batch.runs.size() ? "," : "") << "\n";
   }
   os << "  ]\n";

@@ -1,0 +1,167 @@
+#include "runner/load_sweep.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/experiment.h"
+
+namespace mdr::runner {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+sim::ExperimentSpec scaled(const sim::ExperimentSpec& base,
+                           double multiplier) {
+  sim::ExperimentSpec spec = base;
+  for (auto& flow : spec.flows) flow.rate_bps *= multiplier;
+  return spec;
+}
+
+SweepPoint probe(const sim::ExperimentSpec& base, const std::string& mode,
+                 double multiplier) {
+  SweepPoint point;
+  point.multiplier = multiplier;
+  const auto spec = scaled(base, multiplier);
+  if (mode == "opt") {
+    // Infeasible flow problem: the offered load exceeds capacity along some
+    // cut, so no routing stabilizes it — unstable without simulating.
+    const auto ref = sim::compute_opt_reference(spec);
+    if (!ref.feasible) {
+      point.unstable = true;
+      point.margin = -1.0;
+      point.opt_infeasible = true;
+      return point;
+    }
+    const auto r = sim::run_with_static_phi(spec, ref.phi);
+    assert(r.stability.has_value());
+    point.unstable = r.stability->unstable;
+    point.margin = r.stability->margin;
+    point.max_queue_slope_bps = r.stability->max_queue_slope_bps;
+    point.avg_delay_s = r.avg_delay_s;
+    point.delivered = r.delivered;
+    if (r.monitor.has_value()) {
+      point.forwarding_loops = r.monitor->forwarding_loops;
+      point.accounting_leaks = r.monitor->accounting_leaks;
+    }
+    return point;
+  }
+  const auto r = sim::run_experiment(spec, mode);
+  assert(r.stability.has_value());
+  point.unstable = r.stability->unstable;
+  point.margin = r.stability->margin;
+  point.max_queue_slope_bps = r.stability->max_queue_slope_bps;
+  point.avg_delay_s = r.avg_delay_s;
+  point.delivered = r.delivered;
+  if (r.monitor.has_value()) {
+    point.forwarding_loops = r.monitor->forwarding_loops;
+    point.accounting_leaks = r.monitor->accounting_leaks;
+  }
+  return point;
+}
+
+}  // namespace
+
+std::string sweep_point_json(const SweepPoint& point) {
+  std::string out = "{\"multiplier\":";
+  append_double(out, point.multiplier);
+  out += ",\"unstable\":";
+  out += point.unstable ? "true" : "false";
+  out += ",\"margin\":";
+  append_double(out, point.margin);
+  out += ",\"max_queue_slope_bps\":";
+  append_double(out, point.max_queue_slope_bps);
+  out += ",\"avg_delay_s\":";
+  append_double(out, point.avg_delay_s);
+  out += ",\"delivered\":";
+  append_u64(out, point.delivered);
+  out += ",\"forwarding_loops\":";
+  append_u64(out, point.forwarding_loops);
+  out += ",\"accounting_leaks\":";
+  append_u64(out, point.accounting_leaks);
+  out += ",\"opt_infeasible\":";
+  out += point.opt_infeasible ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+SweepResult run_load_sweep(const sim::ExperimentSpec& base,
+                           const std::string& mode,
+                           const SweepOptions& options,
+                           std::ostream* jsonl) {
+  assert(options.lo > 0 && options.hi >= options.lo && options.steps >= 1);
+  sim::ExperimentSpec spec = base;
+  if (spec.config.stability.interval <= 0) {
+    spec.config.stability.interval = 1.0;  // verdict source; keep defaults
+  }
+
+  SweepResult result;
+  const auto run_probe = [&](double multiplier) -> const SweepPoint& {
+    result.points.push_back(probe(spec, mode, multiplier));
+    if (jsonl != nullptr) {
+      *jsonl << sweep_point_json(result.points.back()) << '\n';
+    }
+    return result.points.back();
+  };
+
+  const double span = options.hi - options.lo;
+  for (int i = 0; i < options.steps; ++i) {
+    const double multiplier =
+        options.steps == 1
+            ? options.lo
+            : options.lo + span * static_cast<double>(i) /
+                               static_cast<double>(options.steps - 1);
+    run_probe(multiplier);
+  }
+
+  // Bracket the frontier with the tightest stable-below / unstable-above
+  // pair the grid produced, then halve it.
+  const auto update_bracket = [&](const SweepPoint& point) {
+    if (point.unstable) {
+      if (result.unstable_low == 0 || point.multiplier < result.unstable_low) {
+        result.unstable_low = point.multiplier;
+      }
+    } else if (point.multiplier > result.stable_high) {
+      result.stable_high = point.multiplier;
+    }
+  };
+  for (const auto& point : result.points) update_bracket(point);
+
+  if (result.stable_high > 0 && result.unstable_low > result.stable_high) {
+    for (int i = 0; i < options.bisect_iters; ++i) {
+      const double mid = 0.5 * (result.stable_high + result.unstable_low);
+      update_bracket(run_probe(mid));
+    }
+    result.critical = 0.5 * (result.stable_high + result.unstable_low);
+  }
+
+  // Sorted by multiplier, a sane sweep is all-stable then all-unstable.
+  auto sorted = result.points;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SweepPoint& a, const SweepPoint& b) {
+              return a.multiplier < b.multiplier;
+            });
+  bool seen_unstable = false;
+  for (const auto& point : sorted) {
+    if (point.unstable) {
+      seen_unstable = true;
+    } else if (seen_unstable) {
+      result.monotone = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace mdr::runner

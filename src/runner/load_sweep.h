@@ -1,0 +1,71 @@
+// Load-sweep driver: finds a protocol's stability frontier.
+//
+// A sweep scales every flow's offered rate by a common multiplier and runs
+// the experiment once per probe under a fixed seed, asking the in-sim
+// StabilityMonitor (sim/monitor.h) for the verdict. A coarse grid over
+// [lo, hi] brackets the blow-up point, then bisection sharpens the bracket:
+// `critical` is the midpoint of the final (stable, unstable) pair, the
+// measured stability margin of the scheme under that workload.
+//
+// OPT is special-cased: when Gallager's flow-level problem is infeasible at
+// a multiplier (offered load exceeds some min-cut), the point is unstable
+// by definition (margin -1) without running the packet simulator.
+//
+// Probes run sequentially under one seed, so a sweep is deterministic:
+// same spec + same options => the same probe sequence and verdicts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment_spec.h"
+
+namespace mdr::runner {
+
+struct SweepOptions {
+  double lo = 0.5;        ///< smallest rate multiplier probed
+  double hi = 2.0;        ///< largest rate multiplier probed
+  int steps = 5;          ///< grid probes across [lo, hi] (>= 1)
+  int bisect_iters = 4;   ///< bracket-halving probes after the grid
+};
+
+/// One probe of the sweep, in probe order (grid first, then bisection).
+struct SweepPoint {
+  double multiplier = 1.0;
+  bool unstable = false;
+  double margin = 1.0;               ///< StabilityReport::margin (-1 for
+                                     ///  infeasible OPT)
+  double max_queue_slope_bps = 0;
+  double avg_delay_s = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t forwarding_loops = 0;  ///< from the invariant monitor, if on
+  std::uint64_t accounting_leaks = 0;
+  bool opt_infeasible = false;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;  ///< every probe, in execution order
+  double stable_high = 0;    ///< largest multiplier judged stable (0: none)
+  double unstable_low = 0;   ///< smallest multiplier judged unstable (0: none)
+  double critical = 0;       ///< frontier estimate; 0 when unbracketed
+  /// True when sorting probes by multiplier yields all stable verdicts
+  /// before all unstable ones — the sanity property a well-behaved
+  /// protocol must show along a load sweep.
+  bool monotone = true;
+};
+
+/// Runs the sweep for `mode` ("mp" | "sp" | "opt"). If the base spec leaves
+/// the stability monitor off (stability.interval == 0) the sweep enables it
+/// with defaults — a sweep without a verdict source is meaningless. When
+/// `jsonl` is non-null, one JSON object per probe is streamed as it
+/// completes (sweep_point_json + '\n').
+SweepResult run_load_sweep(const sim::ExperimentSpec& base,
+                           const std::string& mode,
+                           const SweepOptions& options,
+                           std::ostream* jsonl = nullptr);
+
+/// One probe as a single-line JSON object (%.17g doubles, fixed key order).
+std::string sweep_point_json(const SweepPoint& point);
+
+}  // namespace mdr::runner

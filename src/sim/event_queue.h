@@ -53,8 +53,9 @@ enum class TimerClass : std::uint8_t {
   kLfi,         ///< loop-free-invariant global check (callback)
   kTimeseries,  ///< delay/throughput window roll (callback)
   kGeneric,     ///< anything else parked on the wheel (callback)
+  kStability,   ///< stability-monitor sample (callback)
 };
-inline constexpr std::size_t kNumTimerClasses = 10;
+inline constexpr std::size_t kNumTimerClasses = 11;
 
 class EventQueue {
  public:

@@ -1,6 +1,7 @@
 #include "sim/monitor.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <vector>
 
@@ -289,6 +290,136 @@ std::string monitor_report_json(const MonitorReport& r) {
     out += ",\"packets_lost\":" + std::to_string(inc.packets_lost) + "}";
   }
   out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------- Stability
+
+StabilityMonitor::StabilityMonitor(StabilityOptions options,
+                                   double total_capacity_bps)
+    : options_(options) {
+  assert(options.interval > 0);
+  assert(options.window > 0);
+  assert(options.persistence >= 1);
+  // The 1 bps floor keeps the ratio finite on degenerate topologies.
+  report_.slope_threshold_bps =
+      std::max(options.slope_capacity_fraction * total_capacity_bps, 1.0);
+}
+
+void StabilityMonitor::record(Time now, double queued_bits,
+                              std::uint64_t delivered_cum,
+                              double delay_sum_cum_s) {
+  ++report_.ticks;
+  report_.final_queue_bits = queued_bits;
+  report_.peak_queue_bits = std::max(report_.peak_queue_bits, queued_bits);
+
+  window_.push_back({now, queued_bits, delivered_cum, delay_sum_cum_s});
+  while (window_.size() > 1 &&
+         window_.front().t < now - options_.window - 1e-9) {
+    window_.pop_front();
+  }
+
+  last_ = StabilityTick{};
+  last_.t = now;
+  last_.queued_bits = queued_bits;
+  last_.margin = report_.margin;
+
+  // Windowed mean delay: deliveries between the window's ends.
+  const Sample& oldest = window_.front();
+  const std::uint64_t wdelivered = delivered_cum - oldest.delivered;
+  double wdelay = 0;
+  if (wdelivered > 0) {
+    wdelay = (delay_sum_cum_s - oldest.delay_sum_s) /
+             static_cast<double>(wdelivered);
+  }
+  last_.window_delay_s = wdelay;
+
+  // Least-squares queue slope over the window.
+  double slope = 0;
+  if (window_.size() >= 3) {
+    double mean_t = 0, mean_q = 0;
+    for (const Sample& s : window_) {
+      mean_t += s.t;
+      mean_q += s.queued_bits;
+    }
+    mean_t /= static_cast<double>(window_.size());
+    mean_q /= static_cast<double>(window_.size());
+    double cov = 0, var = 0;
+    for (const Sample& s : window_) {
+      cov += (s.t - mean_t) * (s.queued_bits - mean_q);
+      var += (s.t - mean_t) * (s.t - mean_t);
+    }
+    if (var > 0) slope = cov / var;
+  }
+  last_.slope_bps = slope;
+
+  // The verdict machinery waits for a full window: startup transients
+  // (protocol convergence, queue fill to steady state) must not convict.
+  if (now - oldest.t < options_.window - 1e-9) return;
+
+  if (!have_baseline_) {
+    have_baseline_ = true;
+    report_.baseline_delay_s = wdelay;
+  }
+  report_.peak_window_delay_s =
+      std::max(report_.peak_window_delay_s, wdelay);
+
+  const double ratio_q =
+      std::max(slope, 0.0) / report_.slope_threshold_bps;
+  const double ratio_d =
+      report_.baseline_delay_s > 0
+          ? wdelay / (options_.delay_factor * report_.baseline_delay_s)
+          : 0.0;
+  recent_q_.push_back(ratio_q);
+  recent_d_.push_back(ratio_d);
+  recent_slope_.push_back(slope);
+  const auto cap = static_cast<std::size_t>(options_.persistence);
+  if (recent_q_.size() > cap) {
+    recent_q_.pop_front();
+    recent_d_.pop_front();
+    recent_slope_.pop_front();
+  }
+  if (recent_q_.size() == cap) {
+    // Sustained = the weakest reading in the run of `persistence` windows:
+    // every window in the run must breach for the verdict to fire.
+    const double sustained_q =
+        *std::min_element(recent_q_.begin(), recent_q_.end());
+    const double sustained_d =
+        *std::min_element(recent_d_.begin(), recent_d_.end());
+    report_.max_queue_slope_bps =
+        std::max(report_.max_queue_slope_bps,
+                 *std::min_element(recent_slope_.begin(),
+                                   recent_slope_.end()));
+    const double breach = std::max(sustained_q, sustained_d);
+    report_.margin = std::min(report_.margin, 1.0 - breach);
+    if (report_.margin < 0 && !report_.unstable) {
+      report_.unstable = true;
+      report_.t_unstable = now;
+    }
+  }
+  last_.margin = report_.margin;
+}
+
+std::string stability_report_json(const StabilityReport& r) {
+  std::string out =
+      "{\"unstable\":" + std::to_string(r.unstable ? 1 : 0) +
+      ",\"t_unstable\":";
+  append_time(out, r.t_unstable);
+  out += ",\"ticks\":" + std::to_string(r.ticks) + ",\"margin\":";
+  append_time(out, r.margin);
+  out += ",\"max_queue_slope_bps\":";
+  append_time(out, r.max_queue_slope_bps);
+  out += ",\"slope_threshold_bps\":";
+  append_time(out, r.slope_threshold_bps);
+  out += ",\"baseline_delay_s\":";
+  append_time(out, r.baseline_delay_s);
+  out += ",\"peak_window_delay_s\":";
+  append_time(out, r.peak_window_delay_s);
+  out += ",\"peak_queue_bits\":";
+  append_time(out, r.peak_queue_bits);
+  out += ",\"final_queue_bits\":";
+  append_time(out, r.final_queue_bits);
+  out += "}";
   return out;
 }
 

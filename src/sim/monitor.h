@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <span>
 #include <string>
@@ -150,5 +151,95 @@ class InvariantMonitor {
 /// Compact single-line JSON for the report; deterministic formatting so two
 /// runs with the same seed serialize bit-identically.
 std::string monitor_report_json(const MonitorReport& report);
+
+// ---------------------------------------------------------------- Stability
+//
+// StabilityMonitor turns "is this load sustainable?" into a measured
+// verdict with a margin, so the load-sweep driver (src/runner/load_sweep.*)
+// can bisect to each protocol's blow-up point. Two runaway signatures are
+// watched over a sliding window, each normalized into a breach ratio
+// (>= 1 means the signature fires):
+//
+//   * queue growth: the least-squares slope of total queued bits over the
+//     window, against a threshold expressed as a fraction of the network's
+//     aggregate link capacity (an unstable network accumulates backlog at
+//     a rate proportional to its overload);
+//   * delay runaway: the windowed mean packet delay against `delay_factor`
+//     times the baseline delay measured over the first full window after
+//     traffic starts.
+//
+// A single breaching window is weather; `persistence` consecutive breaching
+// windows is climate and yields the unstable verdict. The margin is
+// 1 - max over the run of the SUSTAINED breach ratio (the minimum ratio
+// across the last `persistence` windows), so margin < 0 iff unstable, and
+// the margin varies continuously with offered load — which is what makes
+// bisection and the monotone-verdict acceptance check meaningful.
+
+struct StabilityOptions {
+  Duration interval = 0;     ///< sampling period; 0 disables the monitor
+  Duration window = 10.0;    ///< sliding window for slope fit + mean delay
+  /// Queue-growth slope threshold, as a fraction of the topology's total
+  /// link capacity per second.
+  double slope_capacity_fraction = 0.005;
+  double delay_factor = 4.0;  ///< runaway = windowed delay >= factor * base
+  int persistence = 4;        ///< consecutive breaching windows to convict
+};
+
+/// Per-tick measurements, exposed for telemetry panels.
+struct StabilityTick {
+  Time t = 0;
+  double queued_bits = 0;
+  double slope_bps = 0;        ///< windowed least-squares queue slope
+  double window_delay_s = 0;   ///< mean delay of the window's deliveries
+  double margin = 1.0;         ///< running margin after this tick
+};
+
+struct StabilityReport {
+  bool unstable = false;
+  Time t_unstable = -1;             ///< first conviction instant; -1: stable
+  std::uint64_t ticks = 0;
+  double margin = 1.0;              ///< 1 - worst sustained breach ratio
+  double max_queue_slope_bps = 0;   ///< worst sustained windowed slope
+  double slope_threshold_bps = 0;
+  double baseline_delay_s = 0;
+  double peak_window_delay_s = 0;
+  double peak_queue_bits = 0;
+  double final_queue_bits = 0;
+};
+
+class StabilityMonitor {
+ public:
+  StabilityMonitor(StabilityOptions options, double total_capacity_bps);
+
+  /// One observation: total bits queued network-wide plus the cumulative
+  /// delivered-packet count and delay sum (monotone, data packets with a
+  /// flow id only). Called every options.interval after traffic starts.
+  void record(Time now, double queued_bits, std::uint64_t delivered_cum,
+              double delay_sum_cum_s);
+
+  const StabilityReport& report() const { return report_; }
+  const StabilityTick& last() const { return last_; }
+
+ private:
+  struct Sample {
+    Time t = 0;
+    double queued_bits = 0;
+    std::uint64_t delivered = 0;
+    double delay_sum_s = 0;
+  };
+
+  StabilityOptions options_;
+  StabilityReport report_;
+  StabilityTick last_;
+  std::deque<Sample> window_;       ///< samples spanning options_.window
+  std::deque<double> recent_q_;     ///< last `persistence` slope ratios
+  std::deque<double> recent_d_;     ///< last `persistence` delay ratios
+  std::deque<double> recent_slope_;
+  bool have_baseline_ = false;
+};
+
+/// Compact single-line JSON for the stability report (same deterministic
+/// formatting contract as monitor_report_json).
+std::string stability_report_json(const StabilityReport& report);
 
 }  // namespace mdr::sim

@@ -84,6 +84,11 @@ void NetworkSim::build() {
 
   telemetry_enabled_ = config_.sample_interval > 0 || config_.trace ||
                        config_.flightrec_capacity > 0;
+  stability_enabled_ = config_.stability.interval > 0;
+  if (stability_enabled_) {
+    stab_flow_delivered_.assign(flow_specs_.size(), 0);
+    stab_flow_delay_sum_.assign(flow_specs_.size(), 0.0);
+  }
 
   NodeCallbacks callbacks;
   callbacks.delivered = [this](const Packet& p, Duration delay) {
@@ -91,6 +96,11 @@ void NetworkSim::build() {
     window_delay_sum_ += delay;
     ++window_delivered_;
     if (p.flow_id < 0) return;
+    if (stability_enabled_) {
+      const auto sf = static_cast<std::size_t>(p.flow_id);
+      ++stab_flow_delivered_[sf];
+      stab_flow_delay_sum_[sf] += delay;
+    }
     const bool measured = p.created >= measure_start_;
     if (telemetry_enabled_) {
       auto& acc = flow_accum_[static_cast<std::size_t>(p.flow_id)];
@@ -130,6 +140,11 @@ void NetworkSim::build() {
         const auto f = static_cast<std::size_t>(p.flow_id);
         wf_window_delay_sum_[f] += delay;
         ++wf_window_delivered_[f];
+        if (stability_enabled_) {
+          // Single writer: the flow's destination lives on this shard.
+          ++stab_flow_delivered_[f];
+          stab_flow_delay_sum_[f] += delay;
+        }
         const bool measured = p.created >= measure_start_;
         if (telemetry_enabled_) {
           auto& acc = flow_accum_[f];
@@ -164,6 +179,19 @@ void NetworkSim::build() {
     assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
     gilbert_by_pair[{a, b}] = g.params;
     gilbert_by_pair[{b, a}] = g.params;
+  }
+  // Duty-cycled links with loss params carry their own Gilbert–Elliott
+  // chain while awake. A link cannot carry two chains per direction; the
+  // scenario parser rejects a `gilbert` + lossy `dutycycle` collision with
+  // a real diagnostic before it can reach this assert.
+  for (const auto& duty : config_.faults.duty_cycles) {
+    if (!duty.lossy) continue;
+    const NodeId a = topo_->find_node(duty.a);
+    const NodeId b = topo_->find_node(duty.b);
+    assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
+    assert(gilbert_by_pair.find({a, b}) == gilbert_by_pair.end());
+    gilbert_by_pair[{a, b}] = duty.loss;
+    gilbert_by_pair[{b, a}] = duty.loss;
   }
 
   SimLink::Options link_options;
@@ -302,21 +330,55 @@ void NetworkSim::build() {
         src_node->receive(std::move(p));
       };
     }
+    // Rate modulation (diurnal curve, flash crowds): the inner source runs
+    // at the profile's peak rate and the wrapper thins emissions back down
+    // to rate * multiplier(t). Episodes apply only to flows aimed at the
+    // hotspot. When no profile is active the build is byte-for-byte the
+    // seed path (same RNG split order, no wrapper).
+    RateProfile profile;
+    profile.period_s = config_.traffic.diurnal_period_s;
+    profile.amplitude = config_.traffic.diurnal_amplitude;
+    profile.phase_s = config_.traffic.diurnal_phase_s;
+    for (const auto& fc : config_.traffic.flash_crowds) {
+      if (topo_->find_node(fc.dst) != shape.dst) continue;
+      profile.episodes.push_back(
+          RateProfile::Episode{fc.start, fc.ramp_s, fc.hold_s, fc.peak});
+    }
+    std::unique_ptr<ModulatedSource> modulated;
+    InjectFn sink = inject;
+    if (profile.active()) {
+      modulated = std::make_unique<ModulatedSource>(
+          src_queue, profile, master_rng_.split(), inject);
+      sink = modulated->gate();
+      shape.rate_bps = spec.rate_bps * profile.peak();
+    }
+    std::unique_ptr<TrafficSource> source;
     switch (config_.traffic.model) {
       case TrafficModel::kOnOff:
-        sources_.push_back(std::make_unique<OnOffSource>(
+        source = std::make_unique<OnOffSource>(
             src_queue, shape, config_.traffic.burstiness, master_rng_.split(),
-            inject));
+            sink);
         break;
       case TrafficModel::kParetoOnOff:
-        sources_.push_back(std::make_unique<ParetoOnOffSource>(
+        source = std::make_unique<ParetoOnOffSource>(
             src_queue, shape, config_.traffic.pareto, master_rng_.split(),
-            inject));
+            sink);
         break;
       case TrafficModel::kPoisson:
-        sources_.push_back(std::make_unique<PoissonSource>(
-            src_queue, shape, master_rng_.split(), inject));
+        source = std::make_unique<PoissonSource>(src_queue, shape,
+                                                 master_rng_.split(), sink);
         break;
+      case TrafficModel::kAdversarial:
+        source = std::make_unique<AdversarialSource>(
+            src_queue, shape, config_.traffic.adversarial,
+            master_rng_.split(), sink);
+        break;
+    }
+    if (modulated != nullptr) {
+      modulated->adopt(std::move(source));
+      sources_.push_back(std::move(modulated));
+    } else {
+      sources_.push_back(std::move(source));
     }
     sources_.back()->run(config_.traffic_start, stop);
   }
@@ -358,6 +420,25 @@ void NetworkSim::build() {
   }
 
   if (!sharded_) schedule_faults();
+
+  if (stability_enabled_) {
+    double total_capacity_bps = 0;
+    for (LinkId id = 0; id < static_cast<LinkId>(topo_->num_links()); ++id) {
+      total_capacity_bps += topo_->link(id).attr.capacity_bps;
+    }
+    stability_ =
+        std::make_unique<StabilityMonitor>(config_.stability,
+                                           total_capacity_bps);
+    if (!sharded_) {
+      // Observation starts one interval after traffic does: the monitor's
+      // baseline must measure loaded steady state, not the silent
+      // convergence phase.
+      events_.schedule_timer(
+          TimerClass::kStability,
+          config_.traffic_start + config_.stability.interval,
+          [this] { stability_tick(); });
+    }
+  }
 
   if (config_.lfi_check_interval > 0 && config_.mode != RoutingMode::kStatic &&
       !sharded_) {
@@ -440,12 +521,23 @@ void NetworkSim::schedule_faults() {
                           [this, a, b] { flap_duplex(a, b, /*down=*/false); });
     }
   }
+  for (const auto& duty : plan.duty_cycles) {
+    const NodeId a = topo_->find_node(duty.a);
+    const NodeId b = topo_->find_node(duty.b);
+    assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
+    for (const auto& edge : fault::duty_cycle_edges(duty, sim_end)) {
+      events_.schedule_at(edge.at, [this, a, b, down = edge.down] {
+        duty_duplex(a, b, down);
+      });
+    }
+  }
 }
 
 void NetworkSim::apply_link_state(LinkId id) {
   const auto& l = topo_->link(id);
   const bool up = !link_holds_[id].admin_down && !link_holds_[id].flap_down &&
-                  nodes_[l.from]->alive() && nodes_[l.to]->alive();
+                  !link_holds_[id].duty_down && nodes_[l.from]->alive() &&
+                  nodes_[l.to]->alive();
   links_[id]->set_up(up);
 }
 
@@ -467,6 +559,17 @@ void NetworkSim::flap_duplex(NodeId a, NodeId b, bool down) {
   // Silent by definition: only hello dead intervals notice the outage.
 }
 
+void NetworkSim::duty_duplex(NodeId a, NodeId b, bool down) {
+  const LinkId ab = topo_->find_link(a, b);
+  const LinkId ba = topo_->find_link(b, a);
+  assert(ab != graph::kInvalidLink && ba != graph::kInvalidLink);
+  link_holds_[ab].duty_down = down;
+  link_holds_[ba].duty_down = down;
+  apply_link_state(ab);
+  apply_link_state(ba);
+  // Silent, like flaps: a sleeping radio sends no teardown message.
+}
+
 void NetworkSim::crash_node(NodeId node) {
   if (!nodes_[node]->alive()) return;
   nodes_[node]->crash();
@@ -479,6 +582,32 @@ void NetworkSim::recover_node(NodeId node) {
   nodes_[node]->recover();
   apply_incident_links(node);  // links return (unless still held down)
   if (monitor_ != nullptr) monitor_->on_recover(node, now_sim());
+}
+
+void NetworkSim::stability_tick() {
+  stability_record(events_.now());
+  events_.schedule_timer_in(TimerClass::kStability, config_.stability.interval,
+                            [this] { stability_tick(); });
+}
+
+void NetworkSim::stability_record(Time now) {
+  // Backlog in LinkId order, delivery sums in flow order: the same float
+  // additions in the same order for every engine and shard count.
+  double queued_bits = 0;
+  for (const auto& link : links_) queued_bits += link->queued_bits();
+  std::uint64_t delivered = 0;
+  double delay_sum = 0;
+  for (std::size_t f = 0; f < stab_flow_delivered_.size(); ++f) {
+    delivered += stab_flow_delivered_[f];
+    delay_sum += stab_flow_delay_sum_[f];
+  }
+  stability_->record(now, queued_bits, delivered, delay_sum);
+  if (sampler_ != nullptr) {
+    const StabilityTick& tick = stability_->last();
+    telemetry_.stability.push_back(
+        obs::StabilitySample{tick.t, tick.queued_bits, tick.slope_bps,
+                             tick.window_delay_s, tick.margin});
+  }
 }
 
 void NetworkSim::timeseries_tick() {
@@ -704,42 +833,62 @@ void NetworkSim::build_pause_plan() {
                               }});
     }
   }
-  // Ranks 2/3: crashes strictly before recoveries at an equal instant.
+  // Rank 2: duty-cycle schedule — the shared expansion from
+  // fault/duty_cycle.h, so both engines agree on every transition instant.
+  for (const auto& duty : plan.duty_cycles) {
+    const NodeId a = topo_->find_node(duty.a);
+    const NodeId b = topo_->find_node(duty.b);
+    assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
+    for (const auto& edge : fault::duty_cycle_edges(duty, sim_end)) {
+      pauses_.push_back(Pause{edge.at, 2, [this, a, b, down = edge.down] {
+                                duty_duplex(a, b, down);
+                              }});
+    }
+  }
+  // Ranks 3/4: crashes strictly before recoveries at an equal instant.
   for (const auto& ev : plan.crashes) {
     const NodeId x = topo_->find_node(ev.node);
     assert(x != graph::kInvalidNode);
-    pauses_.push_back(Pause{ev.at, 2, [this, x] { crash_node(x); }});
+    pauses_.push_back(Pause{ev.at, 3, [this, x] { crash_node(x); }});
   }
   for (const auto& ev : plan.recoveries) {
     const NodeId x = topo_->find_node(ev.node);
     assert(x != graph::kInvalidNode);
-    pauses_.push_back(Pause{ev.at, 3, [this, x] { recover_node(x); }});
+    pauses_.push_back(Pause{ev.at, 4, [this, x] { recover_node(x); }});
   }
-  // Ranks 4-7: the periodic observers. Each series mirrors its legacy
+  // Ranks 5-9: the periodic observers. Each series mirrors its legacy
   // wheel-timer chain: first tick one interval in, last tick at or before
   // the drain horizon.
   if (monitor_ != nullptr) {
     for (Time t = config_.monitor_interval; t <= horizon;
          t += config_.monitor_interval) {
-      pauses_.push_back(Pause{t, 4, [this, t] { monitor_->check(t); }});
+      pauses_.push_back(Pause{t, 5, [this, t] { monitor_->check(t); }});
     }
   }
   if (config_.lfi_check_interval > 0 && config_.mode != RoutingMode::kStatic) {
     for (Time t = config_.lfi_check_interval; t <= horizon;
          t += config_.lfi_check_interval) {
-      pauses_.push_back(Pause{t, 5, [this, t] { lfi_sweep(t); }});
+      pauses_.push_back(Pause{t, 6, [this, t] { lfi_sweep(t); }});
     }
   }
   if (config_.timeseries_interval > 0) {
     for (Time t = config_.timeseries_interval; t <= horizon;
          t += config_.timeseries_interval) {
-      pauses_.push_back(Pause{t, 6, [this, t] { timeseries_point(t); }});
+      pauses_.push_back(Pause{t, 7, [this, t] { timeseries_point(t); }});
     }
   }
   if (sampler_ != nullptr) {
     for (Time t = config_.sample_interval; t <= horizon;
          t += config_.sample_interval) {
-      pauses_.push_back(Pause{t, 7, [this, t] { take_samples(t); }});
+      pauses_.push_back(Pause{t, 8, [this, t] { take_samples(t); }});
+    }
+  }
+  if (stability_ != nullptr) {
+    // Same phase as the legacy chain: the first observation lands one
+    // interval after traffic starts.
+    for (Time t = config_.traffic_start + config_.stability.interval;
+         t <= horizon; t += config_.stability.interval) {
+      pauses_.push_back(Pause{t, 9, [this, t] { stability_record(t); }});
     }
   }
   // Anything past the drain horizon could never execute under the legacy
@@ -950,6 +1099,7 @@ SimResult NetworkSim::run() {
     result.node_control.push_back(std::move(stats));
   }
   if (monitor_ != nullptr) result.monitor = monitor_->report();
+  if (stability_ != nullptr) result.stability = stability_->report();
   for (LinkId id = 0; id < static_cast<LinkId>(links_.size()); ++id) {
     const auto& link = *links_[id];
     result.dropped_queue += link.drops();

@@ -32,14 +32,41 @@ enum class TrafficModel {
   kPoisson,      ///< stationary (the paper's Section 5.1 experiments)
   kOnOff,        ///< exponential bursts (short-term fluctuations)
   kParetoOnOff,  ///< heavy-tailed bursts (self-similar traffic)
+  kAdversarial,  ///< (w, eps)-bounded leaky-bucket adversary
+};
+
+/// One flash-crowd episode: every flow whose destination is `dst` ramps to
+/// `peak` times its average rate, holds, and ramps back down
+/// (RateProfile::Episode, applied through the ModulatedSource wrapper).
+struct FlashCrowd {
+  std::string dst;     ///< hotspot router name
+  Time start = 0;
+  Duration ramp_s = 5;
+  Duration hold_s = 10;
+  double peak = 4;
 };
 
 /// The offered-traffic shape: arrival model plus the knobs of the bursty
-/// models (each model reads only its own sub-struct).
+/// models (each model reads only its own sub-struct), and an optional
+/// network-wide rate modulation (diurnal sinusoid and/or flash crowds)
+/// applied on top of ANY model.
 struct TrafficSpec {
   TrafficModel model = TrafficModel::kPoisson;
-  OnOffSource::Burstiness burstiness{};  ///< kOnOff only
-  ParetoOnOffSource::Shape pareto{};     ///< kParetoOnOff only
+  OnOffSource::Burstiness burstiness{};    ///< kOnOff only
+  ParetoOnOffSource::Shape pareto{};       ///< kParetoOnOff only
+  AdversarialSource::Shape adversarial{};  ///< kAdversarial only
+
+  /// Diurnal load curve: multiplier 1 + amplitude * sin(2pi (t-phase)/T)
+  /// on every flow. period 0 disables.
+  double diurnal_period_s = 0;
+  double diurnal_amplitude = 0;
+  double diurnal_phase_s = 0;
+  /// Hotspot episodes, each applied only to flows targeting its dst.
+  std::vector<FlashCrowd> flash_crowds;
+
+  bool modulated() const {
+    return diurnal_period_s > 0 || !flash_crowds.empty();
+  }
 };
 
 struct SimConfig {
@@ -136,6 +163,12 @@ struct SimConfig {
   /// Watchdog tolerance: control drops allowed per monitor sweep before a
   /// control_drop_alert is raised (MonitorOptions::control_drop_budget).
   std::uint64_t monitor_control_drop_budget = 0;
+
+  /// Stability verdict machinery (sim/monitor.h StabilityMonitor): watches
+  /// network-wide queue growth and delay runaway from traffic_start and
+  /// reports a stability margin in SimResult::stability. interval 0 (the
+  /// default) disables it entirely — no sampling, no extra branches taken.
+  StabilityOptions stability{};
 };
 
 /// Parallel-engine knobs, grouped so callers select an engine in one place
@@ -224,6 +257,9 @@ struct SimResult {
   std::vector<TimePoint> timeseries;  ///< see SimConfig::timeseries_interval
   /// InvariantMonitor findings; present iff monitor_interval > 0.
   std::optional<MonitorReport> monitor;
+  /// Stability verdict + margin; present iff SimConfig::stability.interval
+  /// > 0.
+  std::optional<StabilityReport> stability;
   /// Time series, trace, flight dumps and metrics; present iff any of
   /// sample_interval / trace / flightrec_capacity enabled telemetry.
   std::optional<obs::Telemetry> telemetry;
@@ -252,6 +288,7 @@ class NetworkSim {
   void apply_link_state(graph::LinkId id);
   void apply_incident_links(graph::NodeId node);
   void flap_duplex(graph::NodeId a, graph::NodeId b, bool down);
+  void duty_duplex(graph::NodeId a, graph::NodeId b, bool down);
   void crash_node(graph::NodeId node);
   void recover_node(graph::NodeId node);
   void lfi_check();
@@ -259,6 +296,12 @@ class NetworkSim {
   /// passes events_.now(); the sharded engine passes the pause time).
   void lfi_sweep(Time now);
   void monitor_check();
+  void stability_tick();
+  /// One StabilityMonitor observation at `now` (the legacy timer passes
+  /// events_.now(); the sharded engine passes the pause time). Reads queued
+  /// bits in LinkId order and per-flow delivery sums in flow order, so the
+  /// float reductions are identical for every engine and shard count.
+  void stability_record(Time now);
   void timeseries_tick();
   /// Closes one time-series window at `now` (reads the engine-appropriate
   /// window accumulators, then resets them).
@@ -312,10 +355,19 @@ class NetworkSim {
   struct LinkHold {
     bool admin_down = false;  ///< link_toggles (fail/restore)
     bool flap_down = false;   ///< flap schedule
+    bool duty_down = false;   ///< duty-cycle sleep phase
   };
   std::vector<LinkHold> link_holds_;  // by LinkId
 
   std::unique_ptr<InvariantMonitor> monitor_;
+  /// Stability verdict machinery (null unless config.stability.interval
+  /// > 0). The per-flow cumulative delivery accounts are written by exactly
+  /// one shard (the flow's destination) and reduced in flow order at each
+  /// observation, so verdicts are engine- and shard-count-invariant.
+  std::unique_ptr<StabilityMonitor> stability_;
+  bool stability_enabled_ = false;
+  std::vector<std::uint64_t> stab_flow_delivered_;  // by flow; dst shard
+  std::vector<double> stab_flow_delay_sum_;         // by flow; dst shard
   std::uint64_t injected_ = 0;         ///< data packets entered at sources
   std::uint64_t total_delivered_ = 0;  ///< all deliveries, measured or not
 
@@ -367,8 +419,9 @@ class NetworkSim {
   std::vector<std::vector<std::uint64_t>> sflow_dropped_;  // [shard][flow]
   std::vector<obs::LogHistogram> flow_hist_;  // by flow; merged at the end
   /// One globally-ordered coordinator action: rank breaks ties at equal
-  /// times (toggles < flaps < crashes < recoveries < monitor < lfi <
-  /// timeseries < sampler), insertion order breaks rank ties.
+  /// times (toggles < flaps < dutycycles < crashes < recoveries < monitor <
+  /// lfi < timeseries < sampler < stability), insertion order breaks rank
+  /// ties.
   struct Pause {
     Time at = 0;
     int rank = 0;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "sim/experiment.h"
 #include "topo/builders.h"
@@ -37,15 +38,36 @@ bool parse_double(const std::string& text, double* out) {
   return end != nullptr && *end == '\0' && !text.empty();
 }
 
-// Collects key=value options from tokens[from..]; returns false and names
-// the offender on a stray token or non-numeric value.
+// Collects key=value options from tokens[from..], accepting only keys in
+// `allowed`; returns false with a full diagnostic in *bad on a stray token,
+// a non-numeric value, or an unknown key. Rejecting unknown keys loudly
+// catches typos (`dutycycle ... preiod=4`) that would otherwise silently
+// fall back to defaults.
 bool parse_options(const std::vector<std::string>& tokens, std::size_t from,
+                   const std::vector<const char*>& allowed,
                    std::map<std::string, double>* out, std::string* bad) {
   for (std::size_t i = from; i < tokens.size(); ++i) {
     const auto [key, value] = split_kv(tokens[i]);
     double number = 0;
     if (value.empty() || !parse_double(value, &number)) {
-      *bad = tokens[i];
+      *bad = "bad option " + tokens[i] + " (expected key=value)";
+      return false;
+    }
+    bool known = false;
+    for (const char* name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      *bad = "unknown option key '" + key + "' in `" + tokens[0] +
+             "` (allowed:";
+      for (const char* name : allowed) {
+        *bad += ' ';
+        *bad += name;
+      }
+      *bad += ')';
       return false;
     }
     (*out)[key] = number;
@@ -78,7 +100,13 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     if (state.built_nodes) return fail("topology conflicts with node/link");
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 2, &opts, &bad)) return fail("bad option " + bad);
+    const bool generated = tokens[1] == "random" || tokens[1] == "waxman";
+    const std::vector<const char*> allowed =
+        generated ? std::vector<const char*>{"n", "p", "alpha", "beta",
+                                             "min_prop", "flows", "rate",
+                                             "seed"}
+                  : std::vector<const char*>{"scale"};
+    if (!parse_options(tokens, 2, allowed, &opts, &bad)) return fail(bad);
     const double scale = opts.count("scale") ? opts["scale"] : 1.0;
     if (tokens[1] == "cairn") {
       s.topo = topo::make_cairn();
@@ -126,7 +154,10 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
   if (cmd == "engine") {
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 1, {"shards", "ring", "lookahead"}, &opts,
+                       &bad)) {
+      return fail(bad);
+    }
     if (!opts.count("shards") || opts["shards"] < 1) {
       return fail("engine needs shards=<n> >= 1");
     }
@@ -162,7 +193,9 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     }
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 3, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 3, {"capacity", "prop"}, &opts, &bad)) {
+      return fail(bad);
+    }
     graph::LinkAttr attr;
     if (opts.count("capacity")) attr.capacity_bps = opts["capacity"];
     if (opts.count("prop")) attr.prop_delay_s = opts["prop"];
@@ -180,7 +213,7 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     }
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 3, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 3, {"rate"}, &opts, &bad)) return fail(bad);
     if (!opts.count("rate") || opts["rate"] <= 0) {
       return fail("flow needs rate=<bps> > 0");
     }
@@ -213,7 +246,9 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
   if (cmd == "bursty") {
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 1, {"on", "off"}, &opts, &bad)) {
+      return fail(bad);
+    }
     s.config.traffic.model = TrafficModel::kOnOff;
     if (opts.count("on")) s.config.traffic.burstiness.mean_on_s = opts["on"];
     if (opts.count("off")) s.config.traffic.burstiness.mean_off_s = opts["off"];
@@ -222,7 +257,9 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
   if (cmd == "pareto") {
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 1, {"alpha", "on", "off"}, &opts, &bad)) {
+      return fail(bad);
+    }
     s.config.traffic.model = TrafficModel::kParetoOnOff;
     if (opts.count("alpha")) s.config.traffic.pareto.alpha = opts["alpha"];
     if (opts.count("on")) s.config.traffic.pareto.mean_on_s = opts["on"];
@@ -243,7 +280,9 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
   if (cmd == "hello") {
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 1, {"interval", "dead"}, &opts, &bad)) {
+      return fail(bad);
+    }
     s.config.use_hello = true;
     if (opts.count("interval")) s.config.hello.interval = opts["interval"];
     if (opts.count("dead")) s.config.hello.dead_interval = opts["dead"];
@@ -267,7 +306,9 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
   if (cmd == "pace") {
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 1, {"min", "max"}, &opts, &bad)) {
+      return fail(bad);
+    }
     auto& pacing = s.config.pacing;
     pacing.enabled = true;
     if (opts.count("min")) pacing.min_interval = opts["min"];
@@ -281,7 +322,11 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
   if (cmd == "damping") {
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 1,
+                       {"penalty", "suppress", "reuse", "half_life", "max"},
+                       &opts, &bad)) {
+      return fail(bad);
+    }
     auto& damping = s.config.damping;
     damping.enabled = true;
     if (opts.count("penalty")) damping.penalty = opts["penalty"];
@@ -308,7 +353,9 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     s.config.monitor_interval = t;
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 2, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 2, {"drop_budget"}, &opts, &bad)) {
+      return fail(bad);
+    }
     if (opts.count("drop_budget")) {
       if (opts["drop_budget"] < 0) {
         return fail("monitor drop_budget must be non-negative");
@@ -352,7 +399,10 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     }
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 3, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 3, {"period", "duty", "start", "stop"}, &opts,
+                       &bad)) {
+      return fail(bad);
+    }
     fault::LinkFlap flap;
     flap.a = tokens[1];
     flap.b = tokens[2];
@@ -376,7 +426,10 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     }
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 3, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 3, {"p_good", "p_bad", "loss_bad", "loss_good"},
+                       &opts, &bad)) {
+      return fail(bad);
+    }
     fault::GilbertParams params;
     // p_good: leave the GOOD state (-> BAD); p_bad: leave the BAD state.
     if (opts.count("p_good")) params.p_good_bad = opts["p_good"];
@@ -393,6 +446,153 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     }
     s.config.faults.gilbert.push_back(
         fault::LinkGilbert{tokens[1], tokens[2], params});
+    return true;
+  }
+  if (cmd == "dutycycle") {
+    if (!need(3)) {
+      return fail(
+          "dutycycle needs <a> <b> [period=] [on=] [start=] [stop=] "
+          "[p_good=] [p_bad=] [loss_bad=] [loss_good=]");
+    }
+    if (s.topo.find_node(tokens[1]) == graph::kInvalidNode ||
+        s.topo.find_node(tokens[2]) == graph::kInvalidNode) {
+      return fail("dutycycle references unknown node");
+    }
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 3,
+                       {"period", "on", "start", "stop", "p_good", "p_bad",
+                        "loss_bad", "loss_good"},
+                       &opts, &bad)) {
+      return fail(bad);
+    }
+    fault::LinkDutyCycle duty;
+    duty.a = tokens[1];
+    duty.b = tokens[2];
+    if (opts.count("period")) duty.period = opts["period"];
+    if (opts.count("on")) duty.on_fraction = opts["on"];
+    if (opts.count("start")) duty.start = opts["start"];
+    if (opts.count("stop")) duty.stop = opts["stop"];
+    if (duty.period <= 0) return fail("dutycycle period must be positive");
+    if (duty.on_fraction <= 0 || duty.on_fraction >= 1) {
+      return fail("dutycycle on fraction must be in (0, 1)");
+    }
+    if (duty.start < 0 || duty.stop < duty.start) {
+      return fail("dutycycle window out of range");
+    }
+    duty.lossy = opts.count("p_good") || opts.count("p_bad") ||
+                 opts.count("loss_bad") || opts.count("loss_good");
+    if (duty.lossy) {
+      if (opts.count("p_good")) duty.loss.p_good_bad = opts["p_good"];
+      if (opts.count("p_bad")) duty.loss.p_bad_good = opts["p_bad"];
+      if (opts.count("loss_bad")) duty.loss.loss_bad = opts["loss_bad"];
+      if (opts.count("loss_good")) duty.loss.loss_good = opts["loss_good"];
+      if (duty.loss.p_good_bad < 0 || duty.loss.p_good_bad > 1 ||
+          duty.loss.p_bad_good < 0 || duty.loss.p_bad_good > 1) {
+        return fail("dutycycle transition probabilities must be in [0, 1]");
+      }
+      if (duty.loss.loss_bad < 0 || duty.loss.loss_bad >= 1 ||
+          duty.loss.loss_good < 0 || duty.loss.loss_good >= 1) {
+        return fail("dutycycle loss probabilities must be in [0, 1)");
+      }
+    }
+    s.config.faults.duty_cycles.push_back(std::move(duty));
+    return true;
+  }
+  if (cmd == "adversarial") {
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 1, {"w", "eps", "peak", "sync"}, &opts, &bad)) {
+      return fail(bad);
+    }
+    s.config.traffic.model = TrafficModel::kAdversarial;
+    auto& adv = s.config.traffic.adversarial;
+    if (opts.count("w")) adv.w_s = opts["w"];
+    if (opts.count("eps")) adv.eps = opts["eps"];
+    if (opts.count("peak")) adv.peak = opts["peak"];
+    if (opts.count("sync")) adv.sync = opts["sync"] != 0;
+    if (adv.w_s <= 0 || adv.eps <= 0) {
+      return fail("adversarial w and eps must be positive");
+    }
+    if (adv.peak <= 1) return fail("adversarial peak must exceed 1");
+    return true;
+  }
+  if (cmd == "diurnal") {
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 1, {"period", "amp", "phase"}, &opts, &bad)) {
+      return fail(bad);
+    }
+    auto& traffic = s.config.traffic;
+    if (!opts.count("period") || opts["period"] <= 0) {
+      return fail("diurnal needs period=<s> > 0");
+    }
+    traffic.diurnal_period_s = opts["period"];
+    if (opts.count("amp")) traffic.diurnal_amplitude = opts["amp"];
+    if (opts.count("phase")) traffic.diurnal_phase_s = opts["phase"];
+    if (traffic.diurnal_amplitude < 0 || traffic.diurnal_amplitude >= 1) {
+      return fail("diurnal amp must be in [0, 1)");
+    }
+    return true;
+  }
+  if (cmd == "flashcrowd") {
+    if (!need(2)) {
+      return fail("flashcrowd needs <dst> [start=] [ramp=] [hold=] [peak=]");
+    }
+    if (s.topo.find_node(tokens[1]) == graph::kInvalidNode) {
+      return fail("flashcrowd references unknown node " + tokens[1]);
+    }
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 2, {"start", "ramp", "hold", "peak"}, &opts,
+                       &bad)) {
+      return fail(bad);
+    }
+    FlashCrowd crowd;
+    crowd.dst = tokens[1];
+    if (opts.count("start")) crowd.start = opts["start"];
+    if (opts.count("ramp")) crowd.ramp_s = opts["ramp"];
+    if (opts.count("hold")) crowd.hold_s = opts["hold"];
+    if (opts.count("peak")) crowd.peak = opts["peak"];
+    if (crowd.start < 0 || crowd.ramp_s < 0 || crowd.hold_s < 0) {
+      return fail("flashcrowd times must be non-negative");
+    }
+    if (crowd.peak <= 1) return fail("flashcrowd peak must exceed 1");
+    s.config.traffic.flash_crowds.push_back(std::move(crowd));
+    return true;
+  }
+  if (cmd == "stability") {
+    double interval = 0;
+    if (!need(2) || !parse_double(tokens[1], &interval) || interval <= 0) {
+      return fail("stability needs a positive sample period");
+    }
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 2,
+                       {"window", "slope", "delay_factor", "persist"}, &opts,
+                       &bad)) {
+      return fail(bad);
+    }
+    auto& stab = s.config.stability;
+    stab.interval = interval;
+    if (opts.count("window")) stab.window = opts["window"];
+    if (opts.count("slope")) stab.slope_capacity_fraction = opts["slope"];
+    if (opts.count("delay_factor")) stab.delay_factor = opts["delay_factor"];
+    if (opts.count("persist")) {
+      stab.persistence = static_cast<int>(opts["persist"]);
+    }
+    if (stab.window < 2 * stab.interval) {
+      return fail("stability window must cover at least two sample periods");
+    }
+    if (stab.slope_capacity_fraction <= 0) {
+      return fail("stability slope fraction must be positive");
+    }
+    if (stab.delay_factor <= 1) {
+      return fail("stability delay_factor must exceed 1");
+    }
+    if (stab.persistence < 1) {
+      return fail("stability persist must be at least 1");
+    }
     return true;
   }
   if (cmd == "corrupt" || cmd == "duplicate" || cmd == "reorder") {
@@ -414,7 +614,9 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
   if (cmd == "flightrec") {
     std::map<std::string, double> opts;
     std::string bad;
-    if (!parse_options(tokens, 1, &opts, &bad)) return fail("bad option " + bad);
+    if (!parse_options(tokens, 1, {"capacity"}, &opts, &bad)) {
+      return fail(bad);
+    }
     double capacity = 256;
     if (opts.count("capacity")) capacity = opts["capacity"];
     if (capacity < 1) return fail("flightrec capacity must be at least 1");
@@ -458,7 +660,14 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
 
 }  // namespace
 
-std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
+std::optional<Scenario> parse_scenario(std::istream& in, std::string* error,
+                                       const std::string& source_name) {
+  // Every diagnostic goes through here so the source name (file path for
+  // load_scenario) lands in front of it exactly once.
+  const auto report = [&](const std::string& why) {
+    if (error == nullptr) return;
+    *error = source_name.empty() ? why : source_name + ": " + why;
+  };
   ParseState state;
   std::string line;
   int line_number = 0;
@@ -468,45 +677,58 @@ std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
     if (tokens.empty()) continue;
     std::string why;
     if (!apply_directive(state, tokens, &why)) {
-      if (error != nullptr) {
-        *error = "line " + std::to_string(line_number) + ": " + why;
-      }
+      report("line " + std::to_string(line_number) + ": " + why);
       return std::nullopt;
     }
   }
   if (state.scenario.spec.topo.num_nodes() == 0) {
-    if (error != nullptr) *error = "scenario defines no topology";
+    report("scenario defines no topology");
     return std::nullopt;
   }
   if (state.scenario.spec.flows.empty()) {
-    if (error != nullptr) *error = "scenario defines no flows";
+    report("scenario defines no flows");
     return std::nullopt;
   }
   const auto& config = state.scenario.spec.config;
   if (config.faults.needs_hello() && !config.use_hello) {
-    if (error != nullptr) {
-      *error =
-          "crash/flap faults are silent and need the hello protocol to be "
-          "detected: add a `hello` directive";
-    }
+    report(
+        "crash/flap/dutycycle faults are silent and need the hello protocol "
+        "to be detected: add a `hello` directive");
     return std::nullopt;
   }
   if (config.damping.enabled && !config.use_hello) {
-    if (error != nullptr) {
-      *error =
-          "damping filters hello adjacency events and needs the hello "
-          "protocol: add a `hello` directive";
-    }
+    report(
+        "damping filters hello adjacency events and needs the hello "
+        "protocol: add a `hello` directive");
     return std::nullopt;
   }
   if (state.scenario.spec.engine.shards >= 1 &&
       (config.trace || config.flightrec_capacity > 0)) {
-    if (error != nullptr) {
-      *error =
-          "trace/flightrec need the single-threaded engine (the flight "
-          "recorder is not shard-safe): drop them or the `engine` directive";
-    }
+    report(
+        "trace/flightrec need the single-threaded engine (the flight "
+        "recorder is not shard-safe): drop them or the `engine` directive");
     return std::nullopt;
+  }
+  // A link carries at most one Gilbert-Elliott chain per direction, so a
+  // lossy dutycycle may not meet a `gilbert` (or another lossy dutycycle)
+  // on the same pair.
+  std::vector<std::pair<std::string, std::string>> chain_pairs;
+  const auto claim_pair = [&](const std::string& a, const std::string& b) {
+    auto pair = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    for (const auto& seen : chain_pairs) {
+      if (seen == pair) return false;
+    }
+    chain_pairs.push_back(std::move(pair));
+    return true;
+  };
+  for (const auto& g : config.faults.gilbert) claim_pair(g.a, g.b);
+  for (const auto& duty : config.faults.duty_cycles) {
+    if (duty.lossy && !claim_pair(duty.a, duty.b)) {
+      report("link " + duty.a + " " + duty.b +
+             " has both a lossy dutycycle and a gilbert loss chain: a link "
+             "carries one loss model");
+      return std::nullopt;
+    }
   }
   return std::move(state.scenario);
 }
@@ -518,7 +740,7 @@ std::optional<Scenario> load_scenario(const std::string& path,
     if (error != nullptr) *error = "cannot open " + path;
     return std::nullopt;
   }
-  return parse_scenario(in, error);
+  return parse_scenario(in, error, path);
 }
 
 SimResult run_scenario(const Scenario& scenario) {

@@ -38,7 +38,18 @@
 //   recover <t> <node>                     # reboot + full re-handshake
 //   flap <a> <b> [period=<s>] [duty=<x>] [start=<t>] [stop=<t>]
 //   gilbert <a> <b> [p_good=<p>] [p_bad=<p>] [loss_bad=<p>] [loss_good=<p>]
+//   dutycycle <a> <b> [period=<s>] [on=<x>] [start=<t>] [stop=<t>]
+//             [p_good=<p>] [p_bad=<p>] [loss_bad=<p>] [loss_good=<p>]
+//                                          # radio duty cycle; loss keys add
+//                                          # a Gilbert-Elliott awake channel
 //   corrupt <p>     duplicate <p>     reorder <p>   # control-plane chaos
+//   adversarial [w=<s>] [eps=<x>] [peak=<x>] [sync=<0|1>]
+//                                          # (w, eps)-bounded burst injector
+//   diurnal period=<s> [amp=<x>] [phase=<s>]  # sinusoidal rate modulation
+//   flashcrowd <dst> [start=<t>] [ramp=<s>] [hold=<s>] [peak=<x>]
+//                                          # hotspot episode on flows to dst
+//   stability <s> [window=<s>] [slope=<x>] [delay_factor=<x>] [persist=<n>]
+//                                          # blow-up verdict monitor
 //   monitor <s> [drop_budget=<n>]          # invariant sweeps + watchdog
 //   sample <s>                             # telemetry time-series period
 //   trace                                  # retain the full protocol trace
@@ -49,12 +60,14 @@
 // is byte-identical for any N >= 1); it is incompatible with trace/flightrec
 // (enforced at parse time).
 //
-// crash/flap faults are silent by construction: a scenario using them must
-// also enable `hello` (enforced at parse time); `damping` filters hello
-// adjacency events and requires `hello` too. See docs/FAULTS.md.
+// crash/flap/dutycycle faults are silent by construction: a scenario using
+// them must also enable `hello` (enforced at parse time); `damping` filters
+// hello adjacency events and requires `hello` too. A lossy dutycycle and a
+// `gilbert` directive on the same link conflict (one chain per direction)
+// and are rejected. See docs/FAULTS.md and docs/WORKLOADS.md.
 //
-// Unknown directives and malformed values are errors (fail fast, with the
-// offending line number).
+// Unknown directives, unknown option keys and malformed values are errors
+// (fail fast, with the source name and offending line number).
 #pragma once
 
 #include <iosfwd>
@@ -75,8 +88,11 @@ struct Scenario {
 };
 
 /// Parses a scenario; on failure returns nullopt and describes the problem
-/// (with a line number) in *error.
-std::optional<Scenario> parse_scenario(std::istream& in, std::string* error);
+/// (with a line number) in *error. A non-empty `source_name` (typically the
+/// file path) prefixes every diagnostic so multi-file drivers can attribute
+/// errors.
+std::optional<Scenario> parse_scenario(std::istream& in, std::string* error,
+                                       const std::string& source_name = "");
 
 /// Loads a scenario file from disk.
 std::optional<Scenario> load_scenario(const std::string& path,

@@ -30,6 +30,12 @@ Packet make_packet(const FlowShape& shape, Rng& rng, Time now) {
 }
 }  // namespace
 
+double pareto_sample(Rng& rng, double scale, double alpha) {
+  // Inverse-CDF sampling: x = x_m * U^(-1/alpha).
+  const double u = std::max(rng.uniform(), 1e-12);
+  return scale * std::pow(u, -1.0 / alpha);
+}
+
 // ----------------------------------------------------------------- Poisson
 
 PoissonSource::PoissonSource(EventQueue& events, FlowShape shape, Rng rng,
@@ -89,9 +95,7 @@ ParetoOnOffSource::ParetoOnOffSource(EventQueue& events, FlowShape shape,
 }
 
 double ParetoOnOffSource::pareto(double scale) {
-  // Inverse-CDF sampling: x = x_m * U^(-1/alpha).
-  const double u = std::max(rng_.uniform(), 1e-12);
-  return scale * std::pow(u, -1.0 / burst_.alpha);
+  return pareto_sample(rng_, scale, burst_.alpha);
 }
 
 void ParetoOnOffSource::run(Time start, Time stop) {
@@ -180,6 +184,140 @@ void OnOffSource::schedule_next_packet(Time period_end) {
   const Time next = events_->now() + rng_.exponential(peak_interarrival_s_);
   if (next >= period_end || next >= stop_) return;
   events_->schedule_source_event(next, this, kEmit, period_end);
+}
+
+// ------------------------------------------------------------- Adversarial
+
+AdversarialSource::AdversarialSource(EventQueue& events, FlowShape shape,
+                                     Shape adv, Rng rng, InjectFn inject)
+    : events_(&events),
+      shape_(shape),
+      adv_(adv),
+      rng_(rng),
+      inject_(std::move(inject)) {
+  assert(shape.rate_bps > 0);
+  assert(adv.w_s > 0 && adv.eps > 0);
+  assert(adv.peak > 1.0);  // a burst must outrun its own refill
+  sigma_bits_ = adv.eps * adv.w_s * shape.rate_bps;
+  peak_bps_ = adv.peak * shape.rate_bps;
+}
+
+void AdversarialSource::run(Time start, Time stop) {
+  assert(stop > start);
+  start_ = start;
+  stop_ = stop;
+  last_refill_ = start;
+  // sync: every flow starts with a full bucket and dumps immediately — the
+  // coordinated adversary. Otherwise the initial fill is random, which
+  // staggers the sawtooth phases across flows.
+  tokens_ = adv_.sync ? sigma_bits_ : sigma_bits_ * rng_.uniform();
+  events_->schedule_source_event(start, this, kEmit, 0);
+}
+
+void AdversarialSource::handle_source_event(std::uint8_t /*op*/,
+                                            double /*arg*/) {
+  const Time now = events_->now();
+  tokens_ = std::min(sigma_bits_,
+                     tokens_ + shape_.rate_bps * (now - last_refill_));
+  last_refill_ = now;
+  // Draw first, then decide: the drawn packet is held (not redrawn) until
+  // the bucket can afford it, so the RNG stream and the emitted sequence
+  // are independent of where affordability waits land.
+  if (!has_pending_) {
+    pending_ = make_packet(shape_, rng_, now);
+    has_pending_ = true;
+  }
+  if (pending_.size_bits > tokens_) {
+    // Sleep until the bucket is full again (or, for a rare oversized
+    // packet, until it is affordable), then resume the dump.
+    const double wait =
+        (std::max(sigma_bits_, pending_.size_bits) - tokens_) /
+        shape_.rate_bps;
+    const Time next = now + wait;
+    if (next < stop_) events_->schedule_source_event(next, this, kEmit, 0);
+    return;
+  }
+  tokens_ -= pending_.size_bits;
+  pending_.created = now;
+  ++emitted_;
+  emitted_bits_ += pending_.size_bits;
+  has_pending_ = false;
+  inject_(pending_);
+  // Back-to-back at the peak wire rate while tokens last.
+  const Time next = now + pending_.size_bits / peak_bps_;
+  if (next < stop_) events_->schedule_source_event(next, this, kEmit, 0);
+}
+
+// --------------------------------------------------------------- Modulated
+
+double RateProfile::multiplier(Time t) const {
+  double m = 1.0;
+  if (period_s > 0) {
+    constexpr double kTwoPi = 6.283185307179586;
+    m *= 1.0 + amplitude * std::sin(kTwoPi * (t - phase_s) / period_s);
+  }
+  for (const Episode& ep : episodes) {
+    const Time up_end = ep.start + ep.ramp_s;
+    const Time hold_end = up_end + ep.hold_s;
+    const Time down_end = hold_end + ep.ramp_s;
+    double f = 1.0;
+    if (t <= ep.start || t >= down_end) {
+      f = 1.0;
+    } else if (t < up_end) {
+      f = 1.0 + (ep.peak - 1.0) * (t - ep.start) / ep.ramp_s;
+    } else if (t <= hold_end) {
+      f = ep.peak;
+    } else {
+      f = 1.0 + (ep.peak - 1.0) * (down_end - t) / ep.ramp_s;
+    }
+    m *= f;
+  }
+  return std::max(m, 0.0);
+}
+
+double RateProfile::peak() const {
+  double p = period_s > 0 ? 1.0 + amplitude : 1.0;
+  for (const Episode& ep : episodes) p *= std::max(1.0, ep.peak);
+  return p;
+}
+
+ModulatedSource::ModulatedSource(EventQueue& events, RateProfile profile,
+                                 Rng rng, InjectFn inject)
+    : events_(&events),
+      profile_(std::move(profile)),
+      rng_(rng),
+      inject_(std::move(inject)) {
+  peak_ = profile_.peak();
+  assert(peak_ >= 1.0);
+}
+
+InjectFn ModulatedSource::gate() {
+  return [this](Packet p) { offer(std::move(p)); };
+}
+
+void ModulatedSource::adopt(std::unique_ptr<TrafficSource> inner) {
+  inner_ = std::move(inner);
+}
+
+void ModulatedSource::run(Time start, Time stop) {
+  assert(inner_);
+  inner_->run(start, stop);
+}
+
+void ModulatedSource::handle_source_event(std::uint8_t /*op*/,
+                                          double /*arg*/) {
+  // Only the inner source schedules typed events, addressed to itself.
+  assert(false && "ModulatedSource never schedules source events");
+}
+
+void ModulatedSource::offer(Packet p) {
+  ++offered_;
+  // Thinning: accept with probability multiplier(now)/peak. The draw is
+  // unconditional so the wrapper's RNG stream is emission-indexed.
+  const double u = rng_.uniform();
+  if (u * peak_ >= profile_.multiplier(events_->now())) return;
+  ++accepted_;
+  inject_(std::move(p));
 }
 
 }  // namespace mdr::sim

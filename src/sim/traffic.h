@@ -1,9 +1,13 @@
 // Traffic generation: Poisson sources (the stationary workloads of the
-// paper's Section 5.1) and exponential on/off sources (the bursty, dynamic
-// workloads its framework is built to absorb).
+// paper's Section 5.1), exponential and Pareto on/off sources (the bursty,
+// dynamic workloads its framework is built to absorb), and the hostile
+// workloads of docs/WORKLOADS.md — a (w, eps)-bounded adversarial injector
+// plus a rate modulator for diurnal curves and flash crowds.
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/packet.h"
@@ -21,6 +25,11 @@ struct FlowShape {
   double rate_bps = 0;          ///< long-run average offered load
   double mean_packet_bits = 8e3;
 };
+
+/// Inverse-CDF Pareto sample: x = x_m * U^(-1/alpha) with x_m = `scale`.
+/// Exposed as a free function so tests can pin the tail exponent of the
+/// exact sampler the on/off sources use.
+double pareto_sample(Rng& rng, double scale, double alpha);
 
 /// Common interface of the arrival processes. NetworkSim owns every source
 /// through it, and EventQueue dispatches the sources' typed pooled events
@@ -130,6 +139,112 @@ class OnOffSource final : public TrafficSource {
   Time stop_ = 0;
   double peak_interarrival_s_ = 0;
   std::uint64_t emitted_ = 0;
+};
+
+/// (w, eps)-bounded adversarial injector (Andrews et al., "Source Routing
+/// and Scheduling in Packet Networks"). The flow obeys a hard token budget:
+/// bits emitted over any interval starting at traffic start never exceed
+/// rho * t + sigma with rho = shape.rate_bps and sigma = eps * w * rho —
+/// the leaky-bucket form of the adversary's per-(src,dst) allowance.
+/// Within the budget it is maximally hostile to queueing: it dumps the
+/// whole bucket back-to-back at `peak` times the average rate, then goes
+/// silent until the bucket refills, producing a sawtooth whose burst
+/// (eps*w / (peak-1) s) and quiet (eps*w s) phases are rate-independent,
+/// so with `sync` every adversarial flow in the network stays phase-locked
+/// and the bursts land on the routing plane simultaneously.
+class AdversarialSource final : public TrafficSource {
+ public:
+  struct Shape {
+    double w_s = 4.0;   ///< the adversary's window w (seconds)
+    double eps = 0.5;   ///< burstiness: sigma = eps * w * rho bits
+    double peak = 4.0;  ///< in-burst emission rate as a multiple of rho (> 1)
+    bool sync = true;   ///< full bucket at start for every flow (coordinated)
+  };
+
+  AdversarialSource(EventQueue& events, FlowShape shape, Shape adv, Rng rng,
+                    InjectFn inject);
+
+  void run(Time start, Time stop) override;
+  std::uint64_t emitted() const override { return emitted_; }
+  void handle_source_event(std::uint8_t op, double arg) override;
+
+  /// Cumulative payload bits handed to inject (budget-conformance tests).
+  double emitted_bits() const { return emitted_bits_; }
+  double sigma_bits() const { return sigma_bits_; }
+
+ private:
+  EventQueue* events_;
+  FlowShape shape_;
+  Shape adv_;
+  Rng rng_;
+  InjectFn inject_;
+  Time stop_ = 0;
+  Time start_ = 0;
+  double sigma_bits_ = 0;   ///< bucket capacity
+  double peak_bps_ = 0;     ///< in-burst wire rate
+  double tokens_ = 0;
+  Time last_refill_ = 0;
+  Packet pending_{};        ///< drawn but not yet affordable
+  bool has_pending_ = false;
+  std::uint64_t emitted_ = 0;
+  double emitted_bits_ = 0;
+};
+
+/// Time-varying load profile: a diurnal sinusoid multiplied by any number
+/// of flash-crowd episodes (ramp up to `peak`, hold, ramp back down). The
+/// profile is a pure multiplier on a flow's average rate; episodes are
+/// pre-filtered per flow (NetworkSim applies a flash crowd only to flows
+/// targeting the hotspot destination).
+struct RateProfile {
+  double period_s = 0;    ///< diurnal period; 0 disables the sinusoid
+  double amplitude = 0;   ///< diurnal swing, in [0, 1)
+  double phase_s = 0;     ///< sinusoid zero-crossing offset
+
+  struct Episode {
+    Time start = 0;
+    Duration ramp_s = 5;   ///< linear 1 -> peak, and peak -> 1 on the way out
+    Duration hold_s = 10;  ///< time spent at peak
+    double peak = 4;       ///< rate multiplier at the crest
+  };
+  std::vector<Episode> episodes;
+
+  bool active() const { return period_s > 0 || !episodes.empty(); }
+  double multiplier(Time t) const;  ///< >= 0; product of all components
+  double peak() const;              ///< sup of multiplier over all t
+};
+
+/// Wraps any TrafficSource with a RateProfile by thinning: the inner source
+/// is built at the profile's peak rate and each emission is accepted with
+/// probability multiplier(now)/peak from the wrapper's own RNG stream, so
+/// the accepted process follows the profile exactly (for Poisson inner
+/// sources this is the textbook construction of a non-homogeneous process).
+/// Build order: construct the wrapper, build the inner source with gate()
+/// as its inject callback, then adopt() it.
+class ModulatedSource final : public TrafficSource {
+ public:
+  ModulatedSource(EventQueue& events, RateProfile profile, Rng rng,
+                  InjectFn inject);
+
+  /// The thinning inject callback to hand to the inner source.
+  InjectFn gate();
+  void adopt(std::unique_ptr<TrafficSource> inner);
+
+  void run(Time start, Time stop) override;
+  std::uint64_t emitted() const override { return accepted_; }
+  std::uint64_t offered() const { return offered_; }
+  void handle_source_event(std::uint8_t op, double arg) override;
+
+ private:
+  void offer(Packet p);
+
+  EventQueue* events_;
+  RateProfile profile_;
+  Rng rng_;
+  InjectFn inject_;
+  std::unique_ptr<TrafficSource> inner_;
+  double peak_ = 1;
+  std::uint64_t offered_ = 0;
+  std::uint64_t accepted_ = 0;
 };
 
 }  // namespace mdr::sim

@@ -158,6 +158,93 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"loss_range", "topology net1\nloss 1.5\n", "rate"}),
     [](const auto& info) { return info.param.name; });
 
+TEST(ScenarioParser, WorkloadDirectives) {
+  std::string error;
+  const auto s = parse(R"(
+    topology cairn
+    hello interval=1 dead=3.5
+    adversarial w=3 eps=0.4 peak=5 sync=0
+    diurnal period=30 amp=0.2 phase=3
+    flashcrowd mit start=10 ramp=2 hold=4 peak=2.5
+    dutycycle bbn bell period=5 on=0.7 start=2 stop=20 p_bad=0.4 loss_bad=0.3
+    stability 0.5 window=6 slope=0.01 delay_factor=3 persist=5
+  )",
+                       &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  const auto& traffic = s->spec.config.traffic;
+  EXPECT_EQ(traffic.model, TrafficModel::kAdversarial);
+  EXPECT_DOUBLE_EQ(traffic.adversarial.w_s, 3);
+  EXPECT_DOUBLE_EQ(traffic.adversarial.eps, 0.4);
+  EXPECT_DOUBLE_EQ(traffic.adversarial.peak, 5);
+  EXPECT_FALSE(traffic.adversarial.sync);
+  EXPECT_DOUBLE_EQ(traffic.diurnal_period_s, 30);
+  EXPECT_DOUBLE_EQ(traffic.diurnal_amplitude, 0.2);
+  EXPECT_DOUBLE_EQ(traffic.diurnal_phase_s, 3);
+  ASSERT_EQ(traffic.flash_crowds.size(), 1u);
+  EXPECT_EQ(traffic.flash_crowds[0].dst, "mit");
+  EXPECT_DOUBLE_EQ(traffic.flash_crowds[0].start, 10);
+  EXPECT_DOUBLE_EQ(traffic.flash_crowds[0].ramp_s, 2);
+  EXPECT_DOUBLE_EQ(traffic.flash_crowds[0].hold_s, 4);
+  EXPECT_DOUBLE_EQ(traffic.flash_crowds[0].peak, 2.5);
+  ASSERT_EQ(s->spec.config.faults.duty_cycles.size(), 1u);
+  const auto& duty = s->spec.config.faults.duty_cycles[0];
+  EXPECT_EQ(duty.a, "bbn");
+  EXPECT_EQ(duty.b, "bell");
+  EXPECT_DOUBLE_EQ(duty.period, 5);
+  EXPECT_DOUBLE_EQ(duty.on_fraction, 0.7);
+  EXPECT_DOUBLE_EQ(duty.start, 2);
+  EXPECT_DOUBLE_EQ(duty.stop, 20);
+  EXPECT_TRUE(duty.lossy);
+  EXPECT_DOUBLE_EQ(duty.loss.p_bad_good, 0.4);
+  EXPECT_DOUBLE_EQ(duty.loss.loss_bad, 0.3);
+  const auto& stab = s->spec.config.stability;
+  EXPECT_DOUBLE_EQ(stab.interval, 0.5);
+  EXPECT_DOUBLE_EQ(stab.window, 6);
+  EXPECT_DOUBLE_EQ(stab.slope_capacity_fraction, 0.01);
+  EXPECT_DOUBLE_EQ(stab.delay_factor, 3);
+  EXPECT_EQ(stab.persistence, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadCases, ScenarioErrors,
+    ::testing::Values(
+        BadCase{"unknown_option_key",
+                "topology net1\nadversarial w=4 wep=1\n",
+                "unknown option key"},
+        BadCase{"dutycycle_typo_key",
+                "topology cairn\ndutycycle bbn bell preiod=4\n",
+                "unknown option key"},
+        BadCase{"adversarial_peak", "topology net1\nadversarial peak=0.5\n",
+                "peak"},
+        BadCase{"diurnal_needs_period", "topology net1\ndiurnal amp=0.5\n",
+                "period"},
+        BadCase{"flashcrowd_unknown_dst", "topology net1\nflashcrowd zz\n",
+                "unknown node"},
+        BadCase{"stability_window", "topology net1\nstability 2 window=3\n",
+                "window"},
+        BadCase{"dutycycle_on_fraction",
+                "topology cairn\ndutycycle bbn bell on=1.5\n", "on fraction"},
+        BadCase{"dutycycle_gilbert_conflict",
+                "topology cairn\n"
+                "hello interval=1 dead=3.5\n"
+                "gilbert bbn bell p_good=0.1 loss_bad=0.2\n"
+                "dutycycle bell bbn period=4 on=0.5 loss_bad=0.1\n",
+                "one loss model"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ScenarioParser, SourceNamePrefixesDiagnostics) {
+  std::istringstream in("topology net1\nmode ospf\n");
+  std::string error;
+  EXPECT_FALSE(parse_scenario(in, &error, "myfile.scn").has_value());
+  EXPECT_NE(error.find("myfile.scn: line 2"), std::string::npos) << error;
+}
+
+TEST(ScenarioParser, ValidScenarioIgnoresSourceName) {
+  std::istringstream in("topology net1\n");
+  std::string error;
+  EXPECT_TRUE(parse_scenario(in, &error, "myfile.scn").has_value()) << error;
+}
+
 TEST(ScenarioParser, ErrorsCarryLineNumbers) {
   std::string error;
   const auto s = parse("topology net1\n\nmode ospf\n", &error);
@@ -197,7 +284,10 @@ TEST(ScenarioRunner, LoadScenarioReportsMissingFile) {
 TEST(ScenarioRunner, ShippedScenariosParse) {
   for (const char* path : {"examples/scenarios/cairn_mp.scn",
                            "examples/scenarios/failure.scn",
-                           "examples/scenarios/selfsimilar.scn"}) {
+                           "examples/scenarios/selfsimilar.scn",
+                           "examples/scenarios/adversarial.scn",
+                           "examples/scenarios/flashcrowd.scn",
+                           "examples/scenarios/dutycycle.scn"}) {
     std::string error;
     // Tests run from the build tree; look relative to the source root too.
     auto s = load_scenario(path, &error);

@@ -1,0 +1,441 @@
+// Tests for the workload-stress subsystem (docs/WORKLOADS.md): the
+// stochastic models feeding it (Gilbert–Elliott loss, Pareto tails, the
+// (w, eps)-bounded adversarial injector), the StabilityMonitor's verdict
+// logic on synthetic feeds, the load-sweep driver's bracketing, and the
+// determinism contracts (same-seed bit-identity, shard-count byte-identity)
+// that make measured stability margins comparable across machines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/gilbert.h"
+#include "runner/experiment_runner.h"
+#include "runner/load_sweep.h"
+#include "sim/event_queue.h"
+#include "sim/experiment.h"
+#include "sim/monitor.h"
+#include "sim/scenario.h"
+#include "sim/traffic.h"
+#include "topo/builders.h"
+#include "topo/flows.h"
+#include "util/rng.h"
+
+namespace mdr {
+namespace {
+
+// ------------------------------------------------------------ loss models
+
+// The empirical loss rate of a long seeded chain must match the analytic
+// stationary rate: the sweep's duty-cycled lossy links lean on this model,
+// so a drift here silently rescales every measured margin.
+TEST(GilbertElliott, EmpiricalLossMatchesStationary) {
+  const fault::GilbertParams cases[] = {
+      {0.05, 0.3, 0.25, 0.0},   // the shipped dutycycle.scn chain
+      {0.02, 0.5, 0.4, 0.05},   // nonzero GOOD-state loss
+  };
+  for (const auto& params : cases) {
+    fault::GilbertChannel channel(params);
+    Rng rng(1234);
+    const int n = 200000;
+    int lost = 0;
+    for (int i = 0; i < n; ++i) {
+      if (channel.lose(rng)) ++lost;
+    }
+    const double empirical = static_cast<double>(lost) / n;
+    EXPECT_NEAR(empirical, params.stationary_loss(), 0.01)
+        << "p_gb=" << params.p_good_bad;
+  }
+}
+
+TEST(GilbertElliott, LossesClusterIntoBursts) {
+  // Mean burst length (consecutive BAD packets) is 1 / p_bad_good; with
+  // i.i.d. loss at the same rate, runs of losses would be far shorter.
+  const fault::GilbertParams params{0.05, 0.2, 1.0, 0.0};
+  fault::GilbertChannel channel(params);
+  Rng rng(7);
+  int bursts = 0, lost = 0;
+  bool in_burst = false;
+  for (int i = 0; i < 200000; ++i) {
+    if (channel.lose(rng)) {
+      ++lost;
+      if (!in_burst) ++bursts;
+      in_burst = true;
+    } else {
+      in_burst = false;
+    }
+  }
+  ASSERT_GT(bursts, 0);
+  const double mean_burst = static_cast<double>(lost) / bursts;
+  EXPECT_NEAR(mean_burst, 1.0 / params.p_bad_good, 0.5);
+}
+
+// ------------------------------------------------------------- Pareto tail
+
+// pareto_sample is the exact inverse-CDF transform, so the MLE of alpha
+// over a large seeded sample must recover the requested tail exponent, and
+// the Hill estimator over the upper order statistics must agree — this is
+// the sampler behind the self-similar ON/OFF workloads.
+TEST(ParetoTail, ExponentRecoveredByMleAndHill) {
+  Rng rng(4242);
+  const double scale = 2.0, alpha = 1.5;
+  const int n = 60000;
+  std::vector<double> xs;
+  xs.reserve(n);
+  double log_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = sim::pareto_sample(rng, scale, alpha);
+    ASSERT_GE(x, scale);  // support is [scale, inf)
+    xs.push_back(x);
+    log_sum += std::log(x / scale);
+  }
+  const double mle = n / log_sum;
+  EXPECT_NEAR(mle, alpha, 0.05);
+
+  // Hill over the top k order statistics (tail-only view).
+  std::sort(xs.begin(), xs.end(), std::greater<double>());
+  const int k = 2000;
+  double hill_sum = 0;
+  for (int i = 0; i < k; ++i) hill_sum += std::log(xs[i] / xs[k]);
+  const double hill = k / hill_sum;
+  EXPECT_NEAR(hill, alpha, 0.15);
+}
+
+// ------------------------------------------------- adversarial injector
+
+// The (w, eps)-bounded contract: cumulative bits handed to inject never
+// exceed rho * (t - start) + sigma at any emission instant, the sawtooth
+// actually fills the whole budget (long-run average ~= rho), and the
+// accessors agree with the observed stream.
+TEST(AdversarialSource, RespectsBudgetEnvelope) {
+  sim::EventQueue events;
+  sim::FlowShape shape;
+  shape.src = 0;
+  shape.dst = 1;
+  shape.flow_id = 0;
+  shape.rate_bps = 1e6;
+  sim::AdversarialSource::Shape adv;  // w=4, eps=0.5, peak=4, sync
+  const double rho = shape.rate_bps;
+  const double sigma = adv.eps * adv.w_s * rho;
+  const Time start = 1.0, stop = 41.0;
+
+  double cum_bits = 0;
+  double worst_excess = -1e300;  // max over emissions of cum - envelope
+  std::uint64_t count = 0;
+  sim::AdversarialSource source(
+      events, shape, adv, Rng(99), [&](sim::Packet p) {
+        cum_bits += p.size_bits;
+        ++count;
+        const double envelope = rho * (events.now() - start) + sigma;
+        worst_excess = std::max(worst_excess, cum_bits - envelope);
+      });
+  source.run(start, stop);
+  events.run_until(stop + 5);
+
+  ASSERT_GT(count, 100u);
+  EXPECT_LE(worst_excess, 1e-6) << "budget envelope violated";
+  EXPECT_DOUBLE_EQ(source.sigma_bits(), sigma);
+  EXPECT_DOUBLE_EQ(source.emitted_bits(), cum_bits);
+  // The sawtooth drains the whole allowance: average within one bucket.
+  EXPECT_NEAR(cum_bits, rho * (stop - start), sigma);
+}
+
+TEST(AdversarialSource, SameSeedEmitsIdenticalStream) {
+  auto stream = [](std::uint64_t seed) {
+    sim::EventQueue events;
+    sim::FlowShape shape;
+    shape.src = 0;
+    shape.dst = 1;
+    shape.flow_id = 0;
+    shape.rate_bps = 2e6;
+    std::vector<std::pair<Time, double>> out;
+    sim::AdversarialSource source(
+        events, shape, sim::AdversarialSource::Shape{}, Rng(seed),
+        [&](sim::Packet p) { out.emplace_back(events.now(), p.size_bits); });
+    source.run(0.5, 20.5);
+    events.run_until(25);
+    return out;
+  };
+  EXPECT_EQ(stream(5), stream(5));
+  EXPECT_NE(stream(5), stream(6));
+}
+
+// --------------------------------------------------------- StabilityMonitor
+
+sim::StabilityOptions tight_options() {
+  sim::StabilityOptions options;
+  options.interval = 0.5;
+  options.window = 4.0;
+  options.persistence = 4;
+  return options;
+}
+
+// A flat queue with steady deliveries is the definition of stable: no
+// conviction and a healthy margin.
+TEST(StabilityMonitorTest, FlatQueueStaysStable) {
+  sim::StabilityMonitor monitor(tight_options(), 10e6);
+  std::uint64_t delivered = 0;
+  double delay_sum = 0;
+  for (int i = 0; i <= 60; ++i) {
+    delivered += 20;
+    delay_sum += 20 * 0.01;
+    monitor.record(i * 0.5, 5e4, delivered, delay_sum);
+  }
+  const auto& report = monitor.report();
+  EXPECT_FALSE(report.unstable);
+  EXPECT_LT(report.t_unstable, 0);
+  EXPECT_GE(report.margin, 0.0);
+  EXPECT_GT(report.ticks, 0u);
+}
+
+// A queue growing far past the capacity-fraction slope threshold for more
+// than `persistence` windows must convict, with a negative margin.
+TEST(StabilityMonitorTest, RunawayQueueConvicts) {
+  sim::StabilityMonitor monitor(tight_options(), 10e6);
+  std::uint64_t delivered = 0;
+  double delay_sum = 0;
+  for (int i = 0; i <= 60; ++i) {
+    delivered += 20;
+    delay_sum += 20 * 0.01;
+    monitor.record(i * 0.5, 1e6 * i, delivered, delay_sum);  // 2 Mbps slope
+  }
+  const auto& report = monitor.report();
+  EXPECT_TRUE(report.unstable);
+  EXPECT_GT(report.t_unstable, 0);
+  EXPECT_LT(report.margin, 0.0);
+  EXPECT_GT(report.max_queue_slope_bps, report.slope_threshold_bps);
+}
+
+// A single spike shorter than the persistence requirement is weather, not
+// climate: the sliding window sees a breaching slope only while the edge
+// passes through it, fewer than `persistence` consecutive times.
+TEST(StabilityMonitorTest, TransientSpikeIsNotConvicted) {
+  auto options = tight_options();
+  options.persistence = 6;
+  sim::StabilityMonitor monitor(options, 10e6);
+  std::uint64_t delivered = 0;
+  double delay_sum = 0;
+  for (int i = 0; i <= 60; ++i) {
+    delivered += 20;
+    delay_sum += 20 * 0.01;
+    const double queued = (i == 30 || i == 31) ? 2e6 : 1e4;
+    monitor.record(i * 0.5, queued, delivered, delay_sum);
+  }
+  EXPECT_FALSE(monitor.report().unstable);
+}
+
+// Sustained delay runaway convicts even with a flat queue (the second
+// signature: deliveries continue but each packet waits delay_factor times
+// the baseline).
+TEST(StabilityMonitorTest, DelayRunawayConvicts) {
+  sim::StabilityMonitor monitor(tight_options(), 10e6);
+  std::uint64_t delivered = 0;
+  double delay_sum = 0;
+  for (int i = 0; i <= 80; ++i) {
+    delivered += 20;
+    delay_sum += 20 * (i < 20 ? 0.01 : 0.2);  // 20x the baseline after t=10
+    monitor.record(i * 0.5, 5e4, delivered, delay_sum);
+  }
+  const auto& report = monitor.report();
+  EXPECT_TRUE(report.unstable);
+  EXPECT_GT(report.peak_window_delay_s,
+            report.baseline_delay_s * tight_options().delay_factor);
+}
+
+TEST(StabilityMonitorTest, ReportJsonIsDeterministic) {
+  auto render = [] {
+    sim::StabilityMonitor monitor(tight_options(), 10e6);
+    std::uint64_t delivered = 0;
+    double delay_sum = 0;
+    for (int i = 0; i <= 40; ++i) {
+      delivered += 17;
+      delay_sum += 17 * 0.013;
+      monitor.record(i * 0.5, 3e4 + 1e3 * (i % 5), delivered, delay_sum);
+    }
+    return sim::stability_report_json(monitor.report());
+  };
+  const std::string a = render();
+  EXPECT_EQ(a, render());
+  EXPECT_NE(a.find("\"unstable\""), std::string::npos);
+  EXPECT_NE(a.find("\"margin\""), std::string::npos);
+}
+
+// ----------------------------------------------------------- load sweep
+
+// A 20 Mbps min-cut triangle (two disjoint unit-capacity paths a->c): the
+// single flow is stable when scaled low and must blow up once the scaled
+// demand exceeds the cut, so a sweep brackets the frontier in between.
+sim::ExperimentSpec triangle_spec(double rate_bps) {
+  std::ostringstream text;
+  text << "node a\nnode b\nnode c\n"
+       << "link a b\nlink b c\nlink a c\n"
+       << "flow a c rate=" << rate_bps << "\n"
+       << "traffic_start 2\nwarmup 4\nduration 26\nseed 5\n"
+       << "monitor 0.5\nstability 0.5 window=6 persist=4\n";
+  std::istringstream in(text.str());
+  std::string error;
+  auto scenario = sim::parse_scenario(in, &error);
+  EXPECT_TRUE(scenario.has_value()) << error;
+  return scenario->spec;
+}
+
+TEST(LoadSweep, BracketsTheFrontierMonotonically) {
+  runner::SweepOptions options;
+  options.lo = 0.5;
+  options.hi = 6.0;
+  options.steps = 4;
+  options.bisect_iters = 3;
+  std::ostringstream jsonl;
+  const auto sweep =
+      runner::run_load_sweep(triangle_spec(6e6), "mp", options, &jsonl);
+
+  ASSERT_EQ(sweep.points.size(),
+            static_cast<std::size_t>(options.steps + options.bisect_iters));
+  EXPECT_TRUE(sweep.monotone);
+  EXPECT_GT(sweep.stable_high, 0.0);
+  EXPECT_GT(sweep.unstable_low, sweep.stable_high);
+  EXPECT_GE(sweep.critical, sweep.stable_high);
+  EXPECT_LE(sweep.critical, sweep.unstable_low);
+  // Stable probes must be clean: no loops, no leaks — a scheme that "stays
+  // stable" by looping packets is not stable.
+  for (const auto& point : sweep.points) {
+    if (!point.unstable) {
+      EXPECT_EQ(point.forwarding_loops, 0u) << "x" << point.multiplier;
+      EXPECT_EQ(point.accounting_leaks, 0u) << "x" << point.multiplier;
+      EXPECT_GE(point.margin, 0.0);
+    } else {
+      EXPECT_LT(point.margin, 0.0);
+    }
+  }
+  // One JSONL line per probe, in execution order.
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("\"multiplier\""), std::string::npos);
+    ++n;
+  }
+  EXPECT_EQ(n, sweep.points.size());
+}
+
+TEST(LoadSweep, OptInfeasibleProbesAreUnstableByDefinition) {
+  runner::SweepOptions options;
+  options.lo = 0.5;
+  options.hi = 8.0;
+  options.steps = 3;
+  options.bisect_iters = 2;
+  const auto sweep = runner::run_load_sweep(triangle_spec(6e6), "opt", options);
+  bool saw_infeasible = false;
+  for (const auto& point : sweep.points) {
+    if (point.opt_infeasible) {
+      saw_infeasible = true;
+      EXPECT_TRUE(point.unstable);
+      EXPECT_DOUBLE_EQ(point.margin, -1.0);
+      EXPECT_EQ(point.delivered, 0u);  // infeasible probes never simulate
+    }
+  }
+  EXPECT_TRUE(saw_infeasible);
+  EXPECT_TRUE(sweep.monotone);
+}
+
+TEST(LoadSweep, SameSpecSameVerdicts) {
+  runner::SweepOptions options;
+  options.lo = 0.8;
+  options.hi = 4.0;
+  options.steps = 3;
+  options.bisect_iters = 1;
+  const auto spec = triangle_spec(6e6);
+  const auto a = runner::run_load_sweep(spec, "mp", options);
+  const auto b = runner::run_load_sweep(spec, "mp", options);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(runner::sweep_point_json(a.points[i]),
+              runner::sweep_point_json(b.points[i]));
+  }
+  EXPECT_DOUBLE_EQ(a.critical, b.critical);
+}
+
+// ------------------------------------------------- end-to-end determinism
+
+// CAIRN under the coordinated adversarial workload, short but long enough
+// for a verdict: the acceptance-bar experiment in miniature.
+sim::ExperimentSpec adversarial_cairn_spec() {
+  sim::ExperimentSpec spec;
+  spec.topo = topo::make_cairn();
+  spec.flows = topo::cairn_flows(0.6);
+  spec.config.traffic_start = 3;
+  spec.config.warmup = 5;
+  spec.config.duration = 20;
+  spec.config.seed = 11;
+  spec.config.monitor_interval = 0.5;
+  spec.config.traffic.model = sim::TrafficModel::kAdversarial;
+  spec.config.traffic.adversarial = {4.0, 0.5, 4.0, true};
+  spec.config.stability.interval = 0.5;
+  spec.config.stability.window = 6;
+  return spec;
+}
+
+TEST(StabilityEndToEnd, AdversarialCairnStableAtBaseLoad) {
+  const auto result = sim::run_experiment(adversarial_cairn_spec(), "mp");
+  ASSERT_TRUE(result.stability.has_value());
+  EXPECT_FALSE(result.stability->unstable);
+  EXPECT_GE(result.stability->margin, 0.0);
+  ASSERT_TRUE(result.monitor.has_value());
+  EXPECT_EQ(result.monitor->forwarding_loops, 0u);
+  EXPECT_EQ(result.monitor->accounting_leaks, 0u);
+}
+
+TEST(StabilityEndToEnd, AdversarialCairnBlowsUpWhenOverdriven) {
+  auto spec = adversarial_cairn_spec();
+  for (auto& flow : spec.flows) flow.rate_bps *= 6.0;
+  const auto result = sim::run_experiment(spec, "mp");
+  ASSERT_TRUE(result.stability.has_value());
+  EXPECT_TRUE(result.stability->unstable);
+  EXPECT_LT(result.stability->margin, 0.0);
+}
+
+TEST(StabilityEndToEnd, SameSeedRunsAreBitIdentical) {
+  const auto spec = adversarial_cairn_spec();
+  const auto a = sim::run_experiment(spec, "mp");
+  const auto b = sim::run_experiment(spec, "mp");
+  ASSERT_TRUE(a.stability.has_value());
+  ASSERT_TRUE(b.stability.has_value());
+  EXPECT_EQ(sim::stability_report_json(*a.stability),
+            sim::stability_report_json(*b.stability));
+  EXPECT_EQ(sim::monitor_report_json(*a.monitor),
+            sim::monitor_report_json(*b.monitor));
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].delivered, b.flows[i].delivered);
+    EXPECT_DOUBLE_EQ(a.flows[i].mean_delay_s, b.flows[i].mean_delay_s);
+  }
+}
+
+// The sharded engine must render the adversarial experiment byte-for-byte
+// identically for any shard count (the acceptance bar for PRs touching the
+// traffic or stability plumbing).
+TEST(StabilityEndToEnd, ShardCountDoesNotChangeRenderedBatch) {
+  auto render = [](int shards) {
+    auto spec = adversarial_cairn_spec();
+    spec.engine.shards = shards;
+    spec.engine.ring_capacity = 8;  // tiny ring: exercises overflow spill
+    runner::ExperimentRunner runner(runner::Options{1, 17});
+    const auto batch = runner.run_replicated(spec, "mp", 2);
+    std::ostringstream out;
+    runner::write_results_json(out, batch, "stability-shard-property");
+    return out.str();
+  };
+  const std::string baseline = render(1);
+  EXPECT_NE(baseline.find("\"stability\""), std::string::npos)
+      << "batch JSON lost the stability report";
+  for (int shards : {2, 4}) {
+    EXPECT_EQ(baseline, render(shards)) << shards << " shards";
+  }
+}
+
+}  // namespace
+}  // namespace mdr
