@@ -21,6 +21,17 @@
 // replications. --json writes the batch (aggregates plus per-run rows) in
 // the schema documented in docs/RUNNER.md.
 //
+// Crash safety (docs/CHECKPOINT.md): --checkpoint-interval S with
+// --checkpoint-path P (or the scenario's `checkpoint` directive) snapshots
+// the complete simulation state every S sim-seconds; --resume-from P picks
+// an interrupted run back up with byte-identical final output. Single runs
+// also catch SIGINT/SIGTERM, write a final checkpoint at the next safe
+// boundary, flush partial telemetry and exit 128+signal. Batches (--seeds
+// N > 1) are fault tolerant instead: a job that throws is retried
+// (--retries) at the same seed, overruns are cancelled (--job-timeout), and
+// --result-dir DIR skips jobs whose marker files exist so an interrupted
+// batch re-run completes only the missing seeds.
+//
 // Telemetry (docs/OBSERVABILITY.md): --metrics-out streams the per-run
 // time-series samples plus per-run and merged metric registries (JSONL, or
 // tidy CSV when the path ends in .csv); --trace streams the structured
@@ -31,6 +42,8 @@
 // See src/sim/scenario.h for the file format, and examples/scenarios/ for
 // ready-made inputs.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +52,7 @@
 #include <sstream>
 #include <string>
 
+#include "ckpt/ckpt.h"
 #include "obs/sampler.h"
 #include "runner/experiment_runner.h"
 #include "runner/load_sweep.h"
@@ -47,6 +61,19 @@
 
 namespace {
 
+// SIGINT/SIGTERM request a graceful stop: the flag is polled at the
+// simulation's safe boundaries (between event-queue slices / at sharded
+// window barriers), where a final checkpoint is written if checkpointing is
+// configured and partial telemetry is flushed before exiting 128+signal.
+// Lock-free stores only — this runs in signal context.
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
 void usage() {
   std::fputs(
       "usage: mdrsim <scenario-file> [--mode mp|sp|opt] [--seed N]\n"
@@ -54,6 +81,9 @@ void usage() {
       "              [--quiet]\n"
       "              [--metrics-out PATH] [--trace PATH]\n"
       "              [--sample-interval S]\n"
+      "              [--checkpoint-interval S] [--checkpoint-path PATH]\n"
+      "              [--resume-from PATH]\n"
+      "              [--retries N] [--job-timeout S] [--result-dir DIR]\n"
       "              [--validate] [--sweep lo:hi:steps | --sweep auto]\n",
       stderr);
 }
@@ -196,6 +226,12 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   double sample_interval = -1;  // < 0: keep the scenario's setting
+  double checkpoint_interval = -1;  // < 0: keep the scenario's setting
+  std::string checkpoint_path;
+  std::string resume_path;
+  long retries = 1;
+  double job_timeout = 0;
+  std::string result_dir;
   long seeds = 1;
   long jobs = 1;
   long shards = -1;  // < 0: keep the scenario's engine setting
@@ -231,6 +267,30 @@ int main(int argc, char** argv) {
         std::fputs("mdrsim: --sample-interval must be positive\n", stderr);
         return 2;
       }
+    } else if (arg == "--checkpoint-interval" && i + 1 < argc) {
+      checkpoint_interval = std::strtod(argv[++i], nullptr);
+      if (checkpoint_interval <= 0) {
+        std::fputs("mdrsim: --checkpoint-interval must be positive\n", stderr);
+        return 2;
+      }
+    } else if (arg == "--checkpoint-path" && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (arg == "--resume-from" && i + 1 < argc) {
+      resume_path = argv[++i];
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::strtol(argv[++i], nullptr, 10);
+      if (retries < 1) {
+        std::fputs("mdrsim: --retries must be at least 1\n", stderr);
+        return 2;
+      }
+    } else if (arg == "--job-timeout" && i + 1 < argc) {
+      job_timeout = std::strtod(argv[++i], nullptr);
+      if (job_timeout <= 0) {
+        std::fputs("mdrsim: --job-timeout must be positive\n", stderr);
+        return 2;
+      }
+    } else if (arg == "--result-dir" && i + 1 < argc) {
+      result_dir = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--validate") {
@@ -280,6 +340,24 @@ int main(int argc, char** argv) {
     config.sample_interval = 1.0;  // sensible default when asked for metrics
   }
   if (!trace_path.empty()) config.trace = true;
+  if (checkpoint_interval > 0) config.checkpoint_interval = checkpoint_interval;
+  if (!checkpoint_path.empty()) config.checkpoint_path = checkpoint_path;
+  if (!resume_path.empty()) config.resume_from = resume_path;
+  if (config.checkpoint_interval > 0 && config.checkpoint_path.empty()) {
+    std::fputs(
+        "mdrsim: checkpointing needs a snapshot path (--checkpoint-path or "
+        "the scenario's `checkpoint path=`)\n",
+        stderr);
+    return 2;
+  }
+  if ((config.checkpoint_interval > 0 || !config.resume_from.empty()) &&
+      (seeds > 1 || !sweep_arg.empty())) {
+    std::fputs(
+        "mdrsim: checkpoint/resume snapshots a single simulation; use "
+        "--seeds 1 and no --sweep (batch-level resume is --result-dir)\n",
+        stderr);
+    return 2;
+  }
   if (shards >= 1) scenario->spec.engine.shards = static_cast<int>(shards);
   if (scenario->spec.engine.shards >= 1 &&
       (config.trace || config.flightrec_capacity > 0)) {
@@ -379,12 +457,83 @@ int main(int argc, char** argv) {
     return sweep.monotone ? 0 : 1;
   }
 
-  // Everything runs through the parallel runner; a single seed is just a
-  // batch of one.
-  mdr::runner::ExperimentRunner runner(mdr::runner::Options{
-      static_cast<int>(jobs), scenario->spec.config.seed});
-  const auto batch = runner.run_replicated(scenario->spec, scenario->mode,
-                                           static_cast<int>(seeds));
+  mdr::runner::BatchResult batch;
+  if (seeds == 1) {
+    // Single runs execute inline (same derived seed and aggregation as a
+    // batch of one, so the output is unchanged) with SIGINT/SIGTERM wired
+    // to the simulation's cooperative stop flag: on a signal the sim writes
+    // a final checkpoint (when configured), hands back partial telemetry,
+    // and mdrsim exits 128+signal.
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    batch.mode = scenario->mode;
+    batch.base_seed = scenario->spec.config.seed;
+    batch.jobs = static_cast<int>(jobs);
+    mdr::sim::ExperimentSpec spec = scenario->spec;
+    spec.config.seed = mdr::runner::derive_seed(batch.base_seed, 0);
+    spec.config.interrupt = &g_stop;
+    try {
+      batch.runs.push_back(mdr::sim::run_experiment(spec, scenario->mode));
+    } catch (const mdr::sim::SimInterrupted& interrupted) {
+      const int sig = g_signal.load(std::memory_order_relaxed);
+      std::fprintf(stderr, "mdrsim: interrupted by signal %d at a safe boundary%s\n",
+                   sig,
+                   spec.config.checkpoint_path.empty()
+                       ? ""
+                       : ("; checkpoint written to " +
+                          spec.config.checkpoint_path)
+                             .c_str());
+      // Flush whatever telemetry the partial run accumulated so an
+      // interrupted experiment still leaves analyzable output behind.
+      if (interrupted.telemetry.has_value() && !metrics_path.empty()) {
+        const auto names = mdr::sim::telemetry_names(scenario->spec.topo,
+                                                     scenario->spec.flows);
+        std::ofstream out(metrics_path);
+        if (out) {
+          if (ends_with(metrics_path, ".csv")) {
+            mdr::obs::write_samples_csv(out, *interrupted.telemetry, names,
+                                        /*run=*/0, /*header=*/true);
+          } else {
+            mdr::obs::write_samples_jsonl(out, *interrupted.telemetry, names,
+                                          /*run=*/0);
+            mdr::obs::write_metrics_jsonl(out, interrupted.telemetry->metrics,
+                                          "0");
+          }
+        }
+      }
+      if (interrupted.telemetry.has_value() && !trace_path.empty()) {
+        const auto names = mdr::sim::telemetry_names(scenario->spec.topo,
+                                                     scenario->spec.flows);
+        std::ofstream out(trace_path);
+        if (out) {
+          mdr::obs::write_trace_jsonl(out, *interrupted.telemetry, names,
+                                      /*run=*/0);
+        }
+      }
+      return 128 + (sig > 0 ? sig : SIGINT);
+    } catch (const mdr::ckpt::Error& e) {
+      // A missing, corrupt or mismatched snapshot is an I/O error, not a
+      // crash: name the problem and exit 1 like any other unreadable input.
+      std::fprintf(stderr, "mdrsim: checkpoint error: %s\n", e.what());
+      return 1;
+    }
+    batch.outcomes.push_back(mdr::runner::JobOutcome{"ok", 1, ""});
+    batch.flows = mdr::runner::aggregate_flows(batch.runs);
+    batch.avg_delay_s.add(batch.runs.front().avg_delay_s);
+    if (batch.runs.front().telemetry.has_value()) {
+      batch.metrics.merge(batch.runs.front().telemetry->metrics);
+    }
+  } else {
+    mdr::runner::Options options;
+    options.jobs = static_cast<int>(jobs);
+    options.base_seed = scenario->spec.config.seed;
+    options.max_attempts = static_cast<int>(retries);
+    options.job_timeout_s = job_timeout;
+    options.result_dir = result_dir;
+    mdr::runner::ExperimentRunner runner(options);
+    batch = runner.run_replicated(scenario->spec, scenario->mode,
+                                  static_cast<int>(seeds));
+  }
 
   std::printf("scenario: %s  mode=%s  base_seed=%llu  seeds=%ld  jobs=%ld\n",
               path.c_str(), scenario->mode.c_str(),
@@ -394,6 +543,21 @@ int main(int argc, char** argv) {
     print_single_run(batch.runs.front(), quiet);
   } else {
     print_batch(batch);
+  }
+
+  // Per-job failures never abort the batch; they surface here (and in the
+  // JSON rows) and flip the exit code so CI notices.
+  bool any_failed = false;
+  for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+    const auto& oc = batch.outcomes[i];
+    if (oc.status == "failed") {
+      any_failed = true;
+      std::fprintf(stderr, "mdrsim: job %zu failed after %d attempt(s): %s\n",
+                   i, oc.attempts, oc.error.c_str());
+    } else if (oc.status == "cached") {
+      std::fprintf(stderr, "mdrsim: job %zu skipped (result marker in %s)\n",
+                   i, result_dir.c_str());
+    }
   }
 
   if (!json_path.empty()) {
@@ -444,5 +608,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return 0;
+  return any_failed ? 1 : 0;
 }

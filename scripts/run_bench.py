@@ -27,8 +27,10 @@ import json
 import math
 import os
 import pathlib
+import re
 import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -71,6 +73,24 @@ SCALE_FIELDS = {
     "events_per_sec": (int, float),
     "delivered": int,
 }
+
+# Informational checkpoint save/restore cost on the CAIRN macro scenario
+# (docs/CHECKPOINT.md "Cost"). Optional in the schema — older baselines
+# predate it — and deliberately carries NO timing gate.
+CKPT_FIELDS = {
+    "scenario": str,
+    "interval_s": (int, float),
+    "snapshots": int,
+    "last_bytes": int,
+    "save_ms_mean": float,
+    "load_ms": float,
+}
+
+# One "[ckpt] save path=... bytes=... ms=... t=..." / "[ckpt] load ..."
+# cost line on mdrsim's stderr (never in telemetry, which must stay
+# byte-identical with checkpointing on or off).
+CKPT_LINE = re.compile(
+    r"\[ckpt\] (save|load) path=\S+(?: bytes=(\d+))? ms=([0-9.]+) t=")
 
 # The shard counts every baseline must sweep, in order.
 ENGINE_SERIES_SHARDS = [0, 1, 2, 4, 8]
@@ -186,6 +206,14 @@ def validate(doc):
             f"{MAX_TYPED_ALLOCS_PER_EVENT})"
         )
 
+    ckpt = doc.get("ckpt")
+    if ckpt is not None:
+        check_fields(ckpt, CKPT_FIELDS, "ckpt")
+        if ckpt["snapshots"] < 1:
+            fail("ckpt.snapshots < 1 (no save line was captured)")
+        if ckpt["last_bytes"] == 0:
+            fail("ckpt.last_bytes == 0 (empty snapshot)")
+
     legacy_allocs = micro["legacy_fn_heap"]["allocs_per_event"]
     if legacy_allocs <= typed_allocs:
         fail(
@@ -193,6 +221,47 @@ def validate(doc):
             f"({typed_allocs}) — the legacy series lost its per-delivery "
             f"closure allocation; the comparison is no longer meaningful"
         )
+
+
+def measure_checkpoint_cost(build_dir):
+    """Checkpoint save/restore cost on the CAIRN macro scenario.
+
+    Runs mdrsim with periodic snapshots, then resumes from the last one,
+    and collects the [ckpt] cost lines from stderr. Informational only:
+    the numbers land in the baseline for humans to diff; nothing gates on
+    them (wall-clock on shared runners is noise).
+    """
+    mdrsim = build_dir / "apps" / "mdrsim"
+    scenario = REPO_ROOT / "examples" / "scenarios" / "cairn_mp.scn"
+    if not mdrsim.exists():
+        print(f"run_bench: note: {mdrsim} not built, skipping ckpt series")
+        return None
+    interval_s = 30
+    with tempfile.TemporaryDirectory() as tmp:
+        ck = pathlib.Path(tmp) / "bench.mdrk"
+        base = [str(mdrsim), str(scenario), "--quiet",
+                "--checkpoint-interval", str(interval_s),
+                "--checkpoint-path", str(ck)]
+        save_run = subprocess.run(base, check=True, capture_output=True,
+                                  text=True)
+        load_run = subprocess.run(base + ["--resume-from", str(ck)],
+                                  check=True, capture_output=True, text=True)
+    saves = [(int(m.group(2)), float(m.group(3)))
+             for m in CKPT_LINE.finditer(save_run.stderr)
+             if m.group(1) == "save"]
+    loads = [float(m.group(3))
+             for m in CKPT_LINE.finditer(load_run.stderr)
+             if m.group(1) == "load"]
+    if not saves or not loads:
+        fail("mdrsim printed no [ckpt] save/load cost lines on stderr")
+    return {
+        "scenario": str(scenario.relative_to(REPO_ROOT)),
+        "interval_s": interval_s,
+        "snapshots": len(saves),
+        "last_bytes": saves[-1][0],
+        "save_ms_mean": round(sum(ms for _, ms in saves) / len(saves), 3),
+        "load_ms": round(loads[0], 3),
+    }
 
 
 def main():
@@ -243,7 +312,7 @@ def main():
     if (build_dir / "CMakeCache.txt").exists():
         subprocess.run(
             ["cmake", "--build", str(build_dir), "--target",
-             "perf_event_core", "-j"],
+             "perf_event_core", "mdrsim", "-j"],
             check=True,
         )
     if not binary.exists():
@@ -254,6 +323,18 @@ def main():
     if args.smoke:
         cmd.append("--smoke")
     subprocess.run(cmd, check=True)
+
+    ckpt = measure_checkpoint_cost(build_dir)
+    if ckpt is not None:
+        with open(args.out) as f:
+            doc = json.load(f)
+        doc["ckpt"] = ckpt
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"run_bench: ckpt: {ckpt['snapshots']} snapshots of "
+              f"{ckpt['last_bytes']} bytes, save {ckpt['save_ms_mean']} ms "
+              f"mean, load {ckpt['load_ms']} ms")
 
     with open(args.out) as f:
         validate(json.load(f))

@@ -117,6 +117,54 @@ class MpRouter {
     mpda_.set_probe(probe);
   }
 
+  void save(ckpt::Writer& w) const {
+    mpda_.save(w);
+    w.u64(short_costs_.size());
+    for (const auto& [k, c] : short_costs_) {
+      w.i64(k);
+      w.f64(c);
+    }
+    w.u64(table_.size());
+    for (const auto& choices : table_) {
+      w.u64(choices.size());
+      for (const ForwardingChoice& c : choices) {
+        w.i64(c.neighbor);
+        w.f64(c.weight);
+      }
+    }
+    w.u64(allocated_version_.size());
+    for (std::uint64_t v : allocated_version_) w.u64(v);
+    w.u64(wrr_credits_.size());
+    for (const auto& credits : wrr_credits_) {
+      w.u64(credits.size());
+      for (double c : credits) w.f64(c);
+    }
+  }
+  void load(ckpt::Reader& r) {
+    mpda_.load(r);
+    short_costs_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<graph::NodeId>(r.i64());
+      short_costs_[k] = r.f64();
+    }
+    table_.resize(r.u64());
+    for (auto& choices : table_) {
+      choices.resize(r.u64());
+      for (ForwardingChoice& c : choices) {
+        c.neighbor = static_cast<graph::NodeId>(r.i64());
+        c.weight = r.f64();
+      }
+    }
+    allocated_version_.resize(r.u64());
+    for (std::uint64_t& v : allocated_version_) v = r.u64();
+    wrr_credits_.resize(r.u64());
+    for (auto& credits : wrr_credits_) {
+      credits.resize(r.u64());
+      for (double& c : credits) c = r.f64();
+    }
+  }
+
  private:
   /// Rebuilds phi for one destination. `allow_adjust` selects AH when the
   /// successor set is unchanged (Ts tick) vs. keep-phi (protocol event).

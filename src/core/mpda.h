@@ -170,6 +170,114 @@ class MpdaProcess final : public proto::RoutingProcess {
   /// Maximum gap (in retransmit ticks) between successive resends.
   static constexpr std::uint32_t kRetransmitBackoffCap = 32;
 
+  /// Checkpoints the complete protocol state (tables, mode, sequence
+  /// numbers, retransmission buffers, FD/successor state, pacing windows and
+  /// the measurement counters). Buffered LsuMessages reuse the wire codec
+  /// (proto::encode/decode), so the format has one source of truth.
+  void save(ckpt::Writer& w) const {
+    tables_.save(w);
+    w.u8(static_cast<std::uint8_t>(mode_));
+    w.u32(next_seq_);
+    w.u64(unacked_.size());
+    for (const auto& [k, by_seq] : unacked_) {
+      w.i64(k);
+      w.u64(by_seq.size());
+      for (const auto& [seq, pending] : by_seq) {
+        w.u32(seq);
+        w.bytes(proto::encode(pending.msg));
+        w.u32(pending.attempts);
+        w.u32(pending.cooldown);
+      }
+    }
+    w.u64(last_seen_seq_.size());
+    for (const auto& [k, seq] : last_seen_seq_) {
+      w.i64(k);
+      w.u32(seq);
+    }
+    w.u64(full_sync_.size());
+    for (graph::NodeId k : full_sync_) w.i64(k);
+    w.u64(fd_.size());
+    for (graph::Cost c : fd_) w.f64(c);
+    w.u64(successors_.size());
+    for (const auto& succ : successors_) {
+      w.u64(succ.size());
+      for (graph::NodeId k : succ) w.i64(k);
+    }
+    w.u64(successor_versions_.size());
+    for (std::uint64_t v : successor_versions_) w.u64(v);
+    w.u64(messages_sent_);
+    w.u64(pace_.size());
+    for (const auto& [k, pace] : pace_) {
+      w.i64(k);
+      w.f64(pace.interval);
+      w.f64(pace.next_allowed);
+      w.b(pace.has_pending);
+      w.b(pace.pending_up);
+      w.f64(pace.pending);
+    }
+    w.u64(lsus_originated_);
+    w.u64(lsus_retransmitted_);
+    w.u64(lsus_suppressed_);
+    w.u64(acks_sent_);
+  }
+  void load(ckpt::Reader& r) {
+    tables_.load(r);
+    mode_ = static_cast<Mode>(r.u8());
+    next_seq_ = r.u32();
+    unacked_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<graph::NodeId>(r.i64());
+      auto& by_seq = unacked_[k];
+      const std::uint64_t m = r.u64();
+      for (std::uint64_t j = 0; j < m; ++j) {
+        const std::uint32_t seq = r.u32();
+        Pending& pending = by_seq[seq];
+        auto msg = proto::decode(r.bytes());
+        if (!msg) throw ckpt::Error("bad buffered LSU in checkpoint");
+        pending.msg = std::move(*msg);
+        pending.attempts = r.u32();
+        pending.cooldown = r.u32();
+      }
+    }
+    last_seen_seq_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<graph::NodeId>(r.i64());
+      last_seen_seq_[k] = r.u32();
+    }
+    full_sync_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      full_sync_.insert(static_cast<graph::NodeId>(r.i64()));
+    }
+    fd_.resize(r.u64());
+    for (graph::Cost& c : fd_) c = r.f64();
+    successors_.resize(r.u64());
+    for (auto& succ : successors_) {
+      succ.resize(r.u64());
+      for (graph::NodeId& k : succ) k = static_cast<graph::NodeId>(r.i64());
+    }
+    successor_versions_.resize(r.u64());
+    for (std::uint64_t& v : successor_versions_) v = r.u64();
+    messages_sent_ = r.u64();
+    pace_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<graph::NodeId>(r.i64());
+      Pace& pace = pace_[k];
+      pace.interval = r.f64();
+      pace.next_allowed = r.f64();
+      pace.has_pending = r.b();
+      pace.pending_up = r.b();
+      pace.pending = r.f64();
+    }
+    lsus_originated_ = r.u64();
+    lsus_retransmitted_ = r.u64();
+    lsus_suppressed_ = r.u64();
+    acks_sent_ = r.u64();
+  }
+
  private:
   struct NtuOutcome {
     graph::NodeId ack_to = graph::kInvalidNode;  // entries-LSU to acknowledge

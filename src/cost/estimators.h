@@ -28,6 +28,8 @@
 #include <memory>
 #include <string>
 
+#include "ckpt/ckpt.h"
+
 namespace mdr::cost {
 
 /// Everything an estimator may observe about one transmitted packet.
@@ -57,6 +59,11 @@ class MarginalDelayEstimator {
   virtual void reset() = 0;
 
   virtual std::string name() const = 0;
+
+  /// Checkpoints the mutable window state (the configuration members are
+  /// reconstructed from SimConfig, not stored).
+  virtual void save(ckpt::Writer& w) const = 0;
+  virtual void load(ckpt::Reader& r) = 0;
 };
 
 /// Oracle estimator: D'(measured mean flow) from the analytic model.
@@ -70,6 +77,8 @@ class AnalyticMm1Estimator final : public MarginalDelayEstimator {
   double estimate(double window_start, double window_end) override;
   void reset() override;
   std::string name() const override { return "mm1"; }
+  void save(ckpt::Writer& w) const override { w.f64(bits_seen_); }
+  void load(ckpt::Reader& r) override { bits_seen_ = r.f64(); }
 
  private:
   double capacity_bps_;
@@ -92,6 +101,18 @@ class ObservableEstimator final : public MarginalDelayEstimator {
   double estimate(double window_start, double window_end) override;
   void reset() override;
   std::string name() const override { return "observable"; }
+  void save(ckpt::Writer& w) const override {
+    w.f64(mean_service_s_);
+    w.u64(service_samples_);
+    w.f64(sum_delay_);
+    w.u64(packets_);
+  }
+  void load(ckpt::Reader& r) override {
+    mean_service_s_ = r.f64();
+    service_samples_ = r.u64();
+    sum_delay_ = r.f64();
+    packets_ = r.u64();
+  }
 
  private:
   double prop_delay_s_;
@@ -117,6 +138,18 @@ class UtilizationEstimator final : public MarginalDelayEstimator {
   double estimate(double window_start, double window_end) override;
   void reset() override;
   std::string name() const override { return "utilization"; }
+  void save(ckpt::Writer& w) const override {
+    w.f64(mean_service_s_);
+    w.u64(service_samples_);
+    w.f64(sum_service_);
+    w.u64(packets_);
+  }
+  void load(ckpt::Reader& r) override {
+    mean_service_s_ = r.f64();
+    service_samples_ = r.u64();
+    sum_service_ = r.f64();
+    packets_ = r.u64();
+  }
 
  private:
   double prop_delay_s_;
@@ -135,6 +168,26 @@ class IpaBusyPeriodEstimator final : public MarginalDelayEstimator {
   double estimate(double window_start, double window_end) override;
   void reset() override;
   std::string name() const override { return "ipa"; }
+  void save(ckpt::Writer& w) const override {
+    w.f64(mean_service_s_);
+    w.u64(service_samples_);
+    w.f64(workload_integral_);
+    w.f64(offset_integral_);
+    w.f64(busy_period_start_);
+    w.b(in_busy_period_);
+    w.f64(sum_service_);
+    w.u64(packets_);
+  }
+  void load(ckpt::Reader& r) override {
+    mean_service_s_ = r.f64();
+    service_samples_ = r.u64();
+    workload_integral_ = r.f64();
+    offset_integral_ = r.f64();
+    busy_period_start_ = r.f64();
+    in_busy_period_ = r.b();
+    sum_service_ = r.f64();
+    packets_ = r.u64();
+  }
 
  private:
   double prop_delay_s_;

@@ -67,6 +67,17 @@ class DualTimescaleCost {
   double long_cost() const { return long_ewma_.value(); }
   double last_reported() const { return last_reported_; }
 
+  void save(ckpt::Writer& w) const {
+    short_ewma_.save(w);
+    long_ewma_.save(w);
+    w.f64(last_reported_);
+  }
+  void load(ckpt::Reader& r) {
+    short_ewma_.load(r);
+    long_ewma_.load(r);
+    last_reported_ = r.f64();
+  }
+
  private:
   Options options_;
   Ewma short_ewma_;

@@ -38,6 +38,9 @@ class GilbertChannel {
   bool bad() const { return bad_; }
   const GilbertParams& params() const { return params_; }
 
+  void save(ckpt::Writer& w) const { w.b(bad_); }
+  void load(ckpt::Reader& r) { bad_ = r.b(); }
+
  private:
   GilbertParams params_;
   bool bad_ = false;  ///< chain starts GOOD

@@ -22,6 +22,8 @@
 #include <map>
 #include <string>
 
+#include "ckpt/ckpt.h"
+
 namespace mdr::obs {
 
 /// Fixed-layout log-bucketed histogram of positive doubles.
@@ -55,6 +57,39 @@ class LogHistogram {
   void merge(const LogHistogram& other);
 
   bool empty() const { return count_ == 0; }
+
+  /// Buckets are stored sparsely (index, count) — most histograms touch a
+  /// handful of the ~800 buckets.
+  void save(ckpt::Writer& w) const {
+    w.u64(count_);
+    w.f64(sum_);
+    w.f64(min_);
+    w.f64(max_);
+    std::uint32_t nonzero = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      if (buckets_[i] != 0) ++nonzero;
+    }
+    w.u32(nonzero);
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      if (buckets_[i] != 0) {
+        w.u32(static_cast<std::uint32_t>(i));
+        w.u64(buckets_[i]);
+      }
+    }
+  }
+  void load(ckpt::Reader& r) {
+    count_ = r.u64();
+    sum_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+    for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] = 0;
+    const std::uint32_t nonzero = r.u32();
+    for (std::uint32_t k = 0; k < nonzero; ++k) {
+      const std::uint32_t i = r.u32();
+      if (i >= kNumBuckets) throw ckpt::Error("histogram bucket out of range");
+      buckets_[i] = r.u64();
+    }
+  }
 
   /// Sub-buckets per power of two; the quantization grain.
   static constexpr int kSubBuckets = 8;
@@ -110,6 +145,44 @@ class MetricRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
   /// mean,p50,p90,p99}}}. Doubles use "%.17g" (round-trip exact).
   void append_json(std::string& out) const;
+
+  /// Checkpoint save/load. load() assigns into existing map nodes instead of
+  /// clearing, so counter()/gauge()/histogram() handles cached by instrument
+  /// points before the restore stay valid.
+  void save(ckpt::Writer& w) const {
+    w.u64(counters_.size());
+    for (const auto& [name, v] : counters_) {
+      w.str(name);
+      w.u64(v);
+    }
+    w.u64(gauges_.size());
+    for (const auto& [name, v] : gauges_) {
+      w.str(name);
+      w.f64(v);
+    }
+    w.u64(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      w.str(name);
+      h.save(w);
+    }
+  }
+  void load(ckpt::Reader& r) {
+    const std::uint64_t nc = r.u64();
+    for (std::uint64_t i = 0; i < nc; ++i) {
+      const std::string name = r.str();
+      counters_[name] = r.u64();
+    }
+    const std::uint64_t ng = r.u64();
+    for (std::uint64_t i = 0; i < ng; ++i) {
+      const std::string name = r.str();
+      gauges_[name] = r.f64();
+    }
+    const std::uint64_t nh = r.u64();
+    for (std::uint64_t i = 0; i < nh; ++i) {
+      const std::string name = r.str();
+      histograms_[name].load(r);
+    }
+  }
 
  private:
   std::map<std::string, std::uint64_t> counters_;

@@ -105,6 +105,132 @@ struct Telemetry {
   std::vector<Event> trace;           ///< full event trace (trace mode only)
   std::vector<FlightDump> flight_dumps;
   MetricRegistry metrics;
+
+  void save(ckpt::Writer& w) const {
+    w.f64(sample_interval);
+    w.u64(links.size());
+    for (const LinkSample& s : links) {
+      w.f64(s.t);
+      w.u32(s.link);
+      w.f64(s.utilization);
+      w.f64(s.queue_bits);
+      w.u64(s.queue_packets);
+      w.f64(s.data_bits);
+      w.f64(s.control_bits);
+      w.u64(s.drops);
+    }
+    w.u64(flows.size());
+    for (const FlowSample& s : flows) {
+      w.f64(s.t);
+      w.i64(s.flow);
+      w.u64(s.injected);
+      w.u64(s.delivered);
+      w.f64(s.delay_sum_s);
+      w.u64(s.measured_delivered);
+      w.f64(s.measured_delay_sum_s);
+      w.u64(s.dropped);
+    }
+    w.u64(dests.size());
+    for (const DestSample& s : dests) {
+      w.f64(s.t);
+      w.u64(static_cast<std::uint64_t>(s.dest));
+      w.f64(s.mean_successors);
+      w.f64(s.mean_entropy_bits);
+      w.u64(s.churn);
+    }
+    w.u64(control.size());
+    for (const ControlSample& s : control) {
+      w.f64(s.t);
+      w.u64(s.lsus_originated);
+      w.u64(s.lsus_retransmitted);
+      w.u64(s.lsus_suppressed);
+      w.u64(s.acks);
+      w.u64(s.hellos);
+      w.f64(s.control_bits);
+      w.u64(s.control_dropped);
+    }
+    w.u64(stability.size());
+    for (const StabilitySample& s : stability) {
+      w.f64(s.t);
+      w.f64(s.queue_bits);
+      w.f64(s.slope_bps);
+      w.f64(s.delay_s);
+      w.f64(s.margin);
+    }
+    w.u64(trace.size());
+    for (const Event& e : trace) save_event(w, e);
+    w.u64(flight_dumps.size());
+    for (const FlightDump& d : flight_dumps) {
+      w.f64(d.t);
+      w.str(d.reason);
+      w.u64(d.events.size());
+      for (const Event& e : d.events) save_event(w, e);
+    }
+    metrics.save(w);
+  }
+
+  void load(ckpt::Reader& r) {
+    sample_interval = r.f64();
+    links.resize(r.u64());
+    for (LinkSample& s : links) {
+      s.t = r.f64();
+      s.link = r.u32();
+      s.utilization = r.f64();
+      s.queue_bits = r.f64();
+      s.queue_packets = r.u64();
+      s.data_bits = r.f64();
+      s.control_bits = r.f64();
+      s.drops = r.u64();
+    }
+    flows.resize(r.u64());
+    for (FlowSample& s : flows) {
+      s.t = r.f64();
+      s.flow = static_cast<int>(r.i64());
+      s.injected = r.u64();
+      s.delivered = r.u64();
+      s.delay_sum_s = r.f64();
+      s.measured_delivered = r.u64();
+      s.measured_delay_sum_s = r.f64();
+      s.dropped = r.u64();
+    }
+    dests.resize(r.u64());
+    for (DestSample& s : dests) {
+      s.t = r.f64();
+      s.dest = static_cast<graph::NodeId>(r.u64());
+      s.mean_successors = r.f64();
+      s.mean_entropy_bits = r.f64();
+      s.churn = r.u64();
+    }
+    control.resize(r.u64());
+    for (ControlSample& s : control) {
+      s.t = r.f64();
+      s.lsus_originated = r.u64();
+      s.lsus_retransmitted = r.u64();
+      s.lsus_suppressed = r.u64();
+      s.acks = r.u64();
+      s.hellos = r.u64();
+      s.control_bits = r.f64();
+      s.control_dropped = r.u64();
+    }
+    stability.resize(r.u64());
+    for (StabilitySample& s : stability) {
+      s.t = r.f64();
+      s.queue_bits = r.f64();
+      s.slope_bps = r.f64();
+      s.delay_s = r.f64();
+      s.margin = r.f64();
+    }
+    trace.resize(r.u64());
+    for (Event& e : trace) e = load_event(r);
+    flight_dumps.resize(r.u64());
+    for (FlightDump& d : flight_dumps) {
+      d.t = r.f64();
+      d.reason = r.str();
+      d.events.resize(r.u64());
+      for (Event& e : d.events) e = load_event(r);
+    }
+    metrics.load(r);
+  }
 };
 
 /// Turns cumulative readings into windowed sample rows. The caller feeds one
@@ -152,6 +278,75 @@ class TimeSeriesSampler {
   void record_control(Time t, const ControlCumulative& now);
 
   Duration interval() const { return interval_; }
+
+  /// Checkpoints the delta-bookkeeping state (previous cumulative readings);
+  /// interval and output target are reconstructed by the owner.
+  void save(ckpt::Writer& w) const {
+    const auto save_link = [&w](const LinkCumulative& c) {
+      w.f64(c.busy_time);
+      w.f64(c.queue_bits);
+      w.u64(c.queue_packets);
+      w.f64(c.data_bits);
+      w.f64(c.control_bits);
+      w.u64(c.drops);
+    };
+    const auto save_flow = [&w](const FlowCumulative& c) {
+      w.u64(c.injected);
+      w.u64(c.delivered);
+      w.f64(c.delay_sum_s);
+      w.u64(c.measured_delivered);
+      w.f64(c.measured_delay_sum_s);
+      w.u64(c.dropped);
+    };
+    w.u64(prev_links_.size());
+    for (const LinkCumulative& c : prev_links_) save_link(c);
+    w.u64(prev_link_t_.size());
+    for (Time t : prev_link_t_) w.f64(t);
+    w.u64(prev_flows_.size());
+    for (const FlowCumulative& c : prev_flows_) save_flow(c);
+    w.u64(prev_dest_versions_.size());
+    for (std::uint64_t v : prev_dest_versions_) w.u64(v);
+    w.u64(prev_control_.lsus_originated);
+    w.u64(prev_control_.lsus_retransmitted);
+    w.u64(prev_control_.lsus_suppressed);
+    w.u64(prev_control_.acks);
+    w.u64(prev_control_.hellos);
+    w.f64(prev_control_.control_bits);
+    w.u64(prev_control_.control_dropped);
+  }
+  void load(ckpt::Reader& r) {
+    const auto load_link = [&r](LinkCumulative& c) {
+      c.busy_time = r.f64();
+      c.queue_bits = r.f64();
+      c.queue_packets = r.u64();
+      c.data_bits = r.f64();
+      c.control_bits = r.f64();
+      c.drops = r.u64();
+    };
+    const auto load_flow = [&r](FlowCumulative& c) {
+      c.injected = r.u64();
+      c.delivered = r.u64();
+      c.delay_sum_s = r.f64();
+      c.measured_delivered = r.u64();
+      c.measured_delay_sum_s = r.f64();
+      c.dropped = r.u64();
+    };
+    prev_links_.resize(r.u64());
+    for (LinkCumulative& c : prev_links_) load_link(c);
+    prev_link_t_.resize(r.u64());
+    for (Time& t : prev_link_t_) t = r.f64();
+    prev_flows_.resize(r.u64());
+    for (FlowCumulative& c : prev_flows_) load_flow(c);
+    prev_dest_versions_.resize(r.u64());
+    for (std::uint64_t& v : prev_dest_versions_) v = r.u64();
+    prev_control_.lsus_originated = r.u64();
+    prev_control_.lsus_retransmitted = r.u64();
+    prev_control_.lsus_suppressed = r.u64();
+    prev_control_.acks = r.u64();
+    prev_control_.hellos = r.u64();
+    prev_control_.control_bits = r.f64();
+    prev_control_.control_dropped = r.u64();
+  }
 
  private:
   Duration interval_;

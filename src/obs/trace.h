@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "graph/topology.h"
 #include "obs/metrics.h"
 #include "util/time.h"
@@ -55,6 +56,26 @@ struct Event {
   double b = 0;
 };
 
+inline void save_event(ckpt::Writer& w, const Event& e) {
+  w.f64(e.t);
+  w.u64(static_cast<std::uint64_t>(e.node));
+  w.u8(static_cast<std::uint8_t>(e.type));
+  w.u64(static_cast<std::uint64_t>(e.peer));
+  w.f64(e.a);
+  w.f64(e.b);
+}
+
+inline Event load_event(ckpt::Reader& r) {
+  Event e;
+  e.t = r.f64();
+  e.node = static_cast<graph::NodeId>(r.u64());
+  e.type = static_cast<EventType>(r.u8());
+  e.peer = static_cast<graph::NodeId>(r.u64());
+  e.a = r.f64();
+  e.b = r.f64();
+  return e;
+}
+
 /// Per-node bounded rings of Events plus (optionally) a full append-only
 /// trace. Single-threaded by design, like the simulator that feeds it.
 class FlightRecorder {
@@ -78,6 +99,44 @@ class FlightRecorder {
 
   std::uint64_t recorded() const { return next_seq_; }
   std::size_t ring_capacity() const { return ring_capacity_; }
+
+  /// Checkpoints ring contents, cursors, the retained trace and the event
+  /// sequence counter; configuration (capacity, keep_all, the registry
+  /// pointers) is reconstructed by the owning simulator.
+  void save(ckpt::Writer& w) const {
+    const auto save_ring = [&w](const Ring& ring) {
+      w.u64(ring.slots.size());
+      for (const Stamped& s : ring.slots) {
+        save_event(w, s.event);
+        w.u64(s.seq);
+      }
+      w.u64(ring.next);
+    };
+    w.u64(rings_.size());
+    for (const Ring& ring : rings_) save_ring(ring);
+    save_ring(off_node_);
+    w.u64(trace_.size());
+    for (const Event& e : trace_) save_event(w, e);
+    w.u64(next_seq_);
+  }
+  void load(ckpt::Reader& r) {
+    const auto load_ring = [&r](Ring& ring) {
+      ring.slots.resize(r.u64());
+      for (Stamped& s : ring.slots) {
+        s.event = load_event(r);
+        s.seq = r.u64();
+      }
+      ring.next = r.u64();
+    };
+    if (r.u64() != rings_.size()) {
+      throw ckpt::Error("flight recorder ring count mismatch");
+    }
+    for (Ring& ring : rings_) load_ring(ring);
+    load_ring(off_node_);
+    trace_.resize(r.u64());
+    for (Event& e : trace_) e = load_event(r);
+    next_seq_ = r.u64();
+  }
 
  private:
   struct Stamped {

@@ -76,6 +76,31 @@ class FlapDamper {
   /// default; one branch per transition when off.
   void set_probe(const obs::Probe& probe) { probe_ = probe; }
 
+  void save(ckpt::Writer& w) const {
+    w.u64(states_.size());
+    for (const auto& [k, s] : states_) {
+      w.i64(k);
+      w.f64(s.penalty);
+      w.f64(s.stamp);
+      w.b(s.suppressed);
+    }
+    w.u64(damped_withdrawals_);
+    w.u64(suppressed_ups_);
+  }
+  void load(ckpt::Reader& r) {
+    states_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<graph::NodeId>(r.i64());
+      State& s = states_[k];
+      s.penalty = r.f64();
+      s.stamp = r.f64();
+      s.suppressed = r.b();
+    }
+    damped_withdrawals_ = r.u64();
+    suppressed_ups_ = r.u64();
+  }
+
  private:
   struct State {
     double penalty = 0;

@@ -33,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "graph/topology.h"
 #include "util/time.h"
 
@@ -92,6 +93,33 @@ class HelloProtocol {
   std::vector<graph::NodeId> heard_neighbors() const;
   const Options& options() const { return options_; }
   std::uint32_t generation() const { return generation_; }
+
+  void save(ckpt::Writer& w) const {
+    w.u32(generation_);
+    w.u64(peers_.size());
+    for (const auto& [k, peer] : peers_) {
+      w.i64(k);
+      w.b(peer.heard);
+      w.b(peer.two_way);
+      w.f64(peer.last_heard);
+      w.u32(peer.generation);
+      w.b(peer.generation_known);
+    }
+  }
+  void load(ckpt::Reader& r) {
+    generation_ = r.u32();
+    peers_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<graph::NodeId>(r.i64());
+      Peer& peer = peers_[k];
+      peer.heard = r.b();
+      peer.two_way = r.b();
+      peer.last_heard = r.f64();
+      peer.generation = r.u32();
+      peer.generation_known = r.b();
+    }
+  }
 
  private:
   struct Peer {

@@ -83,6 +83,60 @@ class RouterTables {
   const LinkStateTable& main_topology() const { return main_; }
   const LinkStateTable& neighbor_topology(graph::NodeId k) const;
 
+  void save(ckpt::Writer& w) const {
+    main_.save(w);
+    w.u64(nbr_topo_.size());
+    for (const auto& [k, table] : nbr_topo_) {
+      w.i64(k);
+      table.save(w);
+    }
+    w.u64(nbr_dist_.size());
+    for (const auto& [k, dists] : nbr_dist_) {
+      w.i64(k);
+      w.u64(dists.size());
+      for (graph::Cost c : dists) w.f64(c);
+    }
+    w.u64(link_costs_.size());
+    for (const auto& [k, c] : link_costs_) {
+      w.i64(k);
+      w.f64(c);
+    }
+    w.u64(neighbors_.size());
+    for (graph::NodeId k : neighbors_) w.i64(k);
+    w.u64(dist_.size());
+    for (graph::Cost c : dist_) w.f64(c);
+  }
+  void load(ckpt::Reader& r) {
+    main_.load(r);
+    nbr_topo_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<graph::NodeId>(r.i64());
+      nbr_topo_[k].load(r);
+    }
+    nbr_dist_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<graph::NodeId>(r.i64());
+      auto& dists = nbr_dist_[k];
+      dists.resize(r.u64());
+      for (graph::Cost& c : dists) c = r.f64();
+    }
+    link_costs_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<graph::NodeId>(r.i64());
+      link_costs_[k] = r.f64();
+    }
+    neighbors_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      neighbors_.insert(static_cast<graph::NodeId>(r.i64()));
+    }
+    dist_.resize(r.u64());
+    for (graph::Cost& c : dist_) c = r.f64();
+  }
+
  private:
   graph::NodeId self_;
   std::size_t num_nodes_;

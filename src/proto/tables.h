@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "graph/dijkstra.h"
 #include "graph/topology.h"
 #include "proto/lsu.h"
@@ -51,6 +52,24 @@ class LinkStateTable {
                                     const LinkStateTable& after);
 
   friend bool operator==(const LinkStateTable&, const LinkStateTable&) = default;
+
+  void save(ckpt::Writer& w) const {
+    w.u64(links_.size());
+    for (const auto& [key, cost] : links_) {
+      w.i64(key.first);
+      w.i64(key.second);
+      w.f64(cost);
+    }
+  }
+  void load(ckpt::Reader& r) {
+    links_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto head = static_cast<graph::NodeId>(r.i64());
+      const auto tail = static_cast<graph::NodeId>(r.i64());
+      links_[{head, tail}] = r.f64();
+    }
+  }
 
  private:
   using Key = std::pair<graph::NodeId, graph::NodeId>;

@@ -1,9 +1,15 @@
 #include "runner/experiment_runner.h"
 
+#include <atomic>
 #include <cassert>
+#include <chrono>
+#include <fstream>
 #include <iomanip>
 #include <limits>
+#include <memory>
 #include <ostream>
+#include <sstream>
+#include <thread>
 #include <utility>
 
 #include "runner/pool.h"
@@ -24,20 +30,153 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index) {
 ExperimentRunner::ExperimentRunner(Options options)
     : options_(std::move(options)) {}
 
-std::vector<sim::SimResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
+namespace {
+
+// Per-job watchdog slot. `deadline` is a steady-clock timestamp in
+// milliseconds; kUnarmed means the job is not running an attempt. The
+// watchdog thread only ever flips `cancel` to true; the owning job resets
+// both between attempts.
+struct JobWatch {
+  static constexpr std::int64_t kUnarmed =
+      std::numeric_limits<std::int64_t>::max();
+  std::atomic<bool> cancel{false};
+  std::atomic<std::int64_t> deadline_ms{kUnarmed};
+};
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string marker_path(const std::string& dir, std::size_t job_index) {
+  return dir + "/job" + std::to_string(job_index) + ".done";
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace
+
+std::vector<sim::SimResult> ExperimentRunner::run(
+    const std::vector<Job>& jobs, std::vector<JobOutcome>* outcomes_out) {
   std::vector<sim::SimResult> results(jobs.size());
-  Pool pool(options_.jobs);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const Job* job = &jobs[i];
-    sim::SimResult* slot = &results[i];
-    const std::uint64_t seed = derive_seed(options_.base_seed, i);
-    pool.submit([job, slot, seed] {
-      sim::ExperimentSpec spec = job->spec;
-      spec.config.seed = seed;
-      *slot = sim::run_experiment(spec, job->mode);
+  std::vector<JobOutcome> outcomes(jobs.size());
+
+  // One watchdog thread polls every running job's deadline and cancels
+  // overruns cooperatively (the sim checks SimConfig::cancel at its safe
+  // boundaries). Polling at 20 ms keeps the timeout resolution far below
+  // any sensible job budget without per-job timer threads.
+  std::vector<std::unique_ptr<JobWatch>> watches;
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  const bool timed = options_.job_timeout_s > 0;
+  if (timed) {
+    watches.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      watches.push_back(std::make_unique<JobWatch>());
+    }
+    watchdog = std::thread([&watches, &watchdog_stop] {
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        const std::int64_t now = steady_now_ms();
+        for (const auto& w : watches) {
+          if (now >= w->deadline_ms.load(std::memory_order_acquire)) {
+            w->cancel.store(true, std::memory_order_release);
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
     });
   }
-  pool.wait();
+
+  const auto run_fn =
+      options_.run_fn
+          ? options_.run_fn
+          : [](const sim::ExperimentSpec& spec, const std::string& mode) {
+              return sim::run_experiment(spec, mode);
+            };
+  const int max_attempts = std::max(1, options_.max_attempts);
+
+  {
+    Pool pool(options_.jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const Job* job = &jobs[i];
+      sim::SimResult* slot = &results[i];
+      JobOutcome* outcome = &outcomes[i];
+      JobWatch* watch = timed ? watches[i].get() : nullptr;
+      const std::uint64_t seed = derive_seed(options_.base_seed, i);
+      pool.submit([this, job, slot, outcome, watch, seed, i, max_attempts,
+                   &run_fn] {
+        // Batch resume: a marker from a previous (interrupted) batch means
+        // this job already completed — skip it and leave the default
+        // SimResult, which the aggregation stages ignore.
+        if (!options_.result_dir.empty() &&
+            file_exists(marker_path(options_.result_dir, i))) {
+          outcome->status = "cached";
+          return;
+        }
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+          outcome->attempts = attempt;
+          try {
+            sim::ExperimentSpec spec = job->spec;
+            spec.config.seed = seed;  // same derived seed on every attempt
+            if (watch != nullptr) {
+              watch->cancel.store(false, std::memory_order_release);
+              watch->deadline_ms.store(
+                  steady_now_ms() +
+                      static_cast<std::int64_t>(options_.job_timeout_s * 1e3),
+                  std::memory_order_release);
+              spec.config.cancel = &watch->cancel;
+            }
+            *slot = run_fn(spec, job->mode);
+            if (watch != nullptr) {
+              watch->deadline_ms.store(JobWatch::kUnarmed,
+                                       std::memory_order_release);
+            }
+            outcome->status = "ok";
+            outcome->error.clear();
+            if (!options_.result_dir.empty()) {
+              std::ofstream marker(marker_path(options_.result_dir, i));
+              marker << "seed " << seed << "\n";
+            }
+            return;
+          } catch (const sim::SimCancelled&) {
+            outcome->status = "failed";
+            std::ostringstream msg;
+            msg << "wall-clock budget exceeded (" << options_.job_timeout_s
+                << " s)";
+            outcome->error = msg.str();
+          } catch (const std::exception& e) {
+            outcome->status = "failed";
+            outcome->error = e.what();
+          } catch (...) {
+            outcome->status = "failed";
+            outcome->error = "unknown error";
+          }
+          if (watch != nullptr) {
+            watch->deadline_ms.store(JobWatch::kUnarmed,
+                                     std::memory_order_release);
+          }
+          if (attempt < max_attempts) {
+            // Exponential backoff at the same seed: transient failures
+            // (disk, memory pressure) get room to clear.
+            const double sleep_s =
+                options_.backoff_initial_s * static_cast<double>(1 << (attempt - 1));
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(sleep_s));
+          }
+        }
+      });
+    }
+    pool.wait();
+  }
+
+  if (timed) {
+    watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
+  }
+  if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
   return results;
 }
 
@@ -51,9 +190,13 @@ BatchResult ExperimentRunner::run_replicated(const sim::ExperimentSpec& spec,
   batch.mode = mode;
   batch.base_seed = options_.base_seed;
   batch.jobs = options_.jobs;
-  batch.runs = run(jobs);
+  batch.runs = run(jobs, &batch.outcomes);
   batch.flows = aggregate_flows(batch.runs);
-  for (const auto& r : batch.runs) {
+  for (std::size_t i = 0; i < batch.runs.size(); ++i) {
+    // Failed and cached jobs hold a default SimResult; folding their zeros
+    // into the batch statistics would silently bias every aggregate.
+    if (!batch.outcomes[i].ok()) continue;
+    const auto& r = batch.runs[i];
     batch.avg_delay_s.add(r.avg_delay_s);
     // Deterministic merge order: job index, never completion order.
     if (r.telemetry.has_value()) batch.metrics.merge(r.telemetry->metrics);
@@ -64,11 +207,21 @@ BatchResult ExperimentRunner::run_replicated(const sim::ExperimentSpec& spec,
 std::vector<FlowAggregate> aggregate_flows(
     const std::vector<sim::SimResult>& runs) {
   std::vector<FlowAggregate> out;
-  if (runs.empty()) return out;
-  const std::size_t num_flows = runs.front().flows.size();
+  // Failed/cached jobs leave a default SimResult with no flows; the first
+  // populated run defines the flow set, empty runs are skipped entirely.
+  const sim::SimResult* reference = nullptr;
+  for (const auto& run : runs) {
+    if (!run.flows.empty()) {
+      reference = &run;
+      break;
+    }
+  }
+  if (reference == nullptr) return out;
+  const std::size_t num_flows = reference->flows.size();
   // One reservoir of per-seed mean delays per flow.
   std::vector<Samples> reservoirs(num_flows);
   for (const auto& run : runs) {
+    if (run.flows.empty()) continue;
     assert(run.flows.size() == num_flows);
     for (std::size_t f = 0; f < num_flows; ++f) {
       reservoirs[f].add(run.flows[f].mean_delay_s);
@@ -76,7 +229,7 @@ std::vector<FlowAggregate> aggregate_flows(
   }
   out.reserve(num_flows);
   for (std::size_t f = 0; f < num_flows; ++f) {
-    const auto& first = runs.front().flows[f];
+    const auto& first = reference->flows[f];
     OnlineStats stats;
     for (const double x : reservoirs[f].values()) stats.add(x);
     FlowAggregate agg;
@@ -142,8 +295,17 @@ void write_results_json(std::ostream& os, const BatchResult& batch,
   os << "  \"runs\": [\n";
   for (std::size_t i = 0; i < batch.runs.size(); ++i) {
     const auto& r = batch.runs[i];
+    // Batches produced before fault tolerance have no outcomes; treat every
+    // row as a first-try success so the schema stays uniform.
+    const JobOutcome* oc =
+        i < batch.outcomes.size() ? &batch.outcomes[i] : nullptr;
     os << "    {\"seed\": " << derive_seed(batch.base_seed, i)
-       << ", \"avg_delay_s\": " << r.avg_delay_s
+       << ", \"status\": \"" << escape(oc != nullptr ? oc->status : "ok")
+       << "\", \"attempts\": " << (oc != nullptr ? oc->attempts : 1);
+    if (oc != nullptr && !oc->error.empty()) {
+      os << ", \"error\": \"" << escape(oc->error) << "\"";
+    }
+    os << ", \"avg_delay_s\": " << r.avg_delay_s
        << ", \"delivered\": " << r.delivered << ", \"dropped\": "
        << (r.dropped_no_route + r.dropped_ttl + r.dropped_queue +
            r.dropped_dead)

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -30,8 +31,46 @@ struct Job {
 };
 
 struct Options {
+  Options() = default;
+  Options(int jobs_, std::uint64_t base_seed_)
+      : jobs(jobs_), base_seed(base_seed_) {}
+
   int jobs = 1;                 ///< worker threads
   std::uint64_t base_seed = 1;  ///< per-job seeds derive from this
+
+  // --- fault tolerance (docs/RUNNER.md "Fault-tolerant batches") ----------
+
+  /// Tries per job (>= 1). A job that throws is retried at the SAME derived
+  /// seed after an exponential backoff; only after the last attempt fails is
+  /// it reported as "failed". Other jobs are never affected.
+  int max_attempts = 1;
+  /// Sleep before retry k is backoff_initial_s * 2^(k-1) seconds.
+  double backoff_initial_s = 0.5;
+  /// Per-job wall-clock budget in seconds; 0 disables the watchdog. An
+  /// overrunning simulation is cancelled cooperatively (SimConfig::cancel is
+  /// checked at the sim's safe boundaries) and counts as a failed attempt.
+  double job_timeout_s = 0;
+  /// Batch-level resume: when non-empty, a job whose marker file
+  /// "<result_dir>/job<index>.done" exists is skipped with status "cached"
+  /// (excluded from aggregates), and every successful job writes its marker
+  /// on completion. Re-running an interrupted batch completes only the
+  /// missing jobs.
+  std::string result_dir;
+  /// Test hook: replaces sim::run_experiment as the job body (the fault
+  /// tolerance machinery around it stays identical). Null = the real sim.
+  std::function<sim::SimResult(const sim::ExperimentSpec&,
+                               const std::string& mode)>
+      run_fn;
+};
+
+/// Per-job execution record: how the job ended, how many attempts it took,
+/// and the last error when it failed. Reported alongside the SimResult in
+/// BatchResult and the JSON "runs" rows.
+struct JobOutcome {
+  std::string status = "ok";  ///< "ok" | "failed" | "cached"
+  int attempts = 0;
+  std::string error;  ///< last exception message when status == "failed"
+  bool ok() const { return status == "ok"; }
 };
 
 /// Cross-replication statistics for one flow: the per-seed mean delays are
@@ -51,6 +90,9 @@ struct BatchResult {
   std::uint64_t base_seed = 0;
   int jobs = 1;
   std::vector<sim::SimResult> runs;  ///< by job index (== replication index)
+  /// By job index: failed/cached jobs keep a default SimResult in `runs`
+  /// and are excluded from `flows`, `avg_delay_s` and `metrics`.
+  std::vector<JobOutcome> outcomes;
   std::vector<FlowAggregate> flows;  ///< cross-seed per-flow statistics
   OnlineStats avg_delay_s;           ///< per-run network averages
   /// Per-run metric registries merged in job order — counters add,
@@ -60,7 +102,8 @@ struct BatchResult {
 };
 
 /// Per-flow aggregation across runs that share one flow set (samples are
-/// collected into util/stats.h reservoirs, one per flow).
+/// collected into util/stats.h reservoirs, one per flow). Runs with no
+/// flows — failed or cached jobs — are skipped.
 std::vector<FlowAggregate> aggregate_flows(
     const std::vector<sim::SimResult>& runs);
 
@@ -70,7 +113,12 @@ class ExperimentRunner {
 
   /// Runs every job (job i simulates with seed derive_seed(base_seed, i))
   /// and returns the results in job order — identical for any jobs count.
-  std::vector<sim::SimResult> run(const std::vector<Job>& jobs);
+  /// A job that throws (after Options::max_attempts tries) or overruns the
+  /// watchdog leaves a default SimResult and a "failed" outcome; it never
+  /// tears down the batch. `outcomes`, when non-null, receives one
+  /// JobOutcome per job.
+  std::vector<sim::SimResult> run(const std::vector<Job>& jobs,
+                                  std::vector<JobOutcome>* outcomes = nullptr);
 
   /// Replicates one experiment `replications` times under derived seeds and
   /// aggregates the per-flow delays.

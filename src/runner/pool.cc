@@ -47,7 +47,15 @@ void Pool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    // Last-resort backstop: an exception escaping a worker thread would hit
+    // std::terminate and kill every other job in the batch. Tasks that care
+    // about the error (ExperimentRunner) catch and record it themselves;
+    // anything that still escapes is swallowed here so the pool survives
+    // and the in-flight bookkeeping stays correct.
+    try {
+      task();
+    } catch (...) {
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

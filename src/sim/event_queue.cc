@@ -119,14 +119,43 @@ void EventQueue::cascade_until(Time bound) {
 
 void EventQueue::schedule_at(Time t, Callback fn) {
   const std::uint32_t idx = alloc_record(t, Kind::kCallback);
-  pool_[idx].fn = std::move(fn);
+  Record& rec = pool_[idx];
+  rec.fn = std::move(fn);
+  rec.op = 0;  // untagged: not checkpointable (records recycle; clear stale tags)
+  push_heap(idx);
+}
+
+void EventQueue::schedule_at(Time t, Callback fn, std::uint8_t tag,
+                             std::uint64_t a, double b) {
+  assert(tag != 0);
+  const std::uint32_t idx = alloc_record(t, Kind::kCallback);
+  Record& rec = pool_[idx];
+  rec.fn = std::move(fn);
+  rec.op = tag;
+  rec.epoch = a;
+  rec.arg = b;
   push_heap(idx);
 }
 
 void EventQueue::schedule_timer(TimerClass cls, Time t, Callback fn) {
   ++timer_counts_[static_cast<std::size_t>(cls)];
   const std::uint32_t idx = alloc_record(t, Kind::kCallback);
-  pool_[idx].fn = std::move(fn);
+  Record& rec = pool_[idx];
+  rec.fn = std::move(fn);
+  rec.op = 0;
+  push_wheel(idx);
+}
+
+void EventQueue::schedule_timer(TimerClass cls, Time t, Callback fn,
+                                std::uint8_t tag, std::uint64_t a, double b) {
+  assert(tag != 0);
+  ++timer_counts_[static_cast<std::size_t>(cls)];
+  const std::uint32_t idx = alloc_record(t, Kind::kCallback);
+  Record& rec = pool_[idx];
+  rec.fn = std::move(fn);
+  rec.op = tag;
+  rec.epoch = a;
+  rec.arg = b;
   push_wheel(idx);
 }
 
@@ -282,6 +311,187 @@ Time EventQueue::next_event_before(Time bound) {
     return std::numeric_limits<Time>::infinity();
   }
   return heap_[0].time;
+}
+
+// ------------------------------------------------------------ checkpointing
+
+namespace {
+/// Node-timer classes in their wire order; a kNodeTimer record stores the
+/// index into this table instead of the raw member-function pointer.
+constexpr TimerClass kNodeTimerClasses[] = {
+    TimerClass::kHello, TimerClass::kShortTerm, TimerClass::kLongTerm,
+    TimerClass::kRetransmit, TimerClass::kPacing};
+constexpr std::uint8_t kNumNodeTimerClasses = 5;
+}  // namespace
+
+void EventQueue::save(ckpt::Writer& w, const EventQueueCodec& codec) const {
+  w.mark(0xE0);
+  w.f64(now_);
+  w.u64(next_seq_);
+  w.u64(processed_);
+
+  // The pool holds live records (each referenced exactly once by a heap slot
+  // or wheel bucket) and recycled ones chained through the free list; free
+  // records carry only their chain link.
+  std::vector<bool> is_free(pool_.size(), false);
+  for (std::uint32_t i = free_head_; i != kNil; i = pool_[i].next_free) {
+    is_free[i] = true;
+  }
+  w.u64(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const Record& rec = pool_[i];
+    w.b(is_free[i]);
+    if (is_free[i]) {
+      w.u32(rec.next_free);
+      continue;
+    }
+    w.f64(rec.time);
+    w.u64(rec.seq);
+    w.u8(static_cast<std::uint8_t>(rec.kind));
+    switch (rec.kind) {
+      case Kind::kCallback:
+        if (rec.op == 0) {
+          throw ckpt::Error(
+              "cannot checkpoint: a pending callback event was scheduled "
+              "without a rebuild descriptor (untagged schedule_at)");
+        }
+        w.u8(rec.op);
+        w.u64(rec.epoch);
+        w.f64(rec.arg);
+        break;
+      case Kind::kTransmitComplete:
+        w.u64(codec.link_index(static_cast<const SimLink*>(rec.target)));
+        w.u64(rec.epoch);
+        break;
+      case Kind::kDeliver:
+        w.u64(codec.link_index(static_cast<const SimLink*>(rec.target)));
+        w.u64(rec.epoch);
+        save_packet(w, rec.packet);
+        break;
+      case Kind::kSourceEmit:
+        w.u64(codec.source_index(
+            static_cast<const TrafficSource*>(rec.target)));
+        w.u8(rec.op);
+        w.f64(rec.arg);
+        break;
+      case Kind::kNodeTimer: {
+        w.u64(codec.node_index(static_cast<const SimNode*>(rec.target)));
+        w.u64(rec.epoch);
+        std::uint8_t cls_idx = 0xff;
+        for (std::uint8_t c = 0; c < kNumNodeTimerClasses; ++c) {
+          if (SimNode::timer_method(kNodeTimerClasses[c]) == rec.method) {
+            cls_idx = c;
+            break;
+          }
+        }
+        if (cls_idx == 0xff) {
+          throw ckpt::Error("cannot checkpoint: unknown node-timer method");
+        }
+        w.u8(cls_idx);
+        break;
+      }
+    }
+  }
+  w.u32(free_head_);
+
+  w.u64(heap_.size());
+  for (const HeapSlot& slot : heap_) {
+    w.f64(slot.time);
+    w.u64(slot.seq);
+    w.u32(slot.rec);
+  }
+
+  for (const auto& slot : wheel_) {
+    w.u64(slot.size());
+    for (std::uint32_t idx : slot) w.u32(idx);
+  }
+  w.i64(next_cascade_slot_);
+  w.u64(wheel_count_);
+  w.u64(live_source_events_);
+  for (std::uint64_t c : timer_counts_) w.u64(c);
+}
+
+void EventQueue::load(ckpt::Reader& r, const EventQueueCodec& codec) {
+  r.expect_mark(0xE0);
+  now_ = r.f64();
+  next_seq_ = r.u64();
+  processed_ = r.u64();
+
+  pool_.clear();
+  pool_.resize(r.u64());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    Record& rec = pool_[i];
+    if (r.b()) {
+      rec.next_free = r.u32();
+      continue;
+    }
+    rec.time = r.f64();
+    rec.seq = r.u64();
+    rec.kind = static_cast<Kind>(r.u8());
+    rec.next_free = kNil;
+    switch (rec.kind) {
+      case Kind::kCallback:
+        rec.op = r.u8();
+        rec.epoch = r.u64();
+        rec.arg = r.f64();
+        rec.fn = codec.make_callback(rec.op, rec.epoch, rec.arg);
+        if (!rec.fn) {
+          throw ckpt::Error("checkpoint callback descriptor not recognized");
+        }
+        break;
+      case Kind::kTransmitComplete:
+        rec.target = codec.link_at(r.u64());
+        rec.epoch = r.u64();
+        break;
+      case Kind::kDeliver:
+        rec.target = codec.link_at(r.u64());
+        rec.epoch = r.u64();
+        rec.packet = load_packet(r);
+        break;
+      case Kind::kSourceEmit:
+        rec.target = codec.source_at(r.u64());
+        rec.op = r.u8();
+        rec.arg = r.f64();
+        break;
+      case Kind::kNodeTimer: {
+        rec.target = codec.node_at(r.u64());
+        rec.epoch = r.u64();
+        const std::uint8_t cls_idx = r.u8();
+        if (cls_idx >= kNumNodeTimerClasses) {
+          throw ckpt::Error("bad node-timer class in checkpoint");
+        }
+        rec.method = SimNode::timer_method(kNodeTimerClasses[cls_idx]);
+        break;
+      }
+      default:
+        throw ckpt::Error("bad event record kind in checkpoint");
+    }
+  }
+  free_head_ = r.u32();
+
+  heap_.resize(r.u64());
+  for (HeapSlot& slot : heap_) {
+    slot.time = r.f64();
+    slot.seq = r.u64();
+    slot.rec = r.u32();
+    if (slot.rec >= pool_.size()) {
+      throw ckpt::Error("heap slot references bad record");
+    }
+  }
+
+  for (auto& slot : wheel_) {
+    slot.resize(r.u64());
+    for (std::uint32_t& idx : slot) {
+      idx = r.u32();
+      if (idx >= pool_.size()) {
+        throw ckpt::Error("wheel bucket references bad record");
+      }
+    }
+  }
+  next_cascade_slot_ = r.i64();
+  wheel_count_ = r.u64();
+  live_source_events_ = r.u64();
+  for (std::uint64_t& c : timer_counts_) c = r.u64();
 }
 
 }  // namespace mdr::sim

@@ -28,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "sim/packet.h"
 #include "util/time.h"
 
@@ -36,6 +37,23 @@ namespace mdr::sim {
 class SimLink;
 class SimNode;
 class TrafficSource;
+
+/// Translation layer between an EventQueue's pointer-based records and the
+/// index-based checkpoint representation. The owning simulator supplies
+/// stable entity indices (links/nodes/sources in construction order) and a
+/// factory that rebuilds a tagged callback from its (tag, a, b) descriptor —
+/// the tag namespace is owned by the simulator (sim/network_sim.cc).
+struct EventQueueCodec {
+  std::function<std::uint64_t(const SimLink*)> link_index;
+  std::function<SimLink*(std::uint64_t)> link_at;
+  std::function<std::uint64_t(const SimNode*)> node_index;
+  std::function<SimNode*(std::uint64_t)> node_at;
+  std::function<std::uint64_t(const TrafficSource*)> source_index;
+  std::function<TrafficSource*(std::uint64_t)> source_at;
+  std::function<std::function<void()>(std::uint8_t tag, std::uint64_t a,
+                                      double b)>
+      make_callback;
+};
 
 /// What a timer is for. One typed scheduling surface replaces the former
 /// per-purpose schedule_timer_* entry points: protocol timers (node-bound,
@@ -77,12 +95,25 @@ class EventQueue {
     schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Tagged variant: `tag` (nonzero) plus the `a`/`b` descriptor payload let
+  /// save()/load() round-trip the event — the owning simulator rebuilds the
+  /// closure from the descriptor at restore time. Untagged callback events
+  /// still pending at a checkpoint make save() throw, so nothing silently
+  /// vanishes across a resume.
+  void schedule_at(Time t, Callback fn, std::uint8_t tag, std::uint64_t a = 0,
+                   double b = 0);
+
   // --- timers (the unified typed surface) ----------------------------------
 
   /// Schedules `fn` at absolute `t` on the timer wheel: same semantics as
   /// schedule_at, but periodic low-rate timers parked here stop churning
   /// the main heap. `cls` tags the timer for auditing (timers_scheduled()).
   void schedule_timer(TimerClass cls, Time t, Callback fn);
+
+  /// Tagged variant (see the tagged schedule_at): checkpointable timer
+  /// callback with a (tag, a, b) rebuild descriptor.
+  void schedule_timer(TimerClass cls, Time t, Callback fn, std::uint8_t tag,
+                      std::uint64_t a = 0, double b = 0);
 
   void schedule_timer_in(TimerClass cls, Duration delay, Callback fn) {
     schedule_timer(cls, now_ + delay, std::move(fn));
@@ -182,6 +213,15 @@ class EventQueue {
 
   std::size_t heap_pending() const { return heap_.size(); }
   std::size_t wheel_pending() const { return wheel_count_; }
+
+  // --- checkpointing -------------------------------------------------------
+
+  /// Serializes the complete queue: clock, seq counter, the record pool with
+  /// its free list, heap slots, timer-wheel buckets and the cascade cursor —
+  /// a restored queue replays the exact same (time, seq) event order.
+  /// Throws ckpt::Error if an untagged callback event is pending.
+  void save(ckpt::Writer& w, const EventQueueCodec& codec) const;
+  void load(ckpt::Reader& r, const EventQueueCodec& codec);
 
  private:
   enum class Kind : std::uint8_t {

@@ -260,4 +260,119 @@ double SimLink::take_long_estimate() {
   return est;
 }
 
+// ------------------------------------------------------------ checkpointing
+
+namespace {
+
+void save_queued(ckpt::Writer& w, const Packet& packet, Time enqueued,
+                 bool starts_busy_period) {
+  save_packet(w, packet);
+  w.f64(enqueued);
+  w.b(starts_busy_period);
+}
+
+}  // namespace
+
+void SimLink::save(ckpt::Writer& w) const {
+  w.mark(0x11);
+  rng_.save(w);
+  gilbert_.save(w);
+  const auto save_queue = [&w](const std::deque<Queued>& q) {
+    w.u64(q.size());
+    for (const Queued& e : q) {
+      save_queued(w, e.packet, e.enqueued, e.starts_busy_period);
+    }
+  };
+  save_queue(control_queue_);
+  save_queue(data_queue_);
+  w.b(in_service_.has_value());
+  if (in_service_.has_value()) {
+    save_queued(w, in_service_->packet, in_service_->enqueued,
+                in_service_->starts_busy_period);
+  }
+  w.f64(queued_bits_);
+  w.f64(control_queued_bits_);
+  w.b(transmitting_);
+  w.b(up_);
+  w.u64(epoch_);
+  short_estimator_->save(w);
+  long_estimator_->save(w);
+  w.f64(short_window_start_);
+  w.f64(long_window_start_);
+  w.u64(data_packets_);
+  w.u64(control_packets_);
+  w.f64(data_bits_);
+  w.f64(control_bits_);
+  w.u64(drops_);
+  w.u64(data_dropped_);
+  w.u64(control_dropped_queue_);
+  w.u64(control_dropped_wire_);
+  w.u64(control_dropped_flush_);
+  w.u64(control_dropped_down_);
+  w.u64(busy_periods_);
+  w.u64(wire_sent_data_);
+  w.u64(wire_sent_control_);
+  w.u64(wire_delivered_data_);
+  w.u64(wire_delivered_control_);
+  w.u64(wire_flushed_data_);
+  w.u64(wire_flushed_control_);
+  w.f64(busy_time_);
+  w.u64(wire_seq_);
+}
+
+void SimLink::load(ckpt::Reader& r) {
+  r.expect_mark(0x11);
+  rng_.load(r);
+  gilbert_.load(r);
+  const auto load_queue = [&r](std::deque<Queued>& q) {
+    q.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Queued e;
+      e.packet = load_packet(r);
+      e.enqueued = r.f64();
+      e.starts_busy_period = r.b();
+      q.push_back(std::move(e));
+    }
+  };
+  load_queue(control_queue_);
+  load_queue(data_queue_);
+  in_service_.reset();
+  if (r.b()) {
+    Queued e;
+    e.packet = load_packet(r);
+    e.enqueued = r.f64();
+    e.starts_busy_period = r.b();
+    in_service_ = std::move(e);
+  }
+  queued_bits_ = r.f64();
+  control_queued_bits_ = r.f64();
+  transmitting_ = r.b();
+  up_ = r.b();
+  epoch_ = r.u64();
+  short_estimator_->load(r);
+  long_estimator_->load(r);
+  short_window_start_ = r.f64();
+  long_window_start_ = r.f64();
+  data_packets_ = r.u64();
+  control_packets_ = r.u64();
+  data_bits_ = r.f64();
+  control_bits_ = r.f64();
+  drops_ = r.u64();
+  data_dropped_ = r.u64();
+  control_dropped_queue_ = r.u64();
+  control_dropped_wire_ = r.u64();
+  control_dropped_flush_ = r.u64();
+  control_dropped_down_ = r.u64();
+  busy_periods_ = r.u64();
+  wire_sent_data_ = r.u64();
+  wire_sent_control_ = r.u64();
+  wire_delivered_data_ = r.u64();
+  wire_delivered_control_ = r.u64();
+  wire_flushed_data_ = r.u64();
+  wire_flushed_control_ = r.u64();
+  busy_time_ = r.f64();
+  wire_seq_ = r.u64();
+}
+
 }  // namespace mdr::sim

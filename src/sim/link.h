@@ -174,6 +174,15 @@ class SimLink {
   /// stale (the packet was lost to a link failure en route).
   void handle_delivery(std::uint64_t epoch, Packet packet);
 
+  // --- checkpointing -------------------------------------------------------
+
+  /// Checkpoints all mutable link state: queues, the in-service packet, the
+  /// loss chains' RNG/Markov state, estimator windows, statistics counters
+  /// and the wire ledger. Configuration (attr, options, delivery callback,
+  /// shard wiring) is reconstructed by the owning simulator before load().
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
+
  private:
   struct Queued;
   void start_transmission();

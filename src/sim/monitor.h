@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "core/mp_router.h"
 #include "graph/topology.h"
 #include "util/time.h"
@@ -133,6 +134,53 @@ class InvariantMonitor {
 
   const MonitorReport& report() const { return report_; }
 
+  void save(ckpt::Writer& w) const {
+    w.u64(report_.checks);
+    w.u64(report_.forwarding_loops);
+    w.u64(report_.blackholes);
+    w.u64(report_.accounting_leaks);
+    w.u64(report_.control_drop_alerts);
+    w.u64(report_.starved_adjacencies);
+    w.f64(report_.t_last_anomaly);
+    w.u64(report_.incidents.size());
+    for (const Incident& inc : report_.incidents) {
+      w.i64(inc.node);
+      w.str(inc.name);
+      w.f64(inc.t_crash);
+      w.f64(inc.t_recovered);
+      w.f64(inc.t_reconverged);
+      w.u64(inc.packets_lost);
+    }
+    w.u64(dropped_at_crash_.size());
+    for (std::uint64_t v : dropped_at_crash_) w.u64(v);
+    w.u64(prev_control_dropped_.size());
+    for (std::uint64_t v : prev_control_dropped_) w.u64(v);
+    w.b(anomaly_open_);
+  }
+  void load(ckpt::Reader& r) {
+    report_.checks = r.u64();
+    report_.forwarding_loops = r.u64();
+    report_.blackholes = r.u64();
+    report_.accounting_leaks = r.u64();
+    report_.control_drop_alerts = r.u64();
+    report_.starved_adjacencies = r.u64();
+    report_.t_last_anomaly = r.f64();
+    report_.incidents.resize(r.u64());
+    for (Incident& inc : report_.incidents) {
+      inc.node = static_cast<graph::NodeId>(r.i64());
+      inc.name = r.str();
+      inc.t_crash = r.f64();
+      inc.t_recovered = r.f64();
+      inc.t_reconverged = r.f64();
+      inc.packets_lost = r.u64();
+    }
+    dropped_at_crash_.resize(r.u64());
+    for (std::uint64_t& v : dropped_at_crash_) v = r.u64();
+    prev_control_dropped_.resize(r.u64());
+    for (std::uint64_t& v : prev_control_dropped_) v = r.u64();
+    anomaly_open_ = r.b();
+  }
+
  private:
   const graph::Topology* topo_;
   MonitorHooks hooks_;
@@ -219,6 +267,71 @@ class StabilityMonitor {
 
   const StabilityReport& report() const { return report_; }
   const StabilityTick& last() const { return last_; }
+
+  void save(ckpt::Writer& w) const {
+    w.b(report_.unstable);
+    w.f64(report_.t_unstable);
+    w.u64(report_.ticks);
+    w.f64(report_.margin);
+    w.f64(report_.max_queue_slope_bps);
+    w.f64(report_.slope_threshold_bps);
+    w.f64(report_.baseline_delay_s);
+    w.f64(report_.peak_window_delay_s);
+    w.f64(report_.peak_queue_bits);
+    w.f64(report_.final_queue_bits);
+    w.f64(last_.t);
+    w.f64(last_.queued_bits);
+    w.f64(last_.slope_bps);
+    w.f64(last_.window_delay_s);
+    w.f64(last_.margin);
+    w.u64(window_.size());
+    for (const Sample& s : window_) {
+      w.f64(s.t);
+      w.f64(s.queued_bits);
+      w.u64(s.delivered);
+      w.f64(s.delay_sum_s);
+    }
+    const auto save_deque = [&w](const std::deque<double>& d) {
+      w.u64(d.size());
+      for (double x : d) w.f64(x);
+    };
+    save_deque(recent_q_);
+    save_deque(recent_d_);
+    save_deque(recent_slope_);
+    w.b(have_baseline_);
+  }
+  void load(ckpt::Reader& r) {
+    report_.unstable = r.b();
+    report_.t_unstable = r.f64();
+    report_.ticks = r.u64();
+    report_.margin = r.f64();
+    report_.max_queue_slope_bps = r.f64();
+    report_.slope_threshold_bps = r.f64();
+    report_.baseline_delay_s = r.f64();
+    report_.peak_window_delay_s = r.f64();
+    report_.peak_queue_bits = r.f64();
+    report_.final_queue_bits = r.f64();
+    last_.t = r.f64();
+    last_.queued_bits = r.f64();
+    last_.slope_bps = r.f64();
+    last_.window_delay_s = r.f64();
+    last_.margin = r.f64();
+    window_.resize(r.u64());
+    for (Sample& s : window_) {
+      s.t = r.f64();
+      s.queued_bits = r.f64();
+      s.delivered = r.u64();
+      s.delay_sum_s = r.f64();
+    }
+    const auto load_deque = [&r](std::deque<double>& d) {
+      d.resize(r.u64());
+      for (double& x : d) x = r.f64();
+    };
+    load_deque(recent_q_);
+    load_deque(recent_d_);
+    load_deque(recent_slope_);
+    have_baseline_ = r.b();
+  }
 
  private:
   struct Sample {

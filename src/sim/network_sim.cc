@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "core/lfi.h"
@@ -16,6 +19,28 @@ namespace mdr::sim {
 
 using graph::LinkId;
 using graph::NodeId;
+
+namespace {
+
+// Rebuild descriptors for checkpointable callback events: every generic
+// schedule_at/schedule_timer call site below tags its closure with one of
+// these opcodes plus an (a, b) payload, and make_codec()'s factory rebuilds
+// an equivalent closure from the descriptor at restore time. The payload is
+// always an index into SimConfig-owned lists (or a node id), never a
+// pointer, so descriptors survive process death.
+constexpr std::uint8_t kOpNodeStart = 1;       ///< a = node id
+constexpr std::uint8_t kOpLinkToggle = 2;      ///< a = link_toggles index
+constexpr std::uint8_t kOpCrash = 3;           ///< a = faults.crashes index
+constexpr std::uint8_t kOpRecovery = 4;        ///< a = faults.recoveries index
+constexpr std::uint8_t kOpFlap = 5;            ///< a = flaps index, b = down
+constexpr std::uint8_t kOpDuty = 6;            ///< a = duty index, b = down
+constexpr std::uint8_t kOpMonitorTick = 7;
+constexpr std::uint8_t kOpLfiTick = 8;
+constexpr std::uint8_t kOpTimeseriesTick = 9;
+constexpr std::uint8_t kOpSamplerTick = 10;
+constexpr std::uint8_t kOpStabilityTick = 11;
+
+}  // namespace
 
 NetworkSim::NetworkSim(const graph::Topology& topo,
                        const std::vector<topo::FlowSpec>& flows,
@@ -271,8 +296,8 @@ void NetworkSim::build() {
           config_.sample_interval, topo_->num_links(), flow_specs_.size(),
           &telemetry_);
       if (!sharded_) {
-        events_.schedule_timer_in(TimerClass::kSampler, config_.sample_interval,
-                                  [this] { sample_tick(); });
+        events_.schedule_timer(TimerClass::kSampler, config_.sample_interval,
+                               [this] { sample_tick(); }, kOpSamplerTick);
       }
     }
   }
@@ -300,7 +325,8 @@ void NetworkSim::build() {
   // timer phases; link_up processing itself is instantaneous and local).
   for (NodeId i = 0; i < n; ++i) {
     SimNode* node = nodes_[i].get();
-    queue_for(i).schedule_at(0, [node] { node->start(); });
+    queue_for(i).schedule_at(0, [node] { node->start(); }, kOpNodeStart,
+                             static_cast<std::uint64_t>(i));
   }
 
   // Traffic sources.
@@ -414,8 +440,8 @@ void NetworkSim::build() {
     monitor_ = std::make_unique<InvariantMonitor>(*topo_, std::move(hooks),
                                                   monitor_options);
     if (!sharded_) {
-      events_.schedule_timer_in(TimerClass::kMonitor, config_.monitor_interval,
-                                [this] { monitor_check(); });
+      events_.schedule_timer(TimerClass::kMonitor, config_.monitor_interval,
+                             [this] { monitor_check(); }, kOpMonitorTick);
     }
   }
 
@@ -436,19 +462,18 @@ void NetworkSim::build() {
       events_.schedule_timer(
           TimerClass::kStability,
           config_.traffic_start + config_.stability.interval,
-          [this] { stability_tick(); });
+          [this] { stability_tick(); }, kOpStabilityTick);
     }
   }
 
   if (config_.lfi_check_interval > 0 && config_.mode != RoutingMode::kStatic &&
       !sharded_) {
-    events_.schedule_timer_in(TimerClass::kLfi, config_.lfi_check_interval,
-                              [this] { lfi_check(); });
+    events_.schedule_timer(TimerClass::kLfi, config_.lfi_check_interval,
+                           [this] { lfi_check(); }, kOpLfiTick);
   }
   if (config_.timeseries_interval > 0 && !sharded_) {
-    events_.schedule_timer_in(TimerClass::kTimeseries,
-                              config_.timeseries_interval,
-                              [this] { timeseries_tick(); });
+    events_.schedule_timer(TimerClass::kTimeseries, config_.timeseries_interval,
+                           [this] { timeseries_tick(); }, kOpTimeseriesTick);
   }
 
   // In sharded mode every global activity scheduled above through the
@@ -485,26 +510,408 @@ AccountingSnapshot NetworkSim::accounting_snapshot() const {
   return s;
 }
 
+EventQueueCodec NetworkSim::make_codec() {
+  EventQueueCodec c;
+  auto link_idx = std::make_shared<
+      std::unordered_map<const SimLink*, std::uint64_t>>();
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    (*link_idx)[links_[i].get()] = i;
+  }
+  auto node_idx = std::make_shared<
+      std::unordered_map<const SimNode*, std::uint64_t>>();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    (*node_idx)[nodes_[i].get()] = i;
+  }
+  // kSourceEmit events always target the innermost concrete source (a
+  // ModulatedSource wrapper never schedules queue events of its own).
+  auto concrete = std::make_shared<std::vector<TrafficSource*>>();
+  auto source_idx = std::make_shared<
+      std::unordered_map<const TrafficSource*, std::uint64_t>>();
+  for (std::size_t f = 0; f < sources_.size(); ++f) {
+    TrafficSource* s = sources_[f].get();
+    if (auto* m = dynamic_cast<ModulatedSource*>(s)) s = m->inner();
+    concrete->push_back(s);
+    (*source_idx)[s] = f;
+  }
+  c.link_index = [link_idx](const SimLink* l) {
+    const auto it = link_idx->find(l);
+    if (it == link_idx->end()) {
+      throw ckpt::Error("unknown link in pending event");
+    }
+    return it->second;
+  };
+  c.link_at = [this](std::uint64_t i) {
+    if (i >= links_.size()) {
+      throw ckpt::Error("link index out of range in checkpoint");
+    }
+    return links_[i].get();
+  };
+  c.node_index = [node_idx](const SimNode* n) {
+    const auto it = node_idx->find(n);
+    if (it == node_idx->end()) {
+      throw ckpt::Error("unknown node in pending event");
+    }
+    return it->second;
+  };
+  c.node_at = [this](std::uint64_t i) {
+    if (i >= nodes_.size()) {
+      throw ckpt::Error("node index out of range in checkpoint");
+    }
+    return nodes_[i].get();
+  };
+  c.source_index = [source_idx](const TrafficSource* s) {
+    const auto it = source_idx->find(s);
+    if (it == source_idx->end()) {
+      throw ckpt::Error("unknown traffic source in pending event");
+    }
+    return it->second;
+  };
+  c.source_at = [concrete](std::uint64_t i) {
+    if (i >= concrete->size()) {
+      throw ckpt::Error("source index out of range in checkpoint");
+    }
+    return (*concrete)[i];
+  };
+  c.make_callback = [this](std::uint8_t tag, std::uint64_t a,
+                           double b) -> std::function<void()> {
+    switch (tag) {
+      case kOpNodeStart: {
+        if (a >= nodes_.size()) {
+          throw ckpt::Error("node-start descriptor out of range");
+        }
+        SimNode* node = nodes_[a].get();
+        return [node] { node->start(); };
+      }
+      case kOpLinkToggle: {
+        if (a >= config_.link_toggles.size()) {
+          throw ckpt::Error("link-toggle descriptor out of range");
+        }
+        const auto& t = config_.link_toggles[a];
+        const NodeId na = topo_->find_node(t.a);
+        const NodeId nb = topo_->find_node(t.b);
+        return [this, na, nb, up = t.up, silent = t.silent] {
+          toggle_duplex(na, nb, up, silent);
+        };
+      }
+      case kOpCrash: {
+        if (a >= config_.faults.crashes.size()) {
+          throw ckpt::Error("crash descriptor out of range");
+        }
+        const NodeId x = topo_->find_node(config_.faults.crashes[a].node);
+        return [this, x] { crash_node(x); };
+      }
+      case kOpRecovery: {
+        if (a >= config_.faults.recoveries.size()) {
+          throw ckpt::Error("recovery descriptor out of range");
+        }
+        const NodeId x = topo_->find_node(config_.faults.recoveries[a].node);
+        return [this, x] { recover_node(x); };
+      }
+      case kOpFlap: {
+        if (a >= config_.faults.flaps.size()) {
+          throw ckpt::Error("flap descriptor out of range");
+        }
+        const auto& flap = config_.faults.flaps[a];
+        const NodeId na = topo_->find_node(flap.a);
+        const NodeId nb = topo_->find_node(flap.b);
+        return [this, na, nb, down = b != 0] { flap_duplex(na, nb, down); };
+      }
+      case kOpDuty: {
+        if (a >= config_.faults.duty_cycles.size()) {
+          throw ckpt::Error("duty-cycle descriptor out of range");
+        }
+        const auto& duty = config_.faults.duty_cycles[a];
+        const NodeId na = topo_->find_node(duty.a);
+        const NodeId nb = topo_->find_node(duty.b);
+        return [this, na, nb, down = b != 0] { duty_duplex(na, nb, down); };
+      }
+      case kOpMonitorTick:
+        return [this] { monitor_check(); };
+      case kOpLfiTick:
+        return [this] { lfi_check(); };
+      case kOpTimeseriesTick:
+        return [this] { timeseries_tick(); };
+      case kOpSamplerTick:
+        return [this] { sample_tick(); };
+      case kOpStabilityTick:
+        return [this] { stability_tick(); };
+      default:
+        return nullptr;  // EventQueue::load reports the unknown tag
+    }
+  };
+  return c;
+}
+
+void NetworkSim::save_checkpoint(const std::string& path) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  ckpt::Writer w;
+  w.mark(0x51);
+  w.u64(config_.seed);
+  w.i64(engine_.shards);
+  w.u64(nodes_.size());
+  w.u64(links_.size());
+  w.u64(sources_.size());
+  // Resume cursor: where the engine loop picks back up.
+  if (!sharded_) {
+    w.u64(ckpt_slice_);
+  } else {
+    w.u64(ckpt_pause_idx_);
+    w.f64(ckpt_clock_);
+    w.b(ckpt_tie_done_);
+  }
+  master_rng_.save(w);
+  const EventQueueCodec codec = make_codec();
+  if (!sharded_) {
+    events_.save(w, codec);
+  } else {
+    // Window barrier: the channels were drained before any pause ran, so
+    // the complete pending-event state lives in the shard queues.
+    for (const auto& shard : shards_) shard->events.save(w, codec);
+  }
+  w.mark(0x52);
+  for (const auto& node : nodes_) node->save(w);
+  for (const auto& link : links_) link->save(w);
+  for (const auto& source : sources_) source->save(w);
+  w.mark(0x53);
+  for (const auto& samples : flow_delays_) samples.save(w);
+  w.u64(lfi_checks_);
+  w.u64(lfi_violations_);
+  w.u64(timeseries_.size());
+  for (const auto& tp : timeseries_) {
+    w.f64(tp.t);
+    w.u64(tp.delivered);
+    w.f64(tp.mean_delay_s);
+    w.u64(tp.dropped);
+  }
+  w.f64(window_delay_sum_);
+  w.u64(window_delivered_);
+  w.u64(window_dropped_);
+  for (const auto& hold : link_holds_) {
+    w.b(hold.admin_down);
+    w.b(hold.flap_down);
+    w.b(hold.duty_down);
+  }
+  w.b(monitor_ != nullptr);
+  if (monitor_ != nullptr) monitor_->save(w);
+  w.b(stability_ != nullptr);
+  if (stability_ != nullptr) stability_->save(w);
+  for (std::uint64_t v : stab_flow_delivered_) w.u64(v);
+  for (double v : stab_flow_delay_sum_) w.f64(v);
+  w.u64(injected_);
+  w.u64(total_delivered_);
+  w.mark(0x54);
+  if (telemetry_enabled_) {
+    telemetry_.save(w);
+    for (const auto& acc : flow_accum_) {
+      w.u64(acc.delivered);
+      w.f64(acc.delay_sum_s);
+      w.u64(acc.measured_delivered);
+      w.f64(acc.measured_delay_sum_s);
+      w.u64(acc.dropped);
+    }
+    w.b(recorder_ != nullptr);
+    if (recorder_ != nullptr) recorder_->save(w);
+    w.b(sampler_ != nullptr);
+    if (sampler_ != nullptr) sampler_->save(w);
+  }
+  if (sharded_) {
+    w.mark(0x55);
+    for (const auto& shard : shards_) {
+      w.u64(shard->injected);
+      w.u64(shard->delivered);
+      w.u64(shard->window_dropped);
+      w.u64(shard->noflow_window_delivered);
+    }
+    for (double v : wf_window_delay_sum_) w.f64(v);
+    for (std::uint64_t v : wf_window_delivered_) w.u64(v);
+    for (const auto& per_shard : sflow_dropped_) {
+      for (std::uint64_t v : per_shard) w.u64(v);
+    }
+    for (const auto& h : flow_hist_) h.save(w);
+  }
+  w.write_file(path);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+  // Informational cost line on stderr — NOT the metrics registry, so
+  // telemetry output stays byte-identical with checkpointing on or off.
+  std::fprintf(stderr, "[ckpt] save path=%s bytes=%zu ms=%.2f t=%.17g\n",
+               path.c_str(), w.payload().size(), ms, now_sim());
+}
+
+void NetworkSim::restore_checkpoint(const std::string& path) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  ckpt::Reader r = ckpt::Reader::from_file(path);
+  r.expect_mark(0x51);
+  if (r.u64() != config_.seed) {
+    throw ckpt::Error("checkpoint seed does not match this configuration");
+  }
+  if (r.i64() != engine_.shards) {
+    throw ckpt::Error(
+        "checkpoint shard count does not match (resume requires the same "
+        "engine shard count)");
+  }
+  const std::uint64_t n_nodes = r.u64();
+  const std::uint64_t n_links = r.u64();
+  const std::uint64_t n_sources = r.u64();
+  if (n_nodes != nodes_.size() || n_links != links_.size() ||
+      n_sources != sources_.size()) {
+    throw ckpt::Error(
+        "checkpoint topology does not match this configuration");
+  }
+  if (!sharded_) {
+    ckpt_slice_ = r.u64();
+  } else {
+    ckpt_pause_idx_ = r.u64();
+    ckpt_clock_ = r.f64();
+    ckpt_tie_done_ = r.b();
+    if (ckpt_pause_idx_ > pauses_.size()) {
+      throw ckpt::Error("checkpoint pause cursor out of range");
+    }
+    global_now_ = ckpt_clock_;
+  }
+  master_rng_.load(r);
+  const EventQueueCodec codec = make_codec();
+  if (!sharded_) {
+    events_.load(r, codec);
+  } else {
+    for (auto& shard : shards_) shard->events.load(r, codec);
+  }
+  r.expect_mark(0x52);
+  for (auto& node : nodes_) node->load(r);
+  // SimLink::load restores up_ and the failure epoch directly — deriving
+  // them from link_holds_ via apply_link_state() would bump epochs and
+  // orphan restored in-flight events.
+  for (auto& link : links_) link->load(r);
+  for (auto& source : sources_) source->load(r);
+  r.expect_mark(0x53);
+  for (auto& samples : flow_delays_) samples.load(r);
+  lfi_checks_ = r.u64();
+  lfi_violations_ = r.u64();
+  timeseries_.clear();
+  const std::uint64_t n_points = r.u64();
+  for (std::uint64_t i = 0; i < n_points; ++i) {
+    TimePoint tp;
+    tp.t = r.f64();
+    tp.delivered = r.u64();
+    tp.mean_delay_s = r.f64();
+    tp.dropped = r.u64();
+    timeseries_.push_back(tp);
+  }
+  window_delay_sum_ = r.f64();
+  window_delivered_ = r.u64();
+  window_dropped_ = r.u64();
+  for (auto& hold : link_holds_) {
+    hold.admin_down = r.b();
+    hold.flap_down = r.b();
+    hold.duty_down = r.b();
+  }
+  if (r.b() != (monitor_ != nullptr)) {
+    throw ckpt::Error("checkpoint monitor mode mismatch");
+  }
+  if (monitor_ != nullptr) monitor_->load(r);
+  if (r.b() != (stability_ != nullptr)) {
+    throw ckpt::Error("checkpoint stability-monitor mode mismatch");
+  }
+  if (stability_ != nullptr) stability_->load(r);
+  for (auto& v : stab_flow_delivered_) v = r.u64();
+  for (auto& v : stab_flow_delay_sum_) v = r.f64();
+  injected_ = r.u64();
+  total_delivered_ = r.u64();
+  r.expect_mark(0x54);
+  if (telemetry_enabled_) {
+    telemetry_.load(r);
+    for (auto& acc : flow_accum_) {
+      acc.delivered = r.u64();
+      acc.delay_sum_s = r.f64();
+      acc.measured_delivered = r.u64();
+      acc.measured_delay_sum_s = r.f64();
+      acc.dropped = r.u64();
+    }
+    if (r.b() != (recorder_ != nullptr)) {
+      throw ckpt::Error("checkpoint flight-recorder mode mismatch");
+    }
+    if (recorder_ != nullptr) recorder_->load(r);
+    if (r.b() != (sampler_ != nullptr)) {
+      throw ckpt::Error("checkpoint sampler mode mismatch");
+    }
+    if (sampler_ != nullptr) sampler_->load(r);
+  }
+  if (sharded_) {
+    r.expect_mark(0x55);
+    for (auto& shard : shards_) {
+      shard->injected = r.u64();
+      shard->delivered = r.u64();
+      shard->window_dropped = r.u64();
+      shard->noflow_window_delivered = r.u64();
+    }
+    for (auto& v : wf_window_delay_sum_) v = r.f64();
+    for (auto& v : wf_window_delivered_) v = r.u64();
+    for (auto& per_shard : sflow_dropped_) {
+      for (auto& v : per_shard) v = r.u64();
+    }
+    for (auto& h : flow_hist_) h.load(r);
+  }
+  r.expect_end();
+  resumed_ = true;
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+  std::fprintf(stderr, "[ckpt] load path=%s ms=%.2f t=%.17g\n", path.c_str(),
+               ms, now_sim());
+}
+
+std::optional<obs::Telemetry> NetworkSim::take_partial_telemetry() {
+  if (!telemetry_enabled_) return std::nullopt;
+  if (sampler_ != nullptr) take_samples(now_sim());
+  if (recorder_ != nullptr) telemetry_.trace = recorder_->take_trace();
+  return std::move(telemetry_);
+}
+
+void NetworkSim::at_safe_boundary() {
+  if (config_.cancel != nullptr &&
+      config_.cancel->load(std::memory_order_relaxed)) {
+    throw SimCancelled();
+  }
+  if (config_.interrupt != nullptr &&
+      config_.interrupt->load(std::memory_order_relaxed)) {
+    // Checkpoint first: the snapshot must not contain the flush-only tail
+    // sample take_partial_telemetry() adds, or a resumed run would diverge
+    // from an uninterrupted one.
+    if (!config_.checkpoint_path.empty()) {
+      save_checkpoint(config_.checkpoint_path);
+    }
+    throw SimInterrupted(take_partial_telemetry());
+  }
+  if (config_.checkpoint_interval > 0 && !config_.checkpoint_path.empty()) {
+    save_checkpoint(config_.checkpoint_path);
+  }
+}
+
 void NetworkSim::monitor_check() {
   monitor_->check(events_.now());
-  events_.schedule_timer_in(TimerClass::kMonitor, config_.monitor_interval,
-                            [this] { monitor_check(); });
+  events_.schedule_timer(TimerClass::kMonitor,
+                         events_.now() + config_.monitor_interval,
+                         [this] { monitor_check(); }, kOpMonitorTick);
 }
 
 void NetworkSim::schedule_faults() {
   const auto& plan = config_.faults;
-  for (const auto& ev : plan.crashes) {
-    const NodeId x = topo_->find_node(ev.node);
+  for (std::size_t c = 0; c < plan.crashes.size(); ++c) {
+    const NodeId x = topo_->find_node(plan.crashes[c].node);
     assert(x != graph::kInvalidNode);
-    events_.schedule_at(ev.at, [this, x] { crash_node(x); });
+    events_.schedule_at(plan.crashes[c].at, [this, x] { crash_node(x); },
+                        kOpCrash, c);
   }
-  for (const auto& ev : plan.recoveries) {
-    const NodeId x = topo_->find_node(ev.node);
+  for (std::size_t rec = 0; rec < plan.recoveries.size(); ++rec) {
+    const NodeId x = topo_->find_node(plan.recoveries[rec].node);
     assert(x != graph::kInvalidNode);
-    events_.schedule_at(ev.at, [this, x] { recover_node(x); });
+    events_.schedule_at(plan.recoveries[rec].at,
+                        [this, x] { recover_node(x); }, kOpRecovery, rec);
   }
   const Time sim_end = measure_start_ + config_.duration;
-  for (const auto& flap : plan.flaps) {
+  for (std::size_t fi = 0; fi < plan.flaps.size(); ++fi) {
+    const auto& flap = plan.flaps[fi];
     const NodeId a = topo_->find_node(flap.a);
     const NodeId b = topo_->find_node(flap.b);
     assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
@@ -516,19 +923,22 @@ void NetworkSim::schedule_faults() {
     for (Time t = flap.start; t + flap.period <= stop + 1e-9;
          t += flap.period) {
       events_.schedule_at(t + flap.duty * flap.period,
-                          [this, a, b] { flap_duplex(a, b, /*down=*/true); });
+                          [this, a, b] { flap_duplex(a, b, /*down=*/true); },
+                          kOpFlap, fi, 1);
       events_.schedule_at(t + flap.period,
-                          [this, a, b] { flap_duplex(a, b, /*down=*/false); });
+                          [this, a, b] { flap_duplex(a, b, /*down=*/false); },
+                          kOpFlap, fi, 0);
     }
   }
-  for (const auto& duty : plan.duty_cycles) {
+  for (std::size_t di = 0; di < plan.duty_cycles.size(); ++di) {
+    const auto& duty = plan.duty_cycles[di];
     const NodeId a = topo_->find_node(duty.a);
     const NodeId b = topo_->find_node(duty.b);
     assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
     for (const auto& edge : fault::duty_cycle_edges(duty, sim_end)) {
       events_.schedule_at(edge.at, [this, a, b, down = edge.down] {
         duty_duplex(a, b, down);
-      });
+      }, kOpDuty, di, edge.down ? 1 : 0);
     }
   }
 }
@@ -586,8 +996,9 @@ void NetworkSim::recover_node(NodeId node) {
 
 void NetworkSim::stability_tick() {
   stability_record(events_.now());
-  events_.schedule_timer_in(TimerClass::kStability, config_.stability.interval,
-                            [this] { stability_tick(); });
+  events_.schedule_timer(TimerClass::kStability,
+                         events_.now() + config_.stability.interval,
+                         [this] { stability_tick(); }, kOpStabilityTick);
 }
 
 void NetworkSim::stability_record(Time now) {
@@ -612,9 +1023,9 @@ void NetworkSim::stability_record(Time now) {
 
 void NetworkSim::timeseries_tick() {
   timeseries_point(events_.now());
-  events_.schedule_timer_in(TimerClass::kTimeseries,
-                            config_.timeseries_interval,
-                            [this] { timeseries_tick(); });
+  events_.schedule_timer(TimerClass::kTimeseries,
+                         events_.now() + config_.timeseries_interval,
+                         [this] { timeseries_tick(); }, kOpTimeseriesTick);
 }
 
 void NetworkSim::timeseries_point(Time now) {
@@ -660,8 +1071,9 @@ std::uint64_t NetworkSim::source_emitted(std::size_t flow) const {
 
 void NetworkSim::sample_tick() {
   take_samples(events_.now());
-  events_.schedule_timer_in(TimerClass::kSampler, config_.sample_interval,
-                            [this] { sample_tick(); });
+  events_.schedule_timer(TimerClass::kSampler,
+                         events_.now() + config_.sample_interval,
+                         [this] { sample_tick(); }, kOpSamplerTick);
 }
 
 void NetworkSim::take_samples(Time now) {
@@ -746,8 +1158,9 @@ void NetworkSim::take_samples(Time now) {
 
 void NetworkSim::lfi_check() {
   lfi_sweep(events_.now());
-  events_.schedule_timer_in(TimerClass::kLfi, config_.lfi_check_interval,
-                            [this] { lfi_check(); });
+  events_.schedule_timer(TimerClass::kLfi,
+                         events_.now() + config_.lfi_check_interval,
+                         [this] { lfi_check(); }, kOpLfiTick);
 }
 
 void NetworkSim::lfi_sweep(Time now) {
@@ -771,14 +1184,16 @@ void NetworkSim::lfi_sweep(Time now) {
 }
 
 void NetworkSim::schedule_link_toggles() {
-  for (const auto& toggle : config_.link_toggles) {
+  for (std::size_t ti = 0; ti < config_.link_toggles.size(); ++ti) {
+    const auto& toggle = config_.link_toggles[ti];
     const NodeId a = topo_->find_node(toggle.a);
     const NodeId b = topo_->find_node(toggle.b);
     assert(a != graph::kInvalidNode && b != graph::kInvalidNode);
     events_.schedule_at(toggle.at,
                         [this, a, b, up = toggle.up, silent = toggle.silent] {
                           toggle_duplex(a, b, up, silent);
-                        });
+                        },
+                        kOpLinkToggle, ti);
   }
 }
 
@@ -891,6 +1306,16 @@ void NetworkSim::build_pause_plan() {
       pauses_.push_back(Pause{t, 9, [this, t] { stability_record(t); }});
     }
   }
+  // Rank 10: checkpoint pauses, strictly after every same-instant activity
+  // so the snapshot captures the instant's full effects. Placeholders only —
+  // the handlers bind after the sort, because each must know its own pause
+  // index to record the resume cursor.
+  if (config_.checkpoint_interval > 0 && !config_.checkpoint_path.empty()) {
+    for (Time t = config_.checkpoint_interval; t <= horizon;
+         t += config_.checkpoint_interval) {
+      pauses_.push_back(Pause{t, 10, nullptr});
+    }
+  }
   // Anything past the drain horizon could never execute under the legacy
   // engine either; dropping it lets the window loop stop exactly there.
   std::erase_if(pauses_, [horizon](const Pause& p) { return p.at > horizon; });
@@ -898,6 +1323,18 @@ void NetworkSim::build_pause_plan() {
                    [](const Pause& x, const Pause& y) {
                      return x.at != y.at ? x.at < y.at : x.rank < y.rank;
                    });
+  // Bind the checkpoint placeholders: each records exactly where the window
+  // loop resumes — clock at its own pause time, the instant's inclusive tie
+  // run done, every pause up to and including itself executed.
+  for (std::size_t i = 0; i < pauses_.size(); ++i) {
+    if (pauses_[i].fn) continue;
+    pauses_[i].fn = [this, t = pauses_[i].at, next = i + 1] {
+      ckpt_pause_idx_ = next;
+      ckpt_clock_ = t;
+      ckpt_tie_done_ = true;
+      save_checkpoint(config_.checkpoint_path);
+    };
+  }
 }
 
 void NetworkSim::drain_channels() {
@@ -934,6 +1371,15 @@ void NetworkSim::run_parallel_loop() {
     bool tie_done = false;
   };
   Control ctl;
+  if (resumed_) {
+    // Replay the Control state the checkpoint recorded; the first barrier
+    // completion then sizes the next window from exactly the saved
+    // decision point.
+    ctl.pause_idx = ckpt_pause_idx_;
+    ctl.clock = ckpt_clock_;
+    ctl.tie_done = ckpt_tie_done_;
+    global_now_ = ckpt_clock_;
+  }
 
   const auto next_target = [&]() -> Time {
     return ctl.pause_idx < pauses_.size()
@@ -954,6 +1400,26 @@ void NetworkSim::run_parallel_loop() {
   // publishes it.
   const auto completion = [&] {
     drain_channels();
+    // A barrier with drained channels is a valid snapshot instant: every
+    // worker is parked and ctl holds the complete resume cursor.
+    if (config_.cancel != nullptr &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      stop_reason_ = StopReason::kCancelled;
+      ctl.cmd = Cmd::kDone;
+      return;
+    }
+    if (config_.interrupt != nullptr &&
+        config_.interrupt->load(std::memory_order_relaxed)) {
+      if (!config_.checkpoint_path.empty()) {
+        ckpt_pause_idx_ = ctl.pause_idx;
+        ckpt_clock_ = ctl.clock;
+        ckpt_tie_done_ = ctl.tie_done;
+        save_checkpoint(config_.checkpoint_path);
+      }
+      stop_reason_ = StopReason::kInterrupted;
+      ctl.cmd = Cmd::kDone;
+      return;
+    }
     for (;;) {
       const Time target = next_target();
       if (ctl.clock < target) {
@@ -1020,10 +1486,15 @@ void NetworkSim::run_parallel_loop() {
   for (int s = 1; s < num_shards; ++s) threads.emplace_back(worker, s);
   worker(0);  // the calling thread drives shard 0
   for (auto& t : threads) t.join();
+  if (stop_reason_ == StopReason::kCancelled) throw SimCancelled();
+  if (stop_reason_ == StopReason::kInterrupted) {
+    throw SimInterrupted(take_partial_telemetry());
+  }
   global_now_ = horizon;
 }
 
 SimResult NetworkSim::run() {
+  if (!config_.resume_from.empty()) restore_checkpoint(config_.resume_from);
   const Time stop = measure_start_ + config_.duration;
   if (sharded_) {
     run_parallel_loop();
@@ -1034,8 +1505,28 @@ SimResult NetworkSim::run() {
   } else {
     // Stamp every MDR_LOG line emitted while events run with the sim time.
     const ScopedLogClock log_clock(events_.now_ptr());
-    // Small drain period so packets in flight at `stop` still land.
-    events_.run_until(stop + 0.5);
+    const Time horizon = stop + 0.5;  // drain: in-flight packets still land
+    const bool sliced = config_.checkpoint_interval > 0 ||
+                        config_.interrupt != nullptr ||
+                        config_.cancel != nullptr;
+    if (!sliced) {
+      events_.run_until(horizon);
+    } else {
+      // The same run in slices: run_until(a) followed by run_until(b)
+      // executes the identical event sequence as run_until(b) alone, so
+      // boundaries for checkpoints and interrupt checks cost nothing —
+      // checkpoint-enabled and plain runs stay byte-identical.
+      const Duration step =
+          config_.checkpoint_interval > 0 ? config_.checkpoint_interval : 1.0;
+      for (;;) {
+        const Time next = step * static_cast<double>(ckpt_slice_ + 1);
+        if (next >= horizon) break;
+        events_.run_until(next);
+        ++ckpt_slice_;
+        at_safe_boundary();
+      }
+      events_.run_until(horizon);
+    }
     // Sources never schedule past their stop time, so after the drain only
     // protocol events (timers, retransmissions) may remain pending.
     assert(events_.pending_source_events() == 0);

@@ -4,9 +4,11 @@
 // overhead. This is the measurement instrument behind every figure bench.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -169,6 +171,47 @@ struct SimConfig {
   /// reports a stability margin in SimResult::stability. interval 0 (the
   /// default) disables it entirely — no sampling, no extra branches taken.
   StabilityOptions stability{};
+
+  // --- crash-safe checkpoint/resume (docs/CHECKPOINT.md) ------------------
+
+  /// If > 0, write a checkpoint to `checkpoint_path` every this many sim
+  /// seconds. Checkpoints are taken OUTSIDE the event queue — at slice
+  /// boundaries of the legacy engine, at window barriers of the sharded
+  /// engine — so they consume no event sequence numbers and a
+  /// checkpoint-enabled run stays byte-identical to a plain one.
+  Duration checkpoint_interval = 0;
+  std::string checkpoint_path;
+  /// If non-empty, restore this checkpoint at the start of run() and
+  /// continue from it. The topology, flows and SimConfig must match the
+  /// run that wrote it (seed, shard count and entity counts are verified;
+  /// everything else is the caller's contract). The resumed run's final
+  /// output is byte-identical to the uninterrupted run.
+  std::string resume_from;
+  /// Cooperative interruption (SIGINT/SIGTERM): when the pointee becomes
+  /// true, the sim stops at the next safe boundary, writes a final
+  /// checkpoint (when checkpoint_path is set) and throws SimInterrupted
+  /// carrying the partial telemetry.
+  const std::atomic<bool>* interrupt = nullptr;
+  /// Watchdog cancellation (runner job timeout): checked at the same safe
+  /// boundaries; throws SimCancelled without writing anything.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Thrown when SimConfig::interrupt was observed at a safe boundary. The
+/// final checkpoint (when a path is configured) has already been written;
+/// `telemetry` carries whatever the instruments recorded so far, so the
+/// caller can flush partial JSONL/CSV/metrics before exiting.
+struct SimInterrupted : std::runtime_error {
+  explicit SimInterrupted(std::optional<obs::Telemetry> t)
+      : std::runtime_error("simulation interrupted"),
+        telemetry(std::move(t)) {}
+  std::optional<obs::Telemetry> telemetry;
+};
+
+/// Thrown when SimConfig::cancel was observed (a runner watchdog decided
+/// the job overran its wall-clock budget).
+struct SimCancelled : std::runtime_error {
+  SimCancelled() : std::runtime_error("simulation cancelled by watchdog") {}
 };
 
 /// Parallel-engine knobs, grouped so callers select an engine in one place
@@ -275,8 +318,22 @@ class NetworkSim {
              const std::vector<topo::FlowSpec>& flows, SimConfig config,
              EngineSpec engine = {});
 
-  /// Runs to completion and returns the measurements. Call once.
+  /// Runs to completion and returns the measurements. Call once. Honors
+  /// SimConfig::resume_from / checkpoint_interval / interrupt / cancel.
   SimResult run();
+
+  // --- checkpointing (tests drive these directly; run() wires them up) ----
+
+  /// Serializes the complete simulation state to `path` (atomic tmp+rename).
+  /// Must be called outside the event loop: between legacy run_until slices
+  /// or from a coordinator pause at a sharded window barrier.
+  void save_checkpoint(const std::string& path);
+
+  /// Overwrites this sim's mutable state from a checkpoint written by an
+  /// identically configured run. Call after construction, before run()
+  /// (run() does this itself for SimConfig::resume_from). Throws
+  /// ckpt::Error on any mismatch or corruption.
+  void restore_checkpoint(const std::string& path);
 
  private:
   void build();
@@ -313,6 +370,15 @@ class NetworkSim {
   void take_samples(Time now);
   std::uint64_t source_emitted(std::size_t flow) const;
   AccountingSnapshot accounting_snapshot() const;
+
+  /// Entity-index translation + callback-rebuild table for EventQueue
+  /// save/load (the tag namespace lives in network_sim.cc).
+  EventQueueCodec make_codec();
+  /// Legacy-engine slice boundary: cancel / interrupt checks and the
+  /// periodic checkpoint write. Throws SimCancelled / SimInterrupted.
+  void at_safe_boundary();
+  /// Partial telemetry for SimInterrupted (tail sample + move out).
+  std::optional<obs::Telemetry> take_partial_telemetry();
 
   // --- sharded conservative engine (see sim/parallel_engine.h) ------------
   /// Replaces every wheel-scheduled global activity (toggles, faults,
@@ -428,6 +494,21 @@ class NetworkSim {
     std::function<void()> fn;
   };
   std::vector<Pause> pauses_;
+
+  // --- checkpoint/resume cursors ------------------------------------------
+  /// Legacy engine: completed run_until slices (slice k ends at
+  /// k * checkpoint step). Sharded engine: the coordinator Control state at
+  /// the instant the checkpoint was taken, replayed into the window loop on
+  /// resume.
+  std::uint64_t ckpt_slice_ = 0;
+  std::size_t ckpt_pause_idx_ = 0;
+  Time ckpt_clock_ = 0;
+  bool ckpt_tie_done_ = false;
+  bool resumed_ = false;
+  /// Why the sharded window loop stopped (set by the coordinator inside the
+  /// barrier completion hook; thrown as an exception after the join).
+  enum class StopReason { kCompleted, kInterrupted, kCancelled };
+  StopReason stop_reason_ = StopReason::kCompleted;
 };
 
 /// Convenience wrapper: build, run, return.

@@ -386,4 +386,80 @@ void SimNode::neighbor_link_restored(NodeId neighbor) {
   }
 }
 
+void SimNode::save(ckpt::Writer& w) const {
+  w.mark(0x4e);
+  rng_.save(w);
+  w.b(alive_);
+  w.u64(boot_);
+  w.b(router_ != nullptr);
+  if (router_ != nullptr) router_->save(w);
+  w.b(hello_ != nullptr);
+  if (hello_ != nullptr) hello_->save(w);
+  w.b(damper_ != nullptr);
+  if (damper_ != nullptr) damper_->save(w);
+  w.u64(announced_.size());
+  for (NodeId n : announced_) w.i64(n);
+  // static_table_ is installed from the experiment's fixed parameters before
+  // start() and never changes; only the WRR credit state mutates.
+  w.u64(static_credits_.size());
+  for (const auto& credits : static_credits_) {
+    w.u64(credits.size());
+    for (double c : credits) w.f64(c);
+  }
+  w.u64(cost_state_.size());
+  for (const auto& [nbr, cost] : cost_state_) {
+    w.i64(nbr);
+    cost.save(w);
+  }
+  w.u64(drops_no_route_);
+  w.u64(drops_ttl_);
+  w.u64(drops_dead_);
+  w.u64(control_garbage_);
+  w.u64(control_sent_);
+  w.u64(hellos_sent_);
+}
+
+void SimNode::load(ckpt::Reader& r) {
+  r.expect_mark(0x4e);
+  rng_.load(r);
+  alive_ = r.b();
+  boot_ = r.u64();
+  if (r.b() != (router_ != nullptr))
+    throw ckpt::Error("checkpoint router mode mismatch");
+  if (router_ != nullptr) router_->load(r);
+  if (r.b() != (hello_ != nullptr))
+    throw ckpt::Error("checkpoint hello mode mismatch");
+  if (hello_ != nullptr) hello_->load(r);
+  if (r.b() != (damper_ != nullptr))
+    throw ckpt::Error("checkpoint damper mode mismatch");
+  if (damper_ != nullptr) damper_->load(r);
+  announced_.clear();
+  const std::uint64_t announced = r.u64();
+  for (std::uint64_t i = 0; i < announced; ++i)
+    announced_.insert(static_cast<NodeId>(r.i64()));
+  const std::uint64_t rows = r.u64();
+  if (rows != static_credits_.size())
+    throw ckpt::Error("checkpoint static-credit table mismatch");
+  for (auto& credits : static_credits_) {
+    const std::uint64_t cols = r.u64();
+    if (cols != credits.size())
+      throw ckpt::Error("checkpoint static-credit row mismatch");
+    for (double& c : credits) c = r.f64();
+  }
+  cost_state_.clear();
+  const std::uint64_t costs = r.u64();
+  for (std::uint64_t i = 0; i < costs; ++i) {
+    const NodeId nbr = static_cast<NodeId>(r.i64());
+    cost::DualTimescaleCost cost(1.0, options_.smoothing);
+    cost.load(r);
+    cost_state_.emplace(nbr, cost);
+  }
+  drops_no_route_ = r.u64();
+  drops_ttl_ = r.u64();
+  drops_dead_ = r.u64();
+  control_garbage_ = r.u64();
+  control_sent_ = r.u64();
+  hellos_sent_ = r.u64();
+}
+
 }  // namespace mdr::sim

@@ -159,6 +159,16 @@ class SimNode final : public proto::LsuSink {
   /// private while giving the queue a typed scheduling surface.
   static void (SimNode::*timer_method(TimerClass cls))();
 
+  // --- checkpointing -------------------------------------------------------
+
+  /// Checkpoints all mutable routing/protocol state: RNG stream, router and
+  /// hello/damper processes, announced adjacencies, WRR credits, liveness
+  /// and boot epoch, drop/control counters. Configuration (options, links,
+  /// static forwarding tables, callbacks) is reconstructed by the owning
+  /// simulator before load(). Pending timers live in the EventQueue.
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
+
  private:
   void forward(Packet packet);
   graph::NodeId next_hop(graph::NodeId dest);

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "graph/topology.h"
 #include "util/time.h"
 
@@ -25,5 +26,29 @@ struct Packet {
 
 /// Link-layer header overhead charged to every packet on the wire (bits).
 inline constexpr double kHeaderBits = 160;
+
+inline void save_packet(ckpt::Writer& w, const Packet& p) {
+  w.u8(static_cast<std::uint8_t>(p.kind));
+  w.i64(p.src);
+  w.i64(p.dst);
+  w.f64(p.size_bits);
+  w.f64(p.created);
+  w.i64(p.flow_id);
+  w.i64(p.ttl);
+  w.bytes(p.payload);
+}
+
+inline Packet load_packet(ckpt::Reader& r) {
+  Packet p;
+  p.kind = static_cast<Packet::Kind>(r.u8());
+  p.src = static_cast<graph::NodeId>(r.i64());
+  p.dst = static_cast<graph::NodeId>(r.i64());
+  p.size_bits = r.f64();
+  p.created = r.f64();
+  p.flow_id = static_cast<int>(r.i64());
+  p.ttl = static_cast<int>(r.i64());
+  p.payload = r.bytes();
+  return p;
+}
 
 }  // namespace mdr::sim

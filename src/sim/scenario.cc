@@ -607,6 +607,35 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     return true;
   }
 
+  if (cmd == "checkpoint") {
+    // Parsed by hand: `path` is a string value, which parse_options (numbers
+    // only) cannot carry.
+    if (!need(2)) return fail("checkpoint needs interval=<s> path=<file>");
+    double interval = 0;
+    std::string path;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const auto [key, value] = split_kv(tokens[i]);
+      if (value.empty()) {
+        return fail("bad option " + tokens[i] + " (expected key=value)");
+      }
+      if (key == "interval") {
+        if (!parse_double(value, &interval) || interval <= 0) {
+          return fail("checkpoint interval must be a positive number");
+        }
+      } else if (key == "path") {
+        path = value;
+      } else {
+        return fail("unknown option key '" + key +
+                    "' in `checkpoint` (allowed: interval path)");
+      }
+    }
+    if (interval <= 0 || path.empty()) {
+      return fail("checkpoint needs both interval=<s> and path=<file>");
+    }
+    s.config.checkpoint_interval = interval;
+    s.config.checkpoint_path = path;
+    return true;
+  }
   if (cmd == "trace") {
     s.config.trace = true;
     return true;

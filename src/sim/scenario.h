@@ -52,6 +52,8 @@
 //                                          # blow-up verdict monitor
 //   monitor <s> [drop_budget=<n>]          # invariant sweeps + watchdog
 //   sample <s>                             # telemetry time-series period
+//   checkpoint interval=<s> path=<file>    # periodic crash-safe snapshots
+//                                          # (docs/CHECKPOINT.md)
 //   trace                                  # retain the full protocol trace
 //   flightrec [capacity=<n>]               # bounded per-node event rings
 //   engine shards=<n> [ring=<cap>] [lookahead=<s>]  # sharded parallel engine

@@ -48,6 +48,12 @@ class TrafficSource {
   /// Typed-event dispatch from EventQueue. The opcode space and `arg`
   /// meaning are private to each source class.
   virtual void handle_source_event(std::uint8_t op, double arg) = 0;
+
+  /// Checkpoints the mutable emission state (RNG stream, phase, counters).
+  /// Pending source events live in the EventQueue and are restored there;
+  /// configuration (shape, callbacks) is rebuilt by the owning simulator.
+  virtual void save(ckpt::Writer& w) const = 0;
+  virtual void load(ckpt::Reader& r) = 0;
 };
 
 /// Poisson arrivals, exponentially distributed packet sizes: each link then
@@ -59,6 +65,17 @@ class PoissonSource final : public TrafficSource {
   void run(Time start, Time stop) override;
   std::uint64_t emitted() const override { return emitted_; }
   void handle_source_event(std::uint8_t op, double arg) override;
+
+  void save(ckpt::Writer& w) const override {
+    rng_.save(w);
+    w.f64(stop_);
+    w.u64(emitted_);
+  }
+  void load(ckpt::Reader& r) override {
+    rng_.load(r);
+    stop_ = r.f64();
+    emitted_ = r.u64();
+  }
 
  private:
   void emit_and_reschedule();
@@ -90,6 +107,17 @@ class ParetoOnOffSource final : public TrafficSource {
   void run(Time start, Time stop) override;
   std::uint64_t emitted() const override { return emitted_; }
   void handle_source_event(std::uint8_t op, double arg) override;
+
+  void save(ckpt::Writer& w) const override {
+    rng_.save(w);
+    w.f64(stop_);
+    w.u64(emitted_);
+  }
+  void load(ckpt::Reader& r) override {
+    rng_.load(r);
+    stop_ = r.f64();
+    emitted_ = r.u64();
+  }
 
  private:
   double pareto(double mean);
@@ -126,6 +154,17 @@ class OnOffSource final : public TrafficSource {
   void run(Time start, Time stop) override;
   std::uint64_t emitted() const override { return emitted_; }
   void handle_source_event(std::uint8_t op, double arg) override;
+
+  void save(ckpt::Writer& w) const override {
+    rng_.save(w);
+    w.f64(stop_);
+    w.u64(emitted_);
+  }
+  void load(ckpt::Reader& r) override {
+    rng_.load(r);
+    stop_ = r.f64();
+    emitted_ = r.u64();
+  }
 
  private:
   void begin_on_period();
@@ -171,6 +210,29 @@ class AdversarialSource final : public TrafficSource {
   /// Cumulative payload bits handed to inject (budget-conformance tests).
   double emitted_bits() const { return emitted_bits_; }
   double sigma_bits() const { return sigma_bits_; }
+
+  void save(ckpt::Writer& w) const override {
+    rng_.save(w);
+    w.f64(stop_);
+    w.f64(start_);
+    w.f64(tokens_);
+    w.f64(last_refill_);
+    w.b(has_pending_);
+    if (has_pending_) save_packet(w, pending_);
+    w.u64(emitted_);
+    w.f64(emitted_bits_);
+  }
+  void load(ckpt::Reader& r) override {
+    rng_.load(r);
+    stop_ = r.f64();
+    start_ = r.f64();
+    tokens_ = r.f64();
+    last_refill_ = r.f64();
+    has_pending_ = r.b();
+    pending_ = has_pending_ ? load_packet(r) : Packet{};
+    emitted_ = r.u64();
+    emitted_bits_ = r.f64();
+  }
 
  private:
   EventQueue* events_;
@@ -233,6 +295,23 @@ class ModulatedSource final : public TrafficSource {
   std::uint64_t emitted() const override { return accepted_; }
   std::uint64_t offered() const { return offered_; }
   void handle_source_event(std::uint8_t op, double arg) override;
+
+  /// The wrapped concrete source — the target of the pending kSourceEmit
+  /// events (the wrapper never schedules queue events of its own).
+  TrafficSource* inner() const { return inner_.get(); }
+
+  void save(ckpt::Writer& w) const override {
+    rng_.save(w);
+    w.u64(offered_);
+    w.u64(accepted_);
+    inner_->save(w);
+  }
+  void load(ckpt::Reader& r) override {
+    rng_.load(r);
+    offered_ = r.u64();
+    accepted_ = r.u64();
+    inner_->load(r);
+  }
 
  private:
   void offer(Packet p);

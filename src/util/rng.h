@@ -8,7 +8,10 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <sstream>
 #include <vector>
+
+#include "ckpt/ckpt.h"
 
 namespace mdr {
 
@@ -67,6 +70,19 @@ class Rng {
   Rng split() { return Rng(engine_() ^ 0xd1b54a32d192ed03ull); }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the full engine state (textual mt19937_64 dump, which the
+  /// standard guarantees restores the exact stream position).
+  void save(ckpt::Writer& w) const {
+    std::ostringstream os;
+    os << engine_;
+    w.str(os.str());
+  }
+  void load(ckpt::Reader& r) {
+    std::istringstream is(r.str());
+    is >> engine_;
+    if (!is) throw ckpt::Error("bad rng state in checkpoint");
+  }
 
  private:
   std::mt19937_64 engine_;

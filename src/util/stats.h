@@ -9,6 +9,8 @@
 #include <limits>
 #include <vector>
 
+#include "ckpt/ckpt.h"
+
 namespace mdr {
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
@@ -35,6 +37,21 @@ class OnlineStats {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void save(ckpt::Writer& w) const {
+    w.u64(n_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(min_);
+    w.f64(max_);
+  }
+  void load(ckpt::Reader& r) {
+    n_ = r.u64();
+    mean_ = r.f64();
+    m2_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+  }
 
   /// Merges another accumulator into this one (parallel Welford merge).
   void merge(const OnlineStats& other) {
@@ -105,6 +122,15 @@ class Ewma {
   double value() const { return value_; }
   void reset() { seeded_ = false; value_ = 0.0; }
 
+  void save(ckpt::Writer& w) const {
+    w.f64(value_);
+    w.b(seeded_);
+  }
+  void load(ckpt::Reader& r) {
+    value_ = r.f64();
+    seeded_ = r.b();
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;
@@ -146,6 +172,18 @@ class Samples {
   }
 
   const std::vector<double>& values() const { return xs_; }
+
+  void save(ckpt::Writer& w) const {
+    w.u64(xs_.size());
+    for (double x : xs_) w.f64(x);
+  }
+  void load(ckpt::Reader& r) {
+    xs_.resize(r.u64());
+    for (double& x : xs_) x = r.f64();
+    sorted_.clear();
+    sorted_valid_ = false;
+  }
+
   void reset() {
     xs_.clear();
     sorted_.clear();

@@ -5,11 +5,19 @@
 // to execute it. Workers affect wall-clock, nothing else.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "runner/experiment_runner.h"
+#include "sim/experiment.h"
+#include "sim/network_sim.h"
 #include "topo/builders.h"
 #include "topo/flows.h"
 #include "util/stats.h"
@@ -103,6 +111,179 @@ TEST(Json, WritesParsableSchema) {
   EXPECT_NE(json.find("\"flows\": ["), std::string::npos);
   EXPECT_NE(json.find("\"runs\": ["), std::string::npos);
   EXPECT_EQ(json.back(), '\n');
+}
+
+// ------------------------------------------------------- fault tolerance
+
+// A stand-in result distinguishable from the default-constructed one a
+// failed job leaves behind.
+sim::SimResult stub_result(double delay) {
+  sim::SimResult r;
+  r.avg_delay_s = delay;
+  r.delivered = 100;
+  return r;
+}
+
+TEST(FaultTolerance, ThrowingJobDoesNotKillOtherSeeds) {
+  // Before the rearchitecture an exception escaping the pool's worker
+  // thread hit std::terminate and took every other seed with it. Now the
+  // crashing job is recorded as failed and the rest complete normally.
+  Options options;
+  options.jobs = 4;
+  options.base_seed = 7;
+  const std::uint64_t crashing_seed = derive_seed(7, 1);
+  options.run_fn = [crashing_seed](const sim::ExperimentSpec& spec,
+                                   const std::string&) {
+    if (spec.config.seed == crashing_seed) {
+      throw std::runtime_error("injected crash");
+    }
+    return stub_result(1e-3 * static_cast<double>(spec.config.seed % 97));
+  };
+  ExperimentRunner runner(options);
+  std::vector<Job> jobs(4, Job{sim::ExperimentSpec{}, "mp"});
+  std::vector<JobOutcome> outcomes;
+  const auto results = runner.run(jobs, &outcomes);
+
+  ASSERT_EQ(results.size(), 4u);
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[1].status, "failed");
+  EXPECT_EQ(outcomes[1].attempts, 1);
+  EXPECT_EQ(outcomes[1].error, "injected crash");
+  EXPECT_EQ(results[1].delivered, 0u);  // default slot, never assigned
+  for (const std::size_t i : {0u, 2u, 3u}) {
+    EXPECT_EQ(outcomes[i].status, "ok") << "job " << i;
+    EXPECT_EQ(results[i].delivered, 100u) << "job " << i;
+  }
+}
+
+TEST(FaultTolerance, RetriesAtTheSameSeedWithBoundedAttempts) {
+  Options options;
+  options.jobs = 1;
+  options.base_seed = 3;
+  options.max_attempts = 3;
+  options.backoff_initial_s = 0.001;  // keep the test fast
+  std::mutex mu;
+  std::vector<std::uint64_t> seeds_seen;
+  options.run_fn = [&](const sim::ExperimentSpec& spec, const std::string&) {
+    std::lock_guard<std::mutex> lock(mu);
+    seeds_seen.push_back(spec.config.seed);
+    if (seeds_seen.size() < 3) throw std::runtime_error("transient");
+    return stub_result(1e-3);
+  };
+  ExperimentRunner runner(options);
+  std::vector<JobOutcome> outcomes;
+  const auto results =
+      runner.run({Job{sim::ExperimentSpec{}, "mp"}}, &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, "ok");
+  EXPECT_EQ(outcomes[0].attempts, 3);
+  EXPECT_TRUE(outcomes[0].error.empty());
+  EXPECT_EQ(results[0].delivered, 100u);
+  // Every attempt ran under the SAME derived seed (reproducibility).
+  ASSERT_EQ(seeds_seen.size(), 3u);
+  for (const auto s : seeds_seen) EXPECT_EQ(s, derive_seed(3, 0));
+}
+
+TEST(FaultTolerance, PermanentFailureIsBoundedAndReported) {
+  Options options;
+  options.jobs = 2;
+  options.max_attempts = 2;
+  options.backoff_initial_s = 0.001;
+  options.run_fn = [](const sim::ExperimentSpec&, const std::string&)
+      -> sim::SimResult { throw std::runtime_error("always"); };
+  ExperimentRunner runner(options);
+  std::vector<JobOutcome> outcomes;
+  runner.run(std::vector<Job>(2, Job{sim::ExperimentSpec{}, "mp"}),
+             &outcomes);
+  for (const auto& oc : outcomes) {
+    EXPECT_EQ(oc.status, "failed");
+    EXPECT_EQ(oc.attempts, 2);
+    EXPECT_EQ(oc.error, "always");
+  }
+}
+
+TEST(FaultTolerance, WatchdogCancelsOverrunningJobs) {
+  Options options;
+  options.jobs = 2;
+  options.job_timeout_s = 0.15;
+  options.run_fn = [](const sim::ExperimentSpec& spec, const std::string&) {
+    if (spec.config.seed == derive_seed(1, 0)) {
+      // Simulate a hung simulation that honors the cooperative cancel
+      // flag, exactly as NetworkSim::at_safe_boundary does.
+      while (!spec.config.cancel->load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      throw sim::SimCancelled();
+    }
+    return stub_result(1e-3);
+  };
+  ExperimentRunner runner(options);
+  std::vector<JobOutcome> outcomes;
+  const auto results = runner.run(
+      std::vector<Job>(2, Job{sim::ExperimentSpec{}, "mp"}), &outcomes);
+  EXPECT_EQ(outcomes[0].status, "failed");
+  EXPECT_NE(outcomes[0].error.find("wall-clock"), std::string::npos);
+  EXPECT_EQ(outcomes[1].status, "ok");
+  EXPECT_EQ(results[1].delivered, 100u);
+}
+
+TEST(FaultTolerance, ResultDirSkipsCompletedJobsOnResume) {
+  const std::string dir = ::testing::TempDir();
+  // Pretend job 0 completed in a previous (interrupted) batch run.
+  { std::ofstream marker(dir + "/job0.done"); marker << "seed 0\n"; }
+  std::remove((dir + "/job1.done").c_str());
+
+  Options options;
+  options.jobs = 2;
+  options.result_dir = dir;
+  std::atomic<int> calls{0};
+  options.run_fn = [&calls](const sim::ExperimentSpec&, const std::string&) {
+    ++calls;
+    return stub_result(2e-3);
+  };
+  ExperimentRunner runner(options);
+  std::vector<JobOutcome> outcomes;
+  runner.run(std::vector<Job>(2, Job{sim::ExperimentSpec{}, "mp"}),
+             &outcomes);
+  EXPECT_EQ(outcomes[0].status, "cached");
+  EXPECT_EQ(outcomes[1].status, "ok");
+  EXPECT_EQ(calls.load(), 1);  // only the missing job ran
+  // The completed job wrote its own marker: a second resume runs nothing.
+  std::vector<JobOutcome> again;
+  runner.run(std::vector<Job>(2, Job{sim::ExperimentSpec{}, "mp"}), &again);
+  EXPECT_EQ(again[0].status, "cached");
+  EXPECT_EQ(again[1].status, "cached");
+  EXPECT_EQ(calls.load(), 1);
+  std::remove((dir + "/job0.done").c_str());
+  std::remove((dir + "/job1.done").c_str());
+}
+
+TEST(FaultTolerance, FailedRunsAreExcludedFromAggregatesAndJson) {
+  const auto spec = small_spec();
+  Options options;
+  options.jobs = 2;
+  options.base_seed = spec.config.seed;
+  const std::uint64_t crashing_seed = derive_seed(spec.config.seed, 1);
+  options.run_fn = [crashing_seed](const sim::ExperimentSpec& s,
+                                   const std::string& mode) {
+    if (s.config.seed == crashing_seed) throw std::runtime_error("boom");
+    return sim::run_experiment(s, mode);
+  };
+  ExperimentRunner runner(options);
+  const auto batch = runner.run_replicated(spec, "mp", /*replications=*/3);
+
+  // The two surviving seeds aggregate as if the failed one never existed.
+  EXPECT_EQ(batch.avg_delay_s.count(), 2u);
+  ASSERT_FALSE(batch.flows.empty());
+  for (const auto& f : batch.flows) EXPECT_EQ(f.replications, 2u);
+
+  std::ostringstream out;
+  write_results_json(out, batch, "fault-tolerance");
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
+  EXPECT_NE(json.find("\"error\": \"boom\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\": 1"), std::string::npos);
 }
 
 }  // namespace

@@ -232,6 +232,31 @@ INSTANTIATE_TEST_SUITE_P(
                 "one loss model"}),
     [](const auto& info) { return info.param.name; });
 
+TEST(ScenarioParser, CheckpointDirective) {
+  std::string error;
+  const auto s = parse(R"(
+    topology net1
+    checkpoint interval=5 path=/tmp/snap.mdrk
+  )",
+                       &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  EXPECT_DOUBLE_EQ(s->spec.config.checkpoint_interval, 5.0);
+  EXPECT_EQ(s->spec.config.checkpoint_path, "/tmp/snap.mdrk");
+
+  // Both keys are mandatory; bad values and stray keys are rejected.
+  EXPECT_FALSE(parse("topology net1\ncheckpoint interval=5\n", &error));
+  EXPECT_NE(error.find("path"), std::string::npos);
+  EXPECT_FALSE(parse("topology net1\ncheckpoint path=x.mdrk\n", &error));
+  EXPECT_FALSE(
+      parse("topology net1\ncheckpoint interval=0 path=x.mdrk\n", &error));
+  EXPECT_FALSE(
+      parse("topology net1\ncheckpoint interval=-1 path=x.mdrk\n", &error));
+  EXPECT_FALSE(
+      parse("topology net1\ncheckpoint interval=5 path=x.mdrk bogus=1\n",
+            &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
 TEST(ScenarioParser, SourceNamePrefixesDiagnostics) {
   std::istringstream in("topology net1\nmode ospf\n");
   std::string error;
