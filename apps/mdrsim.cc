@@ -39,10 +39,24 @@
 // --sample-interval S sets the sampling period (also the scenario `sample`
 // directive; --metrics-out alone defaults it to 1s). All off by default —
 // a default run is bit-identical to one built without telemetry.
+//
+// Profiling (docs/OBSERVABILITY.md "Profiling & convergence tracing"):
+// --prof-out F (or the scenario `prof` directive) enables the wall-clock
+// profiler and the convergence span tracer; --prof-out additionally writes
+// the combined Chrome trace-event JSON (Perfetto-loadable) to F and is
+// single-run only. With prof enabled, a per-subsystem self/total table and
+// convergence statistics print to stderr and a "prof" block lands in
+// --json. --prof-deep (or `prof deep=1`) also times the per-event hot
+// sections instead of just counting them — per-event attribution at a
+// self-reported overhead of tens of percent on hosts with slow clocks.
+// Default output stays byte-identical with prof off; an events-per-second
+// host-rate line always prints to stderr (stderr is not part of the
+// deterministic contract).
 // See src/sim/scenario.h for the file format, and examples/scenarios/ for
 // ready-made inputs.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +68,7 @@
 
 #include "ckpt/ckpt.h"
 #include "obs/sampler.h"
+#include "obs/spans.h"
 #include "runner/experiment_runner.h"
 #include "runner/load_sweep.h"
 #include "sim/experiment.h"
@@ -80,7 +95,7 @@ void usage() {
       "              [--seeds N] [--jobs M] [--shards S] [--json PATH]\n"
       "              [--quiet]\n"
       "              [--metrics-out PATH] [--trace PATH]\n"
-      "              [--sample-interval S]\n"
+      "              [--prof-out PATH] [--prof-deep] [--sample-interval S]\n"
       "              [--checkpoint-interval S] [--checkpoint-path PATH]\n"
       "              [--resume-from PATH]\n"
       "              [--retries N] [--job-timeout S] [--result-dir DIR]\n"
@@ -225,6 +240,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string prof_out_path;
+  bool prof_deep = false;
   double sample_interval = -1;  // < 0: keep the scenario's setting
   double checkpoint_interval = -1;  // < 0: keep the scenario's setting
   std::string checkpoint_path;
@@ -261,6 +278,10 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--prof-out" && i + 1 < argc) {
+      prof_out_path = argv[++i];
+    } else if (arg == "--prof-deep") {
+      prof_deep = true;
     } else if (arg == "--sample-interval" && i + 1 < argc) {
       sample_interval = std::strtod(argv[++i], nullptr);
       if (sample_interval <= 0) {
@@ -340,6 +361,21 @@ int main(int argc, char** argv) {
     config.sample_interval = 1.0;  // sensible default when asked for metrics
   }
   if (!trace_path.empty()) config.trace = true;
+  if (prof_deep) {
+    config.prof = true;
+    config.prof_deep = true;
+  }
+  if (!prof_out_path.empty()) {
+    config.prof = true;
+    if (seeds > 1 || !sweep_arg.empty()) {
+      std::fputs(
+          "mdrsim: --prof-out writes one trace for one simulation; use "
+          "--seeds 1 and no --sweep (batches still merge a prof block into "
+          "--json via the scenario `prof` directive)\n",
+          stderr);
+      return 2;
+    }
+  }
   if (checkpoint_interval > 0) config.checkpoint_interval = checkpoint_interval;
   if (!checkpoint_path.empty()) config.checkpoint_path = checkpoint_path;
   if (!resume_path.empty()) config.resume_from = resume_path;
@@ -458,6 +494,7 @@ int main(int argc, char** argv) {
   }
 
   mdr::runner::BatchResult batch;
+  const auto exec_start = std::chrono::steady_clock::now();
   if (seeds == 1) {
     // Single runs execute inline (same derived seed and aggregation as a
     // batch of one, so the output is unchanged) with SIGINT/SIGTERM wired
@@ -517,12 +554,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "mdrsim: checkpoint error: %s\n", e.what());
       return 1;
     }
-    batch.outcomes.push_back(mdr::runner::JobOutcome{"ok", 1, ""});
+    mdr::runner::JobOutcome outcome{"ok", 1, ""};
+    outcome.wall_clock_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - exec_start)
+                               .count();
+    outcome.peak_rss_bytes = mdr::runner::peak_rss_bytes();
+    batch.outcomes.push_back(std::move(outcome));
     batch.flows = mdr::runner::aggregate_flows(batch.runs);
     batch.avg_delay_s.add(batch.runs.front().avg_delay_s);
     if (batch.runs.front().telemetry.has_value()) {
       batch.metrics.merge(batch.runs.front().telemetry->metrics);
     }
+    batch.prof = batch.runs.front().prof;
+    batch.convergence = batch.runs.front().convergence;
   } else {
     mdr::runner::Options options;
     options.jobs = static_cast<int>(jobs);
@@ -543,6 +587,37 @@ int main(int argc, char** argv) {
     print_single_run(batch.runs.front(), quiet);
   } else {
     print_batch(batch);
+  }
+
+  // Host-side throughput, on every engine. stderr only: stdout stays
+  // byte-identical run to run while host timings never are.
+  {
+    const double exec_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - exec_start)
+                              .count();
+    unsigned long long total_events = 0;
+    for (const auto& r : batch.runs) total_events += r.events_processed;
+    std::fprintf(stderr,
+                 "mdrsim: %llu events in %.3f s host, %.3g events/s\n",
+                 total_events, exec_s,
+                 exec_s > 0 ? static_cast<double>(total_events) / exec_s : 0.0);
+  }
+  if (batch.prof.has_value()) {
+    std::fputs(batch.prof->summary_table().c_str(), stderr);
+  }
+  if (batch.convergence.has_value()) {
+    const auto& conv = *batch.convergence;
+    std::fprintf(stderr,
+                 "[prof] convergence: %zu spans (records %llu, dropped "
+                 "%llu), time-to-converge mean %.4fs p95 %.4fs max %.4fs; "
+                 "amplification mean %.1f routers / %.1f recomputes, max "
+                 "%.0f routers\n",
+                 conv.spans.size(),
+                 static_cast<unsigned long long>(conv.records),
+                 static_cast<unsigned long long>(conv.dropped),
+                 conv.mean_convergence_s, conv.p95_convergence_s,
+                 conv.max_convergence_s, conv.mean_routers_touched,
+                 conv.mean_recomputes, conv.max_routers_touched);
   }
 
   // Per-job failures never abort the batch; they surface here (and in the
@@ -567,6 +642,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     mdr::runner::write_results_json(out, batch, path);
+  }
+
+  if (!prof_out_path.empty()) {
+    if (!batch.prof.has_value()) {
+      // A failed single run leaves no report; surface that instead of
+      // writing an empty trace.
+      std::fprintf(stderr, "mdrsim: no profile collected, skipping %s\n",
+                   prof_out_path.c_str());
+    } else {
+      std::ofstream out(prof_out_path);
+      if (!out) {
+        std::fprintf(stderr, "mdrsim: cannot write %s\n",
+                     prof_out_path.c_str());
+        return 1;
+      }
+      mdr::obs::write_trace_json(out, *batch.prof,
+                                 batch.convergence.has_value()
+                                     ? *batch.convergence
+                                     : mdr::obs::ConvergenceReport{});
+      std::fprintf(stderr, "mdrsim: trace-event JSON written to %s\n",
+                   prof_out_path.c_str());
+    }
   }
 
   if (!metrics_path.empty() || !trace_path.empty()) {

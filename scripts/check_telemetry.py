@@ -3,6 +3,7 @@
 
 Usage:
     check_telemetry.py --samples FILE [--trace FILE]
+    check_telemetry.py --prof-trace FILE [--prof-compare FILE2]
 
 Checks every line of the sample/metrics stream (--metrics-out) and the
 event/flight-dump stream (--trace) against the row schemas documented in
@@ -10,6 +11,14 @@ docs/OBSERVABILITY.md: required keys, value types, and basic sanity
 (timestamps non-negative and non-decreasing per kind, utilization within
 [0, 1+eps], counters non-negative). Exits non-zero with a line-numbered
 message on the first violation so CI can gate on telemetry format drift.
+
+--prof-trace validates a Chrome trace-event JSON file from --prof-out
+(docs/OBSERVABILITY.md "Profiling & convergence tracing"): required keys
+per event phase, non-negative and per-(pid, tid) monotone timestamps,
+properly nested and fully matched B/E pairs, and host-time fields confined
+to the pids declared in otherData.host_time_pids. --prof-compare asserts
+that the deterministic view of a second trace (every event outside the
+host-time pids) is identical — the same-seed determinism contract.
 
 Stdlib only; no third-party dependencies.
 """
@@ -188,13 +197,147 @@ def check_trace(path):
     return counts
 
 
+# Args keys that carry host time; they may only appear on events whose pid
+# is declared in otherData.host_time_pids.
+HOST_TIME_ARG_KEYS = {"total_ns", "self_ns", "wall_ns", "clock_cost_ns",
+                      "overhead_est_ns"}
+
+PROF_SCHEMA = "mdr-prof-1"
+
+
+def load_prof_trace(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        raise SchemaError(f"{path}: invalid JSON: {e}")
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{path}: top level must be an object")
+    for key in ("traceEvents", "otherData"):
+        if key not in doc:
+            raise SchemaError(f"{path}: missing top-level '{key}'")
+    other = doc["otherData"]
+    if not isinstance(other, dict) or other.get("schema") != PROF_SCHEMA:
+        raise SchemaError(f"{path}: otherData.schema must be '{PROF_SCHEMA}'")
+    host_pids = other.get("host_time_pids")
+    if (not isinstance(host_pids, list)
+            or not all(isinstance(p, int) and not isinstance(p, bool)
+                       for p in host_pids)):
+        raise SchemaError(f"{path}: otherData.host_time_pids must be a list "
+                          "of pids")
+    if not isinstance(doc["traceEvents"], list):
+        raise SchemaError(f"{path}: traceEvents must be a list")
+    return doc
+
+
+def check_prof_trace(path):
+    doc = load_prof_trace(path)
+    host_pids = set(doc["otherData"]["host_time_pids"])
+    counts = {}
+    last_ts = {}    # (pid, tid) -> last event timestamp
+    open_begins = {}  # (pid, tid) -> stack of (name, ts)
+    for i, ev in enumerate(doc["traceEvents"]):
+        where = f"{path} event {i}"
+        if not isinstance(ev, dict):
+            raise SchemaError(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in ("M", "B", "E", "X"):
+            raise SchemaError(f"{where}: unknown phase {ph!r}")
+        for key in ("pid", "tid"):
+            v = ev.get(key)
+            if isinstance(v, bool) or not isinstance(v, int):
+                raise SchemaError(f"{where}: '{key}' must be an integer")
+        track = (ev["pid"], ev["tid"])
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name"):
+                raise SchemaError(f"{where}: metadata name must be "
+                                  "process_name/thread_name")
+            if not isinstance(ev.get("args", {}).get("name"), str):
+                raise SchemaError(f"{where}: metadata args.name must be a "
+                                  "string")
+        else:
+            ts = ev.get("ts")
+            if isinstance(ts, bool) or not isinstance(ts, NUM) or ts < 0:
+                raise SchemaError(f"{where}: 'ts' must be a non-negative "
+                                  "number")
+            if ts < last_ts.get(track, 0.0):
+                raise SchemaError(f"{where}: ts goes backwards on track "
+                                  f"pid={track[0]} tid={track[1]}")
+            last_ts[track] = ts
+        if ph in ("B", "X"):
+            if not isinstance(ev.get("name"), str):
+                raise SchemaError(f"{where}: '{ph}' event needs a string "
+                                  "name")
+            if not isinstance(ev.get("args"), dict):
+                raise SchemaError(f"{where}: '{ph}' event needs an args "
+                                  "object")
+        if ph == "X":
+            dur = ev.get("dur")
+            if isinstance(dur, bool) or not isinstance(dur, NUM) or dur < 0:
+                raise SchemaError(f"{where}: 'X' event needs a non-negative "
+                                  "'dur'")
+        if ph == "B":
+            open_begins.setdefault(track, []).append(ev["ts"])
+        elif ph == "E":
+            stack = open_begins.get(track, [])
+            if not stack:
+                raise SchemaError(f"{where}: 'E' with no open 'B' on track "
+                                  f"pid={track[0]} tid={track[1]}")
+            begin_ts = stack.pop()
+            if ev["ts"] < begin_ts:
+                raise SchemaError(f"{where}: 'E' precedes its 'B'")
+        if ev["pid"] not in host_pids:
+            leaked = HOST_TIME_ARG_KEYS & set(ev.get("args", {}))
+            if leaked:
+                raise SchemaError(
+                    f"{where}: host-time args {sorted(leaked)} on pid "
+                    f"{ev['pid']}, outside host_time_pids {sorted(host_pids)}")
+        counts[ph] = counts.get(ph, 0) + 1
+    for track, stack in open_begins.items():
+        if stack:
+            raise SchemaError(f"{path}: {len(stack)} unclosed 'B' on track "
+                              f"pid={track[0]} tid={track[1]}")
+    if counts.get("B", 0) == 0:
+        raise SchemaError(f"{path}: no 'B' events — profiler tree is empty")
+    return counts
+
+
+def deterministic_view(path):
+    """The events outside host_time_pids: byte-stable at a fixed seed."""
+    doc = load_prof_trace(path)
+    host_pids = set(doc["otherData"]["host_time_pids"])
+    return [ev for ev in doc["traceEvents"]
+            if isinstance(ev, dict) and ev.get("pid") not in host_pids]
+
+
+def check_prof_compare(path_a, path_b):
+    a, b = deterministic_view(path_a), deterministic_view(path_b)
+    if a != b:
+        for i, (ea, eb) in enumerate(zip(a, b)):
+            if ea != eb:
+                raise SchemaError(
+                    f"deterministic views diverge at event {i}:\n"
+                    f"  {path_a}: {ea}\n  {path_b}: {eb}")
+        raise SchemaError(
+            f"deterministic views have different lengths: "
+            f"{path_a} has {len(a)} events, {path_b} has {len(b)}")
+    return len(a)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--samples", help="JSONL file from --metrics-out")
     parser.add_argument("--trace", help="JSONL file from --trace")
+    parser.add_argument("--prof-trace",
+                        help="Chrome trace-event JSON from --prof-out")
+    parser.add_argument("--prof-compare", metavar="FILE2",
+                        help="second --prof-out file; assert the "
+                             "deterministic (sim-time) views match")
     args = parser.parse_args()
-    if not args.samples and not args.trace:
-        parser.error("give at least one of --samples / --trace")
+    if not args.samples and not args.trace and not args.prof_trace:
+        parser.error("give at least one of --samples / --trace / --prof-trace")
+    if args.prof_compare and not args.prof_trace:
+        parser.error("--prof-compare requires --prof-trace")
     try:
         if args.samples:
             counts = check_samples(args.samples)
@@ -204,6 +347,15 @@ def main():
             counts = check_trace(args.trace)
             print(f"{args.trace}: OK "
                   + " ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+        if args.prof_trace:
+            counts = check_prof_trace(args.prof_trace)
+            print(f"{args.prof_trace}: OK "
+                  + " ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+            if args.prof_compare:
+                check_prof_trace(args.prof_compare)
+                n = check_prof_compare(args.prof_trace, args.prof_compare)
+                print(f"{args.prof_compare}: deterministic view matches "
+                      f"({n} events)")
     except SchemaError as e:
         print(f"telemetry schema violation: {e}", file=sys.stderr)
         return 1

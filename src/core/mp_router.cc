@@ -106,11 +106,13 @@ void MpRouter::refresh(NodeId dest, bool allow_adjust) {
   } else if (version != allocated_version_[dest] ||
              entry.size() != succ.size()) {
     // New successor set (long-term route change): fresh distribution (IH).
+    obs::ProfScope scope(prof_, obs::ProfSection::kAllocIh);
     phi = initial_allocation(metrics);
     probe_.emit(obs::EventType::kIhAlloc, dest,
                 static_cast<double>(succ.size()));
   } else if (allow_adjust) {
     // Ts tick with an unchanged successor set: incremental shift (AH).
+    obs::ProfScope scope(prof_, obs::ProfSection::kAllocAh);
     phi.reserve(entry.size());
     for (const auto& choice : entry) phi.push_back(choice.weight);
     const double moved = adjust_allocation(metrics, phi, options_.ah_damping);

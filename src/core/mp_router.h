@@ -117,6 +117,19 @@ class MpRouter {
     mpda_.set_probe(probe);
   }
 
+  /// Attaches the wall-clock profiler (IH/AH allocation sections here;
+  /// forwarded to MPDA for the protocol-phase sections). Off by default.
+  void set_prof(obs::Profiler* p) {
+    prof_ = p;
+    mpda_.set_prof(p);
+  }
+
+  /// Attaches the convergence span recorder (forwarded to MPDA, which owns
+  /// every episode boundary). Off by default.
+  void set_spans(obs::SpanRecorder* s, const Time* clock) {
+    mpda_.set_spans(s, clock);
+  }
+
   void save(ckpt::Writer& w) const {
     mpda_.save(w);
     w.u64(short_costs_.size());
@@ -179,6 +192,7 @@ class MpRouter {
   std::vector<std::uint64_t> allocated_version_;
   std::vector<std::vector<double>> wrr_credits_;  // parallel to table_
   obs::Probe probe_;
+  obs::Profiler* prof_ = nullptr;
 };
 
 }  // namespace mdr::core

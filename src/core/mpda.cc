@@ -85,6 +85,11 @@ void MpdaProcess::on_link_up(NodeId k, Cost cost) {
     it->second.has_pending = false;
     it->second.pending_up = false;
   }
+  obs::SpanEpisodeGuard span_guard;
+  if (spans_ != nullptr) {
+    spans_->begin_local_episode(self(), span_now());
+    span_guard.r = spans_;
+  }
   tables_.link_up(k, cost);
   full_sync_.insert(k);  // Fig. 2 step 2: owe k the full topology table
   after_ntu({});
@@ -101,6 +106,7 @@ void MpdaProcess::on_link_up(NodeId k, Cost cost) {
     ++lsus_originated_;
     probe_.emit(obs::EventType::kLsuOriginate, k, msg.seq,
                 static_cast<double>(msg.entries.size()));
+    if (spans_ != nullptr) spans_->on_send(self(), k, msg.seq, span_now());
     mode_ = Mode::kActive;
   }
 }
@@ -113,6 +119,11 @@ void MpdaProcess::on_link_down(NodeId k) {
     it->second.has_pending = false;
     it->second.pending_up = false;
   }
+  obs::SpanEpisodeGuard span_guard;
+  if (spans_ != nullptr) {
+    spans_->begin_local_episode(self(), span_now());
+    span_guard.r = spans_;
+  }
   tables_.link_down(k);
   // Paper: "When a router detects that an adjacent link failed, any pending
   // ACKs from the neighbor at the other end of the link are treated as
@@ -124,6 +135,11 @@ void MpdaProcess::on_link_down(NodeId k) {
 }
 
 void MpdaProcess::on_link_cost_change(NodeId k, Cost cost) {
+  obs::SpanEpisodeGuard span_guard;
+  if (spans_ != nullptr) {
+    spans_->begin_local_episode(self(), span_now());
+    span_guard.r = spans_;
+  }
   tables_.link_cost_change(k, cost);
   after_ntu({});
 }
@@ -204,6 +220,7 @@ void MpdaProcess::on_lsu(const LsuMessage& msg) {
   probe_.emit(obs::EventType::kLsuReceive, msg.sender, msg.seq,
               static_cast<double>(msg.entries.size()));
   NtuOutcome outcome;
+  obs::SpanEpisodeGuard span_guard;
   if (msg.ack) {
     const auto it = unacked_.find(msg.sender);
     if (it != unacked_.end()) {
@@ -213,14 +230,29 @@ void MpdaProcess::on_lsu(const LsuMessage& msg) {
   }
   if (!msg.entries.empty()) {
     auto& last_seen = last_seen_seq_[msg.sender];
-    if (msg.seq == 0 || msg.seq > last_seen) {
+    const bool fresh = msg.seq == 0 || msg.seq > last_seen;
+    if (spans_ != nullptr) {
+      // The processing episode is caused by the sender's (re-)origination
+      // (sender, seq) — the edge that links causal trees across hops.
+      spans_->begin_lsu_episode(self(), msg.sender, msg.seq, fresh,
+                                /*ack=*/false, span_now());
+      span_guard.r = spans_;
+    }
+    if (fresh) {
       // Fresh LSU: apply. (A retransmitted duplicate is skipped but still
       // acknowledged below — its previous ack evidently went missing.)
       last_seen = std::max(last_seen, msg.seq);
+      obs::ProfScope prof(prof_, obs::ProfSection::kMpdaTableUpdate);
       tables_.apply_lsu(msg.sender, msg.entries);
     }
     outcome.ack_to = msg.sender;  // Fig. 4 steps 7-8: must acknowledge
     outcome.ack_seq = msg.seq;
+  } else if (spans_ != nullptr && msg.ack) {
+    // Pure ack: attach to the tree of OUR origination it acknowledges
+    // ((self, ack_seq) is the send that started the round trip).
+    spans_->begin_lsu_episode(self(), self(), msg.ack_seq, /*applied=*/false,
+                              /*ack=*/true, span_now());
+    span_guard.r = spans_;
   }
   after_ntu(outcome);
 }
@@ -229,6 +261,7 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
   std::vector<proto::LsuEntry> changes;
   if (mode_ == Mode::kPassive) {
     // Fig. 4 step 2: update T and lower the feasible distances.
+    obs::ProfScope prof(prof_, obs::ProfSection::kMpdaTableUpdate);
     changes = tables_.mtu();
     for (std::size_t j = 0; j < fd_.size(); ++j) {
       const Cost prev = fd_[j];
@@ -242,6 +275,7 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
     // Fig. 4 step 3: the last ACK arrived (or the last blocking neighbor
     // failed). D before the deferred MTU is what every neighbor has
     // acknowledged; FD may rise to min(pre, post).
+    obs::ProfScope prof(prof_, obs::ProfSection::kMpdaTableUpdate);
     std::vector<Cost> temp(fd_.size());
     for (std::size_t j = 0; j < temp.size(); ++j) {
       temp[j] = tables_.distance(static_cast<NodeId>(j));
@@ -264,6 +298,7 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
 
   if (!changes.empty()) {
     // Fig. 4 steps 5-6: flood the diff, await everyone's ACK.
+    obs::ProfScope prof(prof_, obs::ProfSection::kMpdaFlood);
     mode_ = Mode::kActive;
     for (const NodeId k : tables_.neighbors()) {
       // A just-attached neighbor gets the whole table, not the diff.
@@ -278,6 +313,7 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
       ++lsus_originated_;
       probe_.emit(obs::EventType::kLsuOriginate, k, msg.seq,
                   static_cast<double>(msg.entries.size()));
+      if (spans_ != nullptr) spans_->on_send(self(), k, msg.seq, span_now());
     }
   } else if (outcome.ack_to != graph::kInvalidNode &&
              tables_.is_neighbor(outcome.ack_to)) {
@@ -290,6 +326,7 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
 }
 
 void MpdaProcess::recompute_successors() {
+  obs::ProfScope prof(prof_, obs::ProfSection::kMpdaRecompute);
   const auto n = static_cast<NodeId>(fd_.size());
   std::vector<NodeId> next;
   for (NodeId j = 0; j < n; ++j) {
@@ -304,6 +341,7 @@ void MpdaProcess::recompute_successors() {
       ++successor_versions_[j];
       probe_.emit(obs::EventType::kSuccessorChange, j,
                   static_cast<double>(next.size()), fd_[j]);
+      if (spans_ != nullptr) spans_->on_successor_change(self(), j, span_now());
     }
   }
 }

@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "graph/topology.h"
+#include "obs/prof.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "proto/lsu.h"
 #include "proto/pda.h"
@@ -164,6 +166,18 @@ class MpdaProcess final : public proto::RoutingProcess {
   /// successor-set changes). Disabled by default; one branch per event when
   /// off, so default runs are unaffected.
   void set_probe(const obs::Probe& probe) { probe_ = probe; }
+
+  /// Attaches the wall-clock profiler (table update / successor recompute /
+  /// flood-out sections). Null (default) = off, one branch per scope.
+  void set_prof(obs::Profiler* p) { prof_ = p; }
+
+  /// Attaches the convergence span recorder; `clock` supplies sim time
+  /// (EventQueue::now_ptr). Every protocol entry point then opens a
+  /// processing episode and records sends / successor changes into it.
+  void set_spans(obs::SpanRecorder* s, const Time* clock) {
+    spans_ = s;
+    span_clock_ = clock;
+  }
 
   /// Oldest outstanding LSUs eligible for retransmission, per neighbor.
   static constexpr std::size_t kRetransmitWindow = 8;
@@ -304,6 +318,7 @@ class MpdaProcess final : public proto::RoutingProcess {
   void after_ntu(const NtuOutcome& outcome);
   void recompute_successors();
   void send(graph::NodeId k, const proto::LsuMessage& msg);
+  Time span_now() const { return span_clock_ != nullptr ? *span_clock_ : 0; }
 
   proto::RouterTables tables_;
   proto::LsuSink* sink_;
@@ -326,6 +341,9 @@ class MpdaProcess final : public proto::RoutingProcess {
   std::uint64_t lsus_suppressed_ = 0;
   std::uint64_t acks_sent_ = 0;
   obs::Probe probe_;
+  obs::Profiler* prof_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
+  const Time* span_clock_ = nullptr;
 };
 
 }  // namespace mdr::core

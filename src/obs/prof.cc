@@ -1,0 +1,205 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mdr::obs {
+
+namespace {
+
+constexpr const char* kSectionNames[kNumProfSections] = {
+    "dispatch.callback", "dispatch.transmit", "dispatch.deliver",
+    "dispatch.source",   "dispatch.timer",    "mpda.lsu_decode",
+    "mpda.table_update", "mpda.recompute",    "mpda.flood",
+    "alloc.ih",          "alloc.ah",          "link.enqueue",
+    "link.deliver",      "ckpt.save",         "ckpt.load",
+    "engine.busy",       "engine.stall",      "engine.handoff",
+    "sim.build",         "sim.report",
+};
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+const char* prof_section_name(ProfSection s) {
+  return kSectionNames[static_cast<std::size_t>(s)];
+}
+
+Profiler::Profiler(std::uint64_t timed_mask) : timed_mask_(timed_mask) {
+  frames_.reserve(16);
+  // Calibrate the monotonic clock so the report can self-estimate the
+  // profiler's own overhead (two reads per scope). Minimum over several
+  // batches: a single timed loop is occasionally preempted and would
+  // over-report the cost by an order of magnitude.
+  constexpr int kBatches = 16;
+  constexpr int kReads = 256;
+  std::uint64_t best = ~std::uint64_t{0};
+  std::uint64_t sink = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    const std::uint64_t t0 = now_ns();
+    for (int i = 0; i < kReads; ++i) sink += now_ns() & 1;
+    const std::uint64_t t1 = now_ns();
+    best = std::min(best, t1 - t0);
+  }
+  clock_cost_ns_ = static_cast<double>(best + (sink & 1)) / kReads;
+}
+
+ProfStats ProfReport::total(ProfSection s) const {
+  ProfStats out;
+  for (const Track& t : tracks) {
+    const ProfStats& st = t.sections[static_cast<std::size_t>(s)];
+    out.count += st.count;
+    out.total_ns += st.total_ns;
+    out.self_ns += st.self_ns;
+  }
+  return out;
+}
+
+double ProfReport::attributed_fraction() const {
+  if (wall_ns == 0) return 0;
+  // Self time never double-counts within a track, so the track-summed self
+  // time is exactly the wall time spent inside any instrumented scope. On
+  // the sharded engine concurrent tracks overlap and the ratio may exceed 1.
+  std::uint64_t self = 0;
+  for (const Track& t : tracks)
+    for (const ProfStats& st : t.sections) self += st.self_ns;
+  return static_cast<double>(self) / static_cast<double>(wall_ns);
+}
+
+void ProfReport::merge(const ProfReport& other) {
+  for (const Track& ot : other.tracks) {
+    Track* mine = nullptr;
+    for (Track& t : tracks)
+      if (t.label == ot.label) {
+        mine = &t;
+        break;
+      }
+    if (mine == nullptr) {
+      tracks.push_back(ot);
+      continue;
+    }
+    for (std::size_t i = 0; i < kNumProfSections; ++i) {
+      mine->sections[i].count += ot.sections[i].count;
+      mine->sections[i].total_ns += ot.sections[i].total_ns;
+      mine->sections[i].self_ns += ot.sections[i].self_ns;
+    }
+  }
+  windows += other.windows;
+  window_max_busy_ns += other.window_max_busy_ns;
+  window_mean_busy_ns += other.window_mean_busy_ns;
+  if (other.shards > shards) shards = other.shards;
+  scopes += other.scopes;
+  counted += other.counted;
+  if (other.clock_cost_ns > clock_cost_ns) clock_cost_ns = other.clock_cost_ns;
+  wall_ns += other.wall_ns;
+  runs += other.runs;
+}
+
+void ProfReport::append_json(std::string& out) const {
+  // Deterministic fields first; everything host-varying under "host".
+  out += "{\"schema\": \"mdr-prof-1\", \"runs\": ";
+  append_u64(out, runs);
+  out += ", \"shards\": ";
+  append_u64(out, static_cast<std::uint64_t>(shards));
+  out += ", \"windows\": ";
+  append_u64(out, windows);
+  out += ", \"scopes\": ";
+  append_u64(out, scopes);
+  out += ", \"counted\": ";
+  append_u64(out, counted);
+  out += ", \"counts\": {";
+  for (std::size_t i = 0; i < kNumProfSections; ++i) {
+    if (i) out += ", ";
+    out += '"';
+    out += kSectionNames[i];
+    out += "\": ";
+    append_u64(out, total(static_cast<ProfSection>(i)).count);
+  }
+  out += "}, \"host\": {\"wall_ns\": ";
+  append_u64(out, wall_ns);
+  out += ", \"clock_cost_ns\": ";
+  append_double(out, clock_cost_ns);
+  out += ", \"overhead_est_ns\": ";
+  append_double(out, overhead_est_ns());
+  out += ", \"attributed_fraction\": ";
+  append_double(out, attributed_fraction());
+  out += ", \"imbalance\": ";
+  append_double(out, imbalance());
+  out += ", \"window_max_busy_ns\": ";
+  append_u64(out, window_max_busy_ns);
+  out += ", \"window_mean_busy_ns\": ";
+  append_u64(out, window_mean_busy_ns);
+  out += ", \"tracks\": [";
+  bool first_track = true;
+  for (const Track& t : tracks) {
+    if (!first_track) out += ", ";
+    first_track = false;
+    out += "{\"label\": \"";
+    out += t.label;
+    out += "\", \"sections\": {";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumProfSections; ++i) {
+      const ProfStats& st = t.sections[i];
+      if (st.count == 0 && st.total_ns == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += '"';
+      out += kSectionNames[i];
+      out += "\": {\"count\": ";
+      append_u64(out, st.count);
+      out += ", \"total_ns\": ";
+      append_u64(out, st.total_ns);
+      out += ", \"self_ns\": ";
+      append_u64(out, st.self_ns);
+      out += '}';
+    }
+    out += "}}";
+  }
+  out += "]}}";
+}
+
+std::string ProfReport::summary_table() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "[prof] %-20s %12s %12s %12s\n", "section",
+                "count", "total_ms", "self_ms");
+  out += line;
+  for (std::size_t i = 0; i < kNumProfSections; ++i) {
+    const ProfStats st = total(static_cast<ProfSection>(i));
+    if (st.count == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "[prof] %-20s %12" PRIu64 " %12.3f %12.3f\n",
+                  kSectionNames[i], st.count, st.total_ns / 1e6,
+                  st.self_ns / 1e6);
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "[prof] attributed %.1f%% of %.3f s wall; overhead est "
+                "%.3f%% (%.1f ns/clock read, %" PRIu64 " timed scopes, %" PRIu64
+                " counted)\n",
+                100.0 * attributed_fraction(), wall_ns / 1e9,
+                wall_ns > 0 ? 100.0 * overhead_est_ns() / wall_ns : 0.0,
+                clock_cost_ns, scopes, counted);
+  out += line;
+  if (windows > 0) {
+    std::snprintf(line, sizeof line,
+                  "[prof] windows %" PRIu64
+                  "  shard imbalance %.3f (max/mean busy)\n",
+                  windows, imbalance());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mdr::obs

@@ -1,0 +1,299 @@
+#include "obs/spans.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/prof.h"
+
+namespace mdr::obs {
+
+namespace {
+
+constexpr std::uint64_t kNoParent = ~std::uint64_t{0};
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// Distribution + amplification statistics over all originations.
+void compute_span_stats(ConvergenceReport& report) {
+  report.mean_convergence_s = report.p95_convergence_s =
+      report.max_convergence_s = 0;
+  report.mean_routers_touched = report.mean_recomputes =
+      report.max_routers_touched = 0;
+  std::vector<double> durations;
+  double sum_routers = 0, sum_recomputes = 0, sum_dur = 0;
+  for (const ConvergenceSpan& s : report.spans) {
+    sum_routers += s.routers_touched;
+    sum_recomputes += s.episodes;
+    if (s.routers_touched > report.max_routers_touched)
+      report.max_routers_touched = s.routers_touched;
+    if (s.duration_s > 0) {
+      durations.push_back(s.duration_s);
+      sum_dur += s.duration_s;
+    }
+  }
+  if (!report.spans.empty()) {
+    report.mean_routers_touched = sum_routers / report.spans.size();
+    report.mean_recomputes = sum_recomputes / report.spans.size();
+  }
+  if (!durations.empty()) {
+    std::sort(durations.begin(), durations.end());
+    report.mean_convergence_s = sum_dur / durations.size();
+    report.max_convergence_s = durations.back();
+    const std::size_t idx =
+        durations.size() > 1
+            ? static_cast<std::size_t>(0.95 * (durations.size() - 1))
+            : 0;
+    report.p95_convergence_s = durations[idx];
+  }
+}
+
+}  // namespace
+
+ConvergenceReport assemble_spans(
+    const std::vector<const SpanRecorder*>& recorders) {
+  ConvergenceReport report;
+
+  struct Episode {
+    Time t0 = 0;
+    Time last_t = 0;
+    graph::NodeId node = graph::kInvalidNode;
+    std::uint8_t flags = 0;
+    std::uint64_t parent = kNoParent;  ///< global key of parent episode
+    std::uint32_t sends = 0;
+    std::uint32_t successor_changes = 0;
+    std::uint32_t first_forwards = 0;
+    std::vector<std::uint32_t> children;  ///< episode indices
+    bool visited = false;
+  };
+  std::vector<Episode> episodes;
+  // Global episode key (recorder << 32 | local id) -> index in `episodes`,
+  // and (sender << 32 | seq) -> the episode that emitted that send.
+  std::unordered_map<std::uint64_t, std::uint32_t> by_key;
+  std::unordered_map<std::uint64_t, std::uint64_t> send_episode;
+
+  auto gkey = [](std::size_t rec, std::uint32_t ep) {
+    return (static_cast<std::uint64_t>(rec) << 32) | ep;
+  };
+
+  // Pass 1: materialize episodes and the send -> episode map.
+  for (std::size_t r = 0; r < recorders.size(); ++r) {
+    report.dropped += recorders[r]->dropped();
+    for (const SpanRecord& rec : recorders[r]->records()) {
+      ++report.records;
+      if (rec.kind == SpanKind::kEpisode) {
+        Episode e;
+        e.t0 = rec.t;
+        e.last_t = rec.t;
+        e.node = rec.node;
+        e.flags = rec.flags;
+        by_key.emplace(gkey(r, rec.episode),
+                       static_cast<std::uint32_t>(episodes.size()));
+        episodes.push_back(std::move(e));
+      } else if (rec.kind == SpanKind::kSend) {
+        const std::uint64_t sk =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rec.node))
+             << 32) |
+            rec.seq;
+        if (rec.episode != kNoEpisode)
+          send_episode.emplace(sk, gkey(r, rec.episode));
+      }
+    }
+  }
+
+  // Pass 2: per-episode tallies and parent resolution.
+  for (std::size_t r = 0; r < recorders.size(); ++r) {
+    for (const SpanRecord& rec : recorders[r]->records()) {
+      if (rec.kind == SpanKind::kEpisode) {
+        auto it = by_key.find(gkey(r, rec.episode));
+        if (rec.cause_node == graph::kInvalidNode) continue;
+        const std::uint64_t sk =
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(rec.cause_node))
+             << 32) |
+            rec.cause_seq;
+        auto sit = send_episode.find(sk);
+        if (sit != send_episode.end() && by_key.count(sit->second))
+          episodes[it->second].parent = sit->second;
+        continue;
+      }
+      if (rec.episode == kNoEpisode) continue;
+      auto it = by_key.find(gkey(r, rec.episode));
+      if (it == by_key.end()) continue;
+      Episode& e = episodes[it->second];
+      if (rec.t > e.last_t) e.last_t = rec.t;
+      switch (rec.kind) {
+        case SpanKind::kSend:
+          ++e.sends;
+          break;
+        case SpanKind::kSuccessorChange:
+          ++e.successor_changes;
+          break;
+        case SpanKind::kFirstForward:
+          ++e.first_forwards;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  for (std::uint32_t i = 0; i < episodes.size(); ++i) {
+    if (episodes[i].parent == kNoParent) continue;
+    episodes[by_key[episodes[i].parent]].children.push_back(i);
+  }
+
+  // Pass 3: fold each root's tree into one ConvergenceSpan. An
+  // origination with no outbound LSUs is a no-op episode, not a span.
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t i = 0; i < episodes.size(); ++i) {
+    Episode& root = episodes[i];
+    if (root.parent != kNoParent || root.visited) continue;
+    ConvergenceSpan span;
+    span.t0 = root.t0;
+    span.origin = root.node;
+    span.local = (root.flags & kSpanLocal) != 0;
+    Time last_t = root.t0;
+    std::unordered_set<graph::NodeId> routers;
+    stack.assign(1, i);
+    while (!stack.empty()) {
+      Episode& e = episodes[stack.back()];
+      stack.pop_back();
+      if (e.visited) continue;  // defensive: parent links are time-ordered
+      e.visited = true;
+      ++span.episodes;
+      span.sends += e.sends;
+      span.successor_changes += e.successor_changes;
+      span.first_forwards += e.first_forwards;
+      routers.insert(e.node);
+      if (e.last_t > last_t) last_t = e.last_t;
+      for (std::uint32_t c : e.children) stack.push_back(c);
+    }
+    if (span.sends == 0) continue;
+    span.routers_touched = static_cast<std::uint32_t>(routers.size());
+    span.duration_s = last_t > span.t0 ? last_t - span.t0 : 0;
+    report.spans.push_back(span);
+  }
+
+  std::stable_sort(report.spans.begin(), report.spans.end(),
+                   [](const ConvergenceSpan& a, const ConvergenceSpan& b) {
+                     if (a.t0 != b.t0) return a.t0 < b.t0;
+                     return a.origin < b.origin;
+                   });
+
+  compute_span_stats(report);
+  return report;
+}
+
+void ConvergenceReport::merge(const ConvergenceReport& other) {
+  spans.insert(spans.end(), other.spans.begin(), other.spans.end());
+  records += other.records;
+  dropped += other.dropped;
+  compute_span_stats(*this);
+}
+
+void ConvergenceReport::append_json(std::string& out) const {
+  char buf[64];
+  out += "{\"spans\": ";
+  std::snprintf(buf, sizeof buf, "%zu", spans.size());
+  out += buf;
+  out += ", \"records\": ";
+  std::snprintf(buf, sizeof buf, "%" PRIu64, records);
+  out += buf;
+  out += ", \"dropped\": ";
+  std::snprintf(buf, sizeof buf, "%" PRIu64, dropped);
+  out += buf;
+  out += ", \"convergence_s\": {\"mean\": ";
+  append_double(out, mean_convergence_s);
+  out += ", \"p95\": ";
+  append_double(out, p95_convergence_s);
+  out += ", \"max\": ";
+  append_double(out, max_convergence_s);
+  out += "}, \"amplification\": {\"mean_routers_touched\": ";
+  append_double(out, mean_routers_touched);
+  out += ", \"max_routers_touched\": ";
+  append_double(out, max_routers_touched);
+  out += ", \"mean_recomputes\": ";
+  append_double(out, mean_recomputes);
+  out += "}}";
+}
+
+void write_trace_json(std::ostream& os, const ProfReport& prof,
+                      const ConvergenceReport& conv) {
+  char buf[256];
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  sep();
+  os << "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+        "\"process_name\", \"args\": {\"name\": \"profiler (host time)\"}}";
+  sep();
+  os << "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+        "\"process_name\", \"args\": {\"name\": \"convergence (sim time)\"}}";
+  for (std::size_t t = 0; t < prof.tracks.size(); ++t) {
+    sep();
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\": \"M\", \"pid\": 0, \"tid\": %zu, \"name\": "
+                  "\"thread_name\", \"args\": {\"name\": \"%s\"}}",
+                  t, prof.tracks[t].label.c_str());
+    os << buf;
+  }
+
+  // Profiler tree: each track lays its sections out sequentially by self
+  // time, as matched B/E pairs — monotone ts per (pid 0, tid) track.
+  for (std::size_t t = 0; t < prof.tracks.size(); ++t) {
+    double off_us = 0;
+    for (std::size_t i = 0; i < kNumProfSections; ++i) {
+      const ProfStats& st = prof.tracks[t].sections[i];
+      if (st.count == 0) continue;
+      const double dur_us = st.self_ns / 1e3;
+      sep();
+      std::snprintf(
+          buf, sizeof buf,
+          "{\"ph\": \"B\", \"pid\": 0, \"tid\": %zu, \"ts\": %.3f, "
+          "\"name\": \"%s\", \"args\": {\"count\": %" PRIu64
+          ", \"total_ns\": %" PRIu64 ", \"self_ns\": %" PRIu64 "}}",
+          t, off_us, prof_section_name(static_cast<ProfSection>(i)), st.count,
+          st.total_ns, st.self_ns);
+      os << buf;
+      sep();
+      std::snprintf(buf, sizeof buf,
+                    "{\"ph\": \"E\", \"pid\": 0, \"tid\": %zu, \"ts\": %.3f}",
+                    t, off_us + dur_us);
+      os << buf;
+      off_us += dur_us;
+    }
+  }
+
+  // Convergence spans: complete events in sim microseconds, tid = origin
+  // router. Everything here is same-seed deterministic.
+  for (const ConvergenceSpan& s : conv.spans) {
+    sep();
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, "
+        "\"dur\": %.3f, \"name\": \"%s\", \"args\": {\"origin\": %d, "
+        "\"episodes\": %u, \"sends\": %u, \"routers_touched\": %u, "
+        "\"successor_changes\": %u, \"first_forwards\": %u}}",
+        s.origin, s.t0 * 1e6, s.duration_s * 1e6,
+        s.local ? "origination" : "update", s.origin, s.episodes, s.sends,
+        s.routers_touched, s.successor_changes, s.first_forwards);
+    os << buf;
+  }
+
+  os << "\n], \"otherData\": {\"schema\": \"mdr-prof-1\", "
+        "\"host_time_pids\": [0]}}\n";
+}
+
+}  // namespace mdr::obs

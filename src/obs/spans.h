@@ -1,0 +1,238 @@
+// Convergence span tracer: stamps every control-plane causal chain —
+// link-event / LSU origination -> per-hop flood -> receiver table update ->
+// successor-set change -> first packet forwarded on the new successor —
+// into typed records, assembled post-run into per-origination convergence
+// spans with update-amplification counts (routers touched, recomputes
+// triggered per origination).
+//
+// Tracing is purely observational: MPDA floods by RE-ORIGINATION (every
+// per-neighbor send gets a fresh sequence number from the sender's
+// counter), so (sender, seq) uniquely identifies a transmission and the
+// causal chain is recovered by linking each receiver's processing episode
+// to the send that triggered it. No message or wire-format change — packet
+// sizes and therefore the simulation itself are untouched, and all record
+// timestamps are SIM time, so the assembled spans are same-seed
+// deterministic (unlike the profiler's host-time fields).
+//
+// Like every obs instrument, a null recorder pointer costs one predictable
+// branch per hook, keeping untraced runs byte-identical to the seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/topology.h"
+#include "util/time.h"
+
+namespace mdr::obs {
+
+enum class SpanKind : std::uint8_t {
+  kEpisode = 0,       ///< one MPDA processing episode opens (LSU or local)
+  kSend,              ///< one LSU (re-)origination toward a neighbor
+  kSuccessorChange,   ///< successor set for one destination changed
+  kFirstForward,      ///< first data packet forwarded after that change
+};
+
+/// Episode flags (SpanRecord::flags, kEpisode records).
+inline constexpr std::uint8_t kSpanApplied = 1;  ///< fresh entries applied
+inline constexpr std::uint8_t kSpanAck = 2;      ///< pure ack message
+inline constexpr std::uint8_t kSpanLocal = 4;    ///< local link event root
+
+/// No-episode marker (records emitted outside any processing episode,
+/// e.g. timer-driven retransmissions of an already-traced sequence).
+inline constexpr std::uint32_t kNoEpisode = 0xffffffffu;
+
+struct SpanRecord {
+  Time t = 0;  ///< sim time
+  SpanKind kind = SpanKind::kEpisode;
+  std::uint8_t flags = 0;
+  std::uint32_t episode = kNoEpisode;  ///< recorder-local episode id
+  graph::NodeId node = graph::kInvalidNode;  ///< where this happened
+  /// kSend: receiving neighbor; kFirstForward: chosen next hop.
+  graph::NodeId peer = graph::kInvalidNode;
+  /// kSuccessorChange / kFirstForward: affected destination.
+  graph::NodeId dest = graph::kInvalidNode;
+  /// kSend: the assigned sequence number.
+  std::uint32_t seq = 0;
+  /// kEpisode: the incoming LSU (sender, seq) that opened it;
+  /// kInvalidNode for local link-event episodes.
+  graph::NodeId cause_node = graph::kInvalidNode;
+  std::uint32_t cause_seq = 0;
+};
+
+/// Per-shard (single-threaded) span sink. MpdaProcess opens an episode at
+/// each entry point, records sends / successor changes inside it; SimNode
+/// reports forwards so the first packet on a changed successor closes the
+/// chain. Bounded: past `max_records` new records are counted as dropped.
+class SpanRecorder {
+ public:
+  static constexpr std::size_t kDefaultMaxRecords = 2'000'000;
+
+  explicit SpanRecorder(std::size_t num_nodes,
+                        std::size_t max_records = kDefaultMaxRecords)
+      : pending_(num_nodes), max_records_(max_records) {}
+
+  void begin_lsu_episode(graph::NodeId self, graph::NodeId sender,
+                         std::uint32_t seq, bool applied, bool ack, Time t) {
+    std::uint8_t flags = 0;
+    if (applied) flags |= kSpanApplied;
+    if (ack) flags |= kSpanAck;
+    begin_episode(self, sender, seq, flags, t);
+  }
+  void begin_local_episode(graph::NodeId self, Time t) {
+    begin_episode(self, graph::kInvalidNode, 0, kSpanLocal, t);
+  }
+  void end_episode() { current_ = kNoEpisode; }
+
+  void on_send(graph::NodeId self, graph::NodeId neighbor, std::uint32_t seq,
+               Time t) {
+    SpanRecord r;
+    r.t = t;
+    r.kind = SpanKind::kSend;
+    r.episode = current_;
+    r.node = self;
+    r.peer = neighbor;
+    r.seq = seq;
+    push(r);
+  }
+
+  void on_successor_change(graph::NodeId self, graph::NodeId dest, Time t) {
+    SpanRecord r;
+    r.t = t;
+    r.kind = SpanKind::kSuccessorChange;
+    r.episode = current_;
+    r.node = self;
+    r.dest = dest;
+    push(r);
+    if (current_ == kNoEpisode) return;
+    auto& slots = pending_[static_cast<std::size_t>(self)];
+    // Lazily materialized per-dest index. A scanned list would be cheaper
+    // here, but a pending entry whose destination never carries traffic
+    // lingers forever and on_forward runs per forwarded packet — stale
+    // entries must not add per-packet cost.
+    if (slots.empty()) slots.assign(pending_.size(), kNoEpisode);
+    if (slots[static_cast<std::size_t>(dest)] == kNoEpisode) ++pending_total_;
+    slots[static_cast<std::size_t>(dest)] = current_;
+  }
+
+  /// Per-forwarded-packet hook: at most three dependent loads and no
+  /// writes until the first packet after a successor change is seen.
+  void on_forward(graph::NodeId self, graph::NodeId dest,
+                  graph::NodeId next_hop, Time t) {
+    if (pending_total_ == 0) return;
+    auto& slots = pending_[static_cast<std::size_t>(self)];
+    if (slots.empty()) return;
+    std::uint32_t& episode = slots[static_cast<std::size_t>(dest)];
+    if (episode == kNoEpisode) return;
+    SpanRecord r;
+    r.t = t;
+    r.kind = SpanKind::kFirstForward;
+    r.episode = episode;
+    r.node = self;
+    r.peer = next_hop;
+    r.dest = dest;
+    push(r);
+    episode = kNoEpisode;
+    --pending_total_;
+  }
+
+  const std::vector<SpanRecord>& records() const { return records_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  void begin_episode(graph::NodeId self, graph::NodeId cause,
+                     std::uint32_t cause_seq, std::uint8_t flags, Time t) {
+    current_ = next_episode_++;
+    SpanRecord r;
+    r.t = t;
+    r.kind = SpanKind::kEpisode;
+    r.flags = flags;
+    r.episode = current_;
+    r.node = self;
+    r.cause_node = cause;
+    r.cause_seq = cause_seq;
+    push(r);
+  }
+
+  void push(const SpanRecord& r) {
+    if (records_.size() >= max_records_) {
+      ++dropped_;
+      return;
+    }
+    records_.push_back(r);
+  }
+
+  std::vector<SpanRecord> records_;
+  /// pending_[node][dest] = episode awaiting its first forwarded packet, or
+  /// kNoEpisode. Inner vectors are empty until the node's first successor
+  /// change (n^2 worst case, profiling runs only).
+  std::vector<std::vector<std::uint32_t>> pending_;  // by NodeId
+  std::size_t pending_total_ = 0;
+  std::uint32_t next_episode_ = 0;
+  std::uint32_t current_ = kNoEpisode;
+  std::size_t max_records_ = kDefaultMaxRecords;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Clears the recorder on destruction — pairs each MPDA entry point with
+/// end_episode() across early returns. `r` may be null (tracing off).
+struct SpanEpisodeGuard {
+  SpanRecorder* r = nullptr;
+  ~SpanEpisodeGuard() {
+    if (r != nullptr) r->end_episode();
+  }
+};
+
+/// One assembled causal tree rooted at an origination event.
+struct ConvergenceSpan {
+  Time t0 = 0;                               ///< root episode sim time
+  graph::NodeId origin = graph::kInvalidNode;  ///< root router
+  bool local = false;       ///< rooted at a local link event (vs orphan LSU)
+  double duration_s = 0;    ///< last descendant event time - t0
+  std::uint32_t episodes = 0;     ///< recomputes triggered (root included)
+  std::uint32_t sends = 0;        ///< LSU transmissions in the tree
+  std::uint32_t routers_touched = 0;    ///< distinct routers recomputing
+  std::uint32_t successor_changes = 0;
+  std::uint32_t first_forwards = 0;
+};
+
+/// Whole-run convergence statistics. Every field derives from sim-time
+/// records only, so the report is same-seed deterministic.
+struct ConvergenceReport {
+  std::vector<ConvergenceSpan> spans;  ///< sorted by (t0, origin)
+  std::uint64_t records = 0;           ///< raw records assembled
+  std::uint64_t dropped = 0;           ///< records lost to the ring cap
+
+  double mean_convergence_s = 0;  ///< over spans with duration > 0
+  double p95_convergence_s = 0;
+  double max_convergence_s = 0;
+  double mean_routers_touched = 0;  ///< update amplification per origination
+  double mean_recomputes = 0;       ///< episodes per origination
+  double max_routers_touched = 0;
+
+  void append_json(std::string& out) const;
+
+  /// Cross-run merge (runner jobs, applied in job order): spans concatenate
+  /// and the distribution statistics are recomputed over the union.
+  void merge(const ConvergenceReport& other);
+};
+
+/// Links per-recorder episode trees across shards into ConvergenceSpans.
+ConvergenceReport assemble_spans(
+    const std::vector<const SpanRecorder*>& recorders);
+
+}  // namespace mdr::obs
+
+namespace mdr::obs {
+struct ProfReport;  // obs/prof.h
+
+/// Chrome trace-event JSON (Perfetto-loadable): the profiler tree as B/E
+/// pairs on pid 0 (host time, one tid per track) and convergence spans as
+/// complete events on pid 1 (sim time, tid = origin router). Host-time
+/// fields are confined to pid 0; otherData.host_time_pids names the
+/// boundary so tooling can diff around it (scripts/check_telemetry.py).
+void write_trace_json(std::ostream& os, const ProfReport& prof,
+                      const ConvergenceReport& conv);
+}  // namespace mdr::obs

@@ -12,10 +12,19 @@
 #include <thread>
 #include <utility>
 
+#include <sys/resource.h>
+
 #include "runner/pool.h"
 #include "sim/experiment.h"
 
 namespace mdr::runner {
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
 
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index) {
   // SplitMix64 over the pair: absorb the index into the base, then run two
@@ -116,6 +125,16 @@ std::vector<sim::SimResult> ExperimentRunner::run(
           outcome->status = "cached";
           return;
         }
+        // Host cost of the whole job — every attempt plus backoff — billed
+        // on exit whichever way the job ends.
+        const auto job_start = std::chrono::steady_clock::now();
+        const auto bill_host = [outcome, job_start] {
+          outcome->wall_clock_s = std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() -
+                                      job_start)
+                                      .count();
+          outcome->peak_rss_bytes = peak_rss_bytes();
+        };
         for (int attempt = 1; attempt <= max_attempts; ++attempt) {
           outcome->attempts = attempt;
           try {
@@ -136,6 +155,7 @@ std::vector<sim::SimResult> ExperimentRunner::run(
             }
             outcome->status = "ok";
             outcome->error.clear();
+            bill_host();
             if (!options_.result_dir.empty()) {
               std::ofstream marker(marker_path(options_.result_dir, i));
               marker << "seed " << seed << "\n";
@@ -167,6 +187,7 @@ std::vector<sim::SimResult> ExperimentRunner::run(
                 std::chrono::duration<double>(sleep_s));
           }
         }
+        bill_host();  // all attempts failed
       });
     }
     pool.wait();
@@ -200,6 +221,20 @@ BatchResult ExperimentRunner::run_replicated(const sim::ExperimentSpec& spec,
     batch.avg_delay_s.add(r.avg_delay_s);
     // Deterministic merge order: job index, never completion order.
     if (r.telemetry.has_value()) batch.metrics.merge(r.telemetry->metrics);
+    if (r.prof.has_value()) {
+      if (batch.prof.has_value()) {
+        batch.prof->merge(*r.prof);
+      } else {
+        batch.prof = r.prof;
+      }
+    }
+    if (r.convergence.has_value()) {
+      if (batch.convergence.has_value()) {
+        batch.convergence->merge(*r.convergence);
+      } else {
+        batch.convergence = r.convergence;
+      }
+    }
   }
   return batch;
 }
@@ -292,6 +327,16 @@ void write_results_json(std::ostream& os, const BatchResult& batch,
        << (f + 1 < batch.flows.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
+  if (batch.prof.has_value()) {
+    std::string prof_json;
+    batch.prof->append_json(prof_json);
+    os << "  \"prof\": " << prof_json << ",\n";
+  }
+  if (batch.convergence.has_value()) {
+    std::string conv_json;
+    batch.convergence->append_json(conv_json);
+    os << "  \"convergence\": " << conv_json << ",\n";
+  }
   os << "  \"runs\": [\n";
   for (std::size_t i = 0; i < batch.runs.size(); ++i) {
     const auto& r = batch.runs[i];
@@ -333,6 +378,19 @@ void write_results_json(std::ostream& os, const BatchResult& batch,
          << ", \"damped_withdrawals\": " << nc.damped_withdrawals << "}";
     }
     os << "]}";
+    if (!r.shard_events.empty()) {
+      os << ", \"shard_events\": [";
+      for (std::size_t s = 0; s < r.shard_events.size(); ++s) {
+        os << (s > 0 ? ", " : "") << r.shard_events[s];
+      }
+      os << "]";
+    }
+    if (oc != nullptr) {
+      // Host-varying fields live in one FLAT object per row so diff tooling
+      // (tests/mdrsim_telemetry.cmake) can strip it with a simple regex.
+      os << ", \"host\": {\"wall_clock_s\": " << oc->wall_clock_s
+         << ", \"peak_rss_bytes\": " << oc->peak_rss_bytes << "}";
+    }
     if (r.monitor.has_value()) {
       os << ", \"monitor\": " << sim::monitor_report_json(*r.monitor);
     }

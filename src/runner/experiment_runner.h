@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,10 @@ namespace mdr::runner {
 /// SplitMix64-style hash of (base_seed, job_index). Distinct indices give
 /// well-separated seeds, independent of thread count and scheduling order.
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index);
+
+/// Process-wide peak resident set in bytes (getrusage ru_maxrss), as
+/// recorded into JobOutcome::peak_rss_bytes.
+std::uint64_t peak_rss_bytes();
 
 /// One unit of work: a complete experiment plus the routing scheme to run
 /// it under ("mp" | "sp" | "opt"). The runner overwrites spec.config.seed
@@ -70,6 +75,14 @@ struct JobOutcome {
   std::string status = "ok";  ///< "ok" | "failed" | "cached"
   int attempts = 0;
   std::string error;  ///< last exception message when status == "failed"
+  /// Host-side cost of the job (every attempt, including retries/backoff).
+  /// Wall clock varies run to run; it is emitted under the JSON row's
+  /// "host" object so deterministic tooling can strip it.
+  double wall_clock_s = 0;
+  /// Process-wide peak resident set (getrusage ru_maxrss) observed when the
+  /// job finished — an upper bound on the job's own footprint when jobs
+  /// share the process.
+  std::uint64_t peak_rss_bytes = 0;
   bool ok() const { return status == "ok"; }
 };
 
@@ -99,6 +112,11 @@ struct BatchResult {
   /// histograms merge bucketwise — so the result is identical for any
   /// worker count. Empty unless the runs carried telemetry.
   obs::MetricRegistry metrics;
+  /// Profiler + convergence reports merged in job order (tracks matched by
+  /// label; spans concatenated, stats recomputed). Present iff at least one
+  /// successful run enabled SimConfig::prof.
+  std::optional<obs::ProfReport> prof;
+  std::optional<obs::ConvergenceReport> convergence;
 };
 
 /// Per-flow aggregation across runs that share one flow set (samples are

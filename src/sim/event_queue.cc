@@ -238,6 +238,13 @@ void EventQueue::dispatch_top() {
   // steady state cycles through a fixed working set and never grows the
   // pool.
   Record& rec = pool_[top.rec];
+  static constexpr obs::ProfSection kDispatchSection[] = {
+      obs::ProfSection::kDispatchCallback, obs::ProfSection::kDispatchTransmit,
+      obs::ProfSection::kDispatchDeliver,  obs::ProfSection::kDispatchSource,
+      obs::ProfSection::kDispatchTimer,
+  };
+  obs::ProfScope prof_scope(prof_,
+                            kDispatchSection[static_cast<std::size_t>(rec.kind)]);
   switch (rec.kind) {
     case Kind::kCallback: {
       Callback fn = std::move(rec.fn);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "ckpt/ckpt.h"
+#include "obs/prof.h"
 #include "sim/packet.h"
 #include "util/time.h"
 
@@ -214,6 +215,13 @@ class EventQueue {
   std::size_t heap_pending() const { return heap_.size(); }
   std::size_t wheel_pending() const { return wheel_count_; }
 
+  // --- profiling -----------------------------------------------------------
+
+  /// Attaches a wall-clock profiler: every dispatched record is then timed
+  /// under its kind's dispatch.* section. Null (the default) keeps the
+  /// dispatch loop on the usual branch-only fast path.
+  void set_profiler(obs::Profiler* p) { prof_ = p; }
+
   // --- checkpointing -------------------------------------------------------
 
   /// Serializes the complete queue: clock, seq counter, the record pool with
@@ -302,6 +310,8 @@ class EventQueue {
   std::size_t wheel_count_ = 0;
 
   std::size_t live_source_events_ = 0;
+
+  obs::Profiler* prof_ = nullptr;
 
   std::array<std::uint64_t, kNumTimerClasses> timer_counts_{};
 };

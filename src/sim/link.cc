@@ -24,6 +24,7 @@ SimLink::SimLink(EventQueue& events, graph::LinkAttr attr,
       long_window_start_(events.now()) {}
 
 bool SimLink::enqueue(Packet packet) {
+  obs::ProfScope prof(prof_, obs::ProfSection::kLinkEnqueue);
   if (!up_) {
     ++drops_;
     if (packet.kind == Packet::Kind::kData) {
@@ -195,6 +196,7 @@ void SimLink::schedule_delivery(Packet packet, Duration delay) {
 
 void SimLink::handle_delivery(std::uint64_t epoch, Packet packet) {
   if (epoch != epoch_) return;  // link failed en route
+  obs::ProfScope prof(deliver_prof_, obs::ProfSection::kLinkDeliver);
   ++(packet.kind == Packet::Kind::kData ? wire_delivered_data_
                                         : wire_delivered_control_);
   deliver_(std::move(packet));

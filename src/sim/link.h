@@ -145,6 +145,17 @@ class SimLink {
   /// receiving node's id). Off by default; one branch per drop when off.
   void set_probe(const obs::Probe& probe) { probe_ = probe; }
 
+  /// Attaches the wall-clock profiler (packet-path sections). `owner` times
+  /// enqueue admission + service start and belongs to the transmitter's
+  /// shard; `dest` times the delivery hand-up, which executes on the far
+  /// end's shard (the same instance on the classic engine). Two pointers so
+  /// each profiler stays single-threaded. Off by default; one branch per
+  /// packet when off.
+  void set_prof(obs::Profiler* owner, obs::Profiler* dest) {
+    prof_ = owner;
+    deliver_prof_ = dest;
+  }
+
   /// Switches the wire to sharded operation: every delivery is scheduled
   /// under a canonical (link id, wire seq) key — into `dest_queue` when the
   /// far end lives on the same shard, through `channel` otherwise (exactly
@@ -244,6 +255,8 @@ class SimLink {
   std::uint64_t wire_flushed_control_ = 0;
   double busy_time_ = 0;
   obs::Probe probe_;
+  obs::Profiler* prof_ = nullptr;          ///< transmitter-shard sections
+  obs::Profiler* deliver_prof_ = nullptr;  ///< destination-shard delivery
 
   // Sharded wire (enable_sharded_wire); unused in single-threaded mode.
   bool sharded_wire_ = false;

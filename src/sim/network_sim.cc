@@ -88,6 +88,34 @@ void NetworkSim::build() {
     wf_window_delay_sum_.assign(flow_specs_.size(), 0.0);
     wf_window_delivered_.assign(flow_specs_.size(), 0);
   }
+  if (config_.prof) {
+    // One profiler + span recorder per event-executing context. Sharded runs
+    // get one extra profiler for the coordinator: the barrier completion
+    // hook runs on whichever worker arrives last, and a dedicated instance
+    // keeps every profiler single-threaded and its counts deterministic.
+    const auto contexts =
+        sharded_ ? static_cast<std::size_t>(engine_.shards) : std::size_t{1};
+    const std::uint64_t timed_mask =
+        config_.prof_deep ? obs::kProfTimeAll : obs::kProfTimeDefault;
+    for (std::size_t s = 0; s < contexts; ++s) {
+      profilers_.push_back(std::make_unique<obs::Profiler>(timed_mask));
+      span_recorders_.push_back(
+          std::make_unique<obs::SpanRecorder>(topo_->num_nodes()));
+    }
+    if (sharded_) {
+      profilers_.push_back(std::make_unique<obs::Profiler>(timed_mask));
+      window_busy_ns_.assign(contexts, 0);
+      for (std::size_t s = 0; s < contexts; ++s) {
+        shards_[s]->events.set_profiler(profilers_[s].get());
+      }
+    } else {
+      events_.set_profiler(profilers_[0].get());
+    }
+    coord_prof_ = profilers_.back().get();
+  }
+  // Covers the rest of entity construction; a no-op branch when prof is off.
+  obs::ProfScope build_scope(coord_prof_, obs::ProfSection::kSimBuild);
+
   const auto queue_for = [this](NodeId i) -> EventQueue& {
     return sharded_
                ? shards_[static_cast<std::size_t>(shard_of_[i])]->events
@@ -259,6 +287,27 @@ void NetworkSim::build() {
                     .get());
     }
     nodes_[l.from]->attach_link(l.to, links_.back().get());
+  }
+
+  if (config_.prof) {
+    // Every instrument is owned by the shard whose thread executes it: a
+    // node's protocol work runs on its own shard, a link's transmitter on
+    // the FROM shard and its delivery hand-up on the TO shard.
+    const auto prof_for = [this](NodeId i) {
+      return profilers_[sharded_ ? static_cast<std::size_t>(shard_of_[i]) : 0]
+          .get();
+    };
+    for (NodeId i = 0; i < n; ++i) {
+      nodes_[i]->set_prof(prof_for(i));
+      nodes_[i]->set_spans(
+          span_recorders_[sharded_ ? static_cast<std::size_t>(shard_of_[i])
+                                   : 0]
+              .get());
+    }
+    for (LinkId id = 0; id < static_cast<LinkId>(topo_->num_links()); ++id) {
+      const auto& l = topo_->link(id);
+      links_[id]->set_prof(prof_for(l.from), prof_for(l.to));
+    }
   }
 
   if (telemetry_enabled_) {
@@ -643,6 +692,9 @@ EventQueueCodec NetworkSim::make_codec() {
 }
 
 void NetworkSim::save_checkpoint(const std::string& path) {
+  // Save runs on the coordinator (a pause handler, or the classic engine's
+  // slice boundary), so it bills to the coordinator profiler.
+  obs::ProfScope prof_scope(coord_prof_, obs::ProfSection::kCkptSave);
   const auto wall_start = std::chrono::steady_clock::now();
   ckpt::Writer w;
   w.mark(0x51);
@@ -740,6 +792,7 @@ void NetworkSim::save_checkpoint(const std::string& path) {
 }
 
 void NetworkSim::restore_checkpoint(const std::string& path) {
+  obs::ProfScope prof_scope(coord_prof_, obs::ProfSection::kCkptLoad);
   const auto wall_start = std::chrono::steady_clock::now();
   ckpt::Reader r = ckpt::Reader::from_file(path);
   r.expect_mark(0x51);
@@ -1399,7 +1452,26 @@ void NetworkSim::run_parallel_loop() {
   // state below needs atomics — the barrier's generation release/acquire
   // publishes it.
   const auto completion = [&] {
-    drain_channels();
+    if (coord_prof_ != nullptr) {
+      // Fold the window that just ended into the imbalance sums. Every
+      // worker is parked, so the slots are quiescent; all-idle windows
+      // (pure clock advancement) are skipped.
+      std::uint64_t max_busy = 0, sum_busy = 0;
+      for (std::uint64_t& busy : window_busy_ns_) {
+        max_busy = std::max(max_busy, busy);
+        sum_busy += busy;
+        busy = 0;
+      }
+      if (max_busy > 0) {
+        ++prof_windows_;
+        prof_window_max_busy_ns_ += max_busy;
+        prof_window_mean_busy_ns_ += sum_busy / window_busy_ns_.size();
+      }
+    }
+    {
+      obs::ProfScope handoff(coord_prof_, obs::ProfSection::kEngineHandoff);
+      drain_channels();
+    }
     // A barrier with drained channels is a valid snapshot instant: every
     // worker is parked and ctl holds the complete resume cursor.
     if (config_.cancel != nullptr &&
@@ -1471,13 +1543,31 @@ void NetworkSim::run_parallel_loop() {
     // (within one lookahead of the shard clock mid-window).
     const ScopedLogClock log_clock(&global_now_);
     EventQueue& queue = shards_[static_cast<std::size_t>(s)]->events;
+    obs::Profiler* prof =
+        profilers_.empty() ? nullptr
+                           : profilers_[static_cast<std::size_t>(s)].get();
     for (;;) {
-      barrier.arrive_and_wait();
+      {
+        // Stall = parked at the barrier. The last arriver's stall also
+        // covers the completion hook it executes; the hook's own work bills
+        // to the separate coordinator profiler.
+        obs::ProfScope stall(prof, obs::ProfSection::kEngineStall);
+        barrier.arrive_and_wait();
+      }
       if (ctl.cmd == Cmd::kDone) break;
-      if (ctl.cmd == Cmd::kWindow) {
-        queue.run_until_strict(ctl.cmd_time);
-      } else {
-        queue.run_until(ctl.cmd_time);
+      const std::uint64_t busy_start =
+          prof != nullptr ? obs::Profiler::now_ns() : 0;
+      {
+        obs::ProfScope busy(prof, obs::ProfSection::kEngineBusy);
+        if (ctl.cmd == Cmd::kWindow) {
+          queue.run_until_strict(ctl.cmd_time);
+        } else {
+          queue.run_until(ctl.cmd_time);
+        }
+      }
+      if (prof != nullptr) {
+        window_busy_ns_[static_cast<std::size_t>(s)] +=
+            obs::Profiler::now_ns() - busy_start;
       }
     }
   };
@@ -1494,6 +1584,7 @@ void NetworkSim::run_parallel_loop() {
 }
 
 SimResult NetworkSim::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
   if (!config_.resume_from.empty()) restore_checkpoint(config_.resume_from);
   const Time stop = measure_start_ + config_.duration;
   if (sharded_) {
@@ -1509,23 +1600,32 @@ SimResult NetworkSim::run() {
     const bool sliced = config_.checkpoint_interval > 0 ||
                         config_.interrupt != nullptr ||
                         config_.cancel != nullptr;
-    if (!sliced) {
-      events_.run_until(horizon);
-    } else {
-      // The same run in slices: run_until(a) followed by run_until(b)
-      // executes the identical event sequence as run_until(b) alone, so
-      // boundaries for checkpoints and interrupt checks cost nothing —
-      // checkpoint-enabled and plain runs stay byte-identical.
-      const Duration step =
-          config_.checkpoint_interval > 0 ? config_.checkpoint_interval : 1.0;
-      for (;;) {
-        const Time next = step * static_cast<double>(ckpt_slice_ + 1);
-        if (next >= horizon) break;
-        events_.run_until(next);
-        ++ckpt_slice_;
-        at_safe_boundary();
+    {
+      // Umbrella over queue advancement: at the default profiling level the
+      // per-event sections inside are count-only and this scope carries
+      // their wall time (obs/prof.h). Timed children — protocol phases,
+      // checkpoint saves at slice boundaries — subtract out of its self
+      // time as usual.
+      obs::ProfScope busy(coord_prof_, obs::ProfSection::kEngineBusy);
+      if (!sliced) {
+        events_.run_until(horizon);
+      } else {
+        // The same run in slices: run_until(a) followed by run_until(b)
+        // executes the identical event sequence as run_until(b) alone, so
+        // boundaries for checkpoints and interrupt checks cost nothing —
+        // checkpoint-enabled and plain runs stay byte-identical.
+        const Duration step = config_.checkpoint_interval > 0
+                                  ? config_.checkpoint_interval
+                                  : 1.0;
+        for (;;) {
+          const Time next = step * static_cast<double>(ckpt_slice_ + 1);
+          if (next >= horizon) break;
+          events_.run_until(next);
+          ++ckpt_slice_;
+          at_safe_boundary();
+        }
+        events_.run_until(horizon);
       }
-      events_.run_until(horizon);
     }
     // Sources never schedule past their stop time, so after the drain only
     // protocol events (timers, retransmissions) may remain pending.
@@ -1534,9 +1634,14 @@ SimResult NetworkSim::run() {
     if (sampler_ != nullptr) take_samples(events_.now());
   }
 
+  // Result assembly is a profiled section of its own; enter/exit is manual
+  // (not a ProfScope) so the section is closed before make_prof_report
+  // snapshots the tracks below.
+  if (coord_prof_ != nullptr) coord_prof_->enter(obs::ProfSection::kSimReport);
   SimResult result;
   result.events_processed = events_.processed();
   for (const auto& shard : shards_) {
+    result.shard_events.push_back(shard->events.processed());
     result.events_processed += shard->events.processed();
   }
   result.lfi_checks = lfi_checks_;
@@ -1632,7 +1737,47 @@ SimResult NetworkSim::run() {
     m.gauge("control.bits") = result.control_bits;
     result.telemetry = std::move(telemetry_);
   }
+  if (coord_prof_ != nullptr) coord_prof_->exit();
+  if (config_.prof) {
+    const auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+    result.prof = make_prof_report(wall_ns);
+    std::vector<const obs::SpanRecorder*> recorders;
+    recorders.reserve(span_recorders_.size());
+    for (const auto& r : span_recorders_) recorders.push_back(r.get());
+    result.convergence = obs::assemble_spans(recorders);
+  }
   return result;
+}
+
+obs::ProfReport NetworkSim::make_prof_report(std::uint64_t wall_ns) const {
+  obs::ProfReport report;
+  const auto contexts =
+      sharded_ ? static_cast<std::size_t>(engine_.shards) : std::size_t{1};
+  for (std::size_t s = 0; s < profilers_.size(); ++s) {
+    obs::ProfReport::Track track;
+    if (!sharded_) {
+      track.label = "main";
+    } else if (s < contexts) {
+      track.label = "shard" + std::to_string(s);
+    } else {
+      track.label = "coord";
+    }
+    track.sections = profilers_[s]->sections();
+    report.scopes += profilers_[s]->scopes();
+    report.counted += profilers_[s]->counted();
+    report.clock_cost_ns =
+        std::max(report.clock_cost_ns, profilers_[s]->clock_cost_ns());
+    report.tracks.push_back(std::move(track));
+  }
+  report.windows = prof_windows_;
+  report.window_max_busy_ns = prof_window_max_busy_ns_;
+  report.window_mean_busy_ns = prof_window_mean_busy_ns_;
+  report.shards = sharded_ ? engine_.shards : 0;
+  report.wall_ns = wall_ns;
+  return report;
 }
 
 SimResult run_simulation(const graph::Topology& topo,

@@ -16,7 +16,9 @@
 #include "flow/phi.h"
 #include "graph/topology.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/sampler.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/link.h"
@@ -156,6 +158,22 @@ struct SimConfig {
   /// ledger incident the rings are dumped into Telemetry::flight_dumps
   /// (requires monitor_interval > 0 to have a trigger).
   std::size_t flightrec_capacity = 0;
+
+  /// Wall-clock profiler + convergence span tracer (obs/prof.h,
+  /// obs/spans.h; `prof` scenario directive, `mdrsim --prof-out`). Off by
+  /// default: every instrument point is a single null-check branch and a
+  /// default run stays byte-identical to the seed. On, the SimResult gains
+  /// a ProfReport (host-time subsystem attribution — varies run to run) and
+  /// a ConvergenceReport (sim-time spans — same-seed deterministic); the
+  /// simulated packet flow is unchanged either way.
+  bool prof = false;
+  /// Deep profiling: time every section, including the per-event hot path
+  /// (dispatch.*, link.*). At the default level those sections are counted
+  /// exactly but their wall time is carried by the enclosing engine.busy
+  /// umbrella, keeping measured overhead a few percent; deep mode buys
+  /// per-event attribution at a self-reported overhead of tens of percent
+  /// on hosts with slow clocks (obs/prof.h).
+  bool prof_deep = false;
 
   /// If > 0, run the InvariantMonitor (sim/monitor.h) with this sweep
   /// period: realized-forwarding loop checks, blackhole detection, packet
@@ -306,6 +324,12 @@ struct SimResult {
   /// Time series, trace, flight dumps and metrics; present iff any of
   /// sample_interval / trace / flightrec_capacity enabled telemetry.
   std::optional<obs::Telemetry> telemetry;
+  /// Events processed per shard, in shard order (sharded engine only; the
+  /// per-shard balance the coordinator knows but classic output never had).
+  std::vector<std::uint64_t> shard_events;
+  /// Wall-clock attribution + convergence spans; present iff SimConfig::prof.
+  std::optional<obs::ProfReport> prof;
+  std::optional<obs::ConvergenceReport> convergence;
 };
 
 class NetworkSim {
@@ -454,6 +478,25 @@ class NetworkSim {
   std::unique_ptr<obs::TimeSeriesSampler> sampler_;
   std::vector<FlowAccum> flow_accum_;  // by flow id
   obs::LogHistogram* delay_hist_ = nullptr;  ///< "flow_delay_s" in metrics
+
+  // --- wall-clock profiler + span tracer (empty unless config.prof) -------
+  /// One Profiler per event-executing context: index i < shard count is
+  /// shard i's (the classic engine has exactly one, labelled "main"); the
+  /// last one is the coordinator's (handoff drain, pauses, checkpoints) —
+  /// separate so its counts stay deterministic even though the barrier
+  /// completion hook runs on whichever worker arrives last.
+  std::vector<std::unique_ptr<obs::Profiler>> profilers_;
+  obs::Profiler* coord_prof_ = nullptr;  ///< profilers_.back() when enabled
+  std::vector<std::unique_ptr<obs::SpanRecorder>> span_recorders_;
+  /// Per-window imbalance accounting: each worker writes its window's busy
+  /// ns into its slot; the completion hook (all workers parked) folds
+  /// max/mean into the running sums and zeroes the slots.
+  std::vector<std::uint64_t> window_busy_ns_;
+  std::uint64_t prof_windows_ = 0;
+  std::uint64_t prof_window_max_busy_ns_ = 0;
+  std::uint64_t prof_window_mean_busy_ns_ = 0;
+  /// Assembles the per-context profilers + engine stats into a ProfReport.
+  obs::ProfReport make_prof_report(std::uint64_t wall_ns) const;
 
   // --- sharded conservative engine state (empty when engine_.shards == 0).
   // Accumulators are split so every field has exactly one writing shard:

@@ -150,6 +150,16 @@ void SimNode::set_probe(const obs::Probe& probe) {
   if (damper_ != nullptr) damper_->set_probe(probe);
 }
 
+void SimNode::set_prof(obs::Profiler* p) {
+  prof_ = p;
+  if (router_ != nullptr) router_->set_prof(p);
+}
+
+void SimNode::set_spans(obs::SpanRecorder* s) {
+  spans_ = s;
+  if (router_ != nullptr) router_->set_spans(s, events_->now_ptr());
+}
+
 void SimNode::crash() {
   if (!alive_ || router_ == nullptr) return;  // static nodes do not crash
   alive_ = false;
@@ -276,14 +286,19 @@ void SimNode::receive(Packet packet) {
     // could not index — is counted and discarded, never processed.
     switch (packet.payload[0]) {
       case kPayloadLsu: {
-        const auto msg = proto::decode(body);
-        bool ok = msg.has_value() && msg->sender == packet.src;
-        if (ok) {
-          for (const auto& e : msg->entries) {
-            if (e.head >= static_cast<graph::NodeId>(num_nodes_) ||
-                e.tail >= static_cast<graph::NodeId>(num_nodes_)) {
-              ok = false;
-              break;
+        std::optional<proto::LsuMessage> msg;
+        bool ok;
+        {
+          obs::ProfScope prof(prof_, obs::ProfSection::kMpdaDecode);
+          msg = proto::decode(body);
+          ok = msg.has_value() && msg->sender == packet.src;
+          if (ok) {
+            for (const auto& e : msg->entries) {
+              if (e.head >= static_cast<graph::NodeId>(num_nodes_) ||
+                  e.tail >= static_cast<graph::NodeId>(num_nodes_)) {
+                ok = false;
+                break;
+              }
             }
           }
         }
@@ -328,6 +343,9 @@ void SimNode::forward(Packet packet) {
     ++drops_no_route_;
     if (callbacks_.dropped) callbacks_.dropped(packet);
     return;
+  }
+  if (spans_ != nullptr) {
+    spans_->on_forward(id_, packet.dst, nh, events_->now());
   }
   links_.at(nh)->enqueue(std::move(packet));
 }

@@ -146,6 +146,16 @@ class SimNode final : public proto::LsuSink {
   /// the damper. Off by default; one branch per event when off.
   void set_probe(const obs::Probe& probe);
 
+  /// Attaches the wall-clock profiler (LSU decode section here; protocol
+  /// and allocation sections forwarded to the embedded router). Off by
+  /// default; one branch per instrument point when off.
+  void set_prof(obs::Profiler* p);
+
+  /// Attaches the convergence span recorder: forwarding reports
+  /// first-packet-on-new-successor events here, episode/send/change events
+  /// come from the embedded router. Off by default.
+  void set_spans(obs::SpanRecorder* s);
+
   /// Typed-event dispatch from EventQueue: a timer scheduled through
   /// schedule_guarded() fired. Dropped when `boot` is stale (the incarnation
   /// that armed it crashed) or the node is dead.
@@ -216,6 +226,8 @@ class SimNode final : public proto::LsuSink {
   std::uint64_t control_sent_ = 0;
   std::uint64_t hellos_sent_ = 0;
   obs::Probe probe_;
+  obs::Profiler* prof_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
 };
 
 }  // namespace mdr::sim

@@ -640,6 +640,20 @@ bool apply_directive(ParseState& state, const std::vector<std::string>& tokens,
     s.config.trace = true;
     return true;
   }
+  if (cmd == "prof") {
+    // Wall-clock profiler + convergence span tracer. Works on both engines
+    // (per-shard profilers merge post-run), so it is deliberately NOT part
+    // of the trace/flightrec single-threaded validation below. deep=1 times
+    // the per-event hot sections too (higher overhead, see obs/prof.h).
+    std::map<std::string, double> opts;
+    std::string bad;
+    if (!parse_options(tokens, 1, {"deep"}, &opts, &bad)) {
+      return fail(bad);
+    }
+    s.config.prof = true;
+    s.config.prof_deep = opts.count("deep") != 0 && opts["deep"] != 0;
+    return true;
+  }
   if (cmd == "flightrec") {
     std::map<std::string, double> opts;
     std::string bad;

@@ -56,6 +56,10 @@
 //                                          # (docs/CHECKPOINT.md)
 //   trace                                  # retain the full protocol trace
 //   flightrec [capacity=<n>]               # bounded per-node event rings
+//   prof [deep=0|1]                        # wall-clock profiler +
+//                                          # convergence spans (both engines);
+//                                          # deep=1 times per-event sections
+//                                          # (higher overhead, obs/prof.h)
 //   engine shards=<n> [ring=<cap>] [lookahead=<s>]  # sharded parallel engine
 //
 // `engine shards=N` runs the sharded conservative engine (same-seed output

@@ -1,0 +1,92 @@
+# ctest end-to-end check of the profiler's two headline guarantees
+# (docs/OBSERVABILITY.md "Profiling & convergence tracing"):
+#   1. Profiling is observation-only: stdout of a --prof-out run is
+#      byte-identical to the same run without it (the profiler writes only
+#      to stderr, the trace file and extra --json blocks).
+#   2. The sim-time half of the trace is deterministic: re-running the same
+#      seed reproduces every pid-1 (convergence) event byte for byte, while
+#      host-time (pid-0) events are free to vary.
+# When a python3 is on PATH the trace is also validated against the
+# trace-event schema via scripts/check_telemetry.py.
+#
+# Expected definitions (see tests/CMakeLists.txt):
+#   MDRSIM   - path to the mdrsim executable
+#   SCENARIO - path to the scenario file to run
+#   OUTDIR   - writable directory for outputs
+#   CHECKER  - path to scripts/check_telemetry.py
+
+function(run_mdrsim out_var)
+  execute_process(
+    COMMAND "${MDRSIM}" "${SCENARIO}" ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "mdrsim ${ARGN} exited with ${rc}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+  set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+# 1. Observation-only: identical stdout with profiling on and off.
+run_mdrsim(base_out)
+run_mdrsim(prof_out --prof-out "${OUTDIR}/prof_trace1.json"
+  --json "${OUTDIR}/prof_run.json")
+if(NOT base_out STREQUAL prof_out)
+  message(FATAL_ERROR
+    "stdout changed when profiling was enabled; profiling must be "
+    "observation-only")
+endif()
+
+# The profiled --json report must carry the prof and convergence blocks.
+file(READ "${OUTDIR}/prof_run.json" run_doc)
+foreach(block prof convergence)
+  if(NOT run_doc MATCHES "\"${block}\": {")
+    message(FATAL_ERROR "--json is missing the '${block}' block")
+  endif()
+endforeach()
+string(JSON schema GET "${run_doc}" prof schema)
+if(NOT schema STREQUAL "mdr-prof-1")
+  message(FATAL_ERROR "prof block schema is '${schema}', want mdr-prof-1")
+endif()
+
+# 2. Same-seed determinism of the sim-time trace view. Each trace event is
+# one line, so the pid-1 (convergence) subset can be filtered textually;
+# pid-0 lines carry host time and are expected to differ. Lines are
+# extracted with REGEX MATCHALL on the raw text rather than file(STRINGS):
+# the file's first line holds an unbalanced '[', and CMake's list parser
+# treats [...;...] as one bracketed element, which would fold the whole
+# document into a single "line".
+run_mdrsim(prof_out2 --prof-out "${OUTDIR}/prof_trace2.json")
+foreach(n 1 2)
+  file(READ "${OUTDIR}/prof_trace${n}.json" doc)
+  string(REGEX MATCHALL "[^\n]*\"pid\": 1,[^\n]*" sim_view${n} "${doc}")
+endforeach()
+if(sim_view1 STREQUAL "")
+  message(FATAL_ERROR "trace has no pid-1 (sim-time) events")
+endif()
+if(NOT sim_view1 STREQUAL sim_view2)
+  message(FATAL_ERROR
+    "sim-time trace events differ across same-seed reruns (compare "
+    "${OUTDIR}/prof_trace1.json vs ${OUTDIR}/prof_trace2.json)")
+endif()
+
+# Full trace-event schema validation + deterministic-view comparison when
+# python3 is available (always true in CI).
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  execute_process(
+    COMMAND "${PYTHON3}" "${CHECKER}"
+      --prof-trace "${OUTDIR}/prof_trace1.json"
+      --prof-compare "${OUTDIR}/prof_trace2.json"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace validation failed:\n${stdout}\n${stderr}")
+  endif()
+  message(STATUS "${stdout}")
+endif()
+
+message(STATUS
+  "mdrsim prof OK: stdout unchanged, sim-time trace deterministic")

@@ -13,8 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/sampler.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "runner/experiment_runner.h"
 #include "sim/experiment.h"
@@ -401,6 +404,224 @@ TEST(RunnerTelemetry, MergedMetricsAreIndependentOfWorkerCount) {
   const std::string serial = merged_json(1);
   const std::string parallel = merged_json(2);
   EXPECT_EQ(serial, parallel);
+}
+
+// Cross-worker merges must commute and associate: the runner folds per-job
+// registries in job order, but a histogram's buckets are plain sums, so any
+// grouping of the same inputs must answer every quantile identically.
+TEST(LogHistogram, MergeIsAssociativeAndOrderIndependent) {
+  std::vector<LogHistogram> parts(3);
+  Rng rng(99);
+  for (int i = 0; i < 900; ++i) {
+    parts[static_cast<std::size_t>(i % 3)].record(
+        std::pow(10.0, rng.uniform(-4.0, 2.0)));
+  }
+  // (a + b) + c
+  LogHistogram left = parts[0];
+  left.merge(parts[1]);
+  left.merge(parts[2]);
+  // a + (b + c)
+  LogHistogram bc = parts[1];
+  bc.merge(parts[2]);
+  LogHistogram right = parts[0];
+  right.merge(bc);
+  // c + a + b — a different job order entirely
+  LogHistogram rotated = parts[2];
+  rotated.merge(parts[0]);
+  rotated.merge(parts[1]);
+
+  for (const LogHistogram* h : {&right, &rotated}) {
+    EXPECT_EQ(left.count(), h->count());
+    EXPECT_DOUBLE_EQ(left.sum(), h->sum());
+    EXPECT_DOUBLE_EQ(left.min(), h->min());
+    EXPECT_DOUBLE_EQ(left.max(), h->max());
+    for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+      EXPECT_DOUBLE_EQ(left.percentile(q), h->percentile(q)) << "q=" << q;
+    }
+  }
+}
+
+// A flight recorder restored from a checkpoint must dump the same events in
+// the same order as the original — rings serialize wraparound state (head
+// position and fill), not just contents.
+TEST(FlightRecorder, CheckpointRoundTripPreservesWrappedRingsAndDumpOrder) {
+  FlightRecorder rec(/*num_nodes=*/3, /*ring_capacity=*/4,
+                     /*keep_all=*/false, /*metrics=*/nullptr);
+  // Overfill node 0's ring (wraps twice), partially fill node 1's, leave
+  // node 2's empty, and give the off-node ring one entry.
+  for (int i = 0; i < 10; ++i) {
+    rec.record(Event{static_cast<Time>(i), /*node=*/0,
+                     EventType::kLsuOriginate, 1, static_cast<double>(i), 0});
+  }
+  rec.record(Event{4.5, /*node=*/1, EventType::kCrash});
+  rec.record(Event{5.5, /*node=*/1, EventType::kRecover});
+  rec.record(Event{6.5, /*node=*/graph::kInvalidNode, EventType::kFdChange});
+
+  ckpt::Writer w;
+  rec.save(w);
+
+  FlightRecorder restored(/*num_nodes=*/3, /*ring_capacity=*/4,
+                          /*keep_all=*/false, /*metrics=*/nullptr);
+  ckpt::Reader r(w.payload());
+  restored.load(r);
+
+  const auto before = rec.dump();
+  const auto after = restored.dump();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i].t, after[i].t) << "event " << i;
+    EXPECT_EQ(before[i].node, after[i].node) << "event " << i;
+    EXPECT_EQ(before[i].type, after[i].type) << "event " << i;
+  }
+
+  // Resumed recording continues the wraparound exactly where it left off:
+  // one more event on node 0 evicts the oldest surviving one (t=6).
+  rec.record(Event{11.0, /*node=*/0, EventType::kLsuOriginate});
+  restored.record(Event{11.0, /*node=*/0, EventType::kLsuOriginate});
+  const auto before2 = rec.dump();
+  const auto after2 = restored.dump();
+  ASSERT_EQ(before2.size(), after2.size());
+  for (std::size_t i = 0; i < before2.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before2[i].t, after2[i].t) << "event " << i;
+  }
+}
+
+// --------------------------------------------------------------- Profiler
+
+TEST(Profiler, SelfTimeExcludesChildrenAndCountsAreExact) {
+  obs::Profiler p;
+  for (int i = 0; i < 100; ++i) {
+    obs::ProfScope outer(&p, obs::ProfSection::kMpdaTableUpdate);
+    obs::ProfScope inner(&p, obs::ProfSection::kMpdaRecompute);
+  }
+  const auto& st = p.sections();
+  const auto& outer =
+      st[static_cast<std::size_t>(obs::ProfSection::kMpdaTableUpdate)];
+  const auto& inner =
+      st[static_cast<std::size_t>(obs::ProfSection::kMpdaRecompute)];
+  EXPECT_EQ(outer.count, 100u);
+  EXPECT_EQ(inner.count, 100u);
+  EXPECT_EQ(p.scopes(), 200u);
+  // The child's total is carried out of the parent's self time.
+  EXPECT_LE(outer.self_ns, outer.total_ns);
+  EXPECT_GE(outer.total_ns, inner.total_ns);
+  EXPECT_LE(outer.self_ns + inner.total_ns,
+            outer.total_ns + 200 * 1000);  // slack for arithmetic jitter
+}
+
+TEST(Profiler, HotSectionsOutsideTimedMaskAreCountedNotTimed) {
+  obs::Profiler p(obs::kProfTimeDefault);
+  {
+    obs::ProfScope busy(&p, obs::ProfSection::kEngineBusy);  // timed umbrella
+    for (int i = 0; i < 50; ++i) {
+      obs::ProfScope hot(&p, obs::ProfSection::kLinkEnqueue);  // count-only
+    }
+  }
+  const auto& st = p.sections();
+  const auto& hot =
+      st[static_cast<std::size_t>(obs::ProfSection::kLinkEnqueue)];
+  const auto& busy =
+      st[static_cast<std::size_t>(obs::ProfSection::kEngineBusy)];
+  EXPECT_EQ(hot.count, 50u);
+  EXPECT_EQ(hot.total_ns, 0u);  // never touched the clock
+  EXPECT_EQ(hot.self_ns, 0u);
+  EXPECT_EQ(busy.count, 1u);
+  EXPECT_GT(busy.total_ns, 0u);
+  EXPECT_EQ(p.scopes(), 1u);    // only the umbrella was a timed pair
+  EXPECT_EQ(p.counted(), 50u);
+  EXPECT_FALSE(p.timed(obs::ProfSection::kDispatchDeliver));
+  EXPECT_TRUE(p.timed(obs::ProfSection::kCkptSave));
+}
+
+TEST(ProfReport, MergeMatchesTracksByLabelAndJsonSegregatesHostTime) {
+  obs::ProfReport a;
+  a.tracks.push_back({"main", {}});
+  a.tracks[0].sections[0] = {10, 1000, 800};
+  a.scopes = 10;
+  a.counted = 5;
+  a.wall_ns = 5000;
+
+  obs::ProfReport b;
+  b.tracks.push_back({"main", {}});
+  b.tracks[0].sections[0] = {7, 500, 400};
+  b.tracks.push_back({"coord", {}});
+  b.scopes = 7;
+  b.counted = 2;
+  b.wall_ns = 3000;
+
+  a.merge(b);
+  ASSERT_EQ(a.tracks.size(), 2u);
+  EXPECT_EQ(a.tracks[0].sections[0].count, 17u);
+  EXPECT_EQ(a.tracks[0].sections[0].total_ns, 1500u);
+  EXPECT_EQ(a.scopes, 17u);
+  EXPECT_EQ(a.counted, 7u);
+  EXPECT_EQ(a.wall_ns, 8000u);
+
+  std::string json;
+  a.append_json(json);
+  // Deterministic fields (counts) must precede the "host" object that holds
+  // every nanosecond field, so tooling can strip host time with one regex.
+  EXPECT_LT(json.find("\"counts\""), json.find("\"host\""));
+  EXPECT_GT(json.find("\"wall_ns\""), json.find("\"host\""));
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST(SpanRecorder, AssembleLinksFloodTreeAcrossRecorders) {
+  // Router 0 originates (local episode) and sends seq 5 to router 1, which
+  // processes it on a different shard's recorder, changes a successor and
+  // later forwards the first packet for that destination.
+  obs::SpanRecorder r0(/*num_nodes=*/3);
+  obs::SpanRecorder r1(/*num_nodes=*/3);
+
+  r0.begin_local_episode(/*self=*/0, /*t=*/1.0);
+  r0.on_send(/*self=*/0, /*neighbor=*/1, /*seq=*/5, /*t=*/1.0);
+  r0.end_episode();
+
+  r1.begin_lsu_episode(/*self=*/1, /*sender=*/0, /*seq=*/5, /*applied=*/true,
+                       /*ack=*/false, /*t=*/1.2);
+  r1.on_successor_change(/*self=*/1, /*dest=*/2, /*t=*/1.2);
+  r1.end_episode();
+  r1.on_forward(/*self=*/1, /*dest=*/2, /*next_hop=*/2, /*t=*/1.5);
+  // Forwards to other destinations or before any change never record.
+  r1.on_forward(/*self=*/1, /*dest=*/0, /*next_hop=*/0, /*t=*/1.6);
+
+  const auto report = obs::assemble_spans({&r0, &r1});
+  ASSERT_EQ(report.spans.size(), 1u);
+  const auto& span = report.spans[0];
+  EXPECT_EQ(span.origin, 0);
+  EXPECT_TRUE(span.local);
+  EXPECT_DOUBLE_EQ(span.t0, 1.0);
+  EXPECT_DOUBLE_EQ(span.duration_s, 0.5);  // converged at the 1.5s forward
+  EXPECT_EQ(span.episodes, 2u);
+  EXPECT_EQ(span.sends, 1u);
+  EXPECT_EQ(span.routers_touched, 2u);
+  EXPECT_EQ(span.successor_changes, 1u);
+  EXPECT_EQ(span.first_forwards, 1u);
+}
+
+TEST(SpanRecorder, SecondSuccessorChangeReusesPendingSlot) {
+  obs::SpanRecorder r(/*num_nodes=*/2);
+  r.begin_local_episode(/*self=*/0, /*t=*/1.0);
+  r.on_send(/*self=*/0, /*neighbor=*/1, /*seq=*/1, /*t=*/1.0);
+  r.on_successor_change(/*self=*/0, /*dest=*/1, /*t=*/1.0);
+  r.end_episode();
+  // A later episode re-flips the same destination before any forward: the
+  // pending slot must re-point to the newest episode, not duplicate.
+  r.begin_local_episode(/*self=*/0, /*t=*/2.0);
+  r.on_send(/*self=*/0, /*neighbor=*/1, /*seq=*/2, /*t=*/2.0);
+  r.on_successor_change(/*self=*/0, /*dest=*/1, /*t=*/2.0);
+  r.end_episode();
+  r.on_forward(/*self=*/0, /*dest=*/1, /*next_hop=*/1, /*t=*/2.5);
+  r.on_forward(/*self=*/0, /*dest=*/1, /*next_hop=*/1, /*t=*/2.6);  // ignored
+
+  const auto report = obs::assemble_spans({&r});
+  ASSERT_EQ(report.spans.size(), 2u);
+  // First span never saw its forward; second converged at 2.5.
+  EXPECT_DOUBLE_EQ(report.spans[0].duration_s, 0.0);
+  EXPECT_EQ(report.spans[0].first_forwards, 0u);
+  EXPECT_DOUBLE_EQ(report.spans[1].duration_s, 0.5);
+  EXPECT_EQ(report.spans[1].first_forwards, 1u);
 }
 
 }  // namespace
