@@ -49,6 +49,11 @@ fi
   --json "$DIR/out.json" --metrics-out "$DIR/out.jsonl" \
   --sample-interval 2 --quiet "$@"
 
-cmp "$DIR/ref.json" "$DIR/out.json"
+# The per-run "host" object (wall_clock_s, peak_rss_bytes) is host timing,
+# not simulation output — strip it exactly like tests/mdrsim_telemetry.cmake
+# before the byte diff. Everything else must match bit for bit.
+sed 's/, "host": {[^}]*}//' "$DIR/ref.json" > "$DIR/ref.stripped.json"
+sed 's/, "host": {[^}]*}//' "$DIR/out.json" > "$DIR/out.stripped.json"
+cmp "$DIR/ref.stripped.json" "$DIR/out.stripped.json"
 cmp "$DIR/ref.jsonl" "$DIR/out.jsonl"
 echo "OK: kill-and-resume byte-identical ($SCN $*)"

@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Run the event-core perf baseline and validate its JSON output.
+"""Run a perf baseline and validate its JSON output.
 
 Usage:
-    run_bench.py [--smoke] [--build-dir DIR] [--out FILE]
+    run_bench.py [--bench event_core|control_plane] [--smoke]
+                 [--build-dir DIR] [--out FILE]
     run_bench.py --validate-only FILE
 
-Drives build/bench/perf_event_core (building the target first if a build
-tree is configured), validates the emitted JSON against the schema
-documented in docs/BENCHMARKS.md, and writes the result to --out
-(default: BENCH_event_core.json at the repo root).
+Drives build/bench/perf_event_core or build/bench/perf_control_plane
+(building the target first if a build tree is configured), validates the
+emitted JSON against the schema documented in docs/BENCHMARKS.md, and
+writes the result to --out (default: BENCH_<bench>.json at the repo
+root). --validate-only dispatches on the file's own "bench" field.
+
+The control_plane series additionally measures the profiler-attributed
+control-plane busy-time share on the 1000-router Waxman scenario (mdrsim
+--prof-deep; share = table_update+recompute self time over engine busy
+time) and folds it into the JSON — the number the incremental table
+maintenance is accountable to. Skipped in --smoke (CI minutes are real);
+the committed full-mode baseline must carry it.
 
 Validation is STRUCTURAL, plus the one invariant that is deterministic on
 any machine: the typed packet path must be allocation-free
@@ -135,10 +144,19 @@ def check_fields(obj, fields, prefix):
 
 
 def validate(doc):
+    """Dispatches on the document's own bench field."""
     if not isinstance(doc, dict):
         fail("top level is not an object")
-    if doc.get("bench") != "event_core":
-        fail(f"bench != 'event_core': {doc.get('bench')!r}")
+    bench = doc.get("bench")
+    if bench == "event_core":
+        validate_event_core(doc)
+    elif bench == "control_plane":
+        validate_control_plane(doc)
+    else:
+        fail(f"unknown bench: {bench!r}")
+
+
+def validate_event_core(doc):
     if doc.get("version") != 2:
         fail(f"version != 2: {doc.get('version')!r}")
     if not isinstance(doc.get("smoke"), bool):
@@ -223,6 +241,137 @@ def validate(doc):
         )
 
 
+# Schema for the control_plane bench (BENCH_control_plane.json).
+CP_SERIES_FIELDS = {
+    "events": int,
+    "wall_seconds": float,
+    "ns_per_event": float,
+    "events_per_sec": (int, float),
+}
+
+CP_STARTUP_FIELDS = {
+    "scenario": str,
+    "nodes": int,
+    "shards": int,
+    "sim_seconds": (int, float),
+    "wall_seconds": float,
+    "events": int,
+    "events_per_sec": (int, float),
+    "delivered": int,
+}
+
+# Profiler-attributed control-plane share, measured by this script from
+# mdrsim --prof-deep on the waxman_scale scenario. Optional in --smoke
+# runs; the committed full-mode baseline must carry it.
+CP_PROF_FIELDS = {
+    "scenario": str,
+    "shards": int,
+    "table_update_self_ns": int,
+    "recompute_self_ns": int,
+    "engine_busy_total_ns": int,
+    "share": float,
+}
+
+
+def validate_control_plane(doc):
+    if doc.get("version") != 1:
+        fail(f"version != 1: {doc.get('version')!r}")
+    if not isinstance(doc.get("smoke"), bool):
+        fail("smoke is not a bool")
+    check_number(doc.get("host_cpus"), "host_cpus")
+
+    storm = doc.get("storm")
+    if not isinstance(storm, dict):
+        fail("storm is missing or not an object")
+    if not isinstance(storm.get("scenario"), str):
+        fail("storm.scenario is not a string")
+    check_number(storm.get("events"), "storm.events")
+    if storm["events"] == 0:
+        fail("storm.events == 0 (no LSU storm was replayed)")
+    for series in ("incremental", "from_scratch"):
+        check_fields(storm.get(series), CP_SERIES_FIELDS, f"storm.{series}")
+    check_number(storm.get("speedup_vs_from_scratch"),
+                 "storm.speedup_vs_from_scratch")
+    # The bench binary aborts if the two implementations diverge, so a
+    # validated file implies output equality. No timing gate on the
+    # speedup value itself (shared-runner wall clock is noise); humans
+    # diff the committed baseline.
+
+    check_fields(doc.get("startup"), CP_STARTUP_FIELDS, "startup")
+    if doc["startup"]["delivered"] == 0:
+        fail("startup.delivered == 0 (simulation carried no traffic)")
+    if not doc["smoke"] and doc["startup"]["nodes"] < 1000:
+        fail(f"startup.nodes = {doc['startup']['nodes']} — the committed "
+             f"full-mode baseline must carry the 1000-router point")
+
+    prof = doc.get("prof_share")
+    if prof is None:
+        if not doc["smoke"]:
+            fail("prof_share is missing — the committed full-mode baseline "
+                 "must record the control-plane busy-time share")
+    else:
+        check_fields(prof, CP_PROF_FIELDS, "prof_share")
+        if not 0.0 <= prof["share"] <= 1.0:
+            fail(f"prof_share.share = {prof['share']} is not a fraction")
+        if prof["engine_busy_total_ns"] == 0:
+            fail("prof_share.engine_busy_total_ns == 0")
+
+    # The pre-incremental reference point: same measurement, taken once at
+    # the pinned commit (the last from-scratch-tables revision). Optional —
+    # but when present its shape is held to the same schema.
+    base = doc.get("prof_share_baseline")
+    if base is not None:
+        check_fields(base, dict(CP_PROF_FIELDS, commit=str),
+                     "prof_share_baseline")
+        if not 0.0 <= base["share"] <= 1.0:
+            fail(f"prof_share_baseline.share = {base['share']} "
+                 f"is not a fraction")
+        if base["engine_busy_total_ns"] == 0:
+            fail("prof_share_baseline.engine_busy_total_ns == 0")
+
+
+def measure_prof_share(build_dir):
+    """Control-plane busy-time share on the 1000-router Waxman scenario.
+
+    Runs mdrsim with the deep profiler and computes
+    (mpda.table_update + mpda.recompute self time) / engine.busy total
+    time, summed across shard tracks. This is the number the dirty-set
+    MTU + dynamic SPT work is accountable to (docs/SIMULATOR.md "Costs
+    and scale" records the before/after).
+    """
+    mdrsim = build_dir / "apps" / "mdrsim"
+    scenario = REPO_ROOT / "examples" / "scenarios" / "waxman_scale.scn"
+    if not mdrsim.exists():
+        print(f"run_bench: note: {mdrsim} not built, skipping prof share")
+        return None
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "prof.json"
+        subprocess.run([str(mdrsim), str(scenario), "--prof-deep",
+                        "--json", str(out), "--quiet"],
+                       check=True, capture_output=True, text=True)
+        with open(out) as f:
+            doc = json.load(f)
+    prof = doc.get("prof")
+    if not isinstance(prof, dict):
+        fail("mdrsim --prof-deep emitted no prof block")
+    table_ns = recompute_ns = busy_ns = 0
+    for track in prof.get("host", {}).get("tracks", []):
+        sections = track.get("sections", {})
+        table_ns += sections.get("mpda.table_update", {}).get("self_ns", 0)
+        recompute_ns += sections.get("mpda.recompute", {}).get("self_ns", 0)
+        busy_ns += sections.get("engine.busy", {}).get("total_ns", 0)
+    if busy_ns == 0:
+        fail("prof block carries no engine.busy time")
+    return {
+        "scenario": str(scenario.relative_to(REPO_ROOT)),
+        "shards": prof.get("shards", 0),
+        "table_update_self_ns": int(table_ns),
+        "recompute_self_ns": int(recompute_ns),
+        "engine_busy_total_ns": int(busy_ns),
+        "share": round((table_ns + recompute_ns) / busy_ns, 4),
+    }
+
+
 def measure_checkpoint_cost(build_dir):
     """Checkpoint save/restore cost on the CAIRN macro scenario.
 
@@ -266,18 +415,23 @@ def measure_checkpoint_cost(build_dir):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="event_core",
+                        choices=["event_core", "control_plane"],
+                        help="which perf baseline to run")
     parser.add_argument("--smoke", action="store_true",
                         help="short run (CI): ~200k hop events, 10 s macro")
     parser.add_argument("--build-dir", default=str(REPO_ROOT / "build"),
-                        help="CMake build tree holding bench/perf_event_core")
-    parser.add_argument("--out",
-                        default=str(REPO_ROOT / "BENCH_event_core.json"),
-                        help="where to write the validated JSON")
+                        help="CMake build tree holding the bench binaries")
+    parser.add_argument("--out", default=None,
+                        help="where to write the validated JSON "
+                             "(default: BENCH_<bench>.json)")
     parser.add_argument("--validate-only", metavar="FILE",
                         help="validate an existing JSON file and exit")
     parser.add_argument("--force", action="store_true",
                         help="overwrite a baseline recorded on a bigger host")
     args = parser.parse_args()
+    if args.out is None:
+        args.out = str(REPO_ROOT / f"BENCH_{args.bench}.json")
 
     if args.validate_only:
         with open(args.validate_only) as f:
@@ -307,12 +461,26 @@ def main():
                 f"Pass --force to overwrite anyway."
             )
 
+    # The pre-incremental reference measurement (prof_share_baseline) is
+    # pinned to a commit this script cannot rebuild; carry it across
+    # refreshes so regenerating the baseline never silently drops it.
+    prior_baseline = None
+    if out_path.exists():
+        try:
+            with open(out_path) as f:
+                prior_baseline = json.load(f).get("prof_share_baseline")
+        except (OSError, json.JSONDecodeError):
+            prior_baseline = None
+
     build_dir = pathlib.Path(args.build_dir)
-    binary = build_dir / "bench" / "perf_event_core"
+    bench_target = f"perf_{args.bench}"
+    binary = build_dir / "bench" / bench_target
     if (build_dir / "CMakeCache.txt").exists():
+        # Both benches also need mdrsim: event_core for the checkpoint-cost
+        # series, control_plane for the waxman-1000 profiler share.
         subprocess.run(
             ["cmake", "--build", str(build_dir), "--target",
-             "perf_event_core", "mdrsim", "-j"],
+             bench_target, "mdrsim", "-j"],
             check=True,
         )
     if not binary.exists():
@@ -324,17 +492,43 @@ def main():
         cmd.append("--smoke")
     subprocess.run(cmd, check=True)
 
-    ckpt = measure_checkpoint_cost(build_dir)
-    if ckpt is not None:
+    if args.bench == "event_core":
+        ckpt = measure_checkpoint_cost(build_dir)
+        if ckpt is not None:
+            with open(args.out) as f:
+                doc = json.load(f)
+            doc["ckpt"] = ckpt
+            with open(args.out, "w") as f:
+                json.dump(doc, f, indent=2)
+                f.write("\n")
+            print(f"run_bench: ckpt: {ckpt['snapshots']} snapshots of "
+                  f"{ckpt['last_bytes']} bytes, save {ckpt['save_ms_mean']} ms "
+                  f"mean, load {ckpt['load_ms']} ms")
+    elif args.bench == "control_plane" and not args.smoke:
+        prof = measure_prof_share(build_dir)
+        if prof is None:
+            fail("control_plane full mode requires the waxman-1000 profiler "
+                 "share; build mdrsim in the same tree and retry")
         with open(args.out) as f:
             doc = json.load(f)
-        doc["ckpt"] = ckpt
+        doc["prof_share"] = prof
+        if prior_baseline is not None:
+            doc["prof_share_baseline"] = prior_baseline
         with open(args.out, "w") as f:
             json.dump(doc, f, indent=2)
             f.write("\n")
-        print(f"run_bench: ckpt: {ckpt['snapshots']} snapshots of "
-              f"{ckpt['last_bytes']} bytes, save {ckpt['save_ms_mean']} ms "
-              f"mean, load {ckpt['load_ms']} ms")
+        print(f"run_bench: prof_share: table_update+recompute = "
+              f"{prof['share']:.1%} of engine busy time on "
+              f"{prof['scenario']} ({prof['shards']} shards)")
+        if prior_baseline is not None:
+            before = (prior_baseline["table_update_self_ns"] +
+                      prior_baseline["recompute_self_ns"])
+            after = prof["table_update_self_ns"] + prof["recompute_self_ns"]
+            if after > 0:
+                print(f"run_bench: attributed busy time "
+                      f"{before / 1e9:.1f}s -> {after / 1e9:.1f}s "
+                      f"({before / after:.2f}x drop vs "
+                      f"{prior_baseline['commit']})")
 
     with open(args.out) as f:
         validate(json.load(f))

@@ -42,7 +42,7 @@ class Error : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kMagic = 0x4b52444du;  // "MDRK" little-endian
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;  // v2: incremental RouterTables
 
 class Writer {
  public:

@@ -16,6 +16,7 @@ MpdaProcess::MpdaProcess(NodeId self, std::size_t num_nodes,
       fd_(num_nodes, graph::kInfCost),
       successors_(num_nodes),
       successor_versions_(num_nodes, 0),
+      succ_dirty_(num_nodes, 0),
       pacing_(pacing) {
   fd_[self] = 0;
   assert(!pacing_.enabled ||
@@ -32,13 +33,18 @@ std::size_t MpdaProcess::acks_pending() const {
 void MpdaProcess::retransmit_unacked() {
   for (auto& [k, msgs] : unacked_) {
     if (!tables_.is_neighbor(k)) continue;
-    std::size_t window = 0;
+    std::size_t sent = 0;
     for (auto& [seq, pending] : msgs) {
-      if (++window > kRetransmitWindow) break;  // oldest first; rest wait
       if (pending.cooldown > 0) {
         --pending.cooldown;
         continue;
       }
+      // Only actual sends consume window slots: a head-of-line message in
+      // deep backoff must not starve ready newer LSUs behind it. Ready
+      // messages past the window keep cooldown 0 and go first next tick
+      // (oldest first, so the receiver's duplicate filter stays effective).
+      if (sent == kRetransmitWindow) break;
+      ++sent;
       LsuMessage copy = pending.msg;
       copy.ack = false;  // a stale piggybacked ack must not be replayed
       copy.ack_seq = 0;
@@ -62,6 +68,9 @@ void MpdaProcess::reset() {
   pace_.clear();  // a rebooted router has no memory of past instability
   std::fill(fd_.begin(), fd_.end(), graph::kInfCost);
   fd_[tables_.self()] = 0;
+  succ_all_dirty_ = true;
+  for (const NodeId j : succ_dirty_list_) succ_dirty_[j] = 0;
+  succ_dirty_list_.clear();
   for (std::size_t j = 0; j < successors_.size(); ++j) {
     if (!successors_[j].empty()) {
       successors_[j].clear();
@@ -91,6 +100,7 @@ void MpdaProcess::on_link_up(NodeId k, Cost cost) {
     span_guard.r = spans_;
   }
   tables_.link_up(k, cost);
+  succ_all_dirty_ = true;  // the successor-set universe itself changed
   full_sync_.insert(k);  // Fig. 2 step 2: owe k the full topology table
   after_ntu({});
   // If the flood above did not run (no change to T), the new neighbor still
@@ -125,6 +135,7 @@ void MpdaProcess::on_link_down(NodeId k) {
     span_guard.r = spans_;
   }
   tables_.link_down(k);
+  succ_all_dirty_ = true;  // the successor-set universe itself changed
   // Paper: "When a router detects that an adjacent link failed, any pending
   // ACKs from the neighbor at the other end of the link are treated as
   // received."
@@ -243,7 +254,9 @@ void MpdaProcess::on_lsu(const LsuMessage& msg) {
       // acknowledged below — its previous ack evidently went missing.)
       last_seen = std::max(last_seen, msg.seq);
       obs::ProfScope prof(prof_, obs::ProfSection::kMpdaTableUpdate);
-      tables_.apply_lsu(msg.sender, msg.entries);
+      for (const NodeId j : tables_.apply_lsu(msg.sender, msg.entries)) {
+        mark_succ_dirty(j);  // D_j,sender moved: S_j needs re-evaluation
+      }
     }
     outcome.ack_to = msg.sender;  // Fig. 4 steps 7-8: must acknowledge
     outcome.ack_seq = msg.seq;
@@ -260,15 +273,19 @@ void MpdaProcess::on_lsu(const LsuMessage& msg) {
 void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
   std::vector<proto::LsuEntry> changes;
   if (mode_ == Mode::kPassive) {
-    // Fig. 4 step 2: update T and lower the feasible distances.
+    // Fig. 4 step 2: update T and lower the feasible distances. While
+    // PASSIVE every earlier MTU already took min(FD_j, D_j), so FD_j can
+    // only move where D_j just did — the scan is restricted to those.
     obs::ProfScope prof(prof_, obs::ProfSection::kMpdaTableUpdate);
     changes = tables_.mtu();
-    for (std::size_t j = 0; j < fd_.size(); ++j) {
+    for (const NodeId j : tables_.last_mtu_dist_changed()) {
       const Cost prev = fd_[j];
-      fd_[j] = std::min(fd_[j], tables_.distance(static_cast<NodeId>(j)));
-      if (probe_.enabled() && fd_[j] != prev) {
-        probe_.emit(obs::EventType::kFdChange, static_cast<NodeId>(j), fd_[j],
-                    prev);
+      fd_[j] = std::min(fd_[j], tables_.distance(j));
+      if (fd_[j] != prev) {
+        mark_succ_dirty(j);
+        if (probe_.enabled()) {
+          probe_.emit(obs::EventType::kFdChange, j, fd_[j], prev);
+        }
       }
     }
   } else if (unacked_.empty()) {
@@ -282,12 +299,17 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
     }
     mode_ = Mode::kPassive;
     changes = tables_.mtu();
+    // FD may RISE here, so the passive-mode "only where D_j moved"
+    // restriction does not apply: every destination is re-evaluated.
     for (std::size_t j = 0; j < fd_.size(); ++j) {
       const Cost prev = fd_[j];
       fd_[j] = std::min(temp[j], tables_.distance(static_cast<NodeId>(j)));
-      if (probe_.enabled() && fd_[j] != prev) {
-        probe_.emit(obs::EventType::kFdChange, static_cast<NodeId>(j), fd_[j],
-                    prev);
+      if (fd_[j] != prev) {
+        mark_succ_dirty(static_cast<NodeId>(j));
+        if (probe_.enabled()) {
+          probe_.emit(obs::EventType::kFdChange, static_cast<NodeId>(j),
+                      fd_[j], prev);
+        }
       }
     }
   }
@@ -325,16 +347,37 @@ void MpdaProcess::after_ntu(const NtuOutcome& outcome) {
   }
 }
 
+void MpdaProcess::mark_succ_dirty(NodeId j) {
+  if (succ_all_dirty_) return;
+  if (j < 0 || static_cast<std::size_t>(j) >= succ_dirty_.size()) return;
+  if (succ_dirty_[j] == 0) {
+    succ_dirty_[j] = 1;
+    succ_dirty_list_.push_back(j);
+  }
+}
+
 void MpdaProcess::recompute_successors() {
   obs::ProfScope prof(prof_, obs::ProfSection::kMpdaRecompute);
-  const auto n = static_cast<NodeId>(fd_.size());
+  // S_j can only change where an input did: some D_jk (marked from
+  // apply_lsu's repair delta), FD_j (marked by the FD loops), or the
+  // neighbor set itself (succ_all_dirty_). Unmarked destinations are
+  // skipped — their set comparison could never differ.
+  struct View {
+    NodeId k;
+    const std::vector<graph::Cost>* dist;
+  };
+  std::vector<View> views;
+  views.reserve(tables_.neighbors().size());
+  for (const NodeId k : tables_.neighbors()) {
+    if (const auto* d = tables_.distances_via(k)) views.push_back(View{k, d});
+  }
   std::vector<NodeId> next;
-  for (NodeId j = 0; j < n; ++j) {
-    if (j == self()) continue;
+  const auto eval = [&](NodeId j) {
+    if (j == self()) return;
     next.clear();
-    for (const NodeId k : tables_.neighbors()) {
+    for (const View& v : views) {
       // Eq. 17: neighbors strictly below the feasible distance.
-      if (tables_.distance_via(j, k) < fd_[j]) next.push_back(k);
+      if ((*v.dist)[j] < fd_[j]) next.push_back(v.k);
     }
     if (next != successors_[j]) {
       successors_[j] = next;
@@ -343,7 +386,17 @@ void MpdaProcess::recompute_successors() {
                   static_cast<double>(next.size()), fd_[j]);
       if (spans_ != nullptr) spans_->on_successor_change(self(), j, span_now());
     }
+  };
+  if (succ_all_dirty_) {
+    for (NodeId j = 0; j < static_cast<NodeId>(fd_.size()); ++j) eval(j);
+    succ_all_dirty_ = false;
+  } else {
+    // Ascending, so probe/span emission order matches a full scan.
+    std::sort(succ_dirty_list_.begin(), succ_dirty_list_.end());
+    for (const NodeId j : succ_dirty_list_) eval(j);
   }
+  for (const NodeId j : succ_dirty_list_) succ_dirty_[j] = 0;
+  succ_dirty_list_.clear();
 }
 
 }  // namespace mdr::core

@@ -127,11 +127,13 @@ class MpdaProcess final : public proto::RoutingProcess {
   /// receiver and re-acknowledged without reprocessing.
   ///
   /// Two throttles bound the retransmission traffic on badly lossy links:
-  /// per neighbor only the `kRetransmitWindow` oldest outstanding LSUs are
-  /// eligible (newer ones wait — in-order resend keeps the receiver's
-  /// duplicate filter effective), and each LSU backs off exponentially
-  /// (resent on the 1st, 2nd, 4th, 8th, ... eligible tick after first
-  /// transmission, capped at kRetransmitBackoffCap).
+  /// per neighbor at most `kRetransmitWindow` LSUs are resent per tick
+  /// (oldest ready first — in-order resend keeps the receiver's duplicate
+  /// filter effective; only actual sends consume window slots, so a
+  /// head-of-line LSU in deep backoff cannot starve ready ones behind it),
+  /// and each LSU backs off exponentially (resent on the 1st, 2nd, 4th,
+  /// 8th, ... eligible tick after first transmission, capped at
+  /// kRetransmitBackoffCap).
   void retransmit_unacked();
 
   /// The router crashed and rebooted: discard ALL protocol state — topology
@@ -290,6 +292,14 @@ class MpdaProcess final : public proto::RoutingProcess {
     lsus_retransmitted_ = r.u64();
     lsus_suppressed_ = r.u64();
     acks_sent_ = r.u64();
+    // Successor-dirty marks are always fully consumed by the
+    // recompute_successors() at the end of the event that made them, and
+    // checkpoints land between events — so there is never anything to
+    // restore. The loaded successor sets are consistent with the loaded
+    // tables/FD by the same argument.
+    succ_all_dirty_ = false;
+    succ_dirty_.assign(fd_.size(), 0);
+    succ_dirty_list_.clear();
   }
 
  private:
@@ -317,6 +327,7 @@ class MpdaProcess final : public proto::RoutingProcess {
   // Fig. 4 steps 2-8, shared by every event type.
   void after_ntu(const NtuOutcome& outcome);
   void recompute_successors();
+  void mark_succ_dirty(graph::NodeId j);
   void send(graph::NodeId k, const proto::LsuMessage& msg);
   Time span_now() const { return span_clock_ != nullptr ? *span_clock_ : 0; }
 
@@ -333,6 +344,11 @@ class MpdaProcess final : public proto::RoutingProcess {
   std::vector<graph::Cost> fd_;
   std::vector<std::vector<graph::NodeId>> successors_;
   std::vector<std::uint64_t> successor_versions_;
+  /// Destinations whose S_j inputs (D_jk, FD_j) moved since the last
+  /// recompute; succ_all_dirty_ covers neighbor-set changes.
+  std::vector<std::uint8_t> succ_dirty_;
+  std::vector<graph::NodeId> succ_dirty_list_;
+  bool succ_all_dirty_ = true;
   std::size_t messages_sent_ = 0;
   LsuPacing pacing_;
   std::map<graph::NodeId, Pace> pace_;

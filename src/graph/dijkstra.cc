@@ -104,15 +104,39 @@ ShortestPathTree dijkstra(const Topology& topo,
 
 std::vector<CostedEdge> tree_edges(const ShortestPathTree& spt,
                                    std::span<const CostedEdge> edges) {
+  // One sorted index over the usable edges, then a binary search per tree
+  // vertex — instead of rescanning the whole edge list per vertex. The
+  // usability filter matches Adjacency's, so the cost recovered for a
+  // parallel edge is exactly the one Dijkstra relaxed (the old rescan
+  // could pick up a negative-cost parallel edge Dijkstra had discarded).
+  const auto n = spt.parent.size();
+  std::vector<CostedEdge> index;
+  index.reserve(edges.size());
+  for (const CostedEdge& e : edges) {
+    if (e.from < 0 || e.to < 0) continue;
+    if (static_cast<std::size_t>(e.from) >= n) continue;
+    if (static_cast<std::size_t>(e.to) >= n) continue;
+    if (!(e.cost >= 0) || e.cost == kInfCost) continue;  // drops NaN too
+    index.push_back(e);
+  }
+  std::sort(index.begin(), index.end(),
+            [](const CostedEdge& a, const CostedEdge& b) {
+              return std::tie(a.from, a.to, a.cost) <
+                     std::tie(b.from, b.to, b.cost);
+            });
   std::vector<CostedEdge> out;
-  for (NodeId v = 0; v < static_cast<NodeId>(spt.parent.size()); ++v) {
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
     const NodeId u = spt.parent[v];
     if (u == kInvalidNode) continue;
-    // Recover the cheapest (u, v) edge cost; it is the one Dijkstra used.
-    Cost best = kInfCost;
-    for (const CostedEdge& e : edges) {
-      if (e.from == u && e.to == v && e.cost < best) best = e.cost;
-    }
+    // First match is the cheapest (u, v) edge; it is the one Dijkstra used.
+    const auto it = std::lower_bound(
+        index.begin(), index.end(), std::pair{u, v},
+        [](const CostedEdge& e, std::pair<NodeId, NodeId> key) {
+          return std::tie(e.from, e.to) < std::tie(key.first, key.second);
+        });
+    const Cost best = (it != index.end() && it->from == u && it->to == v)
+                          ? it->cost
+                          : kInfCost;
     out.push_back(CostedEdge{u, v, best});
   }
   return out;

@@ -1,0 +1,303 @@
+#include "graph/dynamic_spt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace mdr::graph {
+
+namespace {
+
+// Heap entries are (distance, node); std::greater pops the smallest.
+using HeapEntry = std::pair<Cost, NodeId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+DynamicSpt::DynamicSpt(std::size_t num_nodes, NodeId root)
+    : root_(root),
+      dist_(num_nodes, kInfCost),
+      parent_(num_nodes, kInvalidNode) {
+  assert(root >= 0 && static_cast<std::size_t>(root) < num_nodes);
+  dist_[root] = 0;
+}
+
+std::pair<const DynamicSpt::Arc*, const DynamicSpt::Arc*> DynamicSpt::range(
+    const std::vector<Arc>& arcs, NodeId key) const {
+  const auto cmp = [](const Arc& a, NodeId k) { return a.key < k; };
+  const Arc* lo = std::lower_bound(arcs.data(), arcs.data() + arcs.size(),
+                                   key, cmp);
+  const Arc* hi = lo;
+  while (hi != arcs.data() + arcs.size() && hi->key == key) ++hi;
+  return {lo, hi};
+}
+
+Cost DynamicSpt::edge_cost(NodeId from, NodeId to) const {
+  const auto [lo, hi] = range(out_, from);
+  for (const Arc* a = lo; a != hi; ++a) {
+    if (a->other == to) return a->cost;
+  }
+  return kInfCost;
+}
+
+void DynamicSpt::put_arc(std::vector<Arc>& arcs, NodeId key, NodeId other,
+                         Cost cost) {
+  const auto it = std::lower_bound(
+      arcs.begin(), arcs.end(), std::pair{key, other},
+      [](const Arc& a, std::pair<NodeId, NodeId> k) {
+        return a.key < k.first || (a.key == k.first && a.other < k.second);
+      });
+  if (it != arcs.end() && it->key == key && it->other == other) {
+    it->cost = cost;
+  } else {
+    arcs.insert(it, Arc{key, other, cost});
+  }
+}
+
+void DynamicSpt::drop_arc(std::vector<Arc>& arcs, NodeId key, NodeId other) {
+  const auto it = std::lower_bound(
+      arcs.begin(), arcs.end(), std::pair{key, other},
+      [](const Arc& a, std::pair<NodeId, NodeId> k) {
+        return a.key < k.first || (a.key == k.first && a.other < k.second);
+      });
+  if (it != arcs.end() && it->key == key && it->other == other) {
+    arcs.erase(it);
+  }
+}
+
+void DynamicSpt::set_edge(NodeId from, NodeId to, Cost cost) {
+  const auto n = static_cast<NodeId>(dist_.size());
+  if (from < 0 || from >= n || to < 0 || to >= n) return;
+  if (from == to) return;
+  if (!(cost >= 0) || cost >= kInfCost) {  // NaN fails the first test
+    remove_edge(from, to);
+    return;
+  }
+  const Cost current = edge_cost(from, to);
+  if (cost == current) return;
+  staged_.try_emplace({from, to}, current);
+  put_arc(out_, from, to, cost);
+  put_arc(in_, to, from, cost);
+}
+
+void DynamicSpt::remove_edge(NodeId from, NodeId to) {
+  const auto n = static_cast<NodeId>(dist_.size());
+  if (from < 0 || from >= n || to < 0 || to >= n) return;
+  if (from == to) return;
+  const Cost current = edge_cost(from, to);
+  if (current == kInfCost) return;
+  staged_.try_emplace({from, to}, current);
+  drop_arc(out_, from, to);
+  drop_arc(in_, to, from);
+}
+
+NodeId DynamicSpt::canonical_parent(NodeId v) const {
+  if (v == root_ || dist_[v] >= kInfCost) return kInvalidNode;
+  // in_ is ascending by (to, from): the first tight predecessor is the
+  // lowest-id one — exactly graph::dijkstra's tie-break.
+  const auto [lo, hi] = range(in_, v);
+  for (const Arc* a = lo; a != hi; ++a) {
+    if (dist_[a->other] + a->cost == dist_[v]) return a->other;
+  }
+  return kInvalidNode;  // unreachable here unless invariants are broken
+}
+
+DynamicSpt::Delta DynamicSpt::update() {
+  Delta delta;
+  if (staged_.empty()) return delta;
+  const std::size_t n = dist_.size();
+
+  // Classify each staged edge by its NET effect (cost at last repair vs
+  // now): a transient lower-then-higher within one batch is just a higher.
+  struct Lowered {
+    NodeId from, to;
+    Cost cost;
+  };
+  std::vector<NodeId> cut_roots;      // tree edges that got worse / vanished
+  std::vector<Lowered> lowered;       // edges that got better / appeared
+  std::vector<NodeId> touched_tails;  // recanonicalize their parents
+  for (const auto& [key, old_cost] : staged_) {
+    const auto [u, v] = key;
+    const Cost now_cost = edge_cost(u, v);
+    if (now_cost == old_cost) continue;
+    touched_tails.push_back(v);
+    if (now_cost < old_cost) {
+      lowered.push_back({u, v, now_cost});
+    } else if (parent_[v] == u) {
+      cut_roots.push_back(v);
+    }
+  }
+  staged_.clear();
+  if (touched_tails.empty()) return delta;
+
+  // (node, distance before this update), recorded once per node on first
+  // touch; the final Delta compares against these.
+  if (recorded_.size() != n) {
+    recorded_.assign(n, 0);
+    in_region_.assign(n, 0);
+    cand_.assign(n, kInfCost);
+  }
+  std::vector<std::pair<NodeId, Cost>> old_dist;
+  const auto record_old = [&](NodeId v) {
+    if (recorded_[v] == 0) {
+      recorded_[v] = 1;
+      old_dist.emplace_back(v, dist_[v]);
+    }
+  };
+
+  MinHeap heap;
+  std::vector<NodeId> region;
+
+  // Phase 1 — delete/increase repair. Cut out the subtrees hanging off the
+  // worsened tree edges, then run Dijkstra restricted to that region,
+  // seeded with the best entry cost over every boundary edge.
+  if (!cut_roots.empty()) {
+    std::vector<NodeId> stack = cut_roots;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      if (in_region_[v] != 0) continue;
+      in_region_[v] = 1;
+      region.push_back(v);
+      const auto [lo, hi] = range(out_, v);
+      for (const Arc* a = lo; a != hi; ++a) {
+        if (parent_[a->other] == v) stack.push_back(a->other);
+      }
+    }
+    for (const NodeId a : region) {
+      record_old(a);
+      dist_[a] = kInfCost;
+    }
+    for (const NodeId a : region) {
+      const auto [lo, hi] = range(in_, a);
+      for (const Arc* arc = lo; arc != hi; ++arc) {
+        if (in_region_[arc->other] == 0 && dist_[arc->other] < kInfCost) {
+          const Cost d = dist_[arc->other] + arc->cost;
+          if (d < cand_[a]) cand_[a] = d;
+        }
+      }
+      if (cand_[a] < kInfCost) heap.emplace(cand_[a], a);
+    }
+    while (!heap.empty()) {
+      const auto [d, a] = heap.top();
+      heap.pop();
+      if (in_region_[a] == 0 || d > cand_[a]) continue;  // settled or stale
+      in_region_[a] = 0;
+      dist_[a] = d;
+      const auto [lo, hi] = range(out_, a);
+      for (const Arc* arc = lo; arc != hi; ++arc) {
+        if (in_region_[arc->other] != 0) {
+          const Cost nd = d + arc->cost;
+          if (nd < cand_[arc->other]) {
+            cand_[arc->other] = nd;
+            heap.emplace(nd, arc->other);
+          }
+        }
+      }
+    }
+    // Restore the between-updates scratch invariant (unreachable region
+    // members were never settled, so their in_region_ byte is still set).
+    for (const NodeId a : region) {
+      in_region_[a] = 0;
+      cand_[a] = kInfCost;
+    }
+    // A region member can come back BELOW its old distance (the same batch
+    // also lowered an edge on its new path); such nodes are a lowering
+    // frontier for phase 2 — their out-neighbors outside the region may
+    // improve too.
+    for (std::size_t i = 0; i < region.size(); ++i) {
+      const auto [a, old] = old_dist[i];  // region recorded first, in order
+      if (dist_[a] < old) heap.emplace(dist_[a], a);
+    }
+  }
+
+  // Phase 2 — decrease/insert repair: relax from the improved edges (and
+  // any phase-1 nodes that ended up below their old distance) until the
+  // lowering stops propagating.
+  for (const Lowered& l : lowered) {
+    if (dist_[l.from] < kInfCost) {
+      const Cost nd = dist_[l.from] + l.cost;
+      if (nd < dist_[l.to]) {
+        record_old(l.to);
+        dist_[l.to] = nd;
+        heap.emplace(nd, l.to);
+      }
+    }
+  }
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist_[v]) continue;  // stale
+    const auto [lo, hi] = range(out_, v);
+    for (const Arc* arc = lo; arc != hi; ++arc) {
+      const Cost nd = d + arc->cost;
+      if (nd < dist_[arc->other]) {
+        record_old(arc->other);
+        dist_[arc->other] = nd;
+        heap.emplace(nd, arc->other);
+      }
+    }
+  }
+
+  // Recanonicalize parents everywhere the choice could have moved: every
+  // touched node, every tail of a changed edge, and every out-neighbor of
+  // a node whose distance actually changed (it may have gained or lost a
+  // tight predecessor).
+  std::vector<NodeId> need_parent = std::move(touched_tails);
+  for (const auto& [v, old] : old_dist) {
+    need_parent.push_back(v);
+    if (dist_[v] != old) {
+      delta.dist_changed.push_back(v);
+      const auto [lo, hi] = range(out_, v);
+      for (const Arc* arc = lo; arc != hi; ++arc) {
+        need_parent.push_back(arc->other);
+      }
+    }
+  }
+  for (const auto& [v, old] : old_dist) recorded_[v] = 0;
+  std::sort(delta.dist_changed.begin(), delta.dist_changed.end());
+  std::sort(need_parent.begin(), need_parent.end());
+  need_parent.erase(std::unique(need_parent.begin(), need_parent.end()),
+                    need_parent.end());
+  for (const NodeId v : need_parent) {
+    if (v == root_) continue;
+    const NodeId best = canonical_parent(v);
+    if (best != parent_[v]) {
+      delta.parent_changed.emplace_back(v, parent_[v]);
+      parent_[v] = best;
+    }
+  }
+  return delta;
+}
+
+void DynamicSpt::rebuild() {
+  staged_.clear();
+  const std::size_t n = dist_.size();
+  std::fill(dist_.begin(), dist_.end(), kInfCost);
+  std::fill(parent_.begin(), parent_.end(), kInvalidNode);
+  if (root_ == kInvalidNode) return;
+  dist_[root_] = 0;
+  MinHeap heap;
+  heap.emplace(0.0, root_);
+  std::vector<std::uint8_t> settled(n, 0);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u] != 0) continue;
+    settled[u] = 1;
+    const auto [lo, hi] = range(out_, u);
+    for (const Arc* arc = lo; arc != hi; ++arc) {
+      const Cost nd = d + arc->cost;
+      if (nd < dist_[arc->other]) {
+        dist_[arc->other] = nd;
+        heap.emplace(nd, arc->other);
+      }
+    }
+  }
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    parent_[v] = canonical_parent(v);
+  }
+}
+
+}  // namespace mdr::graph

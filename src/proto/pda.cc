@@ -1,52 +1,117 @@
 #include "proto/pda.h"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace mdr::proto {
 
 using graph::Cost;
 using graph::NodeId;
 
+#ifdef MDR_AUDIT_TABLES
+bool RouterTables::audit_enabled_ = true;
+#else
+bool RouterTables::audit_enabled_ = false;
+#endif
+
 RouterTables::RouterTables(NodeId self, std::size_t num_nodes)
     : self_(self),
       num_nodes_(num_nodes),
-      dist_(num_nodes, graph::kInfCost) {
+      dist_(num_nodes, graph::kInfCost),
+      own_spt_(num_nodes, self),
+      preferred_(num_nodes, graph::kInvalidNode),
+      dirty_(num_nodes, 0),
+      row_dirty_by_(num_nodes, graph::kInvalidNode) {
   assert(self >= 0 && static_cast<std::size_t>(self) < num_nodes);
   dist_[self_] = 0;
 }
 
-void RouterTables::apply_lsu(NodeId k, std::span<const LsuEntry> entries) {
+void RouterTables::mark_dirty(NodeId j, std::uint8_t bits) {
+  if (j < 0 || static_cast<std::size_t>(j) >= num_nodes_) return;
+  if (dirty_[j] == 0) dirty_list_.push_back(j);
+  dirty_[j] |= bits;
+}
+
+void RouterTables::mark_row_dirty(NodeId j, NodeId k) {
+  if (j < 0 || static_cast<std::size_t>(j) >= num_nodes_) return;
+  if (dirty_[j] == 0) dirty_list_.push_back(j);
+  if ((dirty_[j] & kDirtyRowAll) != 0) return;  // already maximal
+  if ((dirty_[j] & kDirtyRow) != 0) {
+    if (row_dirty_by_[j] != k) {
+      // A second distinct neighbor's row moved: no single attribution.
+      dirty_[j] = static_cast<std::uint8_t>((dirty_[j] & ~kDirtyRow) |
+                                            kDirtyRowAll);
+    }
+  } else {
+    dirty_[j] |= kDirtyRow;
+    row_dirty_by_[j] = k;
+  }
+}
+
+std::vector<NodeId> RouterTables::apply_lsu(NodeId k,
+                                            std::span<const LsuEntry> entries) {
   assert(is_neighbor(k));
   LinkStateTable& topo = nbr_topo_[k];
-  for (const LsuEntry& e : entries) topo.apply(e);
-  // Fig. 2 step 1b-1c: refresh D_jk by running Dijkstra rooted at k on the
-  // neighbor's (tree) topology.
-  const auto spt = graph::dijkstra(num_nodes_, topo.edges(), k);
-  nbr_dist_[k] = spt.dist;
+  auto spt_it = nbr_spt_.find(k);
+  if (spt_it == nbr_spt_.end()) {
+    spt_it = nbr_spt_.emplace(k, graph::DynamicSpt(num_nodes_, k)).first;
+  }
+  graph::DynamicSpt& spt = spt_it->second;
+  for (const LsuEntry& e : entries) {
+    if (!topo.apply(e)) continue;  // no-op entry: nothing can have changed
+    mark_row_dirty(e.head, k);
+    if (e.op == LsuOp::kDelete) {
+      spt.remove_edge(e.head, e.tail);
+    } else {
+      spt.set_edge(e.head, e.tail, e.cost);
+    }
+  }
+  // Fig. 2 step 1b-1c: repair D_jk in place of the from-scratch Dijkstra.
+  auto delta = spt.update();
+  for (const NodeId j : delta.dist_changed) mark_dirty(j, kDirtyMerge);
+  audit();
+  return std::move(delta.dist_changed);
 }
 
 void RouterTables::link_up(NodeId k, Cost cost) {
   assert(k != self_);
   assert(cost >= 0 && cost < graph::kInfCost);
+  // The fresh adjacency starts from an empty T_k: any destination whose row
+  // the old incarnation supplied must be re-copied even if its preferred
+  // neighbor does not move (k's own row is the classic case).
+  if (const auto it = nbr_topo_.find(k); it != nbr_topo_.end()) {
+    for (const auto& e : it->second.edges()) mark_dirty(e.from, kDirtyRowAll);
+  }
   neighbors_.insert(k);
   link_costs_[k] = cost;
   nbr_topo_[k].clear();
-  auto& dist = nbr_dist_[k];
-  dist.assign(num_nodes_, graph::kInfCost);
-  dist[k] = 0;
+  nbr_spt_.insert_or_assign(k, graph::DynamicSpt(num_nodes_, k));
+  all_dirty_ = true;
+  audit();
 }
 
 void RouterTables::link_cost_change(NodeId k, Cost cost) {
   assert(cost >= 0 && cost < graph::kInfCost);
   if (!is_neighbor(k)) return;  // raced with a link_down: nothing to update
-  link_costs_[k] = cost;
+  auto& stored = link_costs_[k];
+  if (stored == cost) return;  // no input changed: MTU would be a no-op
+  stored = cost;
+  all_dirty_ = true;  // l_k enters every destination's argmin
+  audit();
 }
 
 void RouterTables::link_down(NodeId k) {
+  if (const auto it = nbr_topo_.find(k); it != nbr_topo_.end()) {
+    for (const auto& e : it->second.edges()) mark_dirty(e.from, kDirtyRowAll);
+  }
   neighbors_.erase(k);
   link_costs_.erase(k);
   nbr_topo_.erase(k);
-  nbr_dist_.erase(k);
+  nbr_spt_.erase(k);
+  all_dirty_ = true;
+  audit();
 }
 
 Cost RouterTables::link_cost(NodeId k) const {
@@ -55,9 +120,14 @@ Cost RouterTables::link_cost(NodeId k) const {
 }
 
 Cost RouterTables::distance_via(NodeId j, NodeId k) const {
-  const auto it = nbr_dist_.find(k);
-  if (it == nbr_dist_.end()) return graph::kInfCost;
-  return it->second[j];
+  const auto it = nbr_spt_.find(k);
+  if (it == nbr_spt_.end()) return graph::kInfCost;
+  return it->second.dist()[j];
+}
+
+const std::vector<Cost>* RouterTables::distances_via(NodeId k) const {
+  const auto it = nbr_spt_.find(k);
+  return it == nbr_spt_.end() ? nullptr : &it->second.dist();
 }
 
 const LinkStateTable& RouterTables::neighbor_topology(NodeId k) const {
@@ -67,51 +137,307 @@ const LinkStateTable& RouterTables::neighbor_topology(NodeId k) const {
 }
 
 std::vector<LsuEntry> RouterTables::mtu() {
-  const LinkStateTable before = main_;
+  last_mtu_dist_changed_.clear();
+  // Clean tables: no input of the merge changed since the last MTU, so T,
+  // D and the diff are all unchanged — the deep copy and the full merge of
+  // the from-scratch procedure are skipped entirely.
+  if (!all_dirty_ && dirty_list_.empty()) return {};
 
-  // Fig. 3 steps 2-4: for every node j pick the preferred neighbor p
-  // (min D_jp + l_p, ties to the lower address) and copy j's outgoing links
-  // from T_p into the merged topology.
-  LinkStateTable merged;
-  for (NodeId j = 0; j < static_cast<NodeId>(num_nodes_); ++j) {
-    if (j == self_) continue;  // own links are authoritative (step 5)
-    NodeId preferred = graph::kInvalidNode;
-    Cost best = graph::kInfCost;
-    for (const NodeId k : neighbors_) {  // ascending: ties go to lower id
-      const Cost d = distance_via(j, k) + link_cost(k);
-      if (d < best) {
-        best = d;
-        preferred = k;
+  // Hoisted per-neighbor views (ascending ids: ties go to the lower id).
+  struct NbrView {
+    NodeId k;
+    const std::vector<Cost>* dist;
+    const LinkStateTable* topo;
+    Cost link_cost;
+  };
+  std::vector<NbrView> views;
+  views.reserve(neighbors_.size());
+  for (const NodeId k : neighbors_) {
+    views.push_back(NbrView{k, &nbr_spt_.at(k).dist(), &nbr_topo_.at(k),
+                            link_costs_.at(k)});
+  }
+
+  // Tails of merged_ links that changed: only their pruned entry can move
+  // without a dist/parent change (a re-costed tree edge).
+  std::vector<NodeId> touched;
+  const auto merged_set = [&](NodeId h, NodeId t, Cost c) {
+    if (merged_.set(h, t, c)) {
+      own_spt_.set_edge(h, t, c);
+      touched.push_back(t);
+    }
+  };
+  const auto merged_remove = [&](NodeId h, NodeId t) {
+    if (merged_.remove(h, t)) {
+      own_spt_.remove_edge(h, t);
+      touched.push_back(t);
+    }
+  };
+
+  // Fig. 3 steps 2-4 for one destination: recompute the preferred neighbor
+  // when its argmin inputs moved, and re-copy the row when the choice or
+  // the chosen row's content changed. The copy itself is a hinted in-place
+  // merge of the preferred neighbor's row into merged_ — no allocation,
+  // and a row dirtied only by a non-preferred neighbor is skipped
+  // entirely (row_dirty_by_ attributes single-neighbor row dirt).
+  const auto process = [&](NodeId j, bool merge_dirty) {
+    NodeId p = preferred_[j];
+    const LinkStateTable* ptopo = nullptr;
+    if (merge_dirty) {
+      p = graph::kInvalidNode;
+      Cost best = graph::kInfCost;
+      for (const NbrView& v : views) {
+        const Cost d = (*v.dist)[j] + v.link_cost;
+        if (d < best) {
+          best = d;
+          p = v.k;
+          ptopo = v.topo;
+        }
       }
     }
-    if (preferred == graph::kInvalidNode) continue;
-    for (const auto& [tail, cost] : nbr_topo_[preferred].links_from(j)) {
-      merged.set(j, tail, cost);
+    const bool p_changed = p != preferred_[j];
+    preferred_[j] = p;
+    const bool row_dirty =
+        (dirty_[j] & kDirtyRowAll) != 0 ||
+        ((dirty_[j] & kDirtyRow) != 0 && row_dirty_by_[j] == p);
+    if (!p_changed && !row_dirty) return;
+    if (p == graph::kInvalidNode) {
+      merged_.clear_row(j, [&](NodeId t) {
+        own_spt_.remove_edge(j, t);
+        touched.push_back(t);
+      });
+      return;
+    }
+    if (ptopo == nullptr) ptopo = &nbr_topo_.at(p);
+    merged_.replace_row_from(
+        j, *ptopo,
+        [&](NodeId t, Cost c) {
+          own_spt_.set_edge(j, t, c);
+          touched.push_back(t);
+        },
+        [&](NodeId t) {
+          own_spt_.remove_edge(j, t);
+          touched.push_back(t);
+        });
+  };
+
+  if (all_dirty_) {
+    for (NodeId j = 0; j < static_cast<NodeId>(num_nodes_); ++j) {
+      if (j == self_) continue;  // own links are authoritative (step 5)
+      process(j, /*merge_dirty=*/true);
+    }
+    // Fig. 3 step 5: adjacent links override anything neighbors reported.
+    const auto old_self = merged_.links_from(self_);
+    for (const NbrView& v : views) merged_set(self_, v.k, v.link_cost);
+    for (const auto& [t, c] : old_self) {
+      if (!neighbors_.contains(t)) merged_remove(self_, t);
+    }
+  } else {
+    for (const NodeId j : dirty_list_) {
+      if (j == self_) continue;
+      process(j, (dirty_[j] & kDirtyMerge) != 0);
     }
   }
+  if (all_dirty_) {
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+  } else {
+    for (const NodeId j : dirty_list_) dirty_[j] = 0;
+  }
+  dirty_list_.clear();
+  all_dirty_ = false;
 
-  // Fig. 3 step 5: adjacent links override anything neighbors reported.
-  for (const NodeId k : neighbors_) merged.set(self_, k, link_costs_[k]);
+  // Fig. 3 step 6: repair this router's shortest-path tree.
+  const auto delta = own_spt_.update();
 
-  // Fig. 3 step 6: prune to this router's shortest-path tree.
-  const auto edges = merged.edges();
-  const auto spt = graph::dijkstra(num_nodes_, edges, self_);
+  // Fig. 3 step 7: refresh D_j where it moved.
+  const auto& own_dist = own_spt_.dist();
+  for (const NodeId v : delta.dist_changed) dist_[v] = own_dist[v];
+  dist_[self_] = 0;
+  last_mtu_dist_changed_ = delta.dist_changed;
+
+  // Fig. 3 step 8: update the pruned T in place and report the differences
+  // in LinkStateTable::diff's order — kAddOrChange ascending by (head,
+  // tail), then kDelete ascending by (head, tail). Each candidate tail is
+  // handled exactly once, so add and delete key sets cannot overlap.
+  std::vector<NodeId> candidates = std::move(touched);
+  candidates.insert(candidates.end(), delta.dist_changed.begin(),
+                    delta.dist_changed.end());
+  for (const auto& [v, prev] : delta.parent_changed) candidates.push_back(v);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  const auto& own_parent = own_spt_.parent();
+  std::vector<LsuEntry> adds;
+  std::vector<LsuEntry> dels;
+  auto pc = delta.parent_changed.begin();  // ascending by node
+  for (const NodeId v : candidates) {
+    const NodeId new_p = own_parent[v];
+    while (pc != delta.parent_changed.end() && pc->first < v) ++pc;
+    const NodeId old_p =
+        (pc != delta.parent_changed.end() && pc->first == v) ? pc->second
+                                                             : new_p;
+    if (old_p != new_p && old_p != graph::kInvalidNode) {
+      if (main_.remove(old_p, v)) {
+        dels.push_back(LsuEntry{old_p, v, graph::kInfCost, LsuOp::kDelete});
+      }
+    }
+    if (new_p != graph::kInvalidNode) {
+      const auto cost = merged_.cost(new_p, v);
+      assert(cost.has_value());
+      if (main_.set(new_p, v, *cost)) {
+        adds.push_back(LsuEntry{new_p, v, *cost, LsuOp::kAddOrChange});
+      }
+    }
+  }
+  const auto by_key = [](const LsuEntry& a, const LsuEntry& b) {
+    return a.head < b.head || (a.head == b.head && a.tail < b.tail);
+  };
+  std::sort(adds.begin(), adds.end(), by_key);
+  std::sort(dels.begin(), dels.end(), by_key);
+  adds.insert(adds.end(), dels.begin(), dels.end());
+  audit();
+  return adds;
+}
+
+void RouterTables::audit() const {
+  if (!audit_enabled_) return;
+  const auto fail = [this](const std::string& what) {
+    throw std::logic_error("RouterTables audit (router " +
+                           std::to_string(self_) + "): " + what);
+  };
+  // 1. Every neighbor SPT matches a from-scratch Dijkstra over T_k.
+  for (const auto& [k, topo] : nbr_topo_) {
+    const auto it = nbr_spt_.find(k);
+    if (it == nbr_spt_.end()) fail("missing SPT for neighbor table");
+    const auto ref = graph::dijkstra(num_nodes_, topo.edges(), k);
+    if (ref.dist != it->second.dist() || ref.parent != it->second.parent()) {
+      fail("neighbor SPT diverged for k=" + std::to_string(k));
+    }
+  }
+  // 2. The own SPT matches a from-scratch Dijkstra over merged_.
+  const auto ref = graph::dijkstra(num_nodes_, merged_.edges(), self_);
+  if (ref.dist != own_spt_.dist() || ref.parent != own_spt_.parent()) {
+    fail("own SPT diverged from merged topology");
+  }
+  // 3. main_ is exactly the pruned own tree, and dist_ its distances.
   LinkStateTable pruned;
   for (NodeId v = 0; v < static_cast<NodeId>(num_nodes_); ++v) {
-    const NodeId parent = spt.parent[v];
-    if (parent == graph::kInvalidNode) continue;
-    const auto cost = merged.cost(parent, v);
-    assert(cost.has_value());
-    pruned.set(parent, v, *cost);
+    const NodeId p = own_spt_.parent()[v];
+    if (p == graph::kInvalidNode) continue;
+    const auto cost = merged_.cost(p, v);
+    if (!cost.has_value()) fail("tree edge missing from merged topology");
+    pruned.set(p, v, *cost);
   }
+  if (!(pruned == main_)) fail("main table is not the pruned SPT");
+  std::vector<Cost> want = own_spt_.dist();
+  want[self_] = 0;
+  if (want != dist_) fail("distance vector diverged");
+  // 4. Every CLEAN destination's merge inputs are truly unchanged: its
+  // cached argmin and merged row match a fresh evaluation. (Dirty
+  // destinations are allowed to be stale until the next mtu().)
+  if (!all_dirty_) {
+    for (NodeId j = 0; j < static_cast<NodeId>(num_nodes_); ++j) {
+      if (j == self_ || dirty_[j] != 0) continue;
+      NodeId p = graph::kInvalidNode;
+      Cost best = graph::kInfCost;
+      for (const NodeId k : neighbors_) {
+        const Cost d = distance_via(j, k) + link_cost(k);
+        if (d < best) {
+          best = d;
+          p = k;
+        }
+      }
+      if (p != preferred_[j]) {
+        fail("stale preferred neighbor for clean destination " +
+             std::to_string(j));
+      }
+      const auto want_row =
+          p == graph::kInvalidNode
+              ? std::vector<std::pair<NodeId, Cost>>{}
+              : neighbor_topology(p).links_from(j);
+      if (merged_.links_from(j) != want_row) {
+        fail("stale merged row for clean destination " + std::to_string(j));
+      }
+    }
+    std::vector<std::pair<NodeId, Cost>> want_self;
+    for (const NodeId k : neighbors_) want_self.emplace_back(k, link_cost(k));
+    if (merged_.links_from(self_) != want_self) fail("stale self row");
+  }
+}
 
-  // Fig. 3 step 7: refresh D_j.
-  dist_ = spt.dist;
-  dist_[self_] = 0;
+void RouterTables::save(ckpt::Writer& w) const {
+  main_.save(w);
+  merged_.save(w);
+  w.u64(nbr_topo_.size());
+  for (const auto& [k, table] : nbr_topo_) {
+    w.i64(k);
+    table.save(w);
+  }
+  w.u64(link_costs_.size());
+  for (const auto& [k, c] : link_costs_) {
+    w.i64(k);
+    w.f64(c);
+  }
+  w.u64(neighbors_.size());
+  for (NodeId k : neighbors_) w.i64(k);
+  w.u64(dist_.size());
+  for (Cost c : dist_) w.f64(c);
+  w.u64(preferred_.size());
+  for (NodeId p : preferred_) w.i64(p);
+  // Dirty state is protocol state: marks accumulated while ACTIVE are
+  // consumed by the deferred MTU after resume.
+  w.u64(dirty_.size());
+  for (std::uint8_t d : dirty_) w.u8(d);
+  w.u64(row_dirty_by_.size());
+  for (NodeId v : row_dirty_by_) w.i64(v);
+  w.b(all_dirty_);
+}
 
-  main_ = pruned;
-  // Fig. 3 step 8: report the differences.
-  return LinkStateTable::diff(before, main_);
+void RouterTables::load(ckpt::Reader& r) {
+  main_.load(r);
+  merged_.load(r);
+  nbr_topo_.clear();
+  std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto k = static_cast<NodeId>(r.i64());
+    nbr_topo_[k].load(r);
+  }
+  link_costs_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto k = static_cast<NodeId>(r.i64());
+    link_costs_[k] = r.f64();
+  }
+  neighbors_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    neighbors_.insert(static_cast<NodeId>(r.i64()));
+  }
+  dist_.resize(r.u64());
+  for (Cost& c : dist_) c = r.f64();
+  preferred_.resize(r.u64());
+  for (NodeId& p : preferred_) p = static_cast<NodeId>(r.i64());
+  dirty_.resize(r.u64());
+  dirty_list_.clear();
+  for (std::size_t j = 0; j < dirty_.size(); ++j) {
+    dirty_[j] = r.u8();
+    if (dirty_[j] != 0) dirty_list_.push_back(static_cast<NodeId>(j));
+  }
+  row_dirty_by_.resize(r.u64());
+  for (NodeId& v : row_dirty_by_) v = static_cast<NodeId>(r.i64());
+  all_dirty_ = r.b();
+  // The SPTs are derived state: rebuild canonically (dynamic_spt.h — the
+  // from-scratch tree IS the incrementally maintained tree, bit for bit).
+  own_spt_ = graph::DynamicSpt(num_nodes_, self_);
+  for (const auto& e : merged_.edges()) own_spt_.set_edge(e.from, e.to, e.cost);
+  own_spt_.rebuild();
+  nbr_spt_.clear();
+  for (const auto& [k, topo] : nbr_topo_) {
+    auto [it, inserted] = nbr_spt_.emplace(k, graph::DynamicSpt(num_nodes_, k));
+    for (const auto& e : topo.edges()) it->second.set_edge(e.from, e.to, e.cost);
+    it->second.rebuild();
+  }
+  audit();
 }
 
 // ---------------------------------------------------------------------------

@@ -7,16 +7,38 @@
 // Fig. 1: every event runs NTU then MTU and floods the topology diff to all
 // neighbors.
 //
+// Table maintenance is INCREMENTAL but output-identical to the from-scratch
+// procedures of the paper:
+//
+//   * D_jk is the distance vector of a dynamically maintained SPT of T_k
+//     (graph::DynamicSpt), repaired per LSU instead of recomputed;
+//   * the Fig. 3 merge keeps a persistent `merged_` topology plus a
+//     per-destination preferred-neighbor cache, and re-merges only
+//     destinations whose inputs changed (per-destination dirty sets:
+//     kDirtyMerge when some D_jk moved, kDirtyRow when a neighbor's row for
+//     the destination changed; adjacency events dirty everything);
+//   * the pruned tree T, D_j and the flooded diff are derived from the own
+//     SPT's repair delta, so a clean MTU is O(1) and a dirty one is
+//     proportional to what actually changed.
+//
+// The equivalence rests on DynamicSpt's canonicality contract (lowest-id
+// tight predecessor, exact-double distances — see graph/dynamic_spt.h).
+// Configuring with -DMDR_AUDIT_TABLES=ON (or set_audit_enabled(true))
+// cross-checks every NTU/MTU against the from-scratch computation and
+// throws std::logic_error on any divergence.
+//
 // PDA converges to correct shortest paths (paper Theorem 2) but offers no
 // instantaneous loop-freedom; MPDA (core/mpda.h) layers the LFI machinery
 // on top of the same tables.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <vector>
 
 #include "graph/dijkstra.h"
+#include "graph/dynamic_spt.h"
 #include "graph/topology.h"
 #include "proto/lsu.h"
 #include "proto/tables.h"
@@ -44,9 +66,12 @@ class RouterTables {
 
   // --- NTU pieces (Fig. 2) -------------------------------------------------
 
-  /// Fig. 2 step 1: fold an LSU from neighbor k into T_k and refresh the
-  /// distances D_jk (from k to every j in T_k).
-  void apply_lsu(graph::NodeId k, std::span<const LsuEntry> entries);
+  /// Fig. 2 step 1: fold an LSU from neighbor k into T_k and repair the
+  /// distances D_jk (from k to every j in T_k). Returns the destinations j
+  /// whose D_jk changed, ascending (consumers can restrict successor-set
+  /// rescans to them).
+  std::vector<graph::NodeId> apply_lsu(graph::NodeId k,
+                                       std::span<const LsuEntry> entries);
 
   /// Fig. 2 step 2: adjacent link (self, k) came up at the given cost.
   void link_up(graph::NodeId k, graph::Cost cost);
@@ -59,10 +84,17 @@ class RouterTables {
 
   // --- MTU (Fig. 3) --------------------------------------------------------
 
-  /// Rebuilds the main topology table T from the neighbor tables and the
-  /// adjacent links, prunes it to this router's shortest-path tree, updates
-  /// D_j, and returns the LSU entries describing how T changed.
+  /// Re-merges the dirty destinations into the main topology table T,
+  /// prunes to this router's shortest-path tree, updates D_j, and returns
+  /// the LSU entries describing how T changed. With no pending dirt this is
+  /// a no-op returning {}.
   std::vector<LsuEntry> mtu();
+
+  /// Destinations whose D_j changed during the last mtu() call, ascending
+  /// (feasible-distance maintenance needs exactly these).
+  const std::vector<graph::NodeId>& last_mtu_dist_changed() const {
+    return last_mtu_dist_changed_;
+  }
 
   // --- accessors -----------------------------------------------------------
 
@@ -80,72 +112,61 @@ class RouterTables {
   /// reported; kInfCost if unknown.
   graph::Cost distance_via(graph::NodeId j, graph::NodeId k) const;
 
+  /// The whole D_·k vector (indexed by destination), or nullptr if k is
+  /// unknown. Lets per-destination scans hoist the map lookup.
+  const std::vector<graph::Cost>* distances_via(graph::NodeId k) const;
+
   const LinkStateTable& main_topology() const { return main_; }
   const LinkStateTable& neighbor_topology(graph::NodeId k) const;
 
-  void save(ckpt::Writer& w) const {
-    main_.save(w);
-    w.u64(nbr_topo_.size());
-    for (const auto& [k, table] : nbr_topo_) {
-      w.i64(k);
-      table.save(w);
-    }
-    w.u64(nbr_dist_.size());
-    for (const auto& [k, dists] : nbr_dist_) {
-      w.i64(k);
-      w.u64(dists.size());
-      for (graph::Cost c : dists) w.f64(c);
-    }
-    w.u64(link_costs_.size());
-    for (const auto& [k, c] : link_costs_) {
-      w.i64(k);
-      w.f64(c);
-    }
-    w.u64(neighbors_.size());
-    for (graph::NodeId k : neighbors_) w.i64(k);
-    w.u64(dist_.size());
-    for (graph::Cost c : dist_) w.f64(c);
-  }
-  void load(ckpt::Reader& r) {
-    main_.load(r);
-    nbr_topo_.clear();
-    std::uint64_t n = r.u64();
-    for (std::uint64_t i = 0; i < n; ++i) {
-      const auto k = static_cast<graph::NodeId>(r.i64());
-      nbr_topo_[k].load(r);
-    }
-    nbr_dist_.clear();
-    n = r.u64();
-    for (std::uint64_t i = 0; i < n; ++i) {
-      const auto k = static_cast<graph::NodeId>(r.i64());
-      auto& dists = nbr_dist_[k];
-      dists.resize(r.u64());
-      for (graph::Cost& c : dists) c = r.f64();
-    }
-    link_costs_.clear();
-    n = r.u64();
-    for (std::uint64_t i = 0; i < n; ++i) {
-      const auto k = static_cast<graph::NodeId>(r.i64());
-      link_costs_[k] = r.f64();
-    }
-    neighbors_.clear();
-    n = r.u64();
-    for (std::uint64_t i = 0; i < n; ++i) {
-      neighbors_.insert(static_cast<graph::NodeId>(r.i64()));
-    }
-    dist_.resize(r.u64());
-    for (graph::Cost& c : dist_) c = r.f64();
-  }
+  /// Globally toggles the incremental-vs-from-scratch cross-check (defaults
+  /// to on when built with -DMDR_AUDIT_TABLES=ON). A divergence throws
+  /// std::logic_error.
+  static void set_audit_enabled(bool on) { audit_enabled_ = on; }
+  static bool audit_enabled() { return audit_enabled_; }
+
+  void save(ckpt::Writer& w) const;
+  void load(ckpt::Reader& r);
 
  private:
+  // Dirty bits per destination: the preferred neighbor may have moved
+  // (some D_jk changed) / one specific neighbor's row for the destination
+  // changed (row_dirty_by_ says whose — the copy is skipped unless that
+  // neighbor is the preferred one) / rows changed in a way no single
+  // neighbor describes (adjacency churn, or two different neighbors'
+  // rows moved since the last MTU), so any preferred match re-copies.
+  static constexpr std::uint8_t kDirtyMerge = 1;
+  static constexpr std::uint8_t kDirtyRow = 2;
+  static constexpr std::uint8_t kDirtyRowAll = 4;
+
+  void mark_dirty(graph::NodeId j, std::uint8_t bits);
+  void mark_row_dirty(graph::NodeId j, graph::NodeId k);
+  void audit() const;
+
   graph::NodeId self_;
   std::size_t num_nodes_;
-  LinkStateTable main_;                              // T
-  std::map<graph::NodeId, LinkStateTable> nbr_topo_;  // T_k
-  std::map<graph::NodeId, std::vector<graph::Cost>> nbr_dist_;  // D_jk
-  std::map<graph::NodeId, graph::Cost> link_costs_;  // l_k
+  LinkStateTable main_;    // T (pruned own SPT)
+  LinkStateTable merged_;  // Fig. 3 steps 2-5 output, maintained in place
+  std::map<graph::NodeId, LinkStateTable> nbr_topo_;    // T_k
+  std::map<graph::NodeId, graph::DynamicSpt> nbr_spt_;  // SPT(T_k, k); D_jk
+  std::map<graph::NodeId, graph::Cost> link_costs_;     // l_k
   std::set<graph::NodeId> neighbors_;
   std::vector<graph::Cost> dist_;  // D_j
+  graph::DynamicSpt own_spt_;      // SPT(merged_, self)
+  /// Preferred neighbor per destination as of the last mtu() (the Fig. 3
+  /// argmin); lets a clean destination skip its row rebuild entirely.
+  std::vector<graph::NodeId> preferred_;
+  std::vector<std::uint8_t> dirty_;
+  /// With kDirtyRow set: the one neighbor whose row for this destination
+  /// changed since the last MTU (meaningless otherwise).
+  std::vector<graph::NodeId> row_dirty_by_;
+  std::vector<graph::NodeId> dirty_list_;
+  /// Adjacency changed (neighbor set or l_k): every destination's argmin
+  /// is suspect. Starts true so the first mtu() merges everything.
+  bool all_dirty_ = true;
+  std::vector<graph::NodeId> last_mtu_dist_changed_;
+
+  static bool audit_enabled_;
 };
 
 /// Events a protocol process consumes; shared by PDA and MPDA.

@@ -4,23 +4,27 @@
 
 namespace mdr::proto {
 
-void LinkStateTable::set(graph::NodeId head, graph::NodeId tail,
+bool LinkStateTable::set(graph::NodeId head, graph::NodeId tail,
                          graph::Cost cost) {
   assert(head != tail);
   assert(cost >= 0);
-  links_[Key{head, tail}] = cost;
-}
-
-void LinkStateTable::remove(graph::NodeId head, graph::NodeId tail) {
-  links_.erase(Key{head, tail});
-}
-
-void LinkStateTable::apply(const LsuEntry& entry) {
-  if (entry.op == LsuOp::kDelete) {
-    remove(entry.head, entry.tail);
-  } else {
-    set(entry.head, entry.tail, entry.cost);
+  const auto [it, inserted] = links_.try_emplace(Key{head, tail}, cost);
+  if (!inserted) {
+    if (it->second == cost) return false;
+    it->second = cost;
   }
+  return true;
+}
+
+bool LinkStateTable::remove(graph::NodeId head, graph::NodeId tail) {
+  return links_.erase(Key{head, tail}) > 0;
+}
+
+bool LinkStateTable::apply(const LsuEntry& entry) {
+  if (entry.op == LsuOp::kDelete) {
+    return remove(entry.head, entry.tail);
+  }
+  return set(entry.head, entry.tail, entry.cost);
 }
 
 std::optional<graph::Cost> LinkStateTable::cost(graph::NodeId head,
@@ -60,19 +64,36 @@ std::vector<LsuEntry> LinkStateTable::as_entries() const {
 
 std::vector<LsuEntry> LinkStateTable::diff(const LinkStateTable& before,
                                            const LinkStateTable& after) {
+  // One linear walk over both sorted maps instead of a lookup per entry.
+  // Order contract (callers flood these bytes): every kAddOrChange in
+  // `after` key order, then every kDelete in `before` key order.
   std::vector<LsuEntry> out;
-  for (const auto& [key, cost] : after.links_) {
-    const auto old = before.cost(key.first, key.second);
-    if (!old.has_value() || *old != cost) {
-      out.push_back(LsuEntry{key.first, key.second, cost, LsuOp::kAddOrChange});
-    }
-  }
-  for (const auto& [key, cost] : before.links_) {
-    if (!after.cost(key.first, key.second).has_value()) {
+  std::vector<LsuEntry> deletes;
+  auto b = before.links_.begin();
+  const auto b_end = before.links_.end();
+  auto a = after.links_.begin();
+  const auto a_end = after.links_.end();
+  while (a != a_end || b != b_end) {
+    if (b == b_end || (a != a_end && a->first < b->first)) {
       out.push_back(
-          LsuEntry{key.first, key.second, graph::kInfCost, LsuOp::kDelete});
+          LsuEntry{a->first.first, a->first.second, a->second,
+                   LsuOp::kAddOrChange});
+      ++a;
+    } else if (a == a_end || b->first < a->first) {
+      deletes.push_back(LsuEntry{b->first.first, b->first.second,
+                                 graph::kInfCost, LsuOp::kDelete});
+      ++b;
+    } else {
+      if (a->second != b->second) {
+        out.push_back(
+            LsuEntry{a->first.first, a->first.second, a->second,
+                     LsuOp::kAddOrChange});
+      }
+      ++a;
+      ++b;
     }
   }
+  out.insert(out.end(), deletes.begin(), deletes.end());
   return out;
 }
 

@@ -5,6 +5,7 @@
 // costs, diffable so a router can advertise exactly what changed.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <optional>
 #include <utility>
@@ -19,14 +20,17 @@ namespace mdr::proto {
 
 class LinkStateTable {
  public:
-  /// Installs or updates a directed link.
-  void set(graph::NodeId head, graph::NodeId tail, graph::Cost cost);
+  /// Installs or updates a directed link. Returns whether the table
+  /// changed (false when the link already had exactly this cost), so
+  /// callers can maintain per-head dirty sets.
+  bool set(graph::NodeId head, graph::NodeId tail, graph::Cost cost);
 
-  /// Removes a link if present.
-  void remove(graph::NodeId head, graph::NodeId tail);
+  /// Removes a link if present. Returns whether a link was removed.
+  bool remove(graph::NodeId head, graph::NodeId tail);
 
-  /// Applies one LSU entry (add/change or delete).
-  void apply(const LsuEntry& entry);
+  /// Applies one LSU entry (add/change or delete). Returns whether the
+  /// table changed.
+  bool apply(const LsuEntry& entry);
 
   std::optional<graph::Cost> cost(graph::NodeId head,
                                   graph::NodeId tail) const;
@@ -45,6 +49,51 @@ class LinkStateTable {
 
   /// Snapshot as add/change LSU entries (full-topology sync on link-up).
   std::vector<LsuEntry> as_entries() const;
+
+  /// Replaces this table's row `head` with `src`'s row `head` in one
+  /// hinted two-pointer merge: no allocation, amortized O(1) per link.
+  /// Calls on_set(tail, cost) for every link actually inserted or
+  /// re-costed and on_del(tail) for every link actually removed — the
+  /// same change conditions as per-link set()/remove().
+  template <class OnSet, class OnDel>
+  void replace_row_from(graph::NodeId head, const LinkStateTable& src,
+                        OnSet&& on_set, OnDel&& on_del) {
+    constexpr auto kLow = std::numeric_limits<graph::NodeId>::lowest();
+    auto it = links_.lower_bound({head, kLow});
+    auto jt = src.links_.lower_bound({head, kLow});
+    while (true) {
+      const bool mine = it != links_.end() && it->first.first == head;
+      const bool theirs = jt != src.links_.end() && jt->first.first == head;
+      if (!mine && !theirs) break;
+      if (!mine || (theirs && jt->first.second < it->first.second)) {
+        it = links_.emplace_hint(it, jt->first, jt->second);
+        on_set(jt->first.second, jt->second);
+        ++it;
+        ++jt;
+      } else if (!theirs || it->first.second < jt->first.second) {
+        on_del(it->first.second);
+        it = links_.erase(it);
+      } else {
+        if (it->second != jt->second) {
+          it->second = jt->second;
+          on_set(jt->first.second, jt->second);
+        }
+        ++it;
+        ++jt;
+      }
+    }
+  }
+
+  /// Removes every link of row `head`, calling on_del(tail) per link.
+  template <class OnDel>
+  void clear_row(graph::NodeId head, OnDel&& on_del) {
+    constexpr auto kLow = std::numeric_limits<graph::NodeId>::lowest();
+    auto it = links_.lower_bound({head, kLow});
+    while (it != links_.end() && it->first.first == head) {
+      on_del(it->first.second);
+      it = links_.erase(it);
+    }
+  }
 
   /// Entries that transform `before` into `after`: kAddOrChange for new or
   /// re-costed links, kDelete for vanished ones. Deterministic order.

@@ -121,7 +121,7 @@ TEST_F(CkptFile, RejectsBadMagic) {
 
 TEST_F(CkptFile, RejectsVersionSkew) {
   write_valid();
-  patch(4, 0x02);  // version 1 -> 2
+  patch(4, static_cast<std::uint8_t>(ckpt::kVersion + 1));  // wrong version
   try {
     ckpt::Reader::from_file(path());
     FAIL() << "version skew accepted";

@@ -1,0 +1,283 @@
+// Unit tests for src/graph/dynamic_spt: the incremental SPT must be
+// bit-identical to a from-scratch graph::dijkstra after every repair —
+// same distance doubles, same lowest-id parent tie-break — because the
+// protocol layer relies on that equivalence for byte-stable outputs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/dynamic_spt.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace mdr::graph {
+namespace {
+
+// Mirror of the edge set a DynamicSpt holds, for feeding dijkstra().
+using EdgeMap = std::map<std::pair<NodeId, NodeId>, Cost>;
+
+std::vector<CostedEdge> as_edges(const EdgeMap& m) {
+  std::vector<CostedEdge> out;
+  out.reserve(m.size());
+  for (const auto& [key, cost] : m) {
+    out.push_back(CostedEdge{key.first, key.second, cost});
+  }
+  return out;
+}
+
+// Asserts spt == dijkstra(edges) exactly: bitwise-equal distances and
+// identical parents (including unreachable markers).
+void expect_canonical(const DynamicSpt& spt, const EdgeMap& edges,
+                      const char* what) {
+  const auto truth =
+      dijkstra(spt.num_nodes(), as_edges(edges), spt.root());
+  ASSERT_EQ(spt.dist().size(), truth.dist.size()) << what;
+  for (std::size_t v = 0; v < truth.dist.size(); ++v) {
+    EXPECT_EQ(spt.dist()[v], truth.dist[v]) << what << " dist of node " << v;
+    EXPECT_EQ(spt.parent()[v], truth.parent[v])
+        << what << " parent of node " << v;
+  }
+}
+
+TEST(DynamicSpt, EmptyGraphOnlyRootReachable) {
+  DynamicSpt spt(4, 0);
+  const auto delta = spt.update();
+  EXPECT_TRUE(delta.dist_changed.empty());
+  EXPECT_EQ(spt.dist()[0], 0.0);
+  EXPECT_TRUE(spt.reachable(0));
+  EXPECT_FALSE(spt.reachable(3));
+}
+
+TEST(DynamicSpt, InsertGrowsTree) {
+  DynamicSpt spt(4, 0);
+  EdgeMap edges;
+  const auto add = [&](NodeId u, NodeId v, Cost c) {
+    spt.set_edge(u, v, c);
+    edges[{u, v}] = c;
+  };
+  add(0, 1, 1.0);
+  add(1, 2, 2.0);
+  const auto delta = spt.update();
+  EXPECT_EQ(delta.dist_changed, (std::vector<NodeId>{1, 2}));
+  expect_canonical(spt, edges, "after inserts");
+  EXPECT_EQ(spt.dist()[2], 3.0);
+
+  // A shortcut lowers node 2 without touching node 1.
+  add(0, 2, 0.5);
+  const auto d2 = spt.update();
+  EXPECT_EQ(d2.dist_changed, (std::vector<NodeId>{2}));
+  ASSERT_EQ(d2.parent_changed.size(), 1u);
+  EXPECT_EQ(d2.parent_changed[0], (std::pair<NodeId, NodeId>{2, 1}));
+  expect_canonical(spt, edges, "after shortcut");
+}
+
+TEST(DynamicSpt, CostIncreaseRepairsSubtree) {
+  DynamicSpt spt(5, 0);
+  EdgeMap edges;
+  const auto add = [&](NodeId u, NodeId v, Cost c) {
+    spt.set_edge(u, v, c);
+    edges[{u, v}] = c;
+  };
+  // Chain 0-1-2-3-4 plus a detour 0->2 that is initially too expensive.
+  add(0, 1, 1.0);
+  add(1, 2, 1.0);
+  add(2, 3, 1.0);
+  add(3, 4, 1.0);
+  add(0, 2, 10.0);
+  spt.update();
+  expect_canonical(spt, edges, "initial chain");
+
+  // Worsen the tree edge 1->2: nodes {2,3,4} must re-attach via 0->2.
+  add(1, 2, 50.0);
+  const auto delta = spt.update();
+  EXPECT_EQ(delta.dist_changed, (std::vector<NodeId>{2, 3, 4}));
+  expect_canonical(spt, edges, "after increase");
+  EXPECT_EQ(spt.dist()[2], 10.0);
+}
+
+TEST(DynamicSpt, DeleteDisconnectsSubtree) {
+  DynamicSpt spt(4, 0);
+  EdgeMap edges;
+  spt.set_edge(0, 1, 1.0);
+  edges[{0, 1}] = 1.0;
+  spt.set_edge(1, 2, 1.0);
+  edges[{1, 2}] = 1.0;
+  spt.set_edge(2, 3, 1.0);
+  edges[{2, 3}] = 1.0;
+  spt.update();
+
+  spt.remove_edge(0, 1);
+  edges.erase({0, 1});
+  const auto delta = spt.update();
+  EXPECT_EQ(delta.dist_changed, (std::vector<NodeId>{1, 2, 3}));
+  expect_canonical(spt, edges, "after cut");
+  EXPECT_FALSE(spt.reachable(1));
+  EXPECT_FALSE(spt.reachable(3));
+  EXPECT_TRUE(spt.reachable(0));
+}
+
+TEST(DynamicSpt, MixedBatchAppliesAtomically) {
+  // An increase and a decrease staged together: the lowered edge must be
+  // visible to the subtree cut out by the raised one (phase-1 repair has
+  // to see phase-2 material and vice versa).
+  DynamicSpt spt(4, 0);
+  EdgeMap edges;
+  const auto add = [&](NodeId u, NodeId v, Cost c) {
+    spt.set_edge(u, v, c);
+    edges[{u, v}] = c;
+  };
+  add(0, 1, 1.0);
+  add(1, 2, 1.0);
+  add(0, 3, 9.0);
+  spt.update();
+
+  add(1, 2, 100.0);  // increase: cuts node 2 loose
+  add(3, 2, 1.0);    // new edge: the repair path
+  const auto delta = spt.update();
+  expect_canonical(spt, edges, "after mixed batch");
+  EXPECT_EQ(spt.dist()[2], 10.0);
+  EXPECT_EQ(spt.parent()[2], 3);
+  EXPECT_EQ(delta.dist_changed, (std::vector<NodeId>{2}));
+}
+
+TEST(DynamicSpt, LoweredRegionMemberPropagatesDownstream) {
+  // A node inside the cut region ends up CLOSER than before (its tree edge
+  // vanished but a staged cheaper path exists). Its downstream neighbors
+  // outside the region must still be relaxed — the phase-1 -> phase-2
+  // hand-off.
+  DynamicSpt spt(4, 0);
+  EdgeMap edges;
+  const auto add = [&](NodeId u, NodeId v, Cost c) {
+    spt.set_edge(u, v, c);
+    edges[{u, v}] = c;
+  };
+  add(0, 1, 5.0);
+  add(1, 2, 5.0);  // node 2 at 10 via 1
+  add(2, 3, 1.0);  // node 3 at 11
+  spt.update();
+  add(1, 2, 50.0);  // cut 2 (and 3) out of the tree
+  add(0, 2, 2.0);   // ... but 2 re-attaches cheaper than it ever was
+  const auto delta = spt.update();
+  expect_canonical(spt, edges, "after lowering inside region");
+  EXPECT_EQ(spt.dist()[2], 2.0);
+  EXPECT_EQ(spt.dist()[3], 3.0);
+  EXPECT_EQ(delta.dist_changed, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(DynamicSpt, TieBreakMatchesDijkstraLowestParent) {
+  // Two equal-cost two-hop paths to node 3: parent must be the lowest id.
+  DynamicSpt spt(4, 0);
+  EdgeMap edges;
+  const auto add = [&](NodeId u, NodeId v, Cost c) {
+    spt.set_edge(u, v, c);
+    edges[{u, v}] = c;
+  };
+  add(0, 2, 1.0);
+  add(2, 3, 1.0);
+  spt.update();
+  EXPECT_EQ(spt.parent()[3], 2);
+  add(0, 1, 1.0);
+  add(1, 3, 1.0);  // equally good path via the lower-id node 1
+  spt.update();
+  expect_canonical(spt, edges, "after tie");
+  EXPECT_EQ(spt.parent()[3], 1);
+}
+
+TEST(DynamicSpt, UnusableEdgesDegradeToRemoval) {
+  DynamicSpt spt(3, 0);
+  EdgeMap edges;
+  spt.set_edge(0, 1, 1.0);
+  edges[{0, 1}] = 1.0;
+  spt.set_edge(1, 1, 1.0);   // self-loop: ignored
+  spt.set_edge(0, 7, 1.0);   // out of range: ignored
+  spt.set_edge(0, 2, -3.0);  // negative: no edge
+  spt.update();
+  expect_canonical(spt, edges, "after unusable edges");
+  // A previously-usable edge overwritten with an unusable cost vanishes.
+  spt.set_edge(0, 1, kInfCost);
+  edges.erase({0, 1});
+  spt.update();
+  expect_canonical(spt, edges, "after inf overwrite");
+  EXPECT_FALSE(spt.reachable(1));
+}
+
+TEST(DynamicSpt, NoOpUpdateReportsNothing) {
+  DynamicSpt spt(3, 0);
+  spt.set_edge(0, 1, 1.0);
+  spt.update();
+  spt.set_edge(0, 1, 1.0);  // identical re-set
+  const auto delta = spt.update();
+  EXPECT_TRUE(delta.dist_changed.empty());
+  EXPECT_TRUE(delta.parent_changed.empty());
+}
+
+TEST(DynamicSpt, RebuildMatchesIncrementalState) {
+  Rng rng(7);
+  const auto topo = topo::make_waxman(40, 0.6, 0.4, rng);
+  DynamicSpt inc(topo.num_nodes(), 0);
+  EdgeMap edges;
+  for (LinkId id = 0; id < static_cast<LinkId>(topo.num_links()); ++id) {
+    const auto& l = topo.link(id);
+    const Cost c = rng.uniform(0.5, 4.0);
+    inc.set_edge(l.from, l.to, c);
+    edges[{l.from, l.to}] = c;
+  }
+  inc.update();
+  DynamicSpt fresh = inc;
+  fresh.rebuild();
+  EXPECT_EQ(inc.dist(), fresh.dist());
+  EXPECT_EQ(inc.parent(), fresh.parent());
+  expect_canonical(inc, edges, "incremental vs rebuild");
+}
+
+// The core property: a long random churn of upserts/removals, checked
+// against from-scratch Dijkstra after every single repair.
+TEST(DynamicSpt, RandomChurnStaysCanonical) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng rng(seed);
+    const int n = 24;
+    DynamicSpt spt(n, 0);
+    EdgeMap edges;
+    for (int step = 0; step < 300; ++step) {
+      // 1-3 staged changes per batch, biased toward upserts.
+      const int batch = rng.uniform_int(1, 3);
+      for (int i = 0; i < batch; ++i) {
+        const NodeId u = rng.uniform_int(0, n - 1);
+        const NodeId v = rng.uniform_int(0, n - 1);
+        if (!edges.empty() && rng.bernoulli(0.3)) {
+          const auto it =
+              std::next(edges.begin(),
+                        rng.uniform_int(0, static_cast<int>(edges.size()) - 1));
+          spt.remove_edge(it->first.first, it->first.second);
+          edges.erase(it);
+        } else if (u != v) {
+          const Cost c = rng.uniform(0.1, 5.0);
+          spt.set_edge(u, v, c);
+          edges[{u, v}] = c;
+        }
+      }
+      // The delta must exactly list what moved.
+      std::vector<Cost> old_dist(spt.dist());
+      std::vector<NodeId> old_parent(spt.parent());
+      const auto delta = spt.update();
+      ASSERT_NO_FATAL_FAILURE(
+          expect_canonical(spt, edges, "during churn"));
+      std::vector<NodeId> moved;
+      std::vector<std::pair<NodeId, NodeId>> reparented;
+      for (NodeId v = 0; v < n; ++v) {
+        if (spt.dist()[v] != old_dist[v]) moved.push_back(v);
+        if (spt.parent()[v] != old_parent[v]) {
+          reparented.emplace_back(v, old_parent[v]);
+        }
+      }
+      ASSERT_EQ(delta.dist_changed, moved) << "seed " << seed;
+      ASSERT_EQ(delta.parent_changed, reparented) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdr::graph

@@ -149,6 +149,30 @@ TEST(Dijkstra, TreeEdgesFormSpanningTree) {
   }
 }
 
+TEST(Dijkstra, TreeEdgesRecoverCheapestParallelEdge) {
+  // Parallel (0,1) edges: the recovered cost must be the one Dijkstra
+  // relaxed — the cheapest usable edge, not just any of them.
+  std::vector<CostedEdge> edges{{0, 1, 3.0}, {0, 1, 1.5}, {0, 1, 6.0}};
+  const auto spt = dijkstra(2, edges, 0);
+  const auto tree = tree_edges(spt, edges);
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_DOUBLE_EQ(tree[0].cost, 1.5);
+  EXPECT_DOUBLE_EQ(spt.dist[1], tree[0].cost);
+}
+
+TEST(Dijkstra, TreeEdgesIgnoreUnusableParallelEdges) {
+  // Regression: the old per-vertex rescan took the raw minimum over ALL
+  // (u, v) edges, so a negative-cost parallel edge — which Dijkstra itself
+  // filters out — leaked into the recovered tree as a bogus cost.
+  std::vector<CostedEdge> edges{{0, 1, 2.0}, {0, 1, -5.0}, {0, 1, kInfCost}};
+  const auto spt = dijkstra(2, edges, 0);
+  ASSERT_DOUBLE_EQ(spt.dist[1], 2.0);  // Dijkstra used the 2.0 edge
+  const auto tree = tree_edges(spt, edges);
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_DOUBLE_EQ(tree[0].cost, 2.0);
+  EXPECT_DOUBLE_EQ(spt.dist[1], tree[0].cost);
+}
+
 TEST(BellmanFord, MatchesDijkstraOnRandomGraphs) {
   Rng rng(23);
   for (int trial = 0; trial < 10; ++trial) {

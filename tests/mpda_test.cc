@@ -315,6 +315,36 @@ TEST(Mpda, DuplicateLsuIsReackedWithoutReprocessing) {
   EXPECT_DOUBLE_EQ(b.distance(0), 1.0);
 }
 
+TEST(Mpda, RetransmitWindowNotConsumedByCoolingMessages) {
+  // Regression: messages skipped because they are in backoff cooldown must
+  // not consume retransmit-window slots. With kRetransmitWindow (8) older
+  // messages all cooling down, a ready 9th message used to be starved —
+  // the window filled with skips and the loop broke before reaching it.
+  CapturingSink sink;
+  MpdaProcess a(0, 2, sink);
+  // Each duplicate on_link_up re-owes neighbor 1 the full table and queues
+  // one more unacked full-sync LSU (no acks ever arrive).
+  for (int i = 0; i < 9; ++i) a.on_link_up(1, 1.0);
+  ASSERT_EQ(a.acks_pending(), 9u);
+  sink.sent.clear();
+
+  // Tick 1: the eight oldest go out (window), each entering cooldown 1;
+  // the ninth stays ready.
+  a.retransmit_unacked();
+  ASSERT_EQ(sink.sent.size(), 8u);
+  std::uint32_t max_seq_sent = 0;
+  for (const auto& [to, msg] : sink.sent) {
+    max_seq_sent = std::max(max_seq_sent, msg.seq);
+  }
+  sink.sent.clear();
+
+  // Tick 2: the eight are cooling. The ready ninth message must be sent —
+  // the cooldown skips may not eat its window slot.
+  a.retransmit_unacked();
+  ASSERT_EQ(sink.sent.size(), 1u);
+  EXPECT_GT(sink.sent[0].second.seq, max_seq_sent);
+}
+
 // ---------------------------------------------------------------------------
 // LSU origination pacing (LsuPacing): hold-down with Trickle-style backoff.
 // The paced path defers the *cost-change event itself* (coalescing to the

@@ -182,6 +182,66 @@ TEST(LinkStateTable, DiffProducesMinimalUpdate) {
   EXPECT_EQ(before, after);
 }
 
+TEST(LinkStateTable, DiffOrderIsAddsInAfterOrderThenDeletes) {
+  // The wire contract (and the incremental MTU, which reproduces diffs
+  // without materializing `before`): kAddOrChange entries first, in the
+  // key order of `after`, then kDelete entries in the key order of
+  // `before`. Interleaved keys exercise the merge walk's three branches.
+  LinkStateTable before, after;
+  before.set(0, 1, 1.0);  // deleted
+  before.set(1, 2, 2.0);  // re-costed
+  before.set(3, 4, 3.0);  // deleted
+  before.set(5, 6, 4.0);  // unchanged
+  after.set(0, 2, 1.5);  // added (sorts before the first delete's key)
+  after.set(1, 2, 9.0);
+  after.set(4, 0, 2.5);  // added
+  after.set(5, 6, 4.0);
+  const auto d = LinkStateTable::diff(before, after);
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_EQ(d[0].op, LsuOp::kAddOrChange);
+  EXPECT_EQ((std::pair{d[0].head, d[0].tail}), (std::pair<NodeId, NodeId>{0, 2}));
+  EXPECT_EQ(d[1].op, LsuOp::kAddOrChange);
+  EXPECT_EQ((std::pair{d[1].head, d[1].tail}), (std::pair<NodeId, NodeId>{1, 2}));
+  EXPECT_DOUBLE_EQ(d[1].cost, 9.0);
+  EXPECT_EQ(d[2].op, LsuOp::kAddOrChange);
+  EXPECT_EQ((std::pair{d[2].head, d[2].tail}), (std::pair<NodeId, NodeId>{4, 0}));
+  EXPECT_EQ(d[3].op, LsuOp::kDelete);
+  EXPECT_EQ((std::pair{d[3].head, d[3].tail}), (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(d[4].op, LsuOp::kDelete);
+  EXPECT_EQ((std::pair{d[4].head, d[4].tail}), (std::pair<NodeId, NodeId>{3, 4}));
+}
+
+TEST(LinkStateTable, DiffOfIdenticalTablesIsEmpty) {
+  LinkStateTable a;
+  a.set(0, 1, 1.0);
+  a.set(2, 3, 2.0);
+  EXPECT_TRUE(LinkStateTable::diff(a, a).empty());
+  const LinkStateTable empty;
+  EXPECT_TRUE(LinkStateTable::diff(empty, empty).empty());
+  // One-sided cases walk each tail of the merge.
+  const auto only_adds = LinkStateTable::diff(empty, a);
+  ASSERT_EQ(only_adds.size(), 2u);
+  EXPECT_EQ(only_adds[0].op, LsuOp::kAddOrChange);
+  const auto only_dels = LinkStateTable::diff(a, empty);
+  ASSERT_EQ(only_dels.size(), 2u);
+  EXPECT_EQ(only_dels[0].op, LsuOp::kDelete);
+  EXPECT_EQ(only_dels[1].op, LsuOp::kDelete);
+}
+
+TEST(LinkStateTable, MutatorsReportWhetherTheTableChanged) {
+  // The dirty-set machinery keys off these booleans.
+  LinkStateTable t;
+  EXPECT_TRUE(t.set(0, 1, 1.0));    // insert
+  EXPECT_FALSE(t.set(0, 1, 1.0));   // identical re-set: no-op
+  EXPECT_TRUE(t.set(0, 1, 2.0));    // re-cost
+  EXPECT_FALSE(t.remove(4, 5));     // absent
+  EXPECT_TRUE(t.remove(0, 1));
+  EXPECT_TRUE(t.apply(LsuEntry{1, 2, 3.0, LsuOp::kAddOrChange}));
+  EXPECT_FALSE(t.apply(LsuEntry{1, 2, 3.0, LsuOp::kAddOrChange}));
+  EXPECT_TRUE(t.apply(LsuEntry{1, 2, 0, LsuOp::kDelete}));
+  EXPECT_FALSE(t.apply(LsuEntry{1, 2, 0, LsuOp::kDelete}));
+}
+
 TEST(LinkStateTable, LinksFromFiltersByHead) {
   LinkStateTable t;
   t.set(1, 0, 1.0);
